@@ -1,0 +1,138 @@
+//! Detection of speculation candidates: critical cycles through a
+//! multiplexor select input.
+//!
+//! Step 1 of the paper's speculation recipe (Section 4) is to "find a
+//! critical cycle from an output of an early evaluation multiplexor to its
+//! select input". When such a cycle exists and carries the design's critical
+//! combinational path, the other transformations cannot help: bubble
+//! insertion lowers the throughput bound of the cycle, retiming has no
+//! registers to move inside it, and early evaluation alone does not shorten
+//! the select computation. Speculation is then "the transformation of
+//! choice".
+
+use elastic_core::transform::find_select_cycles;
+use elastic_core::{Netlist, NodeId, NodeKind};
+
+use crate::cost::CostModel;
+use crate::timing;
+
+/// A multiplexor whose select input closes a cycle, together with the
+/// assessment of whether that cycle is performance-critical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeculationCandidate {
+    /// The multiplexor.
+    pub mux: NodeId,
+    /// The cycles from the multiplexor output back to its select input.
+    pub select_cycles: Vec<Vec<NodeId>>,
+    /// Combinational delay (logic levels) of the slowest select cycle,
+    /// counting only combinational nodes.
+    pub cycle_delay: f64,
+    /// Sequential latency (number of buffers) of the shortest select cycle.
+    pub cycle_latency: u64,
+    /// `true` when the design's critical timing path lies on one of the
+    /// select cycles — the situation where speculation pays off most.
+    pub on_critical_path: bool,
+}
+
+/// Finds every multiplexor with a select cycle and assesses its criticality.
+pub fn speculation_candidates(netlist: &Netlist, model: &CostModel) -> Vec<SpeculationCandidate> {
+    let timing = timing::analyze(netlist, model);
+    let critical_nodes: std::collections::HashSet<NodeId> =
+        timing.critical_path.iter().copied().collect();
+
+    let mut candidates = Vec::new();
+    for node in netlist.live_nodes() {
+        if !matches!(node.kind, NodeKind::Mux(_)) {
+            continue;
+        }
+        let select_cycles = match find_select_cycles(netlist, node.id) {
+            Ok(cycles) if !cycles.is_empty() => cycles,
+            _ => continue,
+        };
+        let mut cycle_delay: f64 = 0.0;
+        let mut cycle_latency = u64::MAX;
+        let mut on_critical_path = false;
+        for cycle in &select_cycles {
+            let delay: f64 = cycle
+                .iter()
+                .filter_map(|id| netlist.node(*id))
+                .map(|n| model.node_delay(n))
+                .sum();
+            cycle_delay = cycle_delay.max(delay);
+            let latency: u64 = cycle
+                .iter()
+                .filter_map(|id| netlist.node(*id))
+                .map(|n| match &n.kind {
+                    NodeKind::Buffer(spec) => u64::from(spec.forward_latency),
+                    NodeKind::VarLatency(_) => 1,
+                    _ => 0,
+                })
+                .sum();
+            cycle_latency = cycle_latency.min(latency);
+            if cycle.iter().any(|id| critical_nodes.contains(id)) {
+                on_critical_path = true;
+            }
+        }
+        candidates.push(SpeculationCandidate {
+            mux: node.id,
+            select_cycles,
+            cycle_delay,
+            cycle_latency: if cycle_latency == u64::MAX { 0 } else { cycle_latency },
+            on_critical_path,
+        });
+    }
+    candidates.sort_by(|a, b| {
+        b.cycle_delay.partial_cmp(&a.cycle_delay).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::library::{fig1a, fig1d, resilient_nonspeculative, Fig1Config, ResilientConfig};
+
+    #[test]
+    fn the_fig1_mux_is_a_speculation_candidate() {
+        let handles = fig1a(&Fig1Config::default());
+        let candidates = speculation_candidates(&handles.netlist, &CostModel::default());
+        assert_eq!(candidates.len(), 1);
+        let candidate = &candidates[0];
+        assert_eq!(candidate.mux, handles.mux);
+        assert!(candidate.on_critical_path, "the G→mux→F loop is the critical path");
+        assert_eq!(candidate.cycle_latency, 1);
+        assert!(candidate.cycle_delay > 10.0);
+    }
+
+    #[test]
+    fn the_resilient_accumulator_mux_is_a_candidate() {
+        let handles = resilient_nonspeculative(&ResilientConfig::default());
+        let candidates = speculation_candidates(&handles.netlist, &CostModel::default());
+        assert!(candidates.iter().any(|c| Some(c.mux) == handles.mux));
+    }
+
+    #[test]
+    fn already_speculated_designs_still_report_their_select_cycle() {
+        // After speculation the select cycle still exists (that is fine — the
+        // shared module now hides its latency); the candidate list simply
+        // documents it.
+        let handles = fig1d(&Fig1Config::default());
+        let candidates = speculation_candidates(&handles.netlist, &CostModel::default());
+        assert_eq!(candidates.len(), 1);
+    }
+
+    #[test]
+    fn feed_forward_muxes_are_not_candidates() {
+        let mut n = elastic_core::Netlist::new("ff");
+        let sel = n.add_source("sel", elastic_core::SourceSpec::always());
+        let a = n.add_source("a", elastic_core::SourceSpec::always());
+        let b = n.add_source("b", elastic_core::SourceSpec::always());
+        let mux = n.add_mux("mux", elastic_core::MuxSpec::lazy(2));
+        let sink = n.add_sink("sink", elastic_core::SinkSpec::always_ready());
+        n.connect(elastic_core::Port::output(sel, 0), elastic_core::Port::input(mux, 0), 1).unwrap();
+        n.connect(elastic_core::Port::output(a, 0), elastic_core::Port::input(mux, 1), 8).unwrap();
+        n.connect(elastic_core::Port::output(b, 0), elastic_core::Port::input(mux, 2), 8).unwrap();
+        n.connect(elastic_core::Port::output(mux, 0), elastic_core::Port::input(sink, 0), 8).unwrap();
+        assert!(speculation_candidates(&n, &CostModel::default()).is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # elastic-analysis
+//!
+//! Static performance and cost analysis for elastic netlists.
+//!
+//! The paper evaluates its designs with a commercial 65nm synthesis flow; in
+//! this reproduction the corresponding numbers come from an explicit
+//! gate-equivalent **cost model** ([`cost::CostModel`]) and from graph
+//! analyses of the netlist:
+//!
+//! * [`timing`] — combinational path analysis: the cycle time is the longest
+//!   register-to-register (EB-to-EB) path under the unit-delay (logic-level)
+//!   model, plus a per-node controller overhead;
+//! * [`marked_graph`] — the token/latency view of the netlist: every cycle of
+//!   the graph bounds the throughput by `tokens / buffers`; the minimum over
+//!   all cycles is the throughput bound that bubble insertion degrades and
+//!   speculation restores;
+//! * [`critical`] — detection of critical cycles that pass through a
+//!   multiplexor select input, the structural trigger for speculation
+//!   (step 1 of Section 4);
+//! * [`cost`] — area in gate equivalents per node (datapath blocks, elastic
+//!   buffers, controller overhead), used for the area-overhead comparisons of
+//!   Sections 5.1 and 5.2;
+//! * [`report`] — design-point comparison tables (throughput, cycle time,
+//!   effective cycle time, area) in the form the paper reports them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod critical;
+pub mod marked_graph;
+pub mod report;
+pub mod timing;
+
+pub use cost::{AreaBreakdown, CostModel};
+pub use report::{DesignPoint, DesignComparison};
+pub use timing::TimingReport;

@@ -1,0 +1,216 @@
+//! Marked-graph (token / latency) view of an elastic netlist.
+//!
+//! Abstracting data away, an elastic netlist behaves like a timed marked
+//! graph: every directed cycle of the graph bounds the sustainable throughput
+//! by `tokens on the cycle / sequential latency of the cycle`. Bubble
+//! insertion (Figure 1(b)) adds latency to a cycle without adding tokens,
+//! which is exactly why it halves the throughput of the Figure-1 loop; the
+//! Shannon/speculation transformations restore the bound by keeping the loop
+//! latency at one buffer.
+//!
+//! For early-evaluation designs the bound is conservative (early evaluation
+//! can do better than the all-inputs-required abstraction on the non-critical
+//! cycles); the cycle-accurate simulator gives the exact figure.
+
+use std::collections::HashSet;
+
+use elastic_core::{Netlist, NodeId, NodeKind};
+
+/// One directed cycle of the netlist with its token count and latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleInfo {
+    /// Nodes on the cycle, in traversal order.
+    pub nodes: Vec<NodeId>,
+    /// Tokens initially stored on the cycle (anti-tokens count negatively).
+    pub tokens: i64,
+    /// Sequential latency of the cycle (sum of buffer forward latencies and
+    /// variable-latency registers).
+    pub latency: u64,
+}
+
+impl CycleInfo {
+    /// The throughput bound imposed by this cycle (`tokens / latency`);
+    /// `None` when the cycle has no sequential element (a combinational loop,
+    /// which is invalid) or a non-positive token count (a structural
+    /// deadlock).
+    pub fn throughput_bound(&self) -> Option<f64> {
+        if self.latency == 0 || self.tokens <= 0 {
+            None
+        } else {
+            Some((self.tokens as f64 / self.latency as f64).min(1.0))
+        }
+    }
+}
+
+/// Analysis of all simple cycles of a netlist.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MarkedGraphAnalysis {
+    /// Every simple cycle found.
+    pub cycles: Vec<CycleInfo>,
+}
+
+impl MarkedGraphAnalysis {
+    /// The overall throughput bound: the minimum over all cycles, 1.0 for
+    /// feed-forward netlists, and 0.0 when some cycle can never carry a token
+    /// (deadlock) or is purely combinational.
+    pub fn throughput_bound(&self) -> f64 {
+        let mut bound: f64 = 1.0;
+        for cycle in &self.cycles {
+            match cycle.throughput_bound() {
+                Some(b) => bound = bound.min(b),
+                None => return 0.0,
+            }
+        }
+        bound
+    }
+
+    /// The cycle that imposes the minimum bound, if any cycle exists.
+    pub fn critical_cycle(&self) -> Option<&CycleInfo> {
+        self.cycles
+            .iter()
+            .min_by(|a, b| {
+                let ba = a.throughput_bound().unwrap_or(0.0);
+                let bb = b.throughput_bound().unwrap_or(0.0);
+                ba.partial_cmp(&bb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+}
+
+fn node_latency(netlist: &Netlist, node: NodeId) -> u64 {
+    match netlist.node(node).map(|n| &n.kind) {
+        Some(NodeKind::Buffer(spec)) => u64::from(spec.forward_latency),
+        Some(NodeKind::VarLatency(_)) => 1,
+        _ => 0,
+    }
+}
+
+fn node_tokens(netlist: &Netlist, node: NodeId) -> i64 {
+    match netlist.node(node).map(|n| &n.kind) {
+        Some(NodeKind::Buffer(spec)) => i64::from(spec.init_tokens),
+        Some(NodeKind::VarLatency(_)) => 0,
+        _ => 0,
+    }
+}
+
+/// Enumerates the simple cycles of the netlist and their token/latency
+/// figures. Environments never participate in cycles.
+pub fn analyze(netlist: &Netlist) -> MarkedGraphAnalysis {
+    let mut cycles = Vec::new();
+    let mut nodes: Vec<NodeId> = netlist.live_nodes().map(|n| n.id).collect();
+    nodes.sort();
+
+    // Johnson-style bounded enumeration: start a DFS from every node and only
+    // record cycles whose smallest node id is the start node (each simple
+    // cycle is then reported exactly once).
+    for &start in &nodes {
+        let mut stack = vec![start];
+        let mut on_path: HashSet<NodeId> = HashSet::new();
+        on_path.insert(start);
+        dfs(netlist, start, start, &mut stack, &mut on_path, &mut cycles);
+    }
+
+    fn dfs(
+        netlist: &Netlist,
+        start: NodeId,
+        current: NodeId,
+        stack: &mut Vec<NodeId>,
+        on_path: &mut HashSet<NodeId>,
+        cycles: &mut Vec<CycleInfo>,
+    ) {
+        for next in netlist.successors(current) {
+            if next == start {
+                let nodes = stack.clone();
+                let tokens = nodes.iter().map(|&n| node_tokens(netlist, n)).sum();
+                let latency = nodes.iter().map(|&n| node_latency(netlist, n)).sum();
+                cycles.push(CycleInfo { nodes, tokens, latency });
+                continue;
+            }
+            if next < start || on_path.contains(&next) {
+                continue;
+            }
+            if netlist.node(next).map(|n| n.kind.is_environment()).unwrap_or(true) {
+                continue;
+            }
+            on_path.insert(next);
+            stack.push(next);
+            dfs(netlist, start, next, stack, on_path, cycles);
+            stack.pop();
+            on_path.remove(&next);
+        }
+    }
+
+    MarkedGraphAnalysis { cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::library::{
+        fig1a, fig1b, fig1c, fig1d, resilient_nonspeculative, resilient_speculative,
+        resilient_unprotected, Fig1Config, ResilientConfig,
+    };
+
+    #[test]
+    fn fig1a_loop_has_one_cycle_at_full_throughput() {
+        let analysis = analyze(&fig1a(&Fig1Config::default()).netlist);
+        assert_eq!(analysis.cycles.len(), 1);
+        assert_eq!(analysis.cycles[0].tokens, 1);
+        assert_eq!(analysis.cycles[0].latency, 1);
+        assert_eq!(analysis.throughput_bound(), 1.0);
+    }
+
+    #[test]
+    fn bubble_insertion_halves_the_bound() {
+        let analysis = analyze(&fig1b(&Fig1Config::default()).netlist);
+        assert_eq!(analysis.throughput_bound(), 0.5);
+        let critical = analysis.critical_cycle().unwrap();
+        assert_eq!(critical.tokens, 1);
+        assert_eq!(critical.latency, 2);
+    }
+
+    #[test]
+    fn shannon_and_speculation_keep_the_bound_at_one() {
+        assert_eq!(analyze(&fig1c(&Fig1Config::default()).netlist).throughput_bound(), 1.0);
+        assert_eq!(analyze(&fig1d(&Fig1Config::default()).netlist).throughput_bound(), 1.0);
+    }
+
+    #[test]
+    fn resilient_designs_show_the_pipeline_depth_difference() {
+        let config = ResilientConfig::default();
+        assert_eq!(analyze(&resilient_unprotected(&config).netlist).throughput_bound(), 1.0);
+        assert_eq!(
+            analyze(&resilient_nonspeculative(&config).netlist).throughput_bound(),
+            0.5,
+            "the SECDED pipeline stage doubles the accumulator loop latency"
+        );
+        assert_eq!(
+            analyze(&resilient_speculative(&config).netlist).throughput_bound(),
+            1.0,
+            "speculation removes the extra stage from the loop"
+        );
+    }
+
+    #[test]
+    fn feed_forward_netlists_have_no_cycles() {
+        let mut n = elastic_core::Netlist::new("ff");
+        let src = n.add_source("src", elastic_core::SourceSpec::always());
+        let sink = n.add_sink("sink", elastic_core::SinkSpec::always_ready());
+        n.connect(elastic_core::Port::output(src, 0), elastic_core::Port::input(sink, 0), 8)
+            .unwrap();
+        let analysis = analyze(&n);
+        assert!(analysis.cycles.is_empty());
+        assert_eq!(analysis.throughput_bound(), 1.0);
+        assert!(analysis.critical_cycle().is_none());
+    }
+
+    #[test]
+    fn token_free_cycles_are_reported_as_deadlocks() {
+        let mut n = elastic_core::Netlist::new("deadlock");
+        let eb = n.add_buffer("eb", elastic_core::BufferSpec::bubble());
+        let f = n.add_op("f", elastic_core::Op::Identity);
+        n.connect(elastic_core::Port::output(eb, 0), elastic_core::Port::input(f, 0), 8).unwrap();
+        n.connect(elastic_core::Port::output(f, 0), elastic_core::Port::input(eb, 0), 8).unwrap();
+        let analysis = analyze(&n);
+        assert_eq!(analysis.throughput_bound(), 0.0);
+    }
+}

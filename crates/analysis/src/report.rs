@@ -1,0 +1,184 @@
+//! Design-point comparison reports.
+//!
+//! The paper compares designs by throughput, cycle time, *effective cycle
+//! time* (cycle time divided by throughput — the average time per useful
+//! token) and area. [`DesignComparison`] collects those four figures for a
+//! set of design points and renders the comparison table every benchmark of
+//! this workspace prints.
+
+use elastic_core::Netlist;
+
+use crate::cost::CostModel;
+use crate::marked_graph;
+use crate::timing;
+
+/// The figures of merit of one design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Label (e.g. "fig1d-speculation").
+    pub name: String,
+    /// Tokens per cycle (from simulation or from the marked-graph bound).
+    pub throughput: f64,
+    /// Cycle time in logic levels (from [`timing::analyze`]).
+    pub cycle_time: f64,
+    /// Area in gate equivalents (from [`CostModel::netlist_area`]).
+    pub area: f64,
+}
+
+impl DesignPoint {
+    /// Builds a design point from a netlist, using the marked-graph
+    /// throughput bound (callers with simulation results should prefer
+    /// [`DesignPoint::with_throughput`]).
+    pub fn from_netlist(name: impl Into<String>, netlist: &Netlist, model: &CostModel) -> Self {
+        let throughput = marked_graph::analyze(netlist).throughput_bound();
+        Self::with_throughput(name, netlist, model, throughput)
+    }
+
+    /// Builds a design point from a netlist and a measured throughput.
+    pub fn with_throughput(
+        name: impl Into<String>,
+        netlist: &Netlist,
+        model: &CostModel,
+        throughput: f64,
+    ) -> Self {
+        let timing = timing::analyze(netlist, model);
+        let area = model.netlist_area(netlist).total();
+        DesignPoint { name: name.into(), throughput, cycle_time: timing.cycle_time, area }
+    }
+
+    /// Cycle time divided by throughput: average logic levels per useful token.
+    pub fn effective_cycle_time(&self) -> f64 {
+        if self.throughput <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.cycle_time / self.throughput
+        }
+    }
+}
+
+/// A set of design points compared against a named baseline.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DesignComparison {
+    /// The compared points, in insertion order; the first is the baseline.
+    pub points: Vec<DesignPoint>,
+}
+
+impl DesignComparison {
+    /// Creates an empty comparison.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a design point (the first added point is the baseline).
+    pub fn push(&mut self, point: DesignPoint) {
+        self.points.push(point);
+    }
+
+    /// The baseline point, when any point has been added.
+    pub fn baseline(&self) -> Option<&DesignPoint> {
+        self.points.first()
+    }
+
+    /// Relative effective-cycle-time improvement of `point` versus the
+    /// baseline (positive = faster than the baseline).
+    pub fn effective_cycle_time_improvement(&self, name: &str) -> Option<f64> {
+        let baseline = self.baseline()?.effective_cycle_time();
+        let point = self.points.iter().find(|p| p.name == name)?.effective_cycle_time();
+        Some(1.0 - point / baseline)
+    }
+
+    /// Relative area overhead of `point` versus the baseline (positive =
+    /// larger than the baseline).
+    pub fn area_overhead(&self, name: &str) -> Option<f64> {
+        let baseline = self.baseline()?.area;
+        let point = self.points.iter().find(|p| p.name == name)?.area;
+        if baseline <= 0.0 {
+            None
+        } else {
+            Some(point / baseline - 1.0)
+        }
+    }
+
+    /// Renders the comparison as a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>10} {:>12} {:>14} {:>12} {:>10} {:>10}\n",
+            "design", "throughput", "cycle time", "eff. cycle", "area (GE)", "Δeff", "Δarea"
+        ));
+        for point in &self.points {
+            let improvement = self
+                .effective_cycle_time_improvement(&point.name)
+                .map(|v| format!("{:+.1}%", v * 100.0))
+                .unwrap_or_else(|| "-".into());
+            let overhead = self
+                .area_overhead(&point.name)
+                .map(|v| format!("{:+.1}%", v * 100.0))
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "{:<28} {:>10.3} {:>12.1} {:>14.1} {:>12.0} {:>10} {:>10}\n",
+                point.name,
+                point.throughput,
+                point.cycle_time,
+                point.effective_cycle_time(),
+                point.area,
+                improvement,
+                overhead
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::library::{fig1a, fig1b, fig1c, fig1d, Fig1Config};
+
+    #[test]
+    fn fig1_comparison_reproduces_the_papers_qualitative_ranking() {
+        let model = CostModel::default();
+        let config = Fig1Config::default();
+        let mut comparison = DesignComparison::new();
+        comparison.push(DesignPoint::from_netlist("fig1a", &fig1a(&config).netlist, &model));
+        comparison.push(DesignPoint::from_netlist("fig1b", &fig1b(&config).netlist, &model));
+        comparison.push(DesignPoint::from_netlist("fig1c", &fig1c(&config).netlist, &model));
+        // Speculation with a good predictor runs close to the Shannon bound.
+        comparison.push(DesignPoint::with_throughput(
+            "fig1d",
+            &fig1d(&config).netlist,
+            &model,
+            0.95,
+        ));
+
+        // Bubble insertion brings "no real gain": its effective cycle time is
+        // worse than the baseline's.
+        assert!(comparison.effective_cycle_time_improvement("fig1b").unwrap() < 0.0);
+        // Shannon decomposition and speculation improve it.
+        assert!(comparison.effective_cycle_time_improvement("fig1c").unwrap() > 0.0);
+        assert!(comparison.effective_cycle_time_improvement("fig1d").unwrap() > 0.0);
+        // Speculation saves area with respect to duplication.
+        let shannon_area = comparison.area_overhead("fig1c").unwrap();
+        let speculation_area = comparison.area_overhead("fig1d").unwrap();
+        assert!(speculation_area < shannon_area);
+
+        let table = comparison.render();
+        assert!(table.contains("fig1d"));
+        assert!(table.contains("Δarea"));
+    }
+
+    #[test]
+    fn degenerate_comparisons_are_handled() {
+        let comparison = DesignComparison::new();
+        assert!(comparison.baseline().is_none());
+        assert!(comparison.effective_cycle_time_improvement("x").is_none());
+        assert!(comparison.area_overhead("x").is_none());
+        let point = DesignPoint {
+            name: "p".into(),
+            throughput: 0.0,
+            cycle_time: 5.0,
+            area: 10.0,
+        };
+        assert!(point.effective_cycle_time().is_infinite());
+    }
+}

@@ -1,0 +1,191 @@
+//! Combinational timing analysis: cycle time and critical paths.
+//!
+//! Elastic buffers (and the monolithic variable-latency unit) are the
+//! sequential elements of an elastic netlist; everything else is
+//! combinational. The cycle time of a design is therefore the longest
+//! combinational path between two sequential endpoints (or environments),
+//! measured in logic levels by the [`crate::cost::CostModel`], plus a fixed
+//! clock overhead.
+
+use std::collections::HashMap;
+
+use elastic_core::{Netlist, NodeId};
+
+use crate::cost::CostModel;
+
+/// Result of a timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Longest register-to-register combinational delay plus clock overhead,
+    /// in logic levels.
+    pub cycle_time: f64,
+    /// The nodes on the critical path, from its launching point to its
+    /// capturing point (inclusive).
+    pub critical_path: Vec<NodeId>,
+}
+
+impl TimingReport {
+    /// Effective cycle time at a given throughput (cycle time divided by
+    /// tokens per cycle) — the figure of merit the paper optimises.
+    pub fn effective_cycle_time(&self, throughput: f64) -> f64 {
+        if throughput <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.cycle_time / throughput
+        }
+    }
+}
+
+/// `true` when a node terminates combinational paths.
+fn is_sequential_endpoint(netlist: &Netlist, node: NodeId) -> bool {
+    let node = match netlist.node(node) {
+        Some(node) => node,
+        None => return true,
+    };
+    node.kind.is_sequential() || node.kind.is_environment()
+}
+
+/// Computes the cycle time of a netlist under the given cost model.
+///
+/// The longest path is computed by memoised depth-first search over the
+/// combinational region; combinational cycles (which a valid elastic design
+/// cannot have) are broken conservatively by ignoring back edges, so the
+/// function always terminates.
+pub fn analyze(netlist: &Netlist, model: &CostModel) -> TimingReport {
+    // Longest combinational delay from each node to any sequential endpoint,
+    // including the node's own delay.
+    let mut memo: HashMap<NodeId, (f64, Vec<NodeId>)> = HashMap::new();
+
+    fn longest_from(
+        netlist: &Netlist,
+        model: &CostModel,
+        node: NodeId,
+        on_stack: &mut Vec<NodeId>,
+        memo: &mut HashMap<NodeId, (f64, Vec<NodeId>)>,
+    ) -> (f64, Vec<NodeId>) {
+        if let Some(result) = memo.get(&node) {
+            return result.clone();
+        }
+        if on_stack.contains(&node) {
+            // Combinational loop: break it conservatively.
+            return (0.0, vec![node]);
+        }
+        let own_delay = netlist.node(node).map(|n| model.node_delay(n)).unwrap_or(0.0);
+        on_stack.push(node);
+        let mut best = (own_delay, vec![node]);
+        for successor in netlist.successors(node) {
+            if is_sequential_endpoint(netlist, successor) {
+                if own_delay >= best.0 {
+                    best = (own_delay, vec![node, successor]);
+                }
+                continue;
+            }
+            let (tail_delay, tail_path) =
+                longest_from(netlist, model, successor, on_stack, memo);
+            let total = own_delay + tail_delay;
+            if total > best.0 {
+                let mut path = vec![node];
+                path.extend(tail_path.iter().copied());
+                best = (total, path);
+            }
+        }
+        on_stack.pop();
+        memo.insert(node, best.clone());
+        best
+    }
+
+    let mut cycle_time = 0.0;
+    let mut critical_path = Vec::new();
+    for node in netlist.live_nodes() {
+        // Launch points: sequential nodes and sources.
+        if !(node.kind.is_sequential() || node.kind.is_environment()) {
+            continue;
+        }
+        for successor in netlist.successors(node.id) {
+            let (delay, path) = if is_sequential_endpoint(netlist, successor) {
+                (0.0, vec![successor])
+            } else {
+                let mut stack = Vec::new();
+                longest_from(netlist, model, successor, &mut stack, &mut memo)
+            };
+            if delay >= cycle_time {
+                cycle_time = delay;
+                let mut full = vec![node.id];
+                full.extend(path);
+                critical_path = full;
+            }
+        }
+    }
+
+    TimingReport { cycle_time: cycle_time + model.clock_overhead_levels, critical_path }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::library::{fig1a, fig1b, fig1c, fig1d, Fig1Config};
+
+    fn config() -> Fig1Config {
+        Fig1Config::default()
+    }
+
+    #[test]
+    fn fig1a_critical_path_goes_through_g_mux_and_f() {
+        let handles = fig1a(&config());
+        let model = CostModel::default();
+        let report = analyze(&handles.netlist, &model);
+        // G (6) + mux (2) + F (6) + fork (0.5) + clock overhead (2).
+        assert!(report.cycle_time > 14.0, "cycle time {} too small", report.cycle_time);
+        let path_names: Vec<String> = report
+            .critical_path
+            .iter()
+            .filter_map(|id| handles.netlist.node(*id).map(|n| n.name.clone()))
+            .collect();
+        assert!(path_names.iter().any(|n| n == "g"), "critical path {path_names:?} must contain G");
+        assert!(path_names.iter().any(|n| n == "f"), "critical path {path_names:?} must contain F");
+    }
+
+    #[test]
+    fn bubble_insertion_cuts_the_cycle_time() {
+        let model = CostModel::default();
+        let base = analyze(&fig1a(&config()).netlist, &model).cycle_time;
+        let bubbled = analyze(&fig1b(&config()).netlist, &model).cycle_time;
+        assert!(bubbled < base, "bubble insertion must shorten the critical path: {bubbled} vs {base}");
+    }
+
+    #[test]
+    fn shannon_and_speculation_run_f_and_g_in_parallel() {
+        let model = CostModel::default();
+        let base = analyze(&fig1a(&config()).netlist, &model).cycle_time;
+        let shannon = analyze(&fig1c(&config()).netlist, &model).cycle_time;
+        let speculative = analyze(&fig1d(&config()).netlist, &model).cycle_time;
+        assert!(shannon < base);
+        assert!(speculative < base);
+        // Speculation adds only the shared-module grant mux on top of Shannon.
+        assert!(speculative <= shannon + 3.0);
+    }
+
+    #[test]
+    fn effective_cycle_time_penalises_low_throughput() {
+        let report = TimingReport { cycle_time: 10.0, critical_path: Vec::new() };
+        assert_eq!(report.effective_cycle_time(1.0), 10.0);
+        assert_eq!(report.effective_cycle_time(0.5), 20.0);
+        assert!(report.effective_cycle_time(0.0).is_infinite());
+    }
+
+    #[test]
+    fn bubble_insertion_does_not_pay_off_in_effective_cycle_time() {
+        // The paper's point in Section 2: bubble insertion improves the cycle
+        // time but halves the throughput, so the effective cycle time gets
+        // worse, while speculation improves it.
+        let model = CostModel::default();
+        let base = analyze(&fig1a(&config()).netlist, &model);
+        let bubbled = analyze(&fig1b(&config()).netlist, &model);
+        let speculative = analyze(&fig1d(&config()).netlist, &model);
+        let base_effective = base.effective_cycle_time(1.0);
+        let bubbled_effective = bubbled.effective_cycle_time(0.5);
+        let speculative_effective = speculative.effective_cycle_time(0.95);
+        assert!(bubbled_effective > base_effective);
+        assert!(speculative_effective < base_effective);
+    }
+}

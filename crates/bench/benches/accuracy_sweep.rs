@@ -1,0 +1,71 @@
+//! Experiment E5-accuracy: speculation throughput as a function of branch
+//! bias and prediction policy — the qualitative claim of Sections 2 and 4
+//! that speculation approaches the Shannon-decomposition bound when the
+//! prediction is accurate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elastic_bench::{criterion_config, print_experiment_header};
+use elastic_core::SchedulerKind;
+use elastic_sim::scenarios::{run_fig1, Fig1Scenario, Fig1Variant};
+
+fn print_table() {
+    print_experiment_header("E5-accuracy", "speculation throughput vs. select bias and predictor");
+    let policies: [(&str, SchedulerKind); 4] = [
+        ("static0", SchedulerKind::Static(0)),
+        ("last-taken", SchedulerKind::LastTaken),
+        ("two-bit", SchedulerKind::TwoBit),
+        ("round-robin", SchedulerKind::RoundRobin),
+    ];
+    print!("{:<12}", "taken rate");
+    for (name, _) in &policies {
+        print!(" {name:>12}");
+    }
+    println!();
+    for taken_rate in [0.0, 0.1, 0.2, 0.3, 0.5] {
+        print!("{taken_rate:<12.2}");
+        for (_, scheduler) in &policies {
+            let outcome = run_fig1(&Fig1Scenario {
+                variant: Fig1Variant::Speculation,
+                taken_rate,
+                scheduler: scheduler.clone(),
+                cycles: 1200,
+                seed: 5,
+            })
+            .expect("fig1 scenario");
+            print!(" {:>12.3}", outcome.throughput);
+        }
+        println!();
+    }
+    println!("(the Shannon-decomposition bound is 1.000 token/cycle)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("accuracy_sweep");
+    for (name, scheduler) in [
+        ("static0", SchedulerKind::Static(0)),
+        ("two-bit", SchedulerKind::TwoBit),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                run_fig1(&Fig1Scenario {
+                    variant: Fig1Variant::Speculation,
+                    taken_rate: 0.2,
+                    scheduler: scheduler.clone(),
+                    cycles: 200,
+                    seed: 5,
+                })
+                .expect("fig1 scenario")
+                .throughput
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Experiment E6-ebs: effect of the recovery-buffer backward latency on the
+//! speculative loop (Sections 3.2 and 4.3 — `C >= Lf + Lb` and the `Lb = 0`
+//! buffer of Figure 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elastic_bench::{criterion_config, print_experiment_header};
+use elastic_core::library::{fig1a, Fig1Config};
+use elastic_core::transform::{speculate, SpeculateOptions};
+use elastic_core::{BufferSpec, Netlist, SchedulerKind};
+use elastic_sim::{SimConfig, Simulation};
+
+fn speculative_with_recovery(recovery: Option<BufferSpec>) -> Netlist {
+    let handles = fig1a(&Fig1Config::default());
+    let mut netlist = handles.netlist;
+    speculate(
+        &mut netlist,
+        handles.mux,
+        &SpeculateOptions {
+            scheduler: SchedulerKind::LastTaken,
+            recovery_buffer: recovery,
+            ..SpeculateOptions::default()
+        },
+    )
+    .expect("fig1a supports speculation");
+    netlist
+}
+
+fn throughput(netlist: &Netlist, cycles: u64) -> f64 {
+    let sink = netlist.find_node("sink").expect("sink").id;
+    let mut sim = Simulation::new(
+        netlist,
+        &SimConfig { record_trace: false, ..SimConfig::default() },
+    )
+    .expect("simulable");
+    sim.run(cycles).expect("no deadlock").throughput(sink)
+}
+
+fn print_table() {
+    print_experiment_header(
+        "E6-ebs",
+        "recovery-buffer variants after the shared module (Figure 5 / Section 4.3)",
+    );
+    let variants: [(&str, Option<BufferSpec>); 3] = [
+        ("none (Lf=0, Lb=0, as Fig. 1d)", None),
+        ("standard EB (Lf=1, Lb=1, C=2)", Some(BufferSpec::standard(0))),
+        ("zero-backward EB (Lf=1, Lb=0, C=1)", Some(BufferSpec::zero_backward(0))),
+    ];
+    println!("{:<36} {:>12}", "recovery buffer", "throughput");
+    for (label, recovery) in variants {
+        let netlist = speculative_with_recovery(recovery);
+        println!("{label:<36} {:>12.3}", throughput(&netlist, 1500));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("eb_latency");
+    let none = speculative_with_recovery(None);
+    let standard = speculative_with_recovery(Some(BufferSpec::standard(0)));
+    let zero = speculative_with_recovery(Some(BufferSpec::zero_backward(0)));
+    group.bench_function("no_recovery_buffer", |b| b.iter(|| throughput(&none, 200)));
+    group.bench_function("standard_recovery_buffer", |b| b.iter(|| throughput(&standard, 200)));
+    group.bench_function("zero_backward_recovery_buffer", |b| b.iter(|| throughput(&zero, 200)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Experiment E1-fig1: the four design points of Figure 1 — throughput,
+//! cycle time, effective cycle time and area (the comparison Section 2 of the
+//! paper walks through qualitatively).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elastic_analysis::{cost::CostModel, report::DesignPoint, DesignComparison};
+use elastic_bench::{criterion_config, print_experiment_header};
+use elastic_core::SchedulerKind;
+use elastic_sim::scenarios::{build_fig1, run_fig1, Fig1Scenario, Fig1Variant};
+use elastic_sim::{SimConfig, Simulation};
+
+fn print_table() {
+    print_experiment_header("E1-fig1", "Figure 1 design points (taken rate 0.2, two-bit predictor)");
+    let model = CostModel::default();
+    let mut comparison = DesignComparison::new();
+    for variant in Fig1Variant::all() {
+        let outcome = run_fig1(&Fig1Scenario {
+            variant,
+            taken_rate: 0.2,
+            scheduler: SchedulerKind::TwoBit,
+            cycles: 2000,
+            seed: 7,
+        })
+        .expect("fig1 scenario");
+        comparison.push(DesignPoint::with_throughput(
+            variant.label(),
+            &outcome.handles.netlist,
+            &model,
+            outcome.throughput,
+        ));
+    }
+    println!("{}", comparison.render());
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("fig1_designs");
+    for variant in Fig1Variant::all() {
+        let scenario = Fig1Scenario {
+            variant,
+            taken_rate: 0.2,
+            scheduler: SchedulerKind::TwoBit,
+            cycles: 200,
+            seed: 7,
+        };
+        let handles = build_fig1(&scenario);
+        group.bench_function(variant.label(), |b| {
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    &handles.netlist,
+                    &SimConfig { record_trace: false, ..SimConfig::default() },
+                )
+                .expect("simulable");
+                sim.run(200).expect("no deadlock")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Experiment E3-fig6: the variable-latency ALU — stalling (Figure 6(a))
+//! versus speculative (Figure 6(b)) across approximation-error rates, plus
+//! the cycle-time / area comparison of Section 5.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elastic_analysis::{cost::CostModel, timing};
+use elastic_bench::{criterion_config, print_experiment_header};
+use elastic_sim::scenarios::run_var_latency;
+use elastic_sim::{SimConfig, Simulation};
+
+fn print_table() {
+    print_experiment_header("E3-fig6", "variable-latency ALU (Section 5.1)");
+    println!(
+        "{:<12} {:>18} {:>20} {:>10}",
+        "error rate", "stalling (tok/cy)", "speculative (tok/cy)", "replays"
+    );
+    let mut sample = None;
+    for error_rate in [0.0, 0.05, 0.1, 0.2, 0.4, 0.8] {
+        let outcome = run_var_latency(error_rate, 1500, 13).expect("fig6 scenario");
+        println!(
+            "{:<12.2} {:>18.3} {:>20.3} {:>10}",
+            error_rate, outcome.stalling_throughput, outcome.speculative_throughput, outcome.replays
+        );
+        sample.get_or_insert(outcome);
+    }
+    if let Some(outcome) = sample {
+        let model = CostModel::default();
+        let stalling = timing::analyze(&outcome.stalling.netlist, &model);
+        let speculative = timing::analyze(&outcome.speculative.netlist, &model);
+        let stalling_area = model.netlist_area(&outcome.stalling.netlist).total();
+        let speculative_area = model.netlist_area(&outcome.speculative.netlist).total();
+        println!(
+            "cycle time: stalling {:.1} levels, speculative {:.1} levels ({:+.1}%); \
+             area: {:.0} vs {:.0} GE ({:+.1}%)  [paper: ~-9% cycle time, ~+12% area]",
+            stalling.cycle_time,
+            speculative.cycle_time,
+            (speculative.cycle_time / stalling.cycle_time - 1.0) * 100.0,
+            stalling_area,
+            speculative_area,
+            (speculative_area / stalling_area - 1.0) * 100.0
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let outcome = run_var_latency(0.1, 200, 13).expect("fig6 scenario");
+    let quiet = SimConfig { record_trace: false, ..SimConfig::default() };
+    let mut group = c.benchmark_group("fig6_var_latency");
+    group.bench_function("stalling", |b| {
+        b.iter(|| Simulation::new(&outcome.stalling.netlist, &quiet).unwrap().run(200).unwrap())
+    });
+    group.bench_function("speculative", |b| {
+        b.iter(|| Simulation::new(&outcome.speculative.netlist, &quiet).unwrap().run(200).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Experiment E4-fig7: the SECDED-protected resilient accumulator —
+//! unprotected baseline vs. Figure 7(a) vs. Figure 7(b) across soft-error
+//! rates, plus the per-stage area overhead of Section 5.2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elastic_analysis::cost::CostModel;
+use elastic_bench::{criterion_config, print_experiment_header};
+use elastic_sim::scenarios::run_resilient;
+use elastic_sim::{SimConfig, Simulation};
+
+fn print_table() {
+    print_experiment_header("E4-fig7", "SECDED resilient accumulator (Section 5.2)");
+    println!(
+        "{:<12} {:>14} {:>16} {:>14} {:>10}",
+        "upset rate", "unprotected", "fig7a non-spec", "fig7b spec", "replays"
+    );
+    let mut clean = None;
+    for upset_rate in [0.0, 0.01, 0.05, 0.1, 0.2] {
+        let outcome = run_resilient(upset_rate, 1500, 17).expect("fig7 scenario");
+        println!(
+            "{:<12.2} {:>14.3} {:>16.3} {:>14.3} {:>10}",
+            upset_rate,
+            outcome.unprotected_throughput,
+            outcome.nonspeculative_throughput,
+            outcome.speculative_throughput,
+            outcome.replays
+        );
+        if upset_rate == 0.0 {
+            clean = Some(outcome);
+        }
+    }
+    if let Some(outcome) = clean {
+        let model = CostModel::default();
+        let unprotected = model.netlist_area(&outcome.designs.unprotected.netlist).total();
+        let nonspeculative = model.netlist_area(&outcome.designs.nonspeculative.netlist).total();
+        let speculative = model.netlist_area(&outcome.designs.speculative.netlist).total();
+        println!(
+            "area (GE): unprotected {:.0}, fig7a {:.0} ({:+.1}%), fig7b {:.0} ({:+.1}%)  \
+             [paper: ~+36% for the protected stage]",
+            unprotected,
+            nonspeculative,
+            (nonspeculative / unprotected - 1.0) * 100.0,
+            speculative,
+            (speculative / unprotected - 1.0) * 100.0
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let outcome = run_resilient(0.05, 200, 17).expect("fig7 scenario");
+    let quiet = SimConfig { record_trace: false, ..SimConfig::default() };
+    let mut group = c.benchmark_group("fig7_secded");
+    group.bench_function("unprotected", |b| {
+        b.iter(|| {
+            Simulation::new(&outcome.designs.unprotected.netlist, &quiet).unwrap().run(200).unwrap()
+        })
+    });
+    group.bench_function("nonspeculative", |b| {
+        b.iter(|| {
+            Simulation::new(&outcome.designs.nonspeculative.netlist, &quiet)
+                .unwrap()
+                .run(200)
+                .unwrap()
+        })
+    });
+    group.bench_function("speculative", |b| {
+        b.iter(|| {
+            Simulation::new(&outcome.designs.speculative.netlist, &quiet).unwrap().run(200).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

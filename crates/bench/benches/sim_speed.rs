@@ -1,0 +1,43 @@
+//! Simulator throughput: raw cycles per second of the SELF engine on the
+//! paper's designs (not a paper figure — a regression guard for the
+//! reproduction's own substrate, and the basis for sizing the sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use elastic_bench::{criterion_config, print_experiment_header};
+use elastic_core::library::{fig1d, resilient_speculative, Fig1Config, ResilientConfig};
+use elastic_sim::{SimConfig, Simulation};
+
+fn bench(c: &mut Criterion) {
+    print_experiment_header("sim-speed", "simulator cycles/second on the speculative designs");
+    let quiet = SimConfig { record_trace: false, ..SimConfig::default() };
+
+    let fig1 = fig1d(&Fig1Config::default());
+    let fig7 = resilient_speculative(&ResilientConfig {
+        data_width: 32,
+        operands: (0..512).collect(),
+        error_masks: vec![0],
+    });
+    let cycles = 512u64;
+
+    let mut group = c.benchmark_group("sim_speed");
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("fig1d_cycles", |b| {
+        b.iter(|| Simulation::new(&fig1.netlist, &quiet).unwrap().run(cycles).unwrap())
+    });
+    group.bench_function("fig7b_cycles", |b| {
+        b.iter(|| Simulation::new(&fig7.netlist, &quiet).unwrap().run(cycles).unwrap())
+    });
+    group.bench_function("fig1d_with_trace", |b| {
+        b.iter(|| {
+            Simulation::new(&fig1.netlist, &SimConfig::default()).unwrap().run(cycles).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Experiment E2-table1: regenerate the seven-cycle trace of Table 1 and
+//! measure the cost of tracing it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elastic_bench::{criterion_config, print_experiment_header};
+use elastic_core::library;
+use elastic_sim::{SimConfig, Simulation};
+
+fn print_table() {
+    print_experiment_header("E2-table1", "Table 1 trace (values A..G, '-' = anti-token, '*' = bubble)");
+    let handles = library::table1();
+    let mut sim = Simulation::new(&handles.netlist, &SimConfig::default()).expect("simulable");
+    sim.run(7).expect("no deadlock");
+    let channel = |name: &str| {
+        handles.netlist.live_channels().find(|c| c.name == name).map(|c| c.id).unwrap()
+    };
+    println!(
+        "{}",
+        sim.trace().render_table(&[
+            (channel("fin0"), "Fin0"),
+            (channel("fout0"), "Fout0"),
+            (channel("fin1"), "Fin1"),
+            (channel("fout1"), "Fout1"),
+            (channel("sel"), "Sel"),
+            (channel("ebin"), "EBin"),
+        ])
+    );
+    let report = sim.report();
+    println!(
+        "mispredictions observed: {} (paper: 2, at cycles 2 and 5)",
+        report.total_mispredictions()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let handles = library::table1();
+    c.bench_function("table1_traced_simulation", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulation::new(&handles.netlist, &SimConfig::default()).expect("simulable");
+            sim.run(7).expect("no deadlock");
+            sim.trace().len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

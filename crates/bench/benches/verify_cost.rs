@@ -1,0 +1,51 @@
+//! Experiment E7-verify: cost of the verification campaign of Section 4.2
+//! (protocol checking, leads-to, token conservation, bounded environment
+//! exploration) on the speculative Figure-1 design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elastic_bench::{criterion_config, print_experiment_header};
+use elastic_core::library::{fig1d, Fig1Config};
+use elastic_verify::conservation::check_shared_module_conservation;
+use elastic_verify::exploration::{explore_environments, ExplorationOptions};
+use elastic_verify::liveness::{check_leads_to, LivenessOptions};
+use elastic_verify::properties::{check_netlist_protocol, ProtocolOptions};
+
+fn print_table() {
+    print_experiment_header("E7-verify", "verification campaign on the speculative Figure-1 design");
+    let handles = fig1d(&Fig1Config::default());
+    let protocol =
+        check_netlist_protocol(&handles.netlist, 300, &ProtocolOptions::default()).unwrap();
+    let leads_to = check_leads_to(&handles.netlist, &LivenessOptions::default()).unwrap();
+    let conservation = check_shared_module_conservation(&handles.netlist, 300).unwrap();
+    let exploration = explore_environments(
+        &handles.netlist,
+        &ExplorationOptions { pattern_depth: 3, max_runs: 32, ..ExplorationOptions::default() },
+    )
+    .unwrap();
+    println!("SELF protocol properties : {}", protocol);
+    println!("leads-to (no starvation) : {}", leads_to);
+    println!("token conservation       : {}", conservation);
+    println!("environment exploration  : {}", exploration);
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let handles = fig1d(&Fig1Config::default());
+    let mut group = c.benchmark_group("verify_cost");
+    group.bench_function("protocol_check_300_cycles", |b| {
+        b.iter(|| {
+            check_netlist_protocol(&handles.netlist, 300, &ProtocolOptions::default()).unwrap()
+        })
+    });
+    group.bench_function("conservation_check_300_cycles", |b| {
+        b.iter(|| check_shared_module_conservation(&handles.netlist, 300).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Error types shared by the elastic-core crate.
+
+use std::fmt;
+
+use crate::id::{ChannelId, NodeId};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised while building, validating or transforming elastic netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A node id does not refer to a live node of the netlist.
+    UnknownNode(NodeId),
+    /// A channel id does not refer to a live channel of the netlist.
+    UnknownChannel(ChannelId),
+    /// A port index is out of range for the node kind.
+    InvalidPort {
+        /// Node whose port was addressed.
+        node: NodeId,
+        /// Offending port index.
+        index: usize,
+        /// Human readable reason.
+        reason: String,
+    },
+    /// A port that must be connected has no channel attached.
+    UnconnectedPort {
+        /// Node with the dangling port.
+        node: NodeId,
+        /// Port index.
+        index: usize,
+        /// Whether the port is an input or an output.
+        is_input: bool,
+    },
+    /// A port is driven by (or drives) more than one channel.
+    MultiplyConnectedPort {
+        /// Node with the over-connected port.
+        node: NodeId,
+        /// Port index.
+        index: usize,
+        /// Whether the port is an input or an output.
+        is_input: bool,
+    },
+    /// A transformation's structural precondition does not hold.
+    Precondition {
+        /// Name of the transformation.
+        transform: &'static str,
+        /// Explanation of the violated precondition.
+        reason: String,
+    },
+    /// A buffer specification violates `capacity >= Lf + Lb`.
+    InvalidBufferSpec {
+        /// Offending node (if it already exists in a netlist).
+        node: Option<NodeId>,
+        /// Explanation.
+        reason: String,
+    },
+    /// The exploration shell could not parse or execute a command.
+    Shell {
+        /// The command line that failed.
+        command: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// Nothing to undo / redo in the transformation log.
+    HistoryEmpty,
+    /// Structural validation failed with one or more messages.
+    Invalid(Vec<String>),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            CoreError::UnknownChannel(id) => write!(f, "unknown channel {id}"),
+            CoreError::InvalidPort { node, index, reason } => {
+                write!(f, "invalid port {index} on node {node}: {reason}")
+            }
+            CoreError::UnconnectedPort { node, index, is_input } => write!(
+                f,
+                "unconnected {} port {index} on node {node}",
+                if *is_input { "input" } else { "output" }
+            ),
+            CoreError::MultiplyConnectedPort { node, index, is_input } => write!(
+                f,
+                "{} port {index} on node {node} is connected to more than one channel",
+                if *is_input { "input" } else { "output" }
+            ),
+            CoreError::Precondition { transform, reason } => {
+                write!(f, "precondition of `{transform}` violated: {reason}")
+            }
+            CoreError::InvalidBufferSpec { node, reason } => match node {
+                Some(node) => write!(f, "invalid buffer specification on {node}: {reason}"),
+                None => write!(f, "invalid buffer specification: {reason}"),
+            },
+            CoreError::Shell { command, reason } => {
+                write!(f, "shell command `{command}` failed: {reason}")
+            }
+            CoreError::HistoryEmpty => write!(f, "transformation history is empty"),
+            CoreError::Invalid(messages) => {
+                write!(f, "netlist validation failed: {}", messages.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = vec![
+            CoreError::UnknownNode(NodeId::new(3)),
+            CoreError::UnknownChannel(ChannelId::new(7)),
+            CoreError::InvalidPort {
+                node: NodeId::new(1),
+                index: 2,
+                reason: "mux has only two data inputs".into(),
+            },
+            CoreError::UnconnectedPort { node: NodeId::new(1), index: 0, is_input: true },
+            CoreError::MultiplyConnectedPort { node: NodeId::new(1), index: 0, is_input: false },
+            CoreError::Precondition { transform: "speculate", reason: "no select cycle".into() },
+            CoreError::InvalidBufferSpec { node: None, reason: "capacity < Lf + Lb".into() },
+            CoreError::Shell { command: "frobnicate".into(), reason: "unknown command".into() },
+            CoreError::HistoryEmpty,
+            CoreError::Invalid(vec!["dangling port".into()]),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty(), "{v:?} produced an empty display");
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<CoreError>();
+    }
+}

@@ -1,0 +1,151 @@
+//! Identifiers for netlist entities: nodes, channels and ports.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (block, buffer or environment) inside a [`crate::Netlist`].
+///
+/// Node ids are assigned by the netlist that created them and remain stable
+/// across transformations: removing a node leaves a hole, it never renumbers
+/// surviving nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its raw index.
+    ///
+    /// Mostly useful in tests; ordinarily ids are handed out by
+    /// [`crate::Netlist`] construction methods.
+    pub fn new(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// Raw index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a channel inside a [`crate::Netlist`].
+///
+/// Like [`NodeId`], channel ids are stable: transformations that remove a
+/// channel leave a hole rather than renumbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChannelId(u32);
+
+impl ChannelId {
+    /// Creates a channel id from its raw index.
+    pub fn new(raw: u32) -> Self {
+        ChannelId(raw)
+    }
+
+    /// Raw index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Direction of a port as seen from the node that owns it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDir {
+    /// The port consumes tokens (and may emit anti-tokens backwards).
+    Input,
+    /// The port produces tokens (and may receive anti-tokens).
+    Output,
+}
+
+impl PortDir {
+    /// `true` for [`PortDir::Input`].
+    pub fn is_input(self) -> bool {
+        matches!(self, PortDir::Input)
+    }
+}
+
+impl fmt::Display for PortDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortDir::Input => write!(f, "in"),
+            PortDir::Output => write!(f, "out"),
+        }
+    }
+}
+
+/// A port of a node: the attachment point of a channel.
+///
+/// Ports are identified by the owning node, a direction and an index that is
+/// interpreted according to the node kind (see [`crate::NodeKind`] for the
+/// per-kind port conventions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Port {
+    /// Node that owns the port.
+    pub node: NodeId,
+    /// Whether this is an input or an output of the node.
+    pub dir: PortDir,
+    /// Index among the ports of the same direction.
+    pub index: usize,
+}
+
+impl Port {
+    /// Input port `index` of `node`.
+    pub fn input(node: NodeId, index: usize) -> Self {
+        Port { node, dir: PortDir::Input, index }
+    }
+
+    /// Output port `index` of `node`.
+    pub fn output(node: NodeId, index: usize) -> Self {
+        Port { node, dir: PortDir::Output, index }
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}{}", self.node, self.dir, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_raw_indices() {
+        assert_eq!(NodeId::new(42).index(), 42);
+        assert_eq!(ChannelId::new(7).index(), 7);
+    }
+
+    #[test]
+    fn display_formats_are_compact() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(ChannelId::new(9).to_string(), "c9");
+        assert_eq!(Port::input(NodeId::new(1), 2).to_string(), "n1.in2");
+        assert_eq!(Port::output(NodeId::new(1), 0).to_string(), "n1.out0");
+    }
+
+    #[test]
+    fn ports_compare_structurally() {
+        let a = Port::input(NodeId::new(1), 0);
+        let b = Port::input(NodeId::new(1), 0);
+        let c = Port::output(NodeId::new(1), 0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn port_dir_helpers() {
+        assert!(PortDir::Input.is_input());
+        assert!(!PortDir::Output.is_input());
+    }
+}

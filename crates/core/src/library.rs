@@ -1,0 +1,783 @@
+//! Prebuilt netlists for every design the paper evaluates.
+//!
+//! The builders in this module construct the *structural* netlists; they take
+//! already-generated data streams as parameters so that this crate stays free
+//! of workload-generation concerns (the `elastic-sim` crate combines these
+//! builders with the workload generators of `elastic-datapath` into ready-to-
+//! run scenarios).
+//!
+//! | builder | paper artefact |
+//! |---|---|
+//! | [`fig1a`] | Figure 1(a): non-speculative loop |
+//! | [`fig1b`] | Figure 1(b): bubble insertion on the critical path |
+//! | [`fig1c`] | Figure 1(c): Shannon decomposition |
+//! | [`fig1d`] | Figure 1(d): speculation with a shared module |
+//! | [`table1`] | Table 1: the seven-cycle speculation trace |
+//! | [`variable_latency_stalling`] | Figure 6(a): stalling variable-latency unit |
+//! | [`variable_latency_speculative`] | Figure 6(b): speculative variable-latency unit |
+//! | [`resilient_unprotected`] | Section 5.2 baseline: unprotected accumulator |
+//! | [`resilient_nonspeculative`] | Figure 7(a): SECDED stage before the adder |
+//! | [`resilient_speculative`] | Figure 7(b): speculative SECDED-protected adder |
+
+use crate::id::{NodeId, Port};
+use crate::kind::{
+    BufferSpec, DataStream, ForkSpec, FunctionSpec, MuxSpec, SchedulerKind, SinkSpec, SourcePattern,
+    SourceSpec,
+};
+use crate::netlist::Netlist;
+use crate::op::{opaque, Op};
+use crate::transform::{
+    enable_early_evaluation, insert_bubble, shannon_decompose, speculate, SpeculateOptions,
+};
+
+/// Configuration of the Figure-1 family of netlists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Config {
+    /// Data width of the loop datapath.
+    pub width: u8,
+    /// Combinational delay (logic levels) of the block `F` after the mux.
+    pub f_delay: u32,
+    /// Area (gate equivalents) of `F`.
+    pub f_area: u32,
+    /// Combinational delay (logic levels) of the select-computing block `G`.
+    pub g_delay: u32,
+    /// Area (gate equivalents) of `G`.
+    pub g_area: u32,
+    /// Data stream offered on the multiplexor's data input 0.
+    pub src0_data: DataStream,
+    /// Data stream offered on the multiplexor's data input 1.
+    pub src1_data: DataStream,
+    /// Initial value stored in the loop's elastic buffer.
+    pub initial_value: u64,
+    /// Scheduler used when speculation is applied ([`fig1d`]).
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for Fig1Config {
+    fn default() -> Self {
+        Fig1Config {
+            width: 8,
+            f_delay: 6,
+            f_area: 120,
+            g_delay: 6,
+            g_area: 90,
+            src0_data: DataStream::Counter,
+            src1_data: DataStream::Counter,
+            initial_value: 0,
+            scheduler: SchedulerKind::LastTaken,
+        }
+    }
+}
+
+/// Handles into a Figure-1 style netlist.
+#[derive(Debug, Clone)]
+pub struct Fig1Handles {
+    /// The constructed netlist.
+    pub netlist: Netlist,
+    /// The decision multiplexor.
+    pub mux: NodeId,
+    /// Source feeding data input 0.
+    pub src0: NodeId,
+    /// Source feeding data input 1.
+    pub src1: NodeId,
+    /// The block after the multiplexor (`F`); `None` once it has been retimed
+    /// away by Shannon decomposition or speculation.
+    pub f: Option<NodeId>,
+    /// The select-computing block (`G`).
+    pub g: NodeId,
+    /// The loop elastic buffer (initially holding one token).
+    pub eb: NodeId,
+    /// The fork distributing the loop value to `G` and the sink.
+    pub fork: NodeId,
+    /// The observation sink.
+    pub sink: NodeId,
+    /// The speculative shared module, when present ([`fig1d`]).
+    pub shared: Option<NodeId>,
+}
+
+/// Builds the non-speculative loop of Figure 1(a).
+///
+/// ```text
+/// src0 ─► mux ─► F ─► EB(●) ─► fork ─► sink
+/// src1 ─►  │                    │
+///          └─────── G ◄─────────┘     (G's low bit drives the mux select)
+/// ```
+///
+/// `G` extracts the low bit of the loop value, so the select stream is
+/// controlled entirely by the low bits of the data offered by `src0`/`src1`.
+pub fn fig1a(config: &Fig1Config) -> Fig1Handles {
+    let mut n = Netlist::new("fig1a_nonspeculative");
+    let src0 = n.add_source(
+        "src0",
+        SourceSpec { pattern: SourcePattern::Always, data: config.src0_data.clone(), ..SourceSpec::default() },
+    );
+    let src1 = n.add_source(
+        "src1",
+        SourceSpec { pattern: SourcePattern::Always, data: config.src1_data.clone(), ..SourceSpec::default() },
+    );
+    let mux = n.add_mux("mux", MuxSpec::lazy(2));
+    let f = n.add_op("f", opaque("F", config.f_delay, config.f_area));
+    let eb =
+        n.add_buffer("eb", BufferSpec::standard(1).with_init_value(config.initial_value));
+    let fork = n.add_fork("fork", ForkSpec::eager(2));
+    // G computes the "branch decision": structurally it is an opaque block in
+    // the paper; here it extracts the low bit of the loop value so that the
+    // select stream is data-driven and reproducible. Its delay/area budget is
+    // taken from the configuration.
+    let g = n.add_function(
+        "g",
+        FunctionSpec::new(Op::Opaque {
+            name: "G".into(),
+            delay_levels: config.g_delay,
+            area_ge: config.g_area,
+        }),
+    );
+    let sink = n.add_sink("sink", SinkSpec::always_ready());
+
+    n.connect_named("in0", Port::output(src0, 0), Port::input(mux, 1), config.width)
+        .expect("fig1a wiring");
+    n.connect_named("in1", Port::output(src1, 0), Port::input(mux, 2), config.width)
+        .expect("fig1a wiring");
+    n.connect_named("mux_out", Port::output(mux, 0), Port::input(f, 0), config.width)
+        .expect("fig1a wiring");
+    n.connect_named("f_out", Port::output(f, 0), Port::input(eb, 0), config.width)
+        .expect("fig1a wiring");
+    n.connect_named("eb_out", Port::output(eb, 0), Port::input(fork, 0), config.width)
+        .expect("fig1a wiring");
+    n.connect_named("loop_to_g", Port::output(fork, 0), Port::input(g, 0), config.width)
+        .expect("fig1a wiring");
+    n.connect_named("observe", Port::output(fork, 1), Port::input(sink, 0), config.width)
+        .expect("fig1a wiring");
+    n.connect_named("select", Port::output(g, 0), Port::input(mux, 0), 1).expect("fig1a wiring");
+
+    n.validate().expect("fig1a is structurally valid by construction");
+    Fig1Handles {
+        netlist: n,
+        mux,
+        src0,
+        src1,
+        f: Some(f),
+        g,
+        eb,
+        fork,
+        sink,
+        shared: None,
+    }
+}
+
+/// Builds Figure 1(b): the Figure-1(a) loop with a bubble inserted on the
+/// critical channel between the multiplexor and `F`.
+///
+/// The bubble cuts the `G → mux → F` combinational path but the loop now
+/// carries one token over two buffers, so the throughput drops to 1/2.
+pub fn fig1b(config: &Fig1Config) -> Fig1Handles {
+    let mut handles = fig1a(config);
+    handles.netlist.set_name("fig1b_bubble_insertion");
+    let mux_out = handles
+        .netlist
+        .channel_from(Port::output(handles.mux, 0))
+        .map(|c| c.id)
+        .expect("fig1a always wires the mux output");
+    insert_bubble(&mut handles.netlist, mux_out).expect("bubble insertion on a live channel");
+    handles
+}
+
+/// Builds Figure 1(c): Shannon decomposition applied to the Figure-1(a) loop.
+///
+/// `F` is duplicated onto both multiplexor inputs and the multiplexor gains
+/// early evaluation, so `F` and `G` execute in parallel and the throughput
+/// stays at 1 token/cycle — at the price of duplicating `F`.
+pub fn fig1c(config: &Fig1Config) -> Fig1Handles {
+    let mut handles = fig1a(config);
+    handles.netlist.set_name("fig1c_shannon");
+    shannon_decompose(&mut handles.netlist, handles.mux).expect("fig1a matches the precondition");
+    enable_early_evaluation(&mut handles.netlist, handles.mux).expect("mux exists");
+    handles.f = None;
+    handles
+}
+
+/// Builds Figure 1(d): the speculative design, by applying the composite
+/// [`speculate`] transformation to the Figure-1(a) loop.
+pub fn fig1d(config: &Fig1Config) -> Fig1Handles {
+    let mut handles = fig1a(config);
+    handles.netlist.set_name("fig1d_speculation");
+    let report = speculate(
+        &mut handles.netlist,
+        handles.mux,
+        &SpeculateOptions { scheduler: config.scheduler.clone(), ..SpeculateOptions::default() },
+    )
+    .expect("fig1a matches the speculation preconditions");
+    handles.f = None;
+    handles.shared = Some(report.shared_module);
+    handles
+}
+
+/// Handles into the Table-1 trace netlist.
+#[derive(Debug, Clone)]
+pub struct Table1Handles {
+    /// The constructed netlist (a Figure-1(d) structure with pinned streams).
+    pub netlist: Netlist,
+    /// The early-evaluation multiplexor.
+    pub mux: NodeId,
+    /// The speculative shared module (`F`).
+    pub shared: NodeId,
+    /// The elastic buffer collecting the multiplexor output (`EBin` in Table 1).
+    pub eb: NodeId,
+    /// Source feeding `Fin0`.
+    pub src0: NodeId,
+    /// Source feeding `Fin1`.
+    pub src1: NodeId,
+    /// Source producing the select stream (`Sel` in Table 1).
+    pub select: NodeId,
+    /// The observation sink.
+    pub sink: NodeId,
+}
+
+/// Data values used by the Table-1 trace: the letters A…G of the paper mapped
+/// to small integers.
+pub const TABLE1_VALUES: [(char, u64); 7] = [
+    ('A', 0xA1),
+    ('B', 0xB2),
+    ('C', 0xC3),
+    ('D', 0xD4),
+    ('E', 0xE5),
+    ('F', 0xF6),
+    ('G', 0x97),
+];
+
+/// The per-cycle select values of Table 1 (`Sel` row; stalled select tokens
+/// repeat their value).
+pub const TABLE1_SELECT: [u64; 7] = [0, 1, 1, 1, 0, 0, 0];
+
+/// The select values actually *consumed* by the multiplexor in Table 1, one
+/// per firing (cycles 0, 1, 3, 4 and 6).
+pub const TABLE1_CONSUMED_SELECT: [u64; 5] = [0, 1, 1, 0, 0];
+
+/// The scheduler prediction stream of Table 1 (`Sched` row).
+pub const TABLE1_SCHEDULE: [usize; 7] = [0, 1, 0, 1, 0, 1, 0];
+
+/// Builds the netlist whose simulation reproduces Table 1 of the paper.
+///
+/// The structure is the Figure-1(d) speculative design, but the select stream
+/// and the scheduler predictions are pinned to the sequences printed in the
+/// table (in the paper they emerge from `G` and from an unspecified
+/// prediction policy; pinning them is the only way to reproduce the exact
+/// published trace). Channel `Fin0` receives A, C, E, F and `Fin1` receives
+/// B, D, G, matching the table's rows.
+pub fn table1() -> Table1Handles {
+    let mut n = Netlist::new("table1_trace");
+    // Fin0 carries A, C, E, F and Fin1 carries B, D, G, offered on the cycles
+    // where Table 1 shows valid data in those rows. Anti-tokens reaching the
+    // environments cancel phantom alternatives rather than shifting the value
+    // streams (see `SourceSpec::consume_on_kill`).
+    let src0 = n.add_source(
+        "src0",
+        SourceSpec {
+            pattern: SourcePattern::List(vec![true, false, true, false, true, true, false]),
+            data: DataStream::List(vec![
+                TABLE1_VALUES[0].1, // A
+                TABLE1_VALUES[2].1, // C
+                TABLE1_VALUES[4].1, // E
+                TABLE1_VALUES[5].1, // F
+            ]),
+            consume_on_kill: false,
+        },
+    );
+    let src1 = n.add_source(
+        "src1",
+        SourceSpec {
+            pattern: SourcePattern::List(vec![false, true, true, false, false, true, false]),
+            data: DataStream::List(vec![
+                TABLE1_VALUES[1].1, // B
+                TABLE1_VALUES[3].1, // D
+                TABLE1_VALUES[6].1, // G
+            ]),
+            consume_on_kill: false,
+        },
+    );
+    let select = n.add_source(
+        "sel",
+        SourceSpec {
+            pattern: SourcePattern::Always,
+            data: DataStream::List(TABLE1_CONSUMED_SELECT.to_vec()),
+            ..SourceSpec::default()
+        },
+    );
+    let shared = n.add_shared(
+        "f_shared",
+        crate::kind::SharedSpec::new(2, opaque("F", 6, 120))
+            .with_scheduler(SchedulerKind::Sequence(TABLE1_SCHEDULE.to_vec())),
+    );
+    let mux = n.add_mux("mux", MuxSpec::early(2));
+    let eb = n.add_buffer("eb", BufferSpec::standard(0));
+    let sink = n.add_sink("sink", SinkSpec::always_ready());
+
+    n.connect_named("fin0", Port::output(src0, 0), Port::input(shared, 0), 8).expect("table1");
+    n.connect_named("fin1", Port::output(src1, 0), Port::input(shared, 1), 8).expect("table1");
+    n.connect_named("fout0", Port::output(shared, 0), Port::input(mux, 1), 8).expect("table1");
+    n.connect_named("fout1", Port::output(shared, 1), Port::input(mux, 2), 8).expect("table1");
+    n.connect_named("sel", Port::output(select, 0), Port::input(mux, 0), 1).expect("table1");
+    n.connect_named("ebin", Port::output(mux, 0), Port::input(eb, 0), 8).expect("table1");
+    n.connect_named("observe", Port::output(eb, 0), Port::input(sink, 0), 8).expect("table1");
+    n.validate().expect("table1 is structurally valid by construction");
+
+    Table1Handles { netlist: n, mux, shared, eb, src0, src1, select, sink }
+}
+
+/// Configuration of the variable-latency experiment (Section 5.1, Figure 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarLatencyConfig {
+    /// Operand width in bits.
+    pub width: u8,
+    /// Carry-speculation boundary of the approximate adder.
+    pub spec_bits: u8,
+    /// Operand stream for the first input.
+    pub operands_a: Vec<u64>,
+    /// Operand stream for the second input.
+    pub operands_b: Vec<u64>,
+    /// Delay (logic levels) of the downstream logic `G` that consumes the result.
+    pub g_delay: u32,
+    /// Area (gate equivalents) of `G`.
+    pub g_area: u32,
+}
+
+impl Default for VarLatencyConfig {
+    fn default() -> Self {
+        VarLatencyConfig {
+            width: 8,
+            spec_bits: 4,
+            operands_a: vec![1, 2, 3, 4],
+            operands_b: vec![1, 2, 3, 4],
+            g_delay: 4,
+            g_area: 60,
+        }
+    }
+}
+
+/// Handles into a variable-latency netlist.
+#[derive(Debug, Clone)]
+pub struct VarLatencyHandles {
+    /// The constructed netlist.
+    pub netlist: Netlist,
+    /// Sink collecting the results.
+    pub sink: NodeId,
+    /// The early-evaluation multiplexor (speculative variant only).
+    pub mux: Option<NodeId>,
+    /// The shared module (speculative variant only).
+    pub shared: Option<NodeId>,
+    /// The monolithic variable-latency unit (stalling variant only).
+    pub unit: Option<NodeId>,
+}
+
+/// Builds the stalling variable-latency unit of Figure 6(a).
+///
+/// The unit computes the approximation in one cycle; when the error detector
+/// fires it stalls for one extra cycle and delivers the exact result. The
+/// error detector feeds the elastic controller directly, which is why the
+/// exact adder followed by the controller gates ends up on the critical path
+/// of this design (the problem the speculative variant removes).
+pub fn variable_latency_stalling(config: &VarLatencyConfig) -> VarLatencyHandles {
+    let mut n = Netlist::new("fig6a_stalling_varlatency");
+    let src_a = n.add_source("src_a", SourceSpec::list(config.operands_a.clone()));
+    let src_b = n.add_source("src_b", SourceSpec::list(config.operands_b.clone()));
+    let unit = n.add_var_latency(
+        "alu",
+        crate::kind::VarLatencySpec {
+            exact: Op::RippleAdd { width: config.width },
+            approx: Op::ApproxAdd { width: config.width, spec_bits: config.spec_bits },
+            error: Op::ApproxAddErr { width: config.width, spec_bits: config.spec_bits },
+            inputs: 2,
+        },
+    );
+    let g = n.add_op("g", opaque("G", config.g_delay, config.g_area));
+    let eb = n.add_buffer("eb_out", BufferSpec::standard(0));
+    let sink = n.add_sink("sink", SinkSpec::always_ready());
+    n.connect_named("a", Port::output(src_a, 0), Port::input(unit, 0), config.width)
+        .expect("fig6a");
+    n.connect_named("b", Port::output(src_b, 0), Port::input(unit, 1), config.width)
+        .expect("fig6a");
+    n.connect_named("alu_out", Port::output(unit, 0), Port::input(g, 0), config.width + 1)
+        .expect("fig6a");
+    n.connect_named("g_out", Port::output(g, 0), Port::input(eb, 0), config.width + 1)
+        .expect("fig6a");
+    n.connect_named("observe", Port::output(eb, 0), Port::input(sink, 0), config.width + 1)
+        .expect("fig6a");
+    n.validate().expect("fig6a is structurally valid by construction");
+    VarLatencyHandles { netlist: n, sink, mux: None, shared: None, unit: Some(unit) }
+}
+
+/// Builds the speculative variable-latency unit of Figure 6(b).
+///
+/// The approximate and exact adders run in parallel; the downstream logic `G`
+/// is shared between the approximate-result channel and the exact-result
+/// channel (the latter buffered in an initially-empty, zero-backward-latency
+/// EB). The controller always predicts the approximate channel; when the
+/// error detector fires, the early-evaluation multiplexor stalls and the next
+/// cycle replays `G` on the exact result stored in the bubble.
+pub fn variable_latency_speculative(config: &VarLatencyConfig) -> VarLatencyHandles {
+    let width = config.width;
+    let sum_width = width + 1;
+    let mut n = Netlist::new("fig6b_speculative_varlatency");
+    let src_a = n.add_source("src_a", SourceSpec::list(config.operands_a.clone()));
+    let src_b = n.add_source("src_b", SourceSpec::list(config.operands_b.clone()));
+    let fork_a = n.add_fork("fork_a", ForkSpec::eager(3));
+    let fork_b = n.add_fork("fork_b", ForkSpec::eager(3));
+    let approx = n.add_function(
+        "f_approx",
+        FunctionSpec::with_inputs(Op::ApproxAdd { width, spec_bits: config.spec_bits }, 2),
+    );
+    let exact = n.add_function("f_exact", FunctionSpec::with_inputs(Op::RippleAdd { width }, 2));
+    let err = n.add_function(
+        "f_err",
+        FunctionSpec::with_inputs(Op::ApproxAddErr { width, spec_bits: config.spec_bits }, 2),
+    );
+    let exact_eb = n.add_buffer("exact_eb", BufferSpec::zero_backward(0));
+    let shared = n.add_shared(
+        "g_shared",
+        crate::kind::SharedSpec::new(2, opaque("G", config.g_delay, config.g_area))
+            .with_scheduler(SchedulerKind::ErrorReplay),
+    );
+    let mux = n.add_mux("mux", MuxSpec::early(2));
+    let eb_out = n.add_buffer("eb_out", BufferSpec::standard(0));
+    let sink = n.add_sink("sink", SinkSpec::always_ready());
+
+    n.connect_named("a", Port::output(src_a, 0), Port::input(fork_a, 0), width).expect("fig6b");
+    n.connect_named("b", Port::output(src_b, 0), Port::input(fork_b, 0), width).expect("fig6b");
+    n.connect(Port::output(fork_a, 0), Port::input(approx, 0), width).expect("fig6b");
+    n.connect(Port::output(fork_a, 1), Port::input(exact, 0), width).expect("fig6b");
+    n.connect(Port::output(fork_a, 2), Port::input(err, 0), width).expect("fig6b");
+    n.connect(Port::output(fork_b, 0), Port::input(approx, 1), width).expect("fig6b");
+    n.connect(Port::output(fork_b, 1), Port::input(exact, 1), width).expect("fig6b");
+    n.connect(Port::output(fork_b, 2), Port::input(err, 1), width).expect("fig6b");
+    n.connect_named("approx_sum", Port::output(approx, 0), Port::input(shared, 0), sum_width)
+        .expect("fig6b");
+    n.connect_named("exact_sum", Port::output(exact, 0), Port::input(exact_eb, 0), sum_width)
+        .expect("fig6b");
+    n.connect_named("exact_buffered", Port::output(exact_eb, 0), Port::input(shared, 1), sum_width)
+        .expect("fig6b");
+    n.connect_named("g_out0", Port::output(shared, 0), Port::input(mux, 1), sum_width)
+        .expect("fig6b");
+    n.connect_named("g_out1", Port::output(shared, 1), Port::input(mux, 2), sum_width)
+        .expect("fig6b");
+    n.connect_named("ferr", Port::output(err, 0), Port::input(mux, 0), 1).expect("fig6b");
+    n.connect_named("result", Port::output(mux, 0), Port::input(eb_out, 0), sum_width)
+        .expect("fig6b");
+    n.connect_named("observe", Port::output(eb_out, 0), Port::input(sink, 0), sum_width)
+        .expect("fig6b");
+    n.validate().expect("fig6b is structurally valid by construction");
+    VarLatencyHandles { netlist: n, sink, mux: Some(mux), shared: Some(shared), unit: None }
+}
+
+/// Configuration of the resilient-adder experiment (Section 5.2, Figure 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientConfig {
+    /// Number of protected data bits (at most 57 so the codeword fits a channel).
+    pub data_width: u8,
+    /// External operand stream added to the accumulator each cycle.
+    pub operands: Vec<u64>,
+    /// Per-cycle soft-error masks XORed into the stored codeword (one entry
+    /// per cycle, `0` = no upset; typically produced by
+    /// `elastic_datapath::workload::soft_error_masks`).
+    pub error_masks: Vec<u64>,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        ResilientConfig { data_width: 32, operands: vec![1, 2, 3, 4], error_masks: vec![0] }
+    }
+}
+
+/// Handles into a resilient-accumulator netlist.
+#[derive(Debug, Clone)]
+pub struct ResilientHandles {
+    /// The constructed netlist.
+    pub netlist: Netlist,
+    /// The accumulator state buffer (holds the encoded running sum).
+    pub state: NodeId,
+    /// Sink observing the running sum.
+    pub sink: NodeId,
+    /// The decision multiplexor (protected variants only).
+    pub mux: Option<NodeId>,
+    /// The speculative shared module (speculative variant only).
+    pub shared: Option<NodeId>,
+}
+
+fn resilient_common(
+    name: &str,
+    config: &ResilientConfig,
+) -> (Netlist, NodeId, NodeId, NodeId, NodeId, NodeId) {
+    let mut n = Netlist::new(name);
+    let codeword_width = crate::op::secded_codeword_width(config.data_width);
+    let state = n.add_buffer("state", BufferSpec::standard(1));
+    let fault = n.add_function("inject_fault", FunctionSpec::with_inputs(Op::Xor, 2));
+    let fault_src = n.add_source(
+        "fault_src",
+        SourceSpec {
+            pattern: SourcePattern::Always,
+            data: DataStream::List(if config.error_masks.is_empty() {
+                vec![0]
+            } else {
+                config.error_masks.clone()
+            }),
+            ..SourceSpec::default()
+        },
+    );
+    let operand_src = n.add_source("operand_src", SourceSpec::list(config.operands.clone()));
+    let sink = n.add_sink("sink", SinkSpec::always_ready());
+    n.connect_named("stored", Port::output(state, 0), Port::input(fault, 0), codeword_width)
+        .expect("resilient");
+    n.connect_named("upset", Port::output(fault_src, 0), Port::input(fault, 1), codeword_width)
+        .expect("resilient");
+    (n, state, fault, operand_src, sink, fault_src)
+}
+
+/// Builds the unprotected accumulator baseline for Section 5.2: the adder
+/// updates the stored value every cycle with no error checking at all.
+pub fn resilient_unprotected(config: &ResilientConfig) -> ResilientHandles {
+    let width = config.data_width;
+    let mut n = Netlist::new("fig7_baseline_unprotected");
+    let state = n.add_buffer("state", BufferSpec::standard(1));
+    let adder = n.add_function("adder", FunctionSpec::with_inputs(Op::KoggeStoneAdd { width }, 2));
+    let mask = n.add_op("wrap", Op::Mask { width });
+    let operand_src = n.add_source("operand_src", SourceSpec::list(config.operands.clone()));
+    let fork = n.add_fork("fork", ForkSpec::eager(2));
+    let sink = n.add_sink("sink", SinkSpec::always_ready());
+    n.connect_named("stored", Port::output(state, 0), Port::input(adder, 0), width)
+        .expect("fig7 baseline");
+    n.connect_named("operand", Port::output(operand_src, 0), Port::input(adder, 1), width)
+        .expect("fig7 baseline");
+    n.connect_named("sum", Port::output(adder, 0), Port::input(mask, 0), width)
+        .expect("fig7 baseline");
+    n.connect_named("wrapped", Port::output(mask, 0), Port::input(fork, 0), width)
+        .expect("fig7 baseline");
+    n.connect_named("writeback", Port::output(fork, 0), Port::input(state, 0), width)
+        .expect("fig7 baseline");
+    n.connect_named("observe", Port::output(fork, 1), Port::input(sink, 0), width)
+        .expect("fig7 baseline");
+    n.validate().expect("fig7 baseline is structurally valid by construction");
+    ResilientHandles { netlist: n, state, sink, mux: None, shared: None }
+}
+
+/// Builds the non-speculative resilient accumulator of Figure 7(a).
+///
+/// The stored codeword (possibly hit by a soft error) is checked by SECDED;
+/// the multiplexor waits for both the raw and the corrected value before the
+/// adder may proceed, and the SECDED logic occupies a full pipeline stage
+/// (bubbles on the raw/corrected/decision channels). The accumulator loop
+/// therefore spans two buffers with a single token: the design pays for
+/// resilience with half the throughput of the unprotected baseline.
+pub fn resilient_nonspeculative(config: &ResilientConfig) -> ResilientHandles {
+    let data_width = config.data_width;
+    let codeword_width = crate::op::secded_codeword_width(data_width);
+    let (mut n, state, fault, operand_src, sink, _fault_src) =
+        resilient_common("fig7a_nonspeculative", config);
+
+    let fork = n.add_fork("check_fork", ForkSpec::eager(3));
+    let raw = n.add_op("raw_extract", Op::Mask { width: data_width });
+    let corrected = n.add_op("secded_correct", Op::SecdedCorrect { data_width });
+    let syndrome = n.add_op("secded_syndrome", Op::SecdedSyndrome { data_width });
+    let decision = n.add_op("error_decision", Op::Lut(vec![0, 1, 1]));
+    let mux = n.add_mux("mux", MuxSpec::lazy(2));
+    let adder =
+        n.add_function("adder", FunctionSpec::with_inputs(Op::KoggeStoneAdd { width: data_width }, 2));
+    let mask = n.add_op("wrap", Op::Mask { width: data_width });
+    let encode = n.add_op("secded_encode", Op::SecdedEncode { data_width });
+    let out_fork = n.add_fork("out_fork", ForkSpec::eager(2));
+
+    n.connect_named("checked", Port::output(fault, 0), Port::input(fork, 0), codeword_width)
+        .expect("fig7a");
+    n.connect(Port::output(fork, 0), Port::input(raw, 0), codeword_width).expect("fig7a");
+    n.connect(Port::output(fork, 1), Port::input(corrected, 0), codeword_width).expect("fig7a");
+    n.connect(Port::output(fork, 2), Port::input(syndrome, 0), codeword_width).expect("fig7a");
+    let raw_ch = n
+        .connect_named("raw_data", Port::output(raw, 0), Port::input(mux, 1), data_width)
+        .expect("fig7a");
+    let cor_ch = n
+        .connect_named("corrected_data", Port::output(corrected, 0), Port::input(mux, 2), data_width)
+        .expect("fig7a");
+    n.connect_named("syndrome", Port::output(syndrome, 0), Port::input(decision, 0), 2)
+        .expect("fig7a");
+    let dec_ch = n
+        .connect_named("decision", Port::output(decision, 0), Port::input(mux, 0), 1)
+        .expect("fig7a");
+    n.connect_named("operand_in", Port::output(mux, 0), Port::input(adder, 0), data_width)
+        .expect("fig7a");
+    n.connect_named("operand", Port::output(operand_src, 0), Port::input(adder, 1), data_width)
+        .expect("fig7a");
+    n.connect_named("sum", Port::output(adder, 0), Port::input(mask, 0), data_width)
+        .expect("fig7a");
+    n.connect_named("wrapped", Port::output(mask, 0), Port::input(encode, 0), data_width)
+        .expect("fig7a");
+    n.connect_named("encoded", Port::output(encode, 0), Port::input(out_fork, 0), codeword_width)
+        .expect("fig7a");
+    n.connect_named("writeback", Port::output(out_fork, 0), Port::input(state, 0), codeword_width)
+        .expect("fig7a");
+    n.connect_named("observe", Port::output(out_fork, 1), Port::input(sink, 0), codeword_width)
+        .expect("fig7a");
+
+    // The SECDED check occupies a full pipeline stage: bubbles on the three
+    // channels entering the multiplexor.
+    insert_bubble(&mut n, raw_ch).expect("fig7a");
+    insert_bubble(&mut n, cor_ch).expect("fig7a");
+    insert_bubble(&mut n, dec_ch).expect("fig7a");
+
+    n.validate().expect("fig7a is structurally valid by construction");
+    ResilientHandles { netlist: n, state, sink, mux: Some(mux), shared: None }
+}
+
+/// Builds the speculative resilient accumulator of Figure 7(b) by applying
+/// the composite [`speculate`] transformation to the single-stage version of
+/// Figure 7(a): the adder is retimed through the multiplexor and shared
+/// between the raw-data channel (always predicted) and the SECDED-corrected
+/// channel, so the addition starts without waiting for the error check.
+pub fn resilient_speculative(config: &ResilientConfig) -> ResilientHandles {
+    let data_width = config.data_width;
+    let codeword_width = crate::op::secded_codeword_width(data_width);
+    let (mut n, state, fault, operand_src, sink, _fault_src) =
+        resilient_common("fig7b_speculative", config);
+
+    let fork = n.add_fork("check_fork", ForkSpec::eager(3));
+    let raw = n.add_op("raw_extract", Op::Mask { width: data_width });
+    let corrected = n.add_op("secded_correct", Op::SecdedCorrect { data_width });
+    let syndrome = n.add_op("secded_syndrome", Op::SecdedSyndrome { data_width });
+    let decision = n.add_op("error_decision", Op::Lut(vec![0, 1, 1]));
+    let mux = n.add_mux("mux", MuxSpec::lazy(2));
+    let adder =
+        n.add_function("adder", FunctionSpec::with_inputs(Op::KoggeStoneAdd { width: data_width }, 2));
+    let mask = n.add_op("wrap", Op::Mask { width: data_width });
+    let encode = n.add_op("secded_encode", Op::SecdedEncode { data_width });
+    let out_fork = n.add_fork("out_fork", ForkSpec::eager(2));
+
+    n.connect_named("checked", Port::output(fault, 0), Port::input(fork, 0), codeword_width)
+        .expect("fig7b");
+    n.connect(Port::output(fork, 0), Port::input(raw, 0), codeword_width).expect("fig7b");
+    n.connect(Port::output(fork, 1), Port::input(corrected, 0), codeword_width).expect("fig7b");
+    n.connect(Port::output(fork, 2), Port::input(syndrome, 0), codeword_width).expect("fig7b");
+    n.connect_named("raw_data", Port::output(raw, 0), Port::input(mux, 1), data_width)
+        .expect("fig7b");
+    n.connect_named("corrected_data", Port::output(corrected, 0), Port::input(mux, 2), data_width)
+        .expect("fig7b");
+    n.connect_named("syndrome", Port::output(syndrome, 0), Port::input(decision, 0), 2)
+        .expect("fig7b");
+    n.connect_named("decision", Port::output(decision, 0), Port::input(mux, 0), 1)
+        .expect("fig7b");
+    n.connect_named("operand_in", Port::output(mux, 0), Port::input(adder, 0), data_width)
+        .expect("fig7b");
+    n.connect_named("operand", Port::output(operand_src, 0), Port::input(adder, 1), data_width)
+        .expect("fig7b");
+    n.connect_named("sum", Port::output(adder, 0), Port::input(mask, 0), data_width)
+        .expect("fig7b");
+    n.connect_named("wrapped", Port::output(mask, 0), Port::input(encode, 0), data_width)
+        .expect("fig7b");
+    n.connect_named("encoded", Port::output(encode, 0), Port::input(out_fork, 0), codeword_width)
+        .expect("fig7b");
+    n.connect_named("writeback", Port::output(out_fork, 0), Port::input(state, 0), codeword_width)
+        .expect("fig7b");
+    n.connect_named("observe", Port::output(out_fork, 1), Port::input(sink, 0), codeword_width)
+        .expect("fig7b");
+    n.validate().expect("fig7b pre-speculation structure is valid");
+
+    let report = speculate(
+        &mut n,
+        mux,
+        &SpeculateOptions {
+            scheduler: SchedulerKind::ErrorReplay,
+            ..SpeculateOptions::default()
+        },
+    )
+    .expect("the fig7 accumulator has a select cycle through the syndrome logic");
+
+    ResilientHandles { netlist: n, state, sink, mux: Some(mux), shared: Some(report.shared_module) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_family_builds_and_validates() {
+        let config = Fig1Config::default();
+        for (handles, buffers, functions) in [
+            (fig1a(&config), 1usize, 2usize),
+            (fig1b(&config), 2, 2),
+            (fig1c(&config), 1, 3),
+        ] {
+            handles.netlist.validate().unwrap();
+            let histogram = handles.netlist.kind_histogram();
+            assert_eq!(histogram.get("buffer"), Some(&buffers), "{}", handles.netlist.name());
+            assert_eq!(histogram.get("function"), Some(&functions), "{}", handles.netlist.name());
+        }
+    }
+
+    #[test]
+    fn fig1d_contains_exactly_one_shared_module() {
+        let handles = fig1d(&Fig1Config::default());
+        handles.netlist.validate().unwrap();
+        assert!(handles.shared.is_some());
+        assert_eq!(handles.netlist.kind_histogram().get("shared"), Some(&1));
+        assert!(handles
+            .netlist
+            .node(handles.mux)
+            .unwrap()
+            .as_mux()
+            .unwrap()
+            .early_eval);
+    }
+
+    #[test]
+    fn table1_netlist_matches_the_published_streams() {
+        let handles = table1();
+        handles.netlist.validate().unwrap();
+        let shared = handles.netlist.node(handles.shared).unwrap().as_shared().unwrap().clone();
+        assert_eq!(shared.users, 2);
+        assert_eq!(shared.scheduler, SchedulerKind::Sequence(TABLE1_SCHEDULE.to_vec()));
+        assert_eq!(TABLE1_SELECT.len(), 7);
+        assert_eq!(TABLE1_VALUES.len(), 7);
+    }
+
+    #[test]
+    fn variable_latency_variants_build_and_validate() {
+        let config = VarLatencyConfig::default();
+        let stalling = variable_latency_stalling(&config);
+        stalling.netlist.validate().unwrap();
+        assert!(stalling.unit.is_some());
+
+        let speculative = variable_latency_speculative(&config);
+        speculative.netlist.validate().unwrap();
+        assert!(speculative.shared.is_some());
+        assert_eq!(speculative.netlist.kind_histogram().get("shared"), Some(&1));
+    }
+
+    #[test]
+    fn resilient_variants_build_and_validate() {
+        let config = ResilientConfig::default();
+        let unprotected = resilient_unprotected(&config);
+        unprotected.netlist.validate().unwrap();
+
+        let nonspec = resilient_nonspeculative(&config);
+        nonspec.netlist.validate().unwrap();
+        // The SECDED stage adds three bubbles on top of the state buffer.
+        assert_eq!(nonspec.netlist.kind_histogram().get("buffer"), Some(&4));
+
+        let speculative = resilient_speculative(&config);
+        speculative.netlist.validate().unwrap();
+        assert_eq!(speculative.netlist.kind_histogram().get("shared"), Some(&1));
+        assert!(speculative
+            .netlist
+            .node(speculative.mux.unwrap())
+            .unwrap()
+            .as_mux()
+            .unwrap()
+            .early_eval);
+    }
+
+    #[test]
+    fn speculative_resilient_design_has_a_select_cycle() {
+        // The select cycle is the structural justification for speculation
+        // (step 1 of Section 4): syndrome -> decision -> mux -> ... -> state -> syndrome.
+        let n = resilient_nonspeculative(&ResilientConfig::default()).netlist;
+        let mux = n.find_node("mux").unwrap().id;
+        let cycles = crate::transform::find_select_cycles(&n, mux).unwrap();
+        assert!(!cycles.is_empty());
+    }
+}

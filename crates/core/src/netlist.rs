@@ -1,0 +1,601 @@
+//! The elastic netlist: nodes connected by elastic channels.
+//!
+//! A [`Netlist`] is a directed graph. Nodes are blocks, buffers or
+//! environments ([`crate::NodeKind`]); channels connect exactly one output
+//! port to exactly one input port and carry both the data word and the SELF
+//! handshake `(V+, S+, V-, S-)` — the handshake itself is materialised by the
+//! simulator, the netlist only records the structure.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+use crate::id::{ChannelId, NodeId, Port, PortDir};
+use crate::kind::{
+    BufferSpec, ForkSpec, FunctionSpec, MuxSpec, NodeKind, SharedSpec, SinkSpec, SourceSpec,
+    VarLatencySpec,
+};
+use crate::op::Op;
+
+/// A node of the netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Stable identifier of the node.
+    pub id: NodeId,
+    /// Human-readable instance name (unique within the netlist by construction).
+    pub name: String,
+    /// Kind and kind-specific configuration.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// Number of input ports.
+    pub fn input_count(&self) -> usize {
+        self.kind.input_count()
+    }
+
+    /// Number of output ports.
+    pub fn output_count(&self) -> usize {
+        self.kind.output_count()
+    }
+
+    /// Returns the buffer specification when the node is an elastic buffer.
+    pub fn as_buffer(&self) -> Option<&BufferSpec> {
+        match &self.kind {
+            NodeKind::Buffer(spec) => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// Returns the function specification when the node is a function block.
+    pub fn as_function(&self) -> Option<&FunctionSpec> {
+        match &self.kind {
+            NodeKind::Function(spec) => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// Returns the multiplexor specification when the node is a multiplexor.
+    pub fn as_mux(&self) -> Option<&MuxSpec> {
+        match &self.kind {
+            NodeKind::Mux(spec) => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// Returns the shared-module specification when the node is a shared module.
+    pub fn as_shared(&self) -> Option<&SharedSpec> {
+        match &self.kind {
+            NodeKind::Shared(spec) => Some(spec),
+            _ => None,
+        }
+    }
+}
+
+/// A point-to-point elastic channel between an output port and an input port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Stable identifier of the channel.
+    pub id: ChannelId,
+    /// Human-readable name (derived from the endpoints unless overridden).
+    pub name: String,
+    /// Data width in bits (1..=64).
+    pub width: u8,
+    /// Producing endpoint (always an output port).
+    pub from: Port,
+    /// Consuming endpoint (always an input port).
+    pub to: Port,
+}
+
+/// An elastic netlist: a collection of blocks and buffers connected by
+/// elastic channels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Option<Node>>,
+    channels: Vec<Option<Channel>>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist { name: name.into(), nodes: Vec::new(), channels: Vec::new() }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    // ------------------------------------------------------------------
+    // Node management
+    // ------------------------------------------------------------------
+
+    /// Adds a node of arbitrary kind and returns its id.
+    ///
+    /// Instance names are made unique by appending a numeric suffix when a
+    /// node with the same name already exists.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u32);
+        let name = self.unique_name(name.into());
+        self.nodes.push(Some(Node { id, name, kind }));
+        id
+    }
+
+    fn unique_name(&self, base: String) -> String {
+        if !self.live_nodes().any(|n| n.name == base) {
+            return base;
+        }
+        let mut suffix = 1usize;
+        loop {
+            let candidate = format!("{base}_{suffix}");
+            if !self.live_nodes().any(|n| n.name == candidate) {
+                return candidate;
+            }
+            suffix += 1;
+        }
+    }
+
+    /// Adds an elastic buffer.
+    pub fn add_buffer(&mut self, name: impl Into<String>, spec: BufferSpec) -> NodeId {
+        self.add_node(name, NodeKind::Buffer(spec))
+    }
+
+    /// Adds a combinational function block.
+    pub fn add_function(&mut self, name: impl Into<String>, spec: FunctionSpec) -> NodeId {
+        self.add_node(name, NodeKind::Function(spec))
+    }
+
+    /// Adds a function block computing `op` with its natural arity.
+    pub fn add_op(&mut self, name: impl Into<String>, op: Op) -> NodeId {
+        self.add_function(name, FunctionSpec::new(op))
+    }
+
+    /// Adds a multiplexor.
+    pub fn add_mux(&mut self, name: impl Into<String>, spec: MuxSpec) -> NodeId {
+        self.add_node(name, NodeKind::Mux(spec))
+    }
+
+    /// Adds a fork.
+    pub fn add_fork(&mut self, name: impl Into<String>, spec: ForkSpec) -> NodeId {
+        self.add_node(name, NodeKind::Fork(spec))
+    }
+
+    /// Adds a speculative shared module.
+    pub fn add_shared(&mut self, name: impl Into<String>, spec: SharedSpec) -> NodeId {
+        self.add_node(name, NodeKind::Shared(spec))
+    }
+
+    /// Adds a variable-latency unit (stalling implementation).
+    pub fn add_var_latency(&mut self, name: impl Into<String>, spec: VarLatencySpec) -> NodeId {
+        self.add_node(name, NodeKind::VarLatency(spec))
+    }
+
+    /// Adds a source environment.
+    pub fn add_source(&mut self, name: impl Into<String>, spec: SourceSpec) -> NodeId {
+        self.add_node(name, NodeKind::Source(spec))
+    }
+
+    /// Adds a sink environment.
+    pub fn add_sink(&mut self, name: impl Into<String>, spec: SinkSpec) -> NodeId {
+        self.add_node(name, NodeKind::Sink(spec))
+    }
+
+    /// Removes a node. The node must have no incident channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] when the node does not exist and a
+    /// [`CoreError::Precondition`] when channels are still attached.
+    pub fn remove_node(&mut self, id: NodeId) -> Result<Node> {
+        self.require_node(id)?;
+        let attached = self
+            .live_channels()
+            .filter(|c| c.from.node == id || c.to.node == id)
+            .map(|c| c.id.to_string())
+            .collect::<Vec<_>>();
+        if !attached.is_empty() {
+            return Err(CoreError::Precondition {
+                transform: "remove_node",
+                reason: format!("node {id} still has attached channels: {}", attached.join(", ")),
+            });
+        }
+        Ok(self.nodes[id.index()].take().expect("checked above"))
+    }
+
+    /// Looks a node up by id.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index()).and_then(|slot| slot.as_ref())
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.get_mut(id.index()).and_then(|slot| slot.as_mut())
+    }
+
+    /// Looks a node up by id, failing with [`CoreError::UnknownNode`].
+    pub fn require_node(&self, id: NodeId) -> Result<&Node> {
+        self.node(id).ok_or(CoreError::UnknownNode(id))
+    }
+
+    /// Finds a node by its instance name.
+    pub fn find_node(&self, name: &str) -> Option<&Node> {
+        self.live_nodes().find(|n| n.name == name)
+    }
+
+    /// Iterator over live nodes.
+    pub fn live_nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter_map(|slot| slot.as_ref())
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.live_nodes().count()
+    }
+
+    // ------------------------------------------------------------------
+    // Channel management
+    // ------------------------------------------------------------------
+
+    /// Connects an output port to an input port with the given data width.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an endpoint node does not exist, a port index is out of
+    /// range, the directions are wrong, or either port is already connected.
+    pub fn connect(&mut self, from: Port, to: Port, width: u8) -> Result<ChannelId> {
+        let name = format!("{from}->{to}");
+        self.connect_named(name, from, to, width)
+    }
+
+    /// Connects two ports with an explicit channel name.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Netlist::connect`].
+    pub fn connect_named(
+        &mut self,
+        name: impl Into<String>,
+        from: Port,
+        to: Port,
+        width: u8,
+    ) -> Result<ChannelId> {
+        self.check_port(from, PortDir::Output)?;
+        self.check_port(to, PortDir::Input)?;
+        if self.channel_from(from).is_some() {
+            return Err(CoreError::MultiplyConnectedPort {
+                node: from.node,
+                index: from.index,
+                is_input: false,
+            });
+        }
+        if self.channel_into(to).is_some() {
+            return Err(CoreError::MultiplyConnectedPort {
+                node: to.node,
+                index: to.index,
+                is_input: true,
+            });
+        }
+        let id = ChannelId::new(self.channels.len() as u32);
+        self.channels.push(Some(Channel { id, name: name.into(), width, from, to }));
+        Ok(id)
+    }
+
+    fn check_port(&self, port: Port, expected: PortDir) -> Result<()> {
+        let node = self.require_node(port.node)?;
+        if port.dir != expected {
+            return Err(CoreError::InvalidPort {
+                node: port.node,
+                index: port.index,
+                reason: format!("expected an {expected} port"),
+            });
+        }
+        let limit = match expected {
+            PortDir::Input => node.input_count(),
+            PortDir::Output => node.output_count(),
+        };
+        if port.index >= limit {
+            return Err(CoreError::InvalidPort {
+                node: port.node,
+                index: port.index,
+                reason: format!(
+                    "{} has only {limit} {expected} port(s)",
+                    node.kind.kind_name()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Removes a channel and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownChannel`] when the channel does not exist.
+    pub fn remove_channel(&mut self, id: ChannelId) -> Result<Channel> {
+        match self.channels.get_mut(id.index()).and_then(|slot| slot.take()) {
+            Some(channel) => Ok(channel),
+            None => Err(CoreError::UnknownChannel(id)),
+        }
+    }
+
+    /// Looks a channel up by id.
+    pub fn channel(&self, id: ChannelId) -> Option<&Channel> {
+        self.channels.get(id.index()).and_then(|slot| slot.as_ref())
+    }
+
+    /// Looks a channel up by id, failing with [`CoreError::UnknownChannel`].
+    pub fn require_channel(&self, id: ChannelId) -> Result<&Channel> {
+        self.channel(id).ok_or(CoreError::UnknownChannel(id))
+    }
+
+    /// Mutable access to a channel.
+    pub fn channel_mut(&mut self, id: ChannelId) -> Option<&mut Channel> {
+        self.channels.get_mut(id.index()).and_then(|slot| slot.as_mut())
+    }
+
+    /// Iterator over live channels.
+    pub fn live_channels(&self) -> impl Iterator<Item = &Channel> {
+        self.channels.iter().filter_map(|slot| slot.as_ref())
+    }
+
+    /// Number of live channels.
+    pub fn channel_count(&self) -> usize {
+        self.live_channels().count()
+    }
+
+    /// The channel driven by an output port, if any.
+    pub fn channel_from(&self, port: Port) -> Option<&Channel> {
+        self.live_channels().find(|c| c.from == port)
+    }
+
+    /// The channel feeding an input port, if any.
+    pub fn channel_into(&self, port: Port) -> Option<&Channel> {
+        self.live_channels().find(|c| c.to == port)
+    }
+
+    /// The channels leaving a node, ordered by output port index.
+    pub fn output_channels(&self, node: NodeId) -> Vec<&Channel> {
+        let mut out: Vec<&Channel> = self.live_channels().filter(|c| c.from.node == node).collect();
+        out.sort_by_key(|c| c.from.index);
+        out
+    }
+
+    /// The channels entering a node, ordered by input port index.
+    pub fn input_channels(&self, node: NodeId) -> Vec<&Channel> {
+        let mut inp: Vec<&Channel> = self.live_channels().filter(|c| c.to.node == node).collect();
+        inp.sort_by_key(|c| c.to.index);
+        inp
+    }
+
+    /// Redirects the producing endpoint of an existing channel.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the channel or new port is invalid or the new port already
+    /// drives another channel.
+    pub fn set_channel_source(&mut self, id: ChannelId, from: Port) -> Result<()> {
+        self.require_channel(id)?;
+        self.check_port(from, PortDir::Output)?;
+        if let Some(existing) = self.channel_from(from) {
+            if existing.id != id {
+                return Err(CoreError::MultiplyConnectedPort {
+                    node: from.node,
+                    index: from.index,
+                    is_input: false,
+                });
+            }
+        }
+        let channel = self.channel_mut(id).expect("checked above");
+        channel.from = from;
+        Ok(())
+    }
+
+    /// Redirects the consuming endpoint of an existing channel.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the channel or new port is invalid or the new port is
+    /// already fed by another channel.
+    pub fn set_channel_target(&mut self, id: ChannelId, to: Port) -> Result<()> {
+        self.require_channel(id)?;
+        self.check_port(to, PortDir::Input)?;
+        if let Some(existing) = self.channel_into(to) {
+            if existing.id != id {
+                return Err(CoreError::MultiplyConnectedPort {
+                    node: to.node,
+                    index: to.index,
+                    is_input: true,
+                });
+            }
+        }
+        let channel = self.channel_mut(id).expect("checked above");
+        channel.to = to;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Graph queries
+    // ------------------------------------------------------------------
+
+    /// Ids of the nodes reachable in one hop downstream of `node`.
+    pub fn successors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut succ: Vec<NodeId> =
+            self.live_channels().filter(|c| c.from.node == node).map(|c| c.to.node).collect();
+        succ.sort();
+        succ.dedup();
+        succ
+    }
+
+    /// Ids of the nodes reachable in one hop upstream of `node`.
+    pub fn predecessors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut pred: Vec<NodeId> =
+            self.live_channels().filter(|c| c.to.node == node).map(|c| c.from.node).collect();
+        pred.sort();
+        pred.dedup();
+        pred
+    }
+
+    /// Number of live nodes per kind name, for quick reports.
+    pub fn kind_histogram(&self) -> BTreeMap<&'static str, usize> {
+        let mut histogram = BTreeMap::new();
+        for node in self.live_nodes() {
+            *histogram.entry(node.kind.kind_name()).or_insert(0) += 1;
+        }
+        histogram
+    }
+
+    /// Total number of initial tokens stored in the netlist's buffers
+    /// (anti-tokens count negatively).
+    pub fn total_initial_tokens(&self) -> i64 {
+        self.live_nodes()
+            .filter_map(|n| n.as_buffer())
+            .map(|spec| i64::from(spec.init_tokens))
+            .sum()
+    }
+
+    /// Runs structural validation, returning all problems found.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Invalid`] describing every violation (dangling
+    /// ports, arity mismatches, malformed buffer specifications, …).
+    pub fn validate(&self) -> Result<()> {
+        crate::validate::validate(self)
+    }
+
+    /// One-line structural summary used by the exploration shell.
+    pub fn summary(&self) -> String {
+        let histogram = self
+            .kind_histogram()
+            .into_iter()
+            .map(|(kind, count)| format!("{count} {kind}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{}: {} nodes ({histogram}), {} channels, {} initial token(s)",
+            self.name,
+            self.node_count(),
+            self.channel_count(),
+            self.total_initial_tokens()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::MuxSpec;
+
+    fn small_netlist() -> (Netlist, NodeId, NodeId, NodeId) {
+        let mut n = Netlist::new("unit");
+        let src = n.add_source("src", SourceSpec::always());
+        let f = n.add_op("f", Op::Inc);
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(src, 0), Port::input(f, 0), 8).unwrap();
+        n.connect(Port::output(f, 0), Port::input(sink, 0), 8).unwrap();
+        (n, src, f, sink)
+    }
+
+    #[test]
+    fn adding_nodes_assigns_fresh_ids_and_unique_names() {
+        let mut n = Netlist::new("t");
+        let a = n.add_op("f", Op::Identity);
+        let b = n.add_op("f", Op::Identity);
+        assert_ne!(a, b);
+        let names: Vec<_> = n.live_nodes().map(|x| x.name.clone()).collect();
+        assert_eq!(names.len(), 2);
+        assert_ne!(names[0], names[1]);
+    }
+
+    #[test]
+    fn connect_rejects_bad_ports() {
+        let mut n = Netlist::new("t");
+        let src = n.add_source("src", SourceSpec::always());
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        // Wrong direction.
+        assert!(n.connect(Port::input(sink, 0), Port::output(src, 0), 8).is_err());
+        // Out-of-range index.
+        assert!(n.connect(Port::output(src, 1), Port::input(sink, 0), 8).is_err());
+        // Good connection.
+        assert!(n.connect(Port::output(src, 0), Port::input(sink, 0), 8).is_ok());
+        // Ports cannot be connected twice.
+        let src2 = n.add_source("src2", SourceSpec::always());
+        assert!(matches!(
+            n.connect(Port::output(src2, 0), Port::input(sink, 0), 8),
+            Err(CoreError::MultiplyConnectedPort { .. })
+        ));
+    }
+
+    #[test]
+    fn channel_lookup_by_port_works() {
+        let (n, src, f, _sink) = small_netlist();
+        let ch = n.channel_from(Port::output(src, 0)).expect("channel exists");
+        assert_eq!(ch.to, Port::input(f, 0));
+        assert_eq!(n.input_channels(f).len(), 1);
+        assert_eq!(n.output_channels(f).len(), 1);
+    }
+
+    #[test]
+    fn successors_and_predecessors_are_deduplicated() {
+        let (n, src, f, sink) = small_netlist();
+        assert_eq!(n.successors(src), vec![f]);
+        assert_eq!(n.predecessors(sink), vec![f]);
+        assert!(n.predecessors(src).is_empty());
+    }
+
+    #[test]
+    fn remove_node_requires_detached_channels() {
+        let (mut n, _src, f, _sink) = small_netlist();
+        assert!(n.remove_node(f).is_err());
+        let input: Vec<ChannelId> = n.input_channels(f).iter().map(|c| c.id).collect();
+        let output: Vec<ChannelId> = n.output_channels(f).iter().map(|c| c.id).collect();
+        for id in input.into_iter().chain(output) {
+            n.remove_channel(id).unwrap();
+        }
+        assert!(n.remove_node(f).is_ok());
+        assert!(n.node(f).is_none());
+    }
+
+    #[test]
+    fn rewiring_channels_checks_occupancy() {
+        let mut n = Netlist::new("t");
+        let src = n.add_source("src", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let sel = n.add_source("sel", SourceSpec::always());
+        let ch = n.connect(Port::output(src, 0), Port::input(mux, 1), 8).unwrap();
+        n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
+        // Move the data channel to the second data input.
+        n.set_channel_target(ch, Port::input(mux, 2)).unwrap();
+        assert_eq!(n.channel(ch).unwrap().to, Port::input(mux, 2));
+        // Moving it onto the (occupied) select port must fail.
+        assert!(n.set_channel_target(ch, Port::input(mux, 0)).is_err());
+    }
+
+    #[test]
+    fn histogram_and_summary_report_structure() {
+        let (n, ..) = small_netlist();
+        let histogram = n.kind_histogram();
+        assert_eq!(histogram.get("source"), Some(&1));
+        assert_eq!(histogram.get("function"), Some(&1));
+        assert_eq!(histogram.get("sink"), Some(&1));
+        let summary = n.summary();
+        assert!(summary.contains("3 nodes"));
+        assert!(summary.contains("2 channels"));
+    }
+
+    #[test]
+    fn total_initial_tokens_counts_anti_tokens_negatively() {
+        let mut n = Netlist::new("t");
+        n.add_buffer("eb1", BufferSpec::standard(1));
+        n.add_buffer("eb2", BufferSpec::standard(-1));
+        n.add_buffer("eb3", BufferSpec::bubble());
+        assert_eq!(n.total_initial_tokens(), 0);
+    }
+}

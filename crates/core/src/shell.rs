@@ -1,0 +1,375 @@
+//! A scriptable exploration shell over the transformation engine.
+//!
+//! Section 5 of the paper describes an interactive framework in which the
+//! user applies correct-by-construction transformations "in the form of
+//! command scripts within an interactive shell", visualises the result and
+//! can undo/redo at any point. [`ExplorationShell`] reproduces that workflow:
+//! it wraps a [`Transformer`] and executes small textual commands, one per
+//! line, returning a human-readable response for each.
+//!
+//! ```
+//! use elastic_core::library::{fig1a, Fig1Config};
+//! use elastic_core::shell::ExplorationShell;
+//!
+//! let mut shell = ExplorationShell::new(fig1a(&Fig1Config::default()).netlist);
+//! // Turn Figure 1(a) into Figure 1(d), then print a structural summary.
+//! let transcript = shell.run_script("
+//!     speculate mux
+//!     summary
+//! ").unwrap();
+//! assert!(transcript.iter().any(|line| line.contains("shared")));
+//! ```
+
+use crate::error::{CoreError, Result};
+use crate::id::NodeId;
+use crate::kind::SchedulerKind;
+use crate::netlist::Netlist;
+use crate::transform::{
+    self, ShareOptions, SpeculateOptions, Transformer,
+};
+
+/// An interactive/scriptable session applying transformations to a netlist.
+#[derive(Debug, Clone)]
+pub struct ExplorationShell {
+    transformer: Transformer,
+}
+
+impl ExplorationShell {
+    /// Starts a session on the given netlist.
+    pub fn new(netlist: Netlist) -> Self {
+        ExplorationShell { transformer: Transformer::new(netlist) }
+    }
+
+    /// The current state of the design.
+    pub fn netlist(&self) -> &Netlist {
+        self.transformer.netlist()
+    }
+
+    /// Consumes the shell and returns the current design.
+    pub fn into_netlist(self) -> Netlist {
+        self.transformer.into_netlist()
+    }
+
+    /// Executes a multi-line script. Empty lines and lines starting with `#`
+    /// are ignored. Returns one response line per executed command.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing command and returns its error; commands
+    /// executed before the failure remain applied (mirroring an interactive
+    /// session — use `undo` to roll back).
+    pub fn run_script(&mut self, script: &str) -> Result<Vec<String>> {
+        let mut responses = Vec::new();
+        for line in script.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            responses.push(self.run_command(line)?);
+        }
+        Ok(responses)
+    }
+
+    /// Executes a single command and returns its response line.
+    ///
+    /// Supported commands:
+    ///
+    /// | command | effect |
+    /// |---|---|
+    /// | `summary` | one-line structural summary |
+    /// | `nodes` | list nodes with kinds |
+    /// | `channels` | list channels with endpoints |
+    /// | `validate` | run structural validation |
+    /// | `history` | list applied transformations |
+    /// | `insert-bubble <channel>` | bubble insertion on a named channel |
+    /// | `remove-buffer <node>` | remove an empty buffer |
+    /// | `split-buffer <node>` | apply the `0 = 1 − 1` identity |
+    /// | `retime-forward <node>` / `retime-backward <node>` | EB retiming |
+    /// | `early-eval <mux>` | enable early evaluation |
+    /// | `shannon <mux>` | Shannon decomposition |
+    /// | `share <mux> [scheduler]` | share the duplicated blocks |
+    /// | `speculate <mux> [scheduler]` | the composite speculation pass |
+    /// | `zero-backward <buffer>` | convert to the `Lb = 0` buffer of Fig. 5 |
+    /// | `undo` / `redo` | history navigation |
+    ///
+    /// Scheduler names: `static0`, `static1`, `round-robin`, `last-taken`,
+    /// `two-bit`, `error-replay`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shell`] for unknown commands or bad arguments and
+    /// propagates transformation errors unchanged.
+    pub fn run_command(&mut self, command: &str) -> Result<String> {
+        let mut parts = command.split_whitespace();
+        let verb = parts.next().unwrap_or_default();
+        let args: Vec<&str> = parts.collect();
+        match verb {
+            "summary" => Ok(self.transformer.netlist().summary()),
+            "nodes" => {
+                let mut lines: Vec<String> = self
+                    .transformer
+                    .netlist()
+                    .live_nodes()
+                    .map(|n| format!("{} {} [{}]", n.id, n.name, n.kind.kind_name()))
+                    .collect();
+                lines.sort();
+                Ok(lines.join("\n"))
+            }
+            "channels" => {
+                let mut lines: Vec<String> = self
+                    .transformer
+                    .netlist()
+                    .live_channels()
+                    .map(|c| format!("{} {} {} -> {} ({} bits)", c.id, c.name, c.from, c.to, c.width))
+                    .collect();
+                lines.sort();
+                Ok(lines.join("\n"))
+            }
+            "validate" => match self.transformer.netlist().validate() {
+                Ok(()) => Ok("netlist is structurally valid".to_string()),
+                Err(error) => Ok(format!("validation failed: {error}")),
+            },
+            "history" => {
+                if self.transformer.history().is_empty() {
+                    Ok("(no transformations applied)".to_string())
+                } else {
+                    Ok(self
+                        .transformer
+                        .history()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, entry)| format!("{:>3}. {}", i + 1, entry.description))
+                        .collect::<Vec<_>>()
+                        .join("\n"))
+                }
+            }
+            "undo" => {
+                let entry = self.transformer.undo()?;
+                Ok(format!("undone: {}", entry.description))
+            }
+            "redo" => {
+                let entry = self.transformer.redo()?;
+                Ok(format!("redone: {}", entry.description))
+            }
+            "insert-bubble" => {
+                let channel = self.channel_by_name(command, args.first().copied())?;
+                let buffer = self
+                    .transformer
+                    .apply(format!("insert-bubble {}", args[0]), |n| {
+                        transform::insert_bubble(n, channel)
+                    })?;
+                Ok(format!("inserted bubble {buffer}"))
+            }
+            "remove-buffer" => {
+                let node = self.node_by_name(command, args.first().copied())?;
+                self.transformer
+                    .apply(format!("remove-buffer {}", args[0]), |n| transform::remove_buffer(n, node))?;
+                Ok(format!("removed buffer {node}"))
+            }
+            "split-buffer" => {
+                let node = self.node_by_name(command, args.first().copied())?;
+                let (token, anti) = self.transformer.apply(
+                    format!("split-buffer {}", args[0]),
+                    |n| transform::split_empty_buffer(n, node),
+                )?;
+                Ok(format!("split into token buffer {token} and anti-token buffer {anti}"))
+            }
+            "retime-forward" => {
+                let node = self.node_by_name(command, args.first().copied())?;
+                let buffer = self.transformer.apply(format!("retime-forward {}", args[0]), |n| {
+                    transform::retime_forward(n, node)
+                })?;
+                Ok(format!("retimed buffers forward into {buffer}"))
+            }
+            "retime-backward" => {
+                let node = self.node_by_name(command, args.first().copied())?;
+                let buffers = self.transformer.apply(format!("retime-backward {}", args[0]), |n| {
+                    transform::retime_backward(n, node)
+                })?;
+                Ok(format!("retimed buffer backward into {} input buffer(s)", buffers.len()))
+            }
+            "early-eval" => {
+                let node = self.node_by_name(command, args.first().copied())?;
+                self.transformer.apply(format!("early-eval {}", args[0]), |n| {
+                    transform::enable_early_evaluation(n, node)
+                })?;
+                Ok(format!("enabled early evaluation on {node}"))
+            }
+            "shannon" => {
+                let node = self.node_by_name(command, args.first().copied())?;
+                let report = self.transformer.apply(format!("shannon {}", args[0]), |n| {
+                    transform::shannon_decompose(n, node)
+                })?;
+                Ok(format!("duplicated block onto {} mux input(s)", report.copies.len()))
+            }
+            "share" => {
+                let node = self.node_by_name(command, args.first().copied())?;
+                let scheduler = parse_scheduler(command, args.get(1).copied())?;
+                let options = ShareOptions { scheduler, ..ShareOptions::default() };
+                let report = self.transformer.apply(format!("share {}", args[0]), |n| {
+                    transform::share_mux_inputs(n, node, &options)
+                })?;
+                Ok(format!("created shared module {}", report.shared))
+            }
+            "speculate" => {
+                let node = self.node_by_name(command, args.first().copied())?;
+                let scheduler = parse_scheduler(command, args.get(1).copied())?;
+                let options = SpeculateOptions { scheduler, ..SpeculateOptions::default() };
+                let report = self.transformer.apply(format!("speculate {}", args[0]), |n| {
+                    transform::speculate(n, node, &options)
+                })?;
+                Ok(format!(
+                    "speculation applied: shared module {} feeds mux {}",
+                    report.shared_module, report.mux
+                ))
+            }
+            "zero-backward" => {
+                let node = self.node_by_name(command, args.first().copied())?;
+                self.transformer.apply(format!("zero-backward {}", args[0]), |n| {
+                    transform::make_zero_backward(n, node).map(|_| ())
+                })?;
+                Ok(format!("converted {node} to the Lb=0 buffer"))
+            }
+            other => Err(CoreError::Shell {
+                command: command.to_string(),
+                reason: format!("unknown command `{other}`"),
+            }),
+        }
+    }
+
+    fn node_by_name(&self, command: &str, name: Option<&str>) -> Result<NodeId> {
+        let name = name.ok_or_else(|| CoreError::Shell {
+            command: command.to_string(),
+            reason: "missing node name argument".into(),
+        })?;
+        self.transformer
+            .netlist()
+            .find_node(name)
+            .map(|node| node.id)
+            .ok_or_else(|| CoreError::Shell {
+                command: command.to_string(),
+                reason: format!("no node named `{name}`"),
+            })
+    }
+
+    fn channel_by_name(&self, command: &str, name: Option<&str>) -> Result<crate::ChannelId> {
+        let name = name.ok_or_else(|| CoreError::Shell {
+            command: command.to_string(),
+            reason: "missing channel name argument".into(),
+        })?;
+        self.transformer
+            .netlist()
+            .live_channels()
+            .find(|c| c.name == name)
+            .map(|c| c.id)
+            .ok_or_else(|| CoreError::Shell {
+                command: command.to_string(),
+                reason: format!("no channel named `{name}`"),
+            })
+    }
+}
+
+fn parse_scheduler(command: &str, name: Option<&str>) -> Result<SchedulerKind> {
+    match name {
+        None => Ok(SchedulerKind::default()),
+        Some("static0") => Ok(SchedulerKind::Static(0)),
+        Some("static1") => Ok(SchedulerKind::Static(1)),
+        Some("round-robin") => Ok(SchedulerKind::RoundRobin),
+        Some("last-taken") => Ok(SchedulerKind::LastTaken),
+        Some("two-bit") => Ok(SchedulerKind::TwoBit),
+        Some("error-replay") => Ok(SchedulerKind::ErrorReplay),
+        Some(other) => Err(CoreError::Shell {
+            command: command.to_string(),
+            reason: format!("unknown scheduler `{other}`"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{fig1a, Fig1Config};
+
+    fn shell() -> ExplorationShell {
+        ExplorationShell::new(fig1a(&Fig1Config::default()).netlist)
+    }
+
+    #[test]
+    fn summary_nodes_channels_and_validate_report() {
+        let mut shell = shell();
+        assert!(shell.run_command("summary").unwrap().contains("nodes"));
+        assert!(shell.run_command("nodes").unwrap().contains("mux"));
+        assert!(shell.run_command("channels").unwrap().contains("select"));
+        assert!(shell.run_command("validate").unwrap().contains("valid"));
+    }
+
+    #[test]
+    fn speculate_command_reproduces_fig1d() {
+        let mut shell = shell();
+        let response = shell.run_command("speculate mux last-taken").unwrap();
+        assert!(response.contains("shared module"));
+        assert_eq!(shell.netlist().kind_histogram().get("shared"), Some(&1));
+    }
+
+    #[test]
+    fn step_by_step_script_matches_composite_speculation() {
+        let mut step_by_step = shell();
+        step_by_step
+            .run_script(
+                "
+                # the paper's four-step recipe
+                shannon mux
+                early-eval mux
+                share mux last-taken
+                ",
+            )
+            .unwrap();
+        let mut composite = shell();
+        composite.run_command("speculate mux last-taken").unwrap();
+        assert_eq!(
+            step_by_step.netlist().kind_histogram(),
+            composite.netlist().kind_histogram()
+        );
+    }
+
+    #[test]
+    fn undo_and_redo_commands_work() {
+        let mut shell = shell();
+        let before = shell.netlist().clone();
+        shell.run_command("insert-bubble mux_out").unwrap();
+        assert_ne!(shell.netlist(), &before);
+        shell.run_command("undo").unwrap();
+        assert_eq!(shell.netlist(), &before);
+        shell.run_command("redo").unwrap();
+        assert_ne!(shell.netlist(), &before);
+        assert!(shell.run_command("history").unwrap().contains("insert-bubble"));
+    }
+
+    #[test]
+    fn unknown_commands_and_bad_arguments_are_rejected() {
+        let mut shell = shell();
+        assert!(matches!(shell.run_command("frobnicate"), Err(CoreError::Shell { .. })));
+        assert!(matches!(shell.run_command("speculate"), Err(CoreError::Shell { .. })));
+        assert!(matches!(shell.run_command("speculate nosuchnode"), Err(CoreError::Shell { .. })));
+        assert!(matches!(
+            shell.run_command("share mux bogus-scheduler"),
+            Err(CoreError::Shell { .. })
+        ));
+        assert!(matches!(shell.run_command("insert-bubble nosuchchannel"), Err(CoreError::Shell { .. })));
+    }
+
+    #[test]
+    fn scripts_skip_comments_and_blank_lines() {
+        let mut shell = shell();
+        let responses = shell
+            .run_script(
+                "
+                # a comment
+
+                summary
+                ",
+            )
+            .unwrap();
+        assert_eq!(responses.len(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Bubble insertion / removal and the `0 = 1 − 1` buffer identity.
+//!
+//! In elastic systems it is always possible to insert or remove an *empty*
+//! elastic buffer (a bubble) on any channel while preserving transfer
+//! equivalence (Section 2 and [10] in the paper). An empty EB is furthermore
+//! equivalent to an EB holding one token immediately followed by an EB
+//! holding one anti-token — the `0 = 1 − 1` rule used to enable retiming of
+//! EBs with different initial occupancies.
+
+use crate::error::{CoreError, Result};
+use crate::id::{ChannelId, NodeId, Port};
+use crate::kind::{BufferSpec, NodeKind};
+use crate::netlist::Netlist;
+
+/// Inserts an elastic buffer with the given specification in the middle of a
+/// channel, returning the id of the new buffer node.
+///
+/// The original channel keeps its producer and is re-targeted onto the new
+/// buffer; a fresh channel connects the buffer to the original consumer.
+///
+/// # Errors
+///
+/// Fails when the channel does not exist or the buffer specification violates
+/// `C >= Lf + Lb`.
+pub fn insert_buffer_on_channel(
+    netlist: &mut Netlist,
+    channel: ChannelId,
+    spec: BufferSpec,
+) -> Result<NodeId> {
+    if !spec.is_well_formed() {
+        return Err(CoreError::InvalidBufferSpec {
+            node: None,
+            reason: format!(
+                "capacity {} is smaller than Lf + Lb = {} or the initial occupancy does not fit",
+                spec.capacity,
+                spec.forward_latency + spec.backward_latency
+            ),
+        });
+    }
+    let (to, width, name) = {
+        let ch = netlist.require_channel(channel)?;
+        (ch.to, ch.width, ch.name.clone())
+    };
+    let buffer = netlist.add_buffer(format!("eb_on_{name}"), spec);
+    netlist.set_channel_target(channel, Port::input(buffer, 0))?;
+    netlist.connect(Port::output(buffer, 0), to, width)?;
+    Ok(buffer)
+}
+
+/// Inserts an **empty** standard EB (a bubble) on a channel.
+///
+/// This is the bubble-insertion transformation of Figure 1(b): it can only
+/// improve the cycle time (it cuts a combinational path) but it adds a unit
+/// of latency to every cycle through the channel, potentially reducing
+/// throughput.
+///
+/// # Errors
+///
+/// Fails when the channel does not exist.
+pub fn insert_bubble(netlist: &mut Netlist, channel: ChannelId) -> Result<NodeId> {
+    insert_buffer_on_channel(netlist, channel, BufferSpec::bubble())
+}
+
+/// Removes an **empty** elastic buffer, reconnecting its producer directly to
+/// its consumer.
+///
+/// # Errors
+///
+/// Fails when the node is not a buffer, the buffer holds tokens or
+/// anti-tokens (removal would then change the transfer behaviour), or the
+/// buffer is not connected on both sides.
+pub fn remove_buffer(netlist: &mut Netlist, buffer: NodeId) -> Result<()> {
+    let node = netlist.require_node(buffer)?;
+    let spec = match &node.kind {
+        NodeKind::Buffer(spec) => *spec,
+        other => {
+            return Err(CoreError::Precondition {
+                transform: "remove_buffer",
+                reason: format!("{buffer} is a {} node, not a buffer", other.kind_name()),
+            })
+        }
+    };
+    if spec.init_tokens != 0 {
+        return Err(CoreError::Precondition {
+            transform: "remove_buffer",
+            reason: format!(
+                "buffer {buffer} holds {} initial token(s); only bubbles can be removed",
+                spec.init_tokens
+            ),
+        });
+    }
+    let input = netlist
+        .channel_into(Port::input(buffer, 0))
+        .map(|c| c.id)
+        .ok_or(CoreError::UnconnectedPort { node: buffer, index: 0, is_input: true })?;
+    let output = netlist
+        .channel_from(Port::output(buffer, 0))
+        .map(|c| (c.id, c.to))
+        .ok_or(CoreError::UnconnectedPort { node: buffer, index: 0, is_input: false })?;
+
+    netlist.remove_channel(output.0)?;
+    netlist.set_channel_target(input, output.1)?;
+    netlist.remove_node(buffer)?;
+    Ok(())
+}
+
+/// Applies the `0 = 1 − 1` identity: replaces an empty EB by an EB holding
+/// one token followed by an EB holding one anti-token.
+///
+/// Returns `(token_buffer, anti_token_buffer)`. The token/anti-token pair
+/// cancels on first contact, so the observable behaviour is unchanged; the
+/// rewrite is useful to enable retiming of EBs initialised with different
+/// token counts (Section 3.3).
+///
+/// # Errors
+///
+/// Fails when the node is not an empty buffer or is not connected on both
+/// sides.
+pub fn split_empty_buffer(netlist: &mut Netlist, buffer: NodeId) -> Result<(NodeId, NodeId)> {
+    let node = netlist.require_node(buffer)?;
+    let spec = match &node.kind {
+        NodeKind::Buffer(spec) => *spec,
+        other => {
+            return Err(CoreError::Precondition {
+                transform: "split_empty_buffer",
+                reason: format!("{buffer} is a {} node, not a buffer", other.kind_name()),
+            })
+        }
+    };
+    if spec.init_tokens != 0 {
+        return Err(CoreError::Precondition {
+            transform: "split_empty_buffer",
+            reason: "only an empty buffer equals one token followed by one anti-token".into(),
+        });
+    }
+    let output = netlist
+        .channel_from(Port::output(buffer, 0))
+        .map(|c| c.id)
+        .ok_or(CoreError::UnconnectedPort { node: buffer, index: 0, is_input: false })?;
+    let name = netlist.require_node(buffer)?.name.clone();
+
+    // Turn the existing buffer into the token-holding half …
+    if let Some(node) = netlist.node_mut(buffer) {
+        node.kind = NodeKind::Buffer(BufferSpec { init_tokens: 1, ..spec });
+    }
+    // … and insert the anti-token half on its output channel.
+    let anti = insert_buffer_on_channel(
+        netlist,
+        output,
+        BufferSpec { init_tokens: -1, ..spec },
+    )?;
+    if let Some(node) = netlist.node_mut(anti) {
+        node.name = format!("{name}_anti");
+    }
+    Ok((buffer, anti))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{SinkSpec, SourceSpec};
+    use crate::op::Op;
+
+    fn pipeline() -> (Netlist, ChannelId) {
+        let mut n = Netlist::new("pipe");
+        let src = n.add_source("src", SourceSpec::always());
+        let f = n.add_op("f", Op::Inc);
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        let ch = n.connect(Port::output(src, 0), Port::input(f, 0), 8).unwrap();
+        n.connect(Port::output(f, 0), Port::input(sink, 0), 8).unwrap();
+        (n, ch)
+    }
+
+    #[test]
+    fn insert_bubble_keeps_netlist_valid() {
+        let (mut n, ch) = pipeline();
+        let before_nodes = n.node_count();
+        let eb = insert_bubble(&mut n, ch).unwrap();
+        assert_eq!(n.node_count(), before_nodes + 1);
+        assert!(n.node(eb).unwrap().as_buffer().unwrap().init_tokens == 0);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_rejects_malformed_spec() {
+        let (mut n, ch) = pipeline();
+        let bad = BufferSpec { capacity: 1, ..BufferSpec::standard(0) };
+        assert!(matches!(
+            insert_buffer_on_channel(&mut n, ch, bad),
+            Err(CoreError::InvalidBufferSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_buffer_reverses_insert() {
+        let (mut n, ch) = pipeline();
+        let reference = n.clone();
+        let eb = insert_bubble(&mut n, ch).unwrap();
+        remove_buffer(&mut n, eb).unwrap();
+        // Same structure: node and channel counts return to the original.
+        assert_eq!(n.node_count(), reference.node_count());
+        assert_eq!(n.channel_count(), reference.channel_count());
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_buffer_refuses_nonempty_buffers() {
+        let (mut n, ch) = pipeline();
+        let eb = insert_buffer_on_channel(&mut n, ch, BufferSpec::standard(1)).unwrap();
+        assert!(matches!(remove_buffer(&mut n, eb), Err(CoreError::Precondition { .. })));
+    }
+
+    #[test]
+    fn remove_buffer_refuses_non_buffers() {
+        let (mut n, _ch) = pipeline();
+        let f = n.find_node("f").unwrap().id;
+        assert!(matches!(remove_buffer(&mut n, f), Err(CoreError::Precondition { .. })));
+    }
+
+    #[test]
+    fn split_empty_buffer_creates_token_anti_token_pair() {
+        let (mut n, ch) = pipeline();
+        let eb = insert_bubble(&mut n, ch).unwrap();
+        let (token, anti) = split_empty_buffer(&mut n, eb).unwrap();
+        assert_eq!(n.node(token).unwrap().as_buffer().unwrap().init_tokens, 1);
+        assert_eq!(n.node(anti).unwrap().as_buffer().unwrap().init_tokens, -1);
+        assert_eq!(n.total_initial_tokens(), 0, "0 = 1 - 1 must not change the token count");
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn split_refuses_nonempty_buffers() {
+        let (mut n, ch) = pipeline();
+        let eb = insert_buffer_on_channel(&mut n, ch, BufferSpec::standard(1)).unwrap();
+        assert!(split_empty_buffer(&mut n, eb).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Buffer re-parameterisation transformations.
+//!
+//! These transformations change *how* an elastic buffer is implemented (its
+//! forward/backward latencies and capacity) without changing its observable
+//! token behaviour, and insert the recovery buffers speculation needs after a
+//! shared module (Sections 4.1 and 4.3 of the paper).
+
+use crate::error::{CoreError, Result};
+use crate::id::NodeId;
+use crate::kind::{BufferSpec, NodeKind};
+use crate::netlist::Netlist;
+
+/// Changes the forward/backward latency of an elastic buffer.
+///
+/// The capacity is raised if needed so that `C >= Lf + Lb` keeps holding; it
+/// is never lowered below the current initial occupancy.
+///
+/// # Errors
+///
+/// Fails when the node is not a buffer or `forward_latency` is zero (an EB
+/// must register the forward path at least once).
+pub fn set_buffer_latencies(
+    netlist: &mut Netlist,
+    buffer: NodeId,
+    forward_latency: u32,
+    backward_latency: u32,
+) -> Result<BufferSpec> {
+    if forward_latency == 0 {
+        return Err(CoreError::InvalidBufferSpec {
+            node: Some(buffer),
+            reason: "forward latency must be at least 1".into(),
+        });
+    }
+    let node = netlist.require_node(buffer)?;
+    let mut spec = match &node.kind {
+        NodeKind::Buffer(spec) => *spec,
+        other => {
+            return Err(CoreError::Precondition {
+                transform: "set_buffer_latencies",
+                reason: format!("{buffer} is a {} node, not a buffer", other.kind_name()),
+            })
+        }
+    };
+    spec.forward_latency = forward_latency;
+    spec.backward_latency = backward_latency;
+    let minimum_capacity = forward_latency + backward_latency;
+    spec.capacity = spec.capacity.max(minimum_capacity).max(spec.init_tokens.max(0) as u32);
+    if let Some(node) = netlist.node_mut(buffer) {
+        node.kind = NodeKind::Buffer(spec);
+    }
+    Ok(spec)
+}
+
+/// Converts a buffer into the zero-backward-latency variant of Figure 5
+/// (`Lf = 1`, `Lb = 0`, `C = 1`).
+///
+/// Stop and kill information then travels combinationally through the buffer,
+/// which removes the anti-token propagation bottleneck on speculation
+/// recovery paths (Section 4.3). The conversion requires the buffer to hold
+/// at most one initial token because the capacity drops to one.
+///
+/// # Errors
+///
+/// Fails when the node is not a buffer or holds more than one initial token.
+pub fn make_zero_backward(netlist: &mut Netlist, buffer: NodeId) -> Result<BufferSpec> {
+    let node = netlist.require_node(buffer)?;
+    let spec = match &node.kind {
+        NodeKind::Buffer(spec) => *spec,
+        other => {
+            return Err(CoreError::Precondition {
+                transform: "make_zero_backward",
+                reason: format!("{buffer} is a {} node, not a buffer", other.kind_name()),
+            })
+        }
+    };
+    if spec.init_tokens > 1 || spec.init_tokens < -1 {
+        return Err(CoreError::Precondition {
+            transform: "make_zero_backward",
+            reason: format!(
+                "buffer {buffer} holds {} initial tokens but the Lb=0 buffer has capacity 1",
+                spec.init_tokens
+            ),
+        });
+    }
+    let new_spec = BufferSpec::zero_backward(spec.init_tokens);
+    if let Some(node) = netlist.node_mut(buffer) {
+        node.kind = NodeKind::Buffer(new_spec);
+    }
+    Ok(new_spec)
+}
+
+/// Inserts a recovery buffer on every output channel of a shared module.
+///
+/// Recovery buffers store the speculated results between the shared module
+/// and the early-evaluation multiplexor; they are the main source of the area
+/// overhead the paper reports for speculation (12% for the variable-latency
+/// ALU, 36% for the SECDED adder). Returns the created buffer ids in output
+/// port order.
+///
+/// # Errors
+///
+/// Fails when the node is not a shared module or the buffer specification is
+/// malformed.
+pub fn insert_recovery_buffers(
+    netlist: &mut Netlist,
+    shared: NodeId,
+    spec: BufferSpec,
+) -> Result<Vec<NodeId>> {
+    let node = netlist.require_node(shared)?;
+    if node.as_shared().is_none() {
+        return Err(CoreError::Precondition {
+            transform: "insert_recovery_buffers",
+            reason: format!("{shared} is a {} node, not a shared module", node.kind.kind_name()),
+        });
+    }
+    let channels: Vec<_> = netlist.output_channels(shared).iter().map(|c| c.id).collect();
+    let mut buffers = Vec::with_capacity(channels.len());
+    for channel in channels {
+        buffers.push(super::insert_buffer_on_channel(netlist, channel, spec)?);
+    }
+    Ok(buffers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Port;
+    use crate::kind::{SinkSpec, SourceSpec};
+    use crate::op::Op;
+    use crate::transform::insert_buffer_on_channel;
+
+    fn buffered_pipeline() -> (Netlist, NodeId) {
+        let mut n = Netlist::new("pipe");
+        let src = n.add_source("src", SourceSpec::always());
+        let f = n.add_op("f", Op::Inc);
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        let ch = n.connect(Port::output(src, 0), Port::input(f, 0), 8).unwrap();
+        n.connect(Port::output(f, 0), Port::input(sink, 0), 8).unwrap();
+        let eb = insert_buffer_on_channel(&mut n, ch, BufferSpec::standard(1)).unwrap();
+        (n, eb)
+    }
+
+    #[test]
+    fn latency_changes_keep_capacity_constraint() {
+        let (mut n, eb) = buffered_pipeline();
+        let spec = set_buffer_latencies(&mut n, eb, 2, 1).unwrap();
+        assert!(spec.capacity >= 3);
+        assert!(spec.is_well_formed());
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_forward_latency_is_rejected() {
+        let (mut n, eb) = buffered_pipeline();
+        assert!(set_buffer_latencies(&mut n, eb, 0, 1).is_err());
+    }
+
+    #[test]
+    fn zero_backward_conversion_produces_fig5_buffer() {
+        let (mut n, eb) = buffered_pipeline();
+        let spec = make_zero_backward(&mut n, eb).unwrap();
+        assert_eq!(spec.backward_latency, 0);
+        assert_eq!(spec.capacity, 1);
+        assert_eq!(spec.init_tokens, 1);
+        assert!(spec.is_well_formed());
+    }
+
+    #[test]
+    fn zero_backward_conversion_rejects_overfull_buffers() {
+        let (mut n, eb) = buffered_pipeline();
+        if let Some(node) = n.node_mut(eb) {
+            node.kind = NodeKind::Buffer(BufferSpec { init_tokens: 2, ..BufferSpec::standard(0) });
+        }
+        assert!(make_zero_backward(&mut n, eb).is_err());
+    }
+
+    #[test]
+    fn non_buffers_are_rejected() {
+        let (mut n, _eb) = buffered_pipeline();
+        let f = n.find_node("f").unwrap().id;
+        assert!(set_buffer_latencies(&mut n, f, 1, 1).is_err());
+        assert!(make_zero_backward(&mut n, f).is_err());
+        assert!(insert_recovery_buffers(&mut n, f, BufferSpec::bubble()).is_err());
+    }
+}

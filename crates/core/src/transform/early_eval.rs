@@ -1,0 +1,86 @@
+//! Early-evaluation enablement for multiplexors.
+//!
+//! A conventional elastic multiplexor behaves as a lazy join: it waits for
+//! the select token *and* every data token. Early evaluation relaxes this —
+//! the multiplexor fires as soon as the select token and the *selected* data
+//! token are present, and injects an anti-token into each non-selected data
+//! channel so that the dispensable data is cancelled when it arrives
+//! (Section 3.3 of the paper and [7]). The transformation only changes the
+//! elastic controller; the datapath multiplexor stays the same.
+
+use crate::error::{CoreError, Result};
+use crate::id::NodeId;
+use crate::kind::NodeKind;
+use crate::netlist::Netlist;
+
+fn set_early_eval(netlist: &mut Netlist, mux: NodeId, early_eval: bool) -> Result<()> {
+    let node = netlist.require_node(mux)?;
+    match &node.kind {
+        NodeKind::Mux(spec) => {
+            let mut spec = *spec;
+            spec.early_eval = early_eval;
+            if let Some(node) = netlist.node_mut(mux) {
+                node.kind = NodeKind::Mux(spec);
+            }
+            Ok(())
+        }
+        other => Err(CoreError::Precondition {
+            transform: "early_evaluation",
+            reason: format!("{mux} is a {} node, not a multiplexor", other.kind_name()),
+        }),
+    }
+}
+
+/// Enables early evaluation (with anti-token injection) on a multiplexor.
+///
+/// # Errors
+///
+/// Fails when the node is not a multiplexor.
+pub fn enable_early_evaluation(netlist: &mut Netlist, mux: NodeId) -> Result<()> {
+    set_early_eval(netlist, mux, true)
+}
+
+/// Reverts a multiplexor to conventional lazy-join behaviour.
+///
+/// # Errors
+///
+/// Fails when the node is not a multiplexor.
+pub fn disable_early_evaluation(netlist: &mut Netlist, mux: NodeId) -> Result<()> {
+    set_early_eval(netlist, mux, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::MuxSpec;
+    use crate::op::Op;
+
+    #[test]
+    fn toggling_early_evaluation_updates_the_spec() {
+        let mut n = Netlist::new("t");
+        let mux = n.add_mux("m", MuxSpec::lazy(2));
+        assert!(!n.node(mux).unwrap().as_mux().unwrap().early_eval);
+
+        enable_early_evaluation(&mut n, mux).unwrap();
+        assert!(n.node(mux).unwrap().as_mux().unwrap().early_eval);
+
+        disable_early_evaluation(&mut n, mux).unwrap();
+        assert!(!n.node(mux).unwrap().as_mux().unwrap().early_eval);
+    }
+
+    #[test]
+    fn non_mux_nodes_are_rejected() {
+        let mut n = Netlist::new("t");
+        let f = n.add_op("f", Op::Add);
+        assert!(matches!(
+            enable_early_evaluation(&mut n, f),
+            Err(CoreError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_nodes_are_rejected() {
+        let mut n = Netlist::new("t");
+        assert!(enable_early_evaluation(&mut n, NodeId::new(42)).is_err());
+    }
+}

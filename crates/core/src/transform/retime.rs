@@ -1,0 +1,248 @@
+//! Elastic-buffer retiming across combinational function blocks.
+//!
+//! Retiming moves storage across combinational logic without changing the
+//! transfer behaviour (Section 3.3). In the elastic setting the moved storage
+//! elements are EBs and the rule is the classical one: moving a buffer from
+//! the output of a block to all of its inputs (backward retiming) or from all
+//! inputs to the output (forward retiming) preserves the token count on every
+//! cycle of the graph and therefore the throughput bound.
+
+use crate::error::{CoreError, Result};
+use crate::id::{NodeId, Port};
+use crate::kind::NodeKind;
+use crate::netlist::Netlist;
+
+/// Moves the elastic buffer sitting on the output of a combinational block to
+/// all of its inputs (backward retiming). Returns the ids of the buffers
+/// created on the inputs.
+///
+/// # Errors
+///
+/// Fails when `block` is not a combinational block (function or mux), when
+/// its output does not feed exactly one elastic buffer, or when that buffer
+/// holds initial anti-tokens (which cannot be split across inputs).
+pub fn retime_backward(netlist: &mut Netlist, block: NodeId) -> Result<Vec<NodeId>> {
+    let node = netlist.require_node(block)?;
+    if !matches!(node.kind, NodeKind::Function(_) | NodeKind::Mux(_)) {
+        return Err(CoreError::Precondition {
+            transform: "retime_backward",
+            reason: format!("{block} is a {} node, not combinational logic", node.kind.kind_name()),
+        });
+    }
+    let output_channel = netlist
+        .channel_from(Port::output(block, 0))
+        .map(|c| c.id)
+        .ok_or(CoreError::UnconnectedPort { node: block, index: 0, is_input: false })?;
+    let buffer = {
+        let ch = netlist.require_channel(output_channel)?;
+        ch.to.node
+    };
+    let buffer_spec = match netlist.require_node(buffer)?.kind.clone() {
+        NodeKind::Buffer(spec) => spec,
+        other => {
+            return Err(CoreError::Precondition {
+                transform: "retime_backward",
+                reason: format!(
+                    "the output of {block} feeds a {} node, not an elastic buffer",
+                    other.kind_name()
+                ),
+            })
+        }
+    };
+    if buffer_spec.init_tokens < 0 {
+        return Err(CoreError::Precondition {
+            transform: "retime_backward",
+            reason: "cannot retime a buffer holding anti-tokens backwards".into(),
+        });
+    }
+    // Reconnect the block's output straight to whatever the buffer used to feed.
+    let buffer_out = netlist
+        .channel_from(Port::output(buffer, 0))
+        .map(|c| c.id)
+        .ok_or(CoreError::UnconnectedPort { node: buffer, index: 0, is_input: false })?;
+    netlist.remove_channel(output_channel)?;
+    netlist.set_channel_source(buffer_out, Port::output(block, 0))?;
+    netlist.remove_node(buffer)?;
+
+    // Insert a copy of the buffer on every input of the block.
+    let input_channels: Vec<_> = netlist.input_channels(block).iter().map(|c| c.id).collect();
+    let mut created = Vec::with_capacity(input_channels.len());
+    for channel in input_channels {
+        created.push(super::insert_buffer_on_channel(netlist, channel, buffer_spec)?);
+    }
+    Ok(created)
+}
+
+/// Moves the elastic buffers sitting on every input of a combinational block
+/// to its output (forward retiming). Returns the id of the buffer created on
+/// the output.
+///
+/// # Errors
+///
+/// Fails when `block` is not a combinational block, when any input is not fed
+/// by an elastic buffer, or when the input buffers do not share the same
+/// specification (different token counts would change behaviour).
+pub fn retime_forward(netlist: &mut Netlist, block: NodeId) -> Result<NodeId> {
+    let node = netlist.require_node(block)?;
+    if !matches!(node.kind, NodeKind::Function(_) | NodeKind::Mux(_)) {
+        return Err(CoreError::Precondition {
+            transform: "retime_forward",
+            reason: format!("{block} is a {} node, not combinational logic", node.kind.kind_name()),
+        });
+    }
+    let input_channels: Vec<_> = netlist.input_channels(block).iter().map(|c| c.id).collect();
+    if input_channels.len() != netlist.require_node(block)?.input_count() {
+        return Err(CoreError::Precondition {
+            transform: "retime_forward",
+            reason: format!("{block} has unconnected inputs"),
+        });
+    }
+
+    let mut buffers = Vec::new();
+    let mut common_spec = None;
+    for channel in &input_channels {
+        let driver = netlist.require_channel(*channel)?.from.node;
+        match netlist.require_node(driver)?.kind.clone() {
+            NodeKind::Buffer(spec) => {
+                if let Some(existing) = common_spec {
+                    if existing != spec {
+                        return Err(CoreError::Precondition {
+                            transform: "retime_forward",
+                            reason: "input buffers have different specifications".into(),
+                        });
+                    }
+                }
+                common_spec = Some(spec);
+                buffers.push(driver);
+            }
+            other => {
+                return Err(CoreError::Precondition {
+                    transform: "retime_forward",
+                    reason: format!(
+                        "input of {block} is driven by a {} node, not an elastic buffer",
+                        other.kind_name()
+                    ),
+                })
+            }
+        }
+    }
+    let spec = common_spec.expect("block has at least one input");
+
+    // Splice each input buffer out: its input channel now feeds the block directly.
+    for (channel, buffer) in input_channels.iter().zip(&buffers) {
+        let target = netlist.require_channel(*channel)?.to;
+        let upstream = netlist
+            .channel_into(Port::input(*buffer, 0))
+            .map(|c| c.id)
+            .ok_or(CoreError::UnconnectedPort { node: *buffer, index: 0, is_input: true })?;
+        netlist.remove_channel(*channel)?;
+        netlist.set_channel_target(upstream, target)?;
+        netlist.remove_node(*buffer)?;
+    }
+
+    // Insert a single buffer with the common specification on the output.
+    let output_channel = netlist
+        .channel_from(Port::output(block, 0))
+        .map(|c| c.id)
+        .ok_or(CoreError::UnconnectedPort { node: block, index: 0, is_input: false })?;
+    super::insert_buffer_on_channel(netlist, output_channel, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{BufferSpec, SinkSpec, SourceSpec};
+    use crate::op::Op;
+    use crate::transform::insert_buffer_on_channel;
+
+    /// src0 ─eb0─┐
+    ///            ├─ add ─ eb_out ─ sink
+    /// src1 ─eb1─┘
+    fn adder_with_input_buffers() -> (Netlist, NodeId) {
+        let mut n = Netlist::new("retime");
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let add = n.add_op("add", Op::Add);
+        // Op::Add is variadic; give it two explicit inputs.
+        if let Some(node) = n.node_mut(add) {
+            node.kind = NodeKind::Function(crate::kind::FunctionSpec::with_inputs(Op::Add, 2));
+        }
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        let ch0 = n.connect(Port::output(src0, 0), Port::input(add, 0), 8).unwrap();
+        let ch1 = n.connect(Port::output(src1, 0), Port::input(add, 1), 8).unwrap();
+        n.connect(Port::output(add, 0), Port::input(sink, 0), 8).unwrap();
+        insert_buffer_on_channel(&mut n, ch0, BufferSpec::standard(1)).unwrap();
+        insert_buffer_on_channel(&mut n, ch1, BufferSpec::standard(1)).unwrap();
+        (n, add)
+    }
+
+    #[test]
+    fn forward_retiming_merges_input_buffers() {
+        let (mut n, add) = adder_with_input_buffers();
+        let tokens_before = n.total_initial_tokens();
+        let out_buffer = retime_forward(&mut n, add).unwrap();
+        n.validate().unwrap();
+        assert_eq!(n.node(out_buffer).unwrap().as_buffer().unwrap().init_tokens, 1);
+        // Retiming a fork-free pipeline reduces the token count on the unique
+        // input-to-output path from 1+1 to 1; what matters is that the block's
+        // output is now registered.
+        assert!(n.total_initial_tokens() < tokens_before);
+        let buffers = n.kind_histogram().get("buffer").copied().unwrap_or(0);
+        assert_eq!(buffers, 1);
+    }
+
+    #[test]
+    fn backward_retiming_inverts_forward_retiming() {
+        let (mut n, add) = adder_with_input_buffers();
+        retime_forward(&mut n, add).unwrap();
+        let created = retime_backward(&mut n, add).unwrap();
+        assert_eq!(created.len(), 2);
+        n.validate().unwrap();
+        let buffers = n.kind_histogram().get("buffer").copied().unwrap_or(0);
+        assert_eq!(buffers, 2);
+    }
+
+    #[test]
+    fn forward_retiming_requires_buffers_on_all_inputs() {
+        let mut n = Netlist::new("t");
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let add = n.add_function("add", crate::kind::FunctionSpec::with_inputs(Op::Add, 2));
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        let ch0 = n.connect(Port::output(src0, 0), Port::input(add, 0), 8).unwrap();
+        n.connect(Port::output(src1, 0), Port::input(add, 1), 8).unwrap();
+        n.connect(Port::output(add, 0), Port::input(sink, 0), 8).unwrap();
+        insert_buffer_on_channel(&mut n, ch0, BufferSpec::standard(1)).unwrap();
+        assert!(matches!(retime_forward(&mut n, add), Err(CoreError::Precondition { .. })));
+    }
+
+    #[test]
+    fn forward_retiming_requires_identical_buffer_specs() {
+        let (mut n, add) = adder_with_input_buffers();
+        // Make one of the two input buffers a bubble.
+        let buffer = n
+            .live_nodes()
+            .find(|node| node.as_buffer().is_some())
+            .map(|node| node.id)
+            .unwrap();
+        if let Some(node) = n.node_mut(buffer) {
+            node.kind = NodeKind::Buffer(BufferSpec::bubble());
+        }
+        assert!(matches!(retime_forward(&mut n, add), Err(CoreError::Precondition { .. })));
+    }
+
+    #[test]
+    fn backward_retiming_requires_a_buffer_on_the_output() {
+        let (mut n, add) = adder_with_input_buffers();
+        // The output feeds the sink directly, not a buffer.
+        assert!(matches!(retime_backward(&mut n, add), Err(CoreError::Precondition { .. })));
+    }
+
+    #[test]
+    fn retiming_rejects_non_combinational_nodes() {
+        let (mut n, _add) = adder_with_input_buffers();
+        let src = n.find_node("src0").unwrap().id;
+        assert!(retime_forward(&mut n, src).is_err());
+        assert!(retime_backward(&mut n, src).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Shannon decomposition (multiplexor retiming).
+//!
+//! Given a multiplexor whose output feeds a combinational block `F`, Shannon
+//! decomposition moves `F` from the output of the multiplexor to each of its
+//! data inputs (Section 2, Figure 1(c), and [14] in the paper). The copies
+//! `F_0 … F_{k-1}` can then execute in parallel with the logic producing the
+//! select signal, shortening the critical cycle at the price of duplicated
+//! logic — duplication that the sharing transformation
+//! ([`crate::transform::share_mux_inputs`]) later removes by introducing
+//! speculation.
+//!
+//! When `F` has operands other than the multiplexor output, those operands
+//! are forked to every copy.
+
+use crate::error::{CoreError, Result};
+use crate::id::{NodeId, Port};
+use crate::kind::{ForkSpec, NodeKind};
+use crate::netlist::Netlist;
+
+/// Outcome of a [`shannon_decompose`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShannonReport {
+    /// The multiplexor that was retimed.
+    pub mux: NodeId,
+    /// The block that was moved from the multiplexor output to its inputs.
+    pub moved_block: NodeId,
+    /// The copies created on each data input, in data-input order.
+    pub copies: Vec<NodeId>,
+    /// Forks created to distribute side operands of the moved block.
+    pub forks: Vec<NodeId>,
+}
+
+/// Applies Shannon decomposition to `mux`.
+///
+/// Preconditions:
+///
+/// * `mux` is a multiplexor whose output feeds a single combinational
+///   function block `F` (point-to-point channels make "single" structural);
+/// * `F` does not feed the select input of `mux` combinationally through its
+///   own output (that would be a zero-latency cycle — impossible in a valid
+///   netlist anyway because the select comes from somewhere else).
+///
+/// The transformation:
+///
+/// 1. creates one copy of `F` per data input of the multiplexor,
+/// 2. re-targets each data-input channel onto the corresponding copy's
+///    mux-operand port and wires the copy's output to the multiplexor,
+/// 3. forks every side operand of `F` to all copies,
+/// 4. reconnects the multiplexor output to whatever `F` used to drive and
+///    removes the original `F`.
+///
+/// # Errors
+///
+/// Fails with [`CoreError::Precondition`] when the structural preconditions
+/// do not hold.
+pub fn shannon_decompose(netlist: &mut Netlist, mux: NodeId) -> Result<ShannonReport> {
+    let mux_node = netlist.require_node(mux)?;
+    let mux_spec = match mux_node.as_mux() {
+        Some(spec) => *spec,
+        None => {
+            return Err(CoreError::Precondition {
+                transform: "shannon_decompose",
+                reason: format!("{mux} is a {} node, not a multiplexor", mux_node.kind.kind_name()),
+            })
+        }
+    };
+
+    // The block F fed by the multiplexor output.
+    let mux_out_channel = netlist
+        .channel_from(Port::output(mux, 0))
+        .map(|c| (c.id, c.to))
+        .ok_or(CoreError::UnconnectedPort { node: mux, index: 0, is_input: false })?;
+    let block = mux_out_channel.1.node;
+    let block_operand_index = mux_out_channel.1.index;
+    let block_node = netlist.require_node(block)?;
+    let block_spec = match &block_node.kind {
+        NodeKind::Function(spec) => spec.clone(),
+        other => {
+            return Err(CoreError::Precondition {
+                transform: "shannon_decompose",
+                reason: format!(
+                    "the multiplexor output feeds a {} node; only function blocks can be retimed \
+                     through a multiplexor",
+                    other.kind_name()
+                ),
+            })
+        }
+    };
+    let block_name = block_node.name.clone();
+
+    // Output channel of F (what the decomposed design's mux will drive).
+    let block_out_channel = netlist
+        .channel_from(Port::output(block, 0))
+        .map(|c| c.id)
+        .ok_or(CoreError::UnconnectedPort { node: block, index: 0, is_input: false })?;
+    let block_out_width = netlist.require_channel(block_out_channel)?.width;
+
+    // Data-input channels of the multiplexor (ports 1..=k).
+    let mut data_channels = Vec::with_capacity(mux_spec.data_inputs);
+    for data_index in 0..mux_spec.data_inputs {
+        let port = Port::input(mux, 1 + data_index);
+        let channel = netlist
+            .channel_into(port)
+            .map(|c| c.id)
+            .ok_or(CoreError::UnconnectedPort { node: mux, index: 1 + data_index, is_input: true })?;
+        data_channels.push(channel);
+    }
+
+    // Side operands of F (all inputs except the one fed by the multiplexor).
+    let mut side_operands = Vec::new();
+    for operand in 0..block_spec.inputs {
+        if operand == block_operand_index {
+            continue;
+        }
+        let channel = netlist
+            .channel_into(Port::input(block, operand))
+            .map(|c| c.id)
+            .ok_or(CoreError::UnconnectedPort { node: block, index: operand, is_input: true })?;
+        side_operands.push((operand, channel));
+    }
+
+    // 1. Create the copies.
+    let mut copies = Vec::with_capacity(mux_spec.data_inputs);
+    for data_index in 0..mux_spec.data_inputs {
+        let copy = netlist.add_function(
+            format!("{block_name}_sh{data_index}"),
+            block_spec.clone(),
+        );
+        copies.push(copy);
+    }
+
+    // 2. Re-target each data-input channel onto its copy and wire the copy to
+    //    the multiplexor.
+    for (data_index, (&channel, &copy)) in data_channels.iter().zip(&copies).enumerate() {
+        netlist.set_channel_target(channel, Port::input(copy, block_operand_index))?;
+        netlist.connect_named(
+            format!("{block_name}_sh{data_index}_out"),
+            Port::output(copy, 0),
+            Port::input(mux, 1 + data_index),
+            block_out_width,
+        )?;
+    }
+
+    // 3. Fork every side operand of F to all copies.
+    let mut forks = Vec::new();
+    for (operand, channel) in side_operands {
+        let width = netlist.require_channel(channel)?.width;
+        let fork = netlist.add_fork(
+            format!("{block_name}_op{operand}_fork"),
+            ForkSpec::eager(mux_spec.data_inputs),
+        );
+        netlist.set_channel_target(channel, Port::input(fork, 0))?;
+        for (branch, &copy) in copies.iter().enumerate() {
+            netlist.connect_named(
+                format!("{block_name}_op{operand}_fork{branch}"),
+                Port::output(fork, branch),
+                Port::input(copy, operand),
+                width,
+            )?;
+        }
+        forks.push(fork);
+    }
+
+    // 4. The multiplexor now drives whatever F used to drive; remove F.
+    netlist.remove_channel(mux_out_channel.0)?;
+    netlist.set_channel_source(block_out_channel, Port::output(mux, 0))?;
+    netlist.remove_node(block)?;
+
+    Ok(ShannonReport { mux, moved_block: block, copies, forks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{FunctionSpec, MuxSpec, SinkSpec, SourceSpec};
+    use crate::op::{opaque, Op};
+
+    /// The Figure-1(a) style structure used by the unit tests:
+    ///
+    /// ```text
+    /// src0 ──► mux ──► F ──► sink
+    /// src1 ──►  │
+    /// sel  ──►──┘
+    /// ```
+    fn mux_then_f(single_operand: bool) -> (Netlist, NodeId, NodeId) {
+        let mut n = Netlist::new("shannon");
+        let sel = n.add_source("sel", SourceSpec::always());
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let f = if single_operand {
+            n.add_op("f", opaque("F", 6, 100))
+        } else {
+            n.add_function("f", FunctionSpec::with_inputs(Op::Add, 2))
+        };
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
+        n.connect(Port::output(src0, 0), Port::input(mux, 1), 8).unwrap();
+        n.connect(Port::output(src1, 0), Port::input(mux, 2), 8).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(f, 0), 8).unwrap();
+        if !single_operand {
+            let side = n.add_source("side", SourceSpec::always());
+            n.connect(Port::output(side, 0), Port::input(f, 1), 8).unwrap();
+        }
+        n.connect(Port::output(f, 0), Port::input(sink, 0), 8).unwrap();
+        (n, mux, f)
+    }
+
+    #[test]
+    fn decomposition_duplicates_the_block_onto_each_data_input() {
+        let (mut n, mux, f) = mux_then_f(true);
+        let report = shannon_decompose(&mut n, mux).unwrap();
+        n.validate().unwrap();
+        assert_eq!(report.copies.len(), 2);
+        assert!(report.forks.is_empty());
+        assert!(n.node(f).is_none(), "the original block is removed");
+        // The mux now drives the sink directly.
+        let sink = n.find_node("sink").unwrap().id;
+        let mux_out = n.channel_from(Port::output(mux, 0)).unwrap();
+        assert_eq!(mux_out.to.node, sink);
+        // Each data input of the mux is driven by a copy of F.
+        for data_index in 0..2 {
+            let driver = n.channel_into(Port::input(mux, 1 + data_index)).unwrap().from.node;
+            assert!(report.copies.contains(&driver));
+        }
+    }
+
+    #[test]
+    fn side_operands_are_forked_to_all_copies() {
+        let (mut n, mux, _f) = mux_then_f(false);
+        let report = shannon_decompose(&mut n, mux).unwrap();
+        n.validate().unwrap();
+        assert_eq!(report.copies.len(), 2);
+        assert_eq!(report.forks.len(), 1);
+        let fork = report.forks[0];
+        assert_eq!(n.output_channels(fork).len(), 2);
+        // The side source drives the fork.
+        let side = n.find_node("side").unwrap().id;
+        assert_eq!(n.channel_from(Port::output(side, 0)).unwrap().to.node, fork);
+    }
+
+    #[test]
+    fn decomposition_requires_a_mux() {
+        let (mut n, _mux, f) = mux_then_f(true);
+        assert!(matches!(
+            shannon_decompose(&mut n, f),
+            Err(CoreError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn decomposition_requires_a_function_after_the_mux() {
+        let mut n = Netlist::new("t");
+        let sel = n.add_source("sel", SourceSpec::always());
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
+        n.connect(Port::output(src0, 0), Port::input(mux, 1), 8).unwrap();
+        n.connect(Port::output(src1, 0), Port::input(mux, 2), 8).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(sink, 0), 8).unwrap();
+        assert!(matches!(
+            shannon_decompose(&mut n, mux),
+            Err(CoreError::Precondition { .. })
+        ));
+    }
+
+    #[test]
+    fn node_and_channel_counts_grow_as_expected() {
+        let (mut n, mux, _f) = mux_then_f(true);
+        let nodes_before = n.node_count();
+        let report = shannon_decompose(&mut n, mux).unwrap();
+        // F removed, two copies added: net +1 node.
+        assert_eq!(n.node_count(), nodes_before + report.copies.len() - 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Sharing of duplicated logic behind a speculative shared module.
+//!
+//! After Shannon decomposition the logic block appears once per data input of
+//! the multiplexor (Figure 1(c)). Sharing merges the copies into a single
+//! *shared elastic module* (Figure 1(d) and Section 4.1): a scheduler decides
+//! every cycle which input channel may use the shared logic, thereby
+//! implicitly predicting the select value of the downstream multiplexor —
+//! this is where speculation enters the design.
+
+use crate::error::{CoreError, Result};
+use crate::id::{NodeId, Port};
+use crate::kind::{BufferSpec, FunctionSpec, MuxSpec, NodeKind, SchedulerKind, SharedSpec};
+use crate::netlist::Netlist;
+
+/// Options controlling [`share_mux_inputs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShareOptions {
+    /// Prediction policy installed in the shared module.
+    pub scheduler: SchedulerKind,
+    /// Recovery buffer inserted between each shared-module output and the
+    /// corresponding multiplexor data input. `None` reproduces Figure 1(d)
+    /// (no buffers, `Lf = Lb = 0` between module and multiplexor).
+    pub recovery_buffer: Option<BufferSpec>,
+    /// Starvation override installed in the shared module controller so the
+    /// leads-to property holds for any scheduler (see [`SharedSpec`]).
+    pub starvation_limit: Option<u32>,
+    /// Require the multiplexor to use early evaluation (the paper's flow
+    /// always enables it before sharing; disable only for experiments).
+    pub require_early_eval: bool,
+}
+
+impl Default for ShareOptions {
+    fn default() -> Self {
+        ShareOptions {
+            scheduler: SchedulerKind::default(),
+            recovery_buffer: None,
+            starvation_limit: Some(64),
+            require_early_eval: true,
+        }
+    }
+}
+
+/// Outcome of a [`share_mux_inputs`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareReport {
+    /// The multiplexor whose data inputs are now speculated.
+    pub mux: NodeId,
+    /// The shared module that replaced the duplicated blocks.
+    pub shared: NodeId,
+    /// The duplicated blocks that were removed, in data-input order.
+    pub merged_blocks: Vec<NodeId>,
+    /// Recovery buffers inserted on the shared module outputs (empty when
+    /// [`ShareOptions::recovery_buffer`] is `None`).
+    pub recovery_buffers: Vec<NodeId>,
+}
+
+/// Merges the identical function blocks driving every data input of `mux`
+/// into a single speculative shared module.
+///
+/// Preconditions:
+///
+/// * `mux` is a multiplexor (with early evaluation enabled unless
+///   [`ShareOptions::require_early_eval`] is cleared);
+/// * every data input of `mux` is driven by a function block;
+/// * all those blocks compute the same operation with the same arity.
+///
+/// # Errors
+///
+/// Fails with [`CoreError::Precondition`] when the structure does not match.
+pub fn share_mux_inputs(
+    netlist: &mut Netlist,
+    mux: NodeId,
+    options: &ShareOptions,
+) -> Result<ShareReport> {
+    let mux_node = netlist.require_node(mux)?;
+    let mux_spec: MuxSpec = match mux_node.as_mux() {
+        Some(spec) => *spec,
+        None => {
+            return Err(CoreError::Precondition {
+                transform: "share_mux_inputs",
+                reason: format!("{mux} is a {} node, not a multiplexor", mux_node.kind.kind_name()),
+            })
+        }
+    };
+    if options.require_early_eval && !mux_spec.early_eval {
+        return Err(CoreError::Precondition {
+            transform: "share_mux_inputs",
+            reason: "the multiplexor must use early evaluation so that anti-tokens cancel the \
+                     non-selected speculation (apply enable_early_evaluation first)"
+                .into(),
+        });
+    }
+
+    // Collect the duplicated blocks on the data inputs.
+    let mut blocks: Vec<NodeId> = Vec::with_capacity(mux_spec.data_inputs);
+    let mut common_spec: Option<FunctionSpec> = None;
+    for data_index in 0..mux_spec.data_inputs {
+        let channel = netlist
+            .channel_into(Port::input(mux, 1 + data_index))
+            .ok_or(CoreError::UnconnectedPort { node: mux, index: 1 + data_index, is_input: true })?;
+        let driver = channel.from.node;
+        let driver_node = netlist.require_node(driver)?;
+        let spec = match &driver_node.kind {
+            NodeKind::Function(spec) => spec.clone(),
+            other => {
+                return Err(CoreError::Precondition {
+                    transform: "share_mux_inputs",
+                    reason: format!(
+                        "data input {data_index} of {mux} is driven by a {} node, not a function \
+                         block",
+                        other.kind_name()
+                    ),
+                })
+            }
+        };
+        if let Some(existing) = &common_spec {
+            if *existing != spec {
+                return Err(CoreError::Precondition {
+                    transform: "share_mux_inputs",
+                    reason: format!(
+                        "data inputs of {mux} are driven by different operations (`{}` vs `{}`); \
+                         only identical logic can be shared",
+                        existing.op.mnemonic(),
+                        spec.op.mnemonic()
+                    ),
+                });
+            }
+        } else {
+            common_spec = Some(spec);
+        }
+        blocks.push(driver);
+    }
+    let block_spec = common_spec.expect("mux has at least two data inputs");
+    let users = mux_spec.data_inputs;
+    let operands = block_spec.inputs;
+
+    // Create the shared module.
+    let shared_spec = SharedSpec {
+        users,
+        inputs_per_user: operands,
+        op: block_spec.op.clone(),
+        scheduler: options.scheduler.clone(),
+        starvation_limit: options.starvation_limit,
+    };
+    let base_name = netlist.require_node(blocks[0])?.name.clone();
+    let shared = netlist.add_shared(format!("{base_name}_shared"), shared_spec);
+
+    // Re-wire: operands of each duplicated block feed the shared module, the
+    // shared module outputs feed the multiplexor.
+    let mut merged_blocks = Vec::with_capacity(users);
+    for (user, &block) in blocks.iter().enumerate() {
+        for operand in 0..operands {
+            let channel = netlist
+                .channel_into(Port::input(block, operand))
+                .map(|c| c.id)
+                .ok_or(CoreError::UnconnectedPort { node: block, index: operand, is_input: true })?;
+            netlist.set_channel_target(channel, Port::input(shared, user * operands + operand))?;
+        }
+        // Remove the block -> mux channel and replace it by shared.out(user) -> mux.
+        let out_channel = netlist
+            .channel_from(Port::output(block, 0))
+            .map(|c| (c.id, c.width))
+            .ok_or(CoreError::UnconnectedPort { node: block, index: 0, is_input: false })?;
+        netlist.remove_channel(out_channel.0)?;
+        netlist.connect_named(
+            format!("{base_name}_shared_out{user}"),
+            Port::output(shared, user),
+            Port::input(mux, 1 + user),
+            out_channel.1,
+        )?;
+        netlist.remove_node(block)?;
+        merged_blocks.push(block);
+    }
+
+    // Optional recovery buffers between the shared module and the multiplexor.
+    let recovery_buffers = match options.recovery_buffer {
+        Some(spec) => super::insert_recovery_buffers(netlist, shared, spec)?,
+        None => Vec::new(),
+    };
+
+    Ok(ShareReport { mux, shared, merged_blocks, recovery_buffers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{MuxSpec, SinkSpec, SourceSpec};
+    use crate::op::opaque;
+    use crate::transform::{enable_early_evaluation, shannon_decompose};
+
+    /// Builds the Figure-1(c) structure by Shannon-decomposing a mux→F chain.
+    fn decomposed() -> (Netlist, NodeId) {
+        let mut n = Netlist::new("share");
+        let sel = n.add_source("sel", SourceSpec::always());
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let f = n.add_op("f", opaque("F", 6, 100));
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
+        n.connect(Port::output(src0, 0), Port::input(mux, 1), 8).unwrap();
+        n.connect(Port::output(src1, 0), Port::input(mux, 2), 8).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(f, 0), 8).unwrap();
+        n.connect(Port::output(f, 0), Port::input(sink, 0), 8).unwrap();
+        shannon_decompose(&mut n, mux).unwrap();
+        (n, mux)
+    }
+
+    #[test]
+    fn sharing_replaces_copies_with_one_shared_module() {
+        let (mut n, mux) = decomposed();
+        enable_early_evaluation(&mut n, mux).unwrap();
+        let report = share_mux_inputs(&mut n, mux, &ShareOptions::default()).unwrap();
+        n.validate().unwrap();
+        assert_eq!(report.merged_blocks.len(), 2);
+        let histogram = n.kind_histogram();
+        assert_eq!(histogram.get("shared"), Some(&1));
+        assert_eq!(histogram.get("function"), None, "all copies of F were merged");
+        // The shared module's outputs drive the mux data inputs.
+        for user in 0..2 {
+            let driver = n.channel_into(Port::input(mux, 1 + user)).unwrap().from.node;
+            assert_eq!(driver, report.shared);
+        }
+    }
+
+    #[test]
+    fn sharing_requires_early_evaluation_by_default() {
+        let (mut n, mux) = decomposed();
+        let err = share_mux_inputs(&mut n, mux, &ShareOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("early evaluation"));
+        // But it can be waived explicitly.
+        let options = ShareOptions { require_early_eval: false, ..ShareOptions::default() };
+        assert!(share_mux_inputs(&mut n, mux, &options).is_ok());
+    }
+
+    #[test]
+    fn sharing_can_insert_recovery_buffers() {
+        let (mut n, mux) = decomposed();
+        enable_early_evaluation(&mut n, mux).unwrap();
+        let options = ShareOptions {
+            recovery_buffer: Some(BufferSpec::zero_backward(0)),
+            ..ShareOptions::default()
+        };
+        let report = share_mux_inputs(&mut n, mux, &options).unwrap();
+        assert_eq!(report.recovery_buffers.len(), 2);
+        n.validate().unwrap();
+        for buffer in &report.recovery_buffers {
+            let spec = n.node(*buffer).unwrap().as_buffer().copied().unwrap();
+            assert_eq!(spec.backward_latency, 0);
+        }
+    }
+
+    #[test]
+    fn sharing_rejects_heterogeneous_blocks() {
+        let (mut n, mux) = decomposed();
+        enable_early_evaluation(&mut n, mux).unwrap();
+        // Mutate one of the copies to compute something else.
+        let copy = n
+            .live_nodes()
+            .find(|node| node.as_function().is_some())
+            .map(|node| node.id)
+            .unwrap();
+        if let Some(node) = n.node_mut(copy) {
+            node.kind = NodeKind::Function(FunctionSpec::new(crate::op::Op::Inc));
+        }
+        let err = share_mux_inputs(&mut n, mux, &ShareOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("different operations"));
+    }
+
+    #[test]
+    fn sharing_rejects_non_function_drivers() {
+        let mut n = Netlist::new("t");
+        let sel = n.add_source("sel", SourceSpec::always());
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::early(2));
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
+        n.connect(Port::output(src0, 0), Port::input(mux, 1), 8).unwrap();
+        n.connect(Port::output(src1, 0), Port::input(mux, 2), 8).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(sink, 0), 8).unwrap();
+        assert!(share_mux_inputs(&mut n, mux, &ShareOptions::default()).is_err());
+    }
+
+    #[test]
+    fn sharing_rejects_non_mux_nodes() {
+        let (mut n, _mux) = decomposed();
+        let sink = n.find_node("sink").unwrap().id;
+        assert!(share_mux_inputs(&mut n, sink, &ShareOptions::default()).is_err());
+    }
+}

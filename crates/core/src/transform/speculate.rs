@@ -1,0 +1,297 @@
+//! The composite speculation transformation (Section 4 of the paper).
+//!
+//! Speculation is introduced in four steps, each of which is itself a
+//! correct-by-construction transformation:
+//!
+//! 1. find a critical cycle going from the output of a multiplexor back to
+//!    its select input (when such a cycle exists, buffer insertion and
+//!    retiming alone cannot improve performance — speculation is "the
+//!    transformation of choice");
+//! 2. apply Shannon decomposition to move the block after the multiplexor
+//!    onto its data inputs;
+//! 3. enable early evaluation on the multiplexor so anti-tokens cancel the
+//!    data of the non-selected channel;
+//! 4. share the duplicated logic behind a speculative shared module whose
+//!    scheduler predicts the select outcome.
+//!
+//! [`speculate`] performs all four steps; [`find_select_cycles`] exposes the
+//! structural precondition check so analysis tooling can report *why*
+//! speculation is (not) applicable.
+
+use std::collections::HashSet;
+
+use crate::error::{CoreError, Result};
+use crate::id::{NodeId, Port};
+use crate::kind::{BufferSpec, SchedulerKind};
+use crate::netlist::Netlist;
+use crate::transform::{
+    enable_early_evaluation, shannon_decompose, share_mux_inputs, ShareOptions,
+};
+
+/// Options controlling the composite [`speculate`] pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeculateOptions {
+    /// Scheduler policy installed in the shared module.
+    pub scheduler: SchedulerKind,
+    /// Recovery buffer inserted between the shared module and the
+    /// multiplexor (`None` = direct connection as in Figure 1(d)).
+    pub recovery_buffer: Option<BufferSpec>,
+    /// Starvation override for the shared module controller.
+    pub starvation_limit: Option<u32>,
+    /// Apply speculation even when no cycle through the multiplexor select
+    /// exists (useful for purely feed-forward pipelines such as the SECDED
+    /// example, where the gain is pipeline depth rather than cycle ratio).
+    pub allow_acyclic: bool,
+}
+
+impl Default for SpeculateOptions {
+    fn default() -> Self {
+        SpeculateOptions {
+            scheduler: SchedulerKind::default(),
+            recovery_buffer: None,
+            starvation_limit: Some(64),
+            allow_acyclic: false,
+        }
+    }
+}
+
+/// Outcome of a [`speculate`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpeculationReport {
+    /// The multiplexor that now performs early evaluation over speculated data.
+    pub mux: NodeId,
+    /// The block that was retimed through the multiplexor and then shared.
+    pub moved_block: NodeId,
+    /// The speculative shared module.
+    pub shared_module: NodeId,
+    /// Recovery buffers inserted after the shared module (possibly empty).
+    pub recovery_buffers: Vec<NodeId>,
+    /// The cycles through the multiplexor select that justified speculation
+    /// (each cycle is a list of node ids; empty only when
+    /// [`SpeculateOptions::allow_acyclic`] was set).
+    pub select_cycles: Vec<Vec<NodeId>>,
+}
+
+/// Finds the cycles that start at the output of `mux` and return to its
+/// select input.
+///
+/// These are the cycles speculation targets: the select computation sits on a
+/// feedback loop with the multiplexor, so neither bubble insertion (it would
+/// lower throughput) nor plain retiming (no registers to move inside the
+/// cycle) helps. Each returned cycle lists the nodes visited, starting with
+/// `mux`.
+///
+/// # Errors
+///
+/// Fails when `mux` does not exist or is not a multiplexor.
+pub fn find_select_cycles(netlist: &Netlist, mux: NodeId) -> Result<Vec<Vec<NodeId>>> {
+    let node = netlist.require_node(mux)?;
+    if node.as_mux().is_none() {
+        return Err(CoreError::Precondition {
+            transform: "find_select_cycles",
+            reason: format!("{mux} is a {} node, not a multiplexor", node.kind.kind_name()),
+        });
+    }
+    // The driver of the select channel; a cycle exists when the select driver
+    // is reachable from the multiplexor output.
+    let select_driver = match netlist.channel_into(Port::input(mux, 0)) {
+        Some(channel) => channel.from.node,
+        None => return Ok(Vec::new()),
+    };
+
+    let mut cycles = Vec::new();
+    let mut stack = vec![mux];
+    let mut on_path: HashSet<NodeId> = HashSet::new();
+    on_path.insert(mux);
+    // Depth-first search bounded by the netlist size; netlists at this level
+    // are tiny (tens of nodes), so the exponential worst case is irrelevant.
+    fn dfs(
+        netlist: &Netlist,
+        current: NodeId,
+        target: NodeId,
+        mux: NodeId,
+        stack: &mut Vec<NodeId>,
+        on_path: &mut HashSet<NodeId>,
+        cycles: &mut Vec<Vec<NodeId>>,
+    ) {
+        for next in netlist.successors(current) {
+            if next == target {
+                let mut cycle = stack.clone();
+                cycle.push(target);
+                cycles.push(cycle);
+                continue;
+            }
+            if next == mux || on_path.contains(&next) {
+                continue;
+            }
+            on_path.insert(next);
+            stack.push(next);
+            dfs(netlist, next, target, mux, stack, on_path, cycles);
+            stack.pop();
+            on_path.remove(&next);
+        }
+    }
+    dfs(netlist, mux, select_driver, mux, &mut stack, &mut on_path, &mut cycles);
+    Ok(cycles)
+}
+
+/// Applies the full speculation flow to `mux`.
+///
+/// See the module documentation for the four steps. The resulting design is
+/// transfer-equivalent to the original for *any* scheduler satisfying the
+/// leads-to property — the scheduler only affects performance, never
+/// functionality (Section 4 of the paper; checked dynamically by
+/// `elastic-verify`).
+///
+/// # Errors
+///
+/// Fails when the structural preconditions of any step do not hold, or when
+/// no cycle through the multiplexor select exists and
+/// [`SpeculateOptions::allow_acyclic`] is not set.
+pub fn speculate(
+    netlist: &mut Netlist,
+    mux: NodeId,
+    options: &SpeculateOptions,
+) -> Result<SpeculationReport> {
+    let select_cycles = find_select_cycles(netlist, mux)?;
+    if select_cycles.is_empty() && !options.allow_acyclic {
+        return Err(CoreError::Precondition {
+            transform: "speculate",
+            reason: format!(
+                "no cycle from the output of {mux} back to its select input; speculation targets \
+                 select feedback loops (set allow_acyclic to force the transformation on \
+                 feed-forward pipelines)"
+            ),
+        });
+    }
+
+    let shannon = shannon_decompose(netlist, mux)?;
+    enable_early_evaluation(netlist, mux)?;
+    let share = share_mux_inputs(
+        netlist,
+        mux,
+        &ShareOptions {
+            scheduler: options.scheduler.clone(),
+            recovery_buffer: options.recovery_buffer,
+            starvation_limit: options.starvation_limit,
+            require_early_eval: true,
+        },
+    )?;
+
+    Ok(SpeculationReport {
+        mux,
+        moved_block: shannon.moved_block,
+        shared_module: share.shared,
+        recovery_buffers: share.recovery_buffers,
+        select_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::{ForkSpec, MuxSpec, SinkSpec, SourceSpec};
+    use crate::op::opaque;
+
+    /// The Figure-1(a) loop:
+    ///
+    /// ```text
+    /// src0 ─► mux ─► F ─► EB(1 token) ─► fork ─► sink
+    /// src1 ─►  │                          │
+    ///          └──────────── G ◄──────────┘
+    /// ```
+    fn fig1a_like() -> (Netlist, NodeId) {
+        let mut n = Netlist::new("fig1a");
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let f = n.add_op("f", opaque("F", 6, 100));
+        let eb = n.add_buffer("eb", BufferSpec::standard(1));
+        let fork = n.add_fork("fork", ForkSpec::eager(2));
+        let g = n.add_op("g", opaque("G", 5, 80));
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(src0, 0), Port::input(mux, 1), 8).unwrap();
+        n.connect(Port::output(src1, 0), Port::input(mux, 2), 8).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(f, 0), 8).unwrap();
+        n.connect(Port::output(f, 0), Port::input(eb, 0), 8).unwrap();
+        n.connect(Port::output(eb, 0), Port::input(fork, 0), 8).unwrap();
+        n.connect(Port::output(fork, 0), Port::input(g, 0), 8).unwrap();
+        n.connect(Port::output(fork, 1), Port::input(sink, 0), 8).unwrap();
+        n.connect(Port::output(g, 0), Port::input(mux, 0), 1).unwrap();
+        n.validate().unwrap();
+        (n, mux)
+    }
+
+    #[test]
+    fn select_cycles_are_found_in_the_fig1_loop() {
+        let (n, mux) = fig1a_like();
+        let cycles = find_select_cycles(&n, mux).unwrap();
+        assert_eq!(cycles.len(), 1);
+        let cycle = &cycles[0];
+        assert_eq!(cycle.first(), Some(&mux));
+        let g = n.find_node("g").unwrap().id;
+        assert_eq!(cycle.last(), Some(&g));
+        assert!(cycle.contains(&n.find_node("eb").unwrap().id));
+    }
+
+    #[test]
+    fn speculation_produces_the_fig1d_structure() {
+        let (mut n, mux) = fig1a_like();
+        let report = speculate(&mut n, mux, &SpeculateOptions::default()).unwrap();
+        n.validate().unwrap();
+        assert!(!report.select_cycles.is_empty());
+        let histogram = n.kind_histogram();
+        assert_eq!(histogram.get("shared"), Some(&1));
+        assert_eq!(histogram.get("function"), Some(&1), "only G remains as a plain function");
+        assert!(n.node(mux).unwrap().as_mux().unwrap().early_eval);
+        // Each mux data input is fed by the shared module.
+        for data_index in 0..2 {
+            let driver = n.channel_into(Port::input(mux, 1 + data_index)).unwrap().from.node;
+            assert_eq!(driver, report.shared_module);
+        }
+    }
+
+    #[test]
+    fn speculation_without_a_select_cycle_requires_opt_in() {
+        let mut n = Netlist::new("feedforward");
+        let sel = n.add_source("sel", SourceSpec::always());
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let f = n.add_op("f", opaque("F", 6, 100));
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
+        n.connect(Port::output(src0, 0), Port::input(mux, 1), 8).unwrap();
+        n.connect(Port::output(src1, 0), Port::input(mux, 2), 8).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(f, 0), 8).unwrap();
+        n.connect(Port::output(f, 0), Port::input(sink, 0), 8).unwrap();
+
+        let err = speculate(&mut n, mux, &SpeculateOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("no cycle"));
+
+        let options = SpeculateOptions { allow_acyclic: true, ..SpeculateOptions::default() };
+        let report = speculate(&mut n, mux, &options).unwrap();
+        assert!(report.select_cycles.is_empty());
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn speculation_with_recovery_buffers_inserts_them() {
+        let (mut n, mux) = fig1a_like();
+        let options = SpeculateOptions {
+            recovery_buffer: Some(BufferSpec::zero_backward(0)),
+            ..SpeculateOptions::default()
+        };
+        let report = speculate(&mut n, mux, &options).unwrap();
+        assert_eq!(report.recovery_buffers.len(), 2);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn speculation_rejects_non_mux_nodes() {
+        let (mut n, _mux) = fig1a_like();
+        let f = n.find_node("f").unwrap().id;
+        assert!(speculate(&mut n, f, &SpeculateOptions::default()).is_err());
+        assert!(find_select_cycles(&n, f).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! Structural validation of elastic netlists.
+//!
+//! Validation is purely structural: it checks port connectivity, arity
+//! consistency, buffer well-formedness and basic sanity of environment
+//! specifications. Protocol-level properties (deadlock freedom, SELF
+//! compliance, transfer equivalence) are checked dynamically by the
+//! `elastic-verify` crate.
+
+use crate::error::{CoreError, Result};
+use crate::id::Port;
+use crate::kind::{BackpressurePattern, NodeKind, SourcePattern};
+use crate::netlist::Netlist;
+
+/// Validates the structural integrity of a netlist.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Invalid`] listing every violation found:
+///
+/// * every input and output port must be connected to exactly one channel,
+/// * channel endpoints must reference live nodes and in-range ports,
+/// * buffer specifications must satisfy `C >= Lf + Lb`,
+/// * multiplexors need at least two data inputs, forks and shared modules at
+///   least one branch/user,
+/// * function blocks with a fixed-arity [`crate::Op`] must declare a matching
+///   number of inputs,
+/// * stochastic environment patterns must use probabilities within `[0, 1]`.
+pub fn validate(netlist: &Netlist) -> Result<()> {
+    let mut problems = Vec::new();
+
+    for node in netlist.live_nodes() {
+        // Port occupancy.
+        for index in 0..node.input_count() {
+            let attached = netlist
+                .live_channels()
+                .filter(|c| c.to == Port::input(node.id, index))
+                .count();
+            match attached {
+                0 => problems
+                    .push(format!("input port {index} of {} ({}) is unconnected", node.name, node.id)),
+                1 => {}
+                _ => problems.push(format!(
+                    "input port {index} of {} ({}) has {attached} drivers",
+                    node.name, node.id
+                )),
+            }
+        }
+        for index in 0..node.output_count() {
+            let attached = netlist
+                .live_channels()
+                .filter(|c| c.from == Port::output(node.id, index))
+                .count();
+            match attached {
+                0 => problems.push(format!(
+                    "output port {index} of {} ({}) is unconnected",
+                    node.name, node.id
+                )),
+                1 => {}
+                _ => problems.push(format!(
+                    "output port {index} of {} ({}) drives {attached} channels (insert a fork)",
+                    node.name, node.id
+                )),
+            }
+        }
+
+        // Kind-specific checks.
+        match &node.kind {
+            NodeKind::Buffer(spec) => {
+                if !spec.is_well_formed() {
+                    problems.push(format!(
+                        "buffer {} ({}) violates capacity >= Lf + Lb or its initial occupancy \
+                         exceeds the declared capacity",
+                        node.name, node.id
+                    ));
+                }
+            }
+            NodeKind::Function(spec) => {
+                if spec.inputs == 0 {
+                    problems.push(format!(
+                        "function {} ({}) must have at least one input",
+                        node.name, node.id
+                    ));
+                }
+                if let Some(arity) = spec.op.arity() {
+                    if spec.inputs != arity {
+                        problems.push(format!(
+                            "function {} ({}) computes `{}` which needs {arity} operand(s) but \
+                             declares {} input port(s)",
+                            node.name,
+                            node.id,
+                            spec.op.mnemonic(),
+                            spec.inputs
+                        ));
+                    }
+                }
+            }
+            NodeKind::Mux(spec) => {
+                if spec.data_inputs < 2 {
+                    problems.push(format!(
+                        "mux {} ({}) needs at least two data inputs",
+                        node.name, node.id
+                    ));
+                }
+            }
+            NodeKind::Fork(spec) => {
+                if spec.outputs < 2 {
+                    problems.push(format!(
+                        "fork {} ({}) needs at least two branches",
+                        node.name, node.id
+                    ));
+                }
+            }
+            NodeKind::Shared(spec) => {
+                if spec.users < 2 {
+                    problems.push(format!(
+                        "shared module {} ({}) needs at least two users",
+                        node.name, node.id
+                    ));
+                }
+                if spec.inputs_per_user == 0 {
+                    problems.push(format!(
+                        "shared module {} ({}) needs at least one operand per user",
+                        node.name, node.id
+                    ));
+                }
+                if let Some(arity) = spec.op.arity() {
+                    if spec.inputs_per_user != arity {
+                        problems.push(format!(
+                            "shared module {} ({}) computes `{}` which needs {arity} operand(s) \
+                             but declares {} per user",
+                            node.name,
+                            node.id,
+                            spec.op.mnemonic(),
+                            spec.inputs_per_user
+                        ));
+                    }
+                }
+            }
+            NodeKind::VarLatency(spec) => {
+                if spec.inputs == 0 {
+                    problems.push(format!(
+                        "variable-latency unit {} ({}) must have at least one input",
+                        node.name, node.id
+                    ));
+                }
+            }
+            NodeKind::Source(spec) => {
+                if let SourcePattern::Random { probability, .. } = spec.pattern {
+                    if !(0.0..=1.0).contains(&probability) {
+                        problems.push(format!(
+                            "source {} ({}) uses an out-of-range token probability {probability}",
+                            node.name, node.id
+                        ));
+                    }
+                }
+                if let SourcePattern::Every(period) = spec.pattern {
+                    if period == 0 {
+                        problems.push(format!(
+                            "source {} ({}) uses a zero production period",
+                            node.name, node.id
+                        ));
+                    }
+                }
+            }
+            NodeKind::Sink(spec) => {
+                if let BackpressurePattern::Random { probability, .. } = spec.backpressure {
+                    if !(0.0..=1.0).contains(&probability) {
+                        problems.push(format!(
+                            "sink {} ({}) uses an out-of-range stall probability {probability}",
+                            node.name, node.id
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Channel endpoint sanity (defence in depth; `connect` already checks).
+    for channel in netlist.live_channels() {
+        if netlist.node(channel.from.node).is_none() {
+            problems.push(format!("channel {} has a dangling producer", channel.id));
+        }
+        if netlist.node(channel.to.node).is_none() {
+            problems.push(format!("channel {} has a dangling consumer", channel.id));
+        }
+        if channel.width == 0 || channel.width > 64 {
+            problems.push(format!(
+                "channel {} ({}) has unsupported width {}",
+                channel.id, channel.name, channel.width
+            ));
+        }
+    }
+
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(CoreError::Invalid(problems))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::Port;
+    use crate::kind::{BufferSpec, ForkSpec, MuxSpec, SinkSpec, SourceSpec};
+    use crate::op::Op;
+
+    fn connected_pair() -> Netlist {
+        let mut n = Netlist::new("ok");
+        let src = n.add_source("src", SourceSpec::always());
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(src, 0), Port::input(sink, 0), 8).unwrap();
+        n
+    }
+
+    #[test]
+    fn minimal_connected_netlist_is_valid() {
+        assert!(connected_pair().validate().is_ok());
+    }
+
+    #[test]
+    fn dangling_ports_are_reported() {
+        let mut n = Netlist::new("bad");
+        n.add_source("src", SourceSpec::always());
+        let err = n.validate().unwrap_err();
+        match err {
+            CoreError::Invalid(problems) => {
+                assert!(problems.iter().any(|p| p.contains("unconnected")));
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_buffers_are_reported() {
+        let mut n = connected_pair();
+        let bad = BufferSpec { capacity: 1, ..BufferSpec::standard(0) };
+        let eb = n.add_buffer("eb", bad);
+        let src2 = n.add_source("src2", SourceSpec::always());
+        let sink2 = n.add_sink("sink2", SinkSpec::always_ready());
+        n.connect(Port::output(src2, 0), Port::input(eb, 0), 8).unwrap();
+        n.connect(Port::output(eb, 0), Port::input(sink2, 0), 8).unwrap();
+        let err = n.validate().unwrap_err();
+        assert!(err.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let mut n = connected_pair();
+        let f = n.add_function("sub1", crate::kind::FunctionSpec::with_inputs(Op::Sub, 1));
+        let src2 = n.add_source("src2", SourceSpec::always());
+        let sink2 = n.add_sink("sink2", SinkSpec::always_ready());
+        n.connect(Port::output(src2, 0), Port::input(f, 0), 8).unwrap();
+        n.connect(Port::output(f, 0), Port::input(sink2, 0), 8).unwrap();
+        let err = n.validate().unwrap_err();
+        assert!(err.to_string().contains("operand"));
+    }
+
+    #[test]
+    fn degenerate_mux_and_fork_are_reported() {
+        let mut n = Netlist::new("bad");
+        n.add_mux("m", MuxSpec::lazy(1));
+        n.add_fork("f", ForkSpec::eager(1));
+        let err = n.validate().unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("two data inputs"));
+        assert!(text.contains("two branches"));
+    }
+
+    #[test]
+    fn fanout_without_fork_is_reported() {
+        let mut n = Netlist::new("bad");
+        let src = n.add_source("src", SourceSpec::always());
+        let a = n.add_sink("a", SinkSpec::always_ready());
+        let b = n.add_sink("b", SinkSpec::always_ready());
+        n.connect(Port::output(src, 0), Port::input(a, 0), 8).unwrap();
+        // Bypass `connect`'s occupancy check by wiring manually through a second
+        // channel with the same producer: emulate by creating another source and
+        // rewiring its channel onto the same output port.
+        let src2 = n.add_source("src2", SourceSpec::always());
+        let ch = n.connect(Port::output(src2, 0), Port::input(b, 0), 8).unwrap();
+        // Force the duplicate producer (error path of set_channel_source is
+        // exactly what guards against this, so mutate through the public struct
+        // view is not possible — instead check that the guard fires).
+        assert!(n.set_channel_source(ch, Port::output(src, 0)).is_err());
+    }
+
+    #[test]
+    fn random_probabilities_are_range_checked() {
+        let mut n = Netlist::new("bad");
+        let src = n.add_source(
+            "src",
+            SourceSpec {
+                pattern: SourcePattern::Random { probability: 1.5, seed: 1 },
+                ..SourceSpec::default()
+            },
+        );
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(src, 0), Port::input(sink, 0), 8).unwrap();
+        let err = n.validate().unwrap_err();
+        assert!(err.to_string().contains("probability"));
+    }
+}

@@ -1,0 +1,146 @@
+//! The 8-bit ALU used by the variable-latency pipeline of Section 5.1.
+//!
+//! The paper implements "a variable latency ALU using a simple pipeline with
+//! an 8-bit datapath". The concrete operation mix is not specified, so this
+//! ALU provides the usual small-RISC set; its add/sub paths are the long
+//! (carry-chain) paths that the approximate unit shortens.
+
+use crate::adder::{mask, ripple_add};
+
+/// Opcodes of the 8-bit ALU. The numeric values are the encodings used on
+/// the opcode channel of [`elastic_core::Op::Alu8`] function blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AluOpcode {
+    /// `a + b` (9-bit result including carry out).
+    Add = 0,
+    /// `a - b` (two's complement, masked to 8 bits).
+    Sub = 1,
+    /// Bitwise AND.
+    And = 2,
+    /// Bitwise OR.
+    Or = 3,
+    /// Bitwise XOR.
+    Xor = 4,
+    /// Logical shift left by `b & 7`.
+    Shl = 5,
+    /// Logical shift right by `b & 7`.
+    Shr = 6,
+    /// Pass `a` through unchanged.
+    Pass = 7,
+}
+
+impl AluOpcode {
+    /// Decodes an opcode from the low bits of an opcode word; unknown
+    /// encodings decode to [`AluOpcode::Pass`].
+    pub fn from_word(word: u64) -> Self {
+        match word & 0x7 {
+            0 => AluOpcode::Add,
+            1 => AluOpcode::Sub,
+            2 => AluOpcode::And,
+            3 => AluOpcode::Or,
+            4 => AluOpcode::Xor,
+            5 => AluOpcode::Shl,
+            6 => AluOpcode::Shr,
+            _ => AluOpcode::Pass,
+        }
+    }
+
+    /// All opcodes, in encoding order.
+    pub fn all() -> [AluOpcode; 8] {
+        [
+            AluOpcode::Add,
+            AluOpcode::Sub,
+            AluOpcode::And,
+            AluOpcode::Or,
+            AluOpcode::Xor,
+            AluOpcode::Shl,
+            AluOpcode::Shr,
+            AluOpcode::Pass,
+        ]
+    }
+}
+
+/// Evaluates the 8-bit ALU.
+///
+/// `a` and `b` are masked to 8 bits. Add returns a 9-bit result (carry out in
+/// bit 8); every other operation returns an 8-bit result.
+pub fn alu8(opcode: AluOpcode, a: u64, b: u64) -> u64 {
+    let a = mask(a, 8);
+    let b = mask(b, 8);
+    match opcode {
+        AluOpcode::Add => ripple_add(a, b, 8),
+        AluOpcode::Sub => mask(a.wrapping_sub(b), 8),
+        AluOpcode::And => a & b,
+        AluOpcode::Or => a | b,
+        AluOpcode::Xor => a ^ b,
+        AluOpcode::Shl => mask(a << (b & 7), 8),
+        AluOpcode::Shr => a >> (b & 7),
+        AluOpcode::Pass => a,
+    }
+}
+
+/// Evaluates the ALU with the opcode supplied as a word (the form used by
+/// [`elastic_core::Op::Alu8`] function blocks, whose first operand is the
+/// opcode channel).
+pub fn alu8_word(opcode_word: u64, a: u64, b: u64) -> u64 {
+    alu8(AluOpcode::from_word(opcode_word), a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_produces_nine_bit_results() {
+        assert_eq!(alu8(AluOpcode::Add, 0xFF, 0x01), 0x100);
+        assert_eq!(alu8(AluOpcode::Add, 0x7F, 0x01), 0x80);
+    }
+
+    #[test]
+    fn sub_wraps_to_eight_bits() {
+        assert_eq!(alu8(AluOpcode::Sub, 0x00, 0x01), 0xFF);
+        assert_eq!(alu8(AluOpcode::Sub, 0x80, 0x80), 0x00);
+    }
+
+    #[test]
+    fn logic_operations_match_bitwise_operators() {
+        assert_eq!(alu8(AluOpcode::And, 0xF0, 0x3C), 0x30);
+        assert_eq!(alu8(AluOpcode::Or, 0xF0, 0x3C), 0xFC);
+        assert_eq!(alu8(AluOpcode::Xor, 0xF0, 0x3C), 0xCC);
+    }
+
+    #[test]
+    fn shifts_use_the_low_three_bits_of_the_amount() {
+        assert_eq!(alu8(AluOpcode::Shl, 0x01, 3), 0x08);
+        assert_eq!(alu8(AluOpcode::Shl, 0x01, 11), 0x08, "shift amount wraps at 8");
+        assert_eq!(alu8(AluOpcode::Shr, 0x80, 7), 0x01);
+    }
+
+    #[test]
+    fn opcode_round_trips_through_its_encoding() {
+        for opcode in AluOpcode::all() {
+            assert_eq!(AluOpcode::from_word(opcode as u64), opcode);
+        }
+        assert_eq!(AluOpcode::from_word(0xFF), AluOpcode::Pass);
+    }
+
+    proptest! {
+        #[test]
+        fn results_fit_in_nine_bits(op in 0u64..8, a in any::<u64>(), b in any::<u64>()) {
+            let result = alu8_word(op, a, b);
+            prop_assert!(result < 0x200);
+        }
+
+        #[test]
+        fn add_matches_native(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(alu8(AluOpcode::Add, a, b), (a & 0xFF) + (b & 0xFF));
+        }
+
+        #[test]
+        fn pass_ignores_b(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(alu8(AluOpcode::Pass, a, b), a & 0xFF);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Bit-accurate evaluation of [`elastic_core::Op`] operations.
+//!
+//! The netlist model (`elastic-core`) treats operations as opaque
+//! descriptions; this module gives each of them its meaning on `u64` channel
+//! words. The cycle-accurate simulator calls [`evaluate`] for every function
+//! block, shared module and variable-latency unit each clock cycle.
+
+use std::fmt;
+
+use elastic_core::Op;
+
+use crate::adder::{approx_add, approx_add_error, kogge_stone_add, mask, ripple_add};
+use crate::alu::alu8_word;
+use crate::secded::Secded;
+
+/// Errors raised when an operation is evaluated with the wrong operand count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError {
+    /// The operation that failed to evaluate.
+    pub op: String,
+    /// Number of operands supplied.
+    pub supplied: usize,
+    /// Number of operands required.
+    pub required: usize,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "operation `{}` requires {} operand(s) but was evaluated with {}",
+            self.op, self.required, self.supplied
+        )
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn require(op: &Op, inputs: &[u64], required: usize) -> Result<(), EvalError> {
+    if inputs.len() >= required {
+        Ok(())
+    } else {
+        Err(EvalError { op: op.mnemonic(), supplied: inputs.len(), required })
+    }
+}
+
+/// Evaluates `op` on the given operand words.
+///
+/// Operands beyond the operation's arity are ignored; missing operands are an
+/// error. Results are masked to the operation's natural output width when it
+/// has one (e.g. comparison operations return `0`/`1`).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when fewer operands than the operation's arity are
+/// supplied.
+pub fn evaluate(op: &Op, inputs: &[u64]) -> Result<u64, EvalError> {
+    let value = match op {
+        Op::Identity => {
+            require(op, inputs, 1)?;
+            inputs[0]
+        }
+        Op::Const(value) => *value,
+        Op::Not => {
+            require(op, inputs, 1)?;
+            !inputs[0]
+        }
+        Op::Neg => {
+            require(op, inputs, 1)?;
+            inputs[0].wrapping_neg()
+        }
+        Op::Add => {
+            require(op, inputs, 1)?;
+            inputs.iter().fold(0u64, |acc, &x| acc.wrapping_add(x))
+        }
+        Op::Sub => {
+            require(op, inputs, 2)?;
+            inputs[0].wrapping_sub(inputs[1])
+        }
+        Op::And => {
+            require(op, inputs, 1)?;
+            inputs.iter().fold(u64::MAX, |acc, &x| acc & x)
+        }
+        Op::Or => {
+            require(op, inputs, 1)?;
+            inputs.iter().fold(0u64, |acc, &x| acc | x)
+        }
+        Op::Xor => {
+            require(op, inputs, 1)?;
+            inputs.iter().fold(0u64, |acc, &x| acc ^ x)
+        }
+        Op::Shl => {
+            require(op, inputs, 2)?;
+            inputs[0].wrapping_shl((inputs[1] & 63) as u32)
+        }
+        Op::Shr => {
+            require(op, inputs, 2)?;
+            inputs[0].wrapping_shr((inputs[1] & 63) as u32)
+        }
+        Op::Inc => {
+            require(op, inputs, 1)?;
+            inputs[0].wrapping_add(1)
+        }
+        Op::Dec => {
+            require(op, inputs, 1)?;
+            inputs[0].wrapping_sub(1)
+        }
+        Op::Eq => {
+            require(op, inputs, 2)?;
+            u64::from(inputs[0] == inputs[1])
+        }
+        Op::Ne => {
+            require(op, inputs, 2)?;
+            u64::from(inputs[0] != inputs[1])
+        }
+        Op::Lt => {
+            require(op, inputs, 2)?;
+            u64::from(inputs[0] < inputs[1])
+        }
+        Op::Alu8 => {
+            require(op, inputs, 3)?;
+            alu8_word(inputs[0], inputs[1], inputs[2])
+        }
+        Op::RippleAdd { width } => {
+            require(op, inputs, 2)?;
+            ripple_add(inputs[0], inputs[1], *width)
+        }
+        Op::KoggeStoneAdd { width } => {
+            require(op, inputs, 2)?;
+            kogge_stone_add(inputs[0], inputs[1], *width)
+        }
+        Op::ApproxAdd { width, spec_bits } => {
+            require(op, inputs, 2)?;
+            approx_add(inputs[0], inputs[1], *width, *spec_bits)
+        }
+        Op::ApproxAddErr { width, spec_bits } => {
+            require(op, inputs, 2)?;
+            approx_add_error(inputs[0], inputs[1], *width, *spec_bits)
+        }
+        Op::SecdedEncode { data_width } => {
+            require(op, inputs, 1)?;
+            Secded::new(*data_width).encode(inputs[0])
+        }
+        Op::SecdedCorrect { data_width } => {
+            require(op, inputs, 1)?;
+            Secded::new(*data_width).correct(inputs[0])
+        }
+        Op::SecdedSyndrome { data_width } => {
+            require(op, inputs, 1)?;
+            Secded::new(*data_width).classify(inputs[0]).to_word()
+        }
+        Op::BitSelect { bit } => {
+            require(op, inputs, 1)?;
+            (inputs[0] >> (bit & 63)) & 1
+        }
+        Op::Mask { width } => {
+            require(op, inputs, 1)?;
+            mask(inputs[0], *width)
+        }
+        Op::Lut(table) => {
+            require(op, inputs, 1)?;
+            if table.is_empty() {
+                0
+            } else {
+                table[(inputs[0] as usize) % table.len()]
+            }
+        }
+        Op::Opaque { .. } => {
+            require(op, inputs, 1)?;
+            // Opaque blocks are timing/area placeholders; functionally they
+            // pass their first operand through so transfer-equivalence checks
+            // remain meaningful.
+            inputs[0]
+        }
+        // `Op` is non-exhaustive: future operations default to passing the
+        // first operand through (or zero when there is none).
+        _ => inputs.first().copied().unwrap_or(0),
+    };
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_logic_ops_match_native_semantics() {
+        assert_eq!(evaluate(&Op::Add, &[1, 2, 3]).unwrap(), 6);
+        assert_eq!(evaluate(&Op::Sub, &[5, 7]).unwrap(), u64::MAX - 1);
+        assert_eq!(evaluate(&Op::And, &[0xF0, 0xFF]).unwrap(), 0xF0);
+        assert_eq!(evaluate(&Op::Or, &[0xF0, 0x0F]).unwrap(), 0xFF);
+        assert_eq!(evaluate(&Op::Xor, &[0xFF, 0x0F]).unwrap(), 0xF0);
+        assert_eq!(evaluate(&Op::Inc, &[41]).unwrap(), 42);
+        assert_eq!(evaluate(&Op::Dec, &[0]).unwrap(), u64::MAX);
+        assert_eq!(evaluate(&Op::Eq, &[3, 3]).unwrap(), 1);
+        assert_eq!(evaluate(&Op::Ne, &[3, 3]).unwrap(), 0);
+        assert_eq!(evaluate(&Op::Lt, &[2, 3]).unwrap(), 1);
+        assert_eq!(evaluate(&Op::Const(9), &[]).unwrap(), 9);
+        assert_eq!(evaluate(&Op::BitSelect { bit: 4 }, &[0x10]).unwrap(), 1);
+        assert_eq!(evaluate(&Op::Mask { width: 4 }, &[0xFF]).unwrap(), 0x0F);
+        assert_eq!(evaluate(&Op::Lut(vec![7, 8, 9]), &[4]).unwrap(), 8);
+    }
+
+    #[test]
+    fn adders_delegate_to_the_datapath_implementations() {
+        assert_eq!(evaluate(&Op::RippleAdd { width: 8 }, &[200, 100]).unwrap(), 300);
+        assert_eq!(evaluate(&Op::KoggeStoneAdd { width: 32 }, &[1 << 31, 1 << 31]).unwrap(), 1 << 32);
+        assert_eq!(
+            evaluate(&Op::ApproxAddErr { width: 8, spec_bits: 4 }, &[0x0F, 0x01]).unwrap(),
+            1
+        );
+    }
+
+    #[test]
+    fn secded_ops_round_trip_through_the_code() {
+        let data = 0x1234_5678u64;
+        let codeword = evaluate(&Op::SecdedEncode { data_width: 32 }, &[data]).unwrap();
+        assert_eq!(evaluate(&Op::SecdedCorrect { data_width: 32 }, &[codeword]).unwrap(), data);
+        assert_eq!(evaluate(&Op::SecdedSyndrome { data_width: 32 }, &[codeword]).unwrap(), 0);
+        let corrupted = codeword ^ 2;
+        assert_eq!(evaluate(&Op::SecdedCorrect { data_width: 32 }, &[corrupted]).unwrap(), data);
+        assert_eq!(evaluate(&Op::SecdedSyndrome { data_width: 32 }, &[corrupted]).unwrap(), 1);
+    }
+
+    #[test]
+    fn opaque_ops_pass_their_first_operand_through() {
+        let op = elastic_core::op::opaque("F", 5, 50);
+        assert_eq!(evaluate(&op, &[0xAB, 0xCD]).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn missing_operands_are_reported() {
+        let err = evaluate(&Op::Sub, &[1]).unwrap_err();
+        assert_eq!(err.required, 2);
+        assert_eq!(err.supplied, 1);
+        assert!(err.to_string().contains("sub"));
+        assert!(evaluate(&Op::Identity, &[]).is_err());
+    }
+
+    #[test]
+    fn empty_lut_evaluates_to_zero() {
+        assert_eq!(evaluate(&Op::Lut(Vec::new()), &[5]).unwrap(), 0);
+    }
+}

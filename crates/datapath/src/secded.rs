@@ -1,0 +1,397 @@
+//! Hamming SECDED (single error correction, double error detection) codes.
+//!
+//! The paper's Section 5.2 protects a 64-bit datapath with the classic
+//! (72,64) Hamming SECDED code: 8 check bits detect and correct any single
+//! bit flip and detect (but cannot correct) double flips. This module
+//! implements the code parametrically:
+//!
+//! * [`Secded`] works for any data width up to 57 bits so that the codeword
+//!   fits the 64-bit data words carried by elastic channels (57 data + 6
+//!   Hamming parity + 1 overall parity = 64);
+//! * [`Secded72`] is the full (72,64) code on `u128` codewords, provided for
+//!   completeness and tested against the same properties.
+//!
+//! The layout is *systematic*: data bits occupy the low `k` bits of the
+//! codeword, followed by the Hamming parity bits and finally the overall
+//! parity bit. A systematic layout lets the speculative design of Figure 7(b)
+//! read the (unchecked) data with a plain mask while SECDED verifies the
+//! codeword in parallel.
+
+/// Classification of a received codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Syndrome {
+    /// No error detected.
+    Clean,
+    /// A single-bit error was detected (and is correctable).
+    Corrected,
+    /// A double-bit error was detected (not correctable).
+    DoubleError,
+}
+
+impl Syndrome {
+    /// Encoding used on elastic channels (`0`, `1`, `2`).
+    pub fn to_word(self) -> u64 {
+        match self {
+            Syndrome::Clean => 0,
+            Syndrome::Corrected => 1,
+            Syndrome::DoubleError => 2,
+        }
+    }
+}
+
+/// Number of Hamming parity bits needed for `data_width` data bits.
+pub fn parity_bits(data_width: u8) -> u8 {
+    let mut r = 0u8;
+    while (1u64 << r) < u64::from(data_width) + u64::from(r) + 1 {
+        r += 1;
+    }
+    r
+}
+
+/// Total codeword width (data + Hamming parity + overall parity).
+pub fn codeword_width(data_width: u8) -> u8 {
+    data_width + parity_bits(data_width) + 1
+}
+
+/// A parametric Hamming SECDED code with a systematic layout, for data widths
+/// up to 57 bits (codeword up to 64 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Secded {
+    data_width: u8,
+    parity: u8,
+}
+
+impl Secded {
+    /// Creates the code for the given data width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data_width` is zero or larger than 57 (the codeword would
+    /// not fit in a 64-bit channel word).
+    pub fn new(data_width: u8) -> Self {
+        assert!(
+            (1..=57).contains(&data_width),
+            "SECDED data width must be between 1 and 57 bits, got {data_width}"
+        );
+        Secded { data_width, parity: parity_bits(data_width) }
+    }
+
+    /// Protected data width in bits.
+    pub fn data_width(&self) -> u8 {
+        self.data_width
+    }
+
+    /// Codeword width in bits.
+    pub fn codeword_width(&self) -> u8 {
+        self.data_width + self.parity + 1
+    }
+
+    /// Position (within the classic Hamming indexing, 1-based) of the j-th
+    /// data bit: data bits are placed at the non-power-of-two positions.
+    fn hamming_position_of_data_bit(&self, data_bit: u8) -> u32 {
+        let mut position = 1u32; // 1-based Hamming position
+        let mut seen = 0u8;
+        loop {
+            if !position.is_power_of_two() {
+                if seen == data_bit {
+                    return position;
+                }
+                seen += 1;
+            }
+            position += 1;
+        }
+    }
+
+    /// Computes the Hamming parity bits of a data word.
+    fn hamming_parity(&self, data: u64) -> u64 {
+        let mut parity_word = 0u64;
+        for p in 0..self.parity {
+            let parity_position = 1u32 << p;
+            let mut parity = 0u64;
+            for data_bit in 0..self.data_width {
+                let position = self.hamming_position_of_data_bit(data_bit);
+                if position & parity_position != 0 {
+                    parity ^= (data >> data_bit) & 1;
+                }
+            }
+            parity_word |= parity << p;
+        }
+        parity_word
+    }
+
+    /// Encodes a data word into a codeword (data in the low bits, Hamming
+    /// parity above, overall parity in the top bit of the codeword).
+    pub fn encode(&self, data: u64) -> u64 {
+        let data = data & crate::adder::mask(u64::MAX, self.data_width);
+        let parity_word = self.hamming_parity(data);
+        let without_overall = data | (parity_word << self.data_width);
+        let overall = (without_overall.count_ones() as u64) & 1;
+        without_overall | (overall << (self.data_width + self.parity))
+    }
+
+    /// Extracts the (uncorrected) data bits of a codeword.
+    pub fn raw_data(&self, codeword: u64) -> u64 {
+        codeword & crate::adder::mask(u64::MAX, self.data_width)
+    }
+
+    /// Decodes a codeword: returns the corrected data and the syndrome
+    /// classification.
+    pub fn decode(&self, codeword: u64) -> (u64, Syndrome) {
+        let data = self.raw_data(codeword);
+        let received_parity = (codeword >> self.data_width) & crate::adder::mask(u64::MAX, self.parity);
+        let received_overall = (codeword >> (self.data_width + self.parity)) & 1;
+
+        let expected_parity = self.hamming_parity(data);
+        let syndrome = received_parity ^ expected_parity;
+        let without_overall = codeword & crate::adder::mask(u64::MAX, self.data_width + self.parity);
+        let overall_ok = ((without_overall.count_ones() as u64) & 1) == received_overall;
+
+        if syndrome == 0 && overall_ok {
+            return (data, Syndrome::Clean);
+        }
+        if syndrome == 0 && !overall_ok {
+            // Only the overall parity bit was flipped; the data is intact.
+            return (data, Syndrome::Corrected);
+        }
+        if overall_ok {
+            // Non-zero Hamming syndrome but overall parity matches: two bits flipped.
+            return (data, Syndrome::DoubleError);
+        }
+        // Single-bit error at Hamming position `syndrome`.
+        let position = syndrome as u32;
+        if position.is_power_of_two() {
+            // A parity bit itself was hit; the data is intact.
+            return (data, Syndrome::Corrected);
+        }
+        // Find which data bit lives at that Hamming position.
+        let mut corrected = data;
+        for data_bit in 0..self.data_width {
+            if self.hamming_position_of_data_bit(data_bit) == position {
+                corrected ^= 1 << data_bit;
+                break;
+            }
+        }
+        (corrected, Syndrome::Corrected)
+    }
+
+    /// Convenience: corrected data only.
+    pub fn correct(&self, codeword: u64) -> u64 {
+        self.decode(codeword).0
+    }
+
+    /// Convenience: syndrome classification only.
+    pub fn classify(&self, codeword: u64) -> Syndrome {
+        self.decode(codeword).1
+    }
+}
+
+/// The classic (72,64) SECDED code on `u128` codewords.
+///
+/// The elastic channels of this workspace carry 64-bit words, so the netlist
+/// experiments use [`Secded`] with narrower data; this type exists to show
+/// the full-width code of the paper works identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Secded72;
+
+impl Secded72 {
+    /// Number of Hamming parity bits (7) — the eighth check bit is the
+    /// overall parity.
+    pub const PARITY_BITS: u8 = 7;
+    /// Codeword width: 64 data + 7 Hamming + 1 overall = 72.
+    pub const CODEWORD_WIDTH: u8 = 72;
+
+    fn hamming_position_of_data_bit(data_bit: u8) -> u32 {
+        let mut position = 1u32;
+        let mut seen = 0u8;
+        loop {
+            if !position.is_power_of_two() {
+                if seen == data_bit {
+                    return position;
+                }
+                seen += 1;
+            }
+            position += 1;
+        }
+    }
+
+    fn hamming_parity(data: u64) -> u64 {
+        let mut parity_word = 0u64;
+        for p in 0..Self::PARITY_BITS {
+            let parity_position = 1u32 << p;
+            let mut parity = 0u64;
+            for data_bit in 0..64 {
+                if Self::hamming_position_of_data_bit(data_bit) & parity_position != 0 {
+                    parity ^= (data >> data_bit) & 1;
+                }
+            }
+            parity_word |= parity << p;
+        }
+        parity_word
+    }
+
+    /// Encodes 64 data bits into a 72-bit codeword.
+    pub fn encode(data: u64) -> u128 {
+        let parity = Self::hamming_parity(data) as u128;
+        let without_overall = data as u128 | (parity << 64);
+        let overall = (without_overall.count_ones() as u128) & 1;
+        without_overall | (overall << 71)
+    }
+
+    /// Decodes a 72-bit codeword into corrected data and a syndrome class.
+    pub fn decode(codeword: u128) -> (u64, Syndrome) {
+        let data = codeword as u64;
+        let received_parity = ((codeword >> 64) & 0x7F) as u64;
+        let received_overall = ((codeword >> 71) & 1) as u64;
+        let expected_parity = Self::hamming_parity(data);
+        let syndrome = received_parity ^ expected_parity;
+        let without_overall = codeword & ((1u128 << 71) - 1);
+        let overall_ok = ((without_overall.count_ones() as u64) & 1) == received_overall;
+
+        if syndrome == 0 && overall_ok {
+            return (data, Syndrome::Clean);
+        }
+        if syndrome == 0 {
+            return (data, Syndrome::Corrected);
+        }
+        if overall_ok {
+            return (data, Syndrome::DoubleError);
+        }
+        let position = syndrome as u32;
+        if position.is_power_of_two() {
+            return (data, Syndrome::Corrected);
+        }
+        let mut corrected = data;
+        for data_bit in 0..64 {
+            if Self::hamming_position_of_data_bit(data_bit) == position {
+                corrected ^= 1 << data_bit;
+                break;
+            }
+        }
+        (corrected, Syndrome::Corrected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clean_codewords_round_trip() {
+        let code = Secded::new(32);
+        for data in [0u64, 1, 0xDEAD_BEEF, 0xFFFF_FFFF, 0x1234_5678] {
+            let codeword = code.encode(data);
+            let (decoded, syndrome) = code.decode(codeword);
+            assert_eq!(decoded, data & 0xFFFF_FFFF);
+            assert_eq!(syndrome, Syndrome::Clean);
+            assert_eq!(code.raw_data(codeword), data & 0xFFFF_FFFF);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected_width_32() {
+        let code = Secded::new(32);
+        let data = 0xCAFE_F00Du64 & 0xFFFF_FFFF;
+        let codeword = code.encode(data);
+        for bit in 0..code.codeword_width() {
+            let corrupted = codeword ^ (1u64 << bit);
+            let (decoded, syndrome) = code.decode(corrupted);
+            assert_eq!(syndrome, Syndrome::Corrected, "bit {bit}");
+            assert_eq!(decoded, data, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_detected_width_16() {
+        let code = Secded::new(16);
+        let data = 0xA5A5u64;
+        let codeword = code.encode(data);
+        let width = code.codeword_width();
+        for first in 0..width {
+            for second in (first + 1)..width {
+                let corrupted = codeword ^ (1u64 << first) ^ (1u64 << second);
+                let syndrome = code.classify(corrupted);
+                assert_eq!(syndrome, Syndrome::DoubleError, "bits {first},{second}");
+            }
+        }
+    }
+
+    #[test]
+    fn codeword_widths_match_core_helper() {
+        for width in [4u8, 8, 16, 32, 57] {
+            assert_eq!(
+                codeword_width(width),
+                elastic_core::op::secded_codeword_width(width),
+                "width {width}"
+            );
+        }
+        assert_eq!(Secded::new(57).codeword_width(), 64);
+        assert_eq!(Secded::new(32).codeword_width(), 39);
+    }
+
+    #[test]
+    fn full_72_64_code_corrects_single_errors() {
+        let data = 0x0123_4567_89AB_CDEFu64;
+        let codeword = Secded72::encode(data);
+        let (decoded, syndrome) = Secded72::decode(codeword);
+        assert_eq!((decoded, syndrome), (data, Syndrome::Clean));
+        for bit in 0..Secded72::CODEWORD_WIDTH {
+            let corrupted = codeword ^ (1u128 << bit);
+            let (decoded, syndrome) = Secded72::decode(corrupted);
+            assert_eq!(syndrome, Syndrome::Corrected, "bit {bit}");
+            assert_eq!(decoded, data, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn full_72_64_code_detects_double_errors() {
+        let data = 0xFEDC_BA98_7654_3210u64;
+        let codeword = Secded72::encode(data);
+        for first in [0u8, 13, 40, 63, 64, 70, 71] {
+            for second in [5u8, 21, 47, 62, 66, 69] {
+                if first == second {
+                    continue;
+                }
+                let corrupted = codeword ^ (1u128 << first) ^ (1u128 << second);
+                let (_, syndrome) = Secded72::decode(corrupted);
+                assert_eq!(syndrome, Syndrome::DoubleError, "bits {first},{second}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_widths_panic() {
+        let result = std::panic::catch_unwind(|| Secded::new(58));
+        assert!(result.is_err());
+        let result = std::panic::catch_unwind(|| Secded::new(0));
+        assert!(result.is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trips(data in any::<u64>(), width in 1u8..=57) {
+            let code = Secded::new(width);
+            let masked = data & crate::adder::mask(u64::MAX, width);
+            let (decoded, syndrome) = code.decode(code.encode(data));
+            prop_assert_eq!(decoded, masked);
+            prop_assert_eq!(syndrome, Syndrome::Clean);
+        }
+
+        #[test]
+        fn single_errors_are_corrected(data in any::<u64>(), width in 2u8..=57, bit in 0u8..64) {
+            let code = Secded::new(width);
+            let bit = bit % code.codeword_width();
+            let codeword = code.encode(data) ^ (1u64 << bit);
+            let (decoded, syndrome) = code.decode(codeword);
+            prop_assert_eq!(syndrome, Syndrome::Corrected);
+            prop_assert_eq!(decoded, data & crate::adder::mask(u64::MAX, width));
+        }
+
+        #[test]
+        fn full_width_code_round_trips(data in any::<u64>()) {
+            let (decoded, syndrome) = Secded72::decode(Secded72::encode(data));
+            prop_assert_eq!(decoded, data);
+            prop_assert_eq!(syndrome, Syndrome::Clean);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Reproducible workload generators for the paper's experiments.
+//!
+//! The paper does not publish concrete workloads; its results are
+//! parameterised implicitly by how often speculation succeeds (prediction
+//! accuracy, approximation-error rate, soft-error rate). These generators
+//! expose those parameters explicitly so every benchmark can sweep them:
+//!
+//! * [`uniform_operands`] — plain uniform operand streams;
+//! * [`approx_error_operands`] — operand pairs whose carry crosses the
+//!   speculation boundary with a chosen probability (drives Figure 6);
+//! * [`biased_select_values`] — data whose low bit (the branch decision
+//!   computed by `G` in Figure 1) is 1 with a chosen probability;
+//! * [`soft_error_masks`] — per-cycle single-bit upset masks with a chosen
+//!   upset probability (drives Figure 7);
+//! * [`encoded_stream`] — SECDED codewords with optional injected upsets.
+
+use crate::adder::{approx_add_error, mask};
+use crate::lfsr::Lfsr64;
+use crate::secded::Secded;
+
+/// A stream of `len` uniform `width`-bit operands.
+pub fn uniform_operands(width: u8, len: usize, seed: u64) -> Vec<u64> {
+    let mut lfsr = Lfsr64::new(seed);
+    (0..len).map(|_| mask(lfsr.next_word(), width)).collect()
+}
+
+/// Operand pairs `(a, b)` for the approximate adder such that the
+/// approximation fails (a carry crosses the `spec_bits` boundary) with
+/// probability `error_rate`.
+///
+/// The generator draws uniform operands and then patches the low parts so the
+/// boundary carry is forced to the desired outcome, keeping the upper parts
+/// untouched — the value distribution stays wide while the error rate is
+/// controlled exactly per element.
+pub fn approx_error_operands(
+    width: u8,
+    spec_bits: u8,
+    error_rate: f64,
+    len: usize,
+    seed: u64,
+) -> (Vec<u64>, Vec<u64>) {
+    assert!(
+        spec_bits >= 1 && spec_bits < width,
+        "the speculation boundary must lie strictly inside the operand"
+    );
+    let mut lfsr = Lfsr64::new(seed);
+    let mut operands_a = Vec::with_capacity(len);
+    let mut operands_b = Vec::with_capacity(len);
+    let low_mask = mask(u64::MAX, spec_bits);
+    for _ in 0..len {
+        let mut a = mask(lfsr.next_word(), width);
+        let mut b = mask(lfsr.next_word(), width);
+        let want_error = lfsr.next_bool(error_rate);
+        if want_error {
+            // Force a carry out of the low part: make both low halves large.
+            a |= low_mask;
+            b = (b & !low_mask) | 1;
+        } else {
+            // Prevent the carry: clear the top bit of both low halves.
+            let no_carry_mask = low_mask >> 1;
+            a = (a & !low_mask) | (a & no_carry_mask);
+            b = (b & !low_mask) | (b & no_carry_mask);
+        }
+        debug_assert_eq!(
+            approx_add_error(a, b, width, spec_bits) == 1,
+            want_error,
+            "generator must hit the requested error outcome exactly"
+        );
+        operands_a.push(a);
+        operands_b.push(b);
+    }
+    (operands_a, operands_b)
+}
+
+/// A stream of `width`-bit values whose low bit is 1 with probability
+/// `taken_rate` — used to drive the select-computing block `G` of the
+/// Figure-1 loop, so `taken_rate` becomes the branch-taken probability.
+pub fn biased_select_values(width: u8, taken_rate: f64, len: usize, seed: u64) -> Vec<u64> {
+    let mut lfsr = Lfsr64::new(seed);
+    (0..len)
+        .map(|_| {
+            let value = mask(lfsr.next_word(), width) & !1;
+            value | u64::from(lfsr.next_bool(taken_rate))
+        })
+        .collect()
+}
+
+/// Per-cycle soft-error masks: each entry is either `0` (no upset) or a
+/// single-bit mask within the `codeword_width`-bit codeword, with upset
+/// probability `upset_rate` per cycle.
+pub fn soft_error_masks(codeword_width: u8, upset_rate: f64, len: usize, seed: u64) -> Vec<u64> {
+    let mut lfsr = Lfsr64::new(seed);
+    (0..len)
+        .map(|_| {
+            if lfsr.next_bool(upset_rate) {
+                1u64 << lfsr.next_below(u64::from(codeword_width))
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// A stream of SECDED codewords encoding uniform data, with single-bit upsets
+/// injected at the given rate. Returns `(codewords, clean_data)` so tests can
+/// check end-to-end correction.
+pub fn encoded_stream(
+    data_width: u8,
+    upset_rate: f64,
+    len: usize,
+    seed: u64,
+) -> (Vec<u64>, Vec<u64>) {
+    let code = Secded::new(data_width);
+    let mut lfsr = Lfsr64::new(seed);
+    let mut codewords = Vec::with_capacity(len);
+    let mut clean = Vec::with_capacity(len);
+    for _ in 0..len {
+        let data = mask(lfsr.next_word(), data_width);
+        let mut codeword = code.encode(data);
+        if lfsr.next_bool(upset_rate) {
+            codeword ^= 1u64 << lfsr.next_below(u64::from(code.codeword_width()));
+        }
+        codewords.push(codeword);
+        clean.push(data);
+    }
+    (codewords, clean)
+}
+
+/// Fraction of entries in `masks` that inject an upset (diagnostic helper for
+/// reports and tests).
+pub fn observed_upset_rate(masks: &[u64]) -> f64 {
+    if masks.is_empty() {
+        return 0.0;
+    }
+    masks.iter().filter(|&&m| m != 0).count() as f64 / masks.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::approx_add_error;
+    use crate::secded::Syndrome;
+
+    #[test]
+    fn uniform_operands_respect_the_width() {
+        let ops = uniform_operands(8, 1000, 3);
+        assert_eq!(ops.len(), 1000);
+        assert!(ops.iter().all(|&v| v < 256));
+        assert!(ops.iter().any(|&v| v > 0));
+    }
+
+    #[test]
+    fn approx_error_operands_hit_the_requested_rate_exactly_at_the_extremes() {
+        let (a, b) = approx_error_operands(8, 4, 0.0, 500, 11);
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(&a, &b)| approx_add_error(a, b, 8, 4) == 0));
+        let (a, b) = approx_error_operands(8, 4, 1.0, 500, 11);
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(&a, &b)| approx_add_error(a, b, 8, 4) == 1));
+    }
+
+    #[test]
+    fn approx_error_operands_track_intermediate_rates() {
+        let (a, b) = approx_error_operands(8, 4, 0.2, 5000, 17);
+        let observed = a
+            .iter()
+            .zip(&b)
+            .filter(|(&a, &b)| approx_add_error(a, b, 8, 4) == 1)
+            .count() as f64
+            / a.len() as f64;
+        assert!((observed - 0.2).abs() < 0.03, "observed error rate {observed}");
+    }
+
+    #[test]
+    fn biased_select_values_track_the_taken_rate() {
+        for rate in [0.0, 0.3, 0.9, 1.0] {
+            let values = biased_select_values(8, rate, 4000, 23);
+            let observed =
+                values.iter().filter(|&&v| v & 1 == 1).count() as f64 / values.len() as f64;
+            assert!((observed - rate).abs() < 0.03, "rate {rate} observed {observed}");
+        }
+    }
+
+    #[test]
+    fn soft_error_masks_are_single_bit_and_rate_controlled() {
+        let masks = soft_error_masks(39, 0.1, 5000, 5);
+        assert!(masks.iter().all(|&m| m == 0 || m.count_ones() == 1));
+        assert!(masks.iter().all(|&m| m < (1u64 << 39)));
+        let rate = observed_upset_rate(&masks);
+        assert!((rate - 0.1).abs() < 0.02, "observed upset rate {rate}");
+    }
+
+    #[test]
+    fn encoded_stream_is_correctable() {
+        let (codewords, clean) = encoded_stream(32, 0.5, 300, 9);
+        let code = Secded::new(32);
+        for (codeword, data) in codewords.iter().zip(&clean) {
+            let (decoded, syndrome) = code.decode(*codeword);
+            assert_eq!(decoded, *data);
+            assert!(matches!(syndrome, Syndrome::Clean | Syndrome::Corrected));
+        }
+    }
+
+    #[test]
+    fn observed_upset_rate_handles_empty_input() {
+        assert_eq!(observed_upset_rate(&[]), 0.0);
+    }
+}

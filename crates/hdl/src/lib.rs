@@ -1,0 +1,64 @@
+//! # elastic-hdl
+//!
+//! Structural HDL emission for elastic control networks.
+//!
+//! The paper's exploration toolkit can "generate a Verilog netlist of the
+//! elastic controller, a blif model for logic synthesis with SIS or a NuSMV
+//! model for verification" at any point of the exploration. This crate plays
+//! that role for the Rust reproduction: given a [`elastic_core::Netlist`] it
+//! emits
+//!
+//! * a structural **Verilog** module ([`verilog::emit_verilog`]) instantiating
+//!   one parameterised control primitive per node (EB controller, join,
+//!   eager fork, early-evaluation mux controller, speculative shared-module
+//!   controller) wired by the `(V+, S+, V-, S-)` bundles of every channel,
+//!   together with the library of primitive definitions
+//!   ([`verilog::primitive_library`]);
+//! * a **BLIF** view of the control network ([`blif::emit_blif`]) for
+//!   logic-synthesis-style consumers.
+//!
+//! The emitted text is deterministic (stable ordering) so it can be snapshot
+//! tested and diffed across transformations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod blif;
+pub mod verilog;
+
+pub use blif::emit_blif;
+pub use verilog::{emit_verilog, primitive_library};
+
+/// Sanitises an instance or wire name into a Verilog/BLIF-safe identifier.
+pub fn sanitize_identifier(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (index, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_';
+        if ok {
+            if index == 0 && ch.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifiers_are_sanitised() {
+        assert_eq!(sanitize_identifier("mux_out"), "mux_out");
+        assert_eq!(sanitize_identifier("n1.out0->n2.in0"), "n1_out0__n2_in0");
+        assert_eq!(sanitize_identifier("0weird"), "_0weird");
+        assert_eq!(sanitize_identifier(""), "_");
+    }
+}

@@ -1,0 +1,502 @@
+//! Concrete scheduler implementations.
+
+use elastic_core::scheduler::{Scheduler, SharedFeedback, StaticScheduler};
+use elastic_core::SchedulerKind;
+
+/// Rotates the prediction over all user channels, one per cycle.
+///
+/// This is fair, starvation-free sharing without speculation: every channel
+/// gets the unit every `users` cycles regardless of demand. It is the
+/// baseline the speculative policies are compared against.
+#[derive(Debug, Clone)]
+pub struct RoundRobinScheduler {
+    users: usize,
+    current: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin scheduler over `users` channels.
+    pub fn new(users: usize) -> Self {
+        RoundRobinScheduler { users: users.max(1), current: 0 }
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn prediction(&self) -> usize {
+        self.current
+    }
+
+    fn tick(&mut self, _feedback: &SharedFeedback) {
+        self.current = (self.current + 1) % self.users;
+    }
+
+    fn reset(&mut self) {
+        self.current = 0;
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+/// Predicts the channel that the consumer most recently required.
+///
+/// Equivalent to a 1-bit (last-outcome) branch predictor: it captures
+/// strongly biased select streams and streaks, and mispredicts twice per
+/// alternation.
+#[derive(Debug, Clone)]
+pub struct LastTakenScheduler {
+    users: usize,
+    current: usize,
+}
+
+impl LastTakenScheduler {
+    /// Creates a last-taken scheduler over `users` channels, initially
+    /// predicting channel 0.
+    pub fn new(users: usize) -> Self {
+        LastTakenScheduler { users: users.max(1), current: 0 }
+    }
+}
+
+impl Scheduler for LastTakenScheduler {
+    fn prediction(&self) -> usize {
+        self.current
+    }
+
+    fn tick(&mut self, feedback: &SharedFeedback) {
+        if let Some(resolved) = feedback.resolved {
+            self.current = resolved % self.users;
+        } else if feedback.mispredicted() && self.users == 2 {
+            // A retry without an observable resolution still tells a
+            // two-channel scheduler which side to switch to.
+            self.current = 1 - self.current;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.current = 0;
+    }
+
+    fn name(&self) -> &str {
+        "last-taken"
+    }
+}
+
+/// Two-bit saturating-counter predictor over two user channels.
+///
+/// The counter counts towards channel 1: values 0/1 predict channel 0,
+/// values 2/3 predict channel 1. Hysteresis means a single anomalous select
+/// does not flip a strongly established prediction — the classic bimodal
+/// branch predictor behaviour.
+#[derive(Debug, Clone)]
+pub struct TwoBitScheduler {
+    counter: u8,
+    users: usize,
+}
+
+impl TwoBitScheduler {
+    /// Creates a two-bit predictor (initially weakly predicting channel 0).
+    pub fn new(users: usize) -> Self {
+        TwoBitScheduler { counter: 1, users: users.max(2) }
+    }
+}
+
+impl Scheduler for TwoBitScheduler {
+    fn prediction(&self) -> usize {
+        usize::from(self.counter >= 2) % self.users
+    }
+
+    fn tick(&mut self, feedback: &SharedFeedback) {
+        let outcome = match feedback.resolved {
+            Some(resolved) => Some(resolved != 0),
+            None if feedback.mispredicted() => Some(self.prediction() == 0),
+            None => None,
+        };
+        match outcome {
+            Some(true) => self.counter = (self.counter + 1).min(3),
+            Some(false) => self.counter = self.counter.saturating_sub(1),
+            None => {}
+        }
+    }
+
+    fn reset(&mut self) {
+        self.counter = 1;
+    }
+
+    fn name(&self) -> &str {
+        "two-bit"
+    }
+}
+
+/// Global-history indexed (gshare-style) predictor over two user channels.
+///
+/// A register of the last `history_bits` resolved selects indexes a table of
+/// two-bit counters; the indexed counter provides the prediction. Captures
+/// periodic select patterns that defeat the bimodal predictor.
+#[derive(Debug, Clone)]
+pub struct CorrelatingScheduler {
+    history: usize,
+    history_bits: u8,
+    table: Vec<u8>,
+}
+
+impl CorrelatingScheduler {
+    /// Creates a predictor with a `history_bits`-deep global history
+    /// (1 ..= 16 bits).
+    pub fn new(history_bits: u8) -> Self {
+        let history_bits = history_bits.clamp(1, 16);
+        CorrelatingScheduler {
+            history: 0,
+            history_bits,
+            table: vec![1; 1 << history_bits],
+        }
+    }
+
+    fn index(&self) -> usize {
+        self.history & ((1 << self.history_bits) - 1)
+    }
+}
+
+impl Scheduler for CorrelatingScheduler {
+    fn prediction(&self) -> usize {
+        usize::from(self.table[self.index()] >= 2)
+    }
+
+    fn tick(&mut self, feedback: &SharedFeedback) {
+        let outcome = match feedback.resolved {
+            Some(resolved) => Some(resolved != 0),
+            None if feedback.mispredicted() => Some(self.prediction() == 0),
+            None => None,
+        };
+        if let Some(taken) = outcome {
+            let index = self.index();
+            if taken {
+                self.table[index] = (self.table[index] + 1).min(3);
+            } else {
+                self.table[index] = self.table[index].saturating_sub(1);
+            }
+            self.history = (self.history << 1) | usize::from(taken);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.history = 0;
+        self.table.iter_mut().for_each(|c| *c = 1);
+    }
+
+    fn name(&self) -> &str {
+        "correlating"
+    }
+}
+
+/// Follows an explicit per-cycle prediction sequence (repeating the last
+/// entry once exhausted). Used to reproduce the `Sched` row of Table 1.
+#[derive(Debug, Clone)]
+pub struct SequenceScheduler {
+    sequence: Vec<usize>,
+    position: usize,
+}
+
+impl SequenceScheduler {
+    /// Creates a scheduler that follows `sequence` cycle by cycle.
+    pub fn new(sequence: Vec<usize>) -> Self {
+        let sequence = if sequence.is_empty() { vec![0] } else { sequence };
+        SequenceScheduler { sequence, position: 0 }
+    }
+}
+
+impl Scheduler for SequenceScheduler {
+    fn prediction(&self) -> usize {
+        self.sequence[self.position.min(self.sequence.len() - 1)]
+    }
+
+    fn tick(&mut self, _feedback: &SharedFeedback) {
+        if self.position + 1 < self.sequence.len() {
+            self.position += 1;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.position = 0;
+    }
+
+    fn name(&self) -> &str {
+        "sequence"
+    }
+}
+
+/// Error-driven replay: always predict channel 0 (the speculative fast path);
+/// after a misprediction, predict the channel the consumer required (or
+/// channel 1) for exactly one cycle, then fall back to channel 0.
+///
+/// This is the policy of both paper examples: the variable-latency unit
+/// always speculates that the approximation is correct, and the resilient
+/// adder always speculates that no soft error occurred; on error the
+/// computation is replayed once with the exact / corrected value.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorReplayScheduler {
+    replay: Option<usize>,
+}
+
+impl ErrorReplayScheduler {
+    /// Creates the error-replay scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Scheduler for ErrorReplayScheduler {
+    fn prediction(&self) -> usize {
+        self.replay.unwrap_or(0)
+    }
+
+    fn tick(&mut self, feedback: &SharedFeedback) {
+        if self.replay.is_some() {
+            // The replay cycle has elapsed; return to the fast path unless it
+            // failed again.
+            if !feedback.mispredicted() {
+                self.replay = None;
+                return;
+            }
+        }
+        if feedback.mispredicted() {
+            let target = feedback.resolved.unwrap_or(1);
+            self.replay = Some(target.max(1) % feedback.users().max(2));
+        }
+    }
+
+    fn reset(&mut self) {
+        self.replay = None;
+    }
+
+    fn name(&self) -> &str {
+        "error-replay"
+    }
+}
+
+/// An adversarial scheduler that predicts a pseudo-random channel each cycle.
+///
+/// On its own this policy does not satisfy the leads-to (no-starvation)
+/// property; it exists to stress the shared-module controller, whose
+/// starvation override must keep the system live regardless (verified by the
+/// `elastic-verify` crate).
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    users: usize,
+    state: u64,
+    seed: u64,
+    current: usize,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler over `users` channels with a deterministic seed.
+    pub fn new(users: usize, seed: u64) -> Self {
+        let seed = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        RandomScheduler { users: users.max(1), state: seed, seed, current: 0 }
+    }
+
+    fn advance(&mut self) -> u64 {
+        // xorshift64* — deterministic, seedable, good enough for fuzzing.
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn prediction(&self) -> usize {
+        self.current
+    }
+
+    fn tick(&mut self, _feedback: &SharedFeedback) {
+        let draw = self.advance();
+        self.current = (draw % self.users as u64) as usize;
+    }
+
+    fn reset(&mut self) {
+        self.state = self.seed;
+        self.current = 0;
+    }
+
+    fn name(&self) -> &str {
+        "random"
+    }
+}
+
+/// Instantiates the scheduler named by a netlist's [`SchedulerKind`].
+///
+/// `users` is the number of user channels of the shared module the policy
+/// will serve.
+pub fn from_kind(kind: &SchedulerKind, users: usize) -> Box<dyn Scheduler> {
+    match kind {
+        SchedulerKind::Static(channel) => Box::new(StaticScheduler::new(*channel % users.max(1))),
+        SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new(users)),
+        SchedulerKind::LastTaken => Box::new(LastTakenScheduler::new(users)),
+        SchedulerKind::TwoBit => Box::new(TwoBitScheduler::new(users)),
+        SchedulerKind::Correlating { history_bits } => {
+            Box::new(CorrelatingScheduler::new(*history_bits))
+        }
+        SchedulerKind::Sequence(sequence) => Box::new(SequenceScheduler::new(sequence.clone())),
+        SchedulerKind::ErrorReplay => Box::new(ErrorReplayScheduler::new()),
+        // `SchedulerKind` is non-exhaustive: unknown kinds degrade to the
+        // simplest safe policy.
+        _ => Box::new(StaticScheduler::new(0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feedback_with_resolution(users: usize, predicted: usize, resolved: usize) -> SharedFeedback {
+        let mut fb = SharedFeedback::new(users);
+        fb.predicted = predicted;
+        fb.resolved = Some(resolved);
+        fb.output_transfer[resolved] = true;
+        fb
+    }
+
+    fn feedback_with_retry(users: usize, predicted: usize) -> SharedFeedback {
+        let mut fb = SharedFeedback::new(users);
+        fb.predicted = predicted;
+        fb.output_retry[predicted] = true;
+        fb
+    }
+
+    #[test]
+    fn round_robin_visits_every_channel() {
+        let mut s = RoundRobinScheduler::new(3);
+        let fb = SharedFeedback::new(3);
+        let mut visited = Vec::new();
+        for _ in 0..6 {
+            visited.push(s.prediction());
+            s.tick(&fb);
+        }
+        assert_eq!(visited, vec![0, 1, 2, 0, 1, 2]);
+        s.reset();
+        assert_eq!(s.prediction(), 0);
+    }
+
+    #[test]
+    fn last_taken_follows_resolutions() {
+        let mut s = LastTakenScheduler::new(2);
+        assert_eq!(s.prediction(), 0);
+        s.tick(&feedback_with_resolution(2, 0, 1));
+        assert_eq!(s.prediction(), 1);
+        s.tick(&feedback_with_resolution(2, 1, 1));
+        assert_eq!(s.prediction(), 1);
+        s.tick(&feedback_with_retry(2, 1));
+        assert_eq!(s.prediction(), 0, "a retry on the prediction flips a 2-way scheduler");
+    }
+
+    #[test]
+    fn two_bit_scheduler_needs_two_mispredictions_to_flip() {
+        let mut s = TwoBitScheduler::new(2);
+        assert_eq!(s.prediction(), 0);
+        s.tick(&feedback_with_resolution(2, 0, 1));
+        assert_eq!(s.prediction(), 1, "counter moved from 1 to 2");
+        // Two consecutive channel-0 resolutions needed to flip back firmly.
+        s.tick(&feedback_with_resolution(2, 1, 1));
+        s.tick(&feedback_with_resolution(2, 1, 1));
+        assert_eq!(s.prediction(), 1);
+        s.tick(&feedback_with_resolution(2, 1, 0));
+        assert_eq!(s.prediction(), 1, "hysteresis absorbs a single anomaly");
+        s.tick(&feedback_with_resolution(2, 1, 0));
+        s.tick(&feedback_with_resolution(2, 1, 0));
+        assert_eq!(s.prediction(), 0);
+    }
+
+    #[test]
+    fn correlating_scheduler_learns_an_alternating_pattern() {
+        let mut s = CorrelatingScheduler::new(2);
+        // Train on a strict 0,1,0,1,… select stream.
+        let mut correct = 0;
+        let mut total = 0;
+        let mut expected = 0usize;
+        for _ in 0..200 {
+            if s.prediction() == expected {
+                correct += 1;
+            }
+            total += 1;
+            s.tick(&feedback_with_resolution(2, s.prediction(), expected));
+            expected = 1 - expected;
+        }
+        let accuracy = f64::from(correct) / f64::from(total);
+        assert!(accuracy > 0.9, "correlating predictor should learn alternation, got {accuracy}");
+    }
+
+    #[test]
+    fn sequence_scheduler_replays_table1_schedule() {
+        let mut s = SequenceScheduler::new(vec![0, 1, 0, 1, 0, 1, 0]);
+        let fb = SharedFeedback::new(2);
+        let produced: Vec<usize> = (0..7)
+            .map(|_| {
+                let p = s.prediction();
+                s.tick(&fb);
+                p
+            })
+            .collect();
+        assert_eq!(produced, vec![0, 1, 0, 1, 0, 1, 0]);
+        // Exhausted sequences repeat the last entry.
+        assert_eq!(s.prediction(), 0);
+        s.reset();
+        assert_eq!(s.prediction(), 0);
+    }
+
+    #[test]
+    fn empty_sequences_default_to_channel_zero() {
+        let s = SequenceScheduler::new(Vec::new());
+        assert_eq!(s.prediction(), 0);
+    }
+
+    #[test]
+    fn error_replay_returns_to_the_fast_path() {
+        let mut s = ErrorReplayScheduler::new();
+        assert_eq!(s.prediction(), 0);
+        // Misprediction: replay channel 1 for one cycle.
+        s.tick(&feedback_with_retry(2, 0));
+        assert_eq!(s.prediction(), 1);
+        // Replay succeeded: back to channel 0.
+        s.tick(&feedback_with_resolution(2, 1, 1));
+        assert_eq!(s.prediction(), 0);
+    }
+
+    #[test]
+    fn random_scheduler_is_deterministic_and_in_range() {
+        let mut a = RandomScheduler::new(3, 7);
+        let mut b = RandomScheduler::new(3, 7);
+        let fb = SharedFeedback::new(3);
+        for _ in 0..100 {
+            assert_eq!(a.prediction(), b.prediction());
+            assert!(a.prediction() < 3);
+            a.tick(&fb);
+            b.tick(&fb);
+        }
+        a.reset();
+        let mut c = RandomScheduler::new(3, 7);
+        for _ in 0..10 {
+            assert_eq!(a.prediction(), c.prediction());
+            a.tick(&fb);
+            c.tick(&fb);
+        }
+    }
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let kinds = vec![
+            SchedulerKind::Static(1),
+            SchedulerKind::RoundRobin,
+            SchedulerKind::LastTaken,
+            SchedulerKind::TwoBit,
+            SchedulerKind::Correlating { history_bits: 4 },
+            SchedulerKind::Sequence(vec![0, 1]),
+            SchedulerKind::ErrorReplay,
+        ];
+        for kind in kinds {
+            let scheduler = from_kind(&kind, 2);
+            assert!(scheduler.prediction() < 2, "{kind:?}");
+            assert!(!scheduler.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Prediction accuracy instrumentation.
+
+use elastic_core::scheduler::{Scheduler, SharedFeedback};
+
+/// Aggregate prediction statistics collected by [`Instrumented`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredictionStats {
+    /// Cycles in which the shared module had at least one waiting token
+    /// (cycles in which the prediction mattered).
+    pub active_cycles: u64,
+    /// Cycles in which the consumer's requirement became observable and
+    /// matched the prediction.
+    pub correct: u64,
+    /// Cycles in which a misprediction was detected (retry on the predicted
+    /// output or an observable resolution that differs from the prediction).
+    pub mispredictions: u64,
+}
+
+impl PredictionStats {
+    /// Prediction accuracy over the cycles with an observable outcome,
+    /// `None` when no outcome was ever observed.
+    pub fn accuracy(&self) -> Option<f64> {
+        let observed = self.correct + self.mispredictions;
+        if observed == 0 {
+            None
+        } else {
+            Some(self.correct as f64 / observed as f64)
+        }
+    }
+}
+
+/// Wraps any scheduler and records how often its predictions were right.
+///
+/// ```
+/// use elastic_core::scheduler::{Scheduler, SharedFeedback, StaticScheduler};
+/// use elastic_predict::Instrumented;
+///
+/// let mut scheduler = Instrumented::new(StaticScheduler::new(0));
+/// let mut feedback = SharedFeedback::new(2);
+/// feedback.input_valid[0] = true;
+/// feedback.resolved = Some(0);
+/// feedback.output_transfer[0] = true;
+/// scheduler.tick(&feedback);
+/// assert_eq!(scheduler.stats().correct, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Instrumented<S> {
+    inner: S,
+    stats: PredictionStats,
+}
+
+impl<S: Scheduler> Instrumented<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        Instrumented { inner, stats: PredictionStats::default() }
+    }
+
+    /// The statistics collected so far.
+    pub fn stats(&self) -> PredictionStats {
+        self.stats
+    }
+
+    /// Consumes the wrapper and returns the inner scheduler.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Scheduler> Scheduler for Instrumented<S> {
+    fn prediction(&self) -> usize {
+        self.inner.prediction()
+    }
+
+    fn tick(&mut self, feedback: &SharedFeedback) {
+        if feedback.input_valid.iter().any(|&v| v) {
+            self.stats.active_cycles += 1;
+        }
+        if feedback.mispredicted() {
+            self.stats.mispredictions += 1;
+        } else if feedback.resolved == Some(feedback.predicted) {
+            self.stats.correct += 1;
+        }
+        self.inner.tick(feedback);
+    }
+
+    fn reset(&mut self) {
+        self.stats = PredictionStats::default();
+        self.inner.reset();
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LastTakenScheduler;
+    use elastic_core::scheduler::StaticScheduler;
+
+    #[test]
+    fn accuracy_counts_correct_and_wrong_outcomes() {
+        let mut s = Instrumented::new(StaticScheduler::new(0));
+        let mut correct = SharedFeedback::new(2);
+        correct.predicted = 0;
+        correct.resolved = Some(0);
+        correct.input_valid[0] = true;
+        let mut wrong = SharedFeedback::new(2);
+        wrong.predicted = 0;
+        wrong.resolved = Some(1);
+        wrong.input_valid[1] = true;
+
+        s.tick(&correct);
+        s.tick(&correct);
+        s.tick(&wrong);
+        let stats = s.stats();
+        assert_eq!(stats.correct, 2);
+        assert_eq!(stats.mispredictions, 1);
+        assert_eq!(stats.active_cycles, 3);
+        assert!((stats.accuracy().unwrap() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_is_none_without_observations() {
+        let s = Instrumented::new(LastTakenScheduler::new(2));
+        assert_eq!(s.stats().accuracy(), None);
+    }
+
+    #[test]
+    fn reset_clears_statistics_and_inner_state() {
+        let mut s = Instrumented::new(LastTakenScheduler::new(2));
+        let mut fb = SharedFeedback::new(2);
+        fb.predicted = 0;
+        fb.resolved = Some(1);
+        fb.input_valid[1] = true;
+        s.tick(&fb);
+        assert_eq!(s.prediction(), 1);
+        assert_eq!(s.stats().mispredictions, 1);
+        s.reset();
+        assert_eq!(s.prediction(), 0);
+        assert_eq!(s.stats(), PredictionStats::default());
+    }
+
+    #[test]
+    fn instrumentation_is_transparent_to_the_policy() {
+        let mut plain = LastTakenScheduler::new(2);
+        let mut wrapped = Instrumented::new(LastTakenScheduler::new(2));
+        let mut fb = SharedFeedback::new(2);
+        fb.resolved = Some(1);
+        for _ in 0..5 {
+            assert_eq!(plain.prediction(), wrapped.prediction());
+            plain.tick(&fb);
+            wrapped.tick(&fb);
+        }
+        assert_eq!(wrapped.name(), "last-taken");
+    }
+}

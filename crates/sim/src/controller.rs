@@ -1,0 +1,195 @@
+//! The controller abstraction: one small SELF handshake machine per node.
+//!
+//! A [`Controller`] is the cycle-accurate model of one netlist node. Every
+//! clock cycle the engine:
+//!
+//! 1. repeatedly calls [`Controller::eval`] on every controller until the
+//!    channel signals reach a fixed point (the combinational phase), then
+//! 2. calls [`Controller::commit`] exactly once on every controller with the
+//!    settled signals (the clock edge).
+//!
+//! `eval` must be a pure function of the controller's sequential state and of
+//! the signals it *reads*; it drives only the signals its node owns (see
+//! [`crate::signal::ChannelState`] for the ownership convention).
+//!
+//! ## Kill/transfer precedence
+//!
+//! When a token and an anti-token meet at a node boundary during the same
+//! cycle (the producer offers `V+` while the consumer asserts `V-`), the two
+//! cancel: the producer treats its token as *killed* (not delivered) and the
+//! consumer must not latch it. All controllers in [`crate::controllers`]
+//! follow this "kill wins over transfer" convention so both endpoints agree
+//! on what happened.
+
+use crate::signal::ChannelState;
+
+/// Read/write access to the channels attached to one node during `eval`.
+///
+/// Indices are port indices of the node (matching the conventions documented
+/// on [`elastic_core::NodeKind`]); the translation to global channel indices
+/// is fixed when the simulation is built.
+#[derive(Debug)]
+pub struct NodeIo<'a> {
+    channels: &'a mut [ChannelState],
+    input_channels: &'a [usize],
+    output_channels: &'a [usize],
+}
+
+impl<'a> NodeIo<'a> {
+    /// Creates the port view for one node (used by the engine).
+    pub fn new(
+        channels: &'a mut [ChannelState],
+        input_channels: &'a [usize],
+        output_channels: &'a [usize],
+    ) -> Self {
+        NodeIo { channels, input_channels, output_channels }
+    }
+
+    /// Number of input ports of the node.
+    pub fn input_count(&self) -> usize {
+        self.input_channels.len()
+    }
+
+    /// Number of output ports of the node.
+    pub fn output_count(&self) -> usize {
+        self.output_channels.len()
+    }
+
+    /// The channel state attached to input port `index`.
+    pub fn input(&self, index: usize) -> ChannelState {
+        self.channels[self.input_channels[index]]
+    }
+
+    /// The channel state attached to output port `index`.
+    pub fn output(&self, index: usize) -> ChannelState {
+        self.channels[self.output_channels[index]]
+    }
+
+    /// Drives `S+` on input port `index` (consumer-owned signal).
+    pub fn set_input_stop(&mut self, index: usize, stop: bool) {
+        self.channels[self.input_channels[index]].forward_stop = stop;
+    }
+
+    /// Drives `V-` on input port `index` (consumer-owned signal).
+    pub fn set_input_kill(&mut self, index: usize, kill: bool) {
+        self.channels[self.input_channels[index]].backward_valid = kill;
+    }
+
+    /// Drives `V+` on output port `index` (producer-owned signal).
+    pub fn set_output_valid(&mut self, index: usize, valid: bool) {
+        self.channels[self.output_channels[index]].forward_valid = valid;
+    }
+
+    /// Drives the data word on output port `index` (producer-owned signal).
+    pub fn set_output_data(&mut self, index: usize, data: u64) {
+        self.channels[self.output_channels[index]].data = data;
+    }
+
+    /// Drives `S-` on output port `index` (producer-owned signal).
+    pub fn set_output_anti_stop(&mut self, index: usize, stop: bool) {
+        self.channels[self.output_channels[index]].backward_stop = stop;
+    }
+
+    /// Data words currently offered on all input ports (in port order).
+    pub fn input_data(&self) -> Vec<u64> {
+        (0..self.input_count()).map(|i| self.input(i).data).collect()
+    }
+
+    /// `true` when every input port carries a valid token.
+    pub fn all_inputs_valid(&self) -> bool {
+        (0..self.input_count()).all(|i| self.input(i).forward_valid)
+    }
+}
+
+/// Per-node statistics exposed by a controller after simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeStats {
+    /// Forward transfers completed on the node's (first) output.
+    pub output_transfers: u64,
+    /// Tokens cancelled by anti-tokens at this node.
+    pub killed_tokens: u64,
+    /// Cycles in which the node stalled a valid input.
+    pub stall_cycles: u64,
+    /// Mispredictions observed (speculative shared modules only).
+    pub mispredictions: u64,
+}
+
+/// A cycle-accurate model of one netlist node.
+pub trait Controller: std::fmt::Debug {
+    /// Combinational evaluation: read the attached channels and drive the
+    /// node-owned signals. Called repeatedly within a cycle until the channel
+    /// signals stop changing; it must therefore be deterministic and depend
+    /// only on the sequential state and the read signals.
+    fn eval(&self, io: &mut NodeIo<'_>);
+
+    /// Clock edge: update the sequential state from the settled signals.
+    fn commit(&mut self, io: &NodeIo<'_>);
+
+    /// Statistics collected so far.
+    fn stats(&self) -> NodeStats {
+        NodeStats::default()
+    }
+
+    /// Prediction feedback of the most recent cycle (speculative shared
+    /// modules only) — used by the engine to build prediction-accuracy
+    /// reports.
+    fn last_feedback(&self) -> Option<&elastic_core::SharedFeedback> {
+        None
+    }
+
+    /// The transfer stream recorded by the node, when it records one
+    /// (sinks only): `(cycle, value)` pairs in transfer order.
+    fn transfer_stream(&self) -> Option<&[(u64, u64)]> {
+        None
+    }
+
+    /// Per-user `(transfers, kills)` counters (speculative shared modules only).
+    fn per_user_stats(&self) -> Option<(Vec<u64>, Vec<u64>)> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_io_reads_and_writes_the_right_channels() {
+        let mut channels = vec![ChannelState::default(); 3];
+        channels[2].data = 77;
+        channels[2].forward_valid = true;
+        let inputs = vec![2usize];
+        let outputs = vec![0usize, 1usize];
+        let mut io = NodeIo::new(&mut channels, &inputs, &outputs);
+
+        assert_eq!(io.input_count(), 1);
+        assert_eq!(io.output_count(), 2);
+        assert!(io.input(0).forward_valid);
+        assert_eq!(io.input_data(), vec![77]);
+        assert!(io.all_inputs_valid());
+
+        io.set_output_valid(1, true);
+        io.set_output_data(1, 9);
+        io.set_input_stop(0, true);
+        io.set_input_kill(0, true);
+        io.set_output_anti_stop(0, true);
+
+        assert!(channels[1].forward_valid);
+        assert_eq!(channels[1].data, 9);
+        assert!(channels[2].forward_stop);
+        assert!(channels[2].backward_valid);
+        assert!(channels[0].backward_stop);
+    }
+
+    #[test]
+    fn default_stats_are_zero() {
+        #[derive(Debug)]
+        struct Dummy;
+        impl Controller for Dummy {
+            fn eval(&self, _io: &mut NodeIo<'_>) {}
+            fn commit(&mut self, _io: &NodeIo<'_>) {}
+        }
+        assert_eq!(Dummy.stats(), NodeStats::default());
+        assert!(Dummy.last_feedback().is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! Eager fork controller.
+//!
+//! An eager fork replicates each input token to every output branch. Each
+//! branch receives its copy as soon as it is ready; the input token is
+//! consumed once *all* branches have received (or had their copy cancelled by
+//! an anti-token). A lazy fork is the degenerate configuration in which
+//! delivery only happens when every branch is simultaneously ready.
+//!
+//! Anti-tokens arriving on a branch cancel that branch's copy of the current
+//! input token; anti-tokens arriving when no input token is present are
+//! stopped (this fork does not implement counterflow storage — recovery
+//! paths that need it place an elastic buffer behind the fork, as the paper's
+//! designs do).
+
+use elastic_core::ForkSpec;
+
+use crate::controller::{Controller, NodeIo, NodeStats};
+
+const IN: usize = 0;
+
+/// Controller for a token-replicating fork.
+#[derive(Debug)]
+pub struct EagerFork {
+    spec: ForkSpec,
+    /// `pending[i]` is true while branch `i` still needs the current token.
+    pending: Vec<bool>,
+    /// Whether a token is currently being served (i.e. `pending` is meaningful).
+    serving: bool,
+    stats: NodeStats,
+}
+
+impl EagerFork {
+    /// Creates the controller.
+    pub fn new(spec: ForkSpec) -> Self {
+        let outputs = spec.outputs;
+        EagerFork { spec, pending: vec![true; outputs], serving: false, stats: NodeStats::default() }
+    }
+
+    fn effective_pending(&self, branch: usize) -> bool {
+        if self.serving {
+            self.pending[branch]
+        } else {
+            true
+        }
+    }
+
+    /// Which branches complete their delivery this cycle, given the settled signals.
+    fn deliveries(&self, io: &NodeIo<'_>) -> Vec<bool> {
+        let input = io.input(IN);
+        (0..self.spec.outputs)
+            .map(|branch| {
+                if !input.forward_valid || !self.effective_pending(branch) {
+                    return false;
+                }
+                let out = io.output(branch);
+                let killed = out.backward_valid && !out.backward_stop;
+                let accepted = !out.forward_stop;
+                if self.spec.eager {
+                    killed || accepted
+                } else {
+                    // Lazy forks only deliver when every branch is ready.
+                    killed || accepted
+                }
+            })
+            .collect()
+    }
+}
+
+impl Controller for EagerFork {
+    fn eval(&self, io: &mut NodeIo<'_>) {
+        let input = io.input(IN);
+        let outputs = self.spec.outputs;
+
+        // Offer the token to every branch that still needs it.
+        for branch in 0..outputs {
+            let needs = input.forward_valid && self.effective_pending(branch);
+            io.set_output_valid(branch, needs);
+            io.set_output_data(branch, input.data);
+            // A branch kill can only be absorbed while its copy is outstanding.
+            io.set_output_anti_stop(branch, !needs);
+        }
+
+        // For a lazy fork all branches must be ready simultaneously.
+        let all_ready = (0..outputs).all(|branch| {
+            !self.effective_pending(branch) || {
+                let out = io.output(branch);
+                !out.forward_stop || (out.backward_valid && !out.backward_stop)
+            }
+        });
+        if !self.spec.eager {
+            for branch in 0..outputs {
+                let needs = input.forward_valid && self.effective_pending(branch) && all_ready;
+                io.set_output_valid(branch, needs);
+            }
+        }
+
+        // The input transfers when every branch has been (or is being) served.
+        let deliveries = self.deliveries(io);
+        let done = (0..outputs).all(|branch| !self.effective_pending(branch) || deliveries[branch]);
+        let input_fires = input.forward_valid && done && (self.spec.eager || all_ready);
+        io.set_input_stop(IN, !input_fires);
+        io.set_input_kill(IN, false);
+    }
+
+    fn commit(&mut self, io: &NodeIo<'_>) {
+        let input = io.input(IN);
+        if !input.forward_valid {
+            // Nothing in flight; reset the bookkeeping.
+            self.serving = false;
+            self.pending.iter_mut().for_each(|p| *p = true);
+            return;
+        }
+        let deliveries = self.deliveries(io);
+        let done = (0..self.spec.outputs)
+            .all(|branch| !self.effective_pending(branch) || deliveries[branch]);
+        let input_fired = !input.forward_stop;
+        if done && input_fired {
+            self.serving = false;
+            self.pending.iter_mut().for_each(|p| *p = true);
+            self.stats.output_transfers += 1;
+        } else {
+            // Remember which branches have already been served.
+            if !self.serving {
+                self.serving = true;
+                self.pending.iter_mut().for_each(|p| *p = true);
+            }
+            for (branch, delivered) in deliveries.iter().enumerate() {
+                if *delivered {
+                    self.pending[branch] = false;
+                }
+            }
+            self.stats.stall_cycles += 1;
+        }
+        for branch in 0..self.spec.outputs {
+            let out = io.output(branch);
+            if out.backward_transfer() {
+                self.stats.killed_tokens += 1;
+            }
+        }
+    }
+
+    fn stats(&self) -> NodeStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::ChannelState;
+
+    fn io<'a>(
+        channels: &'a mut [ChannelState],
+        inputs: &'a [usize],
+        outputs: &'a [usize],
+    ) -> NodeIo<'a> {
+        NodeIo::new(channels, inputs, outputs)
+    }
+
+    #[test]
+    fn replicates_tokens_to_all_branches() {
+        let fork = EagerFork::new(ForkSpec::eager(2));
+        let mut channels = vec![ChannelState::default(); 3];
+        let inputs = [0usize];
+        let outputs = [1usize, 2];
+        channels[0].forward_valid = true;
+        channels[0].data = 9;
+        fork.eval(&mut io(&mut channels, &inputs, &outputs));
+        assert!(channels[1].forward_valid && channels[2].forward_valid);
+        assert_eq!(channels[1].data, 9);
+        assert_eq!(channels[2].data, 9);
+        assert!(!channels[0].forward_stop, "both branches ready: the input fires");
+    }
+
+    #[test]
+    fn eager_fork_delivers_branches_independently() {
+        let mut fork = EagerFork::new(ForkSpec::eager(2));
+        let mut channels = vec![ChannelState::default(); 3];
+        let inputs = [0usize];
+        let outputs = [1usize, 2];
+        channels[0].forward_valid = true;
+        channels[0].data = 5;
+        channels[2].forward_stop = true; // branch 1 is blocked
+        fork.eval(&mut io(&mut channels, &inputs, &outputs));
+        assert!(channels[0].forward_stop, "the input waits for the blocked branch");
+        assert!(channels[1].forward_valid);
+        fork.commit(&io(&mut channels, &inputs, &outputs));
+
+        // Next cycle branch 0 must not receive the token again.
+        fork.eval(&mut io(&mut channels, &inputs, &outputs));
+        assert!(!channels[1].forward_valid, "branch 0 already has its copy");
+        assert!(channels[2].forward_valid);
+        // Unblock branch 1: the input can now complete.
+        channels[2].forward_stop = false;
+        fork.eval(&mut io(&mut channels, &inputs, &outputs));
+        assert!(!channels[0].forward_stop);
+    }
+
+    #[test]
+    fn branch_kills_count_as_deliveries() {
+        let fork = EagerFork::new(ForkSpec::eager(2));
+        let mut channels = vec![ChannelState::default(); 3];
+        let inputs = [0usize];
+        let outputs = [1usize, 2];
+        channels[0].forward_valid = true;
+        channels[1].forward_stop = true;
+        channels[1].backward_valid = true; // branch 0's copy is cancelled
+        fork.eval(&mut io(&mut channels, &inputs, &outputs));
+        assert!(!channels[1].backward_stop, "the kill is absorbed against the in-flight copy");
+        assert!(!channels[0].forward_stop, "kill + delivery completes the input transfer");
+    }
+
+    #[test]
+    fn kills_without_a_token_are_stopped() {
+        let fork = EagerFork::new(ForkSpec::eager(2));
+        let mut channels = vec![ChannelState::default(); 3];
+        let inputs = [0usize];
+        let outputs = [1usize, 2];
+        channels[1].backward_valid = true;
+        fork.eval(&mut io(&mut channels, &inputs, &outputs));
+        assert!(channels[1].backward_stop);
+    }
+
+    #[test]
+    fn lazy_fork_waits_for_all_branches() {
+        let fork = EagerFork::new(ForkSpec::lazy(2));
+        let mut channels = vec![ChannelState::default(); 3];
+        let inputs = [0usize];
+        let outputs = [1usize, 2];
+        channels[0].forward_valid = true;
+        channels[2].forward_stop = true;
+        fork.eval(&mut io(&mut channels, &inputs, &outputs));
+        assert!(!channels[1].forward_valid, "a lazy fork withholds all copies until all are ready");
+        assert!(channels[0].forward_stop);
+    }
+}

@@ -1,0 +1,96 @@
+//! Controller implementations for every netlist node kind.
+//!
+//! | node kind | controller | protocol role |
+//! |---|---|---|
+//! | `Buffer` (`Lb = 1`) | [`buffer::StandardBuffer`] | latch-based EB of Figure 2(a) |
+//! | `Buffer` (`Lb = 0`) | [`buffer::ZeroBackwardBuffer`] | the Figure-5 EB with combinational stop/kill |
+//! | `Function` | [`function::FunctionBlock`] | lazy join + combinational datapath |
+//! | `Fork` | [`fork::EagerFork`] | token replication with per-branch completion |
+//! | `Mux` | [`mux::MuxController`] | lazy or early-evaluation multiplexor with anti-token injection |
+//! | `Shared` | [`shared::SharedModule`] | the speculative shared module of Figure 4 |
+//! | `VarLatency` | [`varlatency::VarLatencyUnit`] | the stalling variable-latency unit of Figure 6(a) |
+//! | `Source` / `Sink` | [`environment`] | the elastic environment |
+
+pub mod buffer;
+pub mod environment;
+pub mod function;
+pub mod fork;
+pub mod mux;
+pub mod shared;
+pub mod varlatency;
+
+use elastic_core::{Netlist, Node, NodeKind, Scheduler};
+
+use crate::controller::Controller;
+use crate::engine::SimError;
+
+/// Builds the controller for one netlist node.
+///
+/// `scheduler_override` replaces the scheduler named in a shared module's
+/// specification (used by benchmarks to sweep prediction policies without
+/// rebuilding the netlist).
+///
+/// # Errors
+///
+/// Returns [`SimError::UnsupportedNode`] when a node's configuration cannot
+/// be simulated (e.g. a buffer with forward latency other than 1).
+pub fn build_controller(
+    netlist: &Netlist,
+    node: &Node,
+    scheduler_override: Option<Box<dyn Scheduler>>,
+) -> Result<Box<dyn Controller>, SimError> {
+    let output_widths: Vec<u8> =
+        netlist.output_channels(node.id).iter().map(|c| c.width).collect();
+    let controller: Box<dyn Controller> = match &node.kind {
+        NodeKind::Buffer(spec) => {
+            if spec.forward_latency != 1 {
+                return Err(SimError::UnsupportedNode {
+                    node: node.id,
+                    reason: format!(
+                        "buffers with forward latency {} are not supported by the simulator \
+                         (chain unit-latency buffers instead)",
+                        spec.forward_latency
+                    ),
+                });
+            }
+            if spec.backward_latency == 0 {
+                Box::new(buffer::ZeroBackwardBuffer::new(*spec))
+            } else {
+                Box::new(buffer::StandardBuffer::new(*spec))
+            }
+        }
+        NodeKind::Function(spec) => Box::new(function::FunctionBlock::new(
+            spec.clone(),
+            output_widths.first().copied().unwrap_or(64),
+        )),
+        NodeKind::Mux(spec) => Box::new(mux::MuxController::new(*spec)),
+        NodeKind::Fork(spec) => Box::new(fork::EagerFork::new(*spec)),
+        NodeKind::Shared(spec) => {
+            let scheduler = scheduler_override
+                .unwrap_or_else(|| elastic_predict::from_kind(&spec.scheduler, spec.users));
+            Box::new(shared::SharedModule::new(
+                spec.clone(),
+                scheduler,
+                output_widths.first().copied().unwrap_or(64),
+            ))
+        }
+        NodeKind::VarLatency(spec) => Box::new(varlatency::VarLatencyUnit::new(
+            spec.clone(),
+            output_widths.first().copied().unwrap_or(64),
+        )),
+        NodeKind::Source(spec) => Box::new(environment::SourceController::new(
+            spec.clone(),
+            output_widths.first().copied().unwrap_or(64),
+        )),
+        NodeKind::Sink(spec) => Box::new(environment::SinkController::new(spec.clone())),
+        // `NodeKind` is non-exhaustive within the workspace; reject anything
+        // this simulator does not know how to model rather than mis-simulate.
+        other => {
+            return Err(SimError::UnsupportedNode {
+                node: node.id,
+                reason: format!("no controller for node kind `{}`", other.kind_name()),
+            })
+        }
+    };
+    Ok(controller)
+}

@@ -1,0 +1,53 @@
+//! # elastic-sim
+//!
+//! A cycle-accurate simulator for synchronous elastic (SELF) netlists, the
+//! evaluation substrate of the *Speculation in Elastic Systems* reproduction.
+//!
+//! The paper evaluates its speculative designs by generating Verilog for the
+//! elastic controllers and simulating them together with a datapath model;
+//! this crate plays that role in pure Rust. Each netlist node becomes a small
+//! **controller** implementing the SELF handshake — elastic buffers with
+//! configurable forward/backward latency, lazy joins, eager forks,
+//! early-evaluation multiplexors that inject anti-tokens, and the speculative
+//! shared module with a pluggable [`elastic_core::Scheduler`]. Channels carry
+//! the full `(V+, S+, V-, S-)` control tuple plus a 64-bit data word; a clock
+//! cycle is simulated by iterating the combinational controllers to a fixed
+//! point and then committing all sequential state at once.
+//!
+//! Main entry points:
+//!
+//! * [`Simulation`] — build from a [`elastic_core::Netlist`], run cycles,
+//!   collect a [`SimulationReport`];
+//! * [`Trace`] — per-channel, per-cycle recording (token / anti-token /
+//!   bubble / retry), used to reproduce Table 1 and by `elastic-verify`;
+//! * [`scenarios`] — ready-to-run experiment setups for every figure/table of
+//!   the paper, combining the netlist library of `elastic-core`, the
+//!   workload generators of `elastic-datapath` and the schedulers of
+//!   `elastic-predict`.
+//!
+//! ```
+//! use elastic_core::library::{fig1a, Fig1Config};
+//! use elastic_sim::{SimConfig, Simulation};
+//!
+//! let handles = fig1a(&Fig1Config::default());
+//! let mut sim = Simulation::new(&handles.netlist, &SimConfig::default()).unwrap();
+//! let report = sim.run(100).unwrap();
+//! assert!(report.sink_transfers(handles.sink) > 90, "the Figure-1(a) loop runs at ~1 token/cycle");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod controller;
+pub mod controllers;
+pub mod engine;
+pub mod metrics;
+pub mod scenarios;
+pub mod signal;
+pub mod trace;
+
+pub use engine::{SimConfig, SimError, Simulation};
+pub use metrics::{SharedModuleStats, SimulationReport};
+pub use signal::{ChannelPhase, ChannelState, TraceSymbol};
+pub use trace::Trace;

@@ -1,0 +1,141 @@
+//! Simulation reports: throughput, transfer streams, prediction statistics.
+
+use std::collections::BTreeMap;
+
+use elastic_core::NodeId;
+
+use crate::controller::NodeStats;
+
+/// Statistics of one speculative shared module over a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SharedModuleStats {
+    /// Cycles in which a misprediction was detected.
+    pub mispredictions: u64,
+    /// Forward transfers per user channel (how often each user actually got
+    /// the unit *and* the consumer used the result).
+    pub transfers_per_user: Vec<u64>,
+    /// Tokens per user channel that were cancelled by consumer anti-tokens.
+    pub kills_per_user: Vec<u64>,
+}
+
+impl SharedModuleStats {
+    /// Total useful transfers through the shared module.
+    pub fn total_transfers(&self) -> u64 {
+        self.transfers_per_user.iter().sum()
+    }
+
+    /// Fraction of decided outcomes (transfers plus kills) that were
+    /// mispredicted; `None` when nothing was decided.
+    pub fn misprediction_rate(&self) -> Option<f64> {
+        let decided = self.total_transfers() + self.kills_per_user.iter().sum::<u64>();
+        if decided == 0 {
+            None
+        } else {
+            Some(self.mispredictions as f64 / decided as f64)
+        }
+    }
+}
+
+/// Summary of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimulationReport {
+    /// Number of simulated cycles.
+    pub cycles: u64,
+    /// Transfer streams observed at each sink: `(cycle, value)` pairs.
+    pub sink_streams: BTreeMap<NodeId, Vec<(u64, u64)>>,
+    /// Tokens cancelled at each source by anti-tokens (speculation discards).
+    pub source_kills: BTreeMap<NodeId, u64>,
+    /// Per-node controller statistics.
+    pub node_stats: BTreeMap<NodeId, NodeStats>,
+    /// Per-shared-module speculation statistics.
+    pub shared_stats: BTreeMap<NodeId, SharedModuleStats>,
+}
+
+impl SimulationReport {
+    /// Number of tokens accepted by the given sink.
+    pub fn sink_transfers(&self, sink: NodeId) -> u64 {
+        self.sink_streams.get(&sink).map(|s| s.len() as u64).unwrap_or(0)
+    }
+
+    /// The values accepted by the given sink, in transfer order.
+    pub fn sink_values(&self, sink: NodeId) -> Vec<u64> {
+        self.sink_streams
+            .get(&sink)
+            .map(|stream| stream.iter().map(|&(_, value)| value).collect())
+            .unwrap_or_default()
+    }
+
+    /// Throughput at the given sink in tokens per cycle.
+    pub fn throughput(&self, sink: NodeId) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.sink_transfers(sink) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total mispredictions across all shared modules.
+    pub fn total_mispredictions(&self) -> u64 {
+        self.shared_stats.values().map(|s| s.mispredictions).sum()
+    }
+
+    /// Renders a short human-readable summary.
+    pub fn summary(&self) -> String {
+        let sinks: Vec<String> = self
+            .sink_streams
+            .iter()
+            .map(|(sink, stream)| {
+                format!("{sink}: {} transfers ({:.3}/cycle)", stream.len(), self.throughput(*sink))
+            })
+            .collect();
+        format!(
+            "{} cycles; sinks [{}]; {} misprediction(s)",
+            self.cycles,
+            sinks.join(", "),
+            self.total_mispredictions()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_transfers_over_cycles() {
+        let mut report = SimulationReport { cycles: 100, ..SimulationReport::default() };
+        let sink = NodeId::new(3);
+        report.sink_streams.insert(sink, (0..50).map(|i| (i, i)).collect());
+        assert_eq!(report.sink_transfers(sink), 50);
+        assert!((report.throughput(sink) - 0.5).abs() < 1e-9);
+        assert_eq!(report.sink_values(sink).len(), 50);
+        assert_eq!(report.throughput(NodeId::new(9)), 0.0);
+    }
+
+    #[test]
+    fn shared_stats_compute_misprediction_rate() {
+        let stats = SharedModuleStats {
+            mispredictions: 5,
+            transfers_per_user: vec![40, 5],
+            kills_per_user: vec![5, 50],
+        };
+        assert_eq!(stats.total_transfers(), 45);
+        let rate = stats.misprediction_rate().unwrap();
+        assert!((rate - 0.05).abs() < 1e-9);
+        assert_eq!(SharedModuleStats::default().misprediction_rate(), None);
+    }
+
+    #[test]
+    fn summary_mentions_sinks_and_mispredictions() {
+        let mut report = SimulationReport { cycles: 10, ..SimulationReport::default() };
+        report.sink_streams.insert(NodeId::new(1), vec![(0, 1)]);
+        report.shared_stats.insert(
+            NodeId::new(2),
+            SharedModuleStats { mispredictions: 2, ..SharedModuleStats::default() },
+        );
+        let text = report.summary();
+        assert!(text.contains("10 cycles"));
+        assert!(text.contains("misprediction"));
+        assert_eq!(report.total_mispredictions(), 2);
+    }
+}

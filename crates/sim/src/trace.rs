@@ -1,0 +1,174 @@
+//! Per-cycle, per-channel trace recording.
+//!
+//! The trace stores the settled channel signals of every simulated cycle.
+//! It is the raw material for:
+//!
+//! * reproducing Table 1 of the paper ([`Trace::symbol_row`] prints a channel
+//!   the way the table does: data value, `-` for an anti-token, `*` for a
+//!   bubble),
+//! * the protocol/temporal property checkers of `elastic-verify`,
+//! * transfer-stream extraction for transfer-equivalence checks.
+
+use std::collections::BTreeMap;
+
+use elastic_core::{ChannelId, Netlist};
+
+use crate::signal::{ChannelState, TraceSymbol};
+
+/// A recorded simulation trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// `cycles[t][c]` is the state of channel index `c` during cycle `t`.
+    cycles: Vec<Vec<ChannelState>>,
+    /// Maps channel ids to indices into the per-cycle vectors.
+    channel_index: BTreeMap<ChannelId, usize>,
+    /// Channel names in index order (for reports).
+    channel_names: Vec<String>,
+}
+
+impl Trace {
+    /// Creates an empty trace for the channels of `netlist`, in a fixed order.
+    pub fn new(netlist: &Netlist) -> Self {
+        let mut channel_index = BTreeMap::new();
+        let mut channel_names = Vec::new();
+        for (index, channel) in netlist.live_channels().enumerate() {
+            channel_index.insert(channel.id, index);
+            channel_names.push(channel.name.clone());
+        }
+        Trace { cycles: Vec::new(), channel_index, channel_names }
+    }
+
+    /// Records the settled signals of one cycle (called by the engine).
+    pub fn record(&mut self, states: &[ChannelState]) {
+        self.cycles.push(states.to_vec());
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// `true` when no cycle has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Number of channels per recorded cycle.
+    pub fn channel_count(&self) -> usize {
+        self.channel_names.len()
+    }
+
+    /// The state of a channel during a given cycle.
+    pub fn state(&self, channel: ChannelId, cycle: usize) -> Option<ChannelState> {
+        let index = *self.channel_index.get(&channel)?;
+        self.cycles.get(cycle).and_then(|states| states.get(index)).copied()
+    }
+
+    /// The full per-cycle history of a channel.
+    pub fn channel_history(&self, channel: ChannelId) -> Vec<ChannelState> {
+        match self.channel_index.get(&channel) {
+            Some(&index) => self.cycles.iter().map(|states| states[index]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The Table-1 style symbol row of a channel (token value / `-` / `*`).
+    pub fn symbol_row(&self, channel: ChannelId) -> Vec<TraceSymbol> {
+        self.channel_history(channel).iter().map(ChannelState::symbol).collect()
+    }
+
+    /// The transfer stream of a channel: the data values of the cycles in
+    /// which a forward transfer completed, in order.
+    pub fn transfer_stream(&self, channel: ChannelId) -> Vec<u64> {
+        self.channel_history(channel)
+            .iter()
+            .filter(|state| state.forward_transfer())
+            .map(|state| state.data)
+            .collect()
+    }
+
+    /// Iterator over `(channel id, channel name)` pairs in trace order.
+    pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &str)> {
+        self.channel_index
+            .iter()
+            .map(move |(&id, &index)| (id, self.channel_names[index].as_str()))
+    }
+
+    /// Renders a compact textual table of the given channels over all cycles
+    /// (one row per channel), in the style of Table 1 of the paper.
+    pub fn render_table(&self, channels: &[(ChannelId, &str)]) -> String {
+        let mut out = String::new();
+        let cycles = self.len();
+        out.push_str("cycle      ");
+        for t in 0..cycles {
+            out.push_str(&format!("{t:>6}"));
+        }
+        out.push('\n');
+        for (channel, label) in channels {
+            out.push_str(&format!("{label:<11}"));
+            for symbol in self.symbol_row(*channel) {
+                out.push_str(&format!("{:>6}", symbol.to_string()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::kind::{SinkSpec, SourceSpec};
+    use elastic_core::{Netlist, Port};
+
+    fn tiny_netlist() -> (Netlist, ChannelId) {
+        let mut n = Netlist::new("t");
+        let src = n.add_source("src", SourceSpec::always());
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        let ch = n.connect_named("wire", Port::output(src, 0), Port::input(sink, 0), 8).unwrap();
+        (n, ch)
+    }
+
+    #[test]
+    fn records_and_replays_channel_history() {
+        let (netlist, channel) = tiny_netlist();
+        let mut trace = Trace::new(&netlist);
+        assert!(trace.is_empty());
+        trace.record(&[ChannelState { forward_valid: true, data: 5, ..ChannelState::default() }]);
+        trace.record(&[ChannelState::default()]);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.channel_count(), 1);
+        let history = trace.channel_history(channel);
+        assert!(history[0].forward_valid);
+        assert!(!history[1].forward_valid);
+        assert_eq!(trace.transfer_stream(channel), vec![5]);
+        assert_eq!(trace.state(channel, 0).unwrap().data, 5);
+        assert!(trace.state(channel, 7).is_none());
+    }
+
+    #[test]
+    fn symbol_rows_and_tables_follow_the_paper_notation() {
+        let (netlist, channel) = tiny_netlist();
+        let mut trace = Trace::new(&netlist);
+        trace.record(&[ChannelState { forward_valid: true, data: 0xA1, ..ChannelState::default() }]);
+        trace.record(&[ChannelState { backward_valid: true, ..ChannelState::default() }]);
+        trace.record(&[ChannelState::default()]);
+        let row = trace.symbol_row(channel);
+        assert_eq!(
+            row,
+            vec![TraceSymbol::Token(0xA1), TraceSymbol::AntiToken, TraceSymbol::Bubble]
+        );
+        let table = trace.render_table(&[(channel, "wire")]);
+        assert!(table.contains("wire"));
+        assert!(table.contains('-'));
+        assert!(table.contains('*'));
+    }
+
+    #[test]
+    fn unknown_channels_yield_empty_histories() {
+        let (netlist, _channel) = tiny_netlist();
+        let trace = Trace::new(&netlist);
+        assert!(trace.channel_history(ChannelId::new(99)).is_empty());
+        assert!(trace.symbol_row(ChannelId::new(99)).is_empty());
+    }
+}

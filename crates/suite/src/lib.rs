@@ -1,0 +1,40 @@
+//! # elastic-suite
+//!
+//! Umbrella crate of the *Speculation in Elastic Systems* reproduction. It
+//! re-exports the workspace crates under one roof so that the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`)
+//! have a single dependency, and provides a couple of small helpers shared by
+//! both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use elastic_analysis as analysis;
+pub use elastic_core as core;
+pub use elastic_datapath as datapath;
+pub use elastic_hdl as hdl;
+pub use elastic_predict as predict;
+pub use elastic_sim as sim;
+pub use elastic_verify as verify;
+
+/// Formats a throughput figure the way the reports in `EXPERIMENTS.md` do.
+pub fn format_throughput(throughput: f64) -> String {
+    format!("{throughput:.3} tokens/cycle")
+}
+
+/// Formats a relative change as a signed percentage.
+pub fn format_percent(fraction: f64) -> String {
+    format!("{:+.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers_are_stable() {
+        assert_eq!(format_throughput(0.5), "0.500 tokens/cycle");
+        assert_eq!(format_percent(0.091), "+9.1%");
+        assert_eq!(format_percent(-0.36), "-36.0%");
+    }
+}

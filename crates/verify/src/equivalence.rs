@@ -1,0 +1,178 @@
+//! Transfer equivalence between two elastic designs.
+//!
+//! Two elastic systems are *transfer equivalent* (Section 3.1, [10]) if,
+//! given identical input streams, their output transfer streams match — the
+//! cycle at which each transfer happens is irrelevant, only the sequence of
+//! transferred values counts. This is the correctness criterion for every
+//! transformation in `elastic-core`: bubble insertion, retiming, Shannon
+//! decomposition, sharing and the composite speculation pass must all leave
+//! the transfer streams unchanged.
+
+use elastic_core::{Netlist, NodeId};
+use elastic_sim::{SimConfig, SimError, Simulation};
+
+use crate::Verdict;
+
+/// Result of comparing the transfer streams of two designs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquivalenceReport {
+    /// Number of values compared per sink (the shorter stream's length).
+    pub compared: Vec<(String, usize)>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Checks transfer equivalence of two netlists by simulation.
+///
+/// Both designs are simulated for `cycles` cycles; for every *sink name*
+/// present in both netlists, the stream of transferred values of one design
+/// must be a prefix of the other's (the faster design may simply have gotten
+/// further within the cycle budget). Sinks are matched by instance name, so
+/// the transformed design must keep the observation points of the original —
+/// which all `elastic-core` transformations do.
+///
+/// # Errors
+///
+/// Propagates simulation failures from either design.
+pub fn transfer_equivalent(
+    reference: &Netlist,
+    transformed: &Netlist,
+    cycles: u64,
+) -> Result<EquivalenceReport, SimError> {
+    let config = SimConfig { record_trace: false, ..SimConfig::default() };
+    let reference_report = Simulation::new(reference, &config)?.run(cycles)?;
+    let transformed_report = Simulation::new(transformed, &config)?.run(cycles)?;
+
+    let mut verdict = Verdict::default();
+    let mut compared = Vec::new();
+
+    let reference_sinks: Vec<(String, NodeId)> = reference
+        .live_nodes()
+        .filter(|n| matches!(n.kind, elastic_core::NodeKind::Sink(_)))
+        .map(|n| (n.name.clone(), n.id))
+        .collect();
+    if reference_sinks.is_empty() {
+        verdict.reject("the reference design has no sinks to observe");
+    }
+
+    for (name, reference_sink) in reference_sinks {
+        let Some(transformed_sink) = transformed
+            .live_nodes()
+            .find(|n| n.name == name && matches!(n.kind, elastic_core::NodeKind::Sink(_)))
+            .map(|n| n.id)
+        else {
+            verdict.reject(format!("sink `{name}` is missing from the transformed design"));
+            continue;
+        };
+        let reference_values = reference_report.sink_values(reference_sink);
+        let transformed_values = transformed_report.sink_values(transformed_sink);
+        let common = reference_values.len().min(transformed_values.len());
+        if common == 0 && (!reference_values.is_empty() || !transformed_values.is_empty()) {
+            verdict.reject(format!(
+                "sink `{name}`: one design transferred nothing ({} vs {} values)",
+                reference_values.len(),
+                transformed_values.len()
+            ));
+            continue;
+        }
+        if reference_values[..common] != transformed_values[..common] {
+            let index = reference_values[..common]
+                .iter()
+                .zip(&transformed_values[..common])
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            verdict.reject(format!(
+                "sink `{name}`: transfer streams diverge at transfer {index} \
+                 (reference {:#x}, transformed {:#x})",
+                reference_values[index], transformed_values[index]
+            ));
+        }
+        compared.push((name, common));
+    }
+
+    Ok(EquivalenceReport { compared, verdict })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::library::{self, Fig1Config};
+    use elastic_core::transform::{insert_bubble, speculate, SpeculateOptions};
+    use elastic_core::SchedulerKind;
+
+    fn config() -> Fig1Config {
+        Fig1Config {
+            src0_data: elastic_core::kind::DataStream::List(vec![3, 6, 1, 4, 9, 2, 7, 8]),
+            src1_data: elastic_core::kind::DataStream::List(vec![5, 0, 2, 9, 6, 3, 1, 4]),
+            ..Fig1Config::default()
+        }
+    }
+
+    #[test]
+    fn bubble_insertion_preserves_transfer_streams() {
+        let original = library::fig1a(&config());
+        let mut transformed = original.netlist.clone();
+        let mux_out = transformed
+            .channel_from(elastic_core::Port::output(original.mux, 0))
+            .unwrap()
+            .id;
+        insert_bubble(&mut transformed, mux_out).unwrap();
+        let report = transfer_equivalent(&original.netlist, &transformed, 200).unwrap();
+        assert!(report.verdict.passed(), "{}", report.verdict);
+        assert!(report.compared.iter().any(|(_, n)| *n > 50));
+    }
+
+    #[test]
+    fn speculation_preserves_transfer_streams_for_every_scheduler() {
+        let original = library::fig1a(&config());
+        for scheduler in [
+            SchedulerKind::Static(0),
+            SchedulerKind::Static(1),
+            SchedulerKind::LastTaken,
+            SchedulerKind::TwoBit,
+            SchedulerKind::RoundRobin,
+        ] {
+            let mut transformed = original.netlist.clone();
+            speculate(
+                &mut transformed,
+                original.mux,
+                &SpeculateOptions { scheduler: scheduler.clone(), ..SpeculateOptions::default() },
+            )
+            .unwrap();
+            let report = transfer_equivalent(&original.netlist, &transformed, 300).unwrap();
+            assert!(
+                report.verdict.passed(),
+                "scheduler {scheduler:?} broke transfer equivalence: {}",
+                report.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn a_functionally_different_design_is_rejected() {
+        let original = library::fig1a(&config());
+        // Changing F's data behaviour (identity -> increment) changes the stream.
+        let mut different = original.netlist.clone();
+        let f = different.find_node("f").unwrap().id;
+        if let Some(node) = different.node_mut(f) {
+            node.kind = elastic_core::NodeKind::Function(elastic_core::FunctionSpec::new(
+                elastic_core::Op::Inc,
+            ));
+        }
+        let report = transfer_equivalent(&original.netlist, &different, 100).unwrap();
+        assert!(!report.verdict.passed());
+    }
+
+    #[test]
+    fn missing_sinks_are_reported() {
+        let original = library::fig1a(&config());
+        let mut renamed = original.netlist.clone();
+        let sink = renamed.find_node("sink").unwrap().id;
+        if let Some(node) = renamed.node_mut(sink) {
+            node.name = "observer".into();
+        }
+        let report = transfer_equivalent(&original.netlist, &renamed, 50).unwrap();
+        assert!(!report.verdict.passed());
+        assert!(report.verdict.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Deadlock detection and the scheduler leads-to property.
+//!
+//! Section 4.1.1 of the paper requires every scheduler to satisfy the
+//! *leads-to* constraint
+//! `G (V+_in_i ⇒ F (V-_out_i ∨ (sel = i ∧ S+_out_i)))`: every token that
+//! reaches a shared module is eventually served or cancelled. Section 4.2
+//! then verifies that, under this constraint, the composed controllers are
+//! deadlock-free. The checkers here verify both obligations dynamically on
+//! recorded traces:
+//!
+//! * [`check_deadlock_freedom`] — the design keeps making progress: within
+//!   every window of the configured length at least one sink transfer
+//!   happens while the sources still have tokens to offer;
+//! * [`check_leads_to`] — every cycle in which a shared-module input carries
+//!   a valid token is followed, within a bounded horizon, by that channel
+//!   transferring or being cancelled.
+
+use elastic_core::{Netlist, NodeKind, Port};
+use elastic_sim::{SimConfig, SimError, Simulation, Trace};
+
+use crate::Verdict;
+
+/// Options for the liveness checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LivenessOptions {
+    /// Number of cycles to simulate.
+    pub cycles: u64,
+    /// Maximum number of consecutive cycles without any sink transfer before
+    /// the design is considered deadlocked (when upstream work exists).
+    pub progress_window: usize,
+    /// Horizon within which a waiting shared-module token must be served or
+    /// cancelled.
+    pub leads_to_horizon: usize,
+}
+
+impl Default for LivenessOptions {
+    fn default() -> Self {
+        LivenessOptions { cycles: 400, progress_window: 96, leads_to_horizon: 96 }
+    }
+}
+
+/// Runs the design and checks that sinks keep receiving tokens.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn check_deadlock_freedom(
+    netlist: &Netlist,
+    options: &LivenessOptions,
+) -> Result<Verdict, SimError> {
+    let mut sim = Simulation::new(netlist, &SimConfig::default())?;
+    let report = sim.run(options.cycles)?;
+    let trace = sim.trace();
+    let mut verdict = Verdict::default();
+
+    // Collect the input channels of every sink.
+    let sink_channels: Vec<_> = netlist
+        .live_nodes()
+        .filter(|n| matches!(n.kind, NodeKind::Sink(_)))
+        .filter_map(|n| netlist.channel_into(Port::input(n.id, 0)).map(|c| c.id))
+        .collect();
+    if sink_channels.is_empty() {
+        verdict.reject("the design has no sinks; progress cannot be observed");
+        return Ok(verdict);
+    }
+
+    let mut idle_run = 0usize;
+    for cycle in 0..trace.len() {
+        let progress = sink_channels.iter().any(|&channel| {
+            trace.state(channel, cycle).map(|s| s.forward_transfer()).unwrap_or(false)
+        });
+        if progress {
+            idle_run = 0;
+        } else {
+            idle_run += 1;
+            if idle_run > options.progress_window {
+                verdict.reject(format!(
+                    "no sink transferred for {} consecutive cycles (deadlock or livelock \
+                     detected around cycle {cycle})",
+                    options.progress_window
+                ));
+                break;
+            }
+        }
+    }
+
+    // Sanity: the run must have delivered something at all.
+    if report.sink_streams.values().all(|s| s.is_empty()) {
+        verdict.reject("no sink ever received a token");
+    }
+    Ok(verdict)
+}
+
+/// Checks the leads-to property on every shared module of the design.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn check_leads_to(netlist: &Netlist, options: &LivenessOptions) -> Result<Verdict, SimError> {
+    let mut sim = Simulation::new(netlist, &SimConfig::default())?;
+    sim.run(options.cycles)?;
+    Ok(check_leads_to_on_trace(netlist, sim.trace(), options))
+}
+
+/// Trace-level leads-to check (exposed for callers that already have a trace).
+pub fn check_leads_to_on_trace(
+    netlist: &Netlist,
+    trace: &Trace,
+    options: &LivenessOptions,
+) -> Verdict {
+    let mut verdict = Verdict::default();
+    for node in netlist.live_nodes() {
+        let NodeKind::Shared(spec) = &node.kind else { continue };
+        for user in 0..spec.users {
+            for operand in 0..spec.inputs_per_user {
+                let port = Port::input(node.id, user * spec.inputs_per_user + operand);
+                let Some(channel) = netlist.channel_into(port) else { continue };
+                let history = trace.channel_history(channel.id);
+                let mut waiting_since: Option<usize> = None;
+                for (cycle, state) in history.iter().enumerate() {
+                    let resolved = state.forward_transfer()
+                        || state.backward_transfer()
+                        || state.annihilation();
+                    if resolved {
+                        waiting_since = None;
+                        continue;
+                    }
+                    if state.forward_valid {
+                        let since = *waiting_since.get_or_insert(cycle);
+                        if cycle - since > options.leads_to_horizon
+                            && cycle + options.leads_to_horizon < history.len()
+                        {
+                            verdict.reject(format!(
+                                "shared module {} starves user {user} (channel {}): a token has \
+                                 waited since cycle {since}",
+                                node.name, channel.name
+                            ));
+                            waiting_since = None;
+                        }
+                    } else {
+                        waiting_since = None;
+                    }
+                }
+            }
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::library::{fig1d, Fig1Config};
+    use elastic_core::SchedulerKind;
+
+    #[test]
+    fn the_speculative_fig1_design_is_deadlock_free_and_fair() {
+        let handles = fig1d(&Fig1Config::default());
+        let options = LivenessOptions::default();
+        assert!(check_deadlock_freedom(&handles.netlist, &options).unwrap().passed());
+        assert!(check_leads_to(&handles.netlist, &options).unwrap().passed());
+    }
+
+    #[test]
+    fn even_an_always_wrong_static_scheduler_stays_live() {
+        // The starvation override of the shared-module controller guarantees
+        // the leads-to property for any scheduler (Section 4.1.1).
+        let config = Fig1Config { scheduler: SchedulerKind::Static(1), ..Fig1Config::default() };
+        let handles = fig1d(&config);
+        let options = LivenessOptions::default();
+        assert!(check_deadlock_freedom(&handles.netlist, &options).unwrap().passed());
+        assert!(check_leads_to(&handles.netlist, &options).unwrap().passed());
+    }
+
+    #[test]
+    fn a_token_free_loop_is_reported_as_deadlocked() {
+        // A loop with no initial token can never fire.
+        let mut n = elastic_core::Netlist::new("deadlock");
+        let eb = n.add_buffer("eb", elastic_core::BufferSpec::bubble());
+        let f = n.add_function(
+            "f",
+            elastic_core::FunctionSpec::with_inputs(elastic_core::Op::Add, 2),
+        );
+        let src = n.add_source("src", elastic_core::SourceSpec::always());
+        let fork = n.add_fork("fork", elastic_core::ForkSpec::eager(2));
+        let sink = n.add_sink("sink", elastic_core::SinkSpec::always_ready());
+        n.connect(Port::output(src, 0), Port::input(f, 0), 8).unwrap();
+        n.connect(Port::output(eb, 0), Port::input(f, 1), 8).unwrap();
+        n.connect(Port::output(f, 0), Port::input(fork, 0), 8).unwrap();
+        n.connect(Port::output(fork, 0), Port::input(eb, 0), 8).unwrap();
+        n.connect(Port::output(fork, 1), Port::input(sink, 0), 8).unwrap();
+        let verdict = check_deadlock_freedom(
+            &n,
+            &LivenessOptions { cycles: 80, progress_window: 32, ..LivenessOptions::default() },
+        )
+        .unwrap();
+        assert!(!verdict.passed());
+    }
+}

@@ -1,0 +1,240 @@
+//! SELF channel protocol properties (Section 3.1 of the paper).
+//!
+//! For every channel the following LTL properties must hold:
+//!
+//! * `Retry+`:  `G ((V+ ∧ S+) ⇒ X V+)` — a stopped token is held (persistence);
+//! * `Retry-`:  `G ((V- ∧ S-) ⇒ X V-)` — a stopped anti-token is held;
+//! * `Liveness`: `G F ((V+ ∧ ¬S+) ∨ (V- ∧ ¬S-))` — every channel eventually
+//!   sees a transfer (checked on finite traces as "at least one transfer and
+//!   no unbounded starvation window");
+//! * `Invariant`: `G ¬(V- ∧ S+ ∧ V+ ∧ S-)` — a token cannot be killed and
+//!   stopped at the same time.
+//!
+//! The checkers work on the finite traces recorded by `elastic-sim`; the
+//! liveness property is interpreted over a configurable starvation window, as
+//! usual when checking liveness on bounded executions.
+
+use elastic_core::{ChannelId, Netlist};
+use elastic_sim::{ChannelState, Trace};
+
+use crate::Verdict;
+
+/// One protocol violation found on a channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolViolation {
+    /// The channel on which the violation happened.
+    pub channel: ChannelId,
+    /// The cycle at which it was detected.
+    pub cycle: usize,
+    /// Which property was violated.
+    pub property: &'static str,
+}
+
+/// Options for protocol checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolOptions {
+    /// Number of consecutive cycles a channel may go without any forward or
+    /// backward transfer before the bounded liveness check flags it —
+    /// provided the channel was actively offering something during that
+    /// window.
+    pub starvation_window: usize,
+    /// Skip the liveness check entirely (useful for very short traces).
+    pub check_liveness: bool,
+}
+
+impl Default for ProtocolOptions {
+    fn default() -> Self {
+        ProtocolOptions { starvation_window: 64, check_liveness: true }
+    }
+}
+
+/// Checks the four SELF properties on one channel history.
+///
+/// `require_forward_persistence` controls whether the `Retry+` check is
+/// applied: the paper (Section 4.2) explicitly allows the output channels of
+/// shared modules — and hence of the early-evaluation multiplexor they feed —
+/// to be non-persistent, because the scheduler may change its prediction
+/// after a retry; persistence at the module inputs and at downstream EB
+/// outputs is what guarantees that no token is lost.
+pub fn check_channel(
+    channel: ChannelId,
+    history: &[ChannelState],
+    options: &ProtocolOptions,
+    require_forward_persistence: bool,
+) -> Vec<ProtocolViolation> {
+    let mut violations = Vec::new();
+    for cycle in 0..history.len() {
+        let state = history[cycle];
+        // Invariant: a token cannot be killed and stopped at the same time.
+        if state.forward_valid && state.forward_stop && state.backward_valid && state.backward_stop
+        {
+            violations.push(ProtocolViolation { channel, cycle, property: "Invariant" });
+        }
+        if cycle + 1 < history.len() {
+            let next = history[cycle + 1];
+            // Retry+: a stopped token must persist.
+            if require_forward_persistence
+                && state.forward_valid
+                && state.forward_stop
+                && !state.backward_transfer()
+                && !next.forward_valid
+            {
+                violations.push(ProtocolViolation { channel, cycle, property: "Retry+" });
+            }
+            // Retry-: a stopped anti-token must persist.
+            if state.backward_valid && state.backward_stop && !next.backward_valid {
+                violations.push(ProtocolViolation { channel, cycle, property: "Retry-" });
+            }
+        }
+    }
+
+    if options.check_liveness && history.len() > options.starvation_window {
+        let mut since_transfer = 0usize;
+        let mut active = false;
+        for (cycle, state) in history.iter().enumerate() {
+            let transfer = state.forward_transfer()
+                || state.backward_transfer()
+                || state.annihilation();
+            let offering = state.forward_valid || state.backward_valid;
+            if transfer {
+                since_transfer = 0;
+                active = false;
+            } else {
+                active |= offering;
+                since_transfer += 1;
+                if active && since_transfer > options.starvation_window {
+                    violations.push(ProtocolViolation { channel, cycle, property: "Liveness" });
+                    break;
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Checks the SELF properties on every channel of a recorded trace.
+pub fn check_trace(netlist: &Netlist, trace: &Trace, options: &ProtocolOptions) -> Verdict {
+    let mut verdict = Verdict::default();
+    for channel in netlist.live_channels() {
+        let history = trace.channel_history(channel.id);
+        // Section 4.2: shared-module outputs (and the early-evaluation mux
+        // they feed) are allowed to retract a stopped token when the
+        // scheduler changes its prediction.
+        let producer_exempt = netlist
+            .node(channel.from.node)
+            .map(|node| match &node.kind {
+                elastic_core::NodeKind::Shared(_) => true,
+                elastic_core::NodeKind::Mux(spec) => spec.early_eval,
+                _ => false,
+            })
+            .unwrap_or(false);
+        for violation in check_channel(channel.id, &history, options, !producer_exempt) {
+            verdict.reject(format!(
+                "channel {} ({}) violates {} at cycle {}",
+                channel.id, channel.name, violation.property, violation.cycle
+            ));
+        }
+    }
+    verdict
+}
+
+/// Simulates a netlist and checks the SELF properties on the resulting trace.
+///
+/// # Errors
+///
+/// Propagates simulation failures (combinational loops, unsupported nodes).
+pub fn check_netlist_protocol(
+    netlist: &Netlist,
+    cycles: u64,
+    options: &ProtocolOptions,
+) -> Result<Verdict, elastic_sim::SimError> {
+    let mut sim = elastic_sim::Simulation::new(netlist, &elastic_sim::SimConfig::default())?;
+    sim.run(cycles)?;
+    Ok(check_trace(netlist, sim.trace(), options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::library::{fig1d, table1, Fig1Config};
+
+    #[test]
+    fn a_persistent_retry_sequence_passes() {
+        let history = vec![
+            ChannelState { forward_valid: true, forward_stop: true, ..ChannelState::default() },
+            ChannelState { forward_valid: true, forward_stop: true, ..ChannelState::default() },
+            ChannelState { forward_valid: true, ..ChannelState::default() },
+        ];
+        assert!(check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true).is_empty());
+    }
+
+    #[test]
+    fn dropping_a_stopped_token_violates_retry_plus() {
+        let history = vec![
+            ChannelState { forward_valid: true, forward_stop: true, ..ChannelState::default() },
+            ChannelState::default(),
+        ];
+        let violations = check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].property, "Retry+");
+    }
+
+    #[test]
+    fn dropping_a_stopped_anti_token_violates_retry_minus() {
+        let history = vec![
+            ChannelState { backward_valid: true, backward_stop: true, ..ChannelState::default() },
+            ChannelState::default(),
+        ];
+        let violations = check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true);
+        assert_eq!(violations[0].property, "Retry-");
+    }
+
+    #[test]
+    fn kill_and_stop_at_the_same_time_violates_the_invariant() {
+        let history = vec![ChannelState {
+            forward_valid: true,
+            forward_stop: true,
+            backward_valid: true,
+            backward_stop: true,
+            data: 0,
+        }];
+        let violations = check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true);
+        assert_eq!(violations[0].property, "Invariant");
+    }
+
+    #[test]
+    fn starvation_beyond_the_window_violates_liveness() {
+        let mut history =
+            vec![ChannelState { forward_valid: true, forward_stop: true, ..ChannelState::default() }; 80];
+        // No transfer ever happens.
+        let options = ProtocolOptions { starvation_window: 16, check_liveness: true };
+        let violations = check_channel(ChannelId::new(0), &history, &options, true);
+        assert!(violations.iter().any(|v| v.property == "Liveness"));
+        // Transfers inside the window reset the counter.
+        for cycle in [10, 22, 34, 46, 58, 70] {
+            history[cycle].forward_stop = false;
+        }
+        let violations = check_channel(ChannelId::new(0), &history, &options, true);
+        assert!(violations.iter().all(|v| v.property != "Liveness"));
+    }
+
+    #[test]
+    fn the_speculative_fig1_design_respects_the_protocol() {
+        let handles = fig1d(&Fig1Config::default());
+        let verdict =
+            check_netlist_protocol(&handles.netlist, 200, &ProtocolOptions::default()).unwrap();
+        assert!(verdict.passed(), "{verdict}");
+    }
+
+    #[test]
+    fn the_table1_design_respects_the_protocol() {
+        let handles = table1();
+        let verdict = check_netlist_protocol(
+            &handles.netlist,
+            16,
+            &ProtocolOptions { check_liveness: false, ..ProtocolOptions::default() },
+        )
+        .unwrap();
+        assert!(verdict.passed(), "{verdict}");
+    }
+}

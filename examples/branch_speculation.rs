@@ -1,0 +1,81 @@
+//! The Figure-1 design-space walk: non-speculative loop → bubble insertion →
+//! Shannon decomposition → speculation, plus the Table-1 trace.
+//!
+//! This is the "branch prediction" scenario from the paper's introduction:
+//! the loop through `G` computes whether a branch is taken, the multiplexor
+//! picks the next PC, and speculation lets the pipeline run ahead of the
+//! branch resolution.
+//!
+//! Run with `cargo run --example branch_speculation`.
+
+use elastic_analysis::{cost::CostModel, report::DesignPoint, DesignComparison};
+use elastic_core::library;
+use elastic_core::SchedulerKind;
+use elastic_sim::scenarios::{self, Fig1Scenario, Fig1Variant};
+use elastic_sim::{SimConfig, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = CostModel::default();
+    let mut comparison = DesignComparison::new();
+    println!("Figure 1 design space (branch-taken rate 20%, two-bit predictor):\n");
+    for variant in Fig1Variant::all() {
+        let outcome = scenarios::run_fig1(&Fig1Scenario {
+            variant,
+            taken_rate: 0.2,
+            scheduler: SchedulerKind::TwoBit,
+            cycles: 2000,
+            seed: 7,
+        })?;
+        println!(
+            "  {:<22} throughput {:.3} tokens/cycle, {} mispredictions",
+            variant.label(),
+            outcome.throughput,
+            outcome.mispredictions
+        );
+        comparison.push(DesignPoint::with_throughput(
+            variant.label(),
+            &outcome.handles.netlist,
+            &model,
+            outcome.throughput,
+        ));
+    }
+    println!("\n{}", comparison.render());
+
+    // Prediction accuracy sweep: how the speculative design degrades as the
+    // branch becomes less predictable.
+    println!("speculation vs branch-taken rate (last-taken predictor):");
+    for taken_rate in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let outcome = scenarios::run_fig1(&Fig1Scenario {
+            variant: Fig1Variant::Speculation,
+            taken_rate,
+            scheduler: SchedulerKind::LastTaken,
+            cycles: 2000,
+            seed: 11,
+        })?;
+        println!(
+            "  taken rate {taken_rate:>4.2}: throughput {:.3}, mispredictions {}",
+            outcome.throughput, outcome.mispredictions
+        );
+    }
+
+    // The Table-1 trace, rendered exactly the way the paper prints it.
+    println!("\nTable 1 trace (speculative design, pinned select/schedule):\n");
+    let handles = library::table1();
+    let mut sim = Simulation::new(&handles.netlist, &SimConfig::default())?;
+    sim.run(7)?;
+    let channel = |name: &str| {
+        handles.netlist.live_channels().find(|c| c.name == name).map(|c| c.id).unwrap()
+    };
+    println!(
+        "{}",
+        sim.trace().render_table(&[
+            (channel("fin0"), "Fin0"),
+            (channel("fout0"), "Fout0"),
+            (channel("fin1"), "Fin1"),
+            (channel("fout1"), "Fout1"),
+            (channel("sel"), "Sel"),
+            (channel("ebin"), "EBin"),
+        ])
+    );
+    Ok(())
+}

@@ -1,0 +1,165 @@
+//! Cross-crate property tests: every correct-by-construction transformation
+//! preserves transfer equivalence, for randomized workloads and schedulers.
+
+use elastic_core::kind::DataStream;
+use elastic_core::library::{fig1a, Fig1Config};
+use elastic_core::transform::{
+    enable_early_evaluation, insert_bubble, shannon_decompose, share_mux_inputs, speculate,
+    ShareOptions, SpeculateOptions,
+};
+use elastic_core::{Port, SchedulerKind};
+use elastic_verify::transfer_equivalent;
+use proptest::prelude::*;
+
+fn workload_config(values0: Vec<u64>, values1: Vec<u64>) -> Fig1Config {
+    Fig1Config {
+        src0_data: DataStream::List(values0),
+        src1_data: DataStream::List(values1),
+        ..Fig1Config::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn speculation_is_transfer_equivalent_for_random_workloads(
+        values0 in proptest::collection::vec(0u64..256, 8..24),
+        values1 in proptest::collection::vec(0u64..256, 8..24),
+        scheduler_choice in 0usize..4,
+    ) {
+        let config = workload_config(values0, values1);
+        let original = fig1a(&config);
+        let scheduler = match scheduler_choice {
+            0 => SchedulerKind::Static(0),
+            1 => SchedulerKind::Static(1),
+            2 => SchedulerKind::LastTaken,
+            _ => SchedulerKind::TwoBit,
+        };
+        let mut speculative = original.netlist.clone();
+        speculate(
+            &mut speculative,
+            original.mux,
+            &SpeculateOptions { scheduler, ..SpeculateOptions::default() },
+        )
+        .unwrap();
+        let report = transfer_equivalent(&original.netlist, &speculative, 200).unwrap();
+        prop_assert!(report.verdict.passed(), "{}", report.verdict);
+    }
+
+    #[test]
+    fn bubble_insertion_is_transfer_equivalent_on_any_channel(
+        values0 in proptest::collection::vec(0u64..256, 8..16),
+        values1 in proptest::collection::vec(0u64..256, 8..16),
+        channel_choice in 0usize..8,
+    ) {
+        let config = workload_config(values0, values1);
+        let original = fig1a(&config);
+        let channels: Vec<_> = original.netlist.live_channels().map(|c| c.id).collect();
+        let channel = channels[channel_choice % channels.len()];
+        let mut transformed = original.netlist.clone();
+        insert_bubble(&mut transformed, channel).unwrap();
+        let report = transfer_equivalent(&original.netlist, &transformed, 150).unwrap();
+        prop_assert!(report.verdict.passed(), "{}", report.verdict);
+    }
+}
+
+#[test]
+fn step_by_step_recipe_equals_composite_speculation() {
+    // Applying the paper's four steps by hand produces a design that is
+    // transfer-equivalent to the one produced by the composite pass.
+    let config = workload_config(vec![7, 2, 9, 4, 1, 8], vec![3, 6, 5, 0, 2, 9]);
+    let original = fig1a(&config);
+
+    let mut manual = original.netlist.clone();
+    shannon_decompose(&mut manual, original.mux).unwrap();
+    enable_early_evaluation(&mut manual, original.mux).unwrap();
+    share_mux_inputs(&mut manual, original.mux, &ShareOptions::default()).unwrap();
+
+    let mut composite = original.netlist.clone();
+    speculate(&mut composite, original.mux, &SpeculateOptions::default()).unwrap();
+
+    let manual_vs_original = transfer_equivalent(&original.netlist, &manual, 150).unwrap();
+    assert!(manual_vs_original.verdict.passed(), "{}", manual_vs_original.verdict);
+    let manual_vs_composite = transfer_equivalent(&manual, &composite, 150).unwrap();
+    assert!(manual_vs_composite.verdict.passed(), "{}", manual_vs_composite.verdict);
+}
+
+#[test]
+fn shannon_decomposition_alone_is_transfer_equivalent() {
+    let config = workload_config(vec![11, 4, 13, 2, 7], vec![8, 1, 14, 3, 6]);
+    let original = fig1a(&config);
+    let mut transformed = original.netlist.clone();
+    shannon_decompose(&mut transformed, original.mux).unwrap();
+    let report = transfer_equivalent(&original.netlist, &transformed, 150).unwrap();
+    assert!(report.verdict.passed(), "{}", report.verdict);
+}
+
+#[test]
+fn zero_backward_recovery_buffers_preserve_equivalence() {
+    // Speculation with Lb=0 recovery buffers (Section 4.3) is still
+    // functionally equivalent to the original design.
+    let config = workload_config(vec![5, 12, 3, 9, 1, 15], vec![2, 8, 6, 0, 13, 4]);
+    let original = fig1a(&config);
+    let mut transformed = original.netlist.clone();
+    speculate(
+        &mut transformed,
+        original.mux,
+        &SpeculateOptions {
+            recovery_buffer: Some(elastic_core::BufferSpec::zero_backward(0)),
+            ..SpeculateOptions::default()
+        },
+    )
+    .unwrap();
+    let report = transfer_equivalent(&original.netlist, &transformed, 200).unwrap();
+    assert!(report.verdict.passed(), "{}", report.verdict);
+}
+
+#[test]
+fn resilient_speculation_matches_the_unprotected_accumulator_values() {
+    // The speculative SECDED design computes the same running sums as the
+    // unprotected baseline when no soft errors are injected.
+    use elastic_core::library::{resilient_speculative, resilient_unprotected, ResilientConfig};
+    use elastic_sim::{SimConfig, Simulation};
+
+    let config = ResilientConfig {
+        data_width: 32,
+        operands: (1..40).collect(),
+        error_masks: vec![0],
+    };
+    let unprotected = resilient_unprotected(&config);
+    let speculative = resilient_speculative(&config);
+    let quiet = SimConfig { record_trace: false, ..SimConfig::default() };
+    let base = Simulation::new(&unprotected.netlist, &quiet).unwrap().run(60).unwrap();
+    let spec = Simulation::new(&speculative.netlist, &quiet).unwrap().run(60).unwrap();
+    let base_values = base.sink_values(unprotected.sink);
+    let spec_values: Vec<u64> = spec
+        .sink_values(speculative.sink)
+        .iter()
+        // The speculative design observes encoded codewords; strip the parity
+        // bits to compare the accumulator contents.
+        .map(|codeword| codeword & 0xFFFF_FFFF)
+        .collect();
+    let common = base_values.len().min(spec_values.len());
+    assert!(common > 20, "both designs must make progress");
+    assert_eq!(base_values[..common], spec_values[..common]);
+}
+
+#[test]
+fn speculation_report_documents_what_changed() {
+    let original = fig1a(&Fig1Config::default());
+    let mut transformed = original.netlist.clone();
+    let report =
+        speculate(&mut transformed, original.mux, &SpeculateOptions::default()).unwrap();
+    assert_eq!(report.mux, original.mux);
+    assert_eq!(report.moved_block, original.f.unwrap());
+    assert!(!report.select_cycles.is_empty());
+    // The shared module's inputs are now fed by the original sources.
+    let shared_inputs = transformed.input_channels(report.shared_module);
+    assert!(shared_inputs
+        .iter()
+        .any(|c| c.from == Port::output(original.src0, 0)));
+    assert!(shared_inputs
+        .iter()
+        .any(|c| c.from == Port::output(original.src1, 0)));
+}

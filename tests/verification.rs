@@ -1,0 +1,118 @@
+//! Experiment `E7-verify`: the verification campaign of Section 4.2, applied
+//! to every design in the library — SELF protocol compliance, deadlock
+//! freedom, the scheduler leads-to property, token conservation through
+//! shared modules, and bounded exploration of environment behaviour.
+
+use elastic_core::library::{
+    fig1a, fig1b, fig1c, fig1d, resilient_nonspeculative, resilient_speculative,
+    resilient_unprotected, table1, variable_latency_speculative, variable_latency_stalling,
+    Fig1Config, ResilientConfig, VarLatencyConfig,
+};
+use elastic_core::{Netlist, SchedulerKind};
+use elastic_datapath::workload;
+use elastic_verify::conservation::check_shared_module_conservation;
+use elastic_verify::exploration::{explore, ExplorationOptions};
+use elastic_verify::liveness::{check_deadlock_freedom, check_leads_to, LivenessOptions};
+use elastic_verify::properties::{check_netlist_protocol, ProtocolOptions};
+
+fn all_designs() -> Vec<(String, Netlist)> {
+    let fig1 = Fig1Config::default();
+    let (operands_a, operands_b) = workload::approx_error_operands(8, 4, 0.15, 400, 11);
+    let var = VarLatencyConfig { operands_a, operands_b, ..VarLatencyConfig::default() };
+    let resilient = ResilientConfig {
+        data_width: 32,
+        operands: workload::uniform_operands(32, 400, 3),
+        error_masks: workload::soft_error_masks(39, 0.05, 400, 5),
+    };
+    vec![
+        ("fig1a".into(), fig1a(&fig1).netlist),
+        ("fig1b".into(), fig1b(&fig1).netlist),
+        ("fig1c".into(), fig1c(&fig1).netlist),
+        ("fig1d".into(), fig1d(&fig1).netlist),
+        ("table1".into(), table1().netlist),
+        ("fig6a".into(), variable_latency_stalling(&var).netlist),
+        ("fig6b".into(), variable_latency_speculative(&var).netlist),
+        ("fig7-baseline".into(), resilient_unprotected(&resilient).netlist),
+        ("fig7a".into(), resilient_nonspeculative(&resilient).netlist),
+        ("fig7b".into(), resilient_speculative(&resilient).netlist),
+    ]
+}
+
+#[test]
+fn every_library_design_respects_the_self_protocol() {
+    for (name, netlist) in all_designs() {
+        let verdict = check_netlist_protocol(
+            &netlist,
+            256,
+            &ProtocolOptions { starvation_window: 128, check_liveness: true },
+        )
+        .unwrap_or_else(|e| panic!("{name}: simulation failed: {e}"));
+        assert!(verdict.passed(), "{name}: {verdict}");
+    }
+}
+
+#[test]
+fn every_library_design_is_deadlock_free() {
+    for (name, netlist) in all_designs() {
+        let verdict = check_deadlock_freedom(
+            &netlist,
+            &LivenessOptions { cycles: 300, progress_window: 128, leads_to_horizon: 128 },
+        )
+        .unwrap_or_else(|e| panic!("{name}: simulation failed: {e}"));
+        assert!(verdict.passed(), "{name}: {verdict}");
+    }
+}
+
+#[test]
+fn every_speculative_design_satisfies_leads_to_and_conserves_tokens() {
+    for (name, netlist) in all_designs() {
+        let leads_to = check_leads_to(
+            &netlist,
+            &LivenessOptions { cycles: 300, progress_window: 128, leads_to_horizon: 128 },
+        )
+        .unwrap_or_else(|e| panic!("{name}: simulation failed: {e}"));
+        assert!(leads_to.passed(), "{name}: {leads_to}");
+
+        let conservation = check_shared_module_conservation(&netlist, 300)
+            .unwrap_or_else(|e| panic!("{name}: simulation failed: {e}"));
+        assert!(conservation.passed(), "{name}: {conservation}");
+    }
+}
+
+#[test]
+fn speculation_survives_bounded_environment_and_scheduler_exploration() {
+    // The heavy-weight check of Section 4.2, applied to the flagship
+    // speculative design: every sink back-pressure pattern up to the bound
+    // plus adversarial random schedulers.
+    let handles = fig1d(&Fig1Config::default());
+    let options = ExplorationOptions {
+        pattern_depth: 3,
+        cycles_per_run: 48,
+        max_runs: 64,
+        random_scheduler_runs: 6,
+        seed: 0xDAC2009,
+    };
+    let verdict = explore(&handles.netlist, &options).unwrap();
+    assert!(verdict.passed(), "{verdict}");
+}
+
+#[test]
+fn leads_to_holds_for_every_builtin_scheduler_kind() {
+    for scheduler in [
+        SchedulerKind::Static(0),
+        SchedulerKind::Static(1),
+        SchedulerKind::RoundRobin,
+        SchedulerKind::LastTaken,
+        SchedulerKind::TwoBit,
+        SchedulerKind::Correlating { history_bits: 4 },
+        SchedulerKind::ErrorReplay,
+    ] {
+        let handles = fig1d(&Fig1Config { scheduler: scheduler.clone(), ..Fig1Config::default() });
+        let verdict = check_leads_to(
+            &handles.netlist,
+            &LivenessOptions { cycles: 300, progress_window: 128, leads_to_horizon: 128 },
+        )
+        .unwrap();
+        assert!(verdict.passed(), "{scheduler:?}: {verdict}");
+    }
+}
