@@ -166,16 +166,10 @@ impl CostModel {
 
     /// Area contributed by a node, given the widths of its output channels.
     pub fn node_area(&self, netlist: &Netlist, node: &Node) -> f64 {
-        let max_output_width = netlist
-            .output_channels(node.id)
-            .iter()
-            .map(|c| f64::from(c.width))
-            .fold(0.0, f64::max);
-        let max_input_width = netlist
-            .input_channels(node.id)
-            .iter()
-            .map(|c| f64::from(c.width))
-            .fold(0.0, f64::max);
+        let max_output_width =
+            netlist.output_channels(node.id).iter().map(|c| f64::from(c.width)).fold(0.0, f64::max);
+        let max_input_width =
+            netlist.input_channels(node.id).iter().map(|c| f64::from(c.width)).fold(0.0, f64::max);
         let width = max_output_width.max(max_input_width).max(1.0);
         match &node.kind {
             NodeKind::Buffer(spec) => {

@@ -53,11 +53,8 @@ pub fn speculation_candidates(netlist: &Netlist, model: &CostModel) -> Vec<Specu
         let mut cycle_latency = u64::MAX;
         let mut on_critical_path = false;
         for cycle in &select_cycles {
-            let delay: f64 = cycle
-                .iter()
-                .filter_map(|id| netlist.node(*id))
-                .map(|n| model.node_delay(n))
-                .sum();
+            let delay: f64 =
+                cycle.iter().filter_map(|id| netlist.node(*id)).map(|n| model.node_delay(n)).sum();
             cycle_delay = cycle_delay.max(delay);
             let latency: u64 = cycle
                 .iter()
@@ -90,7 +87,9 @@ pub fn speculation_candidates(netlist: &Netlist, model: &CostModel) -> Vec<Specu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elastic_core::library::{fig1a, fig1d, resilient_nonspeculative, Fig1Config, ResilientConfig};
+    use elastic_core::library::{
+        fig1a, fig1d, resilient_nonspeculative, Fig1Config, ResilientConfig,
+    };
 
     #[test]
     fn the_fig1_mux_is_a_speculation_candidate() {
@@ -129,10 +128,12 @@ mod tests {
         let b = n.add_source("b", elastic_core::SourceSpec::always());
         let mux = n.add_mux("mux", elastic_core::MuxSpec::lazy(2));
         let sink = n.add_sink("sink", elastic_core::SinkSpec::always_ready());
-        n.connect(elastic_core::Port::output(sel, 0), elastic_core::Port::input(mux, 0), 1).unwrap();
+        n.connect(elastic_core::Port::output(sel, 0), elastic_core::Port::input(mux, 0), 1)
+            .unwrap();
         n.connect(elastic_core::Port::output(a, 0), elastic_core::Port::input(mux, 1), 8).unwrap();
         n.connect(elastic_core::Port::output(b, 0), elastic_core::Port::input(mux, 2), 8).unwrap();
-        n.connect(elastic_core::Port::output(mux, 0), elastic_core::Port::input(sink, 0), 8).unwrap();
+        n.connect(elastic_core::Port::output(mux, 0), elastic_core::Port::input(sink, 0), 8)
+            .unwrap();
         assert!(speculation_candidates(&n, &CostModel::default()).is_empty());
     }
 }

@@ -34,5 +34,5 @@ pub mod report;
 pub mod timing;
 
 pub use cost::{AreaBreakdown, CostModel};
-pub use report::{DesignPoint, DesignComparison};
+pub use report::{DesignComparison, DesignPoint};
 pub use timing::TimingReport;

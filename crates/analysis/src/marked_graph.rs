@@ -66,13 +66,11 @@ impl MarkedGraphAnalysis {
 
     /// The cycle that imposes the minimum bound, if any cycle exists.
     pub fn critical_cycle(&self) -> Option<&CycleInfo> {
-        self.cycles
-            .iter()
-            .min_by(|a, b| {
-                let ba = a.throughput_bound().unwrap_or(0.0);
-                let bb = b.throughput_bound().unwrap_or(0.0);
-                ba.partial_cmp(&bb).unwrap_or(std::cmp::Ordering::Equal)
-            })
+        self.cycles.iter().min_by(|a, b| {
+            let ba = a.throughput_bound().unwrap_or(0.0);
+            let bb = b.throughput_bound().unwrap_or(0.0);
+            ba.partial_cmp(&bb).unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 }
 

@@ -173,12 +173,7 @@ mod tests {
         assert!(comparison.baseline().is_none());
         assert!(comparison.effective_cycle_time_improvement("x").is_none());
         assert!(comparison.area_overhead("x").is_none());
-        let point = DesignPoint {
-            name: "p".into(),
-            throughput: 0.0,
-            cycle_time: 5.0,
-            area: 10.0,
-        };
+        let point = DesignPoint { name: "p".into(), throughput: 0.0, cycle_time: 5.0, area: 10.0 };
         assert!(point.effective_cycle_time().is_infinite());
     }
 }

@@ -80,8 +80,7 @@ pub fn analyze(netlist: &Netlist, model: &CostModel) -> TimingReport {
                 }
                 continue;
             }
-            let (tail_delay, tail_path) =
-                longest_from(netlist, model, successor, on_stack, memo);
+            let (tail_delay, tail_path) = longest_from(netlist, model, successor, on_stack, memo);
             let total = own_delay + tail_delay;
             if total > best.0 {
                 let mut path = vec![node];
@@ -150,7 +149,10 @@ mod tests {
         let model = CostModel::default();
         let base = analyze(&fig1a(&config()).netlist, &model).cycle_time;
         let bubbled = analyze(&fig1b(&config()).netlist, &model).cycle_time;
-        assert!(bubbled < base, "bubble insertion must shorten the critical path: {bubbled} vs {base}");
+        assert!(
+            bubbled < base,
+            "bubble insertion must shorten the critical path: {bubbled} vs {base}"
+        );
     }
 
     #[test]

@@ -42,10 +42,9 @@ fn print_table() {
 fn bench(c: &mut Criterion) {
     print_table();
     let mut group = c.benchmark_group("accuracy_sweep");
-    for (name, scheduler) in [
-        ("static0", SchedulerKind::Static(0)),
-        ("two-bit", SchedulerKind::TwoBit),
-    ] {
+    for (name, scheduler) in
+        [("static0", SchedulerKind::Static(0)), ("two-bit", SchedulerKind::TwoBit)]
+    {
         group.bench_function(name, |b| {
             b.iter(|| {
                 run_fig1(&Fig1Scenario {

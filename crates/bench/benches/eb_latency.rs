@@ -27,11 +27,9 @@ fn speculative_with_recovery(recovery: Option<BufferSpec>) -> Netlist {
 
 fn throughput(netlist: &Netlist, cycles: u64) -> f64 {
     let sink = netlist.find_node("sink").expect("sink").id;
-    let mut sim = Simulation::new(
-        netlist,
-        &SimConfig { record_trace: false, ..SimConfig::default() },
-    )
-    .expect("simulable");
+    let mut sim =
+        Simulation::new(netlist, &SimConfig { record_trace: false, ..SimConfig::default() })
+            .expect("simulable");
     sim.run(cycles).expect("no deadlock").throughput(sink)
 }
 

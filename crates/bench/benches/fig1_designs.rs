@@ -6,24 +6,29 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use elastic_analysis::{cost::CostModel, report::DesignPoint, DesignComparison};
 use elastic_bench::{criterion_config, print_experiment_header};
 use elastic_core::SchedulerKind;
-use elastic_sim::scenarios::{build_fig1, run_fig1, Fig1Scenario, Fig1Variant};
+use elastic_sim::scenarios::{build_fig1, run_fig1_sweep, Fig1Scenario, Fig1Variant};
 use elastic_sim::{SimConfig, Simulation};
 
 fn print_table() {
-    print_experiment_header("E1-fig1", "Figure 1 design points (taken rate 0.2, two-bit predictor)");
+    print_experiment_header(
+        "E1-fig1",
+        "Figure 1 design points (taken rate 0.2, two-bit predictor)",
+    );
     let model = CostModel::default();
     let mut comparison = DesignComparison::new();
-    for variant in Fig1Variant::all() {
-        let outcome = run_fig1(&Fig1Scenario {
+    let scenarios: Vec<Fig1Scenario> = Fig1Variant::all()
+        .into_iter()
+        .map(|variant| Fig1Scenario {
             variant,
             taken_rate: 0.2,
             scheduler: SchedulerKind::TwoBit,
             cycles: 2000,
             seed: 7,
         })
-        .expect("fig1 scenario");
+        .collect();
+    for outcome in run_fig1_sweep(&scenarios).expect("fig1 scenarios") {
         comparison.push(DesignPoint::with_throughput(
-            variant.label(),
+            outcome.variant.label(),
             &outcome.handles.netlist,
             &model,
             outcome.throughput,

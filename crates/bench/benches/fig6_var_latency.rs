@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use elastic_analysis::{cost::CostModel, timing};
 use elastic_bench::{criterion_config, print_experiment_header};
-use elastic_sim::scenarios::run_var_latency;
+use elastic_sim::scenarios::{run_var_latency, run_var_latency_sweep};
 use elastic_sim::{SimConfig, Simulation};
 
 fn print_table() {
@@ -15,11 +15,14 @@ fn print_table() {
         "error rate", "stalling (tok/cy)", "speculative (tok/cy)", "replays"
     );
     let mut sample = None;
-    for error_rate in [0.0, 0.05, 0.1, 0.2, 0.4, 0.8] {
-        let outcome = run_var_latency(error_rate, 1500, 13).expect("fig6 scenario");
+    let error_rates = [0.0, 0.05, 0.1, 0.2, 0.4, 0.8];
+    for outcome in run_var_latency_sweep(&error_rates, 1500, 13).expect("fig6 scenarios") {
         println!(
             "{:<12.2} {:>18.3} {:>20.3} {:>10}",
-            error_rate, outcome.stalling_throughput, outcome.speculative_throughput, outcome.replays
+            outcome.error_rate,
+            outcome.stalling_throughput,
+            outcome.speculative_throughput,
+            outcome.replays
         );
         sample.get_or_insert(outcome);
     }

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use elastic_analysis::cost::CostModel;
 use elastic_bench::{criterion_config, print_experiment_header};
-use elastic_sim::scenarios::run_resilient;
+use elastic_sim::scenarios::{run_resilient, run_resilient_sweep};
 use elastic_sim::{SimConfig, Simulation};
 
 fn print_table() {
@@ -15,17 +15,17 @@ fn print_table() {
         "upset rate", "unprotected", "fig7a non-spec", "fig7b spec", "replays"
     );
     let mut clean = None;
-    for upset_rate in [0.0, 0.01, 0.05, 0.1, 0.2] {
-        let outcome = run_resilient(upset_rate, 1500, 17).expect("fig7 scenario");
+    let upset_rates = [0.0, 0.01, 0.05, 0.1, 0.2];
+    for outcome in run_resilient_sweep(&upset_rates, 1500, 17).expect("fig7 scenarios") {
         println!(
             "{:<12.2} {:>14.3} {:>16.3} {:>14.3} {:>10}",
-            upset_rate,
+            outcome.upset_rate,
             outcome.unprotected_throughput,
             outcome.nonspeculative_throughput,
             outcome.speculative_throughput,
             outcome.replays
         );
-        if upset_rate == 0.0 {
+        if outcome.upset_rate == 0.0 {
             clean = Some(outcome);
         }
     }

@@ -7,7 +7,10 @@ use elastic_core::library;
 use elastic_sim::{SimConfig, Simulation};
 
 fn print_table() {
-    print_experiment_header("E2-table1", "Table 1 trace (values A..G, '-' = anti-token, '*' = bubble)");
+    print_experiment_header(
+        "E2-table1",
+        "Table 1 trace (values A..G, '-' = anti-token, '*' = bubble)",
+    );
     let handles = library::table1();
     let mut sim = Simulation::new(&handles.netlist, &SimConfig::default()).expect("simulable");
     sim.run(7).expect("no deadlock");

@@ -11,7 +11,10 @@ use elastic_verify::liveness::{check_leads_to, LivenessOptions};
 use elastic_verify::properties::{check_netlist_protocol, ProtocolOptions};
 
 fn print_table() {
-    print_experiment_header("E7-verify", "verification campaign on the speculative Figure-1 design");
+    print_experiment_header(
+        "E7-verify",
+        "verification campaign on the speculative Figure-1 design",
+    );
     let handles = fig1d(&Fig1Config::default());
     let protocol =
         check_netlist_protocol(&handles.netlist, 300, &ProtocolOptions::default()).unwrap();

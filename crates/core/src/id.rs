@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node (block, buffer or environment) inside a [`crate::Netlist`].
 ///
 /// Node ids are assigned by the netlist that created them and remain stable
 /// across transformations: removing a node leaves a hole, it never renumbers
 /// surviving nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -37,7 +35,7 @@ impl fmt::Display for NodeId {
 ///
 /// Like [`NodeId`], channel ids are stable: transformations that remove a
 /// channel leave a hole rather than renumbering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChannelId(u32);
 
 impl ChannelId {
@@ -59,7 +57,7 @@ impl fmt::Display for ChannelId {
 }
 
 /// Direction of a port as seen from the node that owns it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortDir {
     /// The port consumes tokens (and may emit anti-tokens backwards).
     Input,
@@ -88,7 +86,7 @@ impl fmt::Display for PortDir {
 /// Ports are identified by the owning node, a direction and an index that is
 /// interpreted according to the node kind (see [`crate::NodeKind`] for the
 /// per-kind port conventions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Port {
     /// Node that owns the port.
     pub node: NodeId,

@@ -4,8 +4,6 @@
 //! kind; [`NodeKind::input_count`] and [`NodeKind::output_count`] derive the
 //! port arity from the specification.
 
-use serde::{Deserialize, Serialize};
-
 use crate::op::Op;
 
 /// Specification of an elastic buffer (EB).
@@ -16,7 +14,7 @@ use crate::op::Op;
 /// satisfy `C >= Lf + Lb` for tokens not to be lost (Section 3.2 of the
 /// paper). The buffer may be initialised with tokens (positive) or
 /// anti-tokens (negative).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufferSpec {
     /// Forward latency in clock cycles (`Lf`).
     pub forward_latency: u32,
@@ -95,7 +93,7 @@ impl Default for BufferSpec {
 /// waits for all inputs to carry valid tokens, computes [`Op`] on the operand
 /// tuple and produces one output token. Anti-tokens arriving on the output
 /// propagate backwards to every input.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FunctionSpec {
     /// Operation computed by the block.
     pub op: Op,
@@ -125,7 +123,7 @@ impl FunctionSpec {
 /// fires as soon as the select token and the *selected* data token are
 /// available and injects an anti-token into every non-selected data channel
 /// (Section 3.3 / [7]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MuxSpec {
     /// Number of data inputs (the select value addresses them as `0..data_inputs`).
     pub data_inputs: usize,
@@ -146,7 +144,7 @@ impl MuxSpec {
 }
 
 /// Specification of a fork that replicates tokens to several consumers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ForkSpec {
     /// Number of output branches.
     pub outputs: usize,
@@ -173,7 +171,7 @@ impl ForkSpec {
 /// The concrete implementations live in the `elastic-predict` crate; this
 /// enum only names the default policy to instantiate when simulating a
 /// netlist. Simulation harnesses can override the policy per node.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum SchedulerKind {
     /// Always predict the same user channel.
@@ -217,7 +215,7 @@ impl Default for SchedulerKind {
 /// stalls the non-predicted users (unless their tokens are killed by
 /// anti-tokens coming back from the consumer) and guarantees the mutual
 /// exclusion of kill and stop required by the SELF protocol.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SharedSpec {
     /// Number of user channels sharing the module.
     pub users: usize,
@@ -264,7 +262,7 @@ impl SharedSpec {
 /// that the approximation differs from `exact`, the output is stalled for one
 /// extra cycle and the exact result is delivered instead. This is the
 /// baseline the speculative construction of Figure 6(b) is compared against.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VarLatencySpec {
     /// Exact operation (always correct, longer critical path).
     pub exact: Op,
@@ -277,10 +275,12 @@ pub struct VarLatencySpec {
 }
 
 /// Token production pattern of a source environment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum SourcePattern {
     /// Offer a token every cycle.
+    #[default]
     Always,
     /// Offer a token once every `period` cycles (period >= 1).
     Every(u32),
@@ -296,17 +296,13 @@ pub enum SourcePattern {
     },
 }
 
-impl Default for SourcePattern {
-    fn default() -> Self {
-        SourcePattern::Always
-    }
-}
-
 /// Data stream produced by a source environment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum DataStream {
     /// 0, 1, 2, … per produced token.
+    #[default]
     Counter,
     /// The same constant for every token.
     Const(u64),
@@ -319,14 +315,8 @@ pub enum DataStream {
     },
 }
 
-impl Default for DataStream {
-    fn default() -> Self {
-        DataStream::Counter
-    }
-}
-
 /// Specification of a source (input environment).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SourceSpec {
     /// When the source offers tokens.
     pub pattern: SourcePattern,
@@ -364,10 +354,12 @@ impl SourceSpec {
 }
 
 /// Back-pressure pattern applied by a sink environment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum BackpressurePattern {
     /// Never stall the producer.
+    #[default]
     Never,
     /// Stall once every `period` cycles.
     Every(u32),
@@ -382,14 +374,8 @@ pub enum BackpressurePattern {
     },
 }
 
-impl Default for BackpressurePattern {
-    fn default() -> Self {
-        BackpressurePattern::Never
-    }
-}
-
 /// Specification of a sink (output environment).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SinkSpec {
     /// Back-pressure behaviour of the sink.
     pub backpressure: BackpressurePattern,
@@ -403,7 +389,7 @@ impl SinkSpec {
 }
 
 /// The kind of a netlist node, with its kind-specific configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum NodeKind {
     /// Elastic buffer (sequential storage).

@@ -21,8 +21,8 @@
 
 use crate::id::{NodeId, Port};
 use crate::kind::{
-    BufferSpec, DataStream, ForkSpec, FunctionSpec, MuxSpec, SchedulerKind, SinkSpec, SourcePattern,
-    SourceSpec,
+    BufferSpec, DataStream, ForkSpec, FunctionSpec, MuxSpec, SchedulerKind, SinkSpec,
+    SourcePattern, SourceSpec,
 };
 use crate::netlist::Netlist;
 use crate::op::{opaque, Op};
@@ -109,16 +109,23 @@ pub fn fig1a(config: &Fig1Config) -> Fig1Handles {
     let mut n = Netlist::new("fig1a_nonspeculative");
     let src0 = n.add_source(
         "src0",
-        SourceSpec { pattern: SourcePattern::Always, data: config.src0_data.clone(), ..SourceSpec::default() },
+        SourceSpec {
+            pattern: SourcePattern::Always,
+            data: config.src0_data.clone(),
+            ..SourceSpec::default()
+        },
     );
     let src1 = n.add_source(
         "src1",
-        SourceSpec { pattern: SourcePattern::Always, data: config.src1_data.clone(), ..SourceSpec::default() },
+        SourceSpec {
+            pattern: SourcePattern::Always,
+            data: config.src1_data.clone(),
+            ..SourceSpec::default()
+        },
     );
     let mux = n.add_mux("mux", MuxSpec::lazy(2));
     let f = n.add_op("f", opaque("F", config.f_delay, config.f_area));
-    let eb =
-        n.add_buffer("eb", BufferSpec::standard(1).with_init_value(config.initial_value));
+    let eb = n.add_buffer("eb", BufferSpec::standard(1).with_init_value(config.initial_value));
     let fork = n.add_fork("fork", ForkSpec::eager(2));
     // G computes the "branch decision": structurally it is an opaque block in
     // the paper; here it extracts the low bit of the loop value so that the
@@ -151,18 +158,7 @@ pub fn fig1a(config: &Fig1Config) -> Fig1Handles {
     n.connect_named("select", Port::output(g, 0), Port::input(mux, 0), 1).expect("fig1a wiring");
 
     n.validate().expect("fig1a is structurally valid by construction");
-    Fig1Handles {
-        netlist: n,
-        mux,
-        src0,
-        src1,
-        f: Some(f),
-        g,
-        eb,
-        fork,
-        sink,
-        shared: None,
-    }
+    Fig1Handles { netlist: n, mux, src0, src1, f: Some(f), g, eb, fork, sink, shared: None }
 }
 
 /// Builds Figure 1(b): the Figure-1(a) loop with a bubble inserted on the
@@ -235,15 +231,8 @@ pub struct Table1Handles {
 
 /// Data values used by the Table-1 trace: the letters A…G of the paper mapped
 /// to small integers.
-pub const TABLE1_VALUES: [(char, u64); 7] = [
-    ('A', 0xA1),
-    ('B', 0xB2),
-    ('C', 0xC3),
-    ('D', 0xD4),
-    ('E', 0xE5),
-    ('F', 0xF6),
-    ('G', 0x97),
-];
+pub const TABLE1_VALUES: [(char, u64); 7] =
+    [('A', 0xA1), ('B', 0xB2), ('C', 0xC3), ('D', 0xD4), ('E', 0xE5), ('F', 0xF6), ('G', 0x97)];
 
 /// The per-cycle select values of Table 1 (`Sel` row; stalled select tokens
 /// repeat their value).
@@ -578,8 +567,10 @@ pub fn resilient_nonspeculative(config: &ResilientConfig) -> ResilientHandles {
     let syndrome = n.add_op("secded_syndrome", Op::SecdedSyndrome { data_width });
     let decision = n.add_op("error_decision", Op::Lut(vec![0, 1, 1]));
     let mux = n.add_mux("mux", MuxSpec::lazy(2));
-    let adder =
-        n.add_function("adder", FunctionSpec::with_inputs(Op::KoggeStoneAdd { width: data_width }, 2));
+    let adder = n.add_function(
+        "adder",
+        FunctionSpec::with_inputs(Op::KoggeStoneAdd { width: data_width }, 2),
+    );
     let mask = n.add_op("wrap", Op::Mask { width: data_width });
     let encode = n.add_op("secded_encode", Op::SecdedEncode { data_width });
     let out_fork = n.add_fork("out_fork", ForkSpec::eager(2));
@@ -593,7 +584,12 @@ pub fn resilient_nonspeculative(config: &ResilientConfig) -> ResilientHandles {
         .connect_named("raw_data", Port::output(raw, 0), Port::input(mux, 1), data_width)
         .expect("fig7a");
     let cor_ch = n
-        .connect_named("corrected_data", Port::output(corrected, 0), Port::input(mux, 2), data_width)
+        .connect_named(
+            "corrected_data",
+            Port::output(corrected, 0),
+            Port::input(mux, 2),
+            data_width,
+        )
         .expect("fig7a");
     n.connect_named("syndrome", Port::output(syndrome, 0), Port::input(decision, 0), 2)
         .expect("fig7a");
@@ -642,8 +638,10 @@ pub fn resilient_speculative(config: &ResilientConfig) -> ResilientHandles {
     let syndrome = n.add_op("secded_syndrome", Op::SecdedSyndrome { data_width });
     let decision = n.add_op("error_decision", Op::Lut(vec![0, 1, 1]));
     let mux = n.add_mux("mux", MuxSpec::lazy(2));
-    let adder =
-        n.add_function("adder", FunctionSpec::with_inputs(Op::KoggeStoneAdd { width: data_width }, 2));
+    let adder = n.add_function(
+        "adder",
+        FunctionSpec::with_inputs(Op::KoggeStoneAdd { width: data_width }, 2),
+    );
     let mask = n.add_op("wrap", Op::Mask { width: data_width });
     let encode = n.add_op("secded_encode", Op::SecdedEncode { data_width });
     let out_fork = n.add_fork("out_fork", ForkSpec::eager(2));
@@ -659,8 +657,7 @@ pub fn resilient_speculative(config: &ResilientConfig) -> ResilientHandles {
         .expect("fig7b");
     n.connect_named("syndrome", Port::output(syndrome, 0), Port::input(decision, 0), 2)
         .expect("fig7b");
-    n.connect_named("decision", Port::output(decision, 0), Port::input(mux, 0), 1)
-        .expect("fig7b");
+    n.connect_named("decision", Port::output(decision, 0), Port::input(mux, 0), 1).expect("fig7b");
     n.connect_named("operand_in", Port::output(mux, 0), Port::input(adder, 0), data_width)
         .expect("fig7b");
     n.connect_named("operand", Port::output(operand_src, 0), Port::input(adder, 1), data_width)
@@ -680,14 +677,39 @@ pub fn resilient_speculative(config: &ResilientConfig) -> ResilientHandles {
     let report = speculate(
         &mut n,
         mux,
-        &SpeculateOptions {
-            scheduler: SchedulerKind::ErrorReplay,
-            ..SpeculateOptions::default()
-        },
+        &SpeculateOptions { scheduler: SchedulerKind::ErrorReplay, ..SpeculateOptions::default() },
     )
     .expect("the fig7 accumulator has a select cycle through the syndrome logic");
 
     ResilientHandles { netlist: n, state, sink, mux: Some(mux), shared: Some(report.shared_module) }
+}
+
+/// Builds a deep synthetic pipeline: `src → (inc → buffer) × stages → sink`.
+///
+/// Not a paper design — the scaling workload of the simulator benchmarks and
+/// engine-equivalence tests. With [`BufferSpec::standard`] buffers every
+/// stage is registered and the control network settles in one pass; with
+/// [`BufferSpec::zero_backward`] buffers and a stalling `backpressure`
+/// pattern, stop/kill waves traverse the whole chain combinationally each
+/// cycle — the worst case for a naive settle loop.
+pub fn deep_pipeline(
+    stages: usize,
+    buffer: BufferSpec,
+    backpressure: crate::kind::BackpressurePattern,
+) -> Netlist {
+    let mut n = Netlist::new("deep-pipeline");
+    let src = n.add_source("src", SourceSpec::always());
+    let mut from = Port::output(src, 0);
+    for stage in 0..stages {
+        let inc = n.add_op(format!("inc{stage}"), Op::Inc);
+        let eb = n.add_buffer(format!("eb{stage}"), buffer);
+        n.connect(from, Port::input(inc, 0), 8).unwrap();
+        n.connect(Port::output(inc, 0), Port::input(eb, 0), 8).unwrap();
+        from = Port::output(eb, 0);
+    }
+    let sink = n.add_sink("sink", SinkSpec { backpressure });
+    n.connect(from, Port::input(sink, 0), 8).unwrap();
+    n
 }
 
 #[cfg(test)]
@@ -697,11 +719,9 @@ mod tests {
     #[test]
     fn fig1_family_builds_and_validates() {
         let config = Fig1Config::default();
-        for (handles, buffers, functions) in [
-            (fig1a(&config), 1usize, 2usize),
-            (fig1b(&config), 2, 2),
-            (fig1c(&config), 1, 3),
-        ] {
+        for (handles, buffers, functions) in
+            [(fig1a(&config), 1usize, 2usize), (fig1b(&config), 2, 2), (fig1c(&config), 1, 3)]
+        {
             handles.netlist.validate().unwrap();
             let histogram = handles.netlist.kind_histogram();
             assert_eq!(histogram.get("buffer"), Some(&buffers), "{}", handles.netlist.name());
@@ -715,13 +735,7 @@ mod tests {
         handles.netlist.validate().unwrap();
         assert!(handles.shared.is_some());
         assert_eq!(handles.netlist.kind_histogram().get("shared"), Some(&1));
-        assert!(handles
-            .netlist
-            .node(handles.mux)
-            .unwrap()
-            .as_mux()
-            .unwrap()
-            .early_eval);
+        assert!(handles.netlist.node(handles.mux).unwrap().as_mux().unwrap().early_eval);
     }
 
     #[test]
@@ -762,13 +776,15 @@ mod tests {
         let speculative = resilient_speculative(&config);
         speculative.netlist.validate().unwrap();
         assert_eq!(speculative.netlist.kind_histogram().get("shared"), Some(&1));
-        assert!(speculative
-            .netlist
-            .node(speculative.mux.unwrap())
-            .unwrap()
-            .as_mux()
-            .unwrap()
-            .early_eval);
+        assert!(
+            speculative
+                .netlist
+                .node(speculative.mux.unwrap())
+                .unwrap()
+                .as_mux()
+                .unwrap()
+                .early_eval
+        );
     }
 
     #[test]

@@ -8,8 +8,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{CoreError, Result};
 use crate::id::{ChannelId, NodeId, Port, PortDir};
 use crate::kind::{
@@ -19,7 +17,7 @@ use crate::kind::{
 use crate::op::Op;
 
 /// A node of the netlist.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// Stable identifier of the node.
     pub id: NodeId,
@@ -74,7 +72,7 @@ impl Node {
 }
 
 /// A point-to-point elastic channel between an output port and an input port.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Channel {
     /// Stable identifier of the channel.
     pub id: ChannelId,
@@ -90,7 +88,7 @@ pub struct Channel {
 
 /// An elastic netlist: a collection of blocks and buffers connected by
 /// elastic channels.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Netlist {
     name: String,
     nodes: Vec<Option<Node>>,
@@ -304,10 +302,7 @@ impl Netlist {
             return Err(CoreError::InvalidPort {
                 node: port.node,
                 index: port.index,
-                reason: format!(
-                    "{} has only {limit} {expected} port(s)",
-                    node.kind.kind_name()
-                ),
+                reason: format!("{} has only {limit} {expected} port(s)", node.kind.kind_name()),
             });
         }
         Ok(())

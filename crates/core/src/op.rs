@@ -5,8 +5,6 @@
 //! `elastic-analysis` crate provides gate-equivalent area and logic-level
 //! delay figures. Here an [`Op`] is only a description.
 
-use serde::{Deserialize, Serialize};
-
 /// A combinational operation computed by a function block.
 ///
 /// Data on elastic channels is modelled as `u64` words; operations narrower
@@ -14,10 +12,12 @@ use serde::{Deserialize, Serialize};
 /// datapaths (for example the SECDED-protected adder of the paper's Section
 /// 5.2) use function blocks with several input ports whose port order matches
 /// the operand order documented on each variant.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum Op {
     /// Pass the single input through unchanged.
+    #[default]
     Identity,
     /// Ignore all inputs and produce a constant.
     Const(u64),
@@ -216,12 +216,6 @@ impl Op {
     /// therefore transparent to datapath equivalence checks.
     pub fn is_identity_like(&self) -> bool {
         matches!(self, Op::Identity | Op::Opaque { .. })
-    }
-}
-
-impl Default for Op {
-    fn default() -> Self {
-        Op::Identity
     }
 }
 

@@ -24,9 +24,7 @@ use crate::error::{CoreError, Result};
 use crate::id::NodeId;
 use crate::kind::SchedulerKind;
 use crate::netlist::Netlist;
-use crate::transform::{
-    self, ShareOptions, SpeculateOptions, Transformer,
-};
+use crate::transform::{self, ShareOptions, SpeculateOptions, Transformer};
 
 /// An interactive/scriptable session applying transformations to a netlist.
 #[derive(Debug, Clone)]
@@ -120,7 +118,9 @@ impl ExplorationShell {
                     .transformer
                     .netlist()
                     .live_channels()
-                    .map(|c| format!("{} {} {} -> {} ({} bits)", c.id, c.name, c.from, c.to, c.width))
+                    .map(|c| {
+                        format!("{} {} {} -> {} ({} bits)", c.id, c.name, c.from, c.to, c.width)
+                    })
                     .collect();
                 lines.sort();
                 Ok(lines.join("\n"))
@@ -153,39 +153,40 @@ impl ExplorationShell {
             }
             "insert-bubble" => {
                 let channel = self.channel_by_name(command, args.first().copied())?;
-                let buffer = self
-                    .transformer
-                    .apply(format!("insert-bubble {}", args[0]), |n| {
-                        transform::insert_bubble(n, channel)
-                    })?;
+                let buffer = self.transformer.apply(format!("insert-bubble {}", args[0]), |n| {
+                    transform::insert_bubble(n, channel)
+                })?;
                 Ok(format!("inserted bubble {buffer}"))
             }
             "remove-buffer" => {
                 let node = self.node_by_name(command, args.first().copied())?;
-                self.transformer
-                    .apply(format!("remove-buffer {}", args[0]), |n| transform::remove_buffer(n, node))?;
+                self.transformer.apply(format!("remove-buffer {}", args[0]), |n| {
+                    transform::remove_buffer(n, node)
+                })?;
                 Ok(format!("removed buffer {node}"))
             }
             "split-buffer" => {
                 let node = self.node_by_name(command, args.first().copied())?;
-                let (token, anti) = self.transformer.apply(
-                    format!("split-buffer {}", args[0]),
-                    |n| transform::split_empty_buffer(n, node),
-                )?;
+                let (token, anti) =
+                    self.transformer.apply(format!("split-buffer {}", args[0]), |n| {
+                        transform::split_empty_buffer(n, node)
+                    })?;
                 Ok(format!("split into token buffer {token} and anti-token buffer {anti}"))
             }
             "retime-forward" => {
                 let node = self.node_by_name(command, args.first().copied())?;
-                let buffer = self.transformer.apply(format!("retime-forward {}", args[0]), |n| {
-                    transform::retime_forward(n, node)
-                })?;
+                let buffer =
+                    self.transformer.apply(format!("retime-forward {}", args[0]), |n| {
+                        transform::retime_forward(n, node)
+                    })?;
                 Ok(format!("retimed buffers forward into {buffer}"))
             }
             "retime-backward" => {
                 let node = self.node_by_name(command, args.first().copied())?;
-                let buffers = self.transformer.apply(format!("retime-backward {}", args[0]), |n| {
-                    transform::retime_backward(n, node)
-                })?;
+                let buffers =
+                    self.transformer.apply(format!("retime-backward {}", args[0]), |n| {
+                        transform::retime_backward(n, node)
+                    })?;
                 Ok(format!("retimed buffer backward into {} input buffer(s)", buffers.len()))
             }
             "early-eval" => {
@@ -242,14 +243,12 @@ impl ExplorationShell {
             command: command.to_string(),
             reason: "missing node name argument".into(),
         })?;
-        self.transformer
-            .netlist()
-            .find_node(name)
-            .map(|node| node.id)
-            .ok_or_else(|| CoreError::Shell {
+        self.transformer.netlist().find_node(name).map(|node| node.id).ok_or_else(|| {
+            CoreError::Shell {
                 command: command.to_string(),
                 reason: format!("no node named `{name}`"),
-            })
+            }
+        })
     }
 
     fn channel_by_name(&self, command: &str, name: Option<&str>) -> Result<crate::ChannelId> {
@@ -326,10 +325,7 @@ mod tests {
             .unwrap();
         let mut composite = shell();
         composite.run_command("speculate mux last-taken").unwrap();
-        assert_eq!(
-            step_by_step.netlist().kind_histogram(),
-            composite.netlist().kind_histogram()
-        );
+        assert_eq!(step_by_step.netlist().kind_histogram(), composite.netlist().kind_histogram());
     }
 
     #[test]
@@ -355,7 +351,10 @@ mod tests {
             shell.run_command("share mux bogus-scheduler"),
             Err(CoreError::Shell { .. })
         ));
-        assert!(matches!(shell.run_command("insert-bubble nosuchchannel"), Err(CoreError::Shell { .. })));
+        assert!(matches!(
+            shell.run_command("insert-bubble nosuchchannel"),
+            Err(CoreError::Shell { .. })
+        ));
     }
 
     #[test]

@@ -144,11 +144,7 @@ pub fn split_empty_buffer(netlist: &mut Netlist, buffer: NodeId) -> Result<(Node
         node.kind = NodeKind::Buffer(BufferSpec { init_tokens: 1, ..spec });
     }
     // … and insert the anti-token half on its output channel.
-    let anti = insert_buffer_on_channel(
-        netlist,
-        output,
-        BufferSpec { init_tokens: -1, ..spec },
-    )?;
+    let anti = insert_buffer_on_channel(netlist, output, BufferSpec { init_tokens: -1, ..spec })?;
     if let Some(node) = netlist.node_mut(anti) {
         node.name = format!("{name}_anti");
     }

@@ -72,10 +72,7 @@ mod tests {
     fn non_mux_nodes_are_rejected() {
         let mut n = Netlist::new("t");
         let f = n.add_op("f", Op::Add);
-        assert!(matches!(
-            enable_early_evaluation(&mut n, f),
-            Err(CoreError::Precondition { .. })
-        ));
+        assert!(matches!(enable_early_evaluation(&mut n, f), Err(CoreError::Precondition { .. })));
     }
 
     #[test]

@@ -220,11 +220,8 @@ mod tests {
     fn forward_retiming_requires_identical_buffer_specs() {
         let (mut n, add) = adder_with_input_buffers();
         // Make one of the two input buffers a bubble.
-        let buffer = n
-            .live_nodes()
-            .find(|node| node.as_buffer().is_some())
-            .map(|node| node.id)
-            .unwrap();
+        let buffer =
+            n.live_nodes().find(|node| node.as_buffer().is_some()).map(|node| node.id).unwrap();
         if let Some(node) = n.node_mut(buffer) {
             node.kind = NodeKind::Buffer(BufferSpec::bubble());
         }

@@ -99,10 +99,12 @@ pub fn shannon_decompose(netlist: &mut Netlist, mux: NodeId) -> Result<ShannonRe
     let mut data_channels = Vec::with_capacity(mux_spec.data_inputs);
     for data_index in 0..mux_spec.data_inputs {
         let port = Port::input(mux, 1 + data_index);
-        let channel = netlist
-            .channel_into(port)
-            .map(|c| c.id)
-            .ok_or(CoreError::UnconnectedPort { node: mux, index: 1 + data_index, is_input: true })?;
+        let channel =
+            netlist.channel_into(port).map(|c| c.id).ok_or(CoreError::UnconnectedPort {
+                node: mux,
+                index: 1 + data_index,
+                is_input: true,
+            })?;
         data_channels.push(channel);
     }
 
@@ -122,10 +124,7 @@ pub fn shannon_decompose(netlist: &mut Netlist, mux: NodeId) -> Result<ShannonRe
     // 1. Create the copies.
     let mut copies = Vec::with_capacity(mux_spec.data_inputs);
     for data_index in 0..mux_spec.data_inputs {
-        let copy = netlist.add_function(
-            format!("{block_name}_sh{data_index}"),
-            block_spec.clone(),
-        );
+        let copy = netlist.add_function(format!("{block_name}_sh{data_index}"), block_spec.clone());
         copies.push(copy);
     }
 
@@ -242,10 +241,7 @@ mod tests {
     #[test]
     fn decomposition_requires_a_mux() {
         let (mut n, _mux, f) = mux_then_f(true);
-        assert!(matches!(
-            shannon_decompose(&mut n, f),
-            Err(CoreError::Precondition { .. })
-        ));
+        assert!(matches!(shannon_decompose(&mut n, f), Err(CoreError::Precondition { .. })));
     }
 
     #[test]
@@ -260,10 +256,7 @@ mod tests {
         n.connect(Port::output(src0, 0), Port::input(mux, 1), 8).unwrap();
         n.connect(Port::output(src1, 0), Port::input(mux, 2), 8).unwrap();
         n.connect(Port::output(mux, 0), Port::input(sink, 0), 8).unwrap();
-        assert!(matches!(
-            shannon_decompose(&mut n, mux),
-            Err(CoreError::Precondition { .. })
-        ));
+        assert!(matches!(shannon_decompose(&mut n, mux), Err(CoreError::Precondition { .. })));
     }
 
     #[test]

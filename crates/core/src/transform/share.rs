@@ -95,9 +95,9 @@ pub fn share_mux_inputs(
     let mut blocks: Vec<NodeId> = Vec::with_capacity(mux_spec.data_inputs);
     let mut common_spec: Option<FunctionSpec> = None;
     for data_index in 0..mux_spec.data_inputs {
-        let channel = netlist
-            .channel_into(Port::input(mux, 1 + data_index))
-            .ok_or(CoreError::UnconnectedPort { node: mux, index: 1 + data_index, is_input: true })?;
+        let channel = netlist.channel_into(Port::input(mux, 1 + data_index)).ok_or(
+            CoreError::UnconnectedPort { node: mux, index: 1 + data_index, is_input: true },
+        )?;
         let driver = channel.from.node;
         let driver_node = netlist.require_node(driver)?;
         let spec = match &driver_node.kind {
@@ -150,10 +150,9 @@ pub fn share_mux_inputs(
     let mut merged_blocks = Vec::with_capacity(users);
     for (user, &block) in blocks.iter().enumerate() {
         for operand in 0..operands {
-            let channel = netlist
-                .channel_into(Port::input(block, operand))
-                .map(|c| c.id)
-                .ok_or(CoreError::UnconnectedPort { node: block, index: operand, is_input: true })?;
+            let channel = netlist.channel_into(Port::input(block, operand)).map(|c| c.id).ok_or(
+                CoreError::UnconnectedPort { node: block, index: operand, is_input: true },
+            )?;
             netlist.set_channel_target(channel, Port::input(shared, user * operands + operand))?;
         }
         // Remove the block -> mux channel and replace it by shared.out(user) -> mux.
@@ -255,11 +254,8 @@ mod tests {
         let (mut n, mux) = decomposed();
         enable_early_evaluation(&mut n, mux).unwrap();
         // Mutate one of the copies to compute something else.
-        let copy = n
-            .live_nodes()
-            .find(|node| node.as_function().is_some())
-            .map(|node| node.id)
-            .unwrap();
+        let copy =
+            n.live_nodes().find(|node| node.as_function().is_some()).map(|node| node.id).unwrap();
         if let Some(node) = n.node_mut(copy) {
             node.kind = NodeKind::Function(FunctionSpec::new(crate::op::Op::Inc));
         }

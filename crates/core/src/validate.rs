@@ -31,13 +31,13 @@ pub fn validate(netlist: &Netlist) -> Result<()> {
     for node in netlist.live_nodes() {
         // Port occupancy.
         for index in 0..node.input_count() {
-            let attached = netlist
-                .live_channels()
-                .filter(|c| c.to == Port::input(node.id, index))
-                .count();
+            let attached =
+                netlist.live_channels().filter(|c| c.to == Port::input(node.id, index)).count();
             match attached {
-                0 => problems
-                    .push(format!("input port {index} of {} ({}) is unconnected", node.name, node.id)),
+                0 => problems.push(format!(
+                    "input port {index} of {} ({}) is unconnected",
+                    node.name, node.id
+                )),
                 1 => {}
                 _ => problems.push(format!(
                     "input port {index} of {} ({}) has {attached} drivers",
@@ -46,10 +46,8 @@ pub fn validate(netlist: &Netlist) -> Result<()> {
             }
         }
         for index in 0..node.output_count() {
-            let attached = netlist
-                .live_channels()
-                .filter(|c| c.from == Port::output(node.id, index))
-                .count();
+            let attached =
+                netlist.live_channels().filter(|c| c.from == Port::output(node.id, index)).count();
             match attached {
                 0 => problems.push(format!(
                     "output port {index} of {} ({}) is unconnected",

@@ -109,8 +109,8 @@ pub fn approx_add_error(a: u64, b: u64, width: u8, spec_bits: u8) -> u64 {
         return 0;
     }
     let low = ripple_add(mask(a, width), mask(b, width), spec_bits);
-    let crossing_carry = (low >> spec_bits) & 1;
-    crossing_carry
+
+    (low >> spec_bits) & 1
 }
 
 #[cfg(test)]

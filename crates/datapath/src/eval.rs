@@ -204,7 +204,10 @@ mod tests {
     #[test]
     fn adders_delegate_to_the_datapath_implementations() {
         assert_eq!(evaluate(&Op::RippleAdd { width: 8 }, &[200, 100]).unwrap(), 300);
-        assert_eq!(evaluate(&Op::KoggeStoneAdd { width: 32 }, &[1 << 31, 1 << 31]).unwrap(), 1 << 32);
+        assert_eq!(
+            evaluate(&Op::KoggeStoneAdd { width: 32 }, &[1 << 31, 1 << 31]).unwrap(),
+            1 << 32
+        );
         assert_eq!(
             evaluate(&Op::ApproxAddErr { width: 8, spec_bits: 4 }, &[0x0F, 0x01]).unwrap(),
             1

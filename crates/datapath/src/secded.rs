@@ -138,12 +138,14 @@ impl Secded {
     /// classification.
     pub fn decode(&self, codeword: u64) -> (u64, Syndrome) {
         let data = self.raw_data(codeword);
-        let received_parity = (codeword >> self.data_width) & crate::adder::mask(u64::MAX, self.parity);
+        let received_parity =
+            (codeword >> self.data_width) & crate::adder::mask(u64::MAX, self.parity);
         let received_overall = (codeword >> (self.data_width + self.parity)) & 1;
 
         let expected_parity = self.hamming_parity(data);
         let syndrome = received_parity ^ expected_parity;
-        let without_overall = codeword & crate::adder::mask(u64::MAX, self.data_width + self.parity);
+        let without_overall =
+            codeword & crate::adder::mask(u64::MAX, self.data_width + self.parity);
         let overall_ok = ((without_overall.count_ones() as u64) & 1) == received_overall;
 
         if syndrome == 0 && overall_ok {

@@ -152,25 +152,16 @@ mod tests {
     #[test]
     fn approx_error_operands_hit_the_requested_rate_exactly_at_the_extremes() {
         let (a, b) = approx_error_operands(8, 4, 0.0, 500, 11);
-        assert!(a
-            .iter()
-            .zip(&b)
-            .all(|(&a, &b)| approx_add_error(a, b, 8, 4) == 0));
+        assert!(a.iter().zip(&b).all(|(&a, &b)| approx_add_error(a, b, 8, 4) == 0));
         let (a, b) = approx_error_operands(8, 4, 1.0, 500, 11);
-        assert!(a
-            .iter()
-            .zip(&b)
-            .all(|(&a, &b)| approx_add_error(a, b, 8, 4) == 1));
+        assert!(a.iter().zip(&b).all(|(&a, &b)| approx_add_error(a, b, 8, 4) == 1));
     }
 
     #[test]
     fn approx_error_operands_track_intermediate_rates() {
         let (a, b) = approx_error_operands(8, 4, 0.2, 5000, 17);
-        let observed = a
-            .iter()
-            .zip(&b)
-            .filter(|(&a, &b)| approx_add_error(a, b, 8, 4) == 1)
-            .count() as f64
+        let observed = a.iter().zip(&b).filter(|(&a, &b)| approx_add_error(a, b, 8, 4) == 1).count()
+            as f64
             / a.len() as f64;
         assert!((observed - 0.2).abs() < 0.03, "observed error rate {observed}");
     }

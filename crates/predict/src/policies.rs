@@ -145,11 +145,7 @@ impl CorrelatingScheduler {
     /// (1 ..= 16 bits).
     pub fn new(history_bits: u8) -> Self {
         let history_bits = history_bits.clamp(1, 16);
-        CorrelatingScheduler {
-            history: 0,
-            history_bits,
-            table: vec![1; 1 << history_bits],
-        }
+        CorrelatingScheduler { history: 0, history_bits, table: vec![1; 1 << history_bits] }
     }
 
     fn index(&self) -> usize {

@@ -28,21 +28,41 @@ use crate::signal::ChannelState;
 /// Indices are port indices of the node (matching the conventions documented
 /// on [`elastic_core::NodeKind`]); the translation to global channel indices
 /// is fixed when the simulation is built.
+///
+/// Every setter is **change-tracked**: it compares the new value against the
+/// stored one and records the channel index in the dirty list (when one is
+/// attached via [`NodeIo::tracked`]) only on an actual change. The engine's
+/// event-driven settle phase uses this to re-evaluate exactly the controllers
+/// whose observed signals changed.
 #[derive(Debug)]
 pub struct NodeIo<'a> {
     channels: &'a mut [ChannelState],
     input_channels: &'a [usize],
     output_channels: &'a [usize],
+    dirty: Option<&'a mut Vec<usize>>,
 }
 
 impl<'a> NodeIo<'a> {
-    /// Creates the port view for one node (used by the engine).
+    /// Creates an untracked port view for one node (used for commits and in
+    /// controller unit tests).
     pub fn new(
         channels: &'a mut [ChannelState],
         input_channels: &'a [usize],
         output_channels: &'a [usize],
     ) -> Self {
-        NodeIo { channels, input_channels, output_channels }
+        NodeIo { channels, input_channels, output_channels, dirty: None }
+    }
+
+    /// Creates a change-tracked port view: every setter that changes a stored
+    /// signal pushes the affected global channel index onto `dirty` (possibly
+    /// more than once; consumers dedupe).
+    pub fn tracked(
+        channels: &'a mut [ChannelState],
+        input_channels: &'a [usize],
+        output_channels: &'a [usize],
+        dirty: &'a mut Vec<usize>,
+    ) -> Self {
+        NodeIo { channels, input_channels, output_channels, dirty: Some(dirty) }
     }
 
     /// Number of input ports of the node.
@@ -65,29 +85,46 @@ impl<'a> NodeIo<'a> {
         self.channels[self.output_channels[index]]
     }
 
+    /// Compare-and-set of one channel field, recording the channel as dirty
+    /// on an actual change.
+    fn write<T: PartialEq>(
+        &mut self,
+        channel: usize,
+        field: impl FnOnce(&mut ChannelState) -> &mut T,
+        value: T,
+    ) {
+        let slot = field(&mut self.channels[channel]);
+        if *slot != value {
+            *slot = value;
+            if let Some(dirty) = self.dirty.as_deref_mut() {
+                dirty.push(channel);
+            }
+        }
+    }
+
     /// Drives `S+` on input port `index` (consumer-owned signal).
     pub fn set_input_stop(&mut self, index: usize, stop: bool) {
-        self.channels[self.input_channels[index]].forward_stop = stop;
+        self.write(self.input_channels[index], |c| &mut c.forward_stop, stop);
     }
 
     /// Drives `V-` on input port `index` (consumer-owned signal).
     pub fn set_input_kill(&mut self, index: usize, kill: bool) {
-        self.channels[self.input_channels[index]].backward_valid = kill;
+        self.write(self.input_channels[index], |c| &mut c.backward_valid, kill);
     }
 
     /// Drives `V+` on output port `index` (producer-owned signal).
     pub fn set_output_valid(&mut self, index: usize, valid: bool) {
-        self.channels[self.output_channels[index]].forward_valid = valid;
+        self.write(self.output_channels[index], |c| &mut c.forward_valid, valid);
     }
 
     /// Drives the data word on output port `index` (producer-owned signal).
     pub fn set_output_data(&mut self, index: usize, data: u64) {
-        self.channels[self.output_channels[index]].data = data;
+        self.write(self.output_channels[index], |c| &mut c.data, data);
     }
 
     /// Drives `S-` on output port `index` (producer-owned signal).
     pub fn set_output_anti_stop(&mut self, index: usize, stop: bool) {
-        self.channels[self.output_channels[index]].backward_stop = stop;
+        self.write(self.output_channels[index], |c| &mut c.backward_stop, stop);
     }
 
     /// Data words currently offered on all input ports (in port order).
@@ -124,6 +161,20 @@ pub trait Controller: std::fmt::Debug {
 
     /// Clock edge: update the sequential state from the settled signals.
     fn commit(&mut self, io: &NodeIo<'_>);
+
+    /// `true` when [`Controller::eval`] reads any attached channel signal.
+    ///
+    /// Fully registered controllers (the standard elastic buffer, sources,
+    /// sinks) drive all of their signals from sequential state alone; the
+    /// engine then evaluates them exactly once per cycle and never re-wakes
+    /// them, and uses them as the cut points that break control loops when it
+    /// computes the static evaluation order. Returning `true` is always safe;
+    /// returning `false` for a controller that *does* read channels makes the
+    /// simulation silently miss signal updates — only override this when
+    /// `eval` is a function of `&self` alone.
+    fn eval_reads_channels(&self) -> bool {
+        true
+    }
 
     /// Statistics collected so far.
     fn stats(&self) -> NodeStats {

@@ -60,8 +60,7 @@ impl Controller for StandardBuffer {
         // refuse new anti-tokens only when there is neither a token to cancel
         // against nor room in the counterflow storage.
         io.set_input_kill(IN, self.anti_tokens > 0);
-        let can_absorb_anti =
-            !self.tokens.is_empty() || self.anti_tokens < self.spec.anti_capacity;
+        let can_absorb_anti = !self.tokens.is_empty() || self.anti_tokens < self.spec.anti_capacity;
         io.set_output_anti_stop(OUT, !can_absorb_anti);
     }
 
@@ -113,6 +112,13 @@ impl Controller for StandardBuffer {
 
     fn stats(&self) -> NodeStats {
         self.stats
+    }
+
+    /// Both handshake directions are fully registered: `eval` is a function
+    /// of the FIFO state alone, so the standard buffer cuts every zero-delay
+    /// control path and is never re-evaluated within a cycle.
+    fn eval_reads_channels(&self) -> bool {
+        false
     }
 }
 
@@ -299,7 +305,10 @@ mod tests {
         let mut channels = [ChannelState::default(), ChannelState::default()];
         channels[1].backward_valid = true;
         run_eval(&eb, &mut channels);
-        assert!(channels[0].backward_valid, "kill must traverse the empty Lb=0 buffer combinationally");
+        assert!(
+            channels[0].backward_valid,
+            "kill must traverse the empty Lb=0 buffer combinationally"
+        );
         assert!(!channels[1].backward_stop);
     }
 

@@ -53,7 +53,7 @@ impl SourceController {
     fn wants_to_offer(&self) -> bool {
         match &self.spec.pattern {
             SourcePattern::Always => true,
-            SourcePattern::Every(period) => self.cycle % u64::from((*period).max(1)) == 0,
+            SourcePattern::Every(period) => self.cycle.is_multiple_of(u64::from((*period).max(1))),
             SourcePattern::List(pattern) => {
                 if pattern.is_empty() {
                     true
@@ -84,9 +84,8 @@ impl SourceController {
                 // Derive the value from the element index so that repeated
                 // `eval` calls within a cycle (and replays of the stream) see
                 // the same value: a splitmix-style hash of (seed, position).
-                let mut value = seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(self.position as u64);
+                let mut value =
+                    seed.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(self.position as u64);
                 value = (value ^ (value >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 value = (value ^ (value >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 value ^ (value >> 31)
@@ -146,6 +145,12 @@ impl Controller for SourceController {
     fn stats(&self) -> NodeStats {
         self.stats
     }
+
+    /// The offer pattern and persistence state fully determine the driven
+    /// signals; sources never react to channel signals within a cycle.
+    fn eval_reads_channels(&self) -> bool {
+        false
+    }
 }
 
 /// A token-consuming environment that records the transfer stream.
@@ -178,7 +183,7 @@ impl SinkController {
         match &self.spec.backpressure {
             BackpressurePattern::Never => false,
             BackpressurePattern::Every(period) => {
-                *period > 0 && self.cycle % u64::from(*period) == 0
+                *period > 0 && self.cycle.is_multiple_of(u64::from(*period))
             }
             BackpressurePattern::List(pattern) => {
                 if pattern.is_empty() {
@@ -227,6 +232,13 @@ impl Controller for SinkController {
 
     fn transfer_stream(&self) -> Option<&[(u64, u64)]> {
         Some(&self.received)
+    }
+
+    /// The back-pressure pattern fully determines the driven signals; sinks
+    /// never react to channel signals within a cycle (recording happens at
+    /// the clock edge).
+    fn eval_reads_channels(&self) -> bool {
+        false
     }
 }
 
@@ -294,7 +306,11 @@ mod tests {
 
     #[test]
     fn every_n_sources_pace_their_offers() {
-        let spec = SourceSpec { pattern: SourcePattern::Every(2), data: DataStream::Counter, ..SourceSpec::default() };
+        let spec = SourceSpec {
+            pattern: SourcePattern::Every(2),
+            data: DataStream::Counter,
+            ..SourceSpec::default()
+        };
         let mut source = SourceController::new(spec, 8);
         let mut channels = [ChannelState::default()];
         let mut offers = Vec::new();

@@ -33,7 +33,12 @@ impl EagerFork {
     /// Creates the controller.
     pub fn new(spec: ForkSpec) -> Self {
         let outputs = spec.outputs;
-        EagerFork { spec, pending: vec![true; outputs], serving: false, stats: NodeStats::default() }
+        EagerFork {
+            spec,
+            pending: vec![true; outputs],
+            serving: false,
+            stats: NodeStats::default(),
+        }
     }
 
     fn effective_pending(&self, branch: usize) -> bool {

@@ -188,10 +188,7 @@ mod tests {
 
     #[test]
     fn opaque_blocks_pass_data_through() {
-        let block = FunctionBlock::new(
-            FunctionSpec::new(elastic_core::op::opaque("F", 6, 100)),
-            8,
-        );
+        let block = FunctionBlock::new(FunctionSpec::new(elastic_core::op::opaque("F", 6, 100)), 8);
         let mut channels = vec![ChannelState::default(); 2];
         let inputs = [0usize];
         let outputs = [1usize];

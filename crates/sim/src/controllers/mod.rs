@@ -13,8 +13,8 @@
 
 pub mod buffer;
 pub mod environment;
-pub mod function;
 pub mod fork;
+pub mod function;
 pub mod mux;
 pub mod shared;
 pub mod varlatency;
@@ -39,8 +39,7 @@ pub fn build_controller(
     node: &Node,
     scheduler_override: Option<Box<dyn Scheduler>>,
 ) -> Result<Box<dyn Controller>, SimError> {
-    let output_widths: Vec<u8> =
-        netlist.output_channels(node.id).iter().map(|c| c.width).collect();
+    let output_widths: Vec<u8> = netlist.output_channels(node.id).iter().map(|c| c.width).collect();
     let controller: Box<dyn Controller> = match &node.kind {
         NodeKind::Buffer(spec) => {
             if spec.forward_latency != 1 {

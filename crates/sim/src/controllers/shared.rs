@@ -290,8 +290,7 @@ mod tests {
 
     #[test]
     fn starvation_override_serves_the_neglected_user() {
-        let spec = SharedSpec::new(2, opaque("F", 4, 50))
-            .with_scheduler(SchedulerKind::Static(0));
+        let spec = SharedSpec::new(2, opaque("F", 4, 50)).with_scheduler(SchedulerKind::Static(0));
         let mut module = SharedModule::new(
             SharedSpec { starvation_limit: Some(3), ..spec },
             Box::new(StaticScheduler::new(0)),

@@ -55,8 +55,8 @@ impl VarLatencyUnit {
     fn finishes_this_cycle(&self, io: &NodeIo<'_>) -> bool {
         let all_valid = io.all_inputs_valid();
         let output = io.output(OUT);
-        let slot_frees = self.output_register.is_none()
-            || (output.forward_valid && !output.forward_stop);
+        let slot_frees =
+            self.output_register.is_none() || (output.forward_valid && !output.forward_stop);
         all_valid && slot_frees && (self.exact_pending || !self.error_detected(io))
     }
 }

@@ -3,16 +3,48 @@
 //! Every cycle the engine:
 //!
 //! 1. clears all channel signals,
-//! 2. repeatedly evaluates every controller until the channel signals stop
-//!    changing (the combinational phase of the SELF controllers — valids,
-//!    stops and anti-token signals may traverse several nodes within one
-//!    cycle, e.g. through zero-backward-latency buffers),
+//! 2. drives the combinational control network to a fixed point (the settle
+//!    phase — valids, stops and anti-token signals may traverse several nodes
+//!    within one cycle, e.g. through zero-backward-latency buffers),
 //! 3. records the settled signals in the trace, and
 //! 4. commits all sequential state simultaneously (the clock edge).
 //!
-//! If the signals fail to settle, the netlist contains a combinational
-//! control loop (e.g. a cycle with no elastic buffer on it) and the engine
-//! reports [`SimError::CombinationalLoop`] rather than mis-simulating.
+//! # The event-driven settle phase
+//!
+//! The settle phase is an **event-driven worklist fixpoint** rather than a
+//! Jacobi iteration over all controllers:
+//!
+//! * at build time the engine derives, for every channel, which controllers
+//!   observe it (both endpoints — consumers read `V+`/data/`S-`, producers
+//!   read `S+`/`V-`), and a **static evaluation rank**: a topological order
+//!   over the zero-delay control dependency graph in which fully registered
+//!   controllers (standard elastic buffers, sources, sinks — see
+//!   [`crate::controller::Controller::eval_reads_channels`]) cut the edges;
+//! * each cycle, every controller is seeded into a rank-ordered worklist
+//!   once. Controllers are popped in rank order; every signal write is
+//!   compare-and-set ([`NodeIo::tracked`]), and an actual change re-enqueues
+//!   exactly the other endpoint of the changed channel (if it reads
+//!   channels). The phase ends when the worklist drains — no full-vector
+//!   snapshot, no `Vec<ChannelState>` clone, no re-evaluation of unaffected
+//!   controllers;
+//! * regions whose combinational nodes are fed by registered controllers
+//!   settle in a single pass (the rank graph is node-granular, so mutually
+//!   observing neighbours — e.g. a function-block chain, where `V+` flows
+//!   forward while `S+` flows backward — share one trailing rank and settle
+//!   by a couple of re-wake waves instead), and the total work per cycle is
+//!   proportional to the number of signal *changes*, not to
+//!   `iterations × nodes`.
+//!
+//! A per-cycle evaluation budget (see [`Simulation::settle_budget`]) remains
+//! as a safety valve: if the signals fail to settle, the netlist contains a
+//! combinational control loop (e.g. a cycle with no elastic buffer on it) and
+//! the engine reports [`SimError::CombinationalLoop`] rather than
+//! mis-simulating.
+//!
+//! The pre-rewrite full-sweep behaviour is kept as
+//! [`SettleStrategy::FullSweep`] — a debugging oracle used by the
+//! engine-equivalence tests to prove that the worklist engine produces
+//! bit-identical traces and reports.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -25,20 +57,46 @@ use crate::metrics::{SharedModuleStats, SimulationReport};
 use crate::signal::ChannelState;
 use crate::trace::Trace;
 
+/// How the combinational settle phase reaches its fixed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SettleStrategy {
+    /// Event-driven worklist: only controllers whose observed channels
+    /// changed are re-evaluated, in static rank order. The default.
+    #[default]
+    EventDriven,
+    /// Naive Jacobi iteration: evaluate every controller in node order until
+    /// a full sweep changes nothing. Kept as the reference oracle for
+    /// engine-equivalence tests and for debugging suspected worklist bugs.
+    FullSweep,
+}
+
 /// Configuration of a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimConfig {
     /// Record a full per-channel trace (needed for Table-1 style output and
     /// for the property checkers of `elastic-verify`).
     pub record_trace: bool,
-    /// Upper bound on combinational settle iterations per cycle; the default
-    /// (0) lets the engine derive a bound from the netlist size.
+    /// Upper bound on the combinational settle work per cycle, measured in
+    /// **full-sweep equivalents** (one unit ≙ one evaluation of every
+    /// controller).
+    ///
+    /// The default (0) lets the engine derive the bound `2·channels + 8` from
+    /// the netlist size: a changed signal can traverse at most every channel
+    /// once in each direction, plus slack for the seeding pass — any netlist
+    /// that needs more has a combinational control loop. The derived value is
+    /// exposed as [`Simulation::settle_budget`].
     pub max_settle_iterations: usize,
+    /// Fixpoint algorithm for the settle phase; see [`SettleStrategy`].
+    pub settle: SettleStrategy,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { record_trace: true, max_settle_iterations: 0 }
+        SimConfig {
+            record_trace: true,
+            max_settle_iterations: 0,
+            settle: SettleStrategy::EventDriven,
+        }
     }
 }
 
@@ -86,6 +144,55 @@ impl From<CoreError> for SimError {
     }
 }
 
+/// A rank-ordered worklist of controller indices with O(1) dedupe.
+///
+/// Controllers are bucketed by their static evaluation rank; `pop` always
+/// returns a controller of the lowest dirty rank, so rank-ordered regions
+/// are evaluated producers-before-consumers. A signal change travelling
+/// against the ranks (or within the shared trailing rank of mutually
+/// observing controllers) simply moves the cursor back to the affected
+/// bucket and settles by re-wake waves.
+#[derive(Debug)]
+struct Worklist {
+    buckets: Vec<Vec<u32>>,
+    queued: Vec<bool>,
+    cursor: usize,
+    len: usize,
+}
+
+impl Worklist {
+    fn new(rank_count: usize, node_count: usize) -> Self {
+        Worklist {
+            buckets: vec![Vec::new(); rank_count.max(1)],
+            queued: vec![false; node_count],
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, node: usize, rank: usize) {
+        if !self.queued[node] {
+            self.queued[node] = true;
+            self.buckets[rank].push(node as u32);
+            self.cursor = self.cursor.min(rank);
+            self.len += 1;
+        }
+    }
+
+    fn pop(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.buckets[self.cursor].is_empty() {
+            self.cursor += 1;
+        }
+        let node = self.buckets[self.cursor].pop().expect("bucket checked non-empty") as usize;
+        self.queued[node] = false;
+        self.len -= 1;
+        Some(node)
+    }
+}
+
 /// A cycle-accurate simulation of one elastic netlist.
 pub struct Simulation {
     config: SimConfig,
@@ -94,8 +201,25 @@ pub struct Simulation {
     node_kinds: Vec<&'static str>,
     node_ports: Vec<(Vec<usize>, Vec<usize>)>,
     channels: Vec<ChannelState>,
+    /// Controller index producing / consuming each channel.
+    channel_producer: Vec<u32>,
+    channel_consumer: Vec<u32>,
+    /// Cached `Controller::eval_reads_channels` per controller.
+    reads_channels: Vec<bool>,
+    /// Static evaluation rank per controller (see module docs).
+    rank: Vec<u32>,
+    /// Controller indices grouped by rank — the per-cycle seed layout.
+    seed_buckets: Vec<Vec<u32>>,
+    /// Scratch buffer receiving the channels dirtied by one `eval`.
+    dirty: Vec<usize>,
+    worklist: Worklist,
     trace: Trace,
     cycle: u64,
+    /// Total settle iterations: worklist pops (event-driven) or full sweeps
+    /// (reference), accumulated over all cycles.
+    settle_iterations: u64,
+    /// Total `Controller::eval` invocations over all cycles.
+    controller_evals: u64,
 }
 
 impl fmt::Debug for Simulation {
@@ -104,6 +228,7 @@ impl fmt::Debug for Simulation {
             .field("nodes", &self.controllers.len())
             .field("channels", &self.channels.len())
             .field("cycle", &self.cycle)
+            .field("settle", &self.config.settle)
             .finish()
     }
 }
@@ -144,11 +269,13 @@ impl Simulation {
         let mut node_ids = Vec::new();
         let mut node_kinds = Vec::new();
         let mut node_ports = Vec::new();
+        let mut channel_producer = vec![0u32; channel_index.len()];
+        let mut channel_consumer = vec![0u32; channel_index.len()];
         for node in netlist.live_nodes() {
-            let override_position =
-                scheduler_overrides.iter().position(|(id, _)| *id == node.id);
+            let override_position = scheduler_overrides.iter().position(|(id, _)| *id == node.id);
             let scheduler = override_position.map(|pos| scheduler_overrides.swap_remove(pos).1);
             let controller = build_controller(netlist, node, scheduler)?;
+            let node_index = controllers.len() as u32;
 
             let inputs: Vec<usize> = (0..node.input_count())
                 .map(|port| {
@@ -166,6 +293,12 @@ impl Simulation {
                         .expect("validated netlists have fully connected ports")
                 })
                 .collect();
+            for &channel in &inputs {
+                channel_consumer[channel] = node_index;
+            }
+            for &channel in &outputs {
+                channel_producer[channel] = node_index;
+            }
 
             controllers.push(controller);
             node_ids.push(node.id);
@@ -173,15 +306,39 @@ impl Simulation {
             node_ports.push((inputs, outputs));
         }
 
+        let reads_channels: Vec<bool> =
+            controllers.iter().map(|c| c.eval_reads_channels()).collect();
+        let rank = evaluation_ranks(
+            controllers.len(),
+            &node_ports,
+            &channel_producer,
+            &channel_consumer,
+            &reads_channels,
+        );
+        let rank_count = rank.iter().map(|&r| r as usize + 1).max().unwrap_or(1);
+        let mut seed_buckets = vec![Vec::new(); rank_count];
+        for (node, &node_rank) in rank.iter().enumerate() {
+            seed_buckets[node_rank as usize].push(node as u32);
+        }
+
         Ok(Simulation {
             config: config.clone(),
+            worklist: Worklist::new(rank_count, controllers.len()),
             controllers,
             node_ids,
             node_kinds,
             node_ports,
             channels: vec![ChannelState::default(); channel_index.len()],
+            channel_producer,
+            channel_consumer,
+            reads_channels,
+            rank,
+            seed_buckets,
+            dirty: Vec::new(),
             trace: Trace::new(netlist),
             cycle: 0,
+            settle_iterations: 0,
+            controller_evals: 0,
         })
     }
 
@@ -195,12 +352,109 @@ impl Simulation {
         &self.trace
     }
 
-    fn settle_budget(&self) -> usize {
+    /// The per-cycle settle budget in full-sweep equivalents: the configured
+    /// [`SimConfig::max_settle_iterations`] when non-zero, otherwise the
+    /// derived bound `2·channels + 8` (every channel can change at most once
+    /// per direction, plus seeding slack).
+    pub fn settle_budget(&self) -> usize {
         if self.config.max_settle_iterations > 0 {
             self.config.max_settle_iterations
         } else {
             2 * self.channels.len() + 8
         }
+    }
+
+    /// Evaluates controller `node` with change tracking and wakes the
+    /// controllers observing any channel the evaluation changed.
+    fn eval_and_wake(&mut self, node: usize) {
+        self.dirty.clear();
+        let (inputs, outputs) = &self.node_ports[node];
+        let mut io = NodeIo::tracked(&mut self.channels, inputs, outputs, &mut self.dirty);
+        self.controllers[node].eval(&mut io);
+        self.controller_evals += 1;
+        for &channel in &self.dirty {
+            let producer = self.channel_producer[channel] as usize;
+            let consumer = self.channel_consumer[channel] as usize;
+            if producer == node && consumer == node {
+                // Self-loop channel: the writer is also the only observer, so
+                // the "writer never needs re-waking" shortcut below would
+                // suppress the only possible wake-up and silently accept a
+                // non-fixpoint state. Re-enqueue the writer instead; a stable
+                // eval stops producing changes (terminating the loop), an
+                // oscillating one exhausts the budget and is reported as a
+                // combinational loop, matching the full-sweep oracle.
+                if self.reads_channels[node] {
+                    self.worklist.push(node, self.rank[node] as usize);
+                }
+                continue;
+            }
+            for endpoint in [producer, consumer] {
+                // The writer itself never needs re-waking for its own write
+                // (eval is a pure function, so re-running it with unchanged
+                // inputs cannot produce new outputs), and fully registered
+                // controllers never react to channel changes at all.
+                if endpoint != node && self.reads_channels[endpoint] {
+                    self.worklist.push(endpoint, self.rank[endpoint] as usize);
+                }
+            }
+        }
+    }
+
+    /// Event-driven settle: seed every controller once in rank order, then
+    /// drain the worklist. Returns `false` when the evaluation budget is
+    /// exhausted (combinational loop).
+    fn settle_event_driven(&mut self) -> bool {
+        debug_assert_eq!(self.worklist.len, 0, "worklist drained at end of previous cycle");
+        for rank in 0..self.seed_buckets.len() {
+            // Seed via the bucket layout directly: cheaper than per-node
+            // `push` and already in rank order.
+            let bucket = &self.seed_buckets[rank];
+            self.worklist.buckets[rank].extend_from_slice(bucket);
+            for &node in bucket {
+                self.worklist.queued[node as usize] = true;
+            }
+            self.worklist.len += bucket.len();
+        }
+        self.worklist.cursor = 0;
+
+        let eval_cap =
+            (self.settle_budget() as u64).saturating_mul(self.controllers.len().max(1) as u64);
+        let mut evals_this_cycle = 0u64;
+        while let Some(node) = self.worklist.pop() {
+            evals_this_cycle += 1;
+            self.settle_iterations += 1;
+            if evals_this_cycle > eval_cap {
+                // Drain the queue so the worklist is clean if the caller
+                // inspects or reuses the simulation after the error.
+                while self.worklist.pop().is_some() {}
+                return false;
+            }
+            self.eval_and_wake(node);
+        }
+        true
+    }
+
+    /// Reference settle: evaluate every controller in node order until a full
+    /// sweep changes nothing (the pre-worklist engine behaviour). Returns
+    /// `false` when the sweep budget is exhausted.
+    fn settle_full_sweep(&mut self) -> bool {
+        let budget = self.settle_budget();
+        for _ in 0..budget {
+            self.settle_iterations += 1;
+            let mut changed = false;
+            for node in 0..self.controllers.len() {
+                self.dirty.clear();
+                let (inputs, outputs) = &self.node_ports[node];
+                let mut io = NodeIo::tracked(&mut self.channels, inputs, outputs, &mut self.dirty);
+                self.controllers[node].eval(&mut io);
+                self.controller_evals += 1;
+                changed |= !self.dirty.is_empty();
+            }
+            if !changed {
+                return true;
+            }
+        }
+        false
     }
 
     /// Simulates one clock cycle.
@@ -210,24 +464,14 @@ impl Simulation {
     /// Returns [`SimError::CombinationalLoop`] when the control signals fail
     /// to settle.
     pub fn step(&mut self) -> Result<(), SimError> {
-        // Combinational phase: clear and iterate to a fixed point.
+        // Combinational phase: clear, then drive to a fixed point.
         for channel in &mut self.channels {
             *channel = ChannelState::default();
         }
-        let budget = self.settle_budget();
-        let mut settled = false;
-        for _ in 0..budget {
-            let before = self.channels.clone();
-            for (index, controller) in self.controllers.iter().enumerate() {
-                let (inputs, outputs) = &self.node_ports[index];
-                let mut io = NodeIo::new(&mut self.channels, inputs, outputs);
-                controller.eval(&mut io);
-            }
-            if before == self.channels {
-                settled = true;
-                break;
-            }
-        }
+        let settled = match self.config.settle {
+            SettleStrategy::EventDriven => self.settle_event_driven(),
+            SettleStrategy::FullSweep => self.settle_full_sweep(),
+        };
         if !settled {
             return Err(SimError::CombinationalLoop { cycle: self.cycle });
         }
@@ -261,7 +505,12 @@ impl Simulation {
 
     /// The report accumulated over all cycles simulated so far.
     pub fn report(&self) -> SimulationReport {
-        let mut report = SimulationReport { cycles: self.cycle, ..SimulationReport::default() };
+        let mut report = SimulationReport {
+            cycles: self.cycle,
+            settle_iterations: self.settle_iterations,
+            controller_evals: self.controller_evals,
+            ..SimulationReport::default()
+        };
         for (index, controller) in self.controllers.iter().enumerate() {
             let node = self.node_ids[index];
             let stats = controller.stats();
@@ -292,6 +541,76 @@ impl Simulation {
         }
         report
     }
+}
+
+/// Computes the static evaluation rank of every controller: a topological
+/// order over the zero-delay control dependency graph.
+///
+/// There is an edge `a → b` for every channel between `a` and `b` whose
+/// signals `b`'s `eval` observes (`reads_channels[b]`); controllers whose
+/// `eval` reads nothing have no incoming edges and thereby cut every control
+/// loop that crosses a registered boundary. Controllers caught in genuinely
+/// combinational cycles are assigned one shared trailing rank — the worklist
+/// still settles them by iteration (or hits the budget and reports the loop).
+fn evaluation_ranks(
+    node_count: usize,
+    node_ports: &[(Vec<usize>, Vec<usize>)],
+    channel_producer: &[u32],
+    channel_consumer: &[u32],
+    reads_channels: &[bool],
+) -> Vec<u32> {
+    // Successor lists and in-degrees of the dependency graph.
+    let mut successors: Vec<Vec<u32>> = vec![Vec::new(); node_count];
+    let mut in_degree: Vec<u32> = vec![0; node_count];
+    let mut add_edge = |from: usize, to: usize, in_degree: &mut Vec<u32>| {
+        if from != to {
+            successors[from].push(to as u32);
+            in_degree[to] += 1;
+        }
+    };
+    for (node, (inputs, outputs)) in node_ports.iter().enumerate() {
+        if !reads_channels[node] {
+            continue;
+        }
+        // `node` observes all of its attached channels: the other endpoint of
+        // each must be evaluated first.
+        for &channel in inputs {
+            add_edge(channel_producer[channel] as usize, node, &mut in_degree);
+        }
+        for &channel in outputs {
+            add_edge(channel_consumer[channel] as usize, node, &mut in_degree);
+        }
+    }
+
+    // Kahn's algorithm, longest-path ranks; node order keeps it deterministic.
+    let mut rank = vec![0u32; node_count];
+    let mut ready: std::collections::VecDeque<u32> =
+        (0..node_count as u32).filter(|&n| in_degree[n as usize] == 0).collect();
+    let mut processed = 0usize;
+    let mut max_rank = 0u32;
+    while let Some(node) = ready.pop_front() {
+        processed += 1;
+        max_rank = max_rank.max(rank[node as usize]);
+        for &next in &successors[node as usize] {
+            let next = next as usize;
+            rank[next] = rank[next].max(rank[node as usize] + 1);
+            in_degree[next] -= 1;
+            if in_degree[next] == 0 {
+                ready.push_back(next as u32);
+            }
+        }
+    }
+    if processed < node_count {
+        // Combinational cycles: everything not topologically ordered shares
+        // the trailing rank.
+        let trailing = max_rank + 1;
+        for (node, degree) in in_degree.iter().enumerate() {
+            if *degree > 0 {
+                rank[node] = trailing;
+            }
+        }
+    }
+    rank
 }
 
 #[cfg(test)]
@@ -355,6 +674,24 @@ mod tests {
     }
 
     #[test]
+    fn self_loop_channels_match_the_full_sweep_oracle() {
+        // A node feeding its own input passes validation; its data signal
+        // oscillates (Inc of its own output), so both engines must report
+        // the combinational loop rather than mis-simulate.
+        let mut n = Netlist::new("self-loop");
+        let f = n.add_op("f", Op::Inc);
+        n.connect(Port::output(f, 0), Port::input(f, 0), 8).unwrap();
+        for settle in [SettleStrategy::EventDriven, SettleStrategy::FullSweep] {
+            let config = SimConfig { settle, ..SimConfig::default() };
+            let mut sim = Simulation::new(&n, &config).unwrap();
+            assert!(
+                matches!(sim.run(3), Err(SimError::CombinationalLoop { cycle: 0 })),
+                "{settle:?} must reject the self-loop"
+            );
+        }
+    }
+
+    #[test]
     fn trace_recording_can_be_disabled() {
         let (netlist, _src, _sink) = pipeline();
         let config = SimConfig { record_trace: false, ..SimConfig::default() };
@@ -373,5 +710,81 @@ mod tests {
         assert!(report.node_stats.contains_key(&sink));
         assert_eq!(report.source_kills.get(&src), Some(&0));
         assert!(report.summary().contains("cycles"));
+    }
+
+    #[test]
+    fn settle_budget_follows_the_documented_formula() {
+        let (netlist, _src, _sink) = pipeline();
+        let sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        // Three channels: 2·3 + 8.
+        assert_eq!(sim.settle_budget(), 14);
+        let sim = Simulation::new(
+            &netlist,
+            &SimConfig { max_settle_iterations: 5, ..SimConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(sim.settle_budget(), 5, "an explicit budget overrides the derived bound");
+    }
+
+    #[test]
+    fn the_pipeline_settles_in_one_pass_per_cycle() {
+        let (netlist, _src, _sink) = pipeline();
+        let mut sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        let report = sim.run(10).unwrap();
+        // Acyclic design, rank-ordered seeding: exactly one eval per
+        // controller per cycle, no re-wakes.
+        assert_eq!(report.controller_evals, 10 * 4);
+        assert_eq!(report.settle_iterations, 10 * 4);
+    }
+
+    #[test]
+    fn full_sweep_strategy_matches_the_event_driven_engine() {
+        let (netlist, _src, sink) = pipeline();
+        let mut event_driven = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        let mut reference = Simulation::new(
+            &netlist,
+            &SimConfig { settle: SettleStrategy::FullSweep, ..SimConfig::default() },
+        )
+        .unwrap();
+        let event_report = event_driven.run(25).unwrap();
+        let reference_report = reference.run(25).unwrap();
+        assert_eq!(event_driven.trace().rows(), reference.trace().rows());
+        assert_eq!(event_report.sink_streams, reference_report.sink_streams);
+        assert_eq!(event_report.node_stats, reference_report.node_stats);
+        assert!(
+            event_report.controller_evals < reference_report.controller_evals,
+            "the worklist engine must evaluate strictly less: {} vs {}",
+            event_report.controller_evals,
+            reference_report.controller_evals
+        );
+        assert_eq!(
+            report_transfers(&event_report, sink),
+            report_transfers(&reference_report, sink)
+        );
+    }
+
+    fn report_transfers(report: &SimulationReport, sink: NodeId) -> u64 {
+        report.sink_transfers(sink)
+    }
+
+    #[test]
+    fn ranks_order_producers_before_combinational_consumers() {
+        let (netlist, _src, _sink) = pipeline();
+        let sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        // src, eb, sink are fully registered → rank 0; the function block
+        // reads all of its channels → ranked after its neighbours.
+        let function_rank = sim
+            .node_kinds
+            .iter()
+            .zip(&sim.rank)
+            .find(|(kind, _)| **kind == "function")
+            .map(|(_, rank)| *rank)
+            .unwrap();
+        assert!(function_rank > 0);
+        for (kind, rank) in sim.node_kinds.iter().zip(&sim.rank) {
+            if *kind != "function" {
+                assert_eq!(*rank, 0, "registered controller {kind} must seed at rank 0");
+            }
+        }
     }
 }

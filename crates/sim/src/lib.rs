@@ -11,8 +11,19 @@
 //! early-evaluation multiplexors that inject anti-tokens, and the speculative
 //! shared module with a pluggable [`elastic_core::Scheduler`]. Channels carry
 //! the full `(V+, S+, V-, S-)` control tuple plus a 64-bit data word; a clock
-//! cycle is simulated by iterating the combinational controllers to a fixed
+//! cycle is simulated by driving the combinational controllers to a fixed
 //! point and then committing all sequential state at once.
+//!
+//! The fixed point is reached **event-driven**: controllers are seeded into a
+//! worklist ordered by a static topological rank of the zero-delay control
+//! dependency graph, every signal write is compare-and-set, and only the
+//! controllers observing a changed channel are re-evaluated (see
+//! [`engine`] for the algorithm and `README.md` for the design notes).
+//! Registered-fed regions settle in one pass, mutually observing chains in a
+//! few re-wake waves; the per-cycle work is proportional to the number of
+//! signal changes, not `iterations × nodes`. The naive
+//! full-sweep engine survives as [`SettleStrategy::FullSweep`], the oracle of
+//! the engine-equivalence test suite.
 //!
 //! Main entry points:
 //!
@@ -23,7 +34,8 @@
 //! * [`scenarios`] — ready-to-run experiment setups for every figure/table of
 //!   the paper, combining the netlist library of `elastic-core`, the
 //!   workload generators of `elastic-datapath` and the schedulers of
-//!   `elastic-predict`.
+//!   `elastic-predict`; the `*_sweep` variants fan independent runs across
+//!   threads deterministically via [`sweep::parallel_map`].
 //!
 //! ```
 //! use elastic_core::library::{fig1a, Fig1Config};
@@ -45,9 +57,10 @@ pub mod engine;
 pub mod metrics;
 pub mod scenarios;
 pub mod signal;
+pub mod sweep;
 pub mod trace;
 
-pub use engine::{SimConfig, SimError, Simulation};
+pub use engine::{SettleStrategy, SimConfig, SimError, Simulation};
 pub use metrics::{SharedModuleStats, SimulationReport};
 pub use signal::{ChannelPhase, ChannelState, TraceSymbol};
 pub use trace::Trace;

@@ -41,6 +41,12 @@ impl SharedModuleStats {
 pub struct SimulationReport {
     /// Number of simulated cycles.
     pub cycles: u64,
+    /// Settle iterations accumulated over all cycles: worklist pops for the
+    /// event-driven engine, full sweeps for the reference engine. Exposed so
+    /// that the asymptotic win of the worklist settle phase is observable.
+    pub settle_iterations: u64,
+    /// `Controller::eval` invocations accumulated over all cycles.
+    pub controller_evals: u64,
     /// Transfer streams observed at each sink: `(cycle, value)` pairs.
     pub sink_streams: BTreeMap<NodeId, Vec<(u64, u64)>>,
     /// Tokens cancelled at each source by anti-tokens (speculation discards).

@@ -16,6 +16,7 @@ use elastic_datapath::workload;
 
 use crate::engine::{SimConfig, SimError, Simulation};
 use crate::metrics::SimulationReport;
+use crate::sweep::parallel_map;
 use crate::trace::Trace;
 
 /// The four Figure-1 design points.
@@ -98,8 +99,7 @@ pub struct Fig1Outcome {
 /// Builds the netlist for one Figure-1 design point with a select stream of
 /// the given taken bias.
 pub fn build_fig1(scenario: &Fig1Scenario) -> Fig1Handles {
-    let values =
-        workload::biased_select_values(8, scenario.taken_rate, 4096, scenario.seed);
+    let values = workload::biased_select_values(8, scenario.taken_rate, 4096, scenario.seed);
     let config = Fig1Config {
         src0_data: DataStream::List(values.clone()),
         src1_data: DataStream::List(values.iter().map(|v| v ^ 0x80).collect()),
@@ -134,6 +134,55 @@ pub fn run_fig1(scenario: &Fig1Scenario) -> Result<Fig1Outcome, SimError> {
         handles,
         report,
     })
+}
+
+/// Runs a batch of Figure-1 design points in parallel (one simulation per
+/// thread, results in input order).
+///
+/// Every run builds its own netlist and simulation from the scenario alone,
+/// so the outcome vector is identical to mapping [`run_fig1`] sequentially —
+/// same throughputs, same misprediction counts, same seeds — just faster on
+/// multi-core hosts.
+///
+/// # Errors
+///
+/// Returns the first (in input order) simulation failure, like the
+/// sequential loop it replaces.
+pub fn run_fig1_sweep(scenarios: &[Fig1Scenario]) -> Result<Vec<Fig1Outcome>, SimError> {
+    parallel_map(scenarios, |_, scenario| run_fig1(scenario)).into_iter().collect()
+}
+
+/// Runs the Figure-6 comparison at several error rates in parallel, results
+/// in input order (the parallel counterpart of mapping [`run_var_latency`]).
+///
+/// # Errors
+///
+/// Returns the first (in input order) simulation failure.
+pub fn run_var_latency_sweep(
+    error_rates: &[f64],
+    cycles: u64,
+    seed: u64,
+) -> Result<Vec<VarLatencyOutcome>, SimError> {
+    parallel_map(error_rates, |_, &error_rate| run_var_latency(error_rate, cycles, seed))
+        .into_iter()
+        .collect()
+}
+
+/// Runs the Figure-7 comparison at several soft-error rates in parallel,
+/// results in input order (the parallel counterpart of mapping
+/// [`run_resilient`]).
+///
+/// # Errors
+///
+/// Returns the first (in input order) simulation failure.
+pub fn run_resilient_sweep(
+    upset_rates: &[f64],
+    cycles: u64,
+    seed: u64,
+) -> Result<Vec<ResilientOutcome>, SimError> {
+    parallel_map(upset_rates, |_, &upset_rate| run_resilient(upset_rate, cycles, seed))
+        .into_iter()
+        .collect()
 }
 
 /// Runs the Table-1 reproduction: the Figure-1(d) structure with the paper's
@@ -318,11 +367,8 @@ mod tests {
 
     #[test]
     fn fig1_shannon_restores_full_throughput() {
-        let scenario = Fig1Scenario {
-            variant: Fig1Variant::Shannon,
-            cycles: 400,
-            ..Fig1Scenario::default()
-        };
+        let scenario =
+            Fig1Scenario { variant: Fig1Variant::Shannon, cycles: 400, ..Fig1Scenario::default() };
         let outcome = run_fig1(&scenario).unwrap();
         assert!(
             outcome.throughput > 0.9,
@@ -359,6 +405,34 @@ mod tests {
             "random selects with a static scheduler must mispredict more"
         );
         assert!(adversarial.mispredictions > 0);
+    }
+
+    #[test]
+    fn parallel_fig1_sweep_matches_sequential_runs() {
+        let scenarios: Vec<Fig1Scenario> = Fig1Variant::all()
+            .into_iter()
+            .map(|variant| Fig1Scenario { variant, cycles: 300, ..Fig1Scenario::default() })
+            .collect();
+        let parallel = run_fig1_sweep(&scenarios).unwrap();
+        for (scenario, outcome) in scenarios.iter().zip(&parallel) {
+            let sequential = run_fig1(scenario).unwrap();
+            assert_eq!(outcome.variant, scenario.variant, "input order preserved");
+            assert_eq!(outcome.throughput, sequential.throughput);
+            assert_eq!(outcome.mispredictions, sequential.mispredictions);
+            assert_eq!(outcome.report.sink_streams, sequential.report.sink_streams);
+        }
+    }
+
+    #[test]
+    fn parallel_resilient_sweep_matches_sequential_runs() {
+        let rates = [0.0, 0.05, 0.1];
+        let parallel = run_resilient_sweep(&rates, 150, 11).unwrap();
+        for (&rate, outcome) in rates.iter().zip(&parallel) {
+            let sequential = run_resilient(rate, 150, 11).unwrap();
+            assert_eq!(outcome.upset_rate, rate, "input order preserved");
+            assert_eq!(outcome.speculative_throughput, sequential.speculative_throughput);
+            assert_eq!(outcome.replays, sequential.replays);
+        }
     }
 
     #[test]

@@ -133,11 +133,8 @@ mod tests {
 
     #[test]
     fn annihilation_consumes_both_token_and_anti_token() {
-        let state = ChannelState {
-            forward_valid: true,
-            backward_valid: true,
-            ..ChannelState::default()
-        };
+        let state =
+            ChannelState { forward_valid: true, backward_valid: true, ..ChannelState::default() };
         assert!(state.annihilation());
         assert!(!state.forward_transfer(), "an annihilated token is not delivered downstream");
         assert!(state.backward_transfer());
@@ -146,11 +143,8 @@ mod tests {
 
     #[test]
     fn stopped_anti_tokens_are_backward_retries() {
-        let state = ChannelState {
-            backward_valid: true,
-            backward_stop: true,
-            ..ChannelState::default()
-        };
+        let state =
+            ChannelState { backward_valid: true, backward_stop: true, ..ChannelState::default() };
         assert_eq!(state.backward_phase(), ChannelPhase::Retry);
         assert!(!state.backward_transfer());
     }

@@ -16,7 +16,7 @@ use elastic_core::{ChannelId, Netlist};
 use crate::signal::{ChannelState, TraceSymbol};
 
 /// A recorded simulation trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// `cycles[t][c]` is the state of channel index `c` during cycle `t`.
     cycles: Vec<Vec<ChannelState>>,
@@ -46,6 +46,12 @@ impl Trace {
     /// Number of recorded cycles.
     pub fn len(&self) -> usize {
         self.cycles.len()
+    }
+
+    /// The raw per-cycle channel states, `rows()[t][c]` being channel index
+    /// `c` during cycle `t` (used by the engine-equivalence tests).
+    pub fn rows(&self) -> &[Vec<ChannelState>] {
+        &self.cycles
     }
 
     /// `true` when no cycle has been recorded.
@@ -89,9 +95,7 @@ impl Trace {
 
     /// Iterator over `(channel id, channel name)` pairs in trace order.
     pub fn channels(&self) -> impl Iterator<Item = (ChannelId, &str)> {
-        self.channel_index
-            .iter()
-            .map(move |(&id, &index)| (id, self.channel_names[index].as_str()))
+        self.channel_index.iter().map(move |(&id, &index)| (id, self.channel_names[index].as_str()))
     }
 
     /// Renders a compact textual table of the given channels over all cycles
@@ -150,7 +154,11 @@ mod tests {
     fn symbol_rows_and_tables_follow_the_paper_notation() {
         let (netlist, channel) = tiny_netlist();
         let mut trace = Trace::new(&netlist);
-        trace.record(&[ChannelState { forward_valid: true, data: 0xA1, ..ChannelState::default() }]);
+        trace.record(&[ChannelState {
+            forward_valid: true,
+            data: 0xA1,
+            ..ChannelState::default()
+        }]);
         trace.record(&[ChannelState { backward_valid: true, ..ChannelState::default() }]);
         trace.record(&[ChannelState::default()]);
         let row = trace.symbol_row(channel);

@@ -1,0 +1,123 @@
+//! Engine equivalence: the event-driven worklist settle phase must be
+//! observationally identical to the naive full-sweep reference on every
+//! paper scenario — bit-identical traces and reports, with strictly fewer
+//! controller evaluations.
+
+use elastic_core::library;
+use elastic_core::Netlist;
+use elastic_sim::scenarios::{build_fig1, Fig1Scenario, Fig1Variant};
+use elastic_sim::{SettleStrategy, SimConfig, Simulation, SimulationReport};
+
+fn run_with(
+    netlist: &Netlist,
+    strategy: SettleStrategy,
+    cycles: u64,
+) -> (Simulation, SimulationReport) {
+    let config = SimConfig { settle: strategy, ..SimConfig::default() };
+    let mut sim = Simulation::new(netlist, &config).expect("paper netlists simulate");
+    let report = sim.run(cycles).expect("paper netlists settle");
+    (sim, report)
+}
+
+/// Runs `netlist` under both settle strategies and asserts equivalence of
+/// everything observable: the full per-cycle per-channel trace and every
+/// report field except the engine-effort counters.
+fn assert_engines_equivalent(name: &str, netlist: &Netlist, cycles: u64) {
+    let (event_sim, event_report) = run_with(netlist, SettleStrategy::EventDriven, cycles);
+    let (sweep_sim, sweep_report) = run_with(netlist, SettleStrategy::FullSweep, cycles);
+
+    assert_eq!(
+        event_sim.trace().rows(),
+        sweep_sim.trace().rows(),
+        "{name}: traces must be bit-identical"
+    );
+    assert_eq!(event_report.cycles, sweep_report.cycles, "{name}: cycles");
+    assert_eq!(event_report.sink_streams, sweep_report.sink_streams, "{name}: sink streams");
+    assert_eq!(event_report.source_kills, sweep_report.source_kills, "{name}: source kills");
+    assert_eq!(event_report.node_stats, sweep_report.node_stats, "{name}: node stats");
+    assert_eq!(event_report.shared_stats, sweep_report.shared_stats, "{name}: shared stats");
+    assert!(
+        event_report.controller_evals < sweep_report.controller_evals,
+        "{name}: the worklist engine must do strictly less work \
+         (event-driven {} evals vs full-sweep {})",
+        event_report.controller_evals,
+        sweep_report.controller_evals
+    );
+}
+
+#[test]
+fn all_fig1_variants_are_engine_equivalent() {
+    for variant in Fig1Variant::all() {
+        let scenario = Fig1Scenario { variant, cycles: 400, ..Fig1Scenario::default() };
+        let handles = build_fig1(&scenario);
+        assert_engines_equivalent(variant.label(), &handles.netlist, scenario.cycles);
+    }
+}
+
+#[test]
+fn fig1d_speculation_is_engine_equivalent_across_select_biases() {
+    for (taken_rate, seed) in [(0.05, 3u64), (0.5, 9), (0.95, 17)] {
+        let scenario = Fig1Scenario {
+            variant: Fig1Variant::Speculation,
+            taken_rate,
+            cycles: 300,
+            seed,
+            ..Fig1Scenario::default()
+        };
+        let handles = build_fig1(&scenario);
+        assert_engines_equivalent(
+            &format!("fig1d taken_rate={taken_rate}"),
+            &handles.netlist,
+            scenario.cycles,
+        );
+    }
+}
+
+#[test]
+fn the_table1_trace_is_engine_equivalent() {
+    let handles = library::table1();
+    assert_engines_equivalent("table1", &handles.netlist, 64);
+}
+
+#[test]
+fn the_resilient_speculative_design_is_engine_equivalent() {
+    for (upset, seed) in [(0u64, 7u64), (0x10, 13)] {
+        let config = library::ResilientConfig {
+            data_width: 32,
+            operands: (1..200).collect(),
+            error_masks: vec![0, upset, 0, 0, upset, 0],
+        };
+        let handles = library::resilient_speculative(&config);
+        assert_engines_equivalent(&format!("fig7b seed={seed}"), &handles.netlist, 200);
+    }
+}
+
+#[test]
+fn a_deep_zero_backward_chain_is_engine_equivalent() {
+    // The asymptotic-win case of the sim_speed bench: stop/kill waves cross
+    // 64 Lb=0 buffers combinationally under a stalling sink, so the worklist
+    // pops nodes far outside the seeded rank order.
+    use elastic_core::kind::{BackpressurePattern, BufferSpec};
+
+    let n = library::deep_pipeline(
+        64,
+        BufferSpec::zero_backward(0),
+        BackpressurePattern::List(vec![true, false, false, true]),
+    );
+    assert_engines_equivalent("zb-chain64", &n, 300);
+}
+
+#[test]
+fn the_variable_latency_designs_are_engine_equivalent() {
+    let config = library::VarLatencyConfig {
+        width: 8,
+        spec_bits: 4,
+        operands_a: (0..160).map(|i| i * 7 % 251).collect(),
+        operands_b: (0..160).map(|i| i * 13 % 241).collect(),
+        ..library::VarLatencyConfig::default()
+    };
+    let stalling = library::variable_latency_stalling(&config);
+    assert_engines_equivalent("fig6a", &stalling.netlist, 150);
+    let speculative = library::variable_latency_speculative(&config);
+    assert_engines_equivalent("fig6b", &speculative.netlist, 150);
+}

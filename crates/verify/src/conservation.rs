@@ -118,13 +118,14 @@ pub fn check_shared_module_conservation(
             // pass-through (identity/opaque), the delivered results must be a
             // subsequence of the values consumed at the input (the missing
             // ones are exactly the tokens whose results were cancelled).
-            if spec.op.is_identity_like() && spec.inputs_per_user == 1 {
-                if !is_subsequence(&output_ledger.transferred, &input_ledger.transferred) {
-                    verdict.reject(format!(
-                        "shared module {} user {user}: results were reordered",
-                        node.name
-                    ));
-                }
+            if spec.op.is_identity_like()
+                && spec.inputs_per_user == 1
+                && !is_subsequence(&output_ledger.transferred, &input_ledger.transferred)
+            {
+                verdict.reject(format!(
+                    "shared module {} user {user}: results were reordered",
+                    node.name
+                ));
             }
         }
     }
@@ -145,7 +146,8 @@ mod tests {
             SchedulerKind::RoundRobin,
             SchedulerKind::TwoBit,
         ] {
-            let handles = fig1d(&Fig1Config { scheduler: scheduler.clone(), ..Fig1Config::default() });
+            let handles =
+                fig1d(&Fig1Config { scheduler: scheduler.clone(), ..Fig1Config::default() });
             let verdict = check_shared_module_conservation(&handles.netlist, 300).unwrap();
             assert!(verdict.passed(), "scheduler {scheduler:?}: {verdict}");
         }

@@ -112,10 +112,8 @@ mod tests {
     fn bubble_insertion_preserves_transfer_streams() {
         let original = library::fig1a(&config());
         let mut transformed = original.netlist.clone();
-        let mux_out = transformed
-            .channel_from(elastic_core::Port::output(original.mux, 0))
-            .unwrap()
-            .id;
+        let mux_out =
+            transformed.channel_from(elastic_core::Port::output(original.mux, 0)).unwrap().id;
         insert_bubble(&mut transformed, mux_out).unwrap();
         let report = transfer_equivalent(&original.netlist, &transformed, 200).unwrap();
         assert!(report.verdict.passed(), "{}", report.verdict);

@@ -18,6 +18,7 @@
 use elastic_core::kind::BackpressurePattern;
 use elastic_core::{Netlist, NodeKind, Scheduler};
 use elastic_predict::RandomScheduler;
+use elastic_sim::sweep::parallel_map;
 use elastic_sim::{SimConfig, SimError, Simulation};
 
 use crate::liveness::{check_leads_to_on_trace, LivenessOptions};
@@ -54,11 +55,7 @@ impl Default for ExplorationOptions {
 }
 
 fn sinks_of(netlist: &Netlist) -> Vec<elastic_core::NodeId> {
-    netlist
-        .live_nodes()
-        .filter(|n| matches!(n.kind, NodeKind::Sink(_)))
-        .map(|n| n.id)
-        .collect()
+    netlist.live_nodes().filter(|n| matches!(n.kind, NodeKind::Sink(_))).map(|n| n.id).collect()
 }
 
 fn shared_modules_of(netlist: &Netlist) -> Vec<(elastic_core::NodeId, usize)> {
@@ -74,22 +71,29 @@ fn shared_modules_of(netlist: &Netlist) -> Vec<(elastic_core::NodeId, usize)> {
 /// Exhaustively enumerates sink back-pressure patterns up to the configured
 /// depth and checks protocol compliance and progress on every run.
 ///
+/// The enumerated combinations are independent — each builds its own netlist
+/// variant and simulation — so they are fanned across OS threads. Results
+/// are collected in combination order, making the merged verdict (and the
+/// first counterexample reported for a failing design) identical to the
+/// sequential enumeration this replaces.
+///
 /// # Errors
 ///
 /// Propagates simulation failures (which themselves count as verification
-/// failures of the design under test).
+/// failures of the design under test). When several combinations fail to
+/// simulate, the error of the lowest-numbered combination is returned, as a
+/// sequential enumeration would.
 pub fn explore_environments(
     netlist: &Netlist,
     options: &ExplorationOptions,
 ) -> Result<Verdict, SimError> {
     let sinks = sinks_of(netlist);
-    let mut verdict = Verdict::default();
     let pattern_bits = options.pattern_depth * sinks.len();
     let combinations = 1usize << pattern_bits.min(20);
-    let runs = combinations.min(options.max_runs);
+    let runs: Vec<usize> = (0..combinations.min(options.max_runs)).collect();
 
     let protocol = ProtocolOptions { check_liveness: false, ..ProtocolOptions::default() };
-    for combination in 0..runs {
+    let failures = parallel_map(&runs, |_, &combination| -> Result<Option<String>, SimError> {
         // Build a modified netlist whose sinks follow the enumerated pattern.
         let mut variant = netlist.clone();
         for (sink_index, sink) in sinks.iter().enumerate() {
@@ -99,17 +103,25 @@ pub fn explore_environments(
                 pattern.push((combination >> bit) & 1 == 1);
             }
             if let Some(node) = variant.node_mut(*sink) {
-                node.kind =
-                    NodeKind::Sink(elastic_core::SinkSpec { backpressure: BackpressurePattern::List(pattern) });
+                node.kind = NodeKind::Sink(elastic_core::SinkSpec {
+                    backpressure: BackpressurePattern::List(pattern),
+                });
             }
         }
         let mut sim = Simulation::new(&variant, &SimConfig::default())?;
         sim.run(options.cycles_per_run)?;
         let run_verdict = check_trace(&variant, sim.trace(), &protocol);
-        if !run_verdict.passed() {
-            verdict.reject(format!(
-                "environment combination {combination}: {run_verdict}"
-            ));
+        if run_verdict.passed() {
+            Ok(None)
+        } else {
+            Ok(Some(format!("environment combination {combination}: {run_verdict}")))
+        }
+    });
+
+    let mut verdict = Verdict::default();
+    for failure in failures {
+        if let Some(reason) = failure? {
+            verdict.reject(reason);
         }
     }
     Ok(verdict)
@@ -118,9 +130,13 @@ pub fn explore_environments(
 /// Drives every shared module with seeded adversarial random schedulers and
 /// checks that the design stays protocol-compliant and starvation-free.
 ///
+/// The randomized runs derive their scheduler seeds from the run index alone
+/// and are fanned across OS threads; results are merged in run order, so the
+/// verdict is identical to the sequential loop this replaces.
+///
 /// # Errors
 ///
-/// Propagates simulation failures.
+/// Propagates simulation failures (lowest-numbered failing run first).
 pub fn explore_adversarial_schedulers(
     netlist: &Netlist,
     options: &ExplorationOptions,
@@ -131,11 +147,10 @@ pub fn explore_adversarial_schedulers(
         return Ok(verdict);
     }
     let protocol = ProtocolOptions::default();
-    let liveness = LivenessOptions {
-        cycles: options.cycles_per_run.max(200),
-        ..LivenessOptions::default()
-    };
-    for run in 0..options.random_scheduler_runs {
+    let liveness =
+        LivenessOptions { cycles: options.cycles_per_run.max(200), ..LivenessOptions::default() };
+    let runs: Vec<usize> = (0..options.random_scheduler_runs).collect();
+    let failures = parallel_map(&runs, |_, &run| -> Result<Option<String>, SimError> {
         let overrides: Vec<(elastic_core::NodeId, Box<dyn Scheduler>)> = shared
             .iter()
             .map(|&(node, users)| {
@@ -143,13 +158,19 @@ pub fn explore_adversarial_schedulers(
                 (node, Box::new(RandomScheduler::new(users, seed)) as Box<dyn Scheduler>)
             })
             .collect();
-        let mut sim =
-            Simulation::with_schedulers(netlist, &SimConfig::default(), overrides)?;
+        let mut sim = Simulation::with_schedulers(netlist, &SimConfig::default(), overrides)?;
         sim.run(liveness.cycles)?;
         let mut run_verdict = check_trace(netlist, sim.trace(), &protocol);
         run_verdict.merge(check_leads_to_on_trace(netlist, sim.trace(), &liveness));
-        if !run_verdict.passed() {
-            verdict.reject(format!("adversarial scheduler run {run}: {run_verdict}"));
+        if run_verdict.passed() {
+            Ok(None)
+        } else {
+            Ok(Some(format!("adversarial scheduler run {run}: {run_verdict}")))
+        }
+    });
+    for failure in failures {
+        if let Some(reason) = failure? {
+            verdict.reject(reason);
         }
     }
     Ok(verdict)
@@ -200,18 +221,66 @@ mod tests {
     }
 
     #[test]
+    fn parallel_enumeration_is_deterministic() {
+        let handles = table1();
+        let options = ExplorationOptions {
+            pattern_depth: 2,
+            cycles_per_run: 24,
+            max_runs: 8,
+            random_scheduler_runs: 0,
+            seed: 3,
+        };
+        let first = explore_environments(&handles.netlist, &options).unwrap();
+        let second = explore_environments(&handles.netlist, &options).unwrap();
+        assert_eq!(first, second, "parallel enumeration must be reproducible");
+    }
+
+    #[test]
+    fn a_seeded_failing_case_reports_identical_counterexamples_in_parallel() {
+        // Stall the sink of the speculative Figure-1 design forever: tokens
+        // pile up at the shared module and the leads-to property fails in
+        // every adversarial scheduler run, deterministically per seed.
+        let handles = fig1d(&Fig1Config::default());
+        let mut broken = handles.netlist.clone();
+        if let Some(node) = broken.node_mut(handles.sink) {
+            node.kind = elastic_core::NodeKind::Sink(elastic_core::SinkSpec {
+                backpressure: BackpressurePattern::List(vec![true]),
+            });
+        }
+        let options = ExplorationOptions {
+            pattern_depth: 0,
+            cycles_per_run: 120,
+            max_runs: 1,
+            random_scheduler_runs: 4,
+            seed: 0xBAD,
+        };
+        let first = explore_adversarial_schedulers(&broken, &options).unwrap();
+        assert!(!first.passed(), "a permanently stalled sink must violate liveness");
+        let second = explore_adversarial_schedulers(&broken, &options).unwrap();
+        assert_eq!(
+            first, second,
+            "the parallel sweep must report the same counterexamples every time"
+        );
+        // Violations are merged in run order, exactly like the sequential
+        // loop the parallel sweep replaced.
+        let run_of = |violation: &String| -> usize {
+            let rest = violation.strip_prefix("adversarial scheduler run ").unwrap_or("0");
+            rest.split(':').next().unwrap_or("0").trim().parse().unwrap_or(0)
+        };
+        let runs: Vec<usize> = first.violations.iter().map(run_of).collect();
+        let mut sorted = runs.clone();
+        sorted.sort_unstable();
+        assert_eq!(runs, sorted, "violations must come back in run order: {runs:?}");
+    }
+
+    #[test]
     fn designs_without_shared_modules_skip_the_scheduler_fuzzing() {
         let mut n = elastic_core::Netlist::new("plain");
         let src = n.add_source("src", elastic_core::SourceSpec::always());
         let sink = n.add_sink("sink", elastic_core::SinkSpec::always_ready());
-        n.connect(
-            elastic_core::Port::output(src, 0),
-            elastic_core::Port::input(sink, 0),
-            8,
-        )
-        .unwrap();
-        let verdict =
-            explore_adversarial_schedulers(&n, &ExplorationOptions::default()).unwrap();
+        n.connect(elastic_core::Port::output(src, 0), elastic_core::Port::input(sink, 0), 8)
+            .unwrap();
+        let verdict = explore_adversarial_schedulers(&n, &ExplorationOptions::default()).unwrap();
         assert!(verdict.passed());
     }
 }

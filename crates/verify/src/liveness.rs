@@ -177,10 +177,8 @@ mod tests {
         // A loop with no initial token can never fire.
         let mut n = elastic_core::Netlist::new("deadlock");
         let eb = n.add_buffer("eb", elastic_core::BufferSpec::bubble());
-        let f = n.add_function(
-            "f",
-            elastic_core::FunctionSpec::with_inputs(elastic_core::Op::Add, 2),
-        );
+        let f =
+            n.add_function("f", elastic_core::FunctionSpec::with_inputs(elastic_core::Op::Add, 2));
         let src = n.add_source("src", elastic_core::SourceSpec::always());
         let fork = n.add_fork("fork", elastic_core::ForkSpec::eager(2));
         let sink = n.add_sink("sink", elastic_core::SinkSpec::always_ready());

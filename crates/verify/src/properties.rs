@@ -92,9 +92,8 @@ pub fn check_channel(
         let mut since_transfer = 0usize;
         let mut active = false;
         for (cycle, state) in history.iter().enumerate() {
-            let transfer = state.forward_transfer()
-                || state.backward_transfer()
-                || state.annihilation();
+            let transfer =
+                state.forward_transfer() || state.backward_transfer() || state.annihilation();
             let offering = state.forward_valid || state.backward_valid;
             if transfer {
                 since_transfer = 0;
@@ -165,7 +164,8 @@ mod tests {
             ChannelState { forward_valid: true, forward_stop: true, ..ChannelState::default() },
             ChannelState { forward_valid: true, ..ChannelState::default() },
         ];
-        assert!(check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true).is_empty());
+        assert!(check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true)
+            .is_empty());
     }
 
     #[test]
@@ -174,7 +174,8 @@ mod tests {
             ChannelState { forward_valid: true, forward_stop: true, ..ChannelState::default() },
             ChannelState::default(),
         ];
-        let violations = check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true);
+        let violations =
+            check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true);
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].property, "Retry+");
     }
@@ -185,7 +186,8 @@ mod tests {
             ChannelState { backward_valid: true, backward_stop: true, ..ChannelState::default() },
             ChannelState::default(),
         ];
-        let violations = check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true);
+        let violations =
+            check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true);
         assert_eq!(violations[0].property, "Retry-");
     }
 
@@ -198,14 +200,18 @@ mod tests {
             backward_stop: true,
             data: 0,
         }];
-        let violations = check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true);
+        let violations =
+            check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true);
         assert_eq!(violations[0].property, "Invariant");
     }
 
     #[test]
     fn starvation_beyond_the_window_violates_liveness() {
         let mut history =
-            vec![ChannelState { forward_valid: true, forward_stop: true, ..ChannelState::default() }; 80];
+            vec![
+                ChannelState { forward_valid: true, forward_stop: true, ..ChannelState::default() };
+                80
+            ];
         // No transfer ever happens.
         let options = ProtocolOptions { starvation_window: 16, check_liveness: true };
         let violations = check_channel(ChannelId::new(0), &history, &options, true);

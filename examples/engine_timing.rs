@@ -1,0 +1,53 @@
+//! Wall-clock engine timing on the `sim_speed` benchmark designs.
+//!
+//! Prints cycles/second for the Figure-1(d) and Figure-7(b) designs and for
+//! the two 256-stage synthetic pipelines of `crates/bench/benches/sim_speed.rs`.
+//! The "before" numbers in `BENCH_sim_speed.json` were produced by compiling
+//! this workload against the seed (pre-worklist) engine, with the
+//! `deep_pipeline` builder inlined since the seed library predates it.
+//!
+//! Run with `cargo run --release --example engine_timing`.
+
+use std::time::Instant;
+
+use elastic_core::kind::{BackpressurePattern, BufferSpec};
+use elastic_core::library::{
+    deep_pipeline, fig1d, resilient_speculative, Fig1Config, ResilientConfig,
+};
+use elastic_core::Netlist;
+use elastic_sim::{SimConfig, Simulation};
+
+fn time_case(name: &str, netlist: &Netlist, cycles: u64, repeats: u32) {
+    let quiet = SimConfig { record_trace: false, ..SimConfig::default() };
+    // Warm-up.
+    Simulation::new(netlist, &quiet).unwrap().run(cycles).unwrap();
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        Simulation::new(netlist, &quiet).unwrap().run(cycles).unwrap();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let cycles_per_second = cycles as f64 / best;
+    println!("{name:<28} {cycles_per_second:>14.0} cycles/s  ({:.3} ms/run)", best * 1e3);
+}
+
+fn main() {
+    let fig1 = fig1d(&Fig1Config::default());
+    let fig7 = resilient_speculative(&ResilientConfig {
+        data_width: 32,
+        operands: (0..512).collect(),
+        error_masks: vec![0],
+    });
+    let pipeline = deep_pipeline(256, BufferSpec::standard(0), BackpressurePattern::Never);
+    let comb_chain = deep_pipeline(
+        256,
+        BufferSpec::zero_backward(0),
+        BackpressurePattern::List(vec![true, false]),
+    );
+
+    let cycles = 512u64;
+    time_case("fig1d", &fig1.netlist, cycles, 7);
+    time_case("fig7b", &fig7.netlist, cycles, 5);
+    time_case("pipeline256_standard", &pipeline, cycles, 5);
+    time_case("comb_chain256_zero_backward", &comb_chain, cycles, 3);
+}

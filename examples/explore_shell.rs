@@ -28,11 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         summary
     ";
     println!("running exploration script:\n{script}");
-    for (command, response) in script
-        .lines()
-        .map(str::trim)
-        .filter(|line| !line.is_empty())
-        .zip(shell.run_script(script)?)
+    for (command, response) in
+        script.lines().map(str::trim).filter(|line| !line.is_empty()).zip(shell.run_script(script)?)
     {
         println!("elastic> {command}");
         for line in response.lines() {
@@ -44,8 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let netlist = shell.into_netlist();
     let verilog = emit_verilog(&netlist);
     let blif = emit_blif(&netlist);
-    println!("\ngenerated Verilog ({} lines) and BLIF ({} lines);",
-        verilog.lines().count(), blif.lines().count());
+    println!(
+        "\ngenerated Verilog ({} lines) and BLIF ({} lines);",
+        verilog.lines().count(),
+        blif.lines().count()
+    );
     println!("first Verilog lines:\n");
     for line in verilog.lines().take(12) {
         println!("    {line}");

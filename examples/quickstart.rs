@@ -27,8 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("speculative     : {}", speculative.summary());
     println!(
         "speculation introduced shared module {} driven by the select cycle {:?}",
-        report.shared_module,
-        report.select_cycles[0]
+        report.shared_module, report.select_cycles[0]
     );
 
     // 3. Simulate both designs for 1000 cycles.
@@ -39,7 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("baseline throughput    : {:.3} tokens/cycle", base_report.throughput(sink));
     println!(
         "speculative throughput : {:.3} tokens/cycle ({} mispredictions)",
-        spec_report.throughput(speculative.find_node("sink").map(|n| n.id).unwrap_or(sink) )
+        spec_report
+            .throughput(speculative.find_node("sink").map(|n| n.id).unwrap_or(sink))
             .max(spec_report.throughput(sink)),
         spec_report.total_mispredictions()
     );

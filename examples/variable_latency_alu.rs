@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let outcome = scenarios::run_var_latency(error_rate, 2000, 13)?;
         println!(
             "{:<12.2} {:>16.3} {:>18.3} {:>10}",
-            error_rate, outcome.stalling_throughput, outcome.speculative_throughput, outcome.replays
+            error_rate,
+            outcome.stalling_throughput,
+            outcome.speculative_throughput,
+            outcome.replays
         );
         last = Some(outcome);
     }

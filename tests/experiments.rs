@@ -33,13 +33,22 @@ fn fig1_design_space_matches_the_papers_ranking() {
     // Bubble insertion "brings no real gain": its effective cycle time is no
     // better than the baseline's.
     let bubble = comparison.effective_cycle_time_improvement("fig1b-bubble").unwrap();
-    assert!(bubble <= 0.01, "bubble insertion must not improve the effective cycle time ({bubble})");
+    assert!(
+        bubble <= 0.01,
+        "bubble insertion must not improve the effective cycle time ({bubble})"
+    );
     // Shannon decomposition is the performance-optimal design.
     let shannon = comparison.effective_cycle_time_improvement("fig1c-shannon").unwrap();
-    assert!(shannon > 0.15, "Shannon decomposition must improve the effective cycle time ({shannon})");
+    assert!(
+        shannon > 0.15,
+        "Shannon decomposition must improve the effective cycle time ({shannon})"
+    );
     // Speculation achieves a similar improvement …
     let speculation = comparison.effective_cycle_time_improvement("fig1d-speculation").unwrap();
-    assert!(speculation > 0.05, "speculation must improve the effective cycle time ({speculation})");
+    assert!(
+        speculation > 0.05,
+        "speculation must improve the effective cycle time ({speculation})"
+    );
     assert!(
         speculation > shannon - 0.25,
         "with a highly accurate predictor speculation stays close to the Shannon bound          (speculation {speculation}, shannon {shannon})"
@@ -184,10 +193,8 @@ fn zero_backward_buffers_remove_the_recovery_bottleneck() {
 
     let quiet = SimConfig { record_trace: false, ..SimConfig::default() };
     let sink = |netlist: &elastic_core::Netlist| netlist.find_node("sink").unwrap().id;
-    let standard_report =
-        Simulation::new(&with_standard, &quiet).unwrap().run(400).unwrap();
-    let zero_report =
-        Simulation::new(&with_zero_backward, &quiet).unwrap().run(400).unwrap();
+    let standard_report = Simulation::new(&with_standard, &quiet).unwrap().run(400).unwrap();
+    let zero_report = Simulation::new(&with_zero_backward, &quiet).unwrap().run(400).unwrap();
     let standard = standard_report.throughput(sink(&with_standard));
     let zero = zero_report.throughput(sink(&with_zero_backward));
     assert!(
@@ -197,5 +204,8 @@ fn zero_backward_buffers_remove_the_recovery_bottleneck() {
     // The recovery buffer adds a pipeline stage to the select loop, so the
     // bound drops to 1/2 regardless of Lb; what matters is that the loop
     // keeps running and the Lb=0 variant is at least as fast.
-    assert!(zero > 0.2, "the speculative loop keeps running with recovery buffers in place ({zero})");
+    assert!(
+        zero > 0.2,
+        "the speculative loop keeps running with recovery buffers in place ({zero})"
+    );
 }

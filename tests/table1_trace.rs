@@ -27,12 +27,10 @@ fn symbols_to_row(symbols: &[TraceSymbol]) -> Vec<String> {
     symbols
         .iter()
         .map(|symbol| match symbol {
-            TraceSymbol::Token(v) => {
-                match TABLE1_VALUES.iter().find(|(_, value)| value == v) {
-                    Some((letter, _)) => letter.to_string(),
-                    None => format!("{v:#x}"),
-                }
-            }
+            TraceSymbol::Token(v) => match TABLE1_VALUES.iter().find(|(_, value)| value == v) {
+                Some((letter, _)) => letter.to_string(),
+                None => format!("{v:#x}"),
+            },
             TraceSymbol::AntiToken => "-".to_string(),
             TraceSymbol::Bubble => "*".to_string(),
         })
@@ -109,8 +107,7 @@ fn table1_streams_are_lossless() {
     let handles = library::table1();
     let mut sim = Simulation::new(&handles.netlist, &SimConfig::default()).unwrap();
     let report = sim.run(TABLE1_SELECT.len() as u64 + 1).unwrap();
-    let delivered: Vec<u64> =
-        report.sink_values(handles.sink).into_iter().take(5).collect();
+    let delivered: Vec<u64> = report.sink_values(handles.sink).into_iter().take(5).collect();
     assert_eq!(
         delivered,
         vec![value('A'), value('B'), value('D'), value('E'), value('F')],

@@ -122,11 +122,8 @@ fn resilient_speculation_matches_the_unprotected_accumulator_values() {
     use elastic_core::library::{resilient_speculative, resilient_unprotected, ResilientConfig};
     use elastic_sim::{SimConfig, Simulation};
 
-    let config = ResilientConfig {
-        data_width: 32,
-        operands: (1..40).collect(),
-        error_masks: vec![0],
-    };
+    let config =
+        ResilientConfig { data_width: 32, operands: (1..40).collect(), error_masks: vec![0] };
     let unprotected = resilient_unprotected(&config);
     let speculative = resilient_speculative(&config);
     let quiet = SimConfig { record_trace: false, ..SimConfig::default() };
@@ -149,17 +146,12 @@ fn resilient_speculation_matches_the_unprotected_accumulator_values() {
 fn speculation_report_documents_what_changed() {
     let original = fig1a(&Fig1Config::default());
     let mut transformed = original.netlist.clone();
-    let report =
-        speculate(&mut transformed, original.mux, &SpeculateOptions::default()).unwrap();
+    let report = speculate(&mut transformed, original.mux, &SpeculateOptions::default()).unwrap();
     assert_eq!(report.mux, original.mux);
     assert_eq!(report.moved_block, original.f.unwrap());
     assert!(!report.select_cycles.is_empty());
     // The shared module's inputs are now fed by the original sources.
     let shared_inputs = transformed.input_channels(report.shared_module);
-    assert!(shared_inputs
-        .iter()
-        .any(|c| c.from == Port::output(original.src0, 0)));
-    assert!(shared_inputs
-        .iter()
-        .any(|c| c.from == Port::output(original.src1, 0)));
+    assert!(shared_inputs.iter().any(|c| c.from == Port::output(original.src0, 0)));
+    assert!(shared_inputs.iter().any(|c| c.from == Port::output(original.src1, 0)));
 }

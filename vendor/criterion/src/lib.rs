@@ -1,0 +1,314 @@
+//! A small, dependency-free stand-in for the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build container for this repository has no network access, so the real
+//! criterion crate cannot be fetched. This shim implements the subset of the
+//! API the workspace's benches use — `Criterion`, `BenchmarkGroup`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple warm-up + timed-samples measurement loop. Reported
+//! numbers are wall-clock medians; they are stable enough to catch large
+//! simulator regressions, which is all the harness promises.
+//!
+//! Swap this path dependency for the real crate when a registry is available;
+//! no bench source changes are required.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Per-iteration throughput annotation (elements or bytes processed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The measurement configuration and entry point, mirroring
+/// `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// No-op (the shim never plots).
+    #[must_use]
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.clone();
+        run_benchmark(&config, id, None, f);
+        self
+    }
+
+    /// Mirrors `Criterion::final_summary` (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates the group's per-iteration throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.sample_size = samples.max(1);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.criterion.measurement_time = duration;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        let config = self.criterion.clone();
+        run_benchmark(&config, &full_id, self.throughput, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the workload.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let iterations = self.iterations.max(1);
+        let start = Instant::now();
+        for _ in 0..iterations {
+            hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(config: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run single iterations until the warm-up budget is spent, and
+    // estimate the per-iteration cost along the way.
+    let warm_up_start = Instant::now();
+    let mut per_iteration = Duration::from_nanos(1);
+    let mut warm_up_runs = 0u32;
+    while warm_up_start.elapsed() < config.warm_up_time || warm_up_runs == 0 {
+        let mut bencher = Bencher { iterations: 1, ..Bencher::default() };
+        f(&mut bencher);
+        per_iteration = bencher.elapsed.max(Duration::from_nanos(1));
+        warm_up_runs += 1;
+        if warm_up_runs >= 1000 {
+            break;
+        }
+    }
+
+    // Size each sample so that sample_size samples fit the measurement budget.
+    let budget_per_sample = config.measurement_time / config.sample_size.max(1) as u32;
+    let iterations_per_sample =
+        (budget_per_sample.as_nanos() / per_iteration.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let mut bencher = Bencher { iterations: iterations_per_sample, ..Bencher::default() };
+        f(&mut bencher);
+        samples.push(bencher.elapsed / iterations_per_sample as u32);
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let fastest = samples[0];
+    let slowest = samples[samples.len() - 1];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(elements)) => {
+            let per_second = elements as f64 / median.as_secs_f64();
+            format!("  thrpt: {} elem/s", format_rate(per_second))
+        }
+        Some(Throughput::Bytes(bytes)) => {
+            let per_second = bytes as f64 / median.as_secs_f64();
+            format!("  thrpt: {} B/s", format_rate(per_second))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<40} time: [{} {} {}]{rate}",
+        format_duration(fastest),
+        format_duration(median),
+        format_duration(slowest),
+    );
+}
+
+fn format_duration(duration: Duration) -> String {
+    let nanos = duration.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", duration.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn format_rate(per_second: f64) -> String {
+    if per_second >= 1e9 {
+        format!("{:.3}G", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.3}M", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.3}K", per_second / 1e3)
+    } else {
+        format!("{per_second:.3}")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let criterion = Criterion::default().sample_size(2).warm_up_time(Duration::from_millis(1));
+        let mut criterion = criterion.measurement_time(Duration::from_millis(2));
+        let mut runs = 0u64;
+        criterion.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_apply_throughput_annotations() {
+        let mut criterion = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut group = criterion.benchmark_group("group");
+        group.throughput(Throughput::Elements(8));
+        group.bench_function("case", |b| b.iter(|| black_box(21) * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn formatting_covers_all_magnitudes() {
+        assert!(format_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(5)).ends_with(" s"));
+        assert_eq!(format_rate(2_000_000_000.0), "2.000G");
+        assert_eq!(format_rate(2_000_000.0), "2.000M");
+        assert_eq!(format_rate(2_000.0), "2.000K");
+        assert_eq!(format_rate(2.0), "2.000");
+    }
+}

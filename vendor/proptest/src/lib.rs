@@ -1,0 +1,311 @@
+//! A small, dependency-free stand-in for the [proptest](https://docs.rs/proptest)
+//! property-testing crate.
+//!
+//! The build container for this repository has no network access, so the real
+//! proptest crate cannot be fetched. This shim implements the subset of the
+//! API the workspace's tests use — the `proptest!` macro, `any::<T>()`,
+//! integer range strategies, `collection::vec`, `ProptestConfig::with_cases`
+//! and the `prop_assert*` macros — on top of a deterministic splitmix64
+//! generator. There is no shrinking: a failing case panics with the sampled
+//! inputs in the message instead.
+//!
+//! Swap this path dependency for the real crate when a registry is available;
+//! no test source changes are required.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic splitmix64 generator used to sample strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift reduction is unbiased enough for test generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced by the strategy.
+    type Value: std::fmt::Debug;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Samples an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy producing unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let span = (self.end - self.start) as u64;
+                    assert!(span > 0, "empty range strategy");
+                    self.start + rng.below(span) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    let span = (*self.end() - *self.start()) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    *self.start() + rng.below(span + 1) as $ty
+                }
+            }
+        )*
+    };
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `lengths` and elements
+    /// drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lengths: Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`], mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, lengths: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, lengths }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.lengths.end - self.lengths.start).max(1) as u64;
+            let length = self.lengths.start + rng.below(span) as usize;
+            (0..length).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything a test needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a property (panics with the formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each declared function becomes a `#[test]` that samples its inputs from
+/// the given strategies `cases` times (deterministically, seeded from the
+/// property name) and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let seed = {
+                    // Stable per-property seed: FNV-1a over the name.
+                    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+                    for byte in stringify!($name).bytes() {
+                        hash ^= u64::from(byte);
+                        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                    hash
+                };
+                let mut rng = $crate::TestRng::new(seed);
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::sample(&$strategy, &mut rng);
+                    )*
+                    let describe = || {
+                        let mut parts: Vec<String> = Vec::new();
+                        $( parts.push(format!("{} = {:?}", stringify!($arg), $arg)); )*
+                        parts.join(", ")
+                    };
+                    let inputs = describe();
+                    let run = || -> () { $body };
+                    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)).is_err() {
+                        panic!(
+                            "property {} failed on case {case} with inputs: {inputs}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),*) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_their_bounds() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..1000 {
+            let value = Strategy::sample(&(1u8..=64), &mut rng);
+            assert!((1..=64).contains(&value));
+            let value = Strategy::sample(&(0u64..8), &mut rng);
+            assert!(value < 8);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = crate::TestRng::new(11);
+        for _ in 0..200 {
+            let values = Strategy::sample(&crate::collection::vec(0u64..256, 8..24), &mut rng);
+            assert!((8..24).contains(&values.len()));
+            assert!(values.iter().all(|&v| v < 256));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = crate::TestRng::new(3);
+        let mut b = crate::TestRng::new(3);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_works(a in any::<u64>(), b in 0u64..10) {
+            prop_assert!(b < 10);
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+            prop_assert_ne!(b, 10);
+        }
+    }
+}
