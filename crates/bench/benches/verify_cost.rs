@@ -29,6 +29,10 @@ fn print_table() {
     println!("leads-to (no starvation) : {}", leads_to);
     println!("token conservation       : {}", conservation);
     println!("environment exploration  : {}", exploration);
+    assert!(
+        exploration.is_exhaustive(),
+        "depth-3 over one sink fits max_runs, so no coverage note is expected: {exploration}"
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -42,6 +46,19 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("conservation_check_300_cycles", |b| {
         b.iter(|| check_shared_module_conservation(&handles.netlist, 300).unwrap())
+    });
+    // The zero-rebuild sweep of BENCH_trace_mem.json: 256 bounded-run
+    // environments, one simulation build per worker thread, reset per
+    // combination.
+    let sweep = ExplorationOptions {
+        pattern_depth: 8,
+        cycles_per_run: 16,
+        max_runs: 256,
+        random_scheduler_runs: 0,
+        seed: 7,
+    };
+    group.bench_function("environment_sweep_256_runs", |b| {
+        b.iter(|| explore_environments(&handles.netlist, &sweep).unwrap())
     });
     group.finish();
 }

@@ -25,7 +25,7 @@ pub struct BufferSpec {
     /// Initial occupancy: positive = tokens, negative = anti-tokens, 0 = bubble.
     pub init_tokens: i32,
     /// Maximum number of anti-tokens the buffer can hold while waiting for
-    /// tokens to cancel (the counterflow storage of [7] in the paper).
+    /// tokens to cancel (the counterflow storage of ref \[7\] in the paper).
     pub anti_capacity: u32,
     /// Data value carried by the initial token(s), when `init_tokens > 0`.
     pub init_value: u64,
@@ -122,7 +122,7 @@ impl FunctionSpec {
 /// When `early_eval` is set the multiplexor performs early evaluation: it
 /// fires as soon as the select token and the *selected* data token are
 /// available and injects an anti-token into every non-selected data channel
-/// (Section 3.3 / [7]).
+/// (Section 3.3 / ref \[7\]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MuxSpec {
     /// Number of data inputs (the select value addresses them as `0..data_inputs`).

@@ -2,7 +2,7 @@
 //!
 //! In elastic systems it is always possible to insert or remove an *empty*
 //! elastic buffer (a bubble) on any channel while preserving transfer
-//! equivalence (Section 2 and [10] in the paper). An empty EB is furthermore
+//! equivalence (Section 2 and ref \[10\] in the paper). An empty EB is furthermore
 //! equivalent to an EB holding one token immediately followed by an EB
 //! holding one anti-token — the `0 = 1 − 1` rule used to enable retiming of
 //! EBs with different initial occupancies.

@@ -5,7 +5,7 @@
 //! the multiplexor fires as soon as the select token and the *selected* data
 //! token are present, and injects an anti-token into each non-selected data
 //! channel so that the dispensable data is cancelled when it arrives
-//! (Section 3.3 of the paper and [7]). The transformation only changes the
+//! (Section 3.3 of the paper and ref \[7\]). The transformation only changes the
 //! elastic controller; the datapath multiplexor stays the same.
 
 use crate::error::{CoreError, Result};

@@ -14,7 +14,7 @@
 //! | bubble insertion / removal | [`insert_bubble`], [`remove_buffer`] | §2, Fig. 1(b) |
 //! | the `0 = 1 − 1` identity | [`split_empty_buffer`] | §3.3 |
 //! | elastic-buffer retiming | [`retime_backward`], [`retime_forward`] | §3.3 |
-//! | early evaluation | [`enable_early_evaluation`] | §3.3, [7] |
+//! | early evaluation | [`enable_early_evaluation`] | §3.3, ref \[7\] |
 //! | Shannon decomposition (mux retiming) | [`shannon_decompose`] | §2, Fig. 1(c) |
 //! | sharing with a speculative scheduler | [`share_mux_inputs`] | §4.1, Fig. 1(d) |
 //! | buffer latency re-parameterisation | [`set_buffer_latencies`], [`make_zero_backward`] | §4.3, Fig. 5 |

@@ -2,7 +2,7 @@
 //!
 //! Given a multiplexor whose output feeds a combinational block `F`, Shannon
 //! decomposition moves `F` from the output of the multiplexor to each of its
-//! data inputs (Section 2, Figure 1(c), and [14] in the paper). The copies
+//! data inputs (Section 2, Figure 1(c), and ref \[14\] in the paper). The copies
 //! `F_0 … F_{k-1}` can then execute in parallel with the logic producing the
 //! select signal, shortening the critical cycle at the price of duplicated
 //! logic — duplication that the sharing transformation

@@ -2,7 +2,7 @@
 //!
 //! The variable-latency unit of the paper's Section 5.1 relies on a fast
 //! approximation `F_approx` of an exact function `F_exact` together with an
-//! error detector `F_err` (obtained automatically in the reference [2] of the
+//! error detector `F_err` (obtained automatically in ref \[2\] of the
 //! paper). Carry-speculating adders are the canonical instance: the operands
 //! are split at a speculation boundary, the carry into the upper part is
 //! assumed to be zero, and the error detector fires exactly when that

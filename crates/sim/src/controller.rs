@@ -162,6 +162,33 @@ pub trait Controller: std::fmt::Debug {
     /// Clock edge: update the sequential state from the settled signals.
     fn commit(&mut self, io: &NodeIo<'_>);
 
+    /// Rewinds all sequential state (including statistics) to its
+    /// post-construction value, so a simulation can be re-run without being
+    /// rebuilt (see [`crate::Simulation::reset`]). Implementations may keep
+    /// their allocations, but every *observable* — driven signals, committed
+    /// state, statistics — must be indistinguishable from a freshly
+    /// constructed controller.
+    fn reset(&mut self);
+
+    /// Replaces the sink's back-pressure pattern and rewinds the controller
+    /// (sinks only — every other node kind returns `false` and ignores the
+    /// pattern). The replacement is persistent: later [`Controller::reset`]
+    /// calls rewind to the *new* pattern.
+    fn override_backpressure(&mut self, pattern: &elastic_core::kind::BackpressurePattern) -> bool {
+        let _ = pattern;
+        false
+    }
+
+    /// Replaces the shared module's prediction policy (speculative shared
+    /// modules only — every other node kind drops the box and returns
+    /// `false`). The caller provides a freshly initialised scheduler; the
+    /// replacement is persistent across later [`Controller::reset`] calls,
+    /// which rewind it via [`elastic_core::Scheduler::reset`].
+    fn override_scheduler(&mut self, scheduler: Box<dyn elastic_core::Scheduler>) -> bool {
+        let _ = scheduler;
+        false
+    }
+
     /// `true` when [`Controller::eval`] reads any attached channel signal.
     ///
     /// Fully registered controllers (the standard elastic buffer, sources,
@@ -239,8 +266,14 @@ mod tests {
         impl Controller for Dummy {
             fn eval(&self, _io: &mut NodeIo<'_>) {}
             fn commit(&mut self, _io: &NodeIo<'_>) {}
+            fn reset(&mut self) {}
         }
         assert_eq!(Dummy.stats(), NodeStats::default());
         assert!(Dummy.last_feedback().is_none());
+        let mut dummy = Dummy;
+        assert!(
+            !dummy.override_backpressure(&elastic_core::kind::BackpressurePattern::Never),
+            "only sinks support back-pressure overrides"
+        );
     }
 }

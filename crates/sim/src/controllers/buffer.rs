@@ -50,6 +50,17 @@ impl StandardBuffer {
     }
 }
 
+impl StandardBuffer {
+    fn rewind(&mut self) {
+        self.tokens.clear();
+        for _ in 0..self.spec.init_tokens.max(0) {
+            self.tokens.push_back(self.spec.init_value);
+        }
+        self.anti_tokens = (-self.spec.init_tokens).max(0) as u32;
+        self.stats = NodeStats::default();
+    }
+}
+
 impl Controller for StandardBuffer {
     fn eval(&self, io: &mut NodeIo<'_>) {
         // Forward side: offer the oldest token; stop the producer when full.
@@ -114,6 +125,10 @@ impl Controller for StandardBuffer {
         self.stats
     }
 
+    fn reset(&mut self) {
+        self.rewind();
+    }
+
     /// Both handshake directions are fully registered: `eval` is a function
     /// of the FIFO state alone, so the standard buffer cuts every zero-delay
     /// control path and is never re-evaluated within a cycle.
@@ -125,6 +140,8 @@ impl Controller for StandardBuffer {
 /// The `Lf = 1`, `Lb = 0`, `C = 1` elastic buffer of Figure 5.
 #[derive(Debug)]
 pub struct ZeroBackwardBuffer {
+    /// The initial occupancy restored by [`Controller::reset`].
+    initial: Option<u64>,
     stored: Option<u64>,
     stats: NodeStats,
 }
@@ -132,8 +149,8 @@ pub struct ZeroBackwardBuffer {
 impl ZeroBackwardBuffer {
     /// Creates the buffer with its initial occupancy (at most one token).
     pub fn new(spec: BufferSpec) -> Self {
-        let stored = if spec.init_tokens > 0 { Some(spec.init_value) } else { None };
-        ZeroBackwardBuffer { stored, stats: NodeStats::default() }
+        let initial = if spec.init_tokens > 0 { Some(spec.init_value) } else { None };
+        ZeroBackwardBuffer { initial, stored: initial, stats: NodeStats::default() }
     }
 
     /// `true` when the buffer currently stores a token (diagnostic).
@@ -196,6 +213,11 @@ impl Controller for ZeroBackwardBuffer {
 
     fn stats(&self) -> NodeStats {
         self.stats
+    }
+
+    fn reset(&mut self) {
+        self.stored = self.initial;
+        self.stats = NodeStats::default();
     }
 }
 

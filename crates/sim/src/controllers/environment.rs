@@ -34,10 +34,7 @@ pub struct SourceController {
 impl SourceController {
     /// Creates the controller for a source with the given output width.
     pub fn new(spec: SourceSpec, width: u8) -> Self {
-        let pattern_seed = match spec.pattern {
-            SourcePattern::Random { seed, .. } => seed,
-            _ => 1,
-        };
+        let pattern_seed = Self::pattern_seed(&spec);
         SourceController {
             spec,
             width,
@@ -100,6 +97,13 @@ impl SourceController {
     pub fn killed_tokens(&self) -> u64 {
         self.killed
     }
+
+    fn pattern_seed(spec: &SourceSpec) -> u64 {
+        match spec.pattern {
+            SourcePattern::Random { seed, .. } => seed,
+            _ => 1,
+        }
+    }
 }
 
 impl Controller for SourceController {
@@ -146,6 +150,15 @@ impl Controller for SourceController {
         self.stats
     }
 
+    fn reset(&mut self) {
+        self.cycle = 0;
+        self.position = 0;
+        self.offering = false;
+        self.pattern_rng = Lfsr64::new(Self::pattern_seed(&self.spec));
+        self.stats = NodeStats::default();
+        self.killed = 0;
+    }
+
     /// The offer pattern and persistence state fully determine the driven
     /// signals; sources never react to channel signals within a cycle.
     fn eval_reads_channels(&self) -> bool {
@@ -166,16 +179,20 @@ pub struct SinkController {
 impl SinkController {
     /// Creates the controller for a sink.
     pub fn new(spec: SinkSpec) -> Self {
-        let seed = match spec.backpressure {
-            BackpressurePattern::Random { seed, .. } => seed,
-            _ => 3,
-        };
+        let seed = Self::backpressure_seed(&spec);
         SinkController {
             spec,
             cycle: 0,
             rng: Lfsr64::new(seed),
             received: Vec::new(),
             stats: NodeStats::default(),
+        }
+    }
+
+    fn backpressure_seed(spec: &SinkSpec) -> u64 {
+        match spec.backpressure {
+            BackpressurePattern::Random { seed, .. } => seed,
+            _ => 3,
         }
     }
 
@@ -228,6 +245,19 @@ impl Controller for SinkController {
 
     fn stats(&self) -> NodeStats {
         self.stats
+    }
+
+    fn reset(&mut self) {
+        self.cycle = 0;
+        self.rng = Lfsr64::new(Self::backpressure_seed(&self.spec));
+        self.received.clear();
+        self.stats = NodeStats::default();
+    }
+
+    fn override_backpressure(&mut self, pattern: &BackpressurePattern) -> bool {
+        self.spec.backpressure = pattern.clone();
+        self.reset();
+        true
     }
 
     fn transfer_stream(&self) -> Option<&[(u64, u64)]> {

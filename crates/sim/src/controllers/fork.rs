@@ -147,6 +147,12 @@ impl Controller for EagerFork {
     fn stats(&self) -> NodeStats {
         self.stats
     }
+
+    fn reset(&mut self) {
+        self.pending.iter_mut().for_each(|p| *p = true);
+        self.serving = false;
+        self.stats = NodeStats::default();
+    }
 }
 
 #[cfg(test)]

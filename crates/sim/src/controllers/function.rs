@@ -87,6 +87,10 @@ impl Controller for FunctionBlock {
     fn stats(&self) -> NodeStats {
         self.stats
     }
+
+    fn reset(&mut self) {
+        self.stats = NodeStats::default();
+    }
 }
 
 #[cfg(test)]

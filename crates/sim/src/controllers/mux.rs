@@ -4,7 +4,7 @@
 //! channels: every firing consumes one token from each input and forwards the
 //! selected value.
 //!
-//! The early-evaluation multiplexor (Section 3.3, [7]) fires as soon as the
+//! The early-evaluation multiplexor (Section 3.3, ref \[7\]) fires as soon as the
 //! select token and the *selected* data token are available. Each firing owes
 //! an **anti-token** to every non-selected data channel; the controller keeps
 //! a counterflow counter per data input and asserts `V-` on those channels
@@ -144,6 +144,11 @@ impl Controller for MuxController {
 
     fn stats(&self) -> NodeStats {
         self.stats
+    }
+
+    fn reset(&mut self) {
+        self.owed_anti_tokens.iter_mut().for_each(|owed| *owed = 0);
+        self.stats = NodeStats::default();
     }
 }
 

@@ -208,6 +208,21 @@ impl Controller for SharedModule {
         self.stats
     }
 
+    fn reset(&mut self) {
+        self.scheduler.reset();
+        self.forced_user = None;
+        self.starvation.iter_mut().for_each(|wait| *wait = 0);
+        self.last_feedback = SharedFeedback::new(self.spec.users);
+        self.stats = NodeStats::default();
+        self.transfers_per_user.iter_mut().for_each(|count| *count = 0);
+        self.kills_per_user.iter_mut().for_each(|count| *count = 0);
+    }
+
+    fn override_scheduler(&mut self, scheduler: Box<dyn Scheduler>) -> bool {
+        self.scheduler = scheduler;
+        true
+    }
+
     fn last_feedback(&self) -> Option<&SharedFeedback> {
         Some(&self.last_feedback)
     }

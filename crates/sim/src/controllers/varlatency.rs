@@ -110,6 +110,13 @@ impl Controller for VarLatencyUnit {
     fn stats(&self) -> NodeStats {
         self.stats
     }
+
+    fn reset(&mut self) {
+        self.output_register = None;
+        self.exact_pending = false;
+        self.stats = NodeStats::default();
+        self.slow_computations = 0;
+    }
 }
 
 #[cfg(test)]

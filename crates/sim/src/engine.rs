@@ -48,7 +48,9 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use elastic_core::kind::BackpressurePattern;
 use elastic_core::{CoreError, Netlist, NodeId, Scheduler};
 
 use crate::controller::{Controller, NodeIo};
@@ -193,6 +195,10 @@ impl Worklist {
     }
 }
 
+/// Process-wide count of [`Simulation`] constructions (see
+/// [`Simulation::constructions`]).
+static CONSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
 /// A cycle-accurate simulation of one elastic netlist.
 pub struct Simulation {
     config: SimConfig,
@@ -257,6 +263,7 @@ impl Simulation {
         config: &SimConfig,
         mut scheduler_overrides: Vec<(NodeId, Box<dyn Scheduler>)>,
     ) -> Result<Self, SimError> {
+        CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
         netlist.validate()?;
 
         // Dense channel indexing shared with the trace.
@@ -362,6 +369,82 @@ impl Simulation {
         } else {
             2 * self.channels.len() + 8
         }
+    }
+
+    /// Process-wide count of simulation constructions
+    /// ([`Simulation::new`] / [`Simulation::with_schedulers`]) — a build
+    /// diagnostic used by sweep tests to prove that exploration loops reuse
+    /// one simulation per worker thread (via [`Simulation::reset`]) instead
+    /// of rebuilding per run. Resets ([`Simulation::reset`] and friends) do
+    /// **not** count.
+    pub fn constructions() -> u64 {
+        CONSTRUCTIONS.load(Ordering::Relaxed)
+    }
+
+    /// Rewinds the simulation to cycle 0 without rebuilding it.
+    ///
+    /// Every controller's sequential state and statistics return to their
+    /// post-construction values, the channel signals and the recorded trace
+    /// are cleared, and the cycle/effort counters restart at zero. Everything
+    /// *derived from the netlist structure* survives untouched: validation,
+    /// the controller set, the channel adjacency, the static evaluation ranks
+    /// and the worklist layout — which is what makes a reset O(state) instead
+    /// of O(netlist) and lets exploration sweeps run thousands of
+    /// environments on one build. A reset simulation is observationally
+    /// identical to a freshly built one.
+    pub fn reset(&mut self) {
+        for controller in &mut self.controllers {
+            controller.reset();
+        }
+        for channel in &mut self.channels {
+            *channel = ChannelState::default();
+        }
+        self.trace.clear();
+        self.cycle = 0;
+        self.settle_iterations = 0;
+        self.controller_evals = 0;
+    }
+
+    /// [`Simulation::reset`], additionally replacing the back-pressure
+    /// pattern of the named sinks (the environment enumeration of
+    /// `elastic-verify` uses this to sweep sink behaviours without cloning
+    /// the netlist). Overrides persist across later plain resets.
+    ///
+    /// Non-sink node ids in `overrides` are rejected with a debug assertion
+    /// (and ignored in release builds).
+    pub fn reset_with_sink_patterns(&mut self, overrides: &[(NodeId, BackpressurePattern)]) {
+        self.reset();
+        for (node, pattern) in overrides {
+            let applied = self
+                .node_index(*node)
+                .map(|index| self.controllers[index].override_backpressure(pattern))
+                .unwrap_or(false);
+            debug_assert!(applied, "node {node} is not a sink; cannot override back-pressure");
+        }
+    }
+
+    /// [`Simulation::reset`], additionally replacing the prediction policy of
+    /// the named shared modules (the adversarial-scheduler exploration uses
+    /// this to sweep seeded schedulers without rebuilding). The schedulers
+    /// must be freshly initialised; overrides persist across later plain
+    /// resets, which rewind them via [`Scheduler::reset`].
+    ///
+    /// Non-shared node ids are rejected with a debug assertion (and ignored
+    /// in release builds — the box is dropped).
+    pub fn reset_with_schedulers(&mut self, overrides: Vec<(NodeId, Box<dyn Scheduler>)>) {
+        self.reset();
+        for (node, scheduler) in overrides {
+            let applied = self
+                .node_index(node)
+                .map(|index| self.controllers[index].override_scheduler(scheduler))
+                .unwrap_or(false);
+            debug_assert!(applied, "node {node} is not a shared module; cannot override scheduler");
+        }
+    }
+
+    /// Dense controller index of a node id.
+    fn node_index(&self, node: NodeId) -> Option<usize> {
+        self.node_ids.iter().position(|&id| id == node)
     }
 
     /// Evaluates controller `node` with change tracking and wakes the
@@ -509,6 +592,7 @@ impl Simulation {
             cycles: self.cycle,
             settle_iterations: self.settle_iterations,
             controller_evals: self.controller_evals,
+            trace_bytes: self.trace.heap_bytes() as u64,
             ..SimulationReport::default()
         };
         for (index, controller) in self.controllers.iter().enumerate() {
@@ -696,8 +780,9 @@ mod tests {
         let (netlist, _src, _sink) = pipeline();
         let config = SimConfig { record_trace: false, ..SimConfig::default() };
         let mut sim = Simulation::new(&netlist, &config).unwrap();
-        sim.run(10).unwrap();
+        let report = sim.run(10).unwrap();
         assert!(sim.trace().is_empty());
+        assert_eq!(report.trace_bytes, 0, "no recording, no trace memory");
         assert_eq!(sim.cycle(), 10);
     }
 
@@ -748,7 +833,7 @@ mod tests {
         .unwrap();
         let event_report = event_driven.run(25).unwrap();
         let reference_report = reference.run(25).unwrap();
-        assert_eq!(event_driven.trace().rows(), reference.trace().rows());
+        assert_eq!(event_driven.trace(), reference.trace());
         assert_eq!(event_report.sink_streams, reference_report.sink_streams);
         assert_eq!(event_report.node_stats, reference_report.node_stats);
         assert!(
@@ -765,6 +850,55 @@ mod tests {
 
     fn report_transfers(report: &SimulationReport, sink: NodeId) -> u64 {
         report.sink_transfers(sink)
+    }
+
+    #[test]
+    fn reset_replays_bit_identically_without_rebuilding() {
+        let (netlist, _src, sink) = pipeline();
+        let mut sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        let first = sim.run(30).unwrap();
+        let first_trace = sim.trace().clone();
+
+        sim.reset();
+        assert_eq!(sim.cycle(), 0);
+        assert!(sim.trace().is_empty());
+
+        let second = sim.run(30).unwrap();
+        assert_eq!(sim.trace(), &first_trace, "replay must be bit-identical");
+        assert_eq!(second.sink_streams, first.sink_streams);
+        assert_eq!(second.node_stats, first.node_stats);
+        assert_eq!(second.settle_iterations, first.settle_iterations);
+
+        // And identical to a freshly built simulation.
+        let mut fresh = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        let fresh_report = fresh.run(30).unwrap();
+        assert_eq!(fresh.trace(), &first_trace);
+        assert_eq!(fresh_report.sink_transfers(sink), second.sink_transfers(sink));
+    }
+
+    #[test]
+    fn sink_pattern_overrides_match_a_rebuilt_netlist() {
+        use elastic_core::kind::BackpressurePattern;
+
+        let (netlist, _src, sink) = pipeline();
+        // Reference: rebuild the netlist with a stalling sink.
+        let mut variant = netlist.clone();
+        let pattern = BackpressurePattern::List(vec![true, false, true]);
+        if let Some(node) = variant.node_mut(sink) {
+            node.kind = elastic_core::NodeKind::Sink(SinkSpec { backpressure: pattern.clone() });
+        }
+        let mut rebuilt = Simulation::new(&variant, &SimConfig::default()).unwrap();
+        let rebuilt_report = rebuilt.run(40).unwrap();
+
+        // Same behaviour via reset_with_sink_patterns on the original build.
+        let mut sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        sim.run(13).unwrap(); // dirty the state first
+        sim.reset_with_sink_patterns(&[(sink, pattern)]);
+        let report = sim.run(40).unwrap();
+
+        assert_eq!(sim.trace(), rebuilt.trace());
+        assert_eq!(report.sink_streams, rebuilt_report.sink_streams);
+        assert_eq!(report.node_stats, rebuilt_report.node_stats);
     }
 
     #[test]

@@ -28,14 +28,23 @@
 //! Main entry points:
 //!
 //! * [`Simulation`] — build from a [`elastic_core::Netlist`], run cycles,
-//!   collect a [`SimulationReport`];
-//! * [`Trace`] — per-channel, per-cycle recording (token / anti-token /
-//!   bubble / retry), used to reproduce Table 1 and by `elastic-verify`;
+//!   collect a [`SimulationReport`]; [`Simulation::reset`] (and the
+//!   sink-pattern/scheduler variants) rewinds sequential state without
+//!   re-validating or re-ranking, so sweeps re-run one build thousands of
+//!   times;
+//! * [`Trace`] — columnar, bit-packed per-channel per-cycle recording (four
+//!   one-bit signal planes plus sparse width-adaptive data columns, ~4 bits
+//!   per control channel per cycle) with streaming accessors
+//!   ([`Trace::channel_iter`], [`Trace::states_at`],
+//!   [`Trace::transfer_stream`]), used to reproduce Table 1 and by
+//!   `elastic-verify`;
 //! * [`scenarios`] — ready-to-run experiment setups for every figure/table of
 //!   the paper, combining the netlist library of `elastic-core`, the
 //!   workload generators of `elastic-datapath` and the schedulers of
 //!   `elastic-predict`; the `*_sweep` variants fan independent runs across
-//!   threads deterministically via [`sweep::parallel_map`].
+//!   threads deterministically via [`sweep::parallel_map`], and per-worker
+//!   state (one resettable simulation per thread) rides along via
+//!   [`sweep::parallel_map_with`].
 //!
 //! ```
 //! use elastic_core::library::{fig1a, Fig1Config};

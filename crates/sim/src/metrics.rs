@@ -47,6 +47,11 @@ pub struct SimulationReport {
     pub settle_iterations: u64,
     /// `Controller::eval` invocations accumulated over all cycles.
     pub controller_evals: u64,
+    /// Heap bytes held by the recorded trace (bit-planes plus data columns;
+    /// 0 when tracing is disabled). Together with
+    /// [`SimulationReport::trace_bytes_per_cycle`] this is the observable
+    /// behind the trace-memory numbers of `BENCH_trace_mem.json`.
+    pub trace_bytes: u64,
     /// Transfer streams observed at each sink: `(cycle, value)` pairs.
     pub sink_streams: BTreeMap<NodeId, Vec<(u64, u64)>>,
     /// Tokens cancelled at each source by anti-tokens (speculation discards).
@@ -85,6 +90,15 @@ impl SimulationReport {
         self.shared_stats.values().map(|s| s.mispredictions).sum()
     }
 
+    /// Trace memory per simulated cycle in bytes (0 when tracing was off).
+    pub fn trace_bytes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.trace_bytes as f64 / self.cycles as f64
+        }
+    }
+
     /// Renders a short human-readable summary.
     pub fn summary(&self) -> String {
         let sinks: Vec<String> = self
@@ -116,6 +130,14 @@ mod tests {
         assert!((report.throughput(sink) - 0.5).abs() < 1e-9);
         assert_eq!(report.sink_values(sink).len(), 50);
         assert_eq!(report.throughput(NodeId::new(9)), 0.0);
+    }
+
+    #[test]
+    fn trace_bytes_per_cycle_divides_by_the_cycle_count() {
+        let report =
+            SimulationReport { cycles: 100, trace_bytes: 1600, ..SimulationReport::default() };
+        assert!((report.trace_bytes_per_cycle() - 16.0).abs() < 1e-9);
+        assert_eq!(SimulationReport::default().trace_bytes_per_cycle(), 0.0);
     }
 
     #[test]

@@ -189,6 +189,11 @@ pub fn run_resilient_sweep(
 /// pinned select and schedule streams, traced cycle by cycle.
 ///
 /// Returns the netlist handles, the recorded trace and the simulation report.
+/// The returned [`Trace`] is the columnar bit-packed store — cloning it out
+/// of the simulation costs a few plane words and data columns, not
+/// `16 · channels` bytes per cycle — and is consumed through its streaming
+/// accessors ([`Trace::channel_iter`], [`Trace::symbol_row`],
+/// [`Trace::render_table`]).
 ///
 /// # Errors
 ///

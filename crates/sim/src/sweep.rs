@@ -35,9 +35,38 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_with(items, || (), |(), index, item| run(index, item))
+}
+
+/// [`parallel_map`] with per-worker scratch state: every worker thread builds
+/// one `S` via `init` — lazily, on its first item — and hands a mutable
+/// reference to every `run` it executes.
+///
+/// This is the backbone of the zero-rebuild exploration sweeps: the scratch
+/// state is a [`crate::Simulation`], built **once per worker thread** and
+/// [`crate::Simulation::reset`] per item, instead of `netlist.clone()` +
+/// `Simulation::new` per run. For results to stay input-order deterministic,
+/// `run` must leave `S` in an item-independent state (a reset simulation
+/// qualifies) — the item→worker assignment is scheduling-dependent.
+///
+/// Workers steal the next index from an atomic cursor whenever they finish
+/// one, so imbalanced run lengths do not serialize the sweep; a worker that
+/// never receives an item never calls `init`.
+pub fn parallel_map_with<T, S, R, I, F>(items: &[T], init: I, run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let threads = sweep_threads(items.len());
     if threads <= 1 {
-        return items.iter().enumerate().map(|(index, item)| run(index, item)).collect();
+        let mut state: Option<S> = None;
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| run(state.get_or_insert_with(&init), index, item))
+            .collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -47,13 +76,17 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                if index >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let mut state: Option<S> = None;
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= items.len() {
+                        break;
+                    }
+                    let result = run(state.get_or_insert_with(&init), index, &items[index]);
+                    slots.lock().expect("no panics while holding the slot lock")[index] =
+                        Some(result);
                 }
-                let result = run(index, &items[index]);
-                slots.lock().expect("no panics while holding the slot lock")[index] = Some(result);
             });
         }
     });
@@ -95,6 +128,32 @@ mod tests {
         let empty: Vec<u64> = Vec::new();
         assert!(parallel_map(&empty, |_, &item| item).is_empty());
         assert_eq!(parallel_map(&[42u64], |_, &item| item + 1), vec![43]);
+    }
+
+    #[test]
+    fn per_worker_state_is_initialized_at_most_once_per_thread() {
+        let inits = AtomicU64::new(0);
+        let items: Vec<u64> = (0..64).collect();
+        let results = parallel_map_with(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |scratch, _, &item| {
+                *scratch += 1;
+                (item, *scratch)
+            },
+        );
+        let threads = sweep_threads(items.len()) as u64;
+        let init_count = inits.load(Ordering::Relaxed);
+        assert!(init_count >= 1 && init_count <= threads, "{init_count} inits, {threads} workers");
+        // Every item was processed exactly once, in order, and the per-worker
+        // counters account for all of them together.
+        assert!(results.iter().enumerate().all(|(index, &(item, _))| index as u64 == item));
+        // The scratch counters are per worker, so no counter can exceed the
+        // total item count and every run observed a counter of at least 1.
+        assert!(results.iter().all(|&(_, seen)| (1..=64).contains(&seen)));
     }
 
     #[test]

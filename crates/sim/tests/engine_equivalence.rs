@@ -26,11 +26,16 @@ fn assert_engines_equivalent(name: &str, netlist: &Netlist, cycles: u64) {
     let (event_sim, event_report) = run_with(netlist, SettleStrategy::EventDriven, cycles);
     let (sweep_sim, sweep_report) = run_with(netlist, SettleStrategy::FullSweep, cycles);
 
-    assert_eq!(
-        event_sim.trace().rows(),
-        sweep_sim.trace().rows(),
-        "{name}: traces must be bit-identical"
-    );
+    // The packed stores must be identical as a whole …
+    assert_eq!(event_sim.trace(), sweep_sim.trace(), "{name}: traces must be bit-identical");
+    // … and decode to the same signals cycle for cycle against the FullSweep
+    // oracle, which exercises the bit-plane/data-column decoding paths.
+    assert_eq!(event_sim.trace().len(), cycles as usize, "{name}: every cycle recorded");
+    for cycle in 0..event_sim.trace().len() {
+        let packed: Vec<_> = event_sim.trace().states_at(cycle).expect("recorded").collect();
+        let oracle: Vec<_> = sweep_sim.trace().states_at(cycle).expect("recorded").collect();
+        assert_eq!(packed, oracle, "{name}: cycle {cycle} decodes identically");
+    }
     assert_eq!(event_report.cycles, sweep_report.cycles, "{name}: cycles");
     assert_eq!(event_report.sink_streams, sweep_report.sink_streams, "{name}: sink streams");
     assert_eq!(event_report.source_kills, sweep_report.source_kills, "{name}: source kills");

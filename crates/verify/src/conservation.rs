@@ -34,7 +34,7 @@ pub struct ChannelLedger {
 /// delivered in the same cycle.
 pub fn channel_ledger(trace: &Trace, channel: elastic_core::ChannelId) -> ChannelLedger {
     let mut ledger = ChannelLedger::default();
-    for state in trace.channel_history(channel) {
+    for state in trace.channel_iter(channel) {
         if state.backward_transfer() {
             ledger.cancelled += 1;
         } else if state.forward_transfer() {

@@ -1,12 +1,17 @@
 //! Transfer equivalence between two elastic designs.
 //!
-//! Two elastic systems are *transfer equivalent* (Section 3.1, [10]) if,
-//! given identical input streams, their output transfer streams match — the
-//! cycle at which each transfer happens is irrelevant, only the sequence of
-//! transferred values counts. This is the correctness criterion for every
+//! Two elastic systems are *transfer equivalent* (Section 3.1, ref \[10\])
+//! if, given identical input streams, their output transfer streams match —
+//! the cycle at which each transfer happens is irrelevant, only the sequence
+//! of transferred values counts. This is the correctness criterion for every
 //! transformation in `elastic-core`: bubble insertion, retiming, Shannon
 //! decomposition, sharing and the composite speculation pass must all leave
 //! the transfer streams unchanged.
+//!
+//! Unlike the per-channel checkers of [`crate::properties`], this check
+//! never touches a recorded trace: the sink controllers accumulate their
+//! transfer streams directly, so both designs simulate with tracing off
+//! (`record_trace: false`) and the comparison is allocation-free per cycle.
 
 use elastic_core::{Netlist, NodeId};
 use elastic_sim::{SimConfig, SimError, Simulation};

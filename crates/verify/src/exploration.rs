@@ -18,7 +18,7 @@
 use elastic_core::kind::BackpressurePattern;
 use elastic_core::{Netlist, NodeKind, Scheduler};
 use elastic_predict::RandomScheduler;
-use elastic_sim::sweep::parallel_map;
+use elastic_sim::sweep::parallel_map_with;
 use elastic_sim::{SimConfig, SimError, Simulation};
 
 use crate::liveness::{check_leads_to_on_trace, LivenessOptions};
@@ -71,11 +71,21 @@ fn shared_modules_of(netlist: &Netlist) -> Vec<(elastic_core::NodeId, usize)> {
 /// Exhaustively enumerates sink back-pressure patterns up to the configured
 /// depth and checks protocol compliance and progress on every run.
 ///
-/// The enumerated combinations are independent — each builds its own netlist
-/// variant and simulation — so they are fanned across OS threads. Results
-/// are collected in combination order, making the merged verdict (and the
-/// first counterexample reported for a failing design) identical to the
-/// sequential enumeration this replaces.
+/// The enumerated combinations are independent, so they are fanned across OS
+/// threads — **one simulation build per worker thread**: each worker
+/// constructs the simulation once (the only `netlist` validation, controller
+/// construction and rank computation it ever pays) and replays every
+/// combination assigned to it via
+/// [`Simulation::reset_with_sink_patterns`]. Results are collected in
+/// combination order, making the merged verdict (and the first
+/// counterexample reported for a failing design) identical to the sequential
+/// rebuild-per-run enumeration this replaces.
+///
+/// When the enumeration is truncated — more than 2^20 theoretical
+/// combinations, or more combinations than [`ExplorationOptions::max_runs`]
+/// — the verdict carries an explicit coverage [`note`](Verdict::note), so a
+/// "passed" result cannot masquerade as exhaustive
+/// (see [`Verdict::is_exhaustive`]).
 ///
 /// # Errors
 ///
@@ -90,35 +100,59 @@ pub fn explore_environments(
     let sinks = sinks_of(netlist);
     let pattern_bits = options.pattern_depth * sinks.len();
     let combinations = 1usize << pattern_bits.min(20);
-    let runs: Vec<usize> = (0..combinations.min(options.max_runs)).collect();
+    let explored = combinations.min(options.max_runs);
+    let runs: Vec<usize> = (0..explored).collect();
 
+    let config = SimConfig::default();
     let protocol = ProtocolOptions { check_liveness: false, ..ProtocolOptions::default() };
-    let failures = parallel_map(&runs, |_, &combination| -> Result<Option<String>, SimError> {
-        // Build a modified netlist whose sinks follow the enumerated pattern.
-        let mut variant = netlist.clone();
-        for (sink_index, sink) in sinks.iter().enumerate() {
-            let mut pattern = Vec::with_capacity(options.pattern_depth);
-            for cycle in 0..options.pattern_depth {
-                let bit = sink_index * options.pattern_depth + cycle;
-                pattern.push((combination >> bit) & 1 == 1);
+    let failures = parallel_map_with(
+        &runs,
+        || Simulation::new(netlist, &config),
+        |worker_sim, _, &combination| -> Result<Option<String>, SimError> {
+            let sim = match worker_sim {
+                Ok(sim) => sim,
+                // Construction failures depend only on the netlist, never on
+                // the combination: rebuilding reproduces the same error for
+                // this combination's report (cold path, never hit by valid
+                // designs).
+                Err(_) => {
+                    return Err(Simulation::new(netlist, &config)
+                        .expect_err("simulation build failures are deterministic"))
+                }
+            };
+            let overrides: Vec<(elastic_core::NodeId, BackpressurePattern)> = sinks
+                .iter()
+                .enumerate()
+                .map(|(sink_index, &sink)| {
+                    let mut pattern = Vec::with_capacity(options.pattern_depth);
+                    for cycle in 0..options.pattern_depth {
+                        let bit = sink_index * options.pattern_depth + cycle;
+                        pattern.push((combination >> bit) & 1 == 1);
+                    }
+                    (sink, BackpressurePattern::List(pattern))
+                })
+                .collect();
+            sim.reset_with_sink_patterns(&overrides);
+            sim.run(options.cycles_per_run)?;
+            let run_verdict = check_trace(netlist, sim.trace(), &protocol);
+            if run_verdict.passed() {
+                Ok(None)
+            } else {
+                Ok(Some(format!("environment combination {combination}: {run_verdict}")))
             }
-            if let Some(node) = variant.node_mut(*sink) {
-                node.kind = NodeKind::Sink(elastic_core::SinkSpec {
-                    backpressure: BackpressurePattern::List(pattern),
-                });
-            }
-        }
-        let mut sim = Simulation::new(&variant, &SimConfig::default())?;
-        sim.run(options.cycles_per_run)?;
-        let run_verdict = check_trace(&variant, sim.trace(), &protocol);
-        if run_verdict.passed() {
-            Ok(None)
-        } else {
-            Ok(Some(format!("environment combination {combination}: {run_verdict}")))
-        }
-    });
+        },
+    );
 
     let mut verdict = Verdict::default();
+    if pattern_bits > 20 || explored < combinations {
+        verdict.note(format!(
+            "coverage truncated: explored {explored} of 2^{pattern_bits} environment \
+             combinations (pattern_depth {} over {} sink(s), max_runs {})",
+            options.pattern_depth,
+            sinks.len(),
+            options.max_runs
+        ));
+    }
     for failure in failures {
         if let Some(reason) = failure? {
             verdict.reject(reason);
@@ -131,8 +165,11 @@ pub fn explore_environments(
 /// checks that the design stays protocol-compliant and starvation-free.
 ///
 /// The randomized runs derive their scheduler seeds from the run index alone
-/// and are fanned across OS threads; results are merged in run order, so the
-/// verdict is identical to the sequential loop this replaces.
+/// and are fanned across OS threads — like [`explore_environments`], each
+/// worker thread builds one simulation and replays every run assigned to it
+/// via [`Simulation::reset_with_schedulers`]. Results are merged in run
+/// order, so the verdict is identical to the sequential rebuild-per-run loop
+/// this replaces.
 ///
 /// # Errors
 ///
@@ -146,28 +183,40 @@ pub fn explore_adversarial_schedulers(
     if shared.is_empty() {
         return Ok(verdict);
     }
+    let config = SimConfig::default();
     let protocol = ProtocolOptions::default();
     let liveness =
         LivenessOptions { cycles: options.cycles_per_run.max(200), ..LivenessOptions::default() };
     let runs: Vec<usize> = (0..options.random_scheduler_runs).collect();
-    let failures = parallel_map(&runs, |_, &run| -> Result<Option<String>, SimError> {
-        let overrides: Vec<(elastic_core::NodeId, Box<dyn Scheduler>)> = shared
-            .iter()
-            .map(|&(node, users)| {
-                let seed = options.seed ^ ((run as u64 + 1) * 0x9E37_79B9);
-                (node, Box::new(RandomScheduler::new(users, seed)) as Box<dyn Scheduler>)
-            })
-            .collect();
-        let mut sim = Simulation::with_schedulers(netlist, &SimConfig::default(), overrides)?;
-        sim.run(liveness.cycles)?;
-        let mut run_verdict = check_trace(netlist, sim.trace(), &protocol);
-        run_verdict.merge(check_leads_to_on_trace(netlist, sim.trace(), &liveness));
-        if run_verdict.passed() {
-            Ok(None)
-        } else {
-            Ok(Some(format!("adversarial scheduler run {run}: {run_verdict}")))
-        }
-    });
+    let failures = parallel_map_with(
+        &runs,
+        || Simulation::new(netlist, &config),
+        |worker_sim, _, &run| -> Result<Option<String>, SimError> {
+            let sim = match worker_sim {
+                Ok(sim) => sim,
+                Err(_) => {
+                    return Err(Simulation::new(netlist, &config)
+                        .expect_err("simulation build failures are deterministic"))
+                }
+            };
+            let overrides: Vec<(elastic_core::NodeId, Box<dyn Scheduler>)> = shared
+                .iter()
+                .map(|&(node, users)| {
+                    let seed = options.seed ^ ((run as u64 + 1) * 0x9E37_79B9);
+                    (node, Box::new(RandomScheduler::new(users, seed)) as Box<dyn Scheduler>)
+                })
+                .collect();
+            sim.reset_with_schedulers(overrides);
+            sim.run(liveness.cycles)?;
+            let mut run_verdict = check_trace(netlist, sim.trace(), &protocol);
+            run_verdict.merge(check_leads_to_on_trace(netlist, sim.trace(), &liveness));
+            if run_verdict.passed() {
+                Ok(None)
+            } else {
+                Ok(Some(format!("adversarial scheduler run {run}: {run_verdict}")))
+            }
+        },
+    );
     for failure in failures {
         if let Some(reason) = failure? {
             verdict.reject(reason);
@@ -218,6 +267,54 @@ mod tests {
         };
         let verdict = explore_environments(&handles.netlist, &options).unwrap();
         assert!(verdict.passed(), "{verdict}");
+    }
+
+    #[test]
+    fn truncated_enumerations_carry_an_explicit_coverage_note() {
+        let handles = table1();
+        // max_runs below the combination count: the verdict may pass but must
+        // say it is not exhaustive.
+        let truncated = ExplorationOptions {
+            pattern_depth: 4,
+            cycles_per_run: 16,
+            max_runs: 4,
+            random_scheduler_runs: 0,
+            seed: 1,
+        };
+        let verdict = explore_environments(&handles.netlist, &truncated).unwrap();
+        assert!(verdict.passed(), "{verdict}");
+        assert!(!verdict.is_exhaustive(), "a truncated sweep must not claim exhaustiveness");
+        assert!(verdict.notes.iter().any(|note| note.contains("coverage truncated")), "{verdict}");
+        assert!(verdict.to_string().contains("coverage truncated"));
+
+        // Full enumeration: no note, the pass is exhaustive up to the bound.
+        let full = ExplorationOptions {
+            pattern_depth: 2,
+            cycles_per_run: 16,
+            max_runs: 1 << 16,
+            random_scheduler_runs: 0,
+            seed: 1,
+        };
+        let verdict = explore_environments(&handles.netlist, &full).unwrap();
+        assert!(verdict.passed(), "{verdict}");
+        assert!(verdict.is_exhaustive(), "{verdict}");
+    }
+
+    #[test]
+    fn oversized_pattern_spaces_are_capped_and_noted() {
+        // pattern_bits > 20 caps the enumeration at 2^20 and must be noted
+        // even when max_runs would allow more.
+        let handles = table1();
+        let options = ExplorationOptions {
+            pattern_depth: 21, // one sink → 21 pattern bits
+            cycles_per_run: 4,
+            max_runs: 2,
+            random_scheduler_runs: 0,
+            seed: 1,
+        };
+        let verdict = explore_environments(&handles.netlist, &options).unwrap();
+        assert!(!verdict.is_exhaustive());
+        assert!(verdict.notes[0].contains("2^21"), "{verdict}");
     }
 
     #[test]

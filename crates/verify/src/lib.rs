@@ -38,37 +38,60 @@ pub use equivalence::transfer_equivalent;
 pub use properties::{check_netlist_protocol, ProtocolViolation};
 
 /// The outcome of a verification pass: either everything held, or a list of
-/// human-readable violation descriptions.
+/// human-readable violation descriptions — plus *notes* qualifying how much
+/// was actually checked.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Verdict {
     /// Descriptions of every violated property (empty = pass).
     pub violations: Vec<String>,
+    /// Coverage caveats that do **not** fail the verdict but qualify it —
+    /// e.g. the bounded exploration truncating its enumeration. A verdict
+    /// with notes passed *what was checked*, not everything there was to
+    /// check; see [`Verdict::is_exhaustive`].
+    pub notes: Vec<String>,
 }
 
 impl Verdict {
-    /// `true` when no property was violated.
+    /// `true` when no property was violated (coverage notes do not fail a
+    /// verdict — check [`Verdict::is_exhaustive`] for that).
     pub fn passed(&self) -> bool {
         self.violations.is_empty()
     }
 
-    /// Merges another verdict into this one.
+    /// `true` when the pass carried no coverage caveats: a passed *and*
+    /// exhaustive verdict is the strongest statement the checkers make.
+    pub fn is_exhaustive(&self) -> bool {
+        self.notes.is_empty()
+    }
+
+    /// Merges another verdict (violations and notes) into this one.
     pub fn merge(&mut self, other: Verdict) {
         self.violations.extend(other.violations);
+        self.notes.extend(other.notes);
     }
 
     /// Adds a violation.
     pub fn reject(&mut self, description: impl Into<String>) {
         self.violations.push(description.into());
     }
+
+    /// Adds a coverage note (does not affect [`Verdict::passed`]).
+    pub fn note(&mut self, description: impl Into<String>) {
+        self.notes.push(description.into());
+    }
 }
 
 impl std::fmt::Display for Verdict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.passed() {
-            write!(f, "all checked properties hold")
+            write!(f, "all checked properties hold")?;
         } else {
-            write!(f, "{} violation(s): {}", self.violations.len(), self.violations.join("; "))
+            write!(f, "{} violation(s): {}", self.violations.len(), self.violations.join("; "))?;
         }
+        if !self.notes.is_empty() {
+            write!(f, " [{} note(s): {}]", self.notes.len(), self.notes.join("; "))?;
+        }
+        Ok(())
     }
 }
 
@@ -88,5 +111,19 @@ mod tests {
         assert!(!verdict.passed());
         assert_eq!(verdict.violations.len(), 2);
         assert!(verdict.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn notes_qualify_but_do_not_fail_a_verdict() {
+        let mut verdict = Verdict::default();
+        assert!(verdict.is_exhaustive());
+        verdict.note("coverage truncated: explored 8 of 1024 combinations");
+        assert!(verdict.passed(), "notes must not fail a verdict");
+        assert!(!verdict.is_exhaustive());
+        assert!(verdict.to_string().contains("coverage truncated"));
+
+        let mut merged = Verdict::default();
+        merged.merge(verdict);
+        assert!(!merged.is_exhaustive(), "merge must carry notes along");
     }
 }

@@ -64,11 +64,18 @@ pub fn check_deadlock_freedom(
         return Ok(verdict);
     }
 
+    // One streaming cursor per sink channel, advanced in lock-step — no
+    // per-cycle map lookups, no materialised histories.
+    let mut sink_histories: Vec<_> =
+        sink_channels.iter().map(|&channel| trace.channel_iter(channel)).collect();
     let mut idle_run = 0usize;
     for cycle in 0..trace.len() {
-        let progress = sink_channels.iter().any(|&channel| {
-            trace.state(channel, cycle).map(|s| s.forward_transfer()).unwrap_or(false)
-        });
+        let mut progress = false;
+        for history in &mut sink_histories {
+            if let Some(state) = history.next() {
+                progress |= state.forward_transfer();
+            }
+        }
         if progress {
             idle_run = 0;
         } else {
@@ -115,9 +122,8 @@ pub fn check_leads_to_on_trace(
             for operand in 0..spec.inputs_per_user {
                 let port = Port::input(node.id, user * spec.inputs_per_user + operand);
                 let Some(channel) = netlist.channel_into(port) else { continue };
-                let history = trace.channel_history(channel.id);
                 let mut waiting_since: Option<usize> = None;
-                for (cycle, state) in history.iter().enumerate() {
+                for (cycle, state) in trace.channel_iter(channel.id).enumerate() {
                     let resolved = state.forward_transfer()
                         || state.backward_transfer()
                         || state.annihilation();
@@ -128,7 +134,7 @@ pub fn check_leads_to_on_trace(
                     if state.forward_valid {
                         let since = *waiting_since.get_or_insert(cycle);
                         if cycle - since > options.leads_to_horizon
-                            && cycle + options.leads_to_horizon < history.len()
+                            && cycle + options.leads_to_horizon < trace.len()
                         {
                             verdict.reject(format!(
                                 "shared module {} starves user {user} (channel {}): a token has \

@@ -50,6 +50,11 @@ impl Default for ProtocolOptions {
 
 /// Checks the four SELF properties on one channel history.
 ///
+/// The history is consumed as a **stream** — one [`ChannelState`] per cycle,
+/// oldest first — so callers can feed [`Trace::channel_iter`] straight in
+/// without materialising a `Vec<ChannelState>`; the checker runs in a single
+/// pass holding only the previous state.
+///
 /// `require_forward_persistence` controls whether the `Retry+` check is
 /// applied: the paper (Section 4.2) explicitly allows the output channels of
 /// shared modules — and hence of the early-evaluation multiplexor they feed —
@@ -58,40 +63,48 @@ impl Default for ProtocolOptions {
 /// outputs is what guarantees that no token is lost.
 pub fn check_channel(
     channel: ChannelId,
-    history: &[ChannelState],
+    history: impl IntoIterator<Item = ChannelState>,
     options: &ProtocolOptions,
     require_forward_persistence: bool,
 ) -> Vec<ProtocolViolation> {
     let mut violations = Vec::new();
-    for cycle in 0..history.len() {
-        let state = history[cycle];
+    // At most one liveness violation is reported per channel (the first), and
+    // it is appended after the per-cycle violations, preserving the report
+    // order of the two-pass checker this replaces.
+    let mut starvation: Option<ProtocolViolation> = None;
+    let mut prev: Option<(usize, ChannelState)> = None;
+    let mut since_transfer = 0usize;
+    let mut active = false;
+    for (cycle, state) in history.into_iter().enumerate() {
         // Invariant: a token cannot be killed and stopped at the same time.
         if state.forward_valid && state.forward_stop && state.backward_valid && state.backward_stop
         {
             violations.push(ProtocolViolation { channel, cycle, property: "Invariant" });
         }
-        if cycle + 1 < history.len() {
-            let next = history[cycle + 1];
+        if let Some((prev_cycle, prev_state)) = prev {
             // Retry+: a stopped token must persist.
             if require_forward_persistence
-                && state.forward_valid
-                && state.forward_stop
-                && !state.backward_transfer()
-                && !next.forward_valid
+                && prev_state.forward_valid
+                && prev_state.forward_stop
+                && !prev_state.backward_transfer()
+                && !state.forward_valid
             {
-                violations.push(ProtocolViolation { channel, cycle, property: "Retry+" });
+                violations.push(ProtocolViolation {
+                    channel,
+                    cycle: prev_cycle,
+                    property: "Retry+",
+                });
             }
             // Retry-: a stopped anti-token must persist.
-            if state.backward_valid && state.backward_stop && !next.backward_valid {
-                violations.push(ProtocolViolation { channel, cycle, property: "Retry-" });
+            if prev_state.backward_valid && prev_state.backward_stop && !state.backward_valid {
+                violations.push(ProtocolViolation {
+                    channel,
+                    cycle: prev_cycle,
+                    property: "Retry-",
+                });
             }
         }
-    }
-
-    if options.check_liveness && history.len() > options.starvation_window {
-        let mut since_transfer = 0usize;
-        let mut active = false;
-        for (cycle, state) in history.iter().enumerate() {
+        if options.check_liveness && starvation.is_none() {
             let transfer =
                 state.forward_transfer() || state.backward_transfer() || state.annihilation();
             let offering = state.forward_valid || state.backward_valid;
@@ -102,12 +115,13 @@ pub fn check_channel(
                 active |= offering;
                 since_transfer += 1;
                 if active && since_transfer > options.starvation_window {
-                    violations.push(ProtocolViolation { channel, cycle, property: "Liveness" });
-                    break;
+                    starvation = Some(ProtocolViolation { channel, cycle, property: "Liveness" });
                 }
             }
         }
+        prev = Some((cycle, state));
     }
+    violations.extend(starvation);
     violations
 }
 
@@ -115,7 +129,6 @@ pub fn check_channel(
 pub fn check_trace(netlist: &Netlist, trace: &Trace, options: &ProtocolOptions) -> Verdict {
     let mut verdict = Verdict::default();
     for channel in netlist.live_channels() {
-        let history = trace.channel_history(channel.id);
         // Section 4.2: shared-module outputs (and the early-evaluation mux
         // they feed) are allowed to retract a stopped token when the
         // scheduler changes its prediction.
@@ -127,7 +140,9 @@ pub fn check_trace(netlist: &Netlist, trace: &Trace, options: &ProtocolOptions) 
                 _ => false,
             })
             .unwrap_or(false);
-        for violation in check_channel(channel.id, &history, options, !producer_exempt) {
+        for violation in
+            check_channel(channel.id, trace.channel_iter(channel.id), options, !producer_exempt)
+        {
             verdict.reject(format!(
                 "channel {} ({}) violates {} at cycle {}",
                 channel.id, channel.name, violation.property, violation.cycle
@@ -159,49 +174,66 @@ mod tests {
 
     #[test]
     fn a_persistent_retry_sequence_passes() {
-        let history = vec![
+        let history = [
             ChannelState { forward_valid: true, forward_stop: true, ..ChannelState::default() },
             ChannelState { forward_valid: true, forward_stop: true, ..ChannelState::default() },
             ChannelState { forward_valid: true, ..ChannelState::default() },
         ];
-        assert!(check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true)
-            .is_empty());
+        assert!(check_channel(
+            ChannelId::new(0),
+            history.iter().copied(),
+            &ProtocolOptions::default(),
+            true
+        )
+        .is_empty());
     }
 
     #[test]
     fn dropping_a_stopped_token_violates_retry_plus() {
-        let history = vec![
+        let history = [
             ChannelState { forward_valid: true, forward_stop: true, ..ChannelState::default() },
             ChannelState::default(),
         ];
-        let violations =
-            check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true);
+        let violations = check_channel(
+            ChannelId::new(0),
+            history.iter().copied(),
+            &ProtocolOptions::default(),
+            true,
+        );
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].property, "Retry+");
     }
 
     #[test]
     fn dropping_a_stopped_anti_token_violates_retry_minus() {
-        let history = vec![
+        let history = [
             ChannelState { backward_valid: true, backward_stop: true, ..ChannelState::default() },
             ChannelState::default(),
         ];
-        let violations =
-            check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true);
+        let violations = check_channel(
+            ChannelId::new(0),
+            history.iter().copied(),
+            &ProtocolOptions::default(),
+            true,
+        );
         assert_eq!(violations[0].property, "Retry-");
     }
 
     #[test]
     fn kill_and_stop_at_the_same_time_violates_the_invariant() {
-        let history = vec![ChannelState {
+        let history = [ChannelState {
             forward_valid: true,
             forward_stop: true,
             backward_valid: true,
             backward_stop: true,
             data: 0,
         }];
-        let violations =
-            check_channel(ChannelId::new(0), &history, &ProtocolOptions::default(), true);
+        let violations = check_channel(
+            ChannelId::new(0),
+            history.iter().copied(),
+            &ProtocolOptions::default(),
+            true,
+        );
         assert_eq!(violations[0].property, "Invariant");
     }
 
@@ -214,13 +246,13 @@ mod tests {
             ];
         // No transfer ever happens.
         let options = ProtocolOptions { starvation_window: 16, check_liveness: true };
-        let violations = check_channel(ChannelId::new(0), &history, &options, true);
+        let violations = check_channel(ChannelId::new(0), history.iter().copied(), &options, true);
         assert!(violations.iter().any(|v| v.property == "Liveness"));
         // Transfers inside the window reset the counter.
         for cycle in [10, 22, 34, 46, 58, 70] {
             history[cycle].forward_stop = false;
         }
-        let violations = check_channel(ChannelId::new(0), &history, &options, true);
+        let violations = check_channel(ChannelId::new(0), history.iter().copied(), &options, true);
         assert!(violations.iter().all(|v| v.property != "Liveness"));
     }
 

@@ -1,0 +1,54 @@
+//! Zero-rebuild sweep guarantee: `explore_environments` builds **one
+//! simulation per worker thread** and replays every enumerated environment
+//! through `Simulation::reset_with_sink_patterns`, instead of cloning the
+//! netlist and rebuilding the simulation per combination.
+//!
+//! This must be the only test in this file: `Simulation::constructions()` is
+//! a process-global counter, and any concurrently running test that builds a
+//! simulation would skew the delta.
+
+use elastic_core::library::table1;
+use elastic_sim::sweep::sweep_threads;
+use elastic_sim::Simulation;
+use elastic_verify::exploration::{explore_environments, ExplorationOptions};
+
+#[test]
+fn explore_environments_builds_exactly_one_simulation_per_worker_thread() {
+    let handles = table1();
+    let options = ExplorationOptions {
+        pattern_depth: 5, // one sink → 32 combinations
+        cycles_per_run: 24,
+        max_runs: 32,
+        random_scheduler_runs: 0,
+        seed: 3,
+    };
+    let runs = 32u64;
+    let workers = sweep_threads(runs as usize) as u64;
+
+    let before = Simulation::constructions();
+    let verdict = explore_environments(&handles.netlist, &options).unwrap();
+    let builds = Simulation::constructions() - before;
+
+    assert!(verdict.passed(), "{verdict}");
+    assert!(builds >= 1, "at least one worker must have built a simulation");
+    assert!(
+        builds <= workers,
+        "{builds} simulation builds for {workers} worker threads — \
+         the sweep must build at most one per worker, not one per run"
+    );
+    if workers < runs {
+        // With fewer workers than runs, reuse is directly observable.
+        assert!(
+            builds < runs,
+            "{builds} builds for {runs} runs — the reset path is not being used"
+        );
+    }
+
+    // A second sweep behaves the same way: the per-worker builds are not a
+    // warm-up artefact.
+    let before = Simulation::constructions();
+    let second = explore_environments(&handles.netlist, &options).unwrap();
+    let builds_again = Simulation::constructions() - before;
+    assert_eq!(second, verdict, "reset-based sweeps stay deterministic");
+    assert!(builds_again <= workers);
+}

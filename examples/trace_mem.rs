@@ -1,0 +1,145 @@
+//! Trace memory and exploration-sweep throughput measurements.
+//!
+//! Two measurements back `BENCH_trace_mem.json`:
+//!
+//! 1. **Trace bytes per cycle** — the columnar bit-packed trace
+//!    (4 bit-planes + sparse width-adaptive data columns) against the dense
+//!    `Vec<ChannelState>`-per-cycle layout it replaced (16 bytes per channel
+//!    per cycle), on the Figure-1(d) design and on a 256-stage pipeline.
+//! 2. **`verify_cost` sweep throughput** — `explore_environments` (one
+//!    simulation build per worker thread, `reset_with_sink_patterns` per
+//!    combination) against the rebuild-per-run baseline it replaced
+//!    (`netlist.clone()` + `Simulation::new` per combination), reproduced
+//!    inline below, on the Figure-1(d) and Figure-7(b) designs.
+//!
+//! Run with `cargo run --release --example trace_mem`.
+
+use std::time::Instant;
+
+use elastic_core::kind::{BackpressurePattern, BufferSpec, SinkSpec};
+use elastic_core::library::{
+    deep_pipeline, fig1d, resilient_speculative, Fig1Config, ResilientConfig,
+};
+use elastic_core::{Netlist, NodeKind};
+use elastic_sim::sweep::parallel_map;
+use elastic_sim::{SimConfig, Simulation};
+use elastic_verify::exploration::{explore_environments, ExplorationOptions};
+use elastic_verify::properties::{check_trace, ProtocolOptions};
+
+fn trace_memory_case(name: &str, netlist: &Netlist, cycles: u64) {
+    let mut sim = Simulation::new(netlist, &SimConfig::default()).unwrap();
+    let report = sim.run(cycles).unwrap();
+    let packed = report.trace_bytes_per_cycle();
+    let dense = sim.trace().dense_bytes() as f64 / cycles as f64;
+    println!(
+        "{name:<22} {packed:>10.2} B/cycle packed {dense:>10.2} B/cycle dense  {:>6.1}x smaller",
+        dense / packed
+    );
+}
+
+/// The rebuild-per-run environment enumeration that `explore_environments`
+/// replaced: clone the netlist, patch the sink specs, build a fresh
+/// simulation — once per combination. Returns the number of failing
+/// combinations (some designs legitimately fail under adversarial
+/// environments; what matters here is that both paths agree).
+fn explore_rebuild_baseline(netlist: &Netlist, options: &ExplorationOptions) -> usize {
+    let sinks: Vec<_> = netlist
+        .live_nodes()
+        .filter(|n| matches!(n.kind, NodeKind::Sink(_)))
+        .map(|n| n.id)
+        .collect();
+    let combinations = 1usize << (options.pattern_depth * sinks.len()).min(20);
+    let runs: Vec<usize> = (0..combinations.min(options.max_runs)).collect();
+    let protocol = ProtocolOptions { check_liveness: false, ..ProtocolOptions::default() };
+    let failures = parallel_map(&runs, |_, &combination| {
+        let mut variant = netlist.clone();
+        for (sink_index, sink) in sinks.iter().enumerate() {
+            let mut pattern = Vec::with_capacity(options.pattern_depth);
+            for cycle in 0..options.pattern_depth {
+                let bit = sink_index * options.pattern_depth + cycle;
+                pattern.push((combination >> bit) & 1 == 1);
+            }
+            if let Some(node) = variant.node_mut(*sink) {
+                node.kind =
+                    NodeKind::Sink(SinkSpec { backpressure: BackpressurePattern::List(pattern) });
+            }
+        }
+        let mut sim = Simulation::new(&variant, &SimConfig::default()).unwrap();
+        sim.run(options.cycles_per_run).unwrap();
+        check_trace(&variant, sim.trace(), &protocol).passed()
+    });
+    failures.into_iter().filter(|passed| !passed).count()
+}
+
+fn sweep_case(name: &str, netlist: &Netlist, options: &ExplorationOptions, repeats: u32) {
+    let runs = {
+        let sinks = netlist.live_nodes().filter(|n| matches!(n.kind, NodeKind::Sink(_))).count();
+        (1usize << (options.pattern_depth * sinks).min(20)).min(options.max_runs)
+    };
+    let time = |work: &dyn Fn()| {
+        work(); // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            work();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    // Sanity: the reset path reports exactly the counterexamples the
+    // rebuild-per-run path finds.
+    let baseline_failures = explore_rebuild_baseline(netlist, options);
+    let verdict = explore_environments(netlist, options).unwrap();
+    assert_eq!(baseline_failures, verdict.violations.len(), "paths must agree on {name}");
+
+    let rebuild = time(&|| {
+        explore_rebuild_baseline(netlist, options);
+    });
+    let reset = time(&|| {
+        explore_environments(netlist, options).unwrap();
+    });
+    println!(
+        "{name:<22} {:>10.0} runs/s rebuild {:>10.0} runs/s reset  {:>6.2}x faster",
+        runs as f64 / rebuild,
+        runs as f64 / reset,
+        rebuild / reset
+    );
+}
+
+fn main() {
+    let fig1 = fig1d(&Fig1Config::default());
+    let fig7 = resilient_speculative(&ResilientConfig {
+        data_width: 32,
+        operands: (0..512).collect(),
+        error_masks: vec![0],
+    });
+    let pipeline = deep_pipeline(256, BufferSpec::standard(0), BackpressurePattern::Never);
+
+    println!("== trace memory (512 traced cycles) ==");
+    trace_memory_case("fig1d", &fig1.netlist, 512);
+    trace_memory_case("fig7b", &fig7.netlist, 512);
+    trace_memory_case("pipeline256_standard", &pipeline, 512);
+
+    println!("\n== environment-exploration sweep throughput ==");
+    // The BENCH_trace_mem.json workload: 256 combinations (the default
+    // max_runs budget) of 16-cycle bounded runs, plus the 64-combination
+    // sweep over the 256-stage pipeline where the per-run build cost the
+    // reset path eliminates is largest.
+    let options = ExplorationOptions {
+        pattern_depth: 8, // one sink -> 256 combinations
+        cycles_per_run: 16,
+        max_runs: 256,
+        random_scheduler_runs: 0,
+        seed: 7,
+    };
+    sweep_case("fig1d", &fig1.netlist, &options, 5);
+    sweep_case("fig7b", &fig7.netlist, &options, 3);
+    let pipeline_options = ExplorationOptions {
+        pattern_depth: 6, // one sink -> 64 combinations
+        cycles_per_run: 32,
+        max_runs: 64,
+        random_scheduler_runs: 0,
+        seed: 7,
+    };
+    sweep_case("pipeline256_standard", &pipeline, &pipeline_options, 3);
+}

@@ -75,8 +75,7 @@ fn table1_trace_matches_the_paper() {
 
     // Sel row: 0 1 1 1 0 0 0 (the stalled select token repeats its value).
     let sel: Vec<u64> = trace
-        .channel_history(channel("sel"))
-        .iter()
+        .channel_iter(channel("sel"))
         .map(|state| if state.forward_valid { state.data } else { u64::MAX })
         .collect();
     assert_eq!(sel, TABLE1_SELECT.to_vec(), "Sel row");
@@ -86,7 +85,7 @@ fn table1_trace_matches_the_paper() {
     let ebin = symbols_to_row(&trace.symbol_row(channel("ebin")));
     assert_eq!(ebin[..6].to_vec(), vec!["A", "B", "*", "D", "E", "*"], "EBin row, cycles 0-5");
     assert_eq!(
-        trace.transfer_stream(channel("ebin")),
+        trace.transfer_stream(channel("ebin")).collect::<Vec<_>>(),
         vec![value('A'), value('B'), value('D'), value('E'), value('F')],
         "the tokens entering the output EB over the seven traced cycles"
     );
