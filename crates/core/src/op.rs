@@ -217,6 +217,46 @@ impl Op {
     pub fn is_identity_like(&self) -> bool {
         matches!(self, Op::Identity | Op::Opaque { .. })
     }
+
+    /// `true` when all-zero operands provably produce a zero result.
+    ///
+    /// This is the static side condition that makes elastic-buffer retiming
+    /// sound for buffers holding *data-carrying* initial tokens: moving a
+    /// buffer across a block replaces `op(init_value, …)` in the output
+    /// stream by the raw `init_value`, which only preserves transfer
+    /// equivalence when the two coincide. The transform layer restricts
+    /// token-carrying retiming to `init_value == 0` and zero-preserving
+    /// blocks (found by the `elastic-gen` differential fuzzer, which caught
+    /// `retime_forward` emitting a buffer's raw init value through an
+    /// arbitrary block). The classification is conservative: operations
+    /// whose zero behaviour is not locally obvious answer `false`.
+    pub fn preserves_zero(&self) -> bool {
+        match self {
+            Op::Identity
+            | Op::Neg
+            | Op::Add
+            | Op::Sub
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Shl
+            | Op::Shr
+            | Op::Ne
+            | Op::Lt
+            | Op::RippleAdd { .. }
+            | Op::KoggeStoneAdd { .. }
+            | Op::ApproxAdd { .. }
+            | Op::ApproxAddErr { .. }
+            | Op::BitSelect { .. }
+            | Op::Mask { .. }
+            | Op::Opaque { .. } => true,
+            Op::Const(value) => *value == 0,
+            Op::Lut(table) => table.first().copied() == Some(0),
+            // Not(0) = !0, Inc(0) = 1, Dec(0) wraps, Eq(0,0) = 1; SECDED and
+            // ALU zero behaviour is not locally obvious — stay conservative.
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for Op {

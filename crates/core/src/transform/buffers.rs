@@ -82,11 +82,65 @@ pub fn make_zero_backward(netlist: &mut Netlist, buffer: NodeId) -> Result<Buffe
             ),
         });
     }
+    // A directed cycle needs at least one buffer with backward latency ≥ 1:
+    // the Lb slack is what absorbs transient back-pressure travelling around
+    // the loop. Converting the only such buffer of a cycle leaves the loop
+    // with zero stall slack and it wedges on the first downstream stall
+    // (found by the elastic-gen differential fuzzer on a generated select
+    // loop; the paper's Lb=0 buffers sit on feed-forward recovery paths,
+    // Section 4.3, never as a cycle's sole storage).
+    if on_cycle_without_other_backward_slack(netlist, buffer) {
+        return Err(CoreError::Precondition {
+            transform: "make_zero_backward",
+            reason: format!(
+                "buffer {buffer} is the only buffer with backward latency >= 1 on a cycle; \
+                 dropping its backward slack would let any transient stall deadlock the loop"
+            ),
+        });
+    }
     let new_spec = BufferSpec::zero_backward(spec.init_tokens);
     if let Some(node) = netlist.node_mut(buffer) {
         node.kind = NodeKind::Buffer(new_spec);
     }
     Ok(new_spec)
+}
+
+/// `true` when some directed cycle through `buffer` contains no *other*
+/// buffer with `backward_latency >= 1`. Depth-first over simple paths —
+/// exponential in the worst case, irrelevant at micro-architectural netlist
+/// sizes (the same trade-off `find_select_cycles` makes).
+fn on_cycle_without_other_backward_slack(netlist: &Netlist, buffer: NodeId) -> bool {
+    fn dfs(
+        netlist: &Netlist,
+        current: NodeId,
+        start: NodeId,
+        on_path: &mut Vec<NodeId>,
+        slack_free: bool,
+    ) -> bool {
+        for next in netlist.successors(current) {
+            if next == start {
+                if slack_free {
+                    return true;
+                }
+                continue;
+            }
+            if on_path.contains(&next) {
+                continue;
+            }
+            let next_has_slack = matches!(
+                netlist.node(next).map(|n| &n.kind),
+                Some(NodeKind::Buffer(spec)) if spec.backward_latency >= 1
+            );
+            on_path.push(next);
+            if dfs(netlist, next, start, on_path, slack_free && !next_has_slack) {
+                return true;
+            }
+            on_path.pop();
+        }
+        false
+    }
+    let mut on_path = vec![buffer];
+    dfs(netlist, buffer, buffer, &mut on_path, true)
 }
 
 /// Inserts a recovery buffer on every output channel of a shared module.
@@ -172,6 +226,39 @@ mod tests {
             node.kind = NodeKind::Buffer(BufferSpec { init_tokens: 2, ..BufferSpec::standard(0) });
         }
         assert!(make_zero_backward(&mut n, eb).is_err());
+    }
+
+    #[test]
+    fn a_cycles_only_backward_slack_cannot_be_dropped() {
+        // Found by the elastic-gen fuzzer: converting the sole standard EB
+        // of a feedback loop to Lb = 0 leaves the loop without stall slack
+        // and it deadlocks on the first transient back-pressure.
+        use crate::kind::{ForkSpec, MuxSpec};
+
+        let mut n = Netlist::new("loop");
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let eb = n.add_buffer("eb", BufferSpec::standard(1));
+        let fork = n.add_fork("fork", ForkSpec::eager(2));
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(src0, 0), Port::input(mux, 1), 8).unwrap();
+        n.connect(Port::output(src1, 0), Port::input(mux, 2), 8).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(eb, 0), 8).unwrap();
+        n.connect(Port::output(eb, 0), Port::input(fork, 0), 8).unwrap();
+        n.connect(Port::output(fork, 0), Port::input(mux, 0), 1).unwrap();
+        n.connect(Port::output(fork, 1), Port::input(sink, 0), 8).unwrap();
+        n.validate().unwrap();
+
+        let err = make_zero_backward(&mut n, eb).unwrap_err();
+        assert!(err.to_string().contains("backward latency"), "{err}");
+
+        // With a second standard buffer on the loop the slack survives and
+        // the conversion is accepted.
+        let loop_channel = n.channel_from(Port::output(mux, 0)).unwrap().id;
+        insert_buffer_on_channel(&mut n, loop_channel, BufferSpec::standard(0)).unwrap();
+        make_zero_backward(&mut n, eb).unwrap();
+        n.validate().unwrap();
     }
 
     #[test]

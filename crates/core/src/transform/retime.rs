@@ -9,8 +9,97 @@
 
 use crate::error::{CoreError, Result};
 use crate::id::{NodeId, Port};
-use crate::kind::NodeKind;
+use crate::kind::{BufferSpec, NodeKind};
 use crate::netlist::Netlist;
+
+/// Checks the data side condition for moving a *token-holding* buffer across
+/// `block`: the output stream swaps `op(init_value, …)` for the raw
+/// `init_value`, so the two must provably coincide — which this layer (with
+/// no evaluator available) accepts only for zero-valued tokens crossing
+/// zero-preserving logic. Multiplexors are always safe: with all inputs
+/// zero, the selected input is zero.
+///
+/// Empty buffers (and anti-token holders, which carry no data) cross freely.
+fn check_data_side_condition(
+    transform: &'static str,
+    block_kind: &NodeKind,
+    spec: &BufferSpec,
+) -> Result<()> {
+    if spec.init_tokens <= 0 {
+        return Ok(());
+    }
+    let zero_preserving = match block_kind {
+        NodeKind::Mux(_) => true,
+        NodeKind::Function(function) => function.op.preserves_zero(),
+        _ => false,
+    };
+    if spec.init_value != 0 || !zero_preserving {
+        return Err(CoreError::Precondition {
+            transform,
+            reason: format!(
+                "retiming a buffer holding {} data-carrying token(s) (init value {:#x}) across \
+                 this block would replace the computed stream head by the raw init value; only \
+                 zero-valued tokens may cross zero-preserving logic",
+                spec.init_tokens, spec.init_value
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// `true` when `node` is combinationally fed — through function blocks,
+/// muxes and forks, i.e. controllers that re-derive their valid from their
+/// inputs — by a producer that may *retract* an offered token (a
+/// speculative shared module, an early-evaluation mux, or a lazy fork).
+///
+/// Retiming must not splice out an elastic buffer standing between such a
+/// producer and downstream logic: the buffer is what confines the
+/// retraction wave (and, for a shared module, what decouples its mutually
+/// exclusive user outputs — removing it can deadlock a downstream join
+/// outright, as the elastic-gen fuzzer demonstrated by forward-retiming the
+/// EB of a shared∘EB composition into a join of both users).
+fn fed_by_retracting_producer(netlist: &Netlist, node: NodeId) -> bool {
+    use std::collections::HashSet;
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut frontier = vec![node];
+    while let Some(current) = frontier.pop() {
+        for predecessor in netlist.predecessors(current) {
+            if !seen.insert(predecessor) {
+                continue;
+            }
+            match netlist.node(predecessor).map(|n| &n.kind) {
+                Some(NodeKind::Shared(_)) => return true,
+                Some(NodeKind::Mux(spec)) if spec.early_eval => return true,
+                Some(NodeKind::Fork(spec)) if !spec.eager => return true,
+                // Combinational controllers propagate retraction waves.
+                Some(NodeKind::Function(_) | NodeKind::Mux(_) | NodeKind::Fork(_)) => {
+                    frontier.push(predecessor)
+                }
+                // Sequential nodes and environments cut the cone.
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+fn check_isolation_side_condition(
+    transform: &'static str,
+    netlist: &Netlist,
+    node: NodeId,
+) -> Result<()> {
+    if fed_by_retracting_producer(netlist, node) {
+        return Err(CoreError::Precondition {
+            transform,
+            reason: format!(
+                "the buffer being retimed isolates a speculative (retracting) producer upstream \
+                 of {node}; splicing it out would extend the retraction cone and can deadlock \
+                 mutually exclusive outputs"
+            ),
+        });
+    }
+    Ok(())
+}
 
 /// Moves the elastic buffer sitting on the output of a combinational block to
 /// all of its inputs (backward retiming). Returns the ids of the buffers
@@ -55,6 +144,25 @@ pub fn retime_backward(netlist: &mut Netlist, block: NodeId) -> Result<Vec<NodeI
             reason: "cannot retime a buffer holding anti-tokens backwards".into(),
         });
     }
+    {
+        let block_kind = netlist.require_node(block)?.kind.clone();
+        check_data_side_condition("retime_backward", &block_kind, &buffer_spec)?;
+    }
+    // Moving the output buffer onto the inputs exposes the block's consumer
+    // to any retraction wave the block sits in — including the one the block
+    // *originates*: an early-evaluation mux retracts on its own, so the
+    // buffer on its output is exactly the isolation the speculation pass
+    // installs and must not be spliced away.
+    if matches!(&netlist.require_node(block)?.kind, NodeKind::Mux(spec) if spec.early_eval) {
+        return Err(CoreError::Precondition {
+            transform: "retime_backward",
+            reason: format!(
+                "{block} is an early-evaluation mux (a retracting producer); the buffer on its \
+                 output confines the retraction wave and cannot be retimed backwards"
+            ),
+        });
+    }
+    check_isolation_side_condition("retime_backward", netlist, block)?;
     // Reconnect the block's output straight to whatever the buffer used to feed.
     let buffer_out = netlist
         .channel_from(Port::output(buffer, 0))
@@ -127,6 +235,15 @@ pub fn retime_forward(netlist: &mut Netlist, block: NodeId) -> Result<NodeId> {
         }
     }
     let spec = common_spec.expect("block has at least one input");
+    {
+        let block_kind = netlist.require_node(block)?.kind.clone();
+        check_data_side_condition("retime_forward", &block_kind, &spec)?;
+    }
+    // Splicing the input buffers out exposes the block to whatever feeds
+    // them; none of them may be confining a retracting producer.
+    for &buffer in &buffers {
+        check_isolation_side_condition("retime_forward", netlist, buffer)?;
+    }
 
     // Splice each input buffer out: its input channel now feeds the block directly.
     for (channel, buffer) in input_channels.iter().zip(&buffers) {
@@ -233,6 +350,102 @@ mod tests {
         let (mut n, add) = adder_with_input_buffers();
         // The output feeds the sink directly, not a buffer.
         assert!(matches!(retime_backward(&mut n, add), Err(CoreError::Precondition { .. })));
+    }
+
+    #[test]
+    fn data_carrying_tokens_cannot_cross_value_changing_logic() {
+        // Found by the elastic-gen differential fuzzer: forward-retiming a
+        // buffer holding a token with a non-zero data value replaces the
+        // computed stream head `op(init_value)` by the raw `init_value`.
+        let mut n = Netlist::new("t");
+        let src = n.add_source("src", SourceSpec::always());
+        let inc = n.add_op("inc", Op::Inc);
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        let ch = n.connect(Port::output(src, 0), Port::input(inc, 0), 8).unwrap();
+        n.connect(Port::output(inc, 0), Port::input(sink, 0), 8).unwrap();
+        insert_buffer_on_channel(&mut n, ch, BufferSpec::standard(1).with_init_value(0x39))
+            .unwrap();
+
+        // Non-zero init value: rejected in both directions.
+        let err = retime_forward(&mut n, inc).unwrap_err();
+        assert!(err.to_string().contains("zero-preserving"), "{err}");
+
+        // Zero init value across a non-zero-preserving block (Inc(0) = 1):
+        // still rejected.
+        let buffer =
+            n.live_nodes().find(|node| node.as_buffer().is_some()).map(|node| node.id).unwrap();
+        if let Some(node) = n.node_mut(buffer) {
+            node.kind = NodeKind::Buffer(BufferSpec::standard(1));
+        }
+        assert!(matches!(retime_forward(&mut n, inc), Err(CoreError::Precondition { .. })));
+
+        // A zero-preserving block accepts the zero-valued token.
+        if let Some(node) = n.node_mut(inc) {
+            node.kind = NodeKind::Function(crate::kind::FunctionSpec::with_inputs(Op::Xor, 1));
+        }
+        retime_forward(&mut n, inc).unwrap();
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn an_early_eval_muxes_output_buffer_cannot_be_retimed_backwards() {
+        // The early-evaluation mux retracts on its own; the buffer on its
+        // output is the isolation the speculation pass installs. Splicing
+        // it backwards would expose the consumer to the retraction wave.
+        use crate::kind::{MuxSpec, SinkSpec, SourceSpec};
+
+        let mut n = Netlist::new("t");
+        let sel = n.add_source("sel", SourceSpec::always());
+        let a = n.add_source("a", SourceSpec::always());
+        let b = n.add_source("b", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::early(2));
+        let eb = n.add_buffer("eb", BufferSpec::standard(0));
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
+        n.connect(Port::output(a, 0), Port::input(mux, 1), 8).unwrap();
+        n.connect(Port::output(b, 0), Port::input(mux, 2), 8).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(eb, 0), 8).unwrap();
+        n.connect(Port::output(eb, 0), Port::input(sink, 0), 8).unwrap();
+        n.validate().unwrap();
+
+        let err = retime_backward(&mut n, mux).unwrap_err();
+        assert!(err.to_string().contains("retracting producer"), "{err}");
+
+        // The lazy variant of the same structure retimes fine.
+        if let Some(node) = n.node_mut(mux) {
+            node.kind = NodeKind::Mux(MuxSpec::lazy(2));
+        }
+        retime_backward(&mut n, mux).unwrap();
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn buffers_isolating_a_shared_module_cannot_be_retimed_away() {
+        // Found by the elastic-gen fuzzer: forward-retiming the EBs of a
+        // shared∘EB composition into a join of both users removes the
+        // decoupling between the mutually exclusive outputs — the join can
+        // then never fire.
+        use crate::kind::{SharedSpec, SinkSpec, SourceSpec};
+
+        let mut n = Netlist::new("t");
+        let a = n.add_source("a", SourceSpec::always());
+        let b = n.add_source("b", SourceSpec::always());
+        let shared = n.add_shared("shared", SharedSpec::new(2, Op::Identity));
+        let eb0 = n.add_buffer("eb0", BufferSpec::standard(0));
+        let eb1 = n.add_buffer("eb1", BufferSpec::standard(0));
+        let join = n.add_function("join", crate::kind::FunctionSpec::with_inputs(Op::Add, 2));
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(a, 0), Port::input(shared, 0), 8).unwrap();
+        n.connect(Port::output(b, 0), Port::input(shared, 1), 8).unwrap();
+        n.connect(Port::output(shared, 0), Port::input(eb0, 0), 8).unwrap();
+        n.connect(Port::output(shared, 1), Port::input(eb1, 0), 8).unwrap();
+        n.connect(Port::output(eb0, 0), Port::input(join, 0), 8).unwrap();
+        n.connect(Port::output(eb1, 0), Port::input(join, 1), 8).unwrap();
+        n.connect(Port::output(join, 0), Port::input(sink, 0), 8).unwrap();
+        n.validate().unwrap();
+
+        let err = retime_forward(&mut n, join).unwrap_err();
+        assert!(err.to_string().contains("retracting"), "{err}");
     }
 
     #[test]

@@ -22,10 +22,10 @@ use std::collections::HashSet;
 
 use crate::error::{CoreError, Result};
 use crate::id::{NodeId, Port};
-use crate::kind::{BufferSpec, SchedulerKind};
+use crate::kind::{BufferSpec, NodeKind, SchedulerKind};
 use crate::netlist::Netlist;
 use crate::transform::{
-    enable_early_evaluation, shannon_decompose, share_mux_inputs, ShareOptions,
+    enable_early_evaluation, insert_bubble, shannon_decompose, share_mux_inputs, ShareOptions,
 };
 
 /// Options controlling the composite [`speculate`] pass.
@@ -70,6 +70,31 @@ pub struct SpeculationReport {
     /// (each cycle is a list of node ids; empty only when
     /// [`SpeculateOptions::allow_acyclic`] was set).
     pub select_cycles: Vec<Vec<NodeId>>,
+    /// Isolation bubble inserted on the multiplexor output when its consumer
+    /// was not retraction-tolerant (see [`speculate`]); `None` when the
+    /// consumer was already an elastic buffer, a variable-latency unit or an
+    /// environment.
+    pub isolation_buffer: Option<NodeId>,
+}
+
+/// `true` when the consumer of the speculative multiplexor's output channel
+/// tolerates *retraction*: the early-evaluation mux may take back a stopped
+/// token when the shared module's prediction changes (Section 4.2), so its
+/// consumer must commit solely from settled signals. Sequential nodes and
+/// environments qualify; combinational logic (functions, muxes) would
+/// propagate the retraction wave further — in particular into forks, whose
+/// per-branch bookkeeping would commit a retracted token (found by the
+/// elastic-gen differential fuzzer: a speculated mux feeding a function
+/// block feeding an eager fork leaked phantom values into one branch).
+fn consumer_tolerates_retraction(netlist: &Netlist, mux: NodeId) -> bool {
+    let Some(channel) = netlist.channel_from(Port::output(mux, 0)) else {
+        return true;
+    };
+    match netlist.node(channel.to.node).map(|node| &node.kind) {
+        Some(NodeKind::Buffer(_) | NodeKind::VarLatency(_) | NodeKind::Sink(_)) => true,
+        Some(_) => false,
+        None => true,
+    }
 }
 
 /// Finds the cycles that start at the output of `mux` and return to its
@@ -178,12 +203,35 @@ pub fn speculate(
         },
     )?;
 
+    // The speculative mux may retract a stopped token; when its consumer is
+    // combinational logic the retraction wave reaches state-keeping
+    // consumers (forks, whose per-branch bookkeeping would commit a token
+    // the producer later takes back) and can leak phantom values. For
+    // *acyclic* speculation, isolate the mux behind a bubble — bubble
+    // insertion is itself transfer-equivalence preserving and only adds
+    // pipeline latency on a feed-forward path. Cyclic speculation is left
+    // untouched: the paper's loop designs carry the isolating elastic
+    // buffer inside the loop already (Figure 1(d); in Figure 7(b) the cone
+    // past the mux cannot stall), and a bubble would halve the loop's cycle
+    // ratio.
+    let isolation_buffer =
+        if select_cycles.is_empty() && !consumer_tolerates_retraction(netlist, mux) {
+            let channel = netlist
+                .channel_from(Port::output(mux, 0))
+                .map(|c| c.id)
+                .ok_or(CoreError::UnconnectedPort { node: mux, index: 0, is_input: false })?;
+            Some(insert_bubble(netlist, channel)?)
+        } else {
+            None
+        };
+
     Ok(SpeculationReport {
         mux,
         moved_block: shannon.moved_block,
         shared_module: share.shared,
         recovery_buffers: share.recovery_buffers,
         select_cycles,
+        isolation_buffer,
     })
 }
 

@@ -1,0 +1,652 @@
+//! Seeded, valid-by-construction random netlist generation.
+//!
+//! The generator grows a netlist from a *frontier* of open output ports.
+//! Every growth step consumes open ports and produces new ones, so the graph
+//! stays connected and feed-forward by construction; the only cycles are the
+//! ones the dedicated **select-loop gadget** builds deliberately — a
+//! generalized Figure-1(a) feedback loop whose every instance is eligible for
+//! [`elastic_core::transform::speculate`] and is guaranteed live (exactly one
+//! standard elastic buffer holding one token on the loop, so the loop can
+//! neither deadlock nor fail to settle combinationally).
+//!
+//! Validity invariants maintained by construction:
+//!
+//! * every port of every node ends up connected to exactly one channel (the
+//!   frontier is drained into sinks at the end);
+//! * every cycle contains a standard (`Lf = 1, Lb = 1`) elastic buffer, so
+//!   the control network has no combinational loop in either direction;
+//! * buffers satisfy `C >= Lf + Lb` and only use `Lf = 1` (the simulator's
+//!   supported configuration);
+//! * environment patterns always make progress: list patterns are forced to
+//!   contain at least one offer (resp. one non-stall) entry, random offer
+//!   probabilities stay ≥ 0.3 and random stall probabilities ≤ 0.6, so the
+//!   liveness checkers' progress windows are meaningful;
+//! * mux select channels are 1 bit wide (producers mask data to the channel
+//!   width, and the mux controller reduces the select value modulo its data
+//!   input count, so any select producer is safe);
+//! * shared modules carry a small starvation limit so the leads-to property
+//!   holds within a short horizon for every scheduler.
+
+use elastic_core::kind::{
+    BackpressurePattern, BufferSpec, DataStream, ForkSpec, FunctionSpec, MuxSpec, SchedulerKind,
+    SharedSpec, SinkSpec, SourcePattern, SourceSpec, VarLatencySpec,
+};
+use elastic_core::op::opaque;
+use elastic_core::{Netlist, NodeId, Op, Port};
+
+use crate::rng::GenRng;
+
+/// Configuration of the generation space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenConfig {
+    /// Minimum number of frontier growth steps.
+    pub min_growth_steps: usize,
+    /// Maximum number of frontier growth steps.
+    pub max_growth_steps: usize,
+    /// Extra sources seeded into the initial frontier (beyond the first).
+    pub max_extra_sources: usize,
+    /// Minimum number of select-loop gadgets (speculation-eligible feedback
+    /// loops à la Figure 1(a)).
+    pub min_select_loops: usize,
+    /// Maximum number of select-loop gadgets.
+    pub max_select_loops: usize,
+    /// Probability of a feed-forward speculation-eligible mux gadget
+    /// (source-fed data inputs, function block after the mux — the
+    /// `allow_acyclic` speculation target).
+    pub feedforward_mux_chance: f64,
+    /// Probability weight of shared-module growth steps.
+    pub shared_chance: f64,
+    /// Probability weight of variable-latency growth steps.
+    pub varlatency_chance: f64,
+    /// Allow zero-backward-latency (`Lb = 0`) buffers outside loops.
+    pub allow_zero_backward: bool,
+    /// Allow stochastic environment patterns (seeded, still deterministic).
+    pub randomized_environments: bool,
+    /// Maximum data channel width in bits.
+    pub max_width: u8,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            min_growth_steps: 6,
+            max_growth_steps: 16,
+            max_extra_sources: 2,
+            min_select_loops: 0,
+            max_select_loops: 1,
+            feedforward_mux_chance: 0.5,
+            shared_chance: 0.35,
+            varlatency_chance: 0.3,
+            allow_zero_backward: true,
+            randomized_environments: true,
+            max_width: 32,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Pure feed-forward pipelines and DAGs: no loops, no muxes, no shared
+    /// modules — the engine-differential and bubble/retime workhorse.
+    pub fn pipelines() -> Self {
+        GenConfig {
+            min_select_loops: 0,
+            max_select_loops: 0,
+            feedforward_mux_chance: 0.0,
+            shared_chance: 0.0,
+            varlatency_chance: 0.0,
+            ..GenConfig::default()
+        }
+    }
+
+    /// Loop-heavy space: every netlist carries at least one select cycle, the
+    /// habitat of the composite speculation pass.
+    pub fn loops() -> Self {
+        GenConfig {
+            min_select_loops: 1,
+            max_select_loops: 2,
+            feedforward_mux_chance: 0.3,
+            ..GenConfig::default()
+        }
+    }
+
+    /// Small netlists for quick exploration and doc examples.
+    pub fn small() -> Self {
+        GenConfig {
+            min_growth_steps: 2,
+            max_growth_steps: 6,
+            max_extra_sources: 1,
+            ..GenConfig::default()
+        }
+    }
+}
+
+/// What the generator built, beyond the netlist itself.
+#[derive(Debug, Clone, Default)]
+pub struct GenProfile {
+    /// The seed the netlist was derived from.
+    pub seed: u64,
+    /// Muxes sitting on a generated select-feedback loop (eligible for the
+    /// full [`elastic_core::transform::speculate`] pass).
+    pub select_loop_muxes: Vec<NodeId>,
+    /// Feed-forward muxes with source-fed data inputs and a function block on
+    /// their output (eligible for speculation with `allow_acyclic`).
+    pub feedforward_muxes: Vec<NodeId>,
+    /// Shared modules placed directly by the generator.
+    pub shared_modules: Vec<NodeId>,
+}
+
+/// A generated netlist plus its generation profile.
+#[derive(Debug, Clone)]
+pub struct GeneratedNetlist {
+    /// The netlist (validated before being returned).
+    pub netlist: Netlist,
+    /// Structural annotations collected while generating.
+    pub profile: GenProfile,
+}
+
+/// An output port awaiting a consumer, with the width its channel should use.
+#[derive(Debug, Clone, Copy)]
+struct OpenPort {
+    port: Port,
+    width: u8,
+}
+
+struct Builder<'a> {
+    n: Netlist,
+    rng: GenRng,
+    config: &'a GenConfig,
+    open: Vec<OpenPort>,
+    profile: GenProfile,
+}
+
+impl<'a> Builder<'a> {
+    fn data_width(&mut self) -> u8 {
+        self.rng.range(2, u64::from(self.config.max_width.max(2))) as u8
+    }
+
+    fn source_spec(&mut self) -> SourceSpec {
+        let pattern = match self.rng.below(if self.config.randomized_environments { 5 } else { 4 })
+        {
+            0 | 1 => SourcePattern::Always,
+            2 => SourcePattern::Every(self.rng.range(2, 4) as u32),
+            3 => {
+                let len = self.rng.range(3, 6) as usize;
+                let mut offers: Vec<bool> = (0..len).map(|_| self.rng.chance(0.6)).collect();
+                offers[0] = true; // at least one offer per period
+                SourcePattern::List(offers)
+            }
+            _ => SourcePattern::Random {
+                probability: 0.3 + self.rng.below(60) as f64 / 100.0,
+                seed: self.rng.next_u64(),
+            },
+        };
+        let data = match self.rng.below(4) {
+            0 => DataStream::Counter,
+            1 => DataStream::Const(self.rng.next_u64()),
+            2 => {
+                let len = self.rng.range(4, 10) as usize;
+                DataStream::List((0..len).map(|_| self.rng.next_u64()).collect())
+            }
+            _ => DataStream::Random { seed: self.rng.next_u64() },
+        };
+        SourceSpec { pattern, data, consume_on_kill: true }
+    }
+
+    fn sink_spec(&mut self) -> SinkSpec {
+        let backpressure =
+            match self.rng.below(if self.config.randomized_environments { 5 } else { 4 }) {
+                0 | 1 => BackpressurePattern::Never,
+                2 => BackpressurePattern::Every(self.rng.range(2, 5) as u32),
+                3 => {
+                    let len = self.rng.range(3, 6) as usize;
+                    let mut stalls: Vec<bool> = (0..len).map(|_| self.rng.chance(0.4)).collect();
+                    stalls[0] = false; // at least one accepting cycle per period
+                    BackpressurePattern::List(stalls)
+                }
+                _ => BackpressurePattern::Random {
+                    probability: self.rng.below(60) as f64 / 100.0,
+                    seed: self.rng.next_u64(),
+                },
+            };
+        SinkSpec { backpressure }
+    }
+
+    fn unary_op(&mut self) -> Op {
+        match self.rng.below(8) {
+            0 => Op::Identity,
+            1 => Op::Not,
+            2 => Op::Neg,
+            3 => Op::Inc,
+            4 => Op::Dec,
+            5 => Op::Mask { width: self.rng.range(1, 16) as u8 },
+            6 => Op::Lut((0..self.rng.range(4, 8)).map(|_| self.rng.next_u64()).collect()),
+            _ => opaque("blk", self.rng.range(2, 9) as u32, self.rng.range(20, 200) as u32),
+        }
+    }
+
+    fn binary_op(&mut self) -> Op {
+        match self.rng.below(8) {
+            0 => Op::Sub,
+            1 => Op::Eq,
+            2 => Op::Ne,
+            3 => Op::Lt,
+            4 => Op::Add,
+            5 => Op::Xor,
+            6 => Op::And,
+            _ => Op::RippleAdd { width: self.rng.range(4, 16) as u8 },
+        }
+    }
+
+    fn buffer_spec(&mut self) -> BufferSpec {
+        match self.rng.below(if self.config.allow_zero_backward { 5 } else { 4 }) {
+            0 | 1 => BufferSpec::standard(0),
+            2 => BufferSpec::standard(1).with_init_value(self.rng.below(256)),
+            3 => BufferSpec { capacity: 3, ..BufferSpec::standard(0) },
+            _ => BufferSpec::zero_backward(0),
+        }
+    }
+
+    /// Takes a random open port, creating a fresh source when the frontier is
+    /// empty.
+    fn pop_open(&mut self) -> OpenPort {
+        if self.open.is_empty() {
+            let width = self.data_width();
+            let spec = self.source_spec();
+            let source = self.n.add_source("src", spec);
+            return OpenPort { port: Port::output(source, 0), width };
+        }
+        let index = self.rng.below(self.open.len() as u64) as usize;
+        self.open.swap_remove(index)
+    }
+
+    fn push_open(&mut self, port: Port, width: u8) {
+        self.open.push(OpenPort { port, width });
+    }
+
+    fn connect(&mut self, from: OpenPort, to: Port) {
+        self.n.connect(from.port, to, from.width).expect("builder ports are fresh and in range");
+    }
+
+    // ------------------------------------------------------------------
+    // Growth steps
+    // ------------------------------------------------------------------
+
+    fn step_function1(&mut self) {
+        let input = self.pop_open();
+        let op = self.unary_op();
+        let out_width = op.output_width().unwrap_or(input.width);
+        let block = self.n.add_function("f", FunctionSpec::with_inputs(op, 1));
+        self.connect(input, Port::input(block, 0));
+        self.push_open(Port::output(block, 0), out_width);
+    }
+
+    fn step_join(&mut self) {
+        let a = self.pop_open();
+        let b = self.pop_open();
+        let op = self.binary_op();
+        let out_width = op.output_width().unwrap_or(a.width.max(b.width));
+        let block = self.n.add_function("join", FunctionSpec::with_inputs(op, 2));
+        self.connect(a, Port::input(block, 0));
+        self.connect(b, Port::input(block, 1));
+        self.push_open(Port::output(block, 0), out_width);
+    }
+
+    fn step_buffer(&mut self) {
+        let input = self.pop_open();
+        let spec = self.buffer_spec();
+        let buffer = self.n.add_buffer("eb", spec);
+        let width = input.width;
+        self.connect(input, Port::input(buffer, 0));
+        self.push_open(Port::output(buffer, 0), width);
+    }
+
+    fn step_fork(&mut self) {
+        let input = self.pop_open();
+        let outputs = self.rng.range(2, 3) as usize;
+        // Always eager: lazy forks whose branches reconverge at a join (which
+        // the frontier happily builds) form a combinational valid↔stop cycle
+        // with two consistent solutions, and the settle phase may land in the
+        // dead one — a genuinely ill-formed lazy-to-lazy composition the
+        // fuzzer exposed on its first loop seeds. The paper's designs use
+        // eager forks throughout; lazy forks stay covered by dedicated
+        // engine-equivalence tests on non-reconvergent shapes.
+        let spec = ForkSpec::eager(outputs);
+        let fork = self.n.add_fork("fork", spec);
+        let width = input.width;
+        self.connect(input, Port::input(fork, 0));
+        for branch in 0..outputs {
+            self.push_open(Port::output(fork, branch), width);
+        }
+    }
+
+    fn step_mux(&mut self) {
+        let select = self.pop_open();
+        let a = self.pop_open();
+        let b = self.pop_open();
+        let mux = self.n.add_mux("mux", MuxSpec::lazy(2));
+        // Producers mask data to the channel width, so a 1-bit select channel
+        // keeps the select value in range for two data inputs.
+        self.connect(OpenPort { width: 1, ..select }, Port::input(mux, 0));
+        let out_width = a.width.max(b.width);
+        self.connect(a, Port::input(mux, 1));
+        self.connect(b, Port::input(mux, 2));
+        self.push_open(Port::output(mux, 0), out_width);
+    }
+
+    fn scheduler(&mut self) -> SchedulerKind {
+        match self.rng.below(5) {
+            0 => SchedulerKind::Static(0),
+            1 => SchedulerKind::Static(1),
+            2 => SchedulerKind::RoundRobin,
+            3 => SchedulerKind::LastTaken,
+            _ => SchedulerKind::TwoBit,
+        }
+    }
+
+    fn step_shared(&mut self) {
+        let a = self.pop_open();
+        let b = self.pop_open();
+        let op = self.unary_op();
+        let out_width = op.output_width().unwrap_or(a.width.max(b.width));
+        let scheduler = self.scheduler();
+        let spec = SharedSpec {
+            users: 2,
+            inputs_per_user: 1,
+            op,
+            scheduler,
+            // A tight starvation override keeps the leads-to horizon short
+            // even for adversarial schedulers, so generated designs stay
+            // checkable with small liveness windows.
+            starvation_limit: Some(self.rng.range(4, 16) as u32),
+        };
+        let shared = self.n.add_shared("shared", spec);
+        self.connect(a, Port::input(shared, 0));
+        self.connect(b, Port::input(shared, 1));
+        self.profile.shared_modules.push(shared);
+        // Buffer each user's output before it joins the frontier: the two
+        // outputs are mutually exclusive by construction (one user holds the
+        // unit per cycle), so letting them reconverge at a join *unbuffered*
+        // deadlocks — the join waits for both at once. The paper's
+        // composition (and its refinement proof) is shared module ∘ EB;
+        // with the EBs in place, downstream reconvergence is live because
+        // the starvation override keeps alternating the users.
+        for user in 0..2 {
+            let buffer = self.n.add_buffer("sheb", BufferSpec::standard(0));
+            self.n
+                .connect(Port::output(shared, user), Port::input(buffer, 0), out_width)
+                .expect("fresh shared output");
+            self.push_open(Port::output(buffer, 0), out_width);
+        }
+    }
+
+    fn step_varlatency(&mut self) {
+        let width = self.rng.range(4, 16) as u8;
+        let spec_bits = self.rng.range(1, u64::from(width) - 1) as u8;
+        let a = self.pop_open();
+        let b = self.pop_open();
+        let unit = self.n.add_var_latency(
+            "vlu",
+            VarLatencySpec {
+                exact: Op::RippleAdd { width },
+                approx: Op::ApproxAdd { width, spec_bits },
+                error: Op::ApproxAddErr { width, spec_bits },
+                inputs: 2,
+            },
+        );
+        self.connect(OpenPort { width, ..a }, Port::input(unit, 0));
+        self.connect(OpenPort { width, ..b }, Port::input(unit, 1));
+        self.push_open(Port::output(unit, 0), (width + 1).min(64));
+    }
+
+    // ------------------------------------------------------------------
+    // Gadgets
+    // ------------------------------------------------------------------
+
+    /// The generalized Figure-1(a) select-feedback loop:
+    ///
+    /// ```text
+    /// src0 ─► mux ─► F ─► EB(1 token) ─► …bubbles… ─► fork ─► (continuation)
+    /// src1 ─►  │                                       │
+    ///          └────────── gk ◄── … ◄── g1 ◄───────────┘
+    /// ```
+    ///
+    /// Exactly one token circulates; the loop contains one standard EB, so it
+    /// is live and free of combinational control cycles by construction. The
+    /// continuation branch joins the regular frontier.
+    fn select_loop_gadget(&mut self) {
+        let width = self.data_width();
+        let src0 = {
+            let spec = self.source_spec();
+            self.n.add_source("lsrc", spec)
+        };
+        let src1 = {
+            let spec = self.source_spec();
+            self.n.add_source("lsrc", spec)
+        };
+        let mux = self.n.add_mux("lmux", MuxSpec::lazy(2));
+        let f_op = self.unary_op();
+        let f_width = f_op.output_width().unwrap_or(width);
+        let f = self.n.add_function("lf", FunctionSpec::with_inputs(f_op, 1));
+        let eb =
+            self.n.add_buffer("leb", BufferSpec::standard(1).with_init_value(self.rng.below(256)));
+        let fork = self.n.add_fork("lfork", ForkSpec::eager(2));
+
+        self.n.connect(Port::output(src0, 0), Port::input(mux, 1), width).unwrap();
+        self.n.connect(Port::output(src1, 0), Port::input(mux, 2), width).unwrap();
+        self.n.connect(Port::output(mux, 0), Port::input(f, 0), width).unwrap();
+        self.n.connect(Port::output(f, 0), Port::input(eb, 0), f_width).unwrap();
+
+        // Optional extra bubbles between the loop EB and the fork.
+        let mut forward = Port::output(eb, 0);
+        for _ in 0..self.rng.below(3) {
+            let bubble = self.n.add_buffer("lbub", BufferSpec::standard(0));
+            self.n.connect(forward, Port::input(bubble, 0), f_width).unwrap();
+            forward = Port::output(bubble, 0);
+        }
+        self.n.connect(forward, Port::input(fork, 0), f_width).unwrap();
+
+        // Return path through 0..=2 unary blocks, entering the select as a
+        // 1-bit channel (the producer masks, keeping the select in range).
+        let mut back = Port::output(fork, 0);
+        for _ in 0..self.rng.below(3) {
+            let op = self.unary_op();
+            let g = self.n.add_function("lg", FunctionSpec::with_inputs(op, 1));
+            self.n.connect(back, Port::input(g, 0), f_width).unwrap();
+            back = Port::output(g, 0);
+        }
+        self.n.connect(back, Port::input(mux, 0), 1).unwrap();
+
+        self.profile.select_loop_muxes.push(mux);
+        self.push_open(Port::output(fork, 1), f_width);
+    }
+
+    /// A feed-forward mux whose data inputs come straight from sources and
+    /// whose output feeds a function block: the `allow_acyclic` speculation
+    /// shape (the paper's SECDED pipeline is this shape).
+    fn feedforward_mux_gadget(&mut self) {
+        let width = self.data_width();
+        let sel = {
+            let spec = self.source_spec();
+            self.n.add_source("fsel", spec)
+        };
+        let src0 = {
+            let spec = self.source_spec();
+            self.n.add_source("fsrc", spec)
+        };
+        let src1 = {
+            let spec = self.source_spec();
+            self.n.add_source("fsrc", spec)
+        };
+        let mux = self.n.add_mux("fmux", MuxSpec::lazy(2));
+        let op = self.unary_op();
+        let out_width = op.output_width().unwrap_or(width);
+        let block = self.n.add_function("ff", FunctionSpec::with_inputs(op, 1));
+
+        self.n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
+        self.n.connect(Port::output(src0, 0), Port::input(mux, 1), width).unwrap();
+        self.n.connect(Port::output(src1, 0), Port::input(mux, 2), width).unwrap();
+        self.n.connect(Port::output(mux, 0), Port::input(block, 0), width).unwrap();
+
+        self.profile.feedforward_muxes.push(mux);
+        self.push_open(Port::output(block, 0), out_width);
+    }
+
+    fn grow(&mut self) {
+        let steps = self
+            .rng
+            .range(self.config.min_growth_steps as u64, self.config.max_growth_steps as u64);
+        for _ in 0..steps {
+            let shared_roll = self.rng.chance(self.config.shared_chance);
+            let varlat_roll = self.rng.chance(self.config.varlatency_chance);
+            match self.rng.below(10) {
+                0..=2 => self.step_function1(),
+                3 => self.step_join(),
+                4 | 5 => self.step_buffer(),
+                6 => self.step_fork(),
+                7 => self.step_mux(),
+                8 if shared_roll => self.step_shared(),
+                9 if varlat_roll => self.step_varlatency(),
+                _ => self.step_function1(),
+            }
+        }
+    }
+
+    fn close(&mut self) {
+        while let Some(open) = self.open.pop() {
+            let spec = self.sink_spec();
+            let sink = self.n.add_sink("sink", spec);
+            self.n.connect(open.port, Port::input(sink, 0), open.width).unwrap();
+        }
+    }
+}
+
+/// Generates one netlist from a seed.
+///
+/// Generation is fully deterministic: the same `(seed, config)` pair always
+/// yields the same netlist, node for node and channel for channel — the
+/// foundation of the corpus replay and of shrinking.
+///
+/// # Panics
+///
+/// Panics if the generated netlist fails structural validation — that is a
+/// bug in the generator, not in the caller, and the fuzzing harness must not
+/// silently skip such seeds.
+pub fn generate(seed: u64, config: &GenConfig) -> GeneratedNetlist {
+    let mut builder = Builder {
+        n: Netlist::new(format!("gen_{seed:016x}")),
+        rng: GenRng::new(seed),
+        config,
+        open: Vec::new(),
+        profile: GenProfile { seed, ..GenProfile::default() },
+    };
+
+    // Seed the frontier.
+    let initial_sources = 1 + builder.rng.below(config.max_extra_sources as u64 + 1);
+    for _ in 0..initial_sources {
+        let width = builder.data_width();
+        let spec = builder.source_spec();
+        let source = builder.n.add_source("src", spec);
+        builder.push_open(Port::output(source, 0), width);
+    }
+
+    // Gadgets first: they seed the frontier with their continuations.
+    if config.max_select_loops > 0 {
+        let loops =
+            builder.rng.range(config.min_select_loops as u64, config.max_select_loops as u64);
+        for _ in 0..loops {
+            builder.select_loop_gadget();
+        }
+    }
+    if builder.rng.chance(config.feedforward_mux_chance) {
+        builder.feedforward_mux_gadget();
+    }
+
+    builder.grow();
+    builder.close();
+
+    builder
+        .n
+        .validate()
+        .expect("generated netlists are valid by construction; a failure here is a generator bug");
+    GeneratedNetlist { netlist: builder.n, profile: builder.profile }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::kind::NodeKind;
+    use elastic_core::transform::find_select_cycles;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = GenConfig::default();
+        for seed in 0..12 {
+            let a = generate(seed, &config);
+            let b = generate(seed, &config);
+            assert_eq!(a.netlist, b.netlist, "seed {seed} must regenerate identically");
+        }
+    }
+
+    #[test]
+    fn generated_netlists_validate_across_the_space() {
+        for (config, seeds) in [
+            (GenConfig::default(), 0..40u64),
+            (GenConfig::pipelines(), 100..130),
+            (GenConfig::loops(), 200..230),
+            (GenConfig::small(), 300..330),
+        ] {
+            for seed in seeds {
+                let generated = generate(seed, &config);
+                assert!(generated.netlist.validate().is_ok());
+                assert!(generated.netlist.node_count() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn loop_gadgets_produce_select_cycles() {
+        let config = GenConfig::loops();
+        let mut with_cycles = 0;
+        for seed in 0..20 {
+            let generated = generate(seed, &config);
+            for &mux in &generated.profile.select_loop_muxes {
+                let cycles = find_select_cycles(&generated.netlist, mux).unwrap();
+                assert!(!cycles.is_empty(), "seed {seed}: loop mux must sit on a select cycle");
+                with_cycles += 1;
+            }
+        }
+        assert!(with_cycles >= 20, "the loops() config must actually emit loops");
+    }
+
+    #[test]
+    fn pipeline_config_emits_no_cycles() {
+        let config = GenConfig::pipelines();
+        for seed in 0..20 {
+            let generated = generate(seed, &config);
+            assert!(generated.profile.select_loop_muxes.is_empty());
+            for node in generated.netlist.live_nodes() {
+                if matches!(node.kind, NodeKind::Mux(_)) {
+                    let cycles = find_select_cycles(&generated.netlist, node.id).unwrap();
+                    assert!(cycles.is_empty(), "seed {seed}: pipelines must be cycle-free");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_netlists_cover_the_node_kinds() {
+        use std::collections::BTreeSet;
+        let config = GenConfig::default();
+        let mut kinds_seen: BTreeSet<&'static str> = BTreeSet::new();
+        for seed in 0..60 {
+            let generated = generate(seed, &config);
+            for node in generated.netlist.live_nodes() {
+                kinds_seen.insert(node.kind.kind_name());
+            }
+        }
+        for kind in ["source", "sink", "function", "buffer", "fork", "mux", "shared", "varlatency"]
+        {
+            assert!(kinds_seen.contains(kind), "the space never produced a {kind} node");
+        }
+    }
+}

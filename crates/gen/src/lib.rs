@@ -1,0 +1,59 @@
+//! # elastic-gen
+//!
+//! Randomized elastic-netlist generation and differential fuzzing for the
+//! *Speculation in Elastic Systems* reproduction.
+//!
+//! The hand-built paper scenarios (the Figure-1 variants, Figure 7(b),
+//! Table 1) pin the transform pipeline to the circuits the paper drew; this
+//! crate un-pins it. A seeded, deterministic generator ([`generate()`]) emits
+//! *valid-by-construction* elastic netlists across a configurable space —
+//! linear pipelines, fork/join DAGs, mux/branch feedback loops with select
+//! cycles eligible for `speculate`, variable-latency and shared units, mixed
+//! channel widths, randomized source/sink patterns — and a differential
+//! harness ([`harness::run_case`]) drives every generated netlist through:
+//!
+//! * the worklist engine vs. the `FullSweep` oracle, cycle for cycle;
+//! * every applicable transformation, checked for behavioral equivalence,
+//!   liveness and token conservation against the untransformed design via
+//!   `elastic-verify`'s battery (plus scheduler- and environment-injection
+//!   sweeps for speculated designs);
+//! * on failure, a shrinker ([`shrink::shrink_netlist`]) that minimizes the
+//!   netlist by cone pruning, node bypass/cauterization and pattern
+//!   bisection, serializing the result as a runnable Rust snippet
+//!   ([`snippet::to_rust_snippet`]).
+//!
+//! The negative half lives in [`mutate`]: single structural defects applied
+//! to generated netlists, asserted to be rejected by `validate()` with the
+//! right complaint. [`proptest_bridge::any_netlist`] exposes the generator
+//! as a `proptest` strategy; `crates/gen/corpus/` holds regression seeds
+//! replayed as unit tests.
+//!
+//! ```
+//! use elastic_gen::{generate, GenConfig};
+//!
+//! let generated = generate(42, &GenConfig::default());
+//! assert!(generated.netlist.validate().is_ok());
+//! assert!(generated.netlist.node_count() >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod generate;
+pub mod harness;
+pub mod mutate;
+pub mod proptest_bridge;
+pub mod rng;
+pub mod shrink;
+pub mod snippet;
+
+pub use generate::{generate, GenConfig, GenProfile, GeneratedNetlist};
+pub use harness::{
+    engines_agree, run_case, run_netlist, shrink_failure, CaseFailure, CaseReport, HarnessOptions,
+    Reproducer,
+};
+pub use mutate::{apply_mutation, Mutation};
+pub use rng::GenRng;
+pub use shrink::{shrink_netlist, ShrinkOptions};
+pub use snippet::to_rust_snippet;

@@ -1,0 +1,239 @@
+//! Invalidity mutations: controlled ways to break a valid netlist.
+//!
+//! The positive half of the fuzzing story generates valid-by-construction
+//! netlists; this module is the negative half. Each [`Mutation`] applies one
+//! structural defect that `elastic_core::validate` is documented to reject —
+//! the negative-validation tests then assert that every mutation of every
+//! generated netlist is rejected *with the right complaint*, so validation
+//! coverage grows with the generator instead of being pinned to hand-built
+//! bad examples.
+
+use elastic_core::kind::{BackpressurePattern, NodeKind, SourcePattern};
+use elastic_core::{ChannelId, Netlist, NodeId, Op};
+
+use crate::rng::GenRng;
+
+/// One way to make a valid netlist invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Remove a channel, leaving both endpoint ports dangling.
+    DropChannel,
+    /// Set a channel's width to 0 (unsupported).
+    ZeroWidthChannel,
+    /// Set a channel's width above 64 bits (unsupported).
+    OverWideChannel,
+    /// Declare a port count that contradicts the function's operation arity.
+    FunctionArityMismatch,
+    /// Reduce a multiplexor to a single data input.
+    DegenerateMux,
+    /// Reduce a fork to a single branch.
+    DegenerateFork,
+    /// Shrink a buffer's capacity below `Lf + Lb`.
+    UndersizedBuffer,
+    /// Initialize a buffer with more tokens than it can hold.
+    OverfilledBuffer,
+    /// Give a stochastic source an out-of-range offer probability.
+    BadSourceProbability,
+    /// Give a stochastic sink an out-of-range stall probability.
+    BadSinkProbability,
+}
+
+impl Mutation {
+    /// Every mutation, for exhaustive sweeps.
+    pub fn all() -> [Mutation; 10] {
+        [
+            Mutation::DropChannel,
+            Mutation::ZeroWidthChannel,
+            Mutation::OverWideChannel,
+            Mutation::FunctionArityMismatch,
+            Mutation::DegenerateMux,
+            Mutation::DegenerateFork,
+            Mutation::UndersizedBuffer,
+            Mutation::OverfilledBuffer,
+            Mutation::BadSourceProbability,
+            Mutation::BadSinkProbability,
+        ]
+    }
+
+    /// The fragment `validate()`'s complaint must contain for this defect.
+    pub fn expected_complaint(self) -> &'static str {
+        match self {
+            Mutation::DropChannel => "unconnected",
+            Mutation::ZeroWidthChannel | Mutation::OverWideChannel => "unsupported width",
+            Mutation::FunctionArityMismatch => "operand(s)",
+            Mutation::DegenerateMux => "two data inputs",
+            Mutation::DegenerateFork => "two branches",
+            Mutation::UndersizedBuffer | Mutation::OverfilledBuffer => "capacity",
+            Mutation::BadSourceProbability | Mutation::BadSinkProbability => "probability",
+        }
+    }
+}
+
+fn random_channel(netlist: &Netlist, rng: &mut GenRng) -> Option<ChannelId> {
+    let channels: Vec<ChannelId> = netlist.live_channels().map(|c| c.id).collect();
+    if channels.is_empty() {
+        return None;
+    }
+    Some(*rng.pick(&channels))
+}
+
+fn random_node_of(
+    netlist: &Netlist,
+    rng: &mut GenRng,
+    matches_kind: impl Fn(&NodeKind) -> bool,
+) -> Option<NodeId> {
+    let nodes: Vec<NodeId> =
+        netlist.live_nodes().filter(|n| matches_kind(&n.kind)).map(|n| n.id).collect();
+    if nodes.is_empty() {
+        return None;
+    }
+    Some(*rng.pick(&nodes))
+}
+
+/// Applies `mutation` to a random applicable site of `netlist`.
+///
+/// Returns `false` (leaving the netlist untouched) when the netlist offers no
+/// applicable site — e.g. [`Mutation::DegenerateMux`] on a mux-free design.
+pub fn apply_mutation(netlist: &mut Netlist, mutation: Mutation, rng: &mut GenRng) -> bool {
+    match mutation {
+        Mutation::DropChannel => {
+            let Some(channel) = random_channel(netlist, rng) else { return false };
+            netlist.remove_channel(channel).is_ok()
+        }
+        Mutation::ZeroWidthChannel | Mutation::OverWideChannel => {
+            let Some(channel) = random_channel(netlist, rng) else { return false };
+            let width = if mutation == Mutation::ZeroWidthChannel { 0 } else { 65 };
+            match netlist.channel_mut(channel) {
+                Some(channel) => {
+                    channel.width = width;
+                    true
+                }
+                None => false,
+            }
+        }
+        Mutation::FunctionArityMismatch => {
+            let Some(node) = random_node_of(
+                netlist,
+                rng,
+                |kind| matches!(kind, NodeKind::Function(spec) if spec.op.arity().is_some()),
+            ) else {
+                return false;
+            };
+            let Some(target) = netlist.node_mut(node) else { return false };
+            let NodeKind::Function(spec) = &mut target.kind else { return false };
+            // Swap in an op whose fixed arity contradicts the declared ports,
+            // leaving the port count (and hence the connectivity) untouched.
+            spec.op = if spec.inputs == 1 { Op::Sub } else { Op::Inc };
+            true
+        }
+        Mutation::DegenerateMux => {
+            let Some(node) = random_node_of(netlist, rng, |kind| matches!(kind, NodeKind::Mux(_)))
+            else {
+                return false;
+            };
+            let Some(target) = netlist.node_mut(node) else { return false };
+            let NodeKind::Mux(spec) = &mut target.kind else { return false };
+            spec.data_inputs = 1;
+            true
+        }
+        Mutation::DegenerateFork => {
+            let Some(node) = random_node_of(netlist, rng, |kind| matches!(kind, NodeKind::Fork(_)))
+            else {
+                return false;
+            };
+            let Some(target) = netlist.node_mut(node) else { return false };
+            let NodeKind::Fork(spec) = &mut target.kind else { return false };
+            spec.outputs = 1;
+            true
+        }
+        Mutation::UndersizedBuffer => {
+            let Some(node) =
+                random_node_of(netlist, rng, |kind| matches!(kind, NodeKind::Buffer(_)))
+            else {
+                return false;
+            };
+            let Some(target) = netlist.node_mut(node) else { return false };
+            let NodeKind::Buffer(spec) = &mut target.kind else { return false };
+            spec.capacity = 0;
+            true
+        }
+        Mutation::OverfilledBuffer => {
+            let Some(node) =
+                random_node_of(netlist, rng, |kind| matches!(kind, NodeKind::Buffer(_)))
+            else {
+                return false;
+            };
+            let Some(target) = netlist.node_mut(node) else { return false };
+            let NodeKind::Buffer(spec) = &mut target.kind else { return false };
+            spec.init_tokens = spec.capacity as i32 + 1;
+            true
+        }
+        Mutation::BadSourceProbability => {
+            let Some(node) =
+                random_node_of(netlist, rng, |kind| matches!(kind, NodeKind::Source(_)))
+            else {
+                return false;
+            };
+            let Some(target) = netlist.node_mut(node) else { return false };
+            let NodeKind::Source(spec) = &mut target.kind else { return false };
+            spec.pattern = SourcePattern::Random { probability: 1.5, seed: 1 };
+            true
+        }
+        Mutation::BadSinkProbability => {
+            let Some(node) = random_node_of(netlist, rng, |kind| matches!(kind, NodeKind::Sink(_)))
+            else {
+                return false;
+            };
+            let Some(target) = netlist.node_mut(node) else { return false };
+            let NodeKind::Sink(spec) = &mut target.kind else { return false };
+            spec.backpressure = BackpressurePattern::Random { probability: -0.25, seed: 1 };
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GenConfig};
+
+    #[test]
+    fn every_applicable_mutation_invalidates_a_generated_netlist() {
+        let generated = generate(5, &GenConfig::loops());
+        let mut rng = GenRng::new(99);
+        let mut applied = 0;
+        for mutation in Mutation::all() {
+            let mut mutant = generated.netlist.clone();
+            if !apply_mutation(&mut mutant, mutation, &mut rng) {
+                continue;
+            }
+            applied += 1;
+            let error =
+                mutant.validate().expect_err(&format!("{mutation:?} must invalidate the netlist"));
+            assert!(
+                error.to_string().contains(mutation.expected_complaint()),
+                "{mutation:?}: `{error}` does not mention `{}`",
+                mutation.expected_complaint()
+            );
+        }
+        assert!(applied >= 7, "only {applied} mutations were applicable");
+    }
+
+    #[test]
+    fn inapplicable_mutations_leave_the_netlist_untouched() {
+        // A plain source→sink pair has no mux, fork or buffer to mutate.
+        let mut n = Netlist::new("plain");
+        let src = n.add_source("src", elastic_core::SourceSpec::always());
+        let sink = n.add_sink("sink", elastic_core::SinkSpec::always_ready());
+        n.connect(elastic_core::Port::output(src, 0), elastic_core::Port::input(sink, 0), 8)
+            .unwrap();
+        let reference = n.clone();
+        let mut rng = GenRng::new(1);
+        for mutation in
+            [Mutation::DegenerateMux, Mutation::DegenerateFork, Mutation::UndersizedBuffer]
+        {
+            assert!(!apply_mutation(&mut n, mutation, &mut rng));
+            assert_eq!(n, reference);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Bridge into the `proptest` property-testing harness.
+//!
+//! [`any_netlist`] exposes the generator as a `proptest` [`Strategy`], so
+//! property tests can draw whole elastic netlists the same way they draw
+//! integers:
+//!
+//! ```ignore
+//! use elastic_gen::proptest_bridge::any_netlist;
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     #[test]
+//!     fn engines_agree_on_any_netlist(generated in any_netlist()) {
+//!         elastic_gen::harness::engines_agree(&generated.netlist, 100).unwrap();
+//!     }
+//! }
+//! ```
+//!
+//! The strategy samples a fresh `u64` seed from the proptest RNG and runs the
+//! deterministic generator on it, so a failing case's debug output (printed
+//! by the `proptest!` macro) pins the exact netlist via
+//! [`GenProfile::seed`](crate::generate::GenProfile::seed) — add the seed to
+//! `crates/gen/corpus/` to make the regression permanent.
+
+use proptest::{Strategy, TestRng};
+
+use crate::generate::{generate, GenConfig, GeneratedNetlist};
+
+/// A [`Strategy`] producing generated netlists.
+#[derive(Debug, Clone)]
+pub struct NetlistStrategy {
+    config: GenConfig,
+}
+
+impl Strategy for NetlistStrategy {
+    type Value = GeneratedNetlist;
+
+    fn sample(&self, rng: &mut TestRng) -> GeneratedNetlist {
+        generate(rng.next_u64(), &self.config)
+    }
+}
+
+/// Netlists drawn from the default generation space.
+pub fn any_netlist() -> NetlistStrategy {
+    NetlistStrategy { config: GenConfig::default() }
+}
+
+/// Netlists drawn from an explicit generation space.
+pub fn netlist_with(config: GenConfig) -> NetlistStrategy {
+    NetlistStrategy { config }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_strategy_samples_valid_netlists() {
+        let strategy = any_netlist();
+        let mut rng = TestRng::new(1234);
+        for _ in 0..10 {
+            let generated = Strategy::sample(&strategy, &mut rng);
+            assert!(generated.netlist.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_the_test_rng() {
+        let strategy = netlist_with(GenConfig::loops());
+        let a = Strategy::sample(&strategy, &mut TestRng::new(7));
+        let b = Strategy::sample(&strategy, &mut TestRng::new(7));
+        assert_eq!(a.netlist, b.netlist);
+        assert_eq!(a.profile.seed, b.profile.seed);
+    }
+}

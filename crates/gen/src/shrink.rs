@@ -1,0 +1,464 @@
+//! Greedy netlist shrinking: reduce a failing netlist to a minimal
+//! reproducer while a caller-supplied predicate keeps failing.
+//!
+//! The shrinker knows nothing about *why* the netlist fails; the predicate
+//! (typically "re-running the harness stage still reports a violation")
+//! carries all the semantics. Reductions are structural and always produce
+//! validating netlists:
+//!
+//! * **upstream pruning** — replace the entire producer cone of a channel by
+//!   fresh always-offering sources (the big hammer: whole subgraphs vanish);
+//! * **downstream pruning** — replace the entire consumer cone of a channel
+//!   by fresh always-ready sinks;
+//! * **bypass** — splice a 1-in/1-out node (buffer, unary function) out of
+//!   its path;
+//! * **cauterize** — delete one node, capping its severed channels with
+//!   fresh environment nodes;
+//! * **pair removal** — drop a source that feeds a sink directly when
+//!   neither has any other connection;
+//! * **pattern bisection** — simplify environment specifications (halve list
+//!   patterns, collapse stochastic patterns to `Always`/`Never`, shorten
+//!   data streams).
+//!
+//! Each accepted reduction must strictly decrease the size metric
+//! `(nodes, channels, pattern complexity)`, so the loop terminates; the
+//! predicate-evaluation budget bounds total work because every check usually
+//! costs a handful of simulations.
+
+use std::collections::BTreeSet;
+
+use elastic_core::kind::{
+    BackpressurePattern, DataStream, NodeKind, SinkSpec, SourcePattern, SourceSpec,
+};
+use elastic_core::{ChannelId, Netlist, NodeId, Port};
+
+/// Options of [`shrink_netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkOptions {
+    /// Upper bound on predicate evaluations (each usually simulates).
+    pub max_checks: usize,
+}
+
+impl Default for ShrinkOptions {
+    fn default() -> Self {
+        ShrinkOptions { max_checks: 192 }
+    }
+}
+
+/// `(nodes, channels, environment-pattern complexity)` — the strictly
+/// decreasing metric of the shrink loop.
+fn size_metric(netlist: &Netlist) -> (usize, usize, usize) {
+    let mut pattern_complexity = 0usize;
+    for node in netlist.live_nodes() {
+        pattern_complexity += match &node.kind {
+            NodeKind::Source(spec) => {
+                let pattern = match &spec.pattern {
+                    SourcePattern::Always => 0,
+                    SourcePattern::Every(_) => 1,
+                    SourcePattern::List(offers) => 1 + offers.len(),
+                    SourcePattern::Random { .. } => 2,
+                    _ => 1,
+                };
+                let data = match &spec.data {
+                    DataStream::Counter => 0,
+                    DataStream::Const(_) => 1,
+                    DataStream::List(values) => 1 + values.len(),
+                    DataStream::Random { .. } => 2,
+                    _ => 1,
+                };
+                pattern + data
+            }
+            NodeKind::Sink(spec) => match &spec.backpressure {
+                BackpressurePattern::Never => 0,
+                BackpressurePattern::Every(_) => 1,
+                BackpressurePattern::List(stalls) => 1 + stalls.len(),
+                BackpressurePattern::Random { .. } => 2,
+                _ => 1,
+            },
+            _ => 0,
+        };
+    }
+    (netlist.node_count(), netlist.channel_count(), pattern_complexity)
+}
+
+/// Nodes from which `target` is reachable (inclusive).
+fn upstream_closure(netlist: &Netlist, target: NodeId) -> BTreeSet<NodeId> {
+    let mut closure = BTreeSet::new();
+    let mut stack = vec![target];
+    while let Some(node) = stack.pop() {
+        if closure.insert(node) {
+            stack.extend(netlist.predecessors(node));
+        }
+    }
+    closure
+}
+
+/// Nodes reachable from `start` (inclusive).
+fn downstream_closure(netlist: &Netlist, start: NodeId) -> BTreeSet<NodeId> {
+    let mut closure = BTreeSet::new();
+    let mut stack = vec![start];
+    while let Some(node) = stack.pop() {
+        if closure.insert(node) {
+            stack.extend(netlist.successors(node));
+        }
+    }
+    closure
+}
+
+/// Deletes the node set `doomed`, removing internal channels and capping
+/// boundary channels with fresh environment nodes. Returns `None` when the
+/// surgery is impossible (it never should be) or removes everything.
+fn delete_set(netlist: &Netlist, doomed: &BTreeSet<NodeId>) -> Option<Netlist> {
+    if doomed.len() >= netlist.node_count() {
+        return None;
+    }
+    let mut candidate = netlist.clone();
+    let channels: Vec<(ChannelId, Port, Port)> =
+        candidate.live_channels().map(|c| (c.id, c.from, c.to)).collect();
+    for (id, from, to) in channels {
+        match (doomed.contains(&from.node), doomed.contains(&to.node)) {
+            (true, true) => {
+                candidate.remove_channel(id).ok()?;
+            }
+            (true, false) => {
+                let source = candidate.add_source("shrink_src", SourceSpec::always());
+                candidate.set_channel_source(id, Port::output(source, 0)).ok()?;
+            }
+            (false, true) => {
+                let sink = candidate.add_sink("shrink_sink", SinkSpec::always_ready());
+                candidate.set_channel_target(id, Port::input(sink, 0)).ok()?;
+            }
+            (false, false) => {}
+        }
+    }
+    for &node in doomed {
+        candidate.remove_node(node).ok()?;
+    }
+    Some(candidate)
+}
+
+/// Splices a 1-in/1-out node out of its path.
+fn bypass(netlist: &Netlist, node: NodeId) -> Option<Netlist> {
+    let target = netlist.node(node)?;
+    if target.input_count() != 1 || target.output_count() != 1 {
+        return None;
+    }
+    let input = netlist.channel_into(Port::input(node, 0))?.id;
+    let (output, consumer) = {
+        let c = netlist.channel_from(Port::output(node, 0))?;
+        (c.id, c.to)
+    };
+    // A self-loop (buffer feeding itself) cannot be bypassed.
+    if netlist.channel(input)?.from.node == node {
+        return None;
+    }
+    let mut candidate = netlist.clone();
+    candidate.remove_channel(output).ok()?;
+    candidate.set_channel_target(input, consumer).ok()?;
+    candidate.remove_node(node).ok()?;
+    Some(candidate)
+}
+
+/// Removes a direct source→sink pair with no other connections.
+fn drop_pair(netlist: &Netlist, channel: ChannelId) -> Option<Netlist> {
+    let (from, to) = {
+        let c = netlist.channel(channel)?;
+        (c.from.node, c.to.node)
+    };
+    let source = netlist.node(from)?;
+    let sink = netlist.node(to)?;
+    if !matches!(source.kind, NodeKind::Source(_)) || !matches!(sink.kind, NodeKind::Sink(_)) {
+        return None;
+    }
+    if netlist.node_count() <= 2 {
+        return None;
+    }
+    let mut candidate = netlist.clone();
+    candidate.remove_channel(channel).ok()?;
+    candidate.remove_node(from).ok()?;
+    candidate.remove_node(to).ok()?;
+    Some(candidate)
+}
+
+/// Environment-pattern simplification candidates for one node.
+fn simplified_environments(netlist: &Netlist, node: NodeId) -> Vec<Netlist> {
+    let mut candidates = Vec::new();
+    let Some(target) = netlist.node(node) else { return candidates };
+    match &target.kind {
+        NodeKind::Source(spec) => {
+            if spec.pattern != SourcePattern::Always {
+                let mut candidate = netlist.clone();
+                if let Some(n) = candidate.node_mut(node) {
+                    n.kind = NodeKind::Source(SourceSpec {
+                        pattern: SourcePattern::Always,
+                        ..spec.clone()
+                    });
+                }
+                candidates.push(candidate);
+            }
+            if let SourcePattern::List(offers) = &spec.pattern {
+                if offers.len() > 1 {
+                    let mut candidate = netlist.clone();
+                    if let Some(n) = candidate.node_mut(node) {
+                        n.kind = NodeKind::Source(SourceSpec {
+                            pattern: SourcePattern::List(offers[..offers.len() / 2].to_vec()),
+                            ..spec.clone()
+                        });
+                    }
+                    candidates.push(candidate);
+                }
+            }
+            match &spec.data {
+                DataStream::Counter => {}
+                DataStream::List(values) if values.len() > 1 => {
+                    let mut candidate = netlist.clone();
+                    if let Some(n) = candidate.node_mut(node) {
+                        n.kind = NodeKind::Source(SourceSpec {
+                            data: DataStream::List(values[..values.len() / 2].to_vec()),
+                            ..spec.clone()
+                        });
+                    }
+                    candidates.push(candidate);
+                }
+                _ => {
+                    let mut candidate = netlist.clone();
+                    if let Some(n) = candidate.node_mut(node) {
+                        n.kind = NodeKind::Source(SourceSpec {
+                            data: DataStream::Counter,
+                            ..spec.clone()
+                        });
+                    }
+                    candidates.push(candidate);
+                }
+            }
+        }
+        NodeKind::Sink(spec) if spec.backpressure != BackpressurePattern::Never => {
+            let mut candidate = netlist.clone();
+            if let Some(n) = candidate.node_mut(node) {
+                n.kind = NodeKind::Sink(SinkSpec { backpressure: BackpressurePattern::Never });
+            }
+            candidates.push(candidate);
+        }
+        _ => {}
+    }
+    candidates
+}
+
+/// Shrinks `netlist` while `still_failing` holds, returning the smallest
+/// failing netlist found within the check budget.
+///
+/// The input netlist itself is assumed to fail (callers obtain it from a
+/// failing harness case); if it does not, it is returned unchanged.
+pub fn shrink_netlist(
+    netlist: &Netlist,
+    still_failing: impl Fn(&Netlist) -> bool,
+    options: &ShrinkOptions,
+) -> Netlist {
+    let mut current = netlist.clone();
+    let mut checks = 0usize;
+
+    let accept = |candidate: Netlist, current: &mut Netlist, checks: &mut usize| -> bool {
+        if *checks >= options.max_checks {
+            return false;
+        }
+        if candidate.validate().is_err() {
+            return false;
+        }
+        if size_metric(&candidate) >= size_metric(current) {
+            return false;
+        }
+        *checks += 1;
+        if still_failing(&candidate) {
+            *current = candidate;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // 1. Prune cones: most aggressive first.
+        let channel_ids: Vec<ChannelId> = current.live_channels().map(|c| c.id).collect();
+        'outer: for &channel in &channel_ids {
+            let Some((producer, consumer)) =
+                current.channel(channel).map(|c| (c.from.node, c.to.node))
+            else {
+                continue;
+            };
+            for doomed in
+                [upstream_closure(&current, producer), downstream_closure(&current, consumer)]
+            {
+                if let Some(candidate) = delete_set(&current, &doomed) {
+                    if accept(candidate, &mut current, &mut checks) {
+                        progressed = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        // 2. Splice out pass-through nodes, then single nodes.
+        if !progressed {
+            let node_ids: Vec<NodeId> = current.live_nodes().map(|n| n.id).collect();
+            'nodes: for &node in &node_ids {
+                if let Some(candidate) = bypass(&current, node) {
+                    if accept(candidate, &mut current, &mut checks) {
+                        progressed = true;
+                        break 'nodes;
+                    }
+                }
+                let single: BTreeSet<NodeId> = [node].into_iter().collect();
+                if let Some(candidate) = delete_set(&current, &single) {
+                    if accept(candidate, &mut current, &mut checks) {
+                        progressed = true;
+                        break 'nodes;
+                    }
+                }
+            }
+        }
+
+        // 3. Garbage-collect isolated source→sink pairs.
+        if !progressed {
+            let channel_ids: Vec<ChannelId> = current.live_channels().map(|c| c.id).collect();
+            for &channel in &channel_ids {
+                if let Some(candidate) = drop_pair(&current, channel) {
+                    if accept(candidate, &mut current, &mut checks) {
+                        progressed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 4. Bisect environment patterns.
+        if !progressed {
+            let node_ids: Vec<NodeId> = current.live_nodes().map(|n| n.id).collect();
+            'env: for &node in &node_ids {
+                for candidate in simplified_environments(&current, node) {
+                    if accept(candidate, &mut current, &mut checks) {
+                        progressed = true;
+                        break 'env;
+                    }
+                }
+            }
+        }
+
+        if !progressed || checks >= options.max_checks {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GenConfig};
+    use elastic_core::Op;
+
+    /// Predicate: the netlist still contains at least one `Inc` function.
+    fn contains_inc(netlist: &Netlist) -> bool {
+        netlist
+            .live_nodes()
+            .any(|n| matches!(&n.kind, NodeKind::Function(spec) if spec.op == Op::Inc))
+    }
+
+    fn inc_pipeline() -> Netlist {
+        let mut n = Netlist::new("t");
+        let src = n.add_source("src", SourceSpec::always());
+        let a = n.add_op("a", Op::Not);
+        let b = n.add_op("b", Op::Inc);
+        let c = n.add_op("c", Op::Neg);
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(src, 0), Port::input(a, 0), 8).unwrap();
+        n.connect(Port::output(a, 0), Port::input(b, 0), 8).unwrap();
+        n.connect(Port::output(b, 0), Port::input(c, 0), 8).unwrap();
+        n.connect(Port::output(c, 0), Port::input(sink, 0), 8).unwrap();
+        n
+    }
+
+    #[test]
+    fn shrinking_keeps_the_predicate_failing_and_reduces_size() {
+        let netlist = inc_pipeline();
+        let shrunk = shrink_netlist(&netlist, contains_inc, &ShrinkOptions::default());
+        assert!(contains_inc(&shrunk));
+        assert!(shrunk.validate().is_ok());
+        // src -> inc -> sink is the minimal shape keeping the predicate.
+        assert_eq!(shrunk.node_count(), 3, "{}", crate::snippet::to_rust_snippet(&shrunk));
+    }
+
+    #[test]
+    fn shrinking_a_generated_netlist_converges_to_a_tiny_reproducer() {
+        // Hunt a structural property through a real generated netlist: "has a
+        // mux". The minimal validating netlist with a mux needs 3 feeders, the
+        // mux and a sink.
+        let generated = generate(42, &GenConfig::loops());
+        let has_mux =
+            |n: &Netlist| n.live_nodes().any(|node| matches!(node.kind, NodeKind::Mux(_)));
+        assert!(has_mux(&generated.netlist));
+        let before = generated.netlist.node_count();
+        let shrunk = shrink_netlist(&generated.netlist, has_mux, &ShrinkOptions::default());
+        assert!(has_mux(&shrunk));
+        assert!(shrunk.node_count() <= 5, "{} -> {}", before, shrunk.node_count());
+        assert!(shrunk.validate().is_ok());
+    }
+
+    #[test]
+    fn a_passing_netlist_is_returned_unchanged() {
+        let netlist = inc_pipeline();
+        let shrunk = shrink_netlist(&netlist, |_| false, &ShrinkOptions::default());
+        assert_eq!(shrunk, netlist);
+    }
+
+    #[test]
+    fn the_check_budget_caps_the_work() {
+        let generated = generate(7, &GenConfig::default());
+        let calls = std::cell::Cell::new(0usize);
+        let shrunk = shrink_netlist(
+            &generated.netlist,
+            |_| {
+                calls.set(calls.get() + 1);
+                true
+            },
+            &ShrinkOptions { max_checks: 5 },
+        );
+        assert!(calls.get() <= 5, "{} checks for a budget of 5", calls.get());
+        assert!(shrunk.validate().is_ok());
+    }
+
+    #[test]
+    fn environment_patterns_are_bisected() {
+        let mut n = Netlist::new("env");
+        let src = n.add_source(
+            "src",
+            SourceSpec {
+                pattern: SourcePattern::List(vec![true, false, true, true]),
+                data: DataStream::List(vec![9, 8, 7, 6, 5, 4]),
+                consume_on_kill: true,
+            },
+        );
+        let sink = n.add_sink(
+            "sink",
+            SinkSpec { backpressure: BackpressurePattern::Random { probability: 0.4, seed: 1 } },
+        );
+        n.connect(Port::output(src, 0), Port::input(sink, 0), 8).unwrap();
+        // Predicate only needs the src->sink shape, so all patterns collapse
+        // (possibly by replacing the environment nodes with fresh plain ones).
+        let shrunk = shrink_netlist(&n, |c| c.channel_count() == 1, &ShrinkOptions::default());
+        assert_eq!(shrunk.node_count(), 2);
+        for node in shrunk.live_nodes() {
+            match &node.kind {
+                NodeKind::Source(spec) => {
+                    assert_eq!(spec.pattern, SourcePattern::Always);
+                    assert_eq!(spec.data, DataStream::Counter);
+                }
+                NodeKind::Sink(spec) => {
+                    assert_eq!(spec.backpressure, BackpressurePattern::Never)
+                }
+                other => panic!("unexpected kind {other:?}"),
+            }
+        }
+    }
+}

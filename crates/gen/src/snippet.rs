@@ -1,0 +1,312 @@
+//! Serialization of a netlist as a runnable Rust snippet.
+//!
+//! When the fuzzing harness shrinks a failure to a minimal reproducer, the
+//! artifact that survives the CI log is not the seed (regeneration depends on
+//! the generator's RNG stream staying frozen) but a self-contained Rust
+//! fragment that rebuilds the offending netlist against `elastic-core`'s
+//! public API — paste it into a unit test, apply the failing transformation,
+//! done.
+
+use std::fmt::Write as _;
+
+use elastic_core::kind::{
+    BackpressurePattern, BufferSpec, DataStream, NodeKind, SchedulerKind, SourcePattern,
+};
+use elastic_core::{Netlist, NodeId, Op, PortDir};
+
+fn u64_vec(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("vec![{}]", items.join(", "))
+}
+
+fn bool_vec(values: &[bool]) -> String {
+    let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("vec![{}]", items.join(", "))
+}
+
+fn usize_vec(values: &[usize]) -> String {
+    let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("vec![{}]", items.join(", "))
+}
+
+fn op_expr(op: &Op) -> String {
+    match op {
+        Op::Identity => "Op::Identity".into(),
+        Op::Const(value) => format!("Op::Const({value})"),
+        Op::Not => "Op::Not".into(),
+        Op::Neg => "Op::Neg".into(),
+        Op::Add => "Op::Add".into(),
+        Op::Sub => "Op::Sub".into(),
+        Op::And => "Op::And".into(),
+        Op::Or => "Op::Or".into(),
+        Op::Xor => "Op::Xor".into(),
+        Op::Shl => "Op::Shl".into(),
+        Op::Shr => "Op::Shr".into(),
+        Op::Inc => "Op::Inc".into(),
+        Op::Dec => "Op::Dec".into(),
+        Op::Eq => "Op::Eq".into(),
+        Op::Ne => "Op::Ne".into(),
+        Op::Lt => "Op::Lt".into(),
+        Op::Alu8 => "Op::Alu8".into(),
+        Op::RippleAdd { width } => format!("Op::RippleAdd {{ width: {width} }}"),
+        Op::KoggeStoneAdd { width } => format!("Op::KoggeStoneAdd {{ width: {width} }}"),
+        Op::ApproxAdd { width, spec_bits } => {
+            format!("Op::ApproxAdd {{ width: {width}, spec_bits: {spec_bits} }}")
+        }
+        Op::ApproxAddErr { width, spec_bits } => {
+            format!("Op::ApproxAddErr {{ width: {width}, spec_bits: {spec_bits} }}")
+        }
+        Op::SecdedEncode { data_width } => {
+            format!("Op::SecdedEncode {{ data_width: {data_width} }}")
+        }
+        Op::SecdedCorrect { data_width } => {
+            format!("Op::SecdedCorrect {{ data_width: {data_width} }}")
+        }
+        Op::SecdedSyndrome { data_width } => {
+            format!("Op::SecdedSyndrome {{ data_width: {data_width} }}")
+        }
+        Op::BitSelect { bit } => format!("Op::BitSelect {{ bit: {bit} }}"),
+        Op::Mask { width } => format!("Op::Mask {{ width: {width} }}"),
+        Op::Lut(table) => format!("Op::Lut({})", u64_vec(table)),
+        Op::Opaque { name, delay_levels, area_ge } => {
+            format!("opaque({name:?}, {delay_levels}, {area_ge})")
+        }
+        // `Op` is non-exhaustive within the workspace; an unknown operation
+        // cannot be re-emitted faithfully, so degrade to the identity and say
+        // so in the snippet.
+        other => format!("Op::Identity /* unknown op {} */", other.mnemonic()),
+    }
+}
+
+fn source_pattern_expr(pattern: &SourcePattern) -> String {
+    match pattern {
+        SourcePattern::Always => "SourcePattern::Always".into(),
+        SourcePattern::Every(period) => format!("SourcePattern::Every({period})"),
+        SourcePattern::List(offers) => format!("SourcePattern::List({})", bool_vec(offers)),
+        SourcePattern::Random { probability, seed } => {
+            format!("SourcePattern::Random {{ probability: {probability:?}, seed: {seed} }}")
+        }
+        _ => "SourcePattern::Always /* unknown pattern */".into(),
+    }
+}
+
+fn data_stream_expr(data: &DataStream) -> String {
+    match data {
+        DataStream::Counter => "DataStream::Counter".into(),
+        DataStream::Const(value) => format!("DataStream::Const({value})"),
+        DataStream::List(values) => format!("DataStream::List({})", u64_vec(values)),
+        DataStream::Random { seed } => format!("DataStream::Random {{ seed: {seed} }}"),
+        _ => "DataStream::Counter /* unknown stream */".into(),
+    }
+}
+
+fn backpressure_expr(pattern: &BackpressurePattern) -> String {
+    match pattern {
+        BackpressurePattern::Never => "BackpressurePattern::Never".into(),
+        BackpressurePattern::Every(period) => format!("BackpressurePattern::Every({period})"),
+        BackpressurePattern::List(stalls) => {
+            format!("BackpressurePattern::List({})", bool_vec(stalls))
+        }
+        BackpressurePattern::Random { probability, seed } => {
+            format!("BackpressurePattern::Random {{ probability: {probability:?}, seed: {seed} }}")
+        }
+        _ => "BackpressurePattern::Never /* unknown pattern */".into(),
+    }
+}
+
+fn scheduler_expr(scheduler: &SchedulerKind) -> String {
+    match scheduler {
+        SchedulerKind::Static(user) => format!("SchedulerKind::Static({user})"),
+        SchedulerKind::RoundRobin => "SchedulerKind::RoundRobin".into(),
+        SchedulerKind::LastTaken => "SchedulerKind::LastTaken".into(),
+        SchedulerKind::TwoBit => "SchedulerKind::TwoBit".into(),
+        SchedulerKind::Correlating { history_bits } => {
+            format!("SchedulerKind::Correlating {{ history_bits: {history_bits} }}")
+        }
+        SchedulerKind::Sequence(predictions) => {
+            format!("SchedulerKind::Sequence({})", usize_vec(predictions))
+        }
+        SchedulerKind::ErrorReplay => "SchedulerKind::ErrorReplay".into(),
+        _ => "SchedulerKind::Static(0) /* unknown scheduler */".into(),
+    }
+}
+
+fn buffer_spec_expr(spec: &BufferSpec) -> String {
+    format!(
+        "BufferSpec {{ forward_latency: {}, backward_latency: {}, capacity: {}, \
+         init_tokens: {}, anti_capacity: {}, init_value: {} }}",
+        spec.forward_latency,
+        spec.backward_latency,
+        spec.capacity,
+        spec.init_tokens,
+        spec.anti_capacity,
+        spec.init_value
+    )
+}
+
+fn option_u32_expr(value: Option<u32>) -> String {
+    match value {
+        Some(v) => format!("Some({v})"),
+        None => "None".into(),
+    }
+}
+
+fn node_kind_expr(kind: &NodeKind) -> String {
+    match kind {
+        NodeKind::Buffer(spec) => format!("NodeKind::Buffer({})", buffer_spec_expr(spec)),
+        NodeKind::Function(spec) => format!(
+            "NodeKind::Function(FunctionSpec::with_inputs({}, {}))",
+            op_expr(&spec.op),
+            spec.inputs
+        ),
+        NodeKind::Mux(spec) => format!(
+            "NodeKind::Mux(MuxSpec {{ data_inputs: {}, early_eval: {} }})",
+            spec.data_inputs, spec.early_eval
+        ),
+        NodeKind::Fork(spec) => format!(
+            "NodeKind::Fork(ForkSpec {{ outputs: {}, eager: {} }})",
+            spec.outputs, spec.eager
+        ),
+        NodeKind::Shared(spec) => format!(
+            "NodeKind::Shared(SharedSpec {{ users: {}, inputs_per_user: {}, op: {}, \
+             scheduler: {}, starvation_limit: {} }})",
+            spec.users,
+            spec.inputs_per_user,
+            op_expr(&spec.op),
+            scheduler_expr(&spec.scheduler),
+            option_u32_expr(spec.starvation_limit)
+        ),
+        NodeKind::VarLatency(spec) => format!(
+            "NodeKind::VarLatency(VarLatencySpec {{ exact: {}, approx: {}, error: {}, \
+             inputs: {} }})",
+            op_expr(&spec.exact),
+            op_expr(&spec.approx),
+            op_expr(&spec.error),
+            spec.inputs
+        ),
+        NodeKind::Source(spec) => format!(
+            "NodeKind::Source(SourceSpec {{ pattern: {}, data: {}, consume_on_kill: {} }})",
+            source_pattern_expr(&spec.pattern),
+            data_stream_expr(&spec.data),
+            spec.consume_on_kill
+        ),
+        NodeKind::Sink(spec) => format!(
+            "NodeKind::Sink(SinkSpec {{ backpressure: {} }})",
+            backpressure_expr(&spec.backpressure)
+        ),
+        other => format!("/* unknown node kind `{}` */", other.kind_name()),
+    }
+}
+
+/// Emits a runnable Rust fragment that rebuilds `netlist` through
+/// `elastic-core`'s public API.
+///
+/// The fragment assumes the following imports:
+///
+/// ```ignore
+/// use elastic_core::kind::*;
+/// use elastic_core::op::opaque;
+/// use elastic_core::{Netlist, NodeKind, Op, Port};
+/// ```
+pub fn to_rust_snippet(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// reproducer `{}`: {} node(s), {} channel(s)",
+        netlist.name(),
+        netlist.node_count(),
+        netlist.channel_count()
+    );
+    let _ = writeln!(out, "let mut n = Netlist::new({:?});", netlist.name());
+
+    // Stable variable name per live node.
+    let var = |id: NodeId| format!("n{}", id.index());
+    for node in netlist.live_nodes() {
+        let _ = writeln!(
+            out,
+            "let {} = n.add_node({:?}, {});",
+            var(node.id),
+            node.name,
+            node_kind_expr(&node.kind)
+        );
+    }
+    for channel in netlist.live_channels() {
+        debug_assert_eq!(channel.from.dir, PortDir::Output);
+        debug_assert_eq!(channel.to.dir, PortDir::Input);
+        let _ = writeln!(
+            out,
+            "n.connect(Port::output({}, {}), Port::input({}, {}), {}).unwrap();",
+            var(channel.from.node),
+            channel.from.index,
+            var(channel.to.node),
+            channel.to.index,
+            channel.width
+        );
+    }
+    let _ = writeln!(out, "n.validate().unwrap();");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GenConfig};
+    use elastic_core::kind::{SinkSpec, SourceSpec};
+    use elastic_core::Port;
+
+    #[test]
+    fn snippets_enumerate_every_node_and_channel() {
+        let generated = generate(17, &GenConfig::default());
+        let snippet = to_rust_snippet(&generated.netlist);
+        assert_eq!(
+            snippet.matches("n.add_node(").count(),
+            generated.netlist.node_count(),
+            "one add_node per live node"
+        );
+        assert_eq!(
+            snippet.matches("n.connect(").count(),
+            generated.netlist.channel_count(),
+            "one connect per live channel"
+        );
+        assert!(snippet.trim_end().ends_with("n.validate().unwrap();"));
+    }
+
+    #[test]
+    fn snippets_are_deterministic() {
+        let generated = generate(23, &GenConfig::default());
+        assert_eq!(to_rust_snippet(&generated.netlist), to_rust_snippet(&generated.netlist));
+    }
+
+    #[test]
+    fn a_hand_built_netlist_round_trips_through_its_own_snippet_text() {
+        // The emitted fragment for a tiny netlist matches what one would
+        // write by hand — the strongest check we can run without a compiler
+        // in the loop.
+        let mut n = Netlist::new("tiny");
+        let src = n.add_source("src", SourceSpec::always());
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(src, 0), Port::input(sink, 0), 8).unwrap();
+        let snippet = to_rust_snippet(&n);
+        assert!(snippet.contains(
+            "let n0 = n.add_node(\"src\", NodeKind::Source(SourceSpec { \
+             pattern: SourcePattern::Always, data: DataStream::Counter, \
+             consume_on_kill: true }));"
+        ));
+        assert!(snippet.contains(
+            "let n1 = n.add_node(\"sink\", NodeKind::Sink(SinkSpec { \
+             backpressure: BackpressurePattern::Never }));"
+        ));
+        assert!(snippet.contains("n.connect(Port::output(n0, 0), Port::input(n1, 0), 8).unwrap();"));
+    }
+
+    #[test]
+    fn every_generated_spec_kind_emits_without_placeholders() {
+        // Across a spread of seeds the emitter must never hit its
+        // unknown-variant fallbacks for generator-produced netlists.
+        for seed in 0..40 {
+            let generated = generate(seed, &GenConfig::loops());
+            let snippet = to_rust_snippet(&generated.netlist);
+            assert!(!snippet.contains("unknown"), "seed {seed} produced:\n{snippet}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Negative validation: random single mutations of generated netlists must
+//! be rejected by `validate()` with the right complaint.
+//!
+//! The generator proves `validate()` accepts everything in the generation
+//! space; this suite proves it *rejects* every one-defect neighbour of that
+//! space — so validation coverage scales with the generator instead of
+//! being pinned to hand-built bad examples.
+
+use elastic_core::CoreError;
+use elastic_gen::{apply_mutation, generate, GenConfig, GenRng, Mutation};
+
+#[test]
+fn every_mutation_of_every_seed_is_rejected_with_the_right_error() {
+    let mut rng = GenRng::new(0xBAD_CA5E);
+    let mut applied_per_mutation = vec![0usize; Mutation::all().len()];
+    for (config, seeds) in [
+        (GenConfig::default(), 0..24u64),
+        (GenConfig::loops(), 100..124),
+        (GenConfig::pipelines(), 200..224),
+    ] {
+        for seed in seeds {
+            let generated = generate(seed, &config);
+            assert!(generated.netlist.validate().is_ok(), "seed {seed} must start valid");
+            for (index, mutation) in Mutation::all().into_iter().enumerate() {
+                let mut mutant = generated.netlist.clone();
+                if !apply_mutation(&mut mutant, mutation, &mut rng) {
+                    continue;
+                }
+                applied_per_mutation[index] += 1;
+                let error = mutant.validate().expect_err(&format!(
+                    "seed {seed}: {mutation:?} must make the netlist invalid"
+                ));
+                assert!(
+                    matches!(error, CoreError::Invalid(_)),
+                    "seed {seed}: {mutation:?} produced {error:?}, expected CoreError::Invalid"
+                );
+                assert!(
+                    error.to_string().contains(mutation.expected_complaint()),
+                    "seed {seed}: {mutation:?} complaint `{error}` does not mention `{}`",
+                    mutation.expected_complaint()
+                );
+            }
+        }
+    }
+    // Every mutation kind must have found an applicable site somewhere in the
+    // sweep — otherwise the negative space silently shrank.
+    for (mutation, &count) in Mutation::all().iter().zip(&applied_per_mutation) {
+        assert!(count > 0, "{mutation:?} never applied across 72 generated netlists");
+    }
+}
+
+#[test]
+fn duplicate_connections_are_rejected_at_the_api_boundary() {
+    // The duplicate-connection defect cannot exist inside a netlist (the
+    // builder API refuses to create it), so the negative test lives at the
+    // `connect` boundary: wiring a second producer onto an occupied input
+    // port must fail with `MultiplyConnectedPort`.
+    use elastic_core::{Port, SourceSpec};
+
+    for seed in 0..12u64 {
+        let generated = generate(seed, &GenConfig::default());
+        let mut netlist = generated.netlist;
+        let occupied = netlist
+            .live_channels()
+            .next()
+            .map(|channel| channel.to)
+            .expect("generated netlists have channels");
+        let intruder = netlist.add_source("intruder", SourceSpec::always());
+        let error = netlist
+            .connect(Port::output(intruder, 0), occupied, 8)
+            .expect_err("connecting onto an occupied input port must fail");
+        assert!(
+            matches!(error, CoreError::MultiplyConnectedPort { is_input: true, .. }),
+            "seed {seed}: got {error:?}"
+        );
+    }
+}
+
+#[test]
+fn mutated_netlists_do_not_build_simulations() {
+    // Defence in depth: `Simulation::new` revalidates, so a mutant that
+    // slipped past a caller's validation still cannot simulate.
+    use elastic_sim::{SimConfig, SimError, Simulation};
+
+    let generated = generate(7, &GenConfig::default());
+    let mut rng = GenRng::new(0xD00_D1E);
+    let mut checked = 0;
+    for mutation in [Mutation::DropChannel, Mutation::UndersizedBuffer, Mutation::DegenerateMux] {
+        let mut mutant = generated.netlist.clone();
+        if !apply_mutation(&mut mutant, mutation, &mut rng) {
+            continue;
+        }
+        checked += 1;
+        match Simulation::new(&mutant, &SimConfig::default()) {
+            Err(SimError::InvalidNetlist(_)) => {}
+            other => panic!("{mutation:?}: expected InvalidNetlist, got {other:?}"),
+        }
+    }
+    assert!(checked >= 2);
+}

@@ -1,0 +1,44 @@
+//! Property tests drawing whole netlists through the proptest bridge.
+//!
+//! `any_netlist()` plugs the generator into `proptest!` as a first-class
+//! strategy; the properties below are the invariants every inhabitant of the
+//! generation space must satisfy, sampled afresh per run of the (seeded,
+//! deterministic) proptest shim.
+
+use elastic_gen::harness::engines_agree;
+use elastic_gen::proptest_bridge::{any_netlist, netlist_with};
+use elastic_gen::GenConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_generated_netlist_validates_and_simulates(generated in any_netlist()) {
+        prop_assert!(generated.netlist.validate().is_ok());
+        let mut sim = elastic_sim::Simulation::new(
+            &generated.netlist,
+            &elastic_sim::SimConfig::default(),
+        )
+        .expect("generated netlists are simulable");
+        let report = sim.run(64).expect("generated netlists settle");
+        prop_assert_eq!(report.cycles, 64);
+    }
+
+    #[test]
+    fn both_engines_agree_on_any_netlist(generated in any_netlist()) {
+        if let Err(divergence) = engines_agree(&generated.netlist, 96) {
+            panic!("seed {:#x}: {divergence}", generated.profile.seed);
+        }
+    }
+
+    #[test]
+    fn loop_netlists_keep_their_select_cycles(generated in netlist_with(GenConfig::loops())) {
+        use elastic_core::transform::find_select_cycles;
+        prop_assert!(!generated.profile.select_loop_muxes.is_empty());
+        for &mux in &generated.profile.select_loop_muxes {
+            let cycles = find_select_cycles(&generated.netlist, mux).unwrap();
+            prop_assert!(!cycles.is_empty(), "seed {:#x}", generated.profile.seed);
+        }
+    }
+}

@@ -179,6 +179,17 @@ pub trait Controller: std::fmt::Debug {
         false
     }
 
+    /// Replaces the source's offer pattern and rewinds the controller
+    /// (sources only — every other node kind returns `false` and ignores the
+    /// pattern). The data stream is kept: only *when* tokens are offered
+    /// changes, which is what the environment-injection sweeps of the fuzzing
+    /// harness vary. The replacement is persistent: later
+    /// [`Controller::reset`] calls rewind to the *new* pattern.
+    fn override_source_pattern(&mut self, pattern: &elastic_core::kind::SourcePattern) -> bool {
+        let _ = pattern;
+        false
+    }
+
     /// Replaces the shared module's prediction policy (speculative shared
     /// modules only — every other node kind drops the box and returns
     /// `false`). The caller provides a freshly initialised scheduler; the

@@ -159,6 +159,12 @@ impl Controller for SourceController {
         self.killed = 0;
     }
 
+    fn override_source_pattern(&mut self, pattern: &SourcePattern) -> bool {
+        self.spec.pattern = pattern.clone();
+        self.reset();
+        true
+    }
+
     /// The offer pattern and persistence state fully determine the driven
     /// signals; sources never react to channel signals within a cycle.
     fn eval_reads_channels(&self) -> bool {

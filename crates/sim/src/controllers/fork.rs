@@ -49,7 +49,11 @@ impl EagerFork {
         }
     }
 
-    /// Which branches complete their delivery this cycle, given the settled signals.
+    /// Which branches complete their delivery this cycle, given the settled
+    /// signals. A branch delivers when its (actually asserted) copy
+    /// transfers, or when the copy is cancelled by a branch anti-token —
+    /// judging by the driven `V+` matters for lazy forks, whose withheld
+    /// branches must not be marked served.
     fn deliveries(&self, io: &NodeIo<'_>) -> Vec<bool> {
         let input = io.input(IN);
         (0..self.spec.outputs)
@@ -59,13 +63,8 @@ impl EagerFork {
                 }
                 let out = io.output(branch);
                 let killed = out.backward_valid && !out.backward_stop;
-                let accepted = !out.forward_stop;
-                if self.spec.eager {
-                    killed || accepted
-                } else {
-                    // Lazy forks only deliver when every branch is ready.
-                    killed || accepted
-                }
+                let transferred = out.forward_valid && !out.forward_stop;
+                killed || transferred
             })
             .collect()
     }
@@ -76,27 +75,52 @@ impl Controller for EagerFork {
         let input = io.input(IN);
         let outputs = self.spec.outputs;
 
-        // Offer the token to every branch that still needs it.
+        // Per-branch readiness, derived from the consumer-owned signals
+        // *before* any producer-owned signal is driven: `eval` must write
+        // each signal at most once per call, because the full-sweep engine's
+        // convergence test counts every write — a transient
+        // write-then-overwrite makes it oscillate forever on a settled state
+        // (found by the elastic-gen differential fuzzer as a false
+        // CombinationalLoop report on lazy forks). A branch whose copy is
+        // being cancelled counts as ready; the kill is only accepted while
+        // the branch holds a pending copy of a real token, which is exactly
+        // `input.forward_valid` here.
+        // Eager forks never consult readiness — compute it only for lazy
+        // forks, allocation-free (this is the engine's hot path). A branch's
+        // `others_ready` holds exactly when the not-ready set is empty or is
+        // the branch itself.
+        let (not_ready_count, not_ready_branch) = if self.spec.eager {
+            (0usize, usize::MAX)
+        } else {
+            let mut count = 0usize;
+            let mut last = usize::MAX;
+            for branch in 0..outputs {
+                let ready = !self.effective_pending(branch) || {
+                    let out = io.output(branch);
+                    !out.forward_stop || (out.backward_valid && input.forward_valid)
+                };
+                if !ready {
+                    count += 1;
+                    last = branch;
+                }
+            }
+            (count, last)
+        };
+        let all_ready = not_ready_count == 0;
+
+        // Offer the token to every branch that still needs it. A lazy fork
+        // withholds a branch's copy while any *other* branch is not ready —
+        // gating a branch on its own stop would give the settle equations a
+        // second, deadlocked fixpoint (the branch waits for a stop that only
+        // clears once the branch is valid), which is also the classical
+        // combinational structure of a lazy fork.
         for branch in 0..outputs {
             let needs = input.forward_valid && self.effective_pending(branch);
-            io.set_output_valid(branch, needs);
+            let others_ready = all_ready || (not_ready_count == 1 && not_ready_branch == branch);
+            io.set_output_valid(branch, needs && others_ready);
             io.set_output_data(branch, input.data);
             // A branch kill can only be absorbed while its copy is outstanding.
             io.set_output_anti_stop(branch, !needs);
-        }
-
-        // For a lazy fork all branches must be ready simultaneously.
-        let all_ready = (0..outputs).all(|branch| {
-            !self.effective_pending(branch) || {
-                let out = io.output(branch);
-                !out.forward_stop || (out.backward_valid && !out.backward_stop)
-            }
-        });
-        if !self.spec.eager {
-            for branch in 0..outputs {
-                let needs = input.forward_valid && self.effective_pending(branch) && all_ready;
-                io.set_output_valid(branch, needs);
-            }
         }
 
         // The input transfers when every branch has been (or is being) served.

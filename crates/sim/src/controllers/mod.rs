@@ -52,10 +52,22 @@ pub fn build_controller(
                     ),
                 });
             }
+            // Mask the initial token's value to the output channel width:
+            // every other data entry point (source streams, function
+            // results) masks at the producer, and an unmasked init value
+            // would otherwise leak through width-preserving controllers
+            // (buffers, forks) into traces and sinks (found by the
+            // elastic-gen differential fuzzer as a spurious conservation
+            // violation on a narrow loop channel).
+            let mut spec = *spec;
+            spec.init_value = elastic_datapath::adder::mask(
+                spec.init_value,
+                output_widths.first().copied().unwrap_or(64),
+            );
             if spec.backward_latency == 0 {
-                Box::new(buffer::ZeroBackwardBuffer::new(*spec))
+                Box::new(buffer::ZeroBackwardBuffer::new(spec))
             } else {
-                Box::new(buffer::StandardBuffer::new(*spec))
+                Box::new(buffer::StandardBuffer::new(spec))
             }
         }
         NodeKind::Function(spec) => Box::new(function::FunctionBlock::new(

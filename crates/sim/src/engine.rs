@@ -50,7 +50,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use elastic_core::kind::BackpressurePattern;
+use elastic_core::kind::{BackpressurePattern, SourcePattern};
 use elastic_core::{CoreError, Netlist, NodeId, Scheduler};
 
 use crate::controller::{Controller, NodeIo};
@@ -420,6 +420,28 @@ impl Simulation {
                 .map(|index| self.controllers[index].override_backpressure(pattern))
                 .unwrap_or(false);
             debug_assert!(applied, "node {node} is not a sink; cannot override back-pressure");
+        }
+    }
+
+    /// [`Simulation::reset`], additionally replacing the token-offer pattern
+    /// of the named sources (the environment-injection sweeps of the fuzzing
+    /// harness use this to vary *when* generated environments offer tokens
+    /// without cloning the netlist — the data streams are kept). Overrides
+    /// persist across later plain resets.
+    ///
+    /// Non-source node ids in `overrides` are rejected with a debug assertion
+    /// (and ignored in release builds).
+    pub fn reset_with_source_patterns(&mut self, overrides: &[(NodeId, SourcePattern)]) {
+        self.reset();
+        for (node, pattern) in overrides {
+            let applied = self
+                .node_index(*node)
+                .map(|index| self.controllers[index].override_source_pattern(pattern))
+                .unwrap_or(false);
+            debug_assert!(
+                applied,
+                "node {node} is not a source; cannot override its offer pattern"
+            );
         }
     }
 
@@ -894,6 +916,34 @@ mod tests {
         let mut sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
         sim.run(13).unwrap(); // dirty the state first
         sim.reset_with_sink_patterns(&[(sink, pattern)]);
+        let report = sim.run(40).unwrap();
+
+        assert_eq!(sim.trace(), rebuilt.trace());
+        assert_eq!(report.sink_streams, rebuilt_report.sink_streams);
+        assert_eq!(report.node_stats, rebuilt_report.node_stats);
+    }
+
+    #[test]
+    fn source_pattern_overrides_match_a_rebuilt_netlist() {
+        use elastic_core::kind::{SourcePattern, SourceSpec};
+
+        let (netlist, src, _sink) = pipeline();
+        // Reference: rebuild the netlist with a paced source (same data).
+        let mut variant = netlist.clone();
+        let pattern = SourcePattern::Every(3);
+        if let Some(node) = variant.node_mut(src) {
+            node.kind = elastic_core::NodeKind::Source(SourceSpec {
+                pattern: pattern.clone(),
+                ..SourceSpec::default()
+            });
+        }
+        let mut rebuilt = Simulation::new(&variant, &SimConfig::default()).unwrap();
+        let rebuilt_report = rebuilt.run(40).unwrap();
+
+        // Same behaviour via reset_with_source_patterns on the original build.
+        let mut sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        sim.run(9).unwrap(); // dirty the state first
+        sim.reset_with_source_patterns(&[(src, pattern)]);
         let report = sim.run(40).unwrap();
 
         assert_eq!(sim.trace(), rebuilt.trace());

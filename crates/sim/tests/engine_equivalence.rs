@@ -113,6 +113,34 @@ fn a_deep_zero_backward_chain_is_engine_equivalent() {
 }
 
 #[test]
+fn a_lazy_fork_behind_a_join_settles_under_both_engines() {
+    // Regression (found by the elastic-gen differential fuzzer): the lazy
+    // fork's eval used to write its branch valids twice per call — once
+    // optimistically, once gated by all-branches-ready. The full-sweep
+    // engine's convergence test counts every write, so a lazy fork whose
+    // consumer stops it oscillated forever and was misreported as a
+    // combinational loop, while the worklist engine (which terminates on
+    // worklist drain) settled fine.
+    use elastic_core::kind::{ForkSpec, FunctionSpec, SinkSpec, SourceSpec};
+    use elastic_core::{Netlist, Op, Port};
+
+    let mut n = Netlist::new("lazy_fork_regression");
+    let src = n.add_source("src", SourceSpec::always());
+    let fork = n.add_fork("fork", ForkSpec::lazy(3));
+    let f = n.add_function("f", FunctionSpec::with_inputs(Op::Inc, 1));
+    let s0 = n.add_sink("s0", SinkSpec::always_ready());
+    let s1 = n.add_sink("s1", SinkSpec::always_ready());
+    let s2 = n.add_sink("s2", SinkSpec::always_ready());
+    n.connect(Port::output(src, 0), Port::input(fork, 0), 8).unwrap();
+    n.connect(Port::output(fork, 0), Port::input(f, 0), 8).unwrap();
+    n.connect(Port::output(f, 0), Port::input(s0, 0), 8).unwrap();
+    n.connect(Port::output(fork, 1), Port::input(s1, 0), 8).unwrap();
+    n.connect(Port::output(fork, 2), Port::input(s2, 0), 8).unwrap();
+
+    assert_engines_equivalent("lazy-fork-join", &n, 100);
+}
+
+#[test]
 fn the_variable_latency_designs_are_engine_equivalent() {
     let config = library::VarLatencyConfig {
         width: 8,

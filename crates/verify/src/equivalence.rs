@@ -14,7 +14,7 @@
 //! (`record_trace: false`) and the comparison is allocation-free per cycle.
 
 use elastic_core::{Netlist, NodeId};
-use elastic_sim::{SimConfig, SimError, Simulation};
+use elastic_sim::{SimConfig, SimError, Simulation, SimulationReport};
 
 use crate::Verdict;
 
@@ -47,7 +47,24 @@ pub fn transfer_equivalent(
     let config = SimConfig { record_trace: false, ..SimConfig::default() };
     let reference_report = Simulation::new(reference, &config)?.run(cycles)?;
     let transformed_report = Simulation::new(transformed, &config)?.run(cycles)?;
+    Ok(compare_transfer_streams(reference, &reference_report, transformed, &transformed_report))
+}
 
+/// Compares the sink transfer streams of two already-simulated designs.
+///
+/// This is the report-level core of [`transfer_equivalent`], exposed so that
+/// harnesses which drive the simulations themselves — e.g. the
+/// environment/scheduler injection sweeps of [`crate::battery`], which build
+/// one [`Simulation`] per design and reset it per variation — can reuse the
+/// exact same prefix-comparison semantics: for every sink name present in the
+/// reference design, one design's value stream must be a prefix of the
+/// other's (sinks are matched by instance name).
+pub fn compare_transfer_streams(
+    reference: &Netlist,
+    reference_report: &SimulationReport,
+    transformed: &Netlist,
+    transformed_report: &SimulationReport,
+) -> EquivalenceReport {
     let mut verdict = Verdict::default();
     let mut compared = Vec::new();
 
@@ -95,7 +112,7 @@ pub fn transfer_equivalent(
         compared.push((name, common));
     }
 
-    Ok(EquivalenceReport { compared, verdict })
+    EquivalenceReport { compared, verdict }
 }
 
 #[cfg(test)]

@@ -19,6 +19,10 @@
 //!   modules: no token is lost, duplicated or reordered (the observable
 //!   content of the paper's refinement proof of shared module ∘ EB against
 //!   the EB specification);
+//! * [`battery`] — the whole gauntlet behind one entry point per
+//!   reference/transformed pair, plus environment- and scheduler-injection
+//!   equivalence sweeps; this is what the `elastic-gen` differential fuzzing
+//!   harness runs on every generated netlist and transformation;
 //! * [`exploration`] — bounded exhaustive exploration of environment
 //!   behaviour (all back-pressure/offer patterns up to a depth) plus
 //!   randomized adversarial schedulers, the substitute for symbolic model
@@ -28,12 +32,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod battery;
 pub mod conservation;
 pub mod equivalence;
 pub mod exploration;
 pub mod liveness;
 pub mod properties;
 
+pub use battery::{
+    check_equivalence_across_schedulers, check_equivalence_under_environments,
+    check_transform_battery, BatteryOptions, EnvironmentOverride,
+};
 pub use equivalence::transfer_equivalent;
 pub use properties::{check_netlist_protocol, ProtocolViolation};
 

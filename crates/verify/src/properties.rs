@@ -14,7 +14,7 @@
 //! liveness property is interpreted over a configurable starvation window, as
 //! usual when checking liveness on bounded executions.
 
-use elastic_core::{ChannelId, Netlist};
+use elastic_core::{ChannelId, Netlist, NodeId};
 use elastic_sim::{ChannelState, Trace};
 
 use crate::Verdict;
@@ -125,21 +125,56 @@ pub fn check_channel(
     violations
 }
 
+/// Nodes whose driven `V+` may legally be retracted: the speculative
+/// producers of Section 4.2 — shared modules and early-evaluation muxes
+/// retract a stopped token when the prediction changes — plus lazy forks
+/// (a branch's copy is withheld, and taken back, while any other branch is
+/// not ready), **transitively closed over combinational consumers**: a
+/// function block, mux or fork fed by a retracting producer derives its
+/// valid from the retracting one and re-emits the retraction wave, so its
+/// outputs inherit the exemption. Sequential nodes (buffers,
+/// variable-latency units) and environments cut the cone — which is exactly
+/// why the paper's designs park an elastic buffer behind every speculative
+/// region (found by the elastic-gen fuzzer: retiming the isolating buffer
+/// away from a shared module flagged spurious Retry+ violations one
+/// function block downstream).
+fn retraction_exempt_producers(netlist: &Netlist) -> std::collections::BTreeSet<NodeId> {
+    use elastic_core::NodeKind;
+    let mut exempt: std::collections::BTreeSet<NodeId> = netlist
+        .live_nodes()
+        .filter(|node| match &node.kind {
+            NodeKind::Shared(_) => true,
+            NodeKind::Mux(spec) => spec.early_eval,
+            NodeKind::Fork(spec) => !spec.eager,
+            _ => false,
+        })
+        .map(|node| node.id)
+        .collect();
+    let mut frontier: Vec<NodeId> = exempt.iter().copied().collect();
+    while let Some(node) = frontier.pop() {
+        for channel in netlist.output_channels(node) {
+            let consumer = channel.to.node;
+            if exempt.contains(&consumer) {
+                continue;
+            }
+            let combinational = netlist.node(consumer).is_some_and(|n| {
+                matches!(n.kind, NodeKind::Function(_) | NodeKind::Mux(_) | NodeKind::Fork(_))
+            });
+            if combinational {
+                exempt.insert(consumer);
+                frontier.push(consumer);
+            }
+        }
+    }
+    exempt
+}
+
 /// Checks the SELF properties on every channel of a recorded trace.
 pub fn check_trace(netlist: &Netlist, trace: &Trace, options: &ProtocolOptions) -> Verdict {
     let mut verdict = Verdict::default();
+    let exempt = retraction_exempt_producers(netlist);
     for channel in netlist.live_channels() {
-        // Section 4.2: shared-module outputs (and the early-evaluation mux
-        // they feed) are allowed to retract a stopped token when the
-        // scheduler changes its prediction.
-        let producer_exempt = netlist
-            .node(channel.from.node)
-            .map(|node| match &node.kind {
-                elastic_core::NodeKind::Shared(_) => true,
-                elastic_core::NodeKind::Mux(spec) => spec.early_eval,
-                _ => false,
-            })
-            .unwrap_or(false);
+        let producer_exempt = exempt.contains(&channel.from.node);
         for violation in
             check_channel(channel.id, trace.channel_iter(channel.id), options, !producer_exempt)
         {

@@ -1,0 +1,177 @@
+//! The bounded differential fuzz smoke suite.
+//!
+//! Runs a fixed-seed batch of generated netlists through the full
+//! `elastic-gen` gauntlet — engine differential against the FullSweep
+//! oracle, transform equivalence, liveness, token conservation, scheduler
+//! and environment injection — split across the generation-space presets.
+//! The batch size defaults to 500 cases and scales with the
+//! `ELASTIC_FUZZ_CASES` environment variable for long runs:
+//!
+//! ```text
+//! ELASTIC_FUZZ_CASES=20000 cargo test --release --test fuzz_smoke
+//! ```
+//!
+//! On failure the offending case is shrunk to a minimal reproducer and the
+//! test panics with a runnable Rust snippet rebuilding it — paste the
+//! snippet into a unit test (or add the seed to `crates/gen/corpus/`) to
+//! pin the regression.
+
+use elastic_gen::{run_case, shrink_failure, GenConfig, HarnessOptions, ShrinkOptions};
+use elastic_sim::sweep::parallel_map_with;
+
+/// Per-worker scratch of the parallel sweep: counters aggregated after the
+/// run (workers accumulate locally, no shared-state synchronization on the
+/// hot path).
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerStats {
+    cases: u64,
+    transforms: u64,
+    skips: u64,
+}
+
+fn fuzz_cases() -> usize {
+    std::env::var("ELASTIC_FUZZ_CASES")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(500)
+        .max(4)
+}
+
+#[test]
+fn fuzz_smoke_differential_suite() {
+    let total = fuzz_cases();
+    let options = HarnessOptions::default();
+    // Split the budget across the generation-space presets; every preset
+    // keeps a fixed seed base so a given ELASTIC_FUZZ_CASES value always
+    // replays the same batch.
+    let presets = [
+        ("default", GenConfig::default(), 0x5EED_0000_0000u64),
+        ("pipelines", GenConfig::pipelines(), 0x5EED_0001_0000),
+        ("loops", GenConfig::loops(), 0x5EED_0002_0000),
+        ("small", GenConfig::small(), 0x5EED_0003_0000),
+    ];
+    let per_preset = total.div_ceil(presets.len());
+
+    for (name, config, base) in presets {
+        let seeds: Vec<u64> = (0..per_preset as u64).map(|index| base + index).collect();
+        // Per-worker scratch: each worker thread keeps its own counters (and
+        // is where heavier reusable per-worker state — e.g. simulations kept
+        // alive across same-netlist checks — rides in longer harness runs),
+        // so the hot path shares nothing between threads.
+        let failures: Vec<_> =
+            parallel_map_with(&seeds, WorkerStats::default, |stats, _index, &seed| {
+                stats.cases += 1;
+                match run_case(seed, &config, &options) {
+                    Ok(report) => {
+                        stats.transforms += report.transforms.len() as u64;
+                        stats.skips +=
+                            report.notes.iter().filter(|note| note.starts_with("skipped ")).count()
+                                as u64;
+                        None
+                    }
+                    Err(failure) => Some(failure),
+                }
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+
+        if let Some(failure) = failures.first() {
+            let reproducer = shrink_failure(failure, &options, &ShrinkOptions { max_checks: 256 });
+            panic!(
+                "fuzz preset `{name}`: {} of {per_preset} cases failed.\nFirst failure: \
+                 {failure}\nShrunk reproducer ({} nodes):\n{}",
+                failures.len(),
+                reproducer.netlist.node_count(),
+                reproducer.snippet
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzzed_transform_coverage_is_nontrivial() {
+    // The smoke suite must actually exercise transforms — a batch where every
+    // transform was skipped on preconditions would be a silent coverage
+    // collapse. Checked on a small fixed slice so the assertion is cheap.
+    let options = HarnessOptions::default();
+    let config = GenConfig::loops();
+    let mut transforms = 0usize;
+    let mut speculations = 0usize;
+    for seed in 0x5EED_0002_0000u64..0x5EED_0002_0010 {
+        let report = run_case(seed, &config, &options).unwrap_or_else(|failure| {
+            panic!("coverage slice must pass: {failure}");
+        });
+        speculations +=
+            report.transforms.iter().filter(|name| name.starts_with("speculate")).count();
+        transforms += report.transforms.len();
+    }
+    assert!(transforms >= 40, "only {transforms} transforms across 16 loop seeds");
+    assert!(speculations >= 12, "only {speculations} speculations across 16 loop seeds");
+}
+
+#[test]
+fn an_injected_broken_transform_is_caught_and_shrunk() {
+    // Acceptance gate of the fuzzing subsystem: a transformation that
+    // silently corrupts data — here, one that inserts an increment while
+    // claiming bubble-equivalence — must be (a) detected by the equivalence
+    // battery and (b) shrunk to a tiny, serializable reproducer.
+    use elastic_core::transform::insert_buffer_on_channel;
+    use elastic_core::{BufferSpec, FunctionSpec, Netlist, NodeKind, Op, Port};
+    use elastic_gen::{generate, shrink_netlist, to_rust_snippet};
+    use elastic_verify::transfer_equivalent;
+
+    /// The sabotaged "bubble": a unit-capacity buffer plus a hidden `Inc`
+    /// on the channel feeding the first sink.
+    fn broken_bubble(netlist: &mut Netlist) -> bool {
+        let Some(channel) = netlist
+            .live_nodes()
+            .find(|node| matches!(node.kind, NodeKind::Sink(_)))
+            .and_then(|sink| netlist.channel_into(Port::input(sink.id, 0)))
+            .map(|channel| channel.id)
+        else {
+            return false;
+        };
+        let width = netlist.channel(channel).map(|c| c.width).unwrap_or(8);
+        let Ok(buffer) = insert_buffer_on_channel(netlist, channel, BufferSpec::bubble()) else {
+            return false;
+        };
+        // Sneak an increment in behind the buffer.
+        let out = netlist.channel_from(Port::output(buffer, 0)).map(|c| (c.id, c.to)).unwrap();
+        let inc = netlist.add_function("not_a_bubble", FunctionSpec::with_inputs(Op::Inc, 1));
+        netlist.set_channel_target(out.0, Port::input(inc, 0)).unwrap();
+        netlist.connect(Port::output(inc, 0), out.1, width).unwrap();
+        true
+    }
+
+    let caught = |netlist: &Netlist| -> bool {
+        let mut transformed = netlist.clone();
+        if !broken_bubble(&mut transformed) || transformed.validate().is_err() {
+            return false;
+        }
+        match transfer_equivalent(netlist, &transformed, 128) {
+            Ok(report) => !report.verdict.passed(),
+            Err(_) => false,
+        }
+    };
+
+    let generated = generate(0xB0B0_CAFE, &GenConfig::default());
+    assert!(
+        generated.netlist.node_count() >= 12,
+        "the starting netlist must be non-trivial ({} nodes)",
+        generated.netlist.node_count()
+    );
+    assert!(caught(&generated.netlist), "the broken transform must be detected on the full case");
+
+    let shrunk = shrink_netlist(&generated.netlist, caught, &elastic_gen::ShrinkOptions::default());
+    assert!(caught(&shrunk), "shrinking must preserve the failure");
+    assert!(
+        shrunk.node_count() <= 8,
+        "the reproducer must shrink to at most 8 nodes, got {}:\n{}",
+        shrunk.node_count(),
+        to_rust_snippet(&shrunk)
+    );
+    let snippet = to_rust_snippet(&shrunk);
+    assert!(snippet.contains("Netlist::new"));
+    assert!(snippet.contains("n.validate().unwrap();"));
+}

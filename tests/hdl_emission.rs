@@ -47,6 +47,108 @@ fn speculative_designs_reference_the_speculation_primitives() {
     assert!(library.contains("elastic_eb_lb0"));
 }
 
+/// Minimal structural parse of an emitted Verilog module: instance count and
+/// the set of channel wire bundles (one `_vp` wire per channel).
+fn parse_verilog_structure(verilog: &str) -> (usize, usize) {
+    let instances = verilog.matches("  elastic_").count();
+    let wire_bundles = verilog
+        .lines()
+        .filter(|line| line.trim_start().starts_with("wire ") && line.contains("_vp"))
+        .count();
+    (instances, wire_bundles)
+}
+
+/// Minimal structural parse of an emitted BLIF model: subckt count and the
+/// set of distinct `_vp` nets referenced by the pin connections.
+fn parse_blif_structure(blif: &str) -> (usize, usize) {
+    let subckts = blif.matches(".subckt").count();
+    let mut nets = std::collections::BTreeSet::new();
+    for line in blif.lines().filter(|line| line.starts_with(".subckt")) {
+        for pin in line.split_whitespace() {
+            if let Some((_, net)) = pin.split_once('=') {
+                if net.ends_with("_vp") {
+                    nets.insert(net.to_string());
+                }
+            }
+        }
+    }
+    (subckts, nets.len())
+}
+
+#[test]
+fn generated_netlists_emit_parseable_verilog_and_blif() {
+    // Fuzz the emitters: every generated netlist (loops, shared modules,
+    // variable-latency units, mixed widths included) must emit without
+    // panicking, and the emitted text must parse back to the generating
+    // netlist's node and channel counts.
+    use elastic_gen::{generate, GenConfig};
+
+    for (config, seeds) in [
+        (GenConfig::default(), 0..25u64),
+        (GenConfig::loops(), 100..125),
+        (GenConfig::pipelines(), 200..225),
+    ] {
+        for seed in seeds {
+            let generated = generate(seed, &config);
+            let netlist = &generated.netlist;
+
+            let verilog = emit_verilog(netlist);
+            let (instances, wire_bundles) = parse_verilog_structure(&verilog);
+            assert_eq!(instances, netlist.node_count(), "seed {seed}: verilog instance count");
+            assert_eq!(
+                wire_bundles,
+                netlist.channel_count(),
+                "seed {seed}: one wire bundle per channel"
+            );
+            assert!(verilog.ends_with("endmodule\n"), "seed {seed}: well-terminated module");
+
+            let blif = emit_blif(netlist);
+            let (subckts, nets) = parse_blif_structure(&blif);
+            assert_eq!(subckts, netlist.node_count(), "seed {seed}: blif subckt count");
+            assert_eq!(
+                nets,
+                netlist.channel_count(),
+                "seed {seed}: every channel contributes one V+ net"
+            );
+            assert!(blif.trim_end().ends_with(".end"), "seed {seed}: well-terminated model");
+
+            assert_eq!(verilog, emit_verilog(netlist), "seed {seed}: verilog determinism");
+            assert_eq!(blif, emit_blif(netlist), "seed {seed}: blif determinism");
+        }
+    }
+}
+
+#[test]
+fn transformed_generated_netlists_still_emit_cleanly() {
+    // Speculation rewrites the netlist heavily (shared module, early mux,
+    // possibly recovery/isolation buffers); the emitters must keep up on
+    // generated — not just library — designs.
+    use elastic_core::transform::{find_select_cycles, speculate, SpeculateOptions};
+    use elastic_gen::{generate, GenConfig};
+
+    let mut speculated = 0;
+    for seed in 0..15u64 {
+        let generated = generate(seed, &GenConfig::loops());
+        let mut netlist = generated.netlist.clone();
+        for &mux in &generated.profile.select_loop_muxes {
+            if find_select_cycles(&netlist, mux).map(|c| c.is_empty()).unwrap_or(true) {
+                continue;
+            }
+            if speculate(&mut netlist, mux, &SpeculateOptions::default()).is_ok() {
+                speculated += 1;
+            }
+        }
+        let verilog = emit_verilog(&netlist);
+        let (instances, wire_bundles) = parse_verilog_structure(&verilog);
+        assert_eq!(instances, netlist.node_count(), "seed {seed}");
+        assert_eq!(wire_bundles, netlist.channel_count(), "seed {seed}");
+        let (subckts, nets) = parse_blif_structure(&emit_blif(&netlist));
+        assert_eq!(subckts, netlist.node_count(), "seed {seed}");
+        assert_eq!(nets, netlist.channel_count(), "seed {seed}");
+    }
+    assert!(speculated >= 10, "only {speculated} speculations across 15 loop seeds");
+}
+
 #[test]
 fn transformations_only_change_the_affected_instances() {
     // Speculation rewires the F block into a shared module but leaves the
