@@ -208,6 +208,13 @@ impl CostModel {
                     + width * self.flipflop_area_per_bit
                     + self.eb_controller_area
             }
+            NodeKind::Commit(spec) => {
+                // One result register bank per lane entry plus an EB-grade
+                // controller per lane.
+                let lanes = spec.lanes.max(1) as f64;
+                lanes * f64::from(spec.depth.max(1)) * width * self.flipflop_area_per_bit
+                    + lanes * self.eb_controller_area
+            }
             NodeKind::Source(_) | NodeKind::Sink(_) => 0.0,
             _ => 0.0,
         }

@@ -61,7 +61,7 @@ pub fn speculation_candidates(netlist: &Netlist, model: &CostModel) -> Vec<Specu
                 .filter_map(|id| netlist.node(*id))
                 .map(|n| match &n.kind {
                     NodeKind::Buffer(spec) => u64::from(spec.forward_latency),
-                    NodeKind::VarLatency(_) => 1,
+                    NodeKind::VarLatency(_) | NodeKind::Commit(_) => 1,
                     _ => 0,
                 })
                 .sum();

@@ -77,7 +77,7 @@ impl MarkedGraphAnalysis {
 fn node_latency(netlist: &Netlist, node: NodeId) -> u64 {
     match netlist.node(node).map(|n| &n.kind) {
         Some(NodeKind::Buffer(spec)) => u64::from(spec.forward_latency),
-        Some(NodeKind::VarLatency(_)) => 1,
+        Some(NodeKind::VarLatency(_) | NodeKind::Commit(_)) => 1,
         _ => 0,
     }
 }

@@ -256,6 +256,44 @@ impl SharedSpec {
     }
 }
 
+/// Specification of an in-order commit stage for a speculative shared module
+/// (Section 4.2).
+///
+/// The commit stage sits between the user outputs of a shared module and the
+/// data inputs of the early-evaluation multiplexor that resolves the
+/// speculation. Each *lane* is a small FIFO (`depth` entries) that parks the
+/// speculatively computed result of one user until the consumer either
+/// commits it (forward transfer) or squashes it (anti-token). Its outputs are
+/// **persistent**: once a lane offers a result, the offer is never retracted
+/// when the scheduler's prediction changes — which is what makes the
+/// downstream observation order independent of the scheduler. Within a lane,
+/// results commit in exactly operand order; across lanes, the resolving
+/// multiplexor consumes in select (program) order, so no wrong-path result
+/// ever escapes the stage.
+///
+/// Port convention: input port `i` and output port `i` belong to lane `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CommitSpec {
+    /// Number of independent result lanes (one per shared-module user).
+    pub lanes: usize,
+    /// FIFO depth of each lane (how far the scheduler may run ahead of the
+    /// resolution point).
+    pub depth: u32,
+}
+
+impl CommitSpec {
+    /// A commit stage with one result slot per lane.
+    pub fn new(lanes: usize) -> Self {
+        CommitSpec { lanes, depth: 1 }
+    }
+
+    /// Sets the per-lane FIFO depth.
+    pub fn with_depth(mut self, depth: u32) -> Self {
+        self.depth = depth;
+        self
+    }
+}
+
 /// Specification of a variable-latency unit (Figure 6(a), "stalling" style).
 ///
 /// The unit computes `approx` in one cycle; when the error detector reports
@@ -402,6 +440,8 @@ pub enum NodeKind {
     Fork(ForkSpec),
     /// Speculative shared module with a scheduler.
     Shared(SharedSpec),
+    /// In-order commit stage for a speculative shared module.
+    Commit(CommitSpec),
     /// Variable-latency unit (stalling implementation, Figure 6(a)).
     VarLatency(VarLatencySpec),
     /// Input environment.
@@ -419,6 +459,7 @@ impl NodeKind {
             NodeKind::Mux(m) => 1 + m.data_inputs,
             NodeKind::Fork(_) => 1,
             NodeKind::Shared(s) => s.users * s.inputs_per_user,
+            NodeKind::Commit(c) => c.lanes,
             NodeKind::VarLatency(v) => v.inputs,
             NodeKind::Source(_) => 0,
             NodeKind::Sink(_) => 1,
@@ -433,6 +474,7 @@ impl NodeKind {
             NodeKind::Mux(_) => 1,
             NodeKind::Fork(f) => f.outputs,
             NodeKind::Shared(s) => s.users,
+            NodeKind::Commit(c) => c.lanes,
             NodeKind::VarLatency(_) => 1,
             NodeKind::Source(_) => 1,
             NodeKind::Sink(_) => 0,
@@ -440,13 +482,29 @@ impl NodeKind {
     }
 
     /// `true` for sequential nodes (nodes that break combinational paths).
+    ///
+    /// The commit stage qualifies: a lane's output valid is a function of its
+    /// FIFO occupancy alone, so the forward valid/retraction wave of its
+    /// producer never crosses it (its *backward* stop path is combinational,
+    /// like the Figure-5 zero-backward buffer).
     pub fn is_sequential(&self) -> bool {
-        matches!(self, NodeKind::Buffer(_) | NodeKind::VarLatency(_))
+        matches!(self, NodeKind::Buffer(_) | NodeKind::VarLatency(_) | NodeKind::Commit(_))
     }
 
     /// `true` for environment nodes (sources and sinks).
     pub fn is_environment(&self) -> bool {
         matches!(self, NodeKind::Source(_) | NodeKind::Sink(_))
+    }
+
+    /// `true` for combinational nodes: their control outputs (valids, stops,
+    /// kills) re-derive from their inputs within the settle phase, so
+    /// retraction waves, stop chains and lazy-rendezvous withholding all
+    /// traverse them. The complement of sequential and environment nodes —
+    /// kept as one predicate because the transform-side analyses
+    /// (retraction domains, rendezvous regions, taint closures) must agree
+    /// on exactly this set.
+    pub fn is_combinational(&self) -> bool {
+        !self.is_sequential() && !self.is_environment()
     }
 
     /// Short kind name used in reports and emitted HDL.
@@ -457,6 +515,7 @@ impl NodeKind {
             NodeKind::Mux(_) => "mux",
             NodeKind::Fork(_) => "fork",
             NodeKind::Shared(_) => "shared",
+            NodeKind::Commit(_) => "commit",
             NodeKind::VarLatency(_) => "varlatency",
             NodeKind::Source(_) => "source",
             NodeKind::Sink(_) => "sink",

@@ -66,8 +66,8 @@ pub mod validate;
 pub use error::{CoreError, Result};
 pub use id::{ChannelId, NodeId, Port, PortDir};
 pub use kind::{
-    BufferSpec, ForkSpec, FunctionSpec, MuxSpec, NodeKind, SchedulerKind, SharedSpec, SinkSpec,
-    SourceSpec, VarLatencySpec,
+    BufferSpec, CommitSpec, ForkSpec, FunctionSpec, MuxSpec, NodeKind, SchedulerKind, SharedSpec,
+    SinkSpec, SourceSpec, VarLatencySpec,
 };
 pub use netlist::{Channel, Netlist, Node};
 pub use op::Op;

@@ -739,6 +739,32 @@ mod tests {
     }
 
     #[test]
+    fn paper_loop_speculations_stay_isolation_free() {
+        // The retraction-domain analysis must leave both paper loops alone:
+        // Figure 1(d)'s cone is cut by the loop EB and Figure 7(b)'s cone
+        // cannot stall (one loop token against capacity 2, always-ready
+        // observer), so neither design receives an isolation bubble or a
+        // commit stage — their cycle ratios are exactly the paper's.
+        for netlist in [
+            fig1d(&Fig1Config::default()).netlist,
+            resilient_speculative(&ResilientConfig::default()).netlist,
+        ] {
+            let histogram = netlist.kind_histogram();
+            assert_eq!(
+                histogram.get("commit"),
+                None,
+                "{}: cyclic speculation must not insert a commit stage",
+                netlist.name()
+            );
+            assert!(
+                netlist.live_nodes().all(|n| !n.name.starts_with("eb_on_")),
+                "{}: no isolation bubble may be placed",
+                netlist.name()
+            );
+        }
+    }
+
+    #[test]
     fn table1_netlist_matches_the_published_streams() {
         let handles = table1();
         handles.netlist.validate().unwrap();

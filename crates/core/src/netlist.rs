@@ -11,8 +11,8 @@ use std::collections::BTreeMap;
 use crate::error::{CoreError, Result};
 use crate::id::{ChannelId, NodeId, Port, PortDir};
 use crate::kind::{
-    BufferSpec, ForkSpec, FunctionSpec, MuxSpec, NodeKind, SharedSpec, SinkSpec, SourceSpec,
-    VarLatencySpec,
+    BufferSpec, CommitSpec, ForkSpec, FunctionSpec, MuxSpec, NodeKind, SharedSpec, SinkSpec,
+    SourceSpec, VarLatencySpec,
 };
 use crate::op::Op;
 
@@ -168,6 +168,11 @@ impl Netlist {
     /// Adds a speculative shared module.
     pub fn add_shared(&mut self, name: impl Into<String>, spec: SharedSpec) -> NodeId {
         self.add_node(name, NodeKind::Shared(spec))
+    }
+
+    /// Adds an in-order commit stage for a speculative shared module.
+    pub fn add_commit(&mut self, name: impl Into<String>, spec: CommitSpec) -> NodeId {
+        self.add_node(name, NodeKind::Commit(spec))
     }
 
     /// Adds a variable-latency unit (stalling implementation).

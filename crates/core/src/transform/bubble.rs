@@ -7,10 +7,110 @@
 //! holding one anti-token — the `0 = 1 − 1` rule used to enable retiming of
 //! EBs with different initial occupancies.
 
+use std::collections::BTreeSet;
+
 use crate::error::{CoreError, Result};
 use crate::id::{ChannelId, NodeId, Port};
 use crate::kind::{BufferSpec, NodeKind};
 use crate::netlist::Netlist;
+
+/// Nodes reachable downstream of `start` through *combinational* nodes only
+/// (function blocks, muxes, forks, shared modules). Sequential nodes
+/// (buffers, commit stages, variable-latency units) and environments absorb
+/// latency skew — they hold tokens — so the traversal stops there.
+fn combinational_closure(netlist: &Netlist, start: NodeId) -> BTreeSet<NodeId> {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![start];
+    while let Some(node) = stack.pop() {
+        let combinational = netlist.node(node).is_some_and(|n| n.kind.is_combinational());
+        if !combinational {
+            continue;
+        }
+        if seen.insert(node) {
+            stack.extend(netlist.successors(node));
+        }
+    }
+    seen
+}
+
+/// Latency insertion on `channel` would break a lazy fork's rendezvous.
+///
+/// A lazy fork delivers all branch copies in the same cycle, so when its
+/// branches reconverge (at a join, a lazy mux, …) the reconverging paths
+/// must stay *register-balanced*: adding a cycle of latency to one path
+/// makes the join wait for a token that can only arrive after the fork
+/// fires — which the fork refuses to do until the join is ready. Unlike
+/// eager forks, lazy forks are not latency-insensitive, and the
+/// bubble-insertion theorem of Section 2 does not extend to them.
+///
+/// The hazard is *regional*, not local: the rendezvous extends through
+/// every combinational node downstream of the lazy fork — including eager
+/// forks, whose incremental delivery needs an input token to hold, which a
+/// combinational chain back to a withholding lazy fork cannot provide. The
+/// refusal therefore covers any diamond (fork `F` diverging, paths
+/// reconverging downstream) where
+///
+/// * the diverging fork is lazy, **or** eager but combinationally fed from
+///   a lazy fork (its input cannot wait), and
+/// * the insertion channel lies on one combinational branch path while a
+///   different branch reaches the insertion's downstream combinationally —
+///   no storage anywhere to absorb the new skew.
+///
+/// (Both shapes were found by the elastic-gen differential fuzzer the
+/// moment lazy forks entered the generation space: a bubble on a direct
+/// rendezvous branch, and a bubble inside an eager-fork diamond fed
+/// combinationally by a lazy fork, each deadlocked the whole region.)
+fn lazy_rendezvous_conflict(netlist: &Netlist, channel: ChannelId) -> Option<String> {
+    let channel = netlist.channel(channel)?;
+    let insertion_producer = channel.from.node;
+    let down = {
+        let mut down = combinational_closure(netlist, channel.to.node);
+        // The consumer itself can be the reconvergence point even when it is
+        // not combinational-traversable (it still joins two channels).
+        down.insert(channel.to.node);
+        down
+    };
+
+    // Nodes whose tokens are withheld (not held) while a lazy rendezvous is
+    // unresolved: the combinational closure of every lazy fork's branches
+    // (one shared model with the retraction/speculation analyses).
+    let lazy_tainted = super::lazy_tainted_nodes(netlist);
+
+    for fork in netlist.live_nodes().filter(|n| match &n.kind {
+        NodeKind::Fork(spec) => !spec.eager || lazy_tainted.contains(&n.id),
+        _ => false,
+    }) {
+        let branches = netlist.output_channels(fork.id);
+        let mut through: Vec<usize> = Vec::new();
+        let mut closures: Vec<(usize, BTreeSet<NodeId>)> = Vec::new();
+        for (index, branch) in branches.iter().enumerate() {
+            let mut closure = combinational_closure(netlist, branch.to.node);
+            closure.insert(branch.to.node);
+            if branch.id == channel.id || closure.contains(&insertion_producer) {
+                through.push(index);
+            }
+            closures.push((index, closure));
+        }
+        if through.is_empty() {
+            continue;
+        }
+        for (index, closure) in &closures {
+            if through.contains(index) {
+                continue;
+            }
+            if closure.intersection(&down).next().is_some() {
+                return Some(format!(
+                    "channel {} lies inside the rendezvous region of fork {} ({}): branch {} \
+                     reconverges with it combinationally, and the region's paths must stay \
+                     register-balanced (adding latency here would deadlock the rendezvous; \
+                     insert upstream of the lazy fork or behind the region's buffers instead)",
+                    channel.id, fork.name, fork.id, index
+                ));
+            }
+        }
+    }
+    None
+}
 
 /// Inserts an elastic buffer with the given specification in the middle of a
 /// channel, returning the id of the new buffer node.
@@ -20,8 +120,9 @@ use crate::netlist::Netlist;
 ///
 /// # Errors
 ///
-/// Fails when the channel does not exist or the buffer specification violates
-/// `C >= Lf + Lb`.
+/// Fails when the channel does not exist, the buffer specification violates
+/// `C >= Lf + Lb`, or the insertion would unbalance a lazy fork's
+/// rendezvous (see `lazy_rendezvous_conflict` in the source).
 pub fn insert_buffer_on_channel(
     netlist: &mut Netlist,
     channel: ChannelId,
@@ -36,6 +137,9 @@ pub fn insert_buffer_on_channel(
                 spec.forward_latency + spec.backward_latency
             ),
         });
+    }
+    if let Some(reason) = lazy_rendezvous_conflict(netlist, channel) {
+        return Err(CoreError::Precondition { transform: "insert_buffer_on_channel", reason });
     }
     let (to, width, name) = {
         let ch = netlist.require_channel(channel)?;
@@ -221,6 +325,53 @@ mod tests {
         assert_eq!(n.node(token).unwrap().as_buffer().unwrap().init_tokens, 1);
         assert_eq!(n.node(anti).unwrap().as_buffer().unwrap().init_tokens, -1);
         assert_eq!(n.total_initial_tokens(), 0, "0 = 1 - 1 must not change the token count");
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn insertion_on_a_lazy_rendezvous_branch_is_refused() {
+        use crate::kind::{ForkSpec, MuxSpec};
+        // src → lazy fork → {mux select, mux data}; src2 → mux data; mux → sink
+        // (the minimal shape the fuzzer shrank to: a bubble on either
+        // reconverging branch deadlocks the rendezvous).
+        let mut n = Netlist::new("rendezvous");
+        let src = n.add_source("src", SourceSpec::always());
+        let fork = n.add_fork("lzfork", ForkSpec::lazy(2));
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let src2 = n.add_source("src2", SourceSpec::always());
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(src, 0), Port::input(fork, 0), 12).unwrap();
+        let sel_branch = n.connect(Port::output(fork, 0), Port::input(mux, 0), 12).unwrap();
+        n.connect(Port::output(src2, 0), Port::input(mux, 1), 9).unwrap();
+        let data_branch = n.connect(Port::output(fork, 1), Port::input(mux, 2), 12).unwrap();
+        let after_join = n.connect(Port::output(mux, 0), Port::input(sink, 0), 12).unwrap();
+        n.validate().unwrap();
+
+        for channel in [sel_branch, data_branch] {
+            let err = insert_bubble(&mut n, channel).unwrap_err();
+            assert!(err.to_string().contains("rendezvous"), "{err}");
+        }
+        // Downstream of the reconvergence the rendezvous is resolved; a
+        // bubble there is still fine.
+        insert_bubble(&mut n, after_join).unwrap();
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn insertion_near_an_eager_fork_is_unrestricted() {
+        use crate::kind::{ForkSpec, MuxSpec};
+        let mut n = Netlist::new("eager");
+        let src = n.add_source("src", SourceSpec::always());
+        let fork = n.add_fork("fork", ForkSpec::eager(2));
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let src2 = n.add_source("src2", SourceSpec::always());
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(src, 0), Port::input(fork, 0), 12).unwrap();
+        n.connect(Port::output(fork, 0), Port::input(mux, 0), 12).unwrap();
+        n.connect(Port::output(src2, 0), Port::input(mux, 1), 9).unwrap();
+        let data_branch = n.connect(Port::output(fork, 1), Port::input(mux, 2), 12).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(sink, 0), 12).unwrap();
+        insert_bubble(&mut n, data_branch).unwrap();
         n.validate().unwrap();
     }
 

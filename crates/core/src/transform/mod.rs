@@ -19,6 +19,7 @@
 //! | sharing with a speculative scheduler | [`share_mux_inputs`] | §4.1, Fig. 1(d) |
 //! | buffer latency re-parameterisation | [`set_buffer_latencies`], [`make_zero_backward`] | §4.3, Fig. 5 |
 //! | recovery-buffer insertion | [`insert_recovery_buffers`] | §4.1 |
+//! | retraction-domain analysis + isolation placement | [`retraction_domain`], [`place_isolation_buffers`] | §4.2 |
 //! | **speculation** (the composite pass) | [`speculate`] | §4 |
 //!
 //! The [`Transformer`] wrapper keeps an undo/redo history, mirroring the
@@ -28,6 +29,7 @@ mod bubble;
 mod buffers;
 mod early_eval;
 mod retime;
+mod retraction;
 mod shannon;
 mod share;
 mod speculate;
@@ -36,6 +38,10 @@ pub use bubble::{insert_bubble, insert_buffer_on_channel, remove_buffer, split_e
 pub use buffers::{insert_recovery_buffers, make_zero_backward, set_buffer_latencies};
 pub use early_eval::{disable_early_evaluation, enable_early_evaluation};
 pub use retime::{retime_backward, retime_forward};
+pub use retraction::{
+    backpressure_may_stall, ill_formed_lazy_forks, lazy_tainted_nodes, place_isolation_buffers,
+    retraction_domain, FrontierClass, RetractionDomain, RetractionHazard,
+};
 pub use shannon::{shannon_decompose, ShannonReport};
 pub use share::{share_mux_inputs, ShareOptions, ShareReport};
 pub use speculate::{find_select_cycles, speculate, SpeculateOptions, SpeculationReport};

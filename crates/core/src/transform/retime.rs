@@ -83,6 +83,33 @@ fn fed_by_retracting_producer(netlist: &Netlist, node: NodeId) -> bool {
     false
 }
 
+/// Checks that a buffer about to be retimed is not *width-converting*: with
+/// unequal channel widths the buffer doubles as a width adapter (producers
+/// mask to their output channel's width), and moving it across a block moves
+/// the truncation point — `mask9(lut(x))` zero-extended to 15 bits is not
+/// `mask15(lut(x))` (found by the elastic-gen differential fuzzer on a Lut
+/// whose raw result exceeded the narrow channel).
+fn check_width_side_condition(
+    transform: &'static str,
+    netlist: &Netlist,
+    buffer: NodeId,
+) -> Result<()> {
+    let input_width = netlist.channel_into(Port::input(buffer, 0)).map(|c| c.width);
+    let output_width = netlist.channel_from(Port::output(buffer, 0)).map(|c| c.width);
+    if let (Some(input), Some(output)) = (input_width, output_width) {
+        if input != output {
+            return Err(CoreError::Precondition {
+                transform,
+                reason: format!(
+                    "buffer {buffer} converts channel width {input} to {output}; moving the \
+                     truncation point across the block would change the data stream"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 fn check_isolation_side_condition(
     transform: &'static str,
     netlist: &Netlist,
@@ -148,6 +175,7 @@ pub fn retime_backward(netlist: &mut Netlist, block: NodeId) -> Result<Vec<NodeI
         let block_kind = netlist.require_node(block)?.kind.clone();
         check_data_side_condition("retime_backward", &block_kind, &buffer_spec)?;
     }
+    check_width_side_condition("retime_backward", netlist, buffer)?;
     // Moving the output buffer onto the inputs exposes the block's consumer
     // to any retraction wave the block sits in — including the one the block
     // *originates*: an early-evaluation mux retracts on its own, so the
@@ -240,9 +268,11 @@ pub fn retime_forward(netlist: &mut Netlist, block: NodeId) -> Result<NodeId> {
         check_data_side_condition("retime_forward", &block_kind, &spec)?;
     }
     // Splicing the input buffers out exposes the block to whatever feeds
-    // them; none of them may be confining a retracting producer.
+    // them; none of them may be confining a retracting producer — nor be
+    // converting channel widths (the truncation point must not move).
     for &buffer in &buffers {
         check_isolation_side_condition("retime_forward", netlist, buffer)?;
+        check_width_side_condition("retime_forward", netlist, buffer)?;
     }
 
     // Splice each input buffer out: its input channel now feeds the block directly.

@@ -14,18 +14,40 @@
 //! 4. share the duplicated logic behind a speculative shared module whose
 //!    scheduler predicts the select outcome.
 //!
-//! [`speculate`] performs all four steps; [`find_select_cycles`] exposes the
-//! structural precondition check so analysis tooling can report *why*
+//! Two soundness mechanisms complete the composition for arbitrary
+//! (generator-produced) netlists, both motivated by differential-fuzzer
+//! findings:
+//!
+//! * on **feed-forward** multiplexors ([`SpeculateOptions::allow_acyclic`])
+//!   an **in-order commit stage** ([`crate::kind::CommitSpec`]) is placed
+//!   between the shared module and the multiplexor: each user's speculative
+//!   result parks in a killable lane with a *persistent* offer, so results
+//!   commit per-lane in operand order, wrong-path results are squashed in
+//!   place by the early mux's anti-tokens before anything downstream can
+//!   observe them, and the module's output never retracts when the
+//!   scheduler's prediction changes — under *any* scheduler;
+//! * the **retraction-domain analysis**
+//!   ([`crate::transform::retraction_domain`]) walks the combinational cone
+//!   reachable from the multiplexor output and places an isolation bubble on
+//!   the entry channel of every *stallable fork* the retraction wave could
+//!   reach — the only consumers whose per-branch bookkeeping can commit a
+//!   phantom token. Non-stallable cones (Figure 7(b)) and cones cut by a
+//!   loop's elastic buffer (Figure 1(d)) receive no buffer, keeping the
+//!   paper's cycle ratios intact.
+//!
+//! [`speculate`] performs all of the above; [`find_select_cycles`] exposes
+//! the structural precondition check so analysis tooling can report *why*
 //! speculation is (not) applicable.
 
 use std::collections::HashSet;
 
 use crate::error::{CoreError, Result};
 use crate::id::{NodeId, Port};
-use crate::kind::{BufferSpec, NodeKind, SchedulerKind};
+use crate::kind::{BufferSpec, CommitSpec, SchedulerKind};
 use crate::netlist::Netlist;
 use crate::transform::{
-    enable_early_evaluation, insert_bubble, shannon_decompose, share_mux_inputs, ShareOptions,
+    enable_early_evaluation, lazy_tainted_nodes, place_isolation_buffers, shannon_decompose,
+    share_mux_inputs, ShareOptions,
 };
 
 /// Options controlling the composite [`speculate`] pass.
@@ -42,6 +64,20 @@ pub struct SpeculateOptions {
     /// exists (useful for purely feed-forward pipelines such as the SECDED
     /// example, where the gain is pipeline depth rather than cycle ratio).
     pub allow_acyclic: bool,
+    /// Insert an in-order commit stage ([`CommitSpec`]) between the shared
+    /// module and the multiplexor when speculating a *feed-forward* mux
+    /// (ignored on select loops, where the loop's own elastic buffer already
+    /// decouples the speculation and an extra pipeline stage would halve the
+    /// cycle ratio). The stage parks each user's speculative result in a
+    /// killable lane with a persistent offer, so the shared module's output
+    /// never retracts towards the multiplexor and the scheduler can never
+    /// starve against consumer back-pressure. On by default; disable only
+    /// for experiments on the raw (unsound for arbitrary consumers)
+    /// composition.
+    pub commit_stage: bool,
+    /// Per-lane depth of the commit stage (how far the scheduler may run
+    /// ahead of the resolution point).
+    pub commit_depth: u32,
 }
 
 impl Default for SpeculateOptions {
@@ -51,6 +87,8 @@ impl Default for SpeculateOptions {
             recovery_buffer: None,
             starvation_limit: Some(64),
             allow_acyclic: false,
+            commit_stage: true,
+            commit_depth: 1,
         }
     }
 }
@@ -70,31 +108,47 @@ pub struct SpeculationReport {
     /// (each cycle is a list of node ids; empty only when
     /// [`SpeculateOptions::allow_acyclic`] was set).
     pub select_cycles: Vec<Vec<NodeId>>,
-    /// Isolation bubble inserted on the multiplexor output when its consumer
-    /// was not retraction-tolerant (see [`speculate`]); `None` when the
-    /// consumer was already an elastic buffer, a variable-latency unit or an
-    /// environment.
-    pub isolation_buffer: Option<NodeId>,
+    /// The in-order commit stage inserted between the shared module and the
+    /// multiplexor (`None` on select loops or when
+    /// [`SpeculateOptions::commit_stage`] is off).
+    pub commit_stage: Option<NodeId>,
+    /// Isolation bubbles placed by the retraction-domain analysis
+    /// ([`crate::transform::retraction_domain`]): one on the entry channel of
+    /// each stallable fork the multiplexor's retraction cone can reach, and
+    /// nothing anywhere else — empty whenever the cone cannot observe a
+    /// phantom token (Figures 1(d) and 7(b) both qualify).
+    pub isolation_buffers: Vec<NodeId>,
 }
 
-/// `true` when the consumer of the speculative multiplexor's output channel
-/// tolerates *retraction*: the early-evaluation mux may take back a stopped
-/// token when the shared module's prediction changes (Section 4.2), so its
-/// consumer must commit solely from settled signals. Sequential nodes and
-/// environments qualify; combinational logic (functions, muxes) would
-/// propagate the retraction wave further — in particular into forks, whose
-/// per-branch bookkeeping would commit a retracted token (found by the
-/// elastic-gen differential fuzzer: a speculated mux feeding a function
-/// block feeding an eager fork leaked phantom values into one branch).
-fn consumer_tolerates_retraction(netlist: &Netlist, mux: NodeId) -> bool {
-    let Some(channel) = netlist.channel_from(Port::output(mux, 0)) else {
-        return true;
-    };
-    match netlist.node(channel.to.node).map(|node| &node.kind) {
-        Some(NodeKind::Buffer(_) | NodeKind::VarLatency(_) | NodeKind::Sink(_)) => true,
-        Some(_) => false,
-        None => true,
+/// Inserts the in-order commit stage between the shared module's user
+/// outputs and the multiplexor's data inputs: each channel that used to end
+/// at `mux` data input `k` is redirected into lane `k` of a fresh
+/// [`CommitSpec`] node whose lane output then drives the data input.
+fn insert_commit_stage(
+    netlist: &mut Netlist,
+    mux: NodeId,
+    users: usize,
+    depth: u32,
+) -> Result<NodeId> {
+    let base_name = netlist.require_node(mux)?.name.clone();
+    let commit = netlist.add_commit(
+        format!("{base_name}_commit"),
+        CommitSpec { lanes: users, depth: depth.max(1) },
+    );
+    for user in 0..users {
+        let (channel, width) = netlist
+            .channel_into(Port::input(mux, 1 + user))
+            .map(|c| (c.id, c.width))
+            .ok_or(CoreError::UnconnectedPort { node: mux, index: 1 + user, is_input: true })?;
+        netlist.set_channel_target(channel, Port::input(commit, user))?;
+        netlist.connect_named(
+            format!("{base_name}_commit_out{user}"),
+            Port::output(commit, user),
+            Port::input(mux, 1 + user),
+            width,
+        )?;
     }
+    Ok(commit)
 }
 
 /// Finds the cycles that start at the output of `mux` and return to its
@@ -172,12 +226,34 @@ pub fn find_select_cycles(netlist: &Netlist, mux: NodeId) -> Result<Vec<Vec<Node
 ///
 /// Fails when the structural preconditions of any step do not hold, or when
 /// no cycle through the multiplexor select exists and
-/// [`SpeculateOptions::allow_acyclic`] is not set.
+/// [`SpeculateOptions::allow_acyclic`] is not set. The transformation is
+/// **atomic**: on any error — including a late one, such as an isolation
+/// buffer refused inside a lazy fork's rendezvous region — the netlist is
+/// left exactly as it was.
 pub fn speculate(
     netlist: &mut Netlist,
     mux: NodeId,
     options: &SpeculateOptions,
 ) -> Result<SpeculationReport> {
+    // Fail-fast preconditions run on the original (the common reject paths
+    // across a fuzz run must not pay for a copy); only once the transform
+    // will actually rewire does the work move to a scratch copy, so a
+    // failure in any later step — several rewire before they can fail —
+    // never leaves the caller's netlist half-speculated.
+    let select_cycles = check_preconditions(netlist, mux, options)?;
+    let mut working = netlist.clone();
+    let report = speculate_in_place(&mut working, mux, select_cycles, options)?;
+    *netlist = working;
+    Ok(report)
+}
+
+/// The non-mutating precondition gauntlet of [`speculate`]; returns the
+/// select cycles on success.
+fn check_preconditions(
+    netlist: &Netlist,
+    mux: NodeId,
+    options: &SpeculateOptions,
+) -> Result<Vec<Vec<NodeId>>> {
     let select_cycles = find_select_cycles(netlist, mux)?;
     if select_cycles.is_empty() && !options.allow_acyclic {
         return Err(CoreError::Precondition {
@@ -190,6 +266,61 @@ pub fn speculate(
         });
     }
 
+    // The shared module this transform is about to create stalls every
+    // non-granted user, and its leads-to machinery (starvation counters,
+    // scheduler feedback) only advances while the stalled operands stay
+    // valid; the early mux additionally kills non-selected operands, which
+    // changes *when* upstream fork branches complete. Both interactions are
+    // sound in eager regions but compose fatally with a **lazy fork's**
+    // rendezvous: a lazy fork withdraws tokens whenever any branch is
+    // stopped, so operands cannot persist across a stall — and even an
+    // eager fork between the mux and a lazy region couples the two through
+    // its all-branches-delivered rule (an early kill on the mux side
+    // re-times the lazy side's rendezvous and can wedge it). Refuse to
+    // speculate when the mux's combinational upstream cone contains, or
+    // feeds a fork branch into, a lazy fork's rendezvous region (found —
+    // in three escalating shapes — by the elastic-gen differential fuzzer
+    // once lazy forks entered the generation space).
+    let tainted = lazy_tainted_nodes(netlist);
+    let mut upstream: Vec<NodeId> =
+        netlist.input_channels(mux).iter().map(|c| c.from.node).collect();
+    let mut cone: HashSet<NodeId> = HashSet::new();
+    while let Some(node) = upstream.pop() {
+        let combinational = netlist.node(node).is_some_and(|n| n.kind.is_combinational());
+        if !combinational || !cone.insert(node) {
+            continue;
+        }
+        upstream.extend(netlist.predecessors(node));
+    }
+    for &node in &cone {
+        let couples_lazy = tainted.contains(&node)
+            || (matches!(
+                netlist.node(node).map(|n| &n.kind),
+                Some(crate::kind::NodeKind::Fork(_))
+            ) && netlist.successors(node).iter().any(|s| tainted.contains(s)));
+        if couples_lazy {
+            return Err(CoreError::Precondition {
+                transform: "speculate",
+                reason: format!(
+                    "the combinational cone feeding {mux} touches a lazy fork's rendezvous \
+                     region (via node {node}); the speculative shared module needs its operands \
+                     to persist across stall cycles and its kills re-time upstream fork \
+                     completion, neither of which a lazy rendezvous tolerates — make the fork \
+                     eager or buffer the path first"
+                ),
+            });
+        }
+    }
+
+    Ok(select_cycles)
+}
+
+fn speculate_in_place(
+    netlist: &mut Netlist,
+    mux: NodeId,
+    select_cycles: Vec<Vec<NodeId>>,
+    options: &SpeculateOptions,
+) -> Result<SpeculationReport> {
     let shannon = shannon_decompose(netlist, mux)?;
     enable_early_evaluation(netlist, mux)?;
     let share = share_mux_inputs(
@@ -203,27 +334,33 @@ pub fn speculate(
         },
     )?;
 
-    // The speculative mux may retract a stopped token; when its consumer is
-    // combinational logic the retraction wave reaches state-keeping
-    // consumers (forks, whose per-branch bookkeeping would commit a token
-    // the producer later takes back) and can leak phantom values. For
-    // *acyclic* speculation, isolate the mux behind a bubble — bubble
-    // insertion is itself transfer-equivalence preserving and only adds
-    // pipeline latency on a feed-forward path. Cyclic speculation is left
-    // untouched: the paper's loop designs carry the isolating elastic
-    // buffer inside the loop already (Figure 1(d); in Figure 7(b) the cone
-    // past the mux cannot stall), and a bubble would halve the loop's cycle
-    // ratio.
-    let isolation_buffer =
-        if select_cycles.is_empty() && !consumer_tolerates_retraction(netlist, mux) {
-            let channel = netlist
-                .channel_from(Port::output(mux, 0))
-                .map(|c| c.id)
-                .ok_or(CoreError::UnconnectedPort { node: mux, index: 0, is_input: false })?;
-            Some(insert_bubble(netlist, channel)?)
-        } else {
-            None
-        };
+    // Feed-forward speculation: park each user's speculative result in an
+    // in-order commit stage. Its lane offers are persistent (the shared
+    // module's output no longer retracts towards the multiplexor when the
+    // prediction changes) and killable in place (the early mux's anti-tokens
+    // squash wrong-path results before anything downstream observes them),
+    // and a computed result no longer needs the consumer to be ready on the
+    // grant cycle — which is what let an adversarial static scheduler
+    // starve a user against aligned sink back-pressure. On select loops the
+    // stage is skipped: the loop's own elastic buffer already decouples the
+    // speculation, and an extra pipeline stage would halve the cycle ratio.
+    let users = netlist.require_node(mux)?.as_mux().map(|spec| spec.data_inputs).unwrap_or(2);
+    let commit_stage = if select_cycles.is_empty() && options.commit_stage {
+        Some(insert_commit_stage(netlist, mux, users, options.commit_depth)?)
+    } else {
+        None
+    };
+
+    // The speculative mux may still retract a stopped token (always, when
+    // its data inputs come straight from the shared module; never, once the
+    // commit stage or recovery buffers make them persistent). The
+    // retraction-domain analysis walks the combinational cone from the mux
+    // output and places an isolation bubble exactly where a stallable fork
+    // could commit a phantom token — nothing anywhere else, so Figure 1(d)
+    // (cone cut by the loop EB) and Figure 7(b) (cone cannot stall) stay
+    // untouched while a cyclic design whose cone escapes into a stallable
+    // fork pays exactly one bubble on the escape path.
+    let isolation_buffers = place_isolation_buffers(netlist, mux)?;
 
     Ok(SpeculationReport {
         mux,
@@ -231,7 +368,8 @@ pub fn speculate(
         shared_module: share.shared,
         recovery_buffers: share.recovery_buffers,
         select_cycles,
-        isolation_buffer,
+        commit_stage,
+        isolation_buffers,
     })
 }
 
@@ -321,6 +459,55 @@ mod tests {
         let report = speculate(&mut n, mux, &options).unwrap();
         assert!(report.select_cycles.is_empty());
         n.validate().unwrap();
+        // Feed-forward speculation routes the shared outputs through the
+        // in-order commit stage…
+        let commit = report.commit_stage.expect("acyclic speculation inserts the commit stage");
+        for user in 0..2 {
+            let driver = n.channel_into(Port::input(mux, 1 + user)).unwrap().from.node;
+            assert_eq!(driver, commit);
+            let feeder = n.channel_into(Port::input(commit, user)).unwrap().from.node;
+            assert_eq!(feeder, report.shared_module);
+        }
+        // …whose persistent lanes make the whole cone retraction-free: no
+        // isolation bubble anywhere.
+        assert!(report.isolation_buffers.is_empty());
+    }
+
+    #[test]
+    fn acyclic_speculation_without_the_commit_stage_isolates_stallable_forks() {
+        use crate::kind::BackpressurePattern;
+
+        // mux → F → fork → {ready sink, stalling sink}: without the commit
+        // stage the mux can retract into the fork, so the analysis must place
+        // exactly one bubble on the fork's entry.
+        let mut n = Netlist::new("feedforward_fork");
+        let sel = n.add_source("sel", SourceSpec::always());
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let f = n.add_op("f", opaque("F", 6, 100));
+        let fork = n.add_fork("fork", ForkSpec::eager(2));
+        let sink0 = n.add_sink("sink0", SinkSpec::always_ready());
+        let sink1 = n.add_sink("sink1", SinkSpec { backpressure: BackpressurePattern::Every(3) });
+        n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
+        n.connect(Port::output(src0, 0), Port::input(mux, 1), 8).unwrap();
+        n.connect(Port::output(src1, 0), Port::input(mux, 2), 8).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(f, 0), 8).unwrap();
+        n.connect(Port::output(f, 0), Port::input(fork, 0), 8).unwrap();
+        n.connect(Port::output(fork, 0), Port::input(sink0, 0), 8).unwrap();
+        n.connect(Port::output(fork, 1), Port::input(sink1, 0), 8).unwrap();
+
+        let options = SpeculateOptions {
+            allow_acyclic: true,
+            commit_stage: false,
+            ..SpeculateOptions::default()
+        };
+        let report = speculate(&mut n, mux, &options).unwrap();
+        n.validate().unwrap();
+        assert!(report.commit_stage.is_none());
+        assert_eq!(report.isolation_buffers.len(), 1);
+        let feeder = n.channel_into(Port::input(fork, 0)).unwrap().from.node;
+        assert_eq!(feeder, report.isolation_buffers[0]);
     }
 
     #[test]
@@ -333,6 +520,62 @@ mod tests {
         let report = speculate(&mut n, mux, &options).unwrap();
         assert_eq!(report.recovery_buffers.len(), 2);
         n.validate().unwrap();
+    }
+
+    #[test]
+    fn a_late_isolation_refusal_leaves_the_netlist_untouched() {
+        use crate::kind::BackpressurePattern;
+        use crate::transform::retraction_domain;
+
+        // The mux's cone enters a lazy fork's rendezvous region through a
+        // join (not through the fork itself), and the first hazardous fork
+        // sits *inside* the region: placement wants a bubble on K→EF, the
+        // rendezvous side condition refuses it, and speculate fails after
+        // shannon/early-eval/share already ran — the caller's netlist must
+        // come back bit-identical.
+        let mut n = Netlist::new("late_refusal");
+        let sel = n.add_source("sel", SourceSpec::always());
+        let a = n.add_source("a", SourceSpec::always());
+        let b = n.add_source("b", SourceSpec::always());
+        let lsrc = n.add_source("lsrc", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let f = n.add_op("f", opaque("F", 4, 60));
+        let lazy = n.add_fork("lazy", ForkSpec::lazy(2));
+        let k = n.add_function("k", crate::kind::FunctionSpec::with_inputs(crate::Op::Add, 2));
+        let ef = n.add_fork("ef", ForkSpec::eager(2));
+        let j2 = n.add_function("j2", crate::kind::FunctionSpec::with_inputs(crate::Op::Xor, 2));
+        let sink_slow =
+            n.add_sink("slow", SinkSpec { backpressure: BackpressurePattern::Every(3) });
+        let sink_j2 = n.add_sink("out", SinkSpec::always_ready());
+        n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
+        n.connect(Port::output(a, 0), Port::input(mux, 1), 8).unwrap();
+        n.connect(Port::output(b, 0), Port::input(mux, 2), 8).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(f, 0), 8).unwrap();
+        n.connect(Port::output(f, 0), Port::input(k, 0), 8).unwrap();
+        n.connect(Port::output(lsrc, 0), Port::input(lazy, 0), 8).unwrap();
+        n.connect(Port::output(lazy, 0), Port::input(k, 1), 8).unwrap();
+        n.connect(Port::output(k, 0), Port::input(ef, 0), 8).unwrap();
+        n.connect(Port::output(ef, 0), Port::input(j2, 0), 8).unwrap();
+        n.connect(Port::output(lazy, 1), Port::input(j2, 1), 8).unwrap();
+        n.connect(Port::output(ef, 1), Port::input(sink_slow, 0), 8).unwrap();
+        n.connect(Port::output(j2, 0), Port::input(sink_j2, 0), 8).unwrap();
+        n.validate().unwrap();
+        let before = n.clone();
+
+        let options = SpeculateOptions {
+            allow_acyclic: true,
+            commit_stage: false,
+            ..SpeculateOptions::default()
+        };
+        let err = speculate(&mut n, mux, &options).unwrap_err();
+        // The "rendezvous" refusal is emitted by insert_buffer_on_channel —
+        // reachable only from the isolation placement, i.e. after shannon,
+        // early-eval and share already rewired the scratch copy.
+        assert!(err.to_string().contains("rendezvous"), "{err}");
+        assert_eq!(n, before, "a failed speculation must not mutate the netlist");
+        // Pre-transform the mux's inputs are persistent sources, so the
+        // analysis on the untouched netlist is (correctly) quiet.
+        assert!(retraction_domain(&n, mux).unwrap().is_safe());
     }
 
     #[test]

@@ -134,6 +134,20 @@ pub fn validate(netlist: &Netlist) -> Result<()> {
                     }
                 }
             }
+            NodeKind::Commit(spec) => {
+                if spec.lanes == 0 {
+                    problems.push(format!(
+                        "commit stage {} ({}) needs at least one lane",
+                        node.name, node.id
+                    ));
+                }
+                if spec.depth == 0 {
+                    problems.push(format!(
+                        "commit stage {} ({}) needs a per-lane depth of at least one",
+                        node.name, node.id
+                    ));
+                }
+            }
             NodeKind::VarLatency(spec) => {
                 if spec.inputs == 0 {
                     problems.push(format!(

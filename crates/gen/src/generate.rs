@@ -28,10 +28,11 @@
 //!   holds within a short horizon for every scheduler.
 
 use elastic_core::kind::{
-    BackpressurePattern, BufferSpec, DataStream, ForkSpec, FunctionSpec, MuxSpec, SchedulerKind,
-    SharedSpec, SinkSpec, SourcePattern, SourceSpec, VarLatencySpec,
+    BackpressurePattern, BufferSpec, DataStream, ForkSpec, FunctionSpec, MuxSpec, NodeKind,
+    SchedulerKind, SharedSpec, SinkSpec, SourcePattern, SourceSpec, VarLatencySpec,
 };
 use elastic_core::op::opaque;
+use elastic_core::transform::ill_formed_lazy_forks;
 use elastic_core::{Netlist, NodeId, Op, Port};
 
 use crate::rng::GenRng;
@@ -56,8 +57,22 @@ pub struct GenConfig {
     pub feedforward_mux_chance: f64,
     /// Probability weight of shared-module growth steps.
     pub shared_chance: f64,
+    /// Probability that a shared-module growth step uses two operands per
+    /// user (`inputs_per_user = 2`, the Figure-7(b) adder shape) instead of
+    /// one.
+    pub multi_operand_shared_chance: f64,
     /// Probability weight of variable-latency growth steps.
     pub varlatency_chance: f64,
+    /// Probability that a fork growth step emits a *lazy* fork. Lazy forks
+    /// reconverging at joins have a live and a dead settle fixpoint; the
+    /// engines resolve them with the optimistic seeding pass (ROADMAP
+    /// lazy-to-lazy item), so they are back in the generation space.
+    pub lazy_fork_chance: f64,
+    /// Probability that a select-loop gadget places its fork *before* the
+    /// loop's elastic buffer — putting the fork inside the speculative mux's
+    /// combinational cone, with the continuation branch free to stall (the
+    /// ROADMAP "cyclic speculation into a stallable fork cone" corner).
+    pub stallable_loop_fork_chance: f64,
     /// Allow zero-backward-latency (`Lb = 0`) buffers outside loops.
     pub allow_zero_backward: bool,
     /// Allow stochastic environment patterns (seeded, still deterministic).
@@ -76,7 +91,10 @@ impl Default for GenConfig {
             max_select_loops: 1,
             feedforward_mux_chance: 0.5,
             shared_chance: 0.35,
+            multi_operand_shared_chance: 0.3,
             varlatency_chance: 0.3,
+            lazy_fork_chance: 0.25,
+            stallable_loop_fork_chance: 0.4,
             allow_zero_backward: true,
             randomized_environments: true,
             max_width: 32,
@@ -133,6 +151,13 @@ pub struct GenProfile {
     pub feedforward_muxes: Vec<NodeId>,
     /// Shared modules placed directly by the generator.
     pub shared_modules: Vec<NodeId>,
+    /// Shared modules with more than one operand per user.
+    pub multi_operand_shared: Vec<NodeId>,
+    /// Lazy forks emitted by fork growth steps.
+    pub lazy_forks: Vec<NodeId>,
+    /// Loop-gadget forks placed *before* the loop buffer — inside the
+    /// speculative mux's combinational cone (ROADMAP stallable-cone corner).
+    pub stallable_loop_forks: Vec<NodeId>,
 }
 
 /// A generated netlist plus its generation profile.
@@ -303,15 +328,18 @@ impl<'a> Builder<'a> {
     fn step_fork(&mut self) {
         let input = self.pop_open();
         let outputs = self.rng.range(2, 3) as usize;
-        // Always eager: lazy forks whose branches reconverge at a join (which
-        // the frontier happily builds) form a combinational valid↔stop cycle
-        // with two consistent solutions, and the settle phase may land in the
-        // dead one — a genuinely ill-formed lazy-to-lazy composition the
-        // fuzzer exposed on its first loop seeds. The paper's designs use
-        // eager forks throughout; lazy forks stay covered by dedicated
-        // engine-equivalence tests on non-reconvergent shapes.
-        let spec = ForkSpec::eager(outputs);
-        let fork = self.n.add_fork("fork", spec);
+        // Lazy forks whose branches reconverge at a join form a
+        // combinational valid↔stop cycle with a live and a dead solution;
+        // the engines' optimistic seeding pass steers the settle phase into
+        // the live one (see `elastic_sim`'s engine docs), so lazy forks are
+        // part of the generation space again — the fuzzer's job is exactly
+        // to keep that composition honest.
+        let lazy = self.rng.chance(self.config.lazy_fork_chance);
+        let spec = if lazy { ForkSpec::lazy(outputs) } else { ForkSpec::eager(outputs) };
+        let fork = self.n.add_fork(if lazy { "lzfork" } else { "fork" }, spec);
+        if lazy {
+            self.profile.lazy_forks.push(fork);
+        }
         let width = input.width;
         self.connect(input, Port::input(fork, 0));
         for branch in 0..outputs {
@@ -344,14 +372,19 @@ impl<'a> Builder<'a> {
     }
 
     fn step_shared(&mut self) {
-        let a = self.pop_open();
-        let b = self.pop_open();
-        let op = self.unary_op();
-        let out_width = op.output_width().unwrap_or(a.width.max(b.width));
+        // Multi-operand users (the Figure-7(b) adder shape) join two operand
+        // streams per user before the shared logic.
+        let inputs_per_user =
+            if self.rng.chance(self.config.multi_operand_shared_chance) { 2 } else { 1 };
+        let op = if inputs_per_user == 2 { self.binary_op() } else { self.unary_op() };
+        let operands: Vec<OpenPort> = (0..2 * inputs_per_user).map(|_| self.pop_open()).collect();
+        let out_width = op
+            .output_width()
+            .unwrap_or_else(|| operands.iter().map(|p| p.width).max().unwrap_or(8));
         let scheduler = self.scheduler();
         let spec = SharedSpec {
             users: 2,
-            inputs_per_user: 1,
+            inputs_per_user,
             op,
             scheduler,
             // A tight starvation override keeps the leads-to horizon short
@@ -360,9 +393,13 @@ impl<'a> Builder<'a> {
             starvation_limit: Some(self.rng.range(4, 16) as u32),
         };
         let shared = self.n.add_shared("shared", spec);
-        self.connect(a, Port::input(shared, 0));
-        self.connect(b, Port::input(shared, 1));
+        for (index, operand) in operands.into_iter().enumerate() {
+            self.connect(operand, Port::input(shared, index));
+        }
         self.profile.shared_modules.push(shared);
+        if inputs_per_user > 1 {
+            self.profile.multi_operand_shared.push(shared);
+        }
         // Buffer each user's output before it joins the frontier: the two
         // outputs are mutually exclusive by construction (one user holds the
         // unit per cycle), so letting them reconverge at a join *unbuffered*
@@ -413,6 +450,19 @@ impl<'a> Builder<'a> {
     /// Exactly one token circulates; the loop contains one standard EB, so it
     /// is live and free of combinational control cycles by construction. The
     /// continuation branch joins the regular frontier.
+    /// With [`GenConfig::stallable_loop_fork_chance`] the fork moves *before*
+    /// the loop's elastic buffer:
+    ///
+    /// ```text
+    /// src0 ─► mux ─► F ─► fork ─► EB(1 token) ─► …bubbles… ─► gk… ─► select
+    /// src1 ─►  │           │
+    ///          └───────────┴─► (continuation, free to stall)
+    /// ```
+    ///
+    /// which puts an eager fork with a stallable branch inside the
+    /// speculative mux's combinational cone — the ROADMAP's second
+    /// unverified corner. The retraction-domain analysis must then isolate
+    /// exactly that fork when the mux is speculated.
     fn select_loop_gadget(&mut self) {
         let width = self.data_width();
         let src0 = {
@@ -429,25 +479,43 @@ impl<'a> Builder<'a> {
         let f = self.n.add_function("lf", FunctionSpec::with_inputs(f_op, 1));
         let eb =
             self.n.add_buffer("leb", BufferSpec::standard(1).with_init_value(self.rng.below(256)));
-        let fork = self.n.add_fork("lfork", ForkSpec::eager(2));
+        let fork_before_eb = self.rng.chance(self.config.stallable_loop_fork_chance);
+        let fork =
+            self.n.add_fork(if fork_before_eb { "lcfork" } else { "lfork" }, ForkSpec::eager(2));
 
         self.n.connect(Port::output(src0, 0), Port::input(mux, 1), width).unwrap();
         self.n.connect(Port::output(src1, 0), Port::input(mux, 2), width).unwrap();
         self.n.connect(Port::output(mux, 0), Port::input(f, 0), width).unwrap();
-        self.n.connect(Port::output(f, 0), Port::input(eb, 0), f_width).unwrap();
 
-        // Optional extra bubbles between the loop EB and the fork.
-        let mut forward = Port::output(eb, 0);
-        for _ in 0..self.rng.below(3) {
-            let bubble = self.n.add_buffer("lbub", BufferSpec::standard(0));
-            self.n.connect(forward, Port::input(bubble, 0), f_width).unwrap();
-            forward = Port::output(bubble, 0);
-        }
-        self.n.connect(forward, Port::input(fork, 0), f_width).unwrap();
+        // Loop body order: either F → EB → bubbles → fork (the fork sits
+        // behind the registered boundary, outside the mux's cone) or
+        // F → fork → EB → bubbles (the fork is combinationally exposed).
+        let loop_tail = if fork_before_eb {
+            self.n.connect(Port::output(f, 0), Port::input(fork, 0), f_width).unwrap();
+            self.n.connect(Port::output(fork, 0), Port::input(eb, 0), f_width).unwrap();
+            let mut forward = Port::output(eb, 0);
+            for _ in 0..self.rng.below(3) {
+                let bubble = self.n.add_buffer("lbub", BufferSpec::standard(0));
+                self.n.connect(forward, Port::input(bubble, 0), f_width).unwrap();
+                forward = Port::output(bubble, 0);
+            }
+            self.profile.stallable_loop_forks.push(fork);
+            forward
+        } else {
+            self.n.connect(Port::output(f, 0), Port::input(eb, 0), f_width).unwrap();
+            let mut forward = Port::output(eb, 0);
+            for _ in 0..self.rng.below(3) {
+                let bubble = self.n.add_buffer("lbub", BufferSpec::standard(0));
+                self.n.connect(forward, Port::input(bubble, 0), f_width).unwrap();
+                forward = Port::output(bubble, 0);
+            }
+            self.n.connect(forward, Port::input(fork, 0), f_width).unwrap();
+            Port::output(fork, 0)
+        };
 
         // Return path through 0..=2 unary blocks, entering the select as a
         // 1-bit channel (the producer masks, keeping the select in range).
-        let mut back = Port::output(fork, 0);
+        let mut back = loop_tail;
         for _ in 0..self.rng.below(3) {
             let op = self.unary_op();
             let g = self.n.add_function("lg", FunctionSpec::with_inputs(op, 1));
@@ -563,6 +631,32 @@ pub fn generate(seed: u64, config: &GenConfig) -> GeneratedNetlist {
 
     builder.grow();
     builder.close();
+
+    // Structural lint (ROADMAP lazy-to-lazy item): a lazy fork whose
+    // branches reconverge with unequal storage, or whose rendezvous region
+    // contains a memory-keeping consumer, is dead by construction — no
+    // settle policy can revive it. The frontier wires branches wherever the
+    // rng takes them, so instead of constraining growth the builder demotes
+    // the offending forks to eager after the fact, keeping the surviving
+    // lazy forks exactly the well-formed rendezvous the optimistic settle
+    // seed is meant to resolve. Demotion runs to a fixpoint: turning an
+    // inner fork eager plants a memory-keeping consumer inside an outer
+    // lazy fork's region, which may now be ill-formed itself (found by the
+    // 20k-case soak as a nested-fork diamond deadlock).
+    loop {
+        let ill_formed = ill_formed_lazy_forks(&builder.n);
+        if ill_formed.is_empty() {
+            break;
+        }
+        for fork in ill_formed {
+            if let Some(node) = builder.n.node_mut(fork) {
+                if let NodeKind::Fork(spec) = &mut node.kind {
+                    spec.eager = true;
+                }
+            }
+            builder.profile.lazy_forks.retain(|&id| id != fork);
+        }
+    }
 
     builder
         .n

@@ -15,11 +15,15 @@
 //! 4. **transform equivalence** — every applicable transformation
 //!    (`insert_bubble`, buffer insertion/`split_empty_buffer`,
 //!    `make_zero_backward`, retiming, and the composite `speculate` pass on
-//!    every eligible mux) is applied to a clone and checked behaviorally
-//!    equivalent, live and token-conserving versus the original via
-//!    [`elastic_verify::battery`]; speculated designs are additionally swept
-//!    across schedulers and injected environment variations on one
-//!    simulation build per design.
+//!    every eligible mux — select loops *and*, by default, feed-forward
+//!    muxes) is applied to a clone and checked behaviorally equivalent,
+//!    live and token-conserving versus the original via
+//!    [`elastic_verify::battery`]; speculated designs are additionally
+//!    swept across schedulers and injected environment variations, and
+//!    structural transforms get their own environment-injection sweep, all
+//!    on one simulation build per design. Injected environments respect
+//!    each node's declared liveness contract (see
+//!    `environment_variations` in the source).
 //!
 //! A failure carries the offending netlist; [`shrink_failure`] replays the
 //! failing stage while [`crate::shrink`] minimizes the netlist, and the
@@ -53,20 +57,26 @@ pub struct HarnessOptions {
     /// Environment variations injected per speculated design (0 disables the
     /// injection sweep).
     pub environment_variations: usize,
+    /// Environment variations injected per *structural* (non-speculation)
+    /// transform — retiming, buffer insertion and friends previously only
+    /// ran under the generated design's own environments; a variation here
+    /// replays their equivalence check under perturbed source offer and
+    /// sink back-pressure patterns too (0 disables).
+    pub structural_environment_variations: usize,
     /// Maximum number of structural (non-speculation) transforms per case.
     pub max_structural_transforms: usize,
     /// Schedulers injected into speculated designs.
     pub schedulers: Vec<SchedulerKind>,
     /// Also exercise `speculate` with `allow_acyclic` on feed-forward muxes.
     ///
-    /// Off by default: the fuzzer established that *generic* acyclic
-    /// speculation (arbitrary feed-forward mux, arbitrary scheduler) is not
-    /// yet sound in this codebase — generated cases violate the
-    /// shared-module ordering check and can deadlock under scheduler
-    /// injection, while the paper's curated acyclic design (the SECDED
-    /// accumulator with its ErrorReplay scheduler) and every *cyclic*
-    /// speculation pass the full battery. See the ROADMAP open item; flip
-    /// this on to reproduce the failures.
+    /// On by default since the feed-forward soundness work landed: the
+    /// in-order commit stage keeps shared results observable strictly in
+    /// program order under any scheduler, and the retraction-domain
+    /// analysis places isolation buffers exactly where a stallable fork
+    /// could commit a phantom token. (Historically off: the blanket
+    /// isolation bubble alone left generated feed-forward cases reordering
+    /// results and livelocking under adversarial static schedulers aligned
+    /// with sink back-pressure — see `crates/gen/corpus/0009…0011`.)
     pub include_acyclic_speculation: bool,
 }
 
@@ -75,6 +85,7 @@ impl Default for HarnessOptions {
         HarnessOptions {
             cycles: 192,
             environment_variations: 2,
+            structural_environment_variations: 1,
             // The catalogue emits at most 7 structural entries (three
             // channel insertions, split_empty_buffer, make_zero_backward,
             // two retimings) in a fixed order; the cap must not silently
@@ -87,7 +98,7 @@ impl Default for HarnessOptions {
                 SchedulerKind::LastTaken,
                 SchedulerKind::TwoBit,
             ],
-            include_acyclic_speculation: false,
+            include_acyclic_speculation: true,
         }
     }
 }
@@ -252,6 +263,7 @@ fn transform_catalogue(
             recovery_buffer: with_recovery.then(|| BufferSpec::zero_backward(0)),
             starvation_limit: Some(8),
             allow_acyclic: !on_cycle,
+            ..SpeculateOptions::default()
         };
         let label = if on_cycle { "speculate" } else { "speculate_acyclic" };
         catalogue.push(TransformCase {
@@ -342,28 +354,50 @@ fn transform_catalogue(
 /// netlist's environment nodes and the case rng. Every variation overrides
 /// *all* sources and sinks (overrides persist across resets, so partial
 /// variations would leak into each other).
+///
+/// Variations respect each environment's **declared contract**: a sink
+/// whose specification promises never to stall keeps that promise, and a
+/// source that promises a token every cycle keeps offering. The contracts
+/// are load-bearing — the retraction-domain analysis classifies fork
+/// stallability from them when placing isolation buffers (Figure 7(b)'s
+/// cone is only non-stallable because its observer never back-pressures),
+/// so an injection that broke a declared contract would be testing a
+/// different design, not a different environment.
 fn environment_variations(
     netlist: &Netlist,
     rng: &mut GenRng,
     count: usize,
 ) -> Vec<EnvironmentOverride> {
-    let sources: Vec<String> = netlist
+    let sources: Vec<(String, bool)> = netlist
         .live_nodes()
-        .filter(|n| matches!(n.kind, NodeKind::Source(_)))
-        .map(|n| n.name.clone())
+        .filter_map(|n| match &n.kind {
+            NodeKind::Source(spec) => {
+                Some((n.name.clone(), matches!(spec.pattern, SourcePattern::Always)))
+            }
+            _ => None,
+        })
         .collect();
-    let sinks: Vec<String> = netlist
+    let sinks: Vec<(String, bool)> = netlist
         .live_nodes()
-        .filter(|n| matches!(n.kind, NodeKind::Sink(_)))
-        .map(|n| n.name.clone())
+        .filter_map(|n| match &n.kind {
+            NodeKind::Sink(spec) => Some((
+                n.name.clone(),
+                // Semantic contract, matching the retraction-domain
+                // analysis: a List of all-false or probability-0 Random
+                // never stalls even though it is not spelled `Never`.
+                !elastic_core::transform::backpressure_may_stall(&spec.backpressure),
+            )),
+            _ => None,
+        })
         .collect();
     (0..count)
         .map(|index| EnvironmentOverride {
             label: format!("variation {index}"),
             sources: sources
                 .iter()
-                .map(|name| {
+                .map(|(name, always)| {
                     let pattern = match rng.below(3) {
+                        _ if *always => SourcePattern::Always,
                         0 => SourcePattern::Always,
                         1 => SourcePattern::Every(rng.range(2, 3) as u32),
                         _ => SourcePattern::List(vec![true, rng.chance(0.5), true]),
@@ -373,8 +407,9 @@ fn environment_variations(
                 .collect(),
             sinks: sinks
                 .iter()
-                .map(|name| {
+                .map(|(name, never_stalls)| {
                     let pattern = match rng.below(3) {
+                        _ if *never_stalls => BackpressurePattern::Never,
                         0 => BackpressurePattern::Never,
                         1 => BackpressurePattern::Every(rng.range(2, 4) as u32),
                         _ => BackpressurePattern::List(vec![rng.chance(0.5), false]),
@@ -476,6 +511,38 @@ pub fn run_netlist(
             }
             Err(error) => {
                 return Err(fail("transform-simulation", Some(case.name), error.to_string()))
+            }
+        }
+
+        // Environment injection for structural transforms: equivalence must
+        // survive perturbed offer/back-pressure patterns, not just the
+        // generated design's own environments (previously speculation-only —
+        // the ROADMAP fuzz-scaling item).
+        if !transform_kind(&case.name).starts_with("speculate")
+            && options.structural_environment_variations > 0
+        {
+            let variations = environment_variations(
+                netlist,
+                &mut rng,
+                options.structural_environment_variations,
+            );
+            match check_equivalence_under_environments(
+                netlist,
+                &transformed,
+                &variations,
+                options.cycles,
+            ) {
+                Ok(verdict) if verdict.passed() => report.notes.extend(verdict.notes),
+                Ok(verdict) => {
+                    return Err(fail(
+                        "transform-environment-sweep",
+                        Some(case.name),
+                        verdict.to_string(),
+                    ))
+                }
+                Err(error) => {
+                    return Err(fail("transform-simulation", Some(case.name), error.to_string()))
+                }
             }
         }
 

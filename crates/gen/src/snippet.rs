@@ -176,6 +176,10 @@ fn node_kind_expr(kind: &NodeKind) -> String {
             scheduler_expr(&spec.scheduler),
             option_u32_expr(spec.starvation_limit)
         ),
+        NodeKind::Commit(spec) => format!(
+            "NodeKind::Commit(CommitSpec {{ lanes: {}, depth: {} }})",
+            spec.lanes, spec.depth
+        ),
         NodeKind::VarLatency(spec) => format!(
             "NodeKind::VarLatency(VarLatencySpec {{ exact: {}, approx: {}, error: {}, \
              inputs: {} }})",

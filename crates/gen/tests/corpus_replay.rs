@@ -125,3 +125,36 @@ fn corpus_0004_buffer_init_values_are_masked() {
     run_case(0x5eed0073, &GenConfig::default(), &HarnessOptions::default())
         .unwrap_or_else(|failure| panic!("{failure}"));
 }
+
+#[test]
+fn corpus_0009_0010_acyclic_speculation_is_sound_and_exercised() {
+    // Pre-fix, these seeds (with `include_acyclic_speculation` forced on)
+    // reordered shared results resp. livelocked under a static scheduler;
+    // the flag is the default now, so the plain gauntlet must both pass and
+    // actually attempt feed-forward speculation on them.
+    for (seed, config) in
+        [(0x5eed_0000_004d, GenConfig::default()), (0x5eed_0003_0012, GenConfig::small())]
+    {
+        let report = run_case(seed, &config, &HarnessOptions::default())
+            .unwrap_or_else(|failure| panic!("{failure}"));
+        assert!(
+            report.transforms.iter().any(|name| name.starts_with("speculate_acyclic"))
+                || report.notes.iter().any(|note| note.starts_with("skipped speculate_acyclic")),
+            "seed {seed:#x} must exercise the feed-forward speculation path: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn roadmap_era_acyclic_reproducers_stay_green() {
+    // The two seeds PR 3's ROADMAP entry named as the original acyclic
+    // reproducers (pipelines base + 0x1b, small base + 0xd). The generator's
+    // stream has widened since, so they regenerate different netlists — they
+    // stay replayed as historical anchors of the feed-forward soundness work.
+    for (seed, config) in
+        [(0x5eed_0001_001b, GenConfig::pipelines()), (0x5eed_0003_000d, GenConfig::small())]
+    {
+        run_case(seed, &config, &HarnessOptions::default())
+            .unwrap_or_else(|failure| panic!("{failure}"));
+    }
+}

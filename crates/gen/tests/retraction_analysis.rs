@@ -1,0 +1,66 @@
+//! Property tests of the retraction-domain analysis: across the generation
+//! space, the isolation buffers it places are **sufficient** (the recomputed
+//! domain is hazard-free) and **minimal** (removing any placed buffer
+//! re-exposes at least one hazard).
+
+use elastic_core::transform::{place_isolation_buffers, remove_buffer, retraction_domain};
+use elastic_core::{Netlist, NodeKind};
+use elastic_gen::proptest_bridge::{any_netlist, netlist_with};
+use elastic_gen::GenConfig;
+use proptest::prelude::*;
+
+/// Every non-early mux of the netlist, analysed and (on a clone) isolated.
+fn check_placement(netlist: &Netlist, seed: u64) {
+    let muxes: Vec<_> = netlist
+        .live_nodes()
+        .filter(|n| matches!(&n.kind, NodeKind::Mux(spec) if !spec.early_eval))
+        .map(|n| n.id)
+        .collect();
+    for mux in muxes {
+        let domain = retraction_domain(netlist, mux).unwrap();
+        let mut isolated = netlist.clone();
+        let placed = match place_isolation_buffers(&mut isolated, mux) {
+            Ok(placed) => placed,
+            // A hazard entry inside a lazy fork's rendezvous region refuses
+            // latency insertion — the speculate pass refuses such muxes
+            // outright, so there is no placement to check.
+            Err(elastic_core::CoreError::Precondition { .. }) => continue,
+            Err(other) => panic!("seed {seed:#x}: {other}"),
+        };
+        if domain.is_safe() {
+            assert!(placed.is_empty(), "seed {seed:#x}: safe domains place nothing");
+            continue;
+        }
+        // Sufficient: no hazards survive the placement.
+        assert!(
+            retraction_domain(&isolated, mux).unwrap().is_safe(),
+            "seed {seed:#x}: placement must make mux {mux} safe"
+        );
+        assert!(isolated.validate().is_ok());
+        // Minimal: each placed buffer, removed on its own, re-exposes a
+        // hazard (placement is recomputed front-first, so every buffer
+        // guards exactly the fork it sits in front of).
+        for &buffer in &placed {
+            let mut without = isolated.clone();
+            remove_buffer(&mut without, buffer).unwrap();
+            assert!(
+                !retraction_domain(&without, mux).unwrap().is_safe(),
+                "seed {seed:#x}: buffer {buffer} on mux {mux} is redundant"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn placed_isolation_buffers_are_minimal_and_sufficient(generated in any_netlist()) {
+        check_placement(&generated.netlist, generated.profile.seed);
+    }
+
+    #[test]
+    fn placement_holds_on_loop_heavy_netlists(generated in netlist_with(GenConfig::loops())) {
+        check_placement(&generated.netlist, generated.profile.seed);
+    }
+}

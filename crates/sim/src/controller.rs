@@ -159,6 +159,29 @@ pub trait Controller: std::fmt::Debug {
     /// only on the sequential state and the read signals.
     fn eval(&self, io: &mut NodeIo<'_>);
 
+    /// `true` when this controller's settle equations have more than one
+    /// fixed point and the engine must run the **optimistic seeding pass**
+    /// before the honest fixpoint (see the engine's module docs). Lazy forks
+    /// are the one such component: a branch's valid is withheld while any
+    /// sibling is not ready, and a reconverging join's stop is held while
+    /// the valids are missing — a circular wait with a live *and* a dead
+    /// solution. Controllers returning `true` must override
+    /// [`Controller::eval_optimistic`].
+    fn is_optimistic(&self) -> bool {
+        false
+    }
+
+    /// The optimistic variant of [`Controller::eval`], used only during the
+    /// engine's seeding pass: drive the signals *as if* every circular-wait
+    /// precondition held (a lazy fork offers all branch copies as if all
+    /// branches were ready). Every signal written here is rewritten by the
+    /// honest [`Controller::eval`] before the cycle settles, so optimistic
+    /// assumptions never leak into the committed state — they only steer a
+    /// multi-fixpoint system towards its live solution.
+    fn eval_optimistic(&self, io: &mut NodeIo<'_>) {
+        self.eval(io);
+    }
+
     /// Clock edge: update the sequential state from the settled signals.
     fn commit(&mut self, io: &NodeIo<'_>);
 

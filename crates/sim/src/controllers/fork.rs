@@ -70,8 +70,8 @@ impl EagerFork {
     }
 }
 
-impl Controller for EagerFork {
-    fn eval(&self, io: &mut NodeIo<'_>) {
+impl EagerFork {
+    fn eval_inner(&self, io: &mut NodeIo<'_>, optimistic: bool) {
         let input = io.input(IN);
         let outputs = self.spec.outputs;
 
@@ -116,7 +116,12 @@ impl Controller for EagerFork {
         // combinational structure of a lazy fork.
         for branch in 0..outputs {
             let needs = input.forward_valid && self.effective_pending(branch);
-            let others_ready = all_ready || (not_ready_count == 1 && not_ready_branch == branch);
+            // The optimistic seeding pass offers every copy as if all
+            // branches were ready, so reconverging consumers compute their
+            // real stops instead of settling into the dead circular-wait
+            // fixpoint; the honest pass re-evaluates with those stops.
+            let others_ready =
+                optimistic || all_ready || (not_ready_count == 1 && not_ready_branch == branch);
             io.set_output_valid(branch, needs && others_ready);
             io.set_output_data(branch, input.data);
             // A branch kill can only be absorbed while its copy is outstanding.
@@ -129,6 +134,20 @@ impl Controller for EagerFork {
         let input_fires = input.forward_valid && done && (self.spec.eager || all_ready);
         io.set_input_stop(IN, !input_fires);
         io.set_input_kill(IN, false);
+    }
+}
+
+impl Controller for EagerFork {
+    fn eval(&self, io: &mut NodeIo<'_>) {
+        self.eval_inner(io, false);
+    }
+
+    fn is_optimistic(&self) -> bool {
+        !self.spec.eager
+    }
+
+    fn eval_optimistic(&self, io: &mut NodeIo<'_>) {
+        self.eval_inner(io, true);
     }
 
     fn commit(&mut self, io: &NodeIo<'_>) {

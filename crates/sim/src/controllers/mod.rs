@@ -8,10 +8,12 @@
 //! | `Fork` | [`fork::EagerFork`] | token replication with per-branch completion |
 //! | `Mux` | [`mux::MuxController`] | lazy or early-evaluation multiplexor with anti-token injection |
 //! | `Shared` | [`shared::SharedModule`] | the speculative shared module of Figure 4 |
+//! | `Commit` | [`commit::CommitStage`] | the in-order commit stage behind a shared module |
 //! | `VarLatency` | [`varlatency::VarLatencyUnit`] | the stalling variable-latency unit of Figure 6(a) |
 //! | `Source` / `Sink` | [`environment`] | the elastic environment |
 
 pub mod buffer;
+pub mod commit;
 pub mod environment;
 pub mod fork;
 pub mod function;
@@ -85,6 +87,7 @@ pub fn build_controller(
                 output_widths.first().copied().unwrap_or(64),
             ))
         }
+        NodeKind::Commit(spec) => Box::new(commit::CommitStage::new(*spec)),
         NodeKind::VarLatency(spec) => Box::new(varlatency::VarLatencyUnit::new(
             spec.clone(),
             output_widths.first().copied().unwrap_or(64),

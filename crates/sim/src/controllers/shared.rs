@@ -182,7 +182,17 @@ impl Controller for SharedModule {
             self.stats.mispredictions += 1;
         }
 
-        // Leads-to enforcement: force the longest-starved user above the limit.
+        // Leads-to enforcement: force the longest-starved user above the
+        // limit. The override lasts one cycle by design: if the consumer
+        // refuses the forced result (retry), it is demanding a *different*
+        // user — persisting would deadlock a select loop whose mux waits for
+        // that other user. The converse hazard (the consumer stalls for an
+        // unrelated reason on exactly the override cycle, so the starved
+        // user loses its turn — a livelock an adversarial static scheduler
+        // can sustain against aligned sink back-pressure, fuzzer seed
+        // 0x5eed00030012) is closed structurally by the in-order commit
+        // stage: a forced result parks in its lane whether or not the
+        // consumer is ready that cycle.
         self.forced_user = None;
         if let Some(limit) = self.spec.starvation_limit {
             if let Some((user, _)) = self

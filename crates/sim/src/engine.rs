@@ -41,6 +41,25 @@
 //! the engine reports [`SimError::CombinationalLoop`] rather than
 //! mis-simulating.
 //!
+//! # The optimistic seeding pass
+//!
+//! Netlists containing **lazy forks** have settle equations with more than
+//! one fixed point: a lazy fork withholds every branch copy while any
+//! branch is not ready, and a join reconverging two of its branches holds
+//! its stop while the copies are missing — a circular wait whose cleared
+//! state can fall into the *dead* solution (all valids low, all stops high)
+//! even though a live solution exists. When any controller reports
+//! [`Controller::is_optimistic`], both settle strategies therefore run a
+//! two-pass fixpoint each cycle: first the whole network settles with
+//! those controllers evaluating via [`Controller::eval_optimistic`] (a
+//! lazy fork offers all copies as if every branch were ready), then the
+//! honest equations re-settle from
+//! that state. Signals only step *down* from the optimistic solution
+//! (valids fall, stops rise), so the second pass converges onto the
+//! greatest — maximal-progress — fixpoint when one exists, and genuine
+//! blockers (real back-pressure) still win. Netlists without optimistic
+//! controllers pay nothing: the pass is skipped entirely.
+//!
 //! The pre-rewrite full-sweep behaviour is kept as
 //! [`SettleStrategy::FullSweep`] — a debugging oracle used by the
 //! engine-equivalence tests to prove that the worklist engine produces
@@ -212,6 +231,10 @@ pub struct Simulation {
     channel_consumer: Vec<u32>,
     /// Cached `Controller::eval_reads_channels` per controller.
     reads_channels: Vec<bool>,
+    /// Controller indices requiring the optimistic seeding pass (lazy forks);
+    /// empty for the vast majority of netlists, in which case the settle
+    /// phase is exactly the single-pass fixpoint.
+    optimistic_nodes: Vec<u32>,
     /// Static evaluation rank per controller (see module docs).
     rank: Vec<u32>,
     /// Controller indices grouped by rank — the per-cycle seed layout.
@@ -315,6 +338,12 @@ impl Simulation {
 
         let reads_channels: Vec<bool> =
             controllers.iter().map(|c| c.eval_reads_channels()).collect();
+        let optimistic_nodes: Vec<u32> = controllers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_optimistic())
+            .map(|(index, _)| index as u32)
+            .collect();
         let rank = evaluation_ranks(
             controllers.len(),
             &node_ports,
@@ -339,6 +368,7 @@ impl Simulation {
             channel_producer,
             channel_consumer,
             reads_channels,
+            optimistic_nodes,
             rank,
             seed_buckets,
             dirty: Vec::new(),
@@ -471,11 +501,15 @@ impl Simulation {
 
     /// Evaluates controller `node` with change tracking and wakes the
     /// controllers observing any channel the evaluation changed.
-    fn eval_and_wake(&mut self, node: usize) {
+    fn eval_and_wake(&mut self, node: usize, optimistic: bool) {
         self.dirty.clear();
         let (inputs, outputs) = &self.node_ports[node];
         let mut io = NodeIo::tracked(&mut self.channels, inputs, outputs, &mut self.dirty);
-        self.controllers[node].eval(&mut io);
+        if optimistic {
+            self.controllers[node].eval_optimistic(&mut io);
+        } else {
+            self.controllers[node].eval(&mut io);
+        }
         self.controller_evals += 1;
         for &channel in &self.dirty {
             let producer = self.channel_producer[channel] as usize;
@@ -505,11 +539,8 @@ impl Simulation {
         }
     }
 
-    /// Event-driven settle: seed every controller once in rank order, then
-    /// drain the worklist. Returns `false` when the evaluation budget is
-    /// exhausted (combinational loop).
-    fn settle_event_driven(&mut self) -> bool {
-        debug_assert_eq!(self.worklist.len, 0, "worklist drained at end of previous cycle");
+    /// Seeds every controller into the worklist, in rank order.
+    fn seed_worklist(&mut self) {
         for rank in 0..self.seed_buckets.len() {
             // Seed via the bucket layout directly: cheaper than per-node
             // `push` and already in rank order.
@@ -521,37 +552,72 @@ impl Simulation {
             self.worklist.len += bucket.len();
         }
         self.worklist.cursor = 0;
+    }
 
-        let eval_cap =
-            (self.settle_budget() as u64).saturating_mul(self.controllers.len().max(1) as u64);
-        let mut evals_this_cycle = 0u64;
+    /// Drains the worklist to a fixed point, evaluating with the given mode.
+    /// Returns `false` when the shared evaluation budget is exhausted.
+    fn drain_worklist(&mut self, optimistic: bool, evals: &mut u64, eval_cap: u64) -> bool {
         while let Some(node) = self.worklist.pop() {
-            evals_this_cycle += 1;
+            *evals += 1;
             self.settle_iterations += 1;
-            if evals_this_cycle > eval_cap {
+            if *evals > eval_cap {
                 // Drain the queue so the worklist is clean if the caller
                 // inspects or reuses the simulation after the error.
                 while self.worklist.pop().is_some() {}
                 return false;
             }
-            self.eval_and_wake(node);
+            self.eval_and_wake(node, optimistic);
         }
         true
     }
 
-    /// Reference settle: evaluate every controller in node order until a full
-    /// sweep changes nothing (the pre-worklist engine behaviour). Returns
-    /// `false` when the sweep budget is exhausted.
-    fn settle_full_sweep(&mut self) -> bool {
-        let budget = self.settle_budget();
-        for _ in 0..budget {
+    /// Event-driven settle: seed every controller once in rank order, then
+    /// drain the worklist. When the netlist contains multi-fixpoint
+    /// controllers (lazy forks), an **optimistic seeding pass** runs first:
+    /// the whole network settles with those controllers evaluating
+    /// optimistically (offering as if every circular-wait precondition
+    /// held), then the honest equations re-settle from that state — signals
+    /// only step down from the optimistic solution, so the system lands in
+    /// its live (greatest) fixpoint instead of the dead one the cleared
+    /// state can fall into. Returns `false` when the evaluation budget is
+    /// exhausted (combinational loop).
+    fn settle_event_driven(&mut self) -> bool {
+        debug_assert_eq!(self.worklist.len, 0, "worklist drained at end of previous cycle");
+        let eval_cap =
+            (self.settle_budget() as u64).saturating_mul(self.controllers.len().max(1) as u64);
+        let mut evals_this_cycle = 0u64;
+
+        self.seed_worklist();
+        if !self.optimistic_nodes.is_empty() {
+            if !self.drain_worklist(true, &mut evals_this_cycle, eval_cap) {
+                return false;
+            }
+            // Honest pass: re-evaluate the optimistic controllers with the
+            // real equations; any withdrawn assumption ripples from there.
+            for index in 0..self.optimistic_nodes.len() {
+                let node = self.optimistic_nodes[index] as usize;
+                self.worklist.push(node, self.rank[node] as usize);
+            }
+        }
+        self.drain_worklist(false, &mut evals_this_cycle, eval_cap)
+    }
+
+    /// One stabilisation loop of the reference engine: evaluate every
+    /// controller in node order until a full sweep changes nothing.
+    fn sweep_until_stable(&mut self, optimistic: bool, budget: usize, sweeps: &mut usize) -> bool {
+        while *sweeps < budget {
+            *sweeps += 1;
             self.settle_iterations += 1;
             let mut changed = false;
             for node in 0..self.controllers.len() {
                 self.dirty.clear();
                 let (inputs, outputs) = &self.node_ports[node];
                 let mut io = NodeIo::tracked(&mut self.channels, inputs, outputs, &mut self.dirty);
-                self.controllers[node].eval(&mut io);
+                if optimistic {
+                    self.controllers[node].eval_optimistic(&mut io);
+                } else {
+                    self.controllers[node].eval(&mut io);
+                }
                 self.controller_evals += 1;
                 changed |= !self.dirty.is_empty();
             }
@@ -560,6 +626,23 @@ impl Simulation {
             }
         }
         false
+    }
+
+    /// Reference settle: Jacobi iteration in node order (the pre-worklist
+    /// engine behaviour), with the same optimistic seeding pass as the
+    /// event-driven engine when lazy forks are present — node-order sweeps
+    /// from the cleared state would otherwise settle reconvergent lazy
+    /// forks into the dead fixpoint whenever a join precedes its fork in
+    /// node order, diverging from the worklist engine. Returns `false` when
+    /// the sweep budget is exhausted.
+    fn settle_full_sweep(&mut self) -> bool {
+        let budget = self.settle_budget();
+        let mut sweeps = 0usize;
+        if !self.optimistic_nodes.is_empty() && !self.sweep_until_stable(true, budget, &mut sweeps)
+        {
+            return false;
+        }
+        self.sweep_until_stable(false, budget, &mut sweeps)
     }
 
     /// Simulates one clock cycle.

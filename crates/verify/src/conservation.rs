@@ -46,14 +46,23 @@ pub fn channel_ledger(trace: &Trace, channel: elastic_core::ChannelId) -> Channe
     ledger
 }
 
-/// `true` when `needle` is a subsequence of `haystack` (order preserved).
-fn is_subsequence(needle: &[u64], haystack: &[u64]) -> bool {
+/// `true` when `needle` is a subsequence of `haystack` (order preserved),
+/// comparing values masked to `width` bits.
+///
+/// The mask matters because the two ledgers live on *different channels*:
+/// the shared module masks its result to its output channel's width, so a
+/// 17-bit operand stream delivered through a 5-bit output wraps modulo 32 —
+/// comparing raw values would flag a wrap as a reorder (a width artifact the
+/// elastic-gen fuzzer hit on every feed-forward speculation whose moved
+/// block narrowed the data path).
+fn is_masked_subsequence(needle: &[u64], haystack: &[u64], width: u8) -> bool {
+    let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
     let mut position = 0usize;
     for value in haystack {
         if position == needle.len() {
             break;
         }
-        if value == &needle[position] {
+        if value & mask == needle[position] & mask {
             position += 1;
         }
     }
@@ -117,10 +126,16 @@ pub fn check_shared_module_conservation(
             // Order preservation: when the shared operation is a pure
             // pass-through (identity/opaque), the delivered results must be a
             // subsequence of the values consumed at the input (the missing
-            // ones are exactly the tokens whose results were cancelled).
+            // ones are exactly the tokens whose results were cancelled),
+            // under the output channel's width mask — the module masks its
+            // result at the producer like every other data entry point.
             if spec.op.is_identity_like()
                 && spec.inputs_per_user == 1
-                && !is_subsequence(&output_ledger.transferred, &input_ledger.transferred)
+                && !is_masked_subsequence(
+                    &output_ledger.transferred,
+                    &input_ledger.transferred,
+                    output.width,
+                )
             {
                 verdict.reject(format!(
                     "shared module {} user {user}: results were reordered",
@@ -157,6 +172,33 @@ mod tests {
     fn the_table1_module_conserves_tokens() {
         let handles = table1();
         let verdict = check_shared_module_conservation(&handles.netlist, 10).unwrap();
+        assert!(verdict.passed(), "{verdict}");
+    }
+
+    #[test]
+    fn narrowing_output_channels_do_not_flag_reordering() {
+        // 17-bit operand streams through a pass-through shared module onto
+        // 5-bit output channels: the results wrap modulo 32 at the producer
+        // mask, which the order check must compare under — not flag as a
+        // reorder once the counters pass 31.
+        use elastic_core::kind::{BufferSpec, SharedSpec, SinkSpec, SourceSpec};
+        use elastic_core::op::opaque;
+        let mut n = elastic_core::Netlist::new("narrow");
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let shared = n.add_shared("sh", SharedSpec::new(2, opaque("F", 4, 50)));
+        let eb0 = n.add_buffer("eb0", BufferSpec::standard(0));
+        let eb1 = n.add_buffer("eb1", BufferSpec::standard(0));
+        let sink0 = n.add_sink("sink0", elastic_core::SinkSpec::always_ready());
+        let sink1 = n.add_sink("sink1", SinkSpec::always_ready());
+        n.connect(Port::output(src0, 0), Port::input(shared, 0), 17).unwrap();
+        n.connect(Port::output(src1, 0), Port::input(shared, 1), 17).unwrap();
+        n.connect(Port::output(shared, 0), Port::input(eb0, 0), 5).unwrap();
+        n.connect(Port::output(shared, 1), Port::input(eb1, 0), 5).unwrap();
+        n.connect(Port::output(eb0, 0), Port::input(sink0, 0), 5).unwrap();
+        n.connect(Port::output(eb1, 0), Port::input(sink1, 0), 5).unwrap();
+        n.validate().unwrap();
+        let verdict = check_shared_module_conservation(&n, 160).unwrap();
         assert!(verdict.passed(), "{verdict}");
     }
 

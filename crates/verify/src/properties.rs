@@ -95,8 +95,19 @@ pub fn check_channel(
                     property: "Retry+",
                 });
             }
-            // Retry-: a stopped anti-token must persist.
-            if prev_state.backward_valid && prev_state.backward_stop && !state.backward_valid {
+            // Retry-: a stopped anti-token must persist — unless a token
+            // transferred forward through the channel in the same cycle, in
+            // which case the two cancel at the consumer's boundary (the
+            // consumer's counterflow debt is discharged by the arriving
+            // token; the producer, e.g. a lazy mux, stops anti-tokens it
+            // cannot absorb but still delivers the token that pays the
+            // debt). Found by the elastic-gen fuzzer on feed-forward
+            // speculation behind a standard buffer holding an anti-token.
+            if prev_state.backward_valid
+                && prev_state.backward_stop
+                && !prev_state.forward_transfer()
+                && !state.backward_valid
+            {
                 violations.push(ProtocolViolation {
                     channel,
                     cycle: prev_cycle,
@@ -252,6 +263,30 @@ mod tests {
             true,
         );
         assert_eq!(violations[0].property, "Retry-");
+    }
+
+    #[test]
+    fn an_anti_token_discharged_by_an_arriving_token_is_legal() {
+        // The consumer owes an anti-token that its producer cannot absorb
+        // (S- held), but a token transfers forward in the same cycle: the
+        // two cancel at the consumer boundary and the anti-token may
+        // disappear without a backward transfer.
+        let history = [
+            ChannelState {
+                forward_valid: true,
+                backward_valid: true,
+                backward_stop: true,
+                ..ChannelState::default()
+            },
+            ChannelState::default(),
+        ];
+        let violations = check_channel(
+            ChannelId::new(0),
+            history.iter().copied(),
+            &ProtocolOptions::default(),
+            true,
+        );
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

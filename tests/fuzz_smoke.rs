@@ -78,6 +78,24 @@ fn fuzz_smoke_differential_suite() {
 
         if let Some(failure) = failures.first() {
             let reproducer = shrink_failure(failure, &options, &ShrinkOptions { max_checks: 256 });
+            // Long scheduled runs set ELASTIC_FUZZ_ARTIFACT_DIR so CI can
+            // upload the shrunk reproducer as a build artifact instead of
+            // leaving it buried in the log.
+            if let Ok(dir) = std::env::var("ELASTIC_FUZZ_ARTIFACT_DIR") {
+                let path = std::path::Path::new(&dir)
+                    .join(format!("reproducer-{name}-{:016x}.rs", failure.seed));
+                let body = format!(
+                    "// fuzz preset `{name}`, seed {:#018x}\n// {failure}\n\n{}",
+                    failure.seed, reproducer.snippet
+                );
+                if let Err(error) =
+                    std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body))
+                {
+                    eprintln!("could not write reproducer artifact to {}: {error}", path.display());
+                } else {
+                    eprintln!("shrunk reproducer written to {}", path.display());
+                }
+            }
             panic!(
                 "fuzz preset `{name}`: {} of {per_preset} cases failed.\nFirst failure: \
                  {failure}\nShrunk reproducer ({} nodes):\n{}",
