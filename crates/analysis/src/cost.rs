@@ -46,6 +46,13 @@ pub struct CostModel {
     pub shared_controller_area: f64,
     /// Area of the scheduler / prediction logic of a shared module.
     pub scheduler_area: f64,
+    /// Per-entry control overhead of a commit-stage lane (FIFO pointers,
+    /// kill bookkeeping) beyond the data flip-flops. Together with
+    /// [`CostModel::flipflop_area_per_bit`] this makes the commit stage's
+    /// area **linear in `lanes × depth`** — the cost side of the
+    /// latency/throughput-versus-depth trade swept by
+    /// `examples/commit_depth.rs`.
+    pub commit_slot_control_area: f64,
     /// Extra delay (levels) contributed by elastic control logic on the
     /// datapath path of a stage (valid gating, mux select buffering).
     pub controller_delay_levels: f64,
@@ -64,6 +71,7 @@ impl Default for CostModel {
             early_eval_controller_area: 22.0,
             shared_controller_area: 30.0,
             scheduler_area: 36.0,
+            commit_slot_control_area: 5.0,
             controller_delay_levels: 1.0,
             clock_overhead_levels: 2.0,
         }
@@ -209,10 +217,14 @@ impl CostModel {
                     + self.eb_controller_area
             }
             NodeKind::Commit(spec) => {
-                // One result register bank per lane entry plus an EB-grade
-                // controller per lane.
+                // One result register bank plus FIFO/kill bookkeeping per
+                // lane entry, plus an EB-grade controller per lane: the area
+                // grows linearly with `lanes × depth`, which is what the
+                // depth sweep trades against the latency/throughput win of a
+                // scheduler that can run further ahead.
                 let lanes = spec.lanes.max(1) as f64;
-                lanes * f64::from(spec.depth.max(1)) * width * self.flipflop_area_per_bit
+                let slots = lanes * f64::from(spec.depth.max(1));
+                slots * (width * self.flipflop_area_per_bit + self.commit_slot_control_area)
                     + lanes * self.eb_controller_area
             }
             NodeKind::Source(_) | NodeKind::Sink(_) => 0.0,
@@ -309,6 +321,42 @@ mod tests {
         assert!(breakdown.per_node.contains_key("eb"));
         assert!(breakdown.total() > 0.0);
         assert!(breakdown.buffers > 0.0);
+    }
+
+    #[test]
+    fn commit_stage_area_grows_linearly_with_depth() {
+        let model = CostModel::default();
+        let with_depth = |depth: u32| {
+            let mut n = Netlist::new("t");
+            let commit = n.add_commit("c", elastic_core::CommitSpec { lanes: 2, depth });
+            let src0 = n.add_source("s0", elastic_core::SourceSpec::always());
+            let src1 = n.add_source("s1", elastic_core::SourceSpec::always());
+            let sink0 = n.add_sink("k0", elastic_core::SinkSpec::always_ready());
+            let sink1 = n.add_sink("k1", elastic_core::SinkSpec::always_ready());
+            n.connect(elastic_core::Port::output(src0, 0), elastic_core::Port::input(commit, 0), 8)
+                .unwrap();
+            n.connect(elastic_core::Port::output(src1, 0), elastic_core::Port::input(commit, 1), 8)
+                .unwrap();
+            n.connect(
+                elastic_core::Port::output(commit, 0),
+                elastic_core::Port::input(sink0, 0),
+                8,
+            )
+            .unwrap();
+            n.connect(
+                elastic_core::Port::output(commit, 1),
+                elastic_core::Port::input(sink1, 0),
+                8,
+            )
+            .unwrap();
+            let node = n.node(commit).unwrap().clone();
+            model.node_area(&n, &node)
+        };
+        let (d1, d2, d4) = (with_depth(1), with_depth(2), with_depth(4));
+        assert!(d1 < d2 && d2 < d4, "area must grow with depth: {d1} {d2} {d4}");
+        // Linear in the slot count: the d1→d2 increment equals half the
+        // d2→d4 increment (per-lane controller overhead is depth-independent).
+        assert!(((d2 - d1) - (d4 - d2) / 2.0).abs() < 1e-9);
     }
 
     #[test]

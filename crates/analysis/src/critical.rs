@@ -34,6 +34,54 @@ pub struct SpeculationCandidate {
     pub on_critical_path: bool,
 }
 
+/// Depth-dependent profile of one in-order commit stage: the occupancy model
+/// paired with the area model of [`CostModel`].
+///
+/// A commit stage of depth `d` lets the speculative shared module's scheduler
+/// run up to `d` results ahead of the resolution point *per lane* before the
+/// lane back-pressures the module — `run_ahead_bound` is that structural
+/// ceiling. Whether a workload ever reaches it is an empirical question the
+/// simulator answers (`elastic_sim`'s per-lane peak-occupancy statistics);
+/// this profile is the static side of that comparison, used by the
+/// `commit_depth` benchmark to report how much area each extra entry buys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitProfile {
+    /// The commit-stage node.
+    pub node: NodeId,
+    /// Number of result lanes (one per shared-module user).
+    pub lanes: usize,
+    /// Configured per-lane FIFO depth.
+    pub depth: u32,
+    /// Structural ceiling on the scheduler's run-ahead per lane (equals
+    /// `depth`: a lane holding `d` parked results cannot accept a `d+1`-th
+    /// until the resolution point drains or squashes the oldest).
+    pub run_ahead_bound: u32,
+    /// Area of the stage under the model — linear in `lanes × depth`.
+    pub area: f64,
+}
+
+/// Profiles every in-order commit stage of the design.
+///
+/// Returns one [`CommitProfile`] per [`NodeKind::Commit`] node, in netlist
+/// order; designs whose speculations all sit on select loops (where the
+/// commit stage is skipped — the loop's elastic buffer already decouples the
+/// speculation) profile to an empty list.
+pub fn commit_profiles(netlist: &Netlist, model: &CostModel) -> Vec<CommitProfile> {
+    netlist
+        .live_nodes()
+        .filter_map(|node| match &node.kind {
+            NodeKind::Commit(spec) => Some(CommitProfile {
+                node: node.id,
+                lanes: spec.lanes,
+                depth: spec.depth,
+                run_ahead_bound: spec.depth,
+                area: model.node_area(netlist, node),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Finds every multiplexor with a select cycle and assesses its criticality.
 pub fn speculation_candidates(netlist: &Netlist, model: &CostModel) -> Vec<SpeculationCandidate> {
     let timing = timing::analyze(netlist, model);
@@ -118,6 +166,54 @@ mod tests {
         let handles = fig1d(&Fig1Config::default());
         let candidates = speculation_candidates(&handles.netlist, &CostModel::default());
         assert_eq!(candidates.len(), 1);
+    }
+
+    #[test]
+    fn commit_profiles_report_the_depth_dependent_occupancy_model() {
+        use elastic_core::transform::{speculate, SpeculateOptions};
+
+        // A feed-forward mux speculated at two different depths: the profile
+        // must expose the run-ahead ceiling and an area that grows with it.
+        let build = |depth: u32| {
+            let mut n = elastic_core::Netlist::new("ff");
+            let sel = n.add_source("sel", elastic_core::SourceSpec::always());
+            let a = n.add_source("a", elastic_core::SourceSpec::always());
+            let b = n.add_source("b", elastic_core::SourceSpec::always());
+            let mux = n.add_mux("mux", elastic_core::MuxSpec::lazy(2));
+            let f = n.add_op("f", elastic_core::op::opaque("F", 4, 80));
+            let sink = n.add_sink("sink", elastic_core::SinkSpec::always_ready());
+            n.connect(elastic_core::Port::output(sel, 0), elastic_core::Port::input(mux, 0), 1)
+                .unwrap();
+            n.connect(elastic_core::Port::output(a, 0), elastic_core::Port::input(mux, 1), 8)
+                .unwrap();
+            n.connect(elastic_core::Port::output(b, 0), elastic_core::Port::input(mux, 2), 8)
+                .unwrap();
+            n.connect(elastic_core::Port::output(mux, 0), elastic_core::Port::input(f, 0), 8)
+                .unwrap();
+            n.connect(elastic_core::Port::output(f, 0), elastic_core::Port::input(sink, 0), 8)
+                .unwrap();
+            let options = SpeculateOptions {
+                allow_acyclic: true,
+                commit_depth: depth,
+                ..SpeculateOptions::default()
+            };
+            speculate(&mut n, mux, &options).unwrap();
+            n
+        };
+        let model = CostModel::default();
+        let shallow = commit_profiles(&build(1), &model);
+        let deep = commit_profiles(&build(4), &model);
+        assert_eq!(shallow.len(), 1);
+        assert_eq!(deep.len(), 1);
+        assert_eq!(shallow[0].run_ahead_bound, 1);
+        assert_eq!(deep[0].run_ahead_bound, 4);
+        assert_eq!(deep[0].lanes, 2);
+        assert!(deep[0].area > shallow[0].area, "each extra entry costs area");
+
+        // Loop speculation skips the stage entirely: nothing to profile.
+        let loop_design = fig1d(&Fig1Config::default());
+        loop_design.netlist.validate().unwrap();
+        assert!(commit_profiles(&loop_design.netlist, &model).is_empty());
     }
 
     #[test]

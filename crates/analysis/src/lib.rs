@@ -16,7 +16,10 @@
 //!   speculation restores;
 //! * [`critical`] — detection of critical cycles that pass through a
 //!   multiplexor select input, the structural trigger for speculation
-//!   (step 1 of Section 4);
+//!   (step 1 of Section 4), plus the depth-dependent occupancy profile of
+//!   in-order commit stages ([`critical::commit_profiles`]: how far a
+//!   scheduler may run ahead of the resolution point, and what each extra
+//!   lane entry costs in area);
 //! * [`cost`] — area in gate equivalents per node (datapath blocks, elastic
 //!   buffers, controller overhead), used for the area-overhead comparisons of
 //!   Sections 5.1 and 5.2;

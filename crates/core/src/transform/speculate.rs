@@ -131,10 +131,10 @@ fn insert_commit_stage(
     depth: u32,
 ) -> Result<NodeId> {
     let base_name = netlist.require_node(mux)?.name.clone();
-    let commit = netlist.add_commit(
-        format!("{base_name}_commit"),
-        CommitSpec { lanes: users, depth: depth.max(1) },
-    );
+    // Depth is range-checked by `speculate`'s preconditions before anything
+    // rewires, so the spec can take it verbatim.
+    let commit =
+        netlist.add_commit(format!("{base_name}_commit"), CommitSpec { lanes: users, depth });
     for user in 0..users {
         let (channel, width) = netlist
             .channel_into(Port::input(mux, 1 + user))
@@ -230,6 +230,49 @@ pub fn find_select_cycles(netlist: &Netlist, mux: NodeId) -> Result<Vec<Vec<Node
 /// **atomic**: on any error — including a late one, such as an isolation
 /// buffer refused inside a lazy fork's rendezvous region — the netlist is
 /// left exactly as it was.
+///
+/// # Example
+///
+/// Feed-forward speculation with a deeper commit stage. The
+/// [`SpeculateOptions::commit_depth`] option sizes the killable result lanes
+/// placed between the speculative shared module and the resolving
+/// multiplexor: depth 4 lets the scheduler run up to four results ahead of
+/// the resolution point before the lane back-pressures the shared module.
+///
+/// ```
+/// use elastic_core::kind::{MuxSpec, SinkSpec, SourceSpec};
+/// use elastic_core::op::opaque;
+/// use elastic_core::transform::{speculate, SpeculateOptions};
+/// use elastic_core::{Netlist, NodeKind, Port};
+///
+/// let mut n = Netlist::new("feedforward");
+/// let sel = n.add_source("sel", SourceSpec::always());
+/// let a = n.add_source("a", SourceSpec::always());
+/// let b = n.add_source("b", SourceSpec::always());
+/// let mux = n.add_mux("mux", MuxSpec::lazy(2));
+/// let f = n.add_op("f", opaque("F", 6, 100));
+/// let sink = n.add_sink("sink", SinkSpec::always_ready());
+/// n.connect(Port::output(sel, 0), Port::input(mux, 0), 1)?;
+/// n.connect(Port::output(a, 0), Port::input(mux, 1), 8)?;
+/// n.connect(Port::output(b, 0), Port::input(mux, 2), 8)?;
+/// n.connect(Port::output(mux, 0), Port::input(f, 0), 8)?;
+/// n.connect(Port::output(f, 0), Port::input(sink, 0), 8)?;
+///
+/// let options = SpeculateOptions {
+///     allow_acyclic: true, // no select cycle: a feed-forward pipeline
+///     commit_depth: 4,
+///     ..SpeculateOptions::default()
+/// };
+/// let report = speculate(&mut n, mux, &options)?;
+///
+/// // One commit lane per mux data input, each 4 entries deep.
+/// let commit = report.commit_stage.expect("feed-forward speculation inserts the stage");
+/// match &n.node(commit).unwrap().kind {
+///     NodeKind::Commit(spec) => assert_eq!((spec.lanes, spec.depth), (2, 4)),
+///     other => panic!("expected a commit stage, found {}", other.kind_name()),
+/// }
+/// # Ok::<(), elastic_core::CoreError>(())
+/// ```
 pub fn speculate(
     netlist: &mut Netlist,
     mux: NodeId,
@@ -254,6 +297,21 @@ fn check_preconditions(
     mux: NodeId,
     options: &SpeculateOptions,
 ) -> Result<Vec<Vec<NodeId>>> {
+    // The depth option must satisfy the same bounds `validate()` enforces on
+    // the resulting `CommitSpec` — otherwise the transform could return `Ok`
+    // with a netlist that no longer validates (depth too large), or silently
+    // build a different stage than the caller asked for (depth 0).
+    if options.commit_depth == 0 || options.commit_depth > crate::validate::MAX_COMMIT_DEPTH {
+        return Err(CoreError::Precondition {
+            transform: "speculate",
+            reason: format!(
+                "commit_depth {} is outside the supported range 1..={}",
+                options.commit_depth,
+                crate::validate::MAX_COMMIT_DEPTH
+            ),
+        });
+    }
+
     let select_cycles = find_select_cycles(netlist, mux)?;
     if select_cycles.is_empty() && !options.allow_acyclic {
         return Err(CoreError::Precondition {
@@ -264,6 +322,35 @@ fn check_preconditions(
                  feed-forward pipelines)"
             ),
         });
+    }
+
+    // A *narrowing* multiplexor — output channel narrower than one of its
+    // data inputs — is a masking point: the selected token is truncated to
+    // the output wire. Shannon decomposition moves the downstream block to
+    // the *input* side of that truncation, so the block would now compute on
+    // the unmasked operand and speculation would not be behaviour-preserving
+    // (the width-mutation generation knob builds exactly such muxes).
+    // Widening is harmless — masking to a wider wire is the identity.
+    if let Some(node) = netlist.node(mux) {
+        if let Some(spec) = node.as_mux() {
+            let out_width =
+                netlist.channel_from(Port::output(mux, 0)).map(|c| c.width).unwrap_or(64);
+            for data in 0..spec.data_inputs {
+                let in_width =
+                    netlist.channel_into(Port::input(mux, 1 + data)).map(|c| c.width).unwrap_or(0);
+                if in_width > out_width {
+                    return Err(CoreError::Precondition {
+                        transform: "speculate",
+                        reason: format!(
+                            "{mux} is a width-converting multiplexor (data input {data} is \
+                             {in_width} bits wide but the output wire only {out_width}): moving \
+                             the downstream block onto the data inputs would bypass the \
+                             truncation the output channel performs"
+                        ),
+                    });
+                }
+            }
+        }
     }
 
     // The shared module this transform is about to create stalls every
@@ -576,6 +663,25 @@ mod tests {
         // Pre-transform the mux's inputs are persistent sources, so the
         // analysis on the untouched netlist is (correctly) quiet.
         assert!(retraction_domain(&n, mux).unwrap().is_safe());
+    }
+
+    #[test]
+    fn out_of_range_commit_depths_are_rejected_up_front() {
+        // Both ends of the range: depth 0 must not silently become 1, and a
+        // depth `validate()` would reject must not survive the transform's
+        // valid-in/valid-out contract. Either way the netlist is untouched.
+        let (mut n, mux) = fig1a_like();
+        let before = n.clone();
+        for depth in [0, crate::validate::MAX_COMMIT_DEPTH + 1] {
+            let options = SpeculateOptions {
+                allow_acyclic: true,
+                commit_depth: depth,
+                ..SpeculateOptions::default()
+            };
+            let err = speculate(&mut n, mux, &options).unwrap_err();
+            assert!(err.to_string().contains("commit_depth"), "{err}");
+            assert_eq!(n, before);
+        }
     }
 
     #[test]

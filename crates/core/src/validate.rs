@@ -11,6 +11,14 @@ use crate::id::Port;
 use crate::kind::{BackpressurePattern, NodeKind, SourcePattern};
 use crate::netlist::Netlist;
 
+/// Upper bound on [`crate::kind::CommitSpec::depth`] accepted by validation.
+///
+/// The bound is deliberately generous — the measured sweeps
+/// (`BENCH_commit_depth.json`) show the latency/area trade flattening within
+/// a handful of entries — but it keeps a corrupted or adversarial depth from
+/// inflating every simulation build with per-lane FIFOs nobody can fill.
+pub const MAX_COMMIT_DEPTH: u32 = 1024;
+
 /// Validates the structural integrity of a netlist.
 ///
 /// # Errors
@@ -147,6 +155,15 @@ pub fn validate(netlist: &Netlist) -> Result<()> {
                         node.name, node.id
                     ));
                 }
+                if spec.depth > MAX_COMMIT_DEPTH {
+                    problems.push(format!(
+                        "commit stage {} ({}) declares a per-lane depth of {} but the simulator \
+                         and the cost model support at most {MAX_COMMIT_DEPTH} (deeper lanes \
+                         cannot help: the scheduler can never run further ahead than the shared \
+                         module's operand backlog)",
+                        node.name, node.id, spec.depth
+                    ));
+                }
             }
             NodeKind::VarLatency(spec) => {
                 if spec.inputs == 0 {
@@ -277,6 +294,27 @@ mod tests {
         let text = err.to_string();
         assert!(text.contains("two data inputs"));
         assert!(text.contains("two branches"));
+    }
+
+    #[test]
+    fn commit_depth_bounds_are_reported() {
+        use crate::kind::CommitSpec;
+
+        let build = |depth: u32| {
+            let mut n = connected_pair();
+            let commit = n.add_commit("c", CommitSpec { lanes: 1, depth });
+            let src2 = n.add_source("src2", SourceSpec::always());
+            let sink2 = n.add_sink("sink2", SinkSpec::always_ready());
+            n.connect(Port::output(src2, 0), Port::input(commit, 0), 8).unwrap();
+            n.connect(Port::output(commit, 0), Port::input(sink2, 0), 8).unwrap();
+            n
+        };
+        assert!(build(1).validate().is_ok());
+        assert!(build(MAX_COMMIT_DEPTH).validate().is_ok());
+        let err = build(0).validate().unwrap_err();
+        assert!(err.to_string().contains("at least one"));
+        let err = build(MAX_COMMIT_DEPTH + 1).validate().unwrap_err();
+        assert!(err.to_string().contains("at most"), "{err}");
     }
 
     #[test]

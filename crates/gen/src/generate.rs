@@ -73,6 +73,16 @@ pub struct GenConfig {
     /// combinational cone, with the continuation branch free to stall (the
     /// ROADMAP "cyclic speculation into a stallable fork cone" corner).
     pub stallable_loop_fork_chance: f64,
+    /// Probability that a fork branch or a join operand **mutates its
+    /// channel width** — the branch/operand channel is declared at a freshly
+    /// drawn width instead of inheriting the producer's. Every producer
+    /// masks its data to the channel it drives (the simulator's signal layer
+    /// truncates exactly like the Verilog wire the channel emits to), so
+    /// width-converting forks and joins are valid designs; what the knob
+    /// buys is fuzz coverage of that masking — transforms that re-site
+    /// producers (retiming, speculation's shared module) must preserve the
+    /// conversion points (the PR-3/PR-4 fuzz-scaling leftover).
+    pub width_mutation_chance: f64,
     /// Allow zero-backward-latency (`Lb = 0`) buffers outside loops.
     pub allow_zero_backward: bool,
     /// Allow stochastic environment patterns (seeded, still deterministic).
@@ -95,6 +105,7 @@ impl Default for GenConfig {
             varlatency_chance: 0.3,
             lazy_fork_chance: 0.25,
             stallable_loop_fork_chance: 0.4,
+            width_mutation_chance: 0.25,
             allow_zero_backward: true,
             randomized_environments: true,
             max_width: 32,
@@ -158,6 +169,18 @@ pub struct GenProfile {
     /// Loop-gadget forks placed *before* the loop buffer — inside the
     /// speculative mux's combinational cone (ROADMAP stallable-cone corner).
     pub stallable_loop_forks: Vec<NodeId>,
+    /// Forks with at least one branch whose channel width differs from the
+    /// input channel's (the branch wire narrows or widens the token).
+    pub width_mutated_forks: Vec<NodeId>,
+    /// Joins (two-operand function blocks) with at least one operand channel
+    /// declared at a mutated width.
+    pub width_mutated_joins: Vec<NodeId>,
+    /// The subset of [`GenProfile::width_mutated_joins`] where an operand
+    /// channel *narrowed* — the truncating direction, which is the masking
+    /// corner the knob exists to soak. (Recorded at generation time: unlike
+    /// forks, a join operand's pre-mutation width is not reconstructible
+    /// from the finished netlist.)
+    pub narrowing_joins: Vec<NodeId>,
 }
 
 /// A generated netlist plus its generation profile.
@@ -288,6 +311,19 @@ impl<'a> Builder<'a> {
         self.open.push(OpenPort { port, width });
     }
 
+    /// Rolls the width-mutation knob on an open port: with
+    /// [`GenConfig::width_mutation_chance`], the port's next channel is
+    /// declared at a freshly drawn width instead of the inherited one.
+    /// Returns the (possibly re-widthed) port, whether the width actually
+    /// changed, and whether it narrowed (the truncating direction).
+    fn maybe_mutate_width(&mut self, port: OpenPort) -> (OpenPort, bool, bool) {
+        if !self.rng.chance(self.config.width_mutation_chance) {
+            return (port, false, false);
+        }
+        let width = self.data_width();
+        (OpenPort { width, ..port }, width != port.width, width < port.width)
+    }
+
     fn connect(&mut self, from: OpenPort, to: Port) {
         self.n.connect(from.port, to, from.width).expect("builder ports are fresh and in range");
     }
@@ -311,6 +347,18 @@ impl<'a> Builder<'a> {
         let op = self.binary_op();
         let out_width = op.output_width().unwrap_or(a.width.max(b.width));
         let block = self.n.add_function("join", FunctionSpec::with_inputs(op, 2));
+        // Width mutation: an operand channel may be declared at a freshly
+        // drawn width — the producer masks to the wire it drives, so the
+        // join sees the truncated operand exactly as synthesized hardware
+        // would.
+        let (a, a_mutated, a_narrowed) = self.maybe_mutate_width(a);
+        let (b, b_mutated, b_narrowed) = self.maybe_mutate_width(b);
+        if a_mutated || b_mutated {
+            self.profile.width_mutated_joins.push(block);
+        }
+        if a_narrowed || b_narrowed {
+            self.profile.narrowing_joins.push(block);
+        }
         self.connect(a, Port::input(block, 0));
         self.connect(b, Port::input(block, 1));
         self.push_open(Port::output(block, 0), out_width);
@@ -342,8 +390,19 @@ impl<'a> Builder<'a> {
         }
         let width = input.width;
         self.connect(input, Port::input(fork, 0));
+        // Width mutation: a branch may re-declare its channel width — the
+        // fork masks each branch's copy to the wire it drives (like the
+        // per-branch assigns of the emitted Verilog), so branches of one
+        // token may legitimately carry different truncations of it.
+        let mut mutated = false;
         for branch in 0..outputs {
-            self.push_open(Port::output(fork, branch), width);
+            let (open, branch_mutated, _narrowed) =
+                self.maybe_mutate_width(OpenPort { port: Port::output(fork, branch), width });
+            mutated |= branch_mutated;
+            self.push_open(open.port, open.width);
+        }
+        if mutated {
+            self.profile.width_mutated_forks.push(fork);
         }
     }
 

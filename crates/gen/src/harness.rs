@@ -67,6 +67,13 @@ pub struct HarnessOptions {
     pub max_structural_transforms: usize,
     /// Schedulers injected into speculated designs.
     pub schedulers: Vec<SchedulerKind>,
+    /// Maximum commit-stage depth injected into speculations (the per-case
+    /// rng draws a depth in `1..=max_commit_depth` for every speculated mux,
+    /// so the multi-entry lane paths — several in-flight wrong-path results
+    /// squashing in sequence, zero-backward acceptance on a full deep lane —
+    /// are soaked alongside the classic depth-1 configuration). 1 restores
+    /// the pre-sweep behaviour.
+    pub max_commit_depth: u32,
     /// Also exercise `speculate` with `allow_acyclic` on feed-forward muxes.
     ///
     /// On by default since the feed-forward soundness work landed: the
@@ -98,6 +105,7 @@ impl Default for HarnessOptions {
                 SchedulerKind::LastTaken,
                 SchedulerKind::TwoBit,
             ],
+            max_commit_depth: 4,
             include_acyclic_speculation: true,
         }
     }
@@ -211,6 +219,9 @@ pub fn engines_agree(netlist: &Netlist, cycles: u64) -> Result<(), String> {
     if event_report.shared_stats != sweep_report.shared_stats {
         return Err("shared-module statistics differ between engines".into());
     }
+    if event_report.commit_stats != sweep_report.commit_stats {
+        return Err("commit-stage lane statistics differ between engines".into());
+    }
     Ok(())
 }
 
@@ -258,16 +269,25 @@ fn transform_catalogue(
             .cloned()
             .unwrap_or_default();
         let with_recovery = rng.chance(0.5);
+        let commit_depth = rng.range(1, u64::from(options.max_commit_depth.max(1))) as u32;
         let speculate_options = SpeculateOptions {
             scheduler,
             recovery_buffer: with_recovery.then(|| BufferSpec::zero_backward(0)),
             starvation_limit: Some(8),
             allow_acyclic: !on_cycle,
+            commit_depth,
             ..SpeculateOptions::default()
         };
+        // The depth only materialises on feed-forward muxes (select loops
+        // skip the commit stage), but drawing it unconditionally keeps the
+        // per-seed rng stream independent of the cycle classification.
         let label = if on_cycle { "speculate" } else { "speculate_acyclic" };
         catalogue.push(TransformCase {
-            name: format!("{label}({})", node.name),
+            name: if on_cycle {
+                format!("{label}({})", node.name)
+            } else {
+                format!("{label}({},d{commit_depth})", node.name)
+            },
             apply: Box::new(move |n: &mut Netlist| {
                 speculate(n, mux, &speculate_options).map(|_| ())
             }),

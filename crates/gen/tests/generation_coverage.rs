@@ -18,6 +18,10 @@ struct SpaceHistogram {
     stallable_loop_forks: usize,
     feedforward_muxes: usize,
     select_loop_muxes: usize,
+    width_mutated_forks: usize,
+    width_mutated_joins: usize,
+    narrowing_forks: usize,
+    narrowing_joins: usize,
     kinds: BTreeMap<&'static str, usize>,
 }
 
@@ -31,6 +35,38 @@ fn sample(config: &GenConfig, seeds: std::ops::Range<u64>) -> SpaceHistogram {
         histogram.stallable_loop_forks += generated.profile.stallable_loop_forks.len();
         histogram.feedforward_muxes += generated.profile.feedforward_muxes.len();
         histogram.select_loop_muxes += generated.profile.select_loop_muxes.len();
+        histogram.width_mutated_forks += generated.profile.width_mutated_forks.len();
+        histogram.width_mutated_joins += generated.profile.width_mutated_joins.len();
+        histogram.narrowing_joins += generated.profile.narrowing_joins.len();
+        // A join's pre-mutation operand width is not reconstructible from the
+        // finished netlist, so the narrowing direction is recorded at
+        // generation time; it must at least be consistent with the mutation
+        // profile (every narrowing join is a width-mutated join).
+        for &join in &generated.profile.narrowing_joins {
+            assert!(
+                generated.profile.width_mutated_joins.contains(&join),
+                "seed {seed:#x}: narrowing join missing from the width-mutation profile"
+            );
+        }
+        // Every profiled width-mutated fork must really convert a width, and
+        // the space must include *narrowing* branches (the masking direction
+        // — widening alone would leave the truncation paths untested).
+        for &fork in &generated.profile.width_mutated_forks {
+            let input_width = generated
+                .netlist
+                .input_channels(fork)
+                .first()
+                .map(|c| c.width)
+                .expect("forks have an input");
+            let outputs = generated.netlist.output_channels(fork);
+            assert!(
+                outputs.iter().any(|c| c.width != input_width),
+                "seed {seed:#x}: profiled width-mutated fork converts nothing"
+            );
+            if outputs.iter().any(|c| c.width < input_width) {
+                histogram.narrowing_forks += 1;
+            }
+        }
         for node in generated.netlist.live_nodes() {
             *histogram.kinds.entry(node.kind.kind_name()).or_insert(0) += 1;
             match &node.kind {
@@ -92,6 +128,24 @@ fn the_widened_default_space_emits_every_new_shape() {
     assert!(
         histogram.feedforward_muxes >= 40,
         "feed-forward speculation targets barely emitted: {histogram:?}"
+    );
+    assert!(
+        histogram.width_mutated_forks >= 10,
+        "width-converting fork branches barely emitted: {histogram:?}"
+    );
+    assert!(
+        histogram.width_mutated_joins >= 10,
+        "width-converting join operands barely emitted: {histogram:?}"
+    );
+    assert!(
+        histogram.narrowing_forks >= 5,
+        "the narrowing (truncating) direction of fork width mutation is barely \
+         emitted — the masking paths would go untested: {histogram:?}"
+    );
+    assert!(
+        histogram.narrowing_joins >= 5,
+        "the narrowing (truncating) direction of join width mutation is barely \
+         emitted — the join-side masking paths would go untested: {histogram:?}"
     );
     for kind in ["source", "sink", "function", "buffer", "fork", "mux", "shared", "varlatency"] {
         assert!(histogram.kinds.contains_key(kind), "kind `{kind}` vanished: {histogram:?}");

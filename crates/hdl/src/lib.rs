@@ -11,7 +11,8 @@
 //! * a structural **Verilog** module ([`verilog::emit_verilog`]) instantiating
 //!   one parameterised control primitive per node (EB controller, join,
 //!   eager fork, early-evaluation mux controller, speculative shared-module
-//!   controller) wired by the `(V+, S+, V-, S-)` bundles of every channel,
+//!   controller, the depth-parameterised `elastic_commit` in-order commit
+//!   stage) wired by the `(V+, S+, V-, S-)` bundles of every channel,
 //!   together with the library of primitive definitions
 //!   ([`verilog::primitive_library`]);
 //! * a **BLIF** view of the control network ([`blif::emit_blif`]) for

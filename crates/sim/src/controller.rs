@@ -39,6 +39,9 @@ pub struct NodeIo<'a> {
     channels: &'a mut [ChannelState],
     input_channels: &'a [usize],
     output_channels: &'a [usize],
+    /// Declared bit width per global channel; empty means "no masking"
+    /// (controller unit tests drive raw 64-bit words).
+    channel_widths: &'a [u8],
     dirty: Option<&'a mut Vec<usize>>,
 }
 
@@ -50,19 +53,25 @@ impl<'a> NodeIo<'a> {
         input_channels: &'a [usize],
         output_channels: &'a [usize],
     ) -> Self {
-        NodeIo { channels, input_channels, output_channels, dirty: None }
+        NodeIo { channels, input_channels, output_channels, channel_widths: &[], dirty: None }
     }
 
     /// Creates a change-tracked port view: every setter that changes a stored
     /// signal pushes the affected global channel index onto `dirty` (possibly
-    /// more than once; consumers dedupe).
+    /// more than once; consumers dedupe). `channel_widths` gives the declared
+    /// width of every global channel; data driven through
+    /// [`NodeIo::set_output_data`] is masked to it, so a channel never
+    /// carries more bits than its declaration — the invariant the structural
+    /// HDL views rely on (a Verilog wire truncates, so must we), and the
+    /// reason width-converting forks/joins are safe to generate.
     pub fn tracked(
         channels: &'a mut [ChannelState],
         input_channels: &'a [usize],
         output_channels: &'a [usize],
+        channel_widths: &'a [u8],
         dirty: &'a mut Vec<usize>,
     ) -> Self {
-        NodeIo { channels, input_channels, output_channels, dirty: Some(dirty) }
+        NodeIo { channels, input_channels, output_channels, channel_widths, dirty: Some(dirty) }
     }
 
     /// Number of input ports of the node.
@@ -118,8 +127,19 @@ impl<'a> NodeIo<'a> {
     }
 
     /// Drives the data word on output port `index` (producer-owned signal).
+    ///
+    /// The word is masked to the channel's declared width (when the view was
+    /// built with widths): every producer — including width-preserving
+    /// pass-through controllers such as forks and buffers — truncates exactly
+    /// like the wire it models, so a narrow channel fed by a wide producer
+    /// behaves identically in simulation and in the emitted HDL.
     pub fn set_output_data(&mut self, index: usize, data: u64) {
-        self.write(self.output_channels[index], |c| &mut c.data, data);
+        let channel = self.output_channels[index];
+        let masked = match self.channel_widths.get(channel) {
+            Some(&width) if width < 64 => data & ((1u64 << width) - 1),
+            _ => data,
+        };
+        self.write(channel, |c| &mut c.data, masked);
     }
 
     /// Drives `S-` on output port `index` (producer-owned signal).
@@ -257,6 +277,13 @@ pub trait Controller: std::fmt::Debug {
 
     /// Per-user `(transfers, kills)` counters (speculative shared modules only).
     fn per_user_stats(&self) -> Option<(Vec<u64>, Vec<u64>)> {
+        None
+    }
+
+    /// Per-lane commit/squash/occupancy counters (in-order commit stages
+    /// only) — the observable behind the depth sweeps of
+    /// `BENCH_commit_depth.json`.
+    fn commit_stats(&self) -> Option<crate::metrics::CommitStageStats> {
         None
     }
 }

@@ -26,6 +26,7 @@
 use elastic_core::CommitSpec;
 
 use crate::controller::{Controller, NodeIo, NodeStats};
+use crate::metrics::CommitStageStats;
 
 /// Controller for an in-order commit stage.
 #[derive(Debug)]
@@ -37,6 +38,8 @@ pub struct CommitStage {
     commits: Vec<u64>,
     /// Results squashed (killed in place) per lane.
     squashes: Vec<u64>,
+    /// Highest occupancy each lane ever reached (run-ahead achieved).
+    peaks: Vec<u64>,
     stats: NodeStats,
 }
 
@@ -49,6 +52,7 @@ impl CommitStage {
             lanes: (0..lanes).map(|_| std::collections::VecDeque::new()).collect(),
             commits: vec![0; lanes],
             squashes: vec![0; lanes],
+            peaks: vec![0; lanes],
             stats: NodeStats::default(),
         }
     }
@@ -61,6 +65,11 @@ impl CommitStage {
     /// Results squashed per lane (diagnostic).
     pub fn squashes_per_lane(&self) -> &[u64] {
         &self.squashes
+    }
+
+    /// Highest simultaneous occupancy each lane ever reached (diagnostic).
+    pub fn peak_occupancy_per_lane(&self) -> &[u64] {
+        &self.peaks
     }
 
     /// Current occupancy of one lane (diagnostic).
@@ -127,11 +136,29 @@ impl Controller for CommitStage {
                     self.lanes[lane].push_back(input.data);
                 }
             }
+            // The eval-side stop guarantees a lane can never exceed its
+            // declared depth: a full lane only accepts in a cycle whose head
+            // simultaneously commits or is squashed.
+            debug_assert!(
+                self.lanes[lane].len() <= self.spec.depth as usize,
+                "lane {lane} overflowed its declared depth {}",
+                self.spec.depth
+            );
+            self.peaks[lane] = self.peaks[lane].max(self.lanes[lane].len() as u64);
         }
     }
 
     fn stats(&self) -> NodeStats {
         self.stats
+    }
+
+    fn commit_stats(&self) -> Option<CommitStageStats> {
+        Some(CommitStageStats {
+            depth: self.spec.depth,
+            commits_per_lane: self.commits.clone(),
+            squashes_per_lane: self.squashes.clone(),
+            peak_occupancy_per_lane: self.peaks.clone(),
+        })
     }
 
     fn reset(&mut self) {
@@ -140,6 +167,7 @@ impl Controller for CommitStage {
         }
         self.commits.iter_mut().for_each(|c| *c = 0);
         self.squashes.iter_mut().for_each(|s| *s = 0);
+        self.peaks.iter_mut().for_each(|p| *p = 0);
         self.stats = NodeStats::default();
     }
 }
@@ -274,19 +302,120 @@ mod tests {
         stage.eval(&mut io(&mut channels));
         stage.commit(&io(&mut channels));
         assert_eq!(stage.occupancy(0), 1);
+        assert_eq!(stage.peak_occupancy_per_lane(), &[1, 0]);
         stage.reset();
         assert_eq!(stage.occupancy(0), 0);
         assert_eq!(stage.stats(), NodeStats::default());
         assert_eq!(stage.commits_per_lane(), &[0, 0]);
+        assert_eq!(stage.peak_occupancy_per_lane(), &[0, 0]);
+        assert_eq!(
+            stage.commit_stats(),
+            Some(crate::metrics::CommitStageStats {
+                depth: 1,
+                commits_per_lane: vec![0, 0],
+                squashes_per_lane: vec![0, 0],
+                peak_occupancy_per_lane: vec![0, 0],
+            })
+        );
+    }
+
+    // Single-lane layout used by the depth-N tests: input 0, output 1.
+    fn io1(channels: &mut [ChannelState]) -> NodeIo<'_> {
+        NodeIo::new(channels, &[0], &[1])
+    }
+
+    /// Parks `values` into lane 0 of `stage` while the consumer stalls.
+    fn park(stage: &mut CommitStage, values: &[u64]) {
+        for &value in values {
+            let mut channels = vec![ChannelState::default(); 2];
+            channels[0].forward_valid = true;
+            channels[0].data = value;
+            channels[1].forward_stop = true;
+            stage.eval(&mut io1(&mut channels));
+            assert!(!channels[0].forward_stop, "lane must have room for {value}");
+            stage.commit(&io1(&mut channels));
+        }
+    }
+
+    #[test]
+    fn deep_lanes_squash_several_in_flight_wrong_path_results() {
+        // Three wrong-path results are in flight when the mux resolves the
+        // other way: each anti-token squashes exactly the oldest entry, in
+        // place, without disturbing the entries behind it.
+        let mut stage = CommitStage::new(CommitSpec::new(1).with_depth(4));
+        park(&mut stage, &[10, 11, 12]);
+        assert_eq!(stage.occupancy(0), 3);
+        for expected_left in [2usize, 1, 0] {
+            let mut channels = vec![ChannelState::default(); 2];
+            channels[1].backward_valid = true;
+            channels[1].forward_stop = true;
+            stage.eval(&mut io1(&mut channels));
+            assert!(!channels[1].backward_stop, "an occupied lane absorbs the kill");
+            assert!(!channels[0].backward_valid, "nothing passes towards the shared module");
+            stage.commit(&io1(&mut channels));
+            assert_eq!(stage.occupancy(0), expected_left);
+        }
+        assert_eq!(stage.squashes_per_lane(), &[3]);
+        assert_eq!(stage.commits_per_lane(), &[0]);
+
+        // The lane recovers: a right-path result parks and commits in order.
+        park(&mut stage, &[42]);
+        let mut channels = vec![ChannelState::default(); 2];
+        stage.eval(&mut io1(&mut channels));
+        assert!(channels[1].forward_valid);
+        assert_eq!(channels[1].data, 42);
+        stage.commit(&io1(&mut channels));
+        assert_eq!(stage.commits_per_lane(), &[1]);
+    }
+
+    #[test]
+    fn a_full_deep_lane_accepts_while_its_head_is_squashed() {
+        // Zero backward latency must hold at every depth: a full lane still
+        // accepts a fresh result in the cycle its head is killed in place.
+        let mut stage = CommitStage::new(CommitSpec::new(1).with_depth(2));
+        park(&mut stage, &[1, 2]);
+        let mut channels = vec![ChannelState::default(); 2];
+        channels[0].forward_valid = true;
+        channels[0].data = 3;
+        channels[1].backward_valid = true;
+        channels[1].forward_stop = true;
+        stage.eval(&mut io1(&mut channels));
+        assert!(!channels[0].forward_stop, "the head leaves, so the lane accepts");
+        stage.commit(&io1(&mut channels));
+        assert_eq!(stage.occupancy(0), 2);
+        assert_eq!(stage.squashes_per_lane(), &[1]);
+        // Order is preserved across the squash: 2 then 3 drain.
+        for expected in [2u64, 3] {
+            let mut channels = vec![ChannelState::default(); 2];
+            stage.eval(&mut io1(&mut channels));
+            assert_eq!(channels[1].data, expected);
+            assert!(channels[1].forward_valid);
+            stage.commit(&io1(&mut channels));
+        }
+        assert_eq!(stage.commits_per_lane(), &[2]);
+    }
+
+    #[test]
+    fn peak_occupancy_records_the_run_ahead_actually_achieved() {
+        let mut stage = CommitStage::new(CommitSpec::new(1).with_depth(4));
+        park(&mut stage, &[1, 2, 3]);
+        assert_eq!(stage.peak_occupancy_per_lane(), &[3]);
+        // Draining does not lower the recorded peak.
+        let mut channels = vec![ChannelState::default(); 2];
+        stage.eval(&mut io1(&mut channels));
+        stage.commit(&io1(&mut channels));
+        assert_eq!(stage.occupancy(0), 2);
+        assert_eq!(stage.peak_occupancy_per_lane(), &[3]);
+        let stats = stage.commit_stats().unwrap();
+        assert_eq!(stats.depth, 4);
+        assert_eq!(stats.peak_occupancy_per_lane, vec![3]);
+        assert!((stats.mean_peak_occupancy().unwrap() - 3.0).abs() < 1e-9);
     }
 
     #[test]
     fn deeper_lanes_let_the_scheduler_run_ahead() {
         let mut stage = CommitStage::new(CommitSpec::new(1).with_depth(2));
         let mut channels = vec![ChannelState::default(); 2];
-        fn io1(channels: &mut [ChannelState]) -> NodeIo<'_> {
-            NodeIo::new(channels, &[0], &[1])
-        }
         // Two results park while the consumer stalls; the third is stopped.
         for value in [1u64, 2] {
             channels[0].forward_valid = true;

@@ -226,6 +226,9 @@ pub struct Simulation {
     node_kinds: Vec<&'static str>,
     node_ports: Vec<(Vec<usize>, Vec<usize>)>,
     channels: Vec<ChannelState>,
+    /// Declared bit width of each channel (dense index), shared with every
+    /// tracked [`NodeIo`] so producers mask data to the wire they drive.
+    channel_widths: Vec<u8>,
     /// Controller index producing / consuming each channel.
     channel_producer: Vec<u32>,
     channel_consumer: Vec<u32>,
@@ -291,8 +294,10 @@ impl Simulation {
 
         // Dense channel indexing shared with the trace.
         let mut channel_index = BTreeMap::new();
+        let mut channel_widths = Vec::new();
         for (index, channel) in netlist.live_channels().enumerate() {
             channel_index.insert(channel.id, index);
+            channel_widths.push(channel.width);
         }
 
         let mut controllers = Vec::new();
@@ -365,6 +370,7 @@ impl Simulation {
             node_kinds,
             node_ports,
             channels: vec![ChannelState::default(); channel_index.len()],
+            channel_widths,
             channel_producer,
             channel_consumer,
             reads_channels,
@@ -504,7 +510,13 @@ impl Simulation {
     fn eval_and_wake(&mut self, node: usize, optimistic: bool) {
         self.dirty.clear();
         let (inputs, outputs) = &self.node_ports[node];
-        let mut io = NodeIo::tracked(&mut self.channels, inputs, outputs, &mut self.dirty);
+        let mut io = NodeIo::tracked(
+            &mut self.channels,
+            inputs,
+            outputs,
+            &self.channel_widths,
+            &mut self.dirty,
+        );
         if optimistic {
             self.controllers[node].eval_optimistic(&mut io);
         } else {
@@ -612,7 +624,13 @@ impl Simulation {
             for node in 0..self.controllers.len() {
                 self.dirty.clear();
                 let (inputs, outputs) = &self.node_ports[node];
-                let mut io = NodeIo::tracked(&mut self.channels, inputs, outputs, &mut self.dirty);
+                let mut io = NodeIo::tracked(
+                    &mut self.channels,
+                    inputs,
+                    outputs,
+                    &self.channel_widths,
+                    &mut self.dirty,
+                );
                 if optimistic {
                     self.controllers[node].eval_optimistic(&mut io);
                 } else {
@@ -724,6 +742,11 @@ impl Simulation {
                             kills_per_user,
                         },
                     );
+                }
+                "commit" => {
+                    if let Some(lane_stats) = controller.commit_stats() {
+                        report.commit_stats.insert(node, lane_stats);
+                    }
                 }
                 _ => {}
             }

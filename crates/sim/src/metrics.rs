@@ -36,6 +36,49 @@ impl SharedModuleStats {
     }
 }
 
+/// Statistics of one in-order commit stage over a simulation run.
+///
+/// The per-lane **peak occupancy** is the run-ahead the scheduler actually
+/// achieved: a commit stage of depth `d` lets up to `d` speculative results
+/// park per lane ahead of the resolution point, and the peak records how much
+/// of that head-room a given workload ever used — the empirical side of the
+/// depth-dependent area/occupancy model in `elastic-analysis`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommitStageStats {
+    /// Configured per-lane FIFO depth.
+    pub depth: u32,
+    /// Results committed (delivered in operand order) per lane.
+    pub commits_per_lane: Vec<u64>,
+    /// Wrong-path results squashed in place per lane.
+    pub squashes_per_lane: Vec<u64>,
+    /// Highest simultaneous occupancy each lane ever reached.
+    pub peak_occupancy_per_lane: Vec<u64>,
+}
+
+impl CommitStageStats {
+    /// Total results committed across all lanes.
+    pub fn total_commits(&self) -> u64 {
+        self.commits_per_lane.iter().sum()
+    }
+
+    /// Total wrong-path results squashed across all lanes.
+    pub fn total_squashes(&self) -> u64 {
+        self.squashes_per_lane.iter().sum()
+    }
+
+    /// Mean of the per-lane peak occupancies; `None` for a lane-less stage.
+    pub fn mean_peak_occupancy(&self) -> Option<f64> {
+        if self.peak_occupancy_per_lane.is_empty() {
+            None
+        } else {
+            Some(
+                self.peak_occupancy_per_lane.iter().sum::<u64>() as f64
+                    / self.peak_occupancy_per_lane.len() as f64,
+            )
+        }
+    }
+}
+
 /// Summary of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct SimulationReport {
@@ -60,6 +103,8 @@ pub struct SimulationReport {
     pub node_stats: BTreeMap<NodeId, NodeStats>,
     /// Per-shared-module speculation statistics.
     pub shared_stats: BTreeMap<NodeId, SharedModuleStats>,
+    /// Per-commit-stage lane statistics (commits, squashes, peak occupancy).
+    pub commit_stats: BTreeMap<NodeId, CommitStageStats>,
 }
 
 impl SimulationReport {
@@ -88,6 +133,24 @@ impl SimulationReport {
     /// Total mispredictions across all shared modules.
     pub fn total_mispredictions(&self) -> u64 {
         self.shared_stats.values().map(|s| s.mispredictions).sum()
+    }
+
+    /// Total wrong-path results squashed across all commit stages.
+    pub fn total_squashes(&self) -> u64 {
+        self.commit_stats.values().map(|s| s.total_squashes()).sum()
+    }
+
+    /// Mean peak lane occupancy across all commit stages — how far ahead of
+    /// the resolution point the schedulers actually ran; `None` when the
+    /// design has no commit stage.
+    pub fn mean_commit_occupancy(&self) -> Option<f64> {
+        let peaks: Vec<f64> =
+            self.commit_stats.values().filter_map(|s| s.mean_peak_occupancy()).collect();
+        if peaks.is_empty() {
+            None
+        } else {
+            Some(peaks.iter().sum::<f64>() / peaks.len() as f64)
+        }
     }
 
     /// Trace memory per simulated cycle in bytes (0 when tracing was off).
@@ -151,6 +214,26 @@ mod tests {
         let rate = stats.misprediction_rate().unwrap();
         assert!((rate - 0.05).abs() < 1e-9);
         assert_eq!(SharedModuleStats::default().misprediction_rate(), None);
+    }
+
+    #[test]
+    fn commit_stats_aggregate_lanes() {
+        let stats = CommitStageStats {
+            depth: 4,
+            commits_per_lane: vec![10, 6],
+            squashes_per_lane: vec![2, 3],
+            peak_occupancy_per_lane: vec![4, 2],
+        };
+        assert_eq!(stats.total_commits(), 16);
+        assert_eq!(stats.total_squashes(), 5);
+        assert!((stats.mean_peak_occupancy().unwrap() - 3.0).abs() < 1e-9);
+        assert_eq!(CommitStageStats::default().mean_peak_occupancy(), None);
+
+        let mut report = SimulationReport::default();
+        report.commit_stats.insert(NodeId::new(7), stats);
+        assert_eq!(report.total_squashes(), 5);
+        assert!((report.mean_commit_occupancy().unwrap() - 3.0).abs() < 1e-9);
+        assert_eq!(SimulationReport::default().mean_commit_occupancy(), None);
     }
 
     #[test]

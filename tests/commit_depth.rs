@@ -1,0 +1,117 @@
+//! Depth-N commit lanes, end to end: every depth in 1..=4 must leave
+//! feed-forward speculation behaviour-preserving under scheduler injection,
+//! deep lanes must actually be *used* (the scheduler runs ahead when the
+//! resolution point stalls in bursts), and select-loop speculation must stay
+//! depth-independent (the stage is only inserted on feed-forward muxes).
+
+use elastic_core::kind::{BackpressurePattern, DataStream};
+use elastic_core::library::{fig1a, Fig1Config};
+use elastic_core::transform::{speculate, SpeculateOptions};
+use elastic_core::{Netlist, NodeKind, SchedulerKind};
+use elastic_sim::{SimConfig, Simulation};
+use elastic_suite::feedforward_mux_design;
+use elastic_verify::battery::{check_transform_battery, BatteryOptions};
+use elastic_verify::liveness::LivenessOptions;
+
+/// A feed-forward mux pipeline whose consumer stalls in bursts — the shape
+/// where a deeper commit stage lets the scheduler park several results ahead
+/// of the resolution point (the shared builder pins the design the
+/// commit-depth benchmark measures).
+fn bursty_feedforward() -> (Netlist, elastic_core::NodeId) {
+    let (n, mux, _sink) = feedforward_mux_design(
+        DataStream::Random { seed: 0xD1CE },
+        BackpressurePattern::List(vec![true, true, true, false, false]),
+    );
+    (n, mux)
+}
+
+fn speculated_at_depth(depth: u32, scheduler: SchedulerKind) -> Netlist {
+    let (mut n, mux) = bursty_feedforward();
+    let options = SpeculateOptions {
+        scheduler,
+        allow_acyclic: true,
+        commit_depth: depth,
+        // Keep the leads-to horizon short for adversarial static schedulers,
+        // matching the fuzzing harness: a starved user is force-granted well
+        // inside the checkers' liveness windows.
+        starvation_limit: Some(8),
+        ..SpeculateOptions::default()
+    };
+    let report = speculate(&mut n, mux, &options).unwrap();
+    let commit = report.commit_stage.expect("feed-forward speculation inserts the stage");
+    match &n.node(commit).unwrap().kind {
+        NodeKind::Commit(spec) => assert_eq!(spec.depth, depth),
+        other => panic!("expected a commit stage, found {}", other.kind_name()),
+    }
+    n
+}
+
+#[test]
+fn every_depth_is_behaviour_preserving_under_scheduler_injection() {
+    let (reference, _) = bursty_feedforward();
+    let options = BatteryOptions {
+        cycles: 256,
+        liveness: LivenessOptions { cycles: 256, progress_window: 96, leads_to_horizon: 96 },
+        check_protocol: true,
+    };
+    for depth in 1..=4 {
+        for scheduler in [
+            SchedulerKind::Static(0),
+            SchedulerKind::Static(1),
+            SchedulerKind::LastTaken,
+            SchedulerKind::TwoBit,
+        ] {
+            let transformed = speculated_at_depth(depth, scheduler.clone());
+            let verdict = check_transform_battery(&reference, &transformed, &options).unwrap();
+            assert!(verdict.passed(), "depth {depth}, scheduler {scheduler:?}: {verdict}");
+        }
+    }
+}
+
+#[test]
+fn deep_lanes_are_actually_used_when_the_consumer_stalls_in_bursts() {
+    let mut peaks = Vec::new();
+    for depth in [1u32, 2, 4] {
+        let transformed = speculated_at_depth(depth, SchedulerKind::LastTaken);
+        let quiet = SimConfig { record_trace: false, ..SimConfig::default() };
+        let report = Simulation::new(&transformed, &quiet).unwrap().run(2000).unwrap();
+        let stats = report.commit_stats.values().next().expect("one commit stage");
+        assert_eq!(stats.depth, depth);
+        let peak = *stats.peak_occupancy_per_lane.iter().max().unwrap();
+        assert!(
+            peak <= u64::from(depth),
+            "depth {depth}: occupancy {peak} exceeded the declared bound"
+        );
+        assert!(peak >= 1, "depth {depth}: the lanes never parked a result");
+        peaks.push(peak);
+    }
+    assert!(
+        peaks[1] > peaks[0] || peaks[2] > peaks[0],
+        "deeper lanes never ran further ahead than depth 1: {peaks:?}"
+    );
+}
+
+#[test]
+fn select_loop_speculation_is_depth_independent() {
+    // On a select loop the commit stage is skipped (the loop's own elastic
+    // buffer decouples the speculation), so the depth option must have no
+    // structural effect at all.
+    let config = Fig1Config::default();
+    let netlists: Vec<Netlist> = [1u32, 2, 4]
+        .into_iter()
+        .map(|depth| {
+            let handles = fig1a(&config);
+            let mut n = handles.netlist;
+            let options = SpeculateOptions {
+                scheduler: SchedulerKind::LastTaken,
+                commit_depth: depth,
+                ..SpeculateOptions::default()
+            };
+            let report = speculate(&mut n, handles.mux, &options).unwrap();
+            assert!(report.commit_stage.is_none(), "loops skip the commit stage");
+            n
+        })
+        .collect();
+    assert_eq!(netlists[0], netlists[1]);
+    assert_eq!(netlists[0], netlists[2]);
+}
