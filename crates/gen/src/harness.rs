@@ -29,6 +29,8 @@
 //! failing stage while [`crate::shrink`] minimizes the netlist, and the
 //! resulting [`Reproducer`] serializes as a runnable Rust snippet.
 
+use std::time::{Duration, Instant};
+
 use elastic_core::kind::{BackpressurePattern, NodeKind, SourcePattern};
 use elastic_core::transform::{
     find_select_cycles, insert_bubble, insert_buffer_on_channel, make_zero_backward,
@@ -74,6 +76,13 @@ pub struct HarnessOptions {
     /// are soaked alongside the classic depth-1 configuration). 1 restores
     /// the pre-sweep behaviour.
     pub max_commit_depth: u32,
+    /// Wall-clock watchdog per case: `run_netlist` checks the elapsed time
+    /// between stages (and between transforms) and fails the case at stage
+    /// `watchdog` instead of letting a pathological netlist hang the whole
+    /// fuzzing sweep. Stage granularity keeps the check free of threads or
+    /// signals; a single stage that hangs *inside* the simulator is caught
+    /// by the engine's own oscillation/settle guards.
+    pub case_deadline: Duration,
     /// Also exercise `speculate` with `allow_acyclic` on feed-forward muxes.
     ///
     /// On by default since the feed-forward soundness work landed: the
@@ -106,6 +115,7 @@ impl Default for HarnessOptions {
                 SchedulerKind::TwoBit,
             ],
             max_commit_depth: 4,
+            case_deadline: Duration::from_secs(30),
             include_acyclic_speculation: true,
         }
     }
@@ -465,6 +475,23 @@ pub fn run_netlist(
         details,
         netlist: netlist.clone(),
     };
+    let started = Instant::now();
+    let watchdog = |after: &'static str| {
+        let elapsed = started.elapsed();
+        if elapsed > options.case_deadline {
+            Err(fail(
+                "watchdog",
+                None,
+                format!(
+                    "case exceeded its {:?} wall-clock deadline after the `{after}` stage \
+                     ({elapsed:?} elapsed)",
+                    options.case_deadline
+                ),
+            ))
+        } else {
+            Ok(())
+        }
+    };
 
     if let Err(error) = netlist.validate() {
         return Err(fail("validate", None, error.to_string()));
@@ -472,6 +499,7 @@ pub fn run_netlist(
 
     engines_agree(netlist, options.cycles)
         .map_err(|details| fail("engine-differential", None, details))?;
+    watchdog("engine-differential")?;
 
     let mut report = CaseReport { seed, ..CaseReport::default() };
 
@@ -501,10 +529,13 @@ pub fn run_netlist(
         Err(error) => return Err(fail("base-protocol", None, error.to_string())),
     }
 
+    watchdog("base-properties")?;
+
     // Transformations.
     let mut rng = GenRng::new(seed ^ 0x7A61_D5A2_27F3_90C1);
     let battery = options.battery();
     for case in transform_catalogue(netlist, &mut rng, options) {
+        watchdog("transform")?;
         let mut transformed = netlist.clone();
         match (case.apply)(&mut transformed) {
             Ok(()) => {}
@@ -684,6 +715,15 @@ mod tests {
                 report.transforms.iter().filter(|name| transform_kind(name) == "speculate").count();
         }
         assert!(speculated >= 4, "only {speculated} speculations across 6 loop seeds");
+    }
+
+    #[test]
+    fn the_watchdog_fails_a_case_that_overruns_its_deadline() {
+        let options = HarnessOptions { case_deadline: Duration::ZERO, ..HarnessOptions::default() };
+        let failure = run_case(0, &GenConfig::default(), &options)
+            .expect_err("a zero deadline trips on the first stage boundary");
+        assert_eq!(failure.stage, "watchdog");
+        assert!(failure.details.contains("wall-clock deadline"), "{}", failure.details);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod generate;
 pub mod harness;
 pub mod mutate;
@@ -48,6 +49,10 @@ pub mod rng;
 pub mod shrink;
 pub mod snippet;
 
+pub use campaign::{
+    run_fault_campaign, run_stall_storm_recovery, CampaignFailure, CampaignOptions, CampaignReport,
+    FaultOutcome, InjectionRecord,
+};
 pub use generate::{generate, GenConfig, GenProfile, GeneratedNetlist};
 pub use harness::{
     engines_agree, run_case, run_netlist, shrink_failure, CaseFailure, CaseReport, HarnessOptions,

@@ -222,13 +222,24 @@ impl Scheduler for SequenceScheduler {
 }
 
 /// Error-driven replay: always predict channel 0 (the speculative fast path);
-/// after a misprediction, predict the channel the consumer required (or
-/// channel 1) for exactly one cycle, then fall back to channel 0.
+/// after a misprediction, rotate through the other channels until the
+/// consumer accepts a result, then fall back to channel 0.
 ///
 /// This is the policy of both paper examples: the variable-latency unit
 /// always speculates that the approximation is correct, and the resilient
 /// adder always speculates that no soft error occurred; on error the
 /// computation is replayed once with the exact / corrected value.
+///
+/// A refused result is not proof of an error: the consumer stops the
+/// predicted output both when it demands a different channel *and* when it
+/// is merely back-pressured, and the two are indistinguishable at the shared
+/// module's boundary. The policy therefore treats every transfer — whichever
+/// channel it lands on — as the point of re-synchronisation: the consumer's
+/// demand for the current item is met, so the next item is a fresh
+/// fast-path speculation. While no transfer resolves the refusal, hunting
+/// across channels guarantees the demanded one is offered within `users`
+/// cycles of the back-pressure draining, so recovery never has to wait for
+/// the shared module's starvation override.
 #[derive(Debug, Clone, Default)]
 pub struct ErrorReplayScheduler {
     replay: Option<usize>,
@@ -247,17 +258,17 @@ impl Scheduler for ErrorReplayScheduler {
     }
 
     fn tick(&mut self, feedback: &SharedFeedback) {
-        if self.replay.is_some() {
-            // The replay cycle has elapsed; return to the fast path unless it
-            // failed again.
-            if !feedback.mispredicted() {
-                self.replay = None;
-                return;
-            }
-        }
-        if feedback.mispredicted() {
-            let target = feedback.resolved.unwrap_or(1);
-            self.replay = Some(target.max(1) % feedback.users().max(2));
+        if feedback.resolved.is_some() {
+            // A result transferred: the consumer's demand for this item is
+            // met (on whichever channel), so the next item is a fresh
+            // fast-path speculation.
+            self.replay = None;
+        } else if feedback.mispredicted() {
+            // The offered result was refused with nothing transferring: the
+            // consumer either demands another channel or is back-pressured.
+            // Hunt to the next channel; the first transfer re-synchronises
+            // onto the fast path either way.
+            self.replay = Some((feedback.predicted + 1) % feedback.users().max(2));
         }
     }
 
@@ -456,6 +467,30 @@ mod tests {
         // Replay succeeded: back to channel 0.
         s.tick(&feedback_with_resolution(2, 1, 1));
         assert_eq!(s.prediction(), 0);
+    }
+
+    #[test]
+    fn error_replay_resynchronises_after_back_pressure() {
+        let mut s = ErrorReplayScheduler::new();
+        // A stall storm refuses every offered result without resolving the
+        // consumer's demand; the policy hunts between the channels instead
+        // of wedging on either one.
+        let mut produced = Vec::new();
+        for _ in 0..6 {
+            let p = s.prediction();
+            produced.push(p);
+            s.tick(&feedback_with_retry(2, p));
+        }
+        assert_eq!(produced, vec![0, 1, 0, 1, 0, 1]);
+        // The storm drains and a fast-path token finally transfers while the
+        // policy is still predicting the replay channel. It must return to
+        // the fast path — historically the replay target could never reach
+        // channel 0 again, livelocking post-storm recovery onto the shared
+        // module's starvation override (one transfer per override window).
+        s.tick(&feedback_with_retry(2, 0));
+        assert_eq!(s.prediction(), 1);
+        s.tick(&feedback_with_resolution(2, 1, 0));
+        assert_eq!(s.prediction(), 0, "a resolved transfer re-arms the fast path");
     }
 
     #[test]

@@ -68,13 +68,16 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use elastic_core::kind::{BackpressurePattern, SourcePattern};
-use elastic_core::{CoreError, Netlist, NodeId, Scheduler};
+use elastic_core::{ChannelId, CoreError, Netlist, NodeId, Scheduler};
 
 use crate::controller::{Controller, NodeIo};
 use crate::controllers::build_controller;
+use crate::faults::{FaultInjector, FaultPlan, ResolvedFault};
 use crate::metrics::{SharedModuleStats, SimulationReport};
+use crate::monitor::{CycleMonitor, MonitorViolation};
 use crate::signal::ChannelState;
 use crate::trace::Trace;
 
@@ -138,7 +141,57 @@ pub enum SimError {
     CombinationalLoop {
         /// The cycle in which settling failed.
         cycle: u64,
+        /// The controllers and channels that were still oscillating when the
+        /// settle budget ran out.
+        witness: OscillationWitness,
     },
+    /// A [`FaultPlan`] names a channel the simulated netlist does not have.
+    UnknownChannel {
+        /// The channel id that failed to resolve.
+        channel: ChannelId,
+    },
+    /// A runtime monitor detected an invariant violation; the run stopped
+    /// fail-fast at the reported locus (see
+    /// [`Simulation::run_monitored`]).
+    MonitorTripped(MonitorViolation),
+}
+
+/// The still-dirty part of the network when a settle budget was exhausted:
+/// which controllers kept being re-woken and which channel signals were
+/// still changing in the final evaluation wave. This is the difference
+/// between "there is a combinational loop somewhere" and knowing which
+/// handful of nodes to stare at.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OscillationWitness {
+    /// Controllers still queued for re-evaluation (node id and kind name),
+    /// in dense node order.
+    pub nodes: Vec<(NodeId, &'static str)>,
+    /// Channels whose signals changed in the last evaluation before the
+    /// budget ran out.
+    pub channels: Vec<ChannelId>,
+}
+
+impl fmt::Display for OscillationWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const SHOWN: usize = 8;
+        let nodes: Vec<String> =
+            self.nodes.iter().take(SHOWN).map(|(node, kind)| format!("{node} ({kind})")).collect();
+        write!(f, "oscillating controllers [{}", nodes.join(", "))?;
+        if self.nodes.len() > SHOWN {
+            write!(f, ", +{} more", self.nodes.len() - SHOWN)?;
+        }
+        write!(f, "]")?;
+        if !self.channels.is_empty() {
+            let channels: Vec<String> =
+                self.channels.iter().take(SHOWN).map(|c| c.to_string()).collect();
+            write!(f, ", last-changing channels [{}", channels.join(", "))?;
+            if self.channels.len() > SHOWN {
+                write!(f, ", +{} more", self.channels.len() - SHOWN)?;
+            }
+            write!(f, "]")?;
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for SimError {
@@ -148,11 +201,17 @@ impl fmt::Display for SimError {
             SimError::UnsupportedNode { node, reason } => {
                 write!(f, "node {node} cannot be simulated: {reason}")
             }
-            SimError::CombinationalLoop { cycle } => write!(
+            SimError::CombinationalLoop { cycle, witness } => write!(
                 f,
                 "control signals did not settle in cycle {cycle}: the netlist contains a \
-                 combinational loop (insert an elastic buffer on the loop)"
+                 combinational loop (insert an elastic buffer on the loop); {witness}"
             ),
+            SimError::UnknownChannel { channel } => {
+                write!(f, "fault plan names channel {channel}, which the netlist does not have")
+            }
+            SimError::MonitorTripped(violation) => {
+                write!(f, "runtime monitor tripped: {violation}")
+            }
         }
     }
 }
@@ -229,6 +288,10 @@ pub struct Simulation {
     /// Declared bit width of each channel (dense index), shared with every
     /// tracked [`NodeIo`] so producers mask data to the wire they drive.
     channel_widths: Vec<u8>,
+    /// Netlist channel id of each dense channel index (the inverse of the
+    /// `channel_index` map used at build time); needed to resolve
+    /// [`FaultPlan`]s and to name channels in oscillation witnesses.
+    channel_ids: Vec<ChannelId>,
     /// Controller index producing / consuming each channel.
     channel_producer: Vec<u32>,
     channel_consumer: Vec<u32>,
@@ -244,9 +307,18 @@ pub struct Simulation {
     seed_buckets: Vec<Vec<u32>>,
     /// Scratch buffer receiving the channels dirtied by one `eval`.
     dirty: Vec<usize>,
+    /// Controllers still queued (event-driven) or still changing (full
+    /// sweep) when a settle budget ran out — the raw material of the
+    /// [`OscillationWitness`]. Empty outside the error path.
+    oscillating: Vec<u32>,
     worklist: Worklist,
     trace: Trace,
     cycle: u64,
+    /// Armed fault injector, if any (see [`Simulation::arm_faults`]).
+    injector: Option<FaultInjector>,
+    /// Set when a [`Simulation::run_with_deadline`] run was cut short by its
+    /// wall-clock deadline (surfaced in the report).
+    deadline_exceeded: bool,
     /// Total settle iterations: worklist pops (event-driven) or full sweeps
     /// (reference), accumulated over all cycles.
     settle_iterations: u64,
@@ -295,9 +367,11 @@ impl Simulation {
         // Dense channel indexing shared with the trace.
         let mut channel_index = BTreeMap::new();
         let mut channel_widths = Vec::new();
+        let mut channel_ids = Vec::new();
         for (index, channel) in netlist.live_channels().enumerate() {
             channel_index.insert(channel.id, index);
             channel_widths.push(channel.width);
+            channel_ids.push(channel.id);
         }
 
         let mut controllers = Vec::new();
@@ -371,6 +445,7 @@ impl Simulation {
             node_ports,
             channels: vec![ChannelState::default(); channel_index.len()],
             channel_widths,
+            channel_ids,
             channel_producer,
             channel_consumer,
             reads_channels,
@@ -378,8 +453,11 @@ impl Simulation {
             rank,
             seed_buckets,
             dirty: Vec::new(),
+            oscillating: Vec::new(),
             trace: Trace::new(netlist),
             cycle: 0,
+            injector: None,
+            deadline_exceeded: false,
             settle_iterations: 0,
             controller_evals: 0,
         })
@@ -435,10 +513,49 @@ impl Simulation {
         for channel in &mut self.channels {
             *channel = ChannelState::default();
         }
+        if let Some(injector) = &mut self.injector {
+            injector.rewind();
+        }
         self.trace.clear();
         self.cycle = 0;
+        self.deadline_exceeded = false;
         self.settle_iterations = 0;
         self.controller_evals = 0;
+    }
+
+    /// Arms a [`FaultPlan`] on this simulation: from the next cycle on, the
+    /// settled signals of each cycle are perturbed by every fault whose
+    /// window covers it (see [`crate::faults`] for the fault model).
+    ///
+    /// Arming replaces any previously armed plan. The plan survives
+    /// [`Simulation::reset`] — the injector's replay memory and counters are
+    /// rewound with the rest of the state, so a reset faulted run replays
+    /// bit-identically. Use [`Simulation::disarm_faults`] to return to a
+    /// clean simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownChannel`] when the plan names a channel the
+    /// netlist does not have.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        let mut resolved = Vec::with_capacity(plan.faults.len());
+        for spec in &plan.faults {
+            let index = self
+                .channel_ids
+                .iter()
+                .position(|&id| id == spec.channel)
+                .ok_or(SimError::UnknownChannel { channel: spec.channel })?;
+            let width = self.channel_widths[index];
+            let width_mask = if width >= 64 { u64::MAX } else { (1u64 << width).wrapping_sub(1) };
+            resolved.push(ResolvedFault { channel: index, width_mask, spec: *spec });
+        }
+        self.injector = Some(FaultInjector::new(resolved, self.channels.len()));
+        Ok(())
+    }
+
+    /// Removes any armed fault plan; subsequent cycles run clean.
+    pub fn disarm_faults(&mut self) {
+        self.injector = None;
     }
 
     /// [`Simulation::reset`], additionally replacing the back-pressure
@@ -573,9 +690,15 @@ impl Simulation {
             *evals += 1;
             self.settle_iterations += 1;
             if *evals > eval_cap {
-                // Drain the queue so the worklist is clean if the caller
-                // inspects or reuses the simulation after the error.
-                while self.worklist.pop().is_some() {}
+                // Capture the oscillation witness — the node whose turn it
+                // was plus everything still queued — and drain the queue so
+                // the worklist is clean if the caller inspects or reuses the
+                // simulation after the error.
+                self.oscillating.clear();
+                self.oscillating.push(node as u32);
+                while let Some(pending) = self.worklist.pop() {
+                    self.oscillating.push(pending as u32);
+                }
                 return false;
             }
             self.eval_and_wake(node, optimistic);
@@ -621,6 +744,10 @@ impl Simulation {
             *sweeps += 1;
             self.settle_iterations += 1;
             let mut changed = false;
+            // Track which controllers changed signals this sweep: if the
+            // budget runs out, the last sweep's changers are the
+            // oscillation witness.
+            self.oscillating.clear();
             for node in 0..self.controllers.len() {
                 self.dirty.clear();
                 let (inputs, outputs) = &self.node_ports[node];
@@ -637,7 +764,10 @@ impl Simulation {
                     self.controllers[node].eval(&mut io);
                 }
                 self.controller_evals += 1;
-                changed |= !self.dirty.is_empty();
+                if !self.dirty.is_empty() {
+                    changed = true;
+                    self.oscillating.push(node as u32);
+                }
             }
             if !changed {
                 return true;
@@ -679,7 +809,18 @@ impl Simulation {
             SettleStrategy::FullSweep => self.settle_full_sweep(),
         };
         if !settled {
-            return Err(SimError::CombinationalLoop { cycle: self.cycle });
+            return Err(SimError::CombinationalLoop {
+                cycle: self.cycle,
+                witness: self.oscillation_witness(),
+            });
+        }
+
+        // Fault injection: perturb the settled signals before anything
+        // observes them — the trace records the corrupted wire, and the
+        // clock edge below commits both endpoints on the same corrupted
+        // tuple, exactly like a flipped wire in hardware.
+        if let Some(injector) = &mut self.injector {
+            injector.apply(self.cycle, &mut self.channels);
         }
 
         if self.config.record_trace {
@@ -696,6 +837,23 @@ impl Simulation {
         Ok(())
     }
 
+    /// Builds the [`OscillationWitness`] from the controllers collected by
+    /// the failing settle pass and the channels of the final evaluation.
+    fn oscillation_witness(&self) -> OscillationWitness {
+        let mut nodes: Vec<(NodeId, &'static str)> = self
+            .oscillating
+            .iter()
+            .map(|&node| (self.node_ids[node as usize], self.node_kinds[node as usize]))
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut channels: Vec<ChannelId> =
+            self.dirty.iter().map(|&channel| self.channel_ids[channel]).collect();
+        channels.sort_unstable();
+        channels.dedup();
+        OscillationWitness { nodes, channels }
+    }
+
     /// Simulates `cycles` clock cycles and returns the accumulated report.
     ///
     /// # Errors
@@ -709,6 +867,70 @@ impl Simulation {
         Ok(self.report())
     }
 
+    /// [`Simulation::run`] with a wall-clock watchdog: when `deadline`
+    /// passes before all `cycles` are simulated, the run stops early and
+    /// returns the **partial** report with
+    /// [`SimulationReport::deadline_exceeded`] set, instead of hanging a
+    /// harness on a pathological case. The deadline is polled every 64
+    /// cycles, so overshoot is bounded by the cost of 64 cycles.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulation::run`].
+    pub fn run_with_deadline(
+        &mut self,
+        cycles: u64,
+        deadline: Instant,
+    ) -> Result<SimulationReport, SimError> {
+        self.run_monitored(cycles, Some(deadline), &mut [])
+    }
+
+    /// Runs `cycles` cycles under a set of streaming [`CycleMonitor`]s,
+    /// optionally bounded by a wall-clock `deadline`.
+    ///
+    /// After every simulated cycle each monitor observes the settled
+    /// (post-fault-injection) channel signals, in the dense
+    /// `live_channels()` order shared with the trace; the first violation
+    /// aborts the run **fail-fast** as [`SimError::MonitorTripped`], with
+    /// the violation carrying its `(channel, cycle, invariant)` locus. When
+    /// the full cycle count completes, every monitor's
+    /// [`CycleMonitor::finish`] runs for end-of-run obligations. A deadline
+    /// cut-off returns the partial report with
+    /// [`SimulationReport::deadline_exceeded`] set and does **not** run the
+    /// finish checks (the run is incomplete, not wrong).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MonitorTripped`] on the first monitor violation, plus
+    /// the conditions of [`Simulation::run`].
+    pub fn run_monitored(
+        &mut self,
+        cycles: u64,
+        deadline: Option<Instant>,
+        monitors: &mut [Box<dyn CycleMonitor>],
+    ) -> Result<SimulationReport, SimError> {
+        let target = self.cycle.saturating_add(cycles);
+        while self.cycle < target {
+            if let Some(deadline) = deadline {
+                if self.cycle & 0x3F == 0 && Instant::now() >= deadline {
+                    self.deadline_exceeded = true;
+                    return Ok(self.report());
+                }
+            }
+            self.step()?;
+            let observed_cycle = self.cycle - 1;
+            for monitor in monitors.iter_mut() {
+                monitor
+                    .observe(observed_cycle, &self.channels)
+                    .map_err(SimError::MonitorTripped)?;
+            }
+        }
+        for monitor in monitors.iter_mut() {
+            monitor.finish(self.cycle).map_err(SimError::MonitorTripped)?;
+        }
+        Ok(self.report())
+    }
+
     /// The report accumulated over all cycles simulated so far.
     pub fn report(&self) -> SimulationReport {
         let mut report = SimulationReport {
@@ -716,6 +938,8 @@ impl Simulation {
             settle_iterations: self.settle_iterations,
             controller_evals: self.controller_evals,
             trace_bytes: self.trace.heap_bytes() as u64,
+            faults: self.injector.as_ref().map(|i| i.stats().clone()).unwrap_or_default(),
+            deadline_exceeded: self.deadline_exceeded,
             ..SimulationReport::default()
         };
         for (index, controller) in self.controllers.iter().enumerate() {
@@ -896,10 +1120,15 @@ mod tests {
         for settle in [SettleStrategy::EventDriven, SettleStrategy::FullSweep] {
             let config = SimConfig { settle, ..SimConfig::default() };
             let mut sim = Simulation::new(&n, &config).unwrap();
-            assert!(
-                matches!(sim.run(3), Err(SimError::CombinationalLoop { cycle: 0 })),
-                "{settle:?} must reject the self-loop"
-            );
+            match sim.run(3) {
+                Err(SimError::CombinationalLoop { cycle: 0, witness }) => {
+                    assert!(
+                        witness.nodes.iter().any(|(node, kind)| *node == f && *kind == "function"),
+                        "{settle:?} witness must name the oscillating node: {witness}"
+                    );
+                }
+                other => panic!("{settle:?} must reject the self-loop, got {other:?}"),
+            }
         }
     }
 
@@ -1076,5 +1305,136 @@ mod tests {
                 assert_eq!(*rank, 0, "registered controller {kind} must seed at rank 0");
             }
         }
+    }
+
+    #[test]
+    fn armed_faults_perturb_replay_deterministically_and_disarm_cleanly() {
+        use crate::faults::{FaultKind, FaultPlan, FaultSpec};
+
+        let (netlist, _src, sink) = pipeline();
+        let sink_channel = netlist.channel_into(Port::input(sink, 0)).unwrap().id;
+        let mut sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        let clean = sim.run(20).unwrap();
+        assert_eq!(clean.faults.armed, 0);
+
+        // Drop the tokens reaching the sink for a 4-cycle window.
+        sim.reset();
+        sim.arm_faults(&FaultPlan::single(FaultSpec {
+            channel: sink_channel,
+            kind: FaultKind::DropToken,
+            from_cycle: 5,
+            duration: 4,
+        }))
+        .unwrap();
+        let faulted = sim.run(20).unwrap();
+        assert_eq!(faulted.faults.armed, 1);
+        assert_eq!(faulted.faults.total_events(), 4, "one perturbation per window cycle");
+        assert_eq!(
+            faulted.sink_transfers(sink),
+            clean.sink_transfers(sink) - 4,
+            "dropped tokens never reach the sink"
+        );
+        let faulted_trace = sim.trace().clone();
+
+        // The plan survives a reset and replays bit-identically.
+        sim.reset();
+        let replay = sim.run(20).unwrap();
+        assert_eq!(sim.trace(), &faulted_trace);
+        assert_eq!(replay.faults, faulted.faults);
+        assert_eq!(replay.sink_streams, faulted.sink_streams);
+
+        // Disarming restores the clean behaviour.
+        sim.disarm_faults();
+        sim.reset();
+        let restored = sim.run(20).unwrap();
+        assert_eq!(restored.sink_streams, clean.sink_streams);
+        assert_eq!(restored.faults.armed, 0);
+    }
+
+    #[test]
+    fn fault_plans_naming_unknown_channels_are_rejected() {
+        use crate::faults::{FaultKind, FaultPlan, FaultSpec};
+        use elastic_core::ChannelId;
+
+        let (netlist, _src, _sink) = pipeline();
+        let mut sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        let bogus = ChannelId::new(10_000);
+        let result = sim.arm_faults(&FaultPlan::single(FaultSpec {
+            channel: bogus,
+            kind: FaultKind::StallStorm,
+            from_cycle: 0,
+            duration: 1,
+        }));
+        assert!(matches!(result, Err(SimError::UnknownChannel { channel }) if channel == bogus));
+    }
+
+    #[test]
+    fn an_expired_deadline_yields_a_flagged_partial_report() {
+        let (netlist, _src, _sink) = pipeline();
+        let mut sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        // A deadline in the past: the watchdog fires on its first poll.
+        let report = sim
+            .run_with_deadline(1_000_000, Instant::now() - std::time::Duration::from_millis(1))
+            .unwrap();
+        assert!(report.deadline_exceeded);
+        assert!(report.cycles < 1_000_000, "the run was cut short");
+
+        // A generous deadline lets the run complete, unflagged.
+        sim.reset();
+        let report =
+            sim.run_with_deadline(50, Instant::now() + std::time::Duration::from_secs(60)).unwrap();
+        assert!(!report.deadline_exceeded);
+        assert_eq!(report.cycles, 50);
+    }
+
+    #[test]
+    fn monitors_observe_every_cycle_and_trip_fail_fast() {
+        use crate::monitor::{CycleMonitor, MonitorViolation};
+
+        /// Counts cycles; trips when a sink-side transfer count is reached.
+        #[derive(Debug)]
+        struct TripAfter {
+            observed: u64,
+            trip_at: u64,
+        }
+        impl CycleMonitor for TripAfter {
+            fn name(&self) -> &'static str {
+                "trip-after"
+            }
+            fn observe(
+                &mut self,
+                cycle: u64,
+                _channels: &[ChannelState],
+            ) -> Result<(), MonitorViolation> {
+                self.observed += 1;
+                if cycle == self.trip_at {
+                    return Err(MonitorViolation {
+                        monitor: "trip-after",
+                        invariant: "TestInvariant",
+                        channel: None,
+                        cycle,
+                        details: "synthetic trip".into(),
+                    });
+                }
+                Ok(())
+            }
+            fn reset(&mut self) {
+                self.observed = 0;
+            }
+        }
+
+        let (netlist, _src, _sink) = pipeline();
+        let mut sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        let mut monitors: Vec<Box<dyn CycleMonitor>> =
+            vec![Box::new(TripAfter { observed: 0, trip_at: 7 })];
+        let error = sim.run_monitored(50, None, &mut monitors).unwrap_err();
+        match error {
+            SimError::MonitorTripped(violation) => {
+                assert_eq!(violation.cycle, 7);
+                assert_eq!(violation.invariant, "TestInvariant");
+            }
+            other => panic!("expected a monitor trip, got {other}"),
+        }
+        assert_eq!(sim.cycle(), 8, "fail-fast: the run stopped right after the trip");
     }
 }

@@ -63,13 +63,17 @@
 pub mod controller;
 pub mod controllers;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
+pub mod monitor;
 pub mod scenarios;
 pub mod signal;
 pub mod sweep;
 pub mod trace;
 
-pub use engine::{SettleStrategy, SimConfig, SimError, Simulation};
+pub use engine::{OscillationWitness, SettleStrategy, SimConfig, SimError, Simulation};
+pub use faults::{ByzantineScheduler, FaultKind, FaultPlan, FaultSpec, FaultStats};
 pub use metrics::{SharedModuleStats, SimulationReport};
+pub use monitor::{CycleMonitor, MonitorViolation};
 pub use signal::{ChannelPhase, ChannelState, TraceSymbol};
 pub use trace::Trace;

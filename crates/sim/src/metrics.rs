@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use elastic_core::NodeId;
 
 use crate::controller::NodeStats;
+use crate::faults::FaultStats;
 
 /// Statistics of one speculative shared module over a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -105,6 +106,13 @@ pub struct SimulationReport {
     pub shared_stats: BTreeMap<NodeId, SharedModuleStats>,
     /// Per-commit-stage lane statistics (commits, squashes, peak occupancy).
     pub commit_stats: BTreeMap<NodeId, CommitStageStats>,
+    /// Fault-injection counters (all zero when no [`crate::faults::FaultPlan`]
+    /// was armed — a clean run).
+    pub faults: FaultStats,
+    /// `true` when the run was cut short by the wall-clock watchdog of
+    /// [`crate::Simulation::run_with_deadline`]; the report then covers only
+    /// the cycles that completed.
+    pub deadline_exceeded: bool,
 }
 
 impl SimulationReport {

@@ -13,6 +13,8 @@
 //! whenever they finish one — imbalanced run lengths (e.g. exploration
 //! patterns that deadlock early) do not serialize the sweep.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -23,12 +25,45 @@ pub fn sweep_threads(items: usize) -> usize {
     hardware.min(items).max(1)
 }
 
+/// A panic captured from one sweep scenario by [`parallel_map_catch`] /
+/// [`parallel_map_with_catch`]: the input index that panicked plus the
+/// panic payload rendered as text. With deterministic, item-derived seeds
+/// (the convention of every sweep in this workspace) the index **is** the
+/// reproducer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioPanic {
+    /// Input index of the scenario that panicked.
+    pub index: usize,
+    /// The panic message (`&str`/`String` payloads; otherwise a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for ScenarioPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl ScenarioPanic {
+    fn from_payload(index: usize, payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        ScenarioPanic { index, message }
+    }
+}
+
 /// Applies `run` to every index/item pair of `items` in parallel and returns
 /// the results in input order.
 ///
 /// `run` must be deterministic per item for the sweep to be reproducible —
 /// all the sweeps in this workspace derive their seeds from the item, never
-/// from global state. Panics in `run` propagate to the caller.
+/// from global state. A panic in `run` still propagates to the caller, but
+/// only after the whole sweep has completed (see [`parallel_map_with`]);
+/// use [`parallel_map_catch`] to receive panics as per-scenario results
+/// instead.
 pub fn parallel_map<T, R, F>(items: &[T], run: F) -> Vec<R>
 where
     T: Sync,
@@ -36,6 +71,19 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     parallel_map_with(items, || (), |(), index, item| run(index, item))
+}
+
+/// [`parallel_map`] with per-scenario panic isolation: every `run` is
+/// wrapped in [`catch_unwind`], so one panicking scenario comes back as
+/// `Err(`[`ScenarioPanic`]`)` — carrying its input index — while every other
+/// scenario's result is delivered intact.
+pub fn parallel_map_catch<T, R, F>(items: &[T], run: F) -> Vec<Result<R, ScenarioPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_with_catch(items, || (), |(), index, item| run(index, item))
 }
 
 /// [`parallel_map`] with per-worker scratch state: every worker thread builds
@@ -52,6 +100,15 @@ where
 /// Workers steal the next index from an atomic cursor whenever they finish
 /// one, so imbalanced run lengths do not serialize the sweep; a worker that
 /// never receives an item never calls `init`.
+///
+/// # Panics
+///
+/// A panic in `run` is re-raised in the caller — but only **after** the
+/// whole sweep has completed: the panic is caught per scenario
+/// ([`parallel_map_with_catch`] is the engine underneath), so it cannot
+/// poison the result collection or abort the sibling scenarios mid-flight.
+/// Callers that want the surviving results alongside the failure should use
+/// [`parallel_map_with_catch`] directly.
 pub fn parallel_map_with<T, S, R, I, F>(items: &[T], init: I, run: F) -> Vec<R>
 where
     T: Sync,
@@ -59,18 +116,65 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
+    let results = parallel_map_with_catch(items, init, run);
+    let mut collected = Vec::with_capacity(results.len());
+    let mut first_panic: Option<ScenarioPanic> = None;
+    let mut panics = 0usize;
+    for result in results {
+        match result {
+            Ok(value) => collected.push(value),
+            Err(panic) => {
+                panics += 1;
+                first_panic.get_or_insert(panic);
+            }
+        }
+    }
+    if let Some(panic) = first_panic {
+        panic!("{panics} sweep scenario(s) panicked; first: {panic}");
+    }
+    collected
+}
+
+/// [`parallel_map_with`] with per-scenario panic isolation.
+///
+/// Every `run` invocation is wrapped in [`catch_unwind`]: a panicking
+/// scenario yields `Err(`[`ScenarioPanic`]`)` in its input-order slot — the
+/// index identifies the scenario (and, by the item-derived-seed convention,
+/// the seed) — and the sweep carries on. The panicking worker's scratch
+/// state is **discarded** (the unwind may have left it inconsistent) and
+/// lazily re-`init`-ed for its next item, preserving the contract that
+/// results never depend on the item→worker assignment.
+pub fn parallel_map_with_catch<T, S, R, I, F>(
+    items: &[T],
+    init: I,
+    run: F,
+) -> Vec<Result<R, ScenarioPanic>>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let threads = sweep_threads(items.len());
+    let run_one = |state: &mut Option<S>, index: usize, item: &T| {
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| run(state.get_or_insert_with(&init), index, item)));
+        outcome.map_err(|payload| {
+            *state = None;
+            ScenarioPanic::from_payload(index, payload)
+        })
+    };
     if threads <= 1 {
         let mut state: Option<S> = None;
         return items
             .iter()
             .enumerate()
-            .map(|(index, item)| run(state.get_or_insert_with(&init), index, item))
+            .map(|(index, item)| run_one(&mut state, index, item))
             .collect();
     }
 
     let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::new();
+    let mut slots: Vec<Option<Result<R, ScenarioPanic>>> = Vec::new();
     slots.resize_with(items.len(), || None);
     let slots = Mutex::new(&mut slots);
 
@@ -83,7 +187,9 @@ where
                     if index >= items.len() {
                         break;
                     }
-                    let result = run(state.get_or_insert_with(&init), index, &items[index]);
+                    let result = run_one(&mut state, index, &items[index]);
+                    // `run_one` cannot unwind (the scenario body is caught
+                    // above), so nothing can poison the slot mutex.
                     slots.lock().expect("no panics while holding the slot lock")[index] =
                         Some(result);
                 }
@@ -161,5 +267,73 @@ mod tests {
         assert_eq!(sweep_threads(0), 1);
         assert_eq!(sweep_threads(1), 1);
         assert!(sweep_threads(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn a_panicking_scenario_leaves_every_other_result_intact() {
+        let items: Vec<u64> = (0..64).collect();
+        let results = parallel_map_catch(&items, |_, &item| {
+            assert!(item != 17, "poisoned scenario 17");
+            item * 2
+        });
+        assert_eq!(results.len(), 64);
+        for (index, result) in results.iter().enumerate() {
+            if index == 17 {
+                let panic = result.as_ref().unwrap_err();
+                assert_eq!(panic.index, 17);
+                assert!(panic.message.contains("poisoned scenario 17"), "{panic}");
+                assert!(panic.to_string().contains("scenario 17"));
+            } else {
+                assert_eq!(*result.as_ref().unwrap(), index as u64 * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_with_reports_panics_only_after_the_sweep_completes() {
+        let completed = AtomicU64::new(0);
+        let items: Vec<u64> = (0..32).collect();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, |_, &item| {
+                assert!(item != 5, "scenario 5 exploded");
+                completed.fetch_add(1, Ordering::Relaxed);
+                item
+            })
+        }));
+        let message = *outcome.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("1 sweep scenario(s) panicked"), "{message}");
+        assert!(message.contains("scenario 5"), "{message}");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            31,
+            "every other scenario ran to completion despite the panic"
+        );
+    }
+
+    #[test]
+    fn a_panicking_worker_discards_its_scratch_state() {
+        // Every run marks the scratch state poisoned on entry and clears it
+        // on a successful exit; the scenario that panics leaves the mark
+        // set. If a worker reused that state for a later item, the entry
+        // check would trip with a *different* message — so "exactly one
+        // failure, with the original message" proves the state was
+        // discarded, independent of the item→worker assignment.
+        let items: Vec<u64> = (0..16).collect();
+        let results = parallel_map_with_catch(
+            &items,
+            || false,
+            |poisoned: &mut bool, _, &item| {
+                assert!(!*poisoned, "poisoned scratch state reused");
+                *poisoned = true;
+                assert!(item != 3, "die at 3");
+                *poisoned = false;
+                item
+            },
+        );
+        let failures: Vec<&ScenarioPanic> =
+            results.iter().filter_map(|r| r.as_ref().err()).collect();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].index, 3);
+        assert!(failures[0].message.contains("die at 3"), "{}", failures[0]);
     }
 }

@@ -26,7 +26,13 @@
 //! * [`exploration`] — bounded exhaustive exploration of environment
 //!   behaviour (all back-pressure/offer patterns up to a depth) plus
 //!   randomized adversarial schedulers, the substitute for symbolic model
-//!   checking documented in `DESIGN.md`.
+//!   checking documented in `DESIGN.md`;
+//! * [`monitor`] — streaming, fail-fast runtime counterparts of the trace
+//!   checkers ([`monitor::ProtocolMonitor`], [`monitor::ProgressMonitor`],
+//!   [`monitor::LeadsToMonitor`], [`monitor::ScoreboardMonitor`]) that plug
+//!   into [`elastic_sim::Simulation::run_monitored`] and stop a faulted run
+//!   at the violating cycle with a `(channel, cycle, invariant)` locus —
+//!   the detection layer of the fault-injection campaign in `elastic-gen`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +43,7 @@ pub mod conservation;
 pub mod equivalence;
 pub mod exploration;
 pub mod liveness;
+pub mod monitor;
 pub mod properties;
 
 pub use battery::{
@@ -44,6 +51,11 @@ pub use battery::{
     check_transform_battery, BatteryOptions, EnvironmentOverride,
 };
 pub use equivalence::transfer_equivalent;
+pub use liveness::{diagnose_deadlock, DeadlockDiagnosis, WaitEdge, WaitReason};
+pub use monitor::{
+    standard_monitors, LeadsToMonitor, MonitorOptions, ProgressMonitor, ProtocolMonitor,
+    ScoreboardMonitor,
+};
 pub use properties::{check_netlist_protocol, ProtocolViolation};
 
 /// The outcome of a verification pass: either everything held, or a list of

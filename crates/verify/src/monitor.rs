@@ -1,0 +1,646 @@
+//! Runtime SELF monitors: streaming, fail-fast counterparts of the trace
+//! checkers.
+//!
+//! Each monitor implements [`elastic_sim::CycleMonitor`] and replicates one
+//! of this crate's end-of-run checks as a per-cycle streaming check, so a
+//! faulted or broken simulation stops **at the violating cycle** with a
+//! `(channel, cycle, invariant)` locus instead of producing a post-mortem
+//! verdict thousands of cycles later:
+//!
+//! * [`ProtocolMonitor`] — the four SELF channel properties of
+//!   [`crate::properties`] (`Retry+`, `Retry-`, `Invariant`, bounded
+//!   `Liveness`), honouring the same retraction-exemption analysis for
+//!   speculative producer cones;
+//! * [`ProgressMonitor`] — the deadlock-freedom check of
+//!   [`crate::liveness`]; on a stall it embeds the full wait-for root-cause
+//!   analysis of [`crate::liveness::diagnose_deadlock`] in the violation;
+//! * [`LeadsToMonitor`] — the scheduler leads-to property at every shared
+//!   module input;
+//! * [`ScoreboardMonitor`] — output-stream integrity against a clean
+//!   reference run: the detector of last resort that catches silent data
+//!   corruption (bit flips, duplicated or reordered tokens) the protocol
+//!   invariants cannot see.
+//!
+//! Monitors observe the dense channel vector in `live_channels()`
+//! enumeration order — the indexing shared by the engine and the trace — and
+//! are built from the same [`Netlist`] the simulation was built from.
+
+use std::collections::BTreeMap;
+
+use elastic_core::{ChannelId, Netlist, NodeId, NodeKind, Port};
+use elastic_sim::{ChannelState, CycleMonitor, MonitorViolation, SimulationReport};
+
+use crate::liveness::diagnose_deadlock;
+use crate::properties::{retraction_exempt_producers, ProtocolOptions};
+
+/// Dense-channel lookup table shared by the monitors: netlist channel ids
+/// and names in `live_channels()` enumeration order.
+#[derive(Debug, Clone)]
+struct ChannelTable {
+    ids: Vec<ChannelId>,
+    names: Vec<String>,
+}
+
+impl ChannelTable {
+    fn new(netlist: &Netlist) -> Self {
+        let mut ids = Vec::new();
+        let mut names = Vec::new();
+        for channel in netlist.live_channels() {
+            ids.push(channel.id);
+            names.push(channel.name.clone());
+        }
+        ChannelTable { ids, names }
+    }
+
+    fn dense_index(&self, channel: ChannelId) -> Option<usize> {
+        self.ids.iter().position(|&id| id == channel)
+    }
+}
+
+/// Streaming checker of the four SELF channel properties (Section 3.1): the
+/// runtime counterpart of [`crate::properties::check_trace`], applying the
+/// same per-channel transition rules and the same retraction exemption for
+/// speculative producer cones.
+#[derive(Debug)]
+pub struct ProtocolMonitor {
+    channels: ChannelTable,
+    /// Per dense channel: `Retry+` does not apply (speculative producer).
+    exempt: Vec<bool>,
+    options: ProtocolOptions,
+    prev: Vec<ChannelState>,
+    has_prev: bool,
+    /// Bounded-liveness state per channel (mirrors `check_channel`).
+    since_transfer: Vec<u32>,
+    active: Vec<bool>,
+}
+
+impl ProtocolMonitor {
+    /// Builds the monitor for `netlist` with the given protocol options.
+    pub fn new(netlist: &Netlist, options: &ProtocolOptions) -> Self {
+        let channels = ChannelTable::new(netlist);
+        let exempt_producers = retraction_exempt_producers(netlist);
+        let exempt = netlist
+            .live_channels()
+            .map(|channel| exempt_producers.contains(&channel.from.node))
+            .collect();
+        let count = channels.ids.len();
+        ProtocolMonitor {
+            channels,
+            exempt,
+            options: *options,
+            prev: vec![ChannelState::default(); count],
+            has_prev: false,
+            since_transfer: vec![0; count],
+            active: vec![false; count],
+        }
+    }
+
+    fn violation(
+        &self,
+        invariant: &'static str,
+        index: usize,
+        cycle: u64,
+        details: String,
+    ) -> MonitorViolation {
+        MonitorViolation {
+            monitor: "protocol",
+            invariant,
+            channel: Some(self.channels.ids[index]),
+            cycle,
+            details: format!("channel \"{}\": {details}", self.channels.names[index]),
+        }
+    }
+}
+
+impl CycleMonitor for ProtocolMonitor {
+    fn name(&self) -> &'static str {
+        "protocol"
+    }
+
+    fn observe(&mut self, cycle: u64, channels: &[ChannelState]) -> Result<(), MonitorViolation> {
+        for (index, state) in channels.iter().enumerate() {
+            // Invariant: a token cannot be killed and stopped at once.
+            if state.forward_valid
+                && state.forward_stop
+                && state.backward_valid
+                && state.backward_stop
+            {
+                return Err(self.violation(
+                    "Invariant",
+                    index,
+                    cycle,
+                    "token killed and stopped in the same cycle".into(),
+                ));
+            }
+            if self.has_prev {
+                let prev = self.prev[index];
+                // Retry+: a stopped token must persist.
+                if !self.exempt[index]
+                    && prev.forward_valid
+                    && prev.forward_stop
+                    && !prev.backward_transfer()
+                    && !state.forward_valid
+                {
+                    return Err(self.violation(
+                        "Retry+",
+                        index,
+                        cycle - 1,
+                        "a stopped token was retracted instead of held".into(),
+                    ));
+                }
+                // Retry-: a stopped anti-token must persist, unless a
+                // forward transfer discharged it in the same cycle.
+                if prev.backward_valid
+                    && prev.backward_stop
+                    && !prev.forward_transfer()
+                    && !state.backward_valid
+                {
+                    return Err(self.violation(
+                        "Retry-",
+                        index,
+                        cycle - 1,
+                        "a stopped anti-token was retracted instead of held".into(),
+                    ));
+                }
+            }
+            if self.options.check_liveness {
+                let transfer =
+                    state.forward_transfer() || state.backward_transfer() || state.annihilation();
+                if transfer {
+                    self.since_transfer[index] = 0;
+                    self.active[index] = false;
+                } else {
+                    self.active[index] |= state.forward_valid || state.backward_valid;
+                    self.since_transfer[index] += 1;
+                    if self.active[index]
+                        && self.since_transfer[index] as usize > self.options.starvation_window
+                    {
+                        return Err(self.violation(
+                            "Liveness",
+                            index,
+                            cycle,
+                            format!(
+                                "an offered item has not transferred for {} cycles",
+                                self.since_transfer[index]
+                            ),
+                        ));
+                    }
+                }
+            }
+            self.prev[index] = *state;
+        }
+        self.has_prev = true;
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.prev.iter_mut().for_each(|state| *state = ChannelState::default());
+        self.has_prev = false;
+        self.since_transfer.iter_mut().for_each(|count| *count = 0);
+        self.active.iter_mut().for_each(|flag| *flag = false);
+    }
+}
+
+/// Streaming deadlock-freedom checker: trips when no sink transfers for more
+/// than the progress window, and embeds the wait-for root-cause analysis of
+/// [`diagnose_deadlock`] — which channels wait on whose Stop/Valid, the
+/// minimal blocking cycle, the token occupancy per node — in the violation.
+#[derive(Debug)]
+pub struct ProgressMonitor {
+    netlist: Netlist,
+    channels: ChannelTable,
+    /// Dense indices of every sink's input channel.
+    sink_channels: Vec<usize>,
+    progress_window: usize,
+    idle_run: usize,
+    /// Cumulative forward transfers per dense channel (the occupancy ledger
+    /// for the diagnosis).
+    transfers: Vec<u64>,
+}
+
+impl ProgressMonitor {
+    /// Builds the monitor; `progress_window` is the maximum number of
+    /// consecutive sink-idle cycles tolerated.
+    pub fn new(netlist: &Netlist, progress_window: usize) -> Self {
+        let channels = ChannelTable::new(netlist);
+        let sink_channels = netlist
+            .live_nodes()
+            .filter(|node| matches!(node.kind, NodeKind::Sink(_)))
+            .filter_map(|node| netlist.channel_into(Port::input(node.id, 0)))
+            .filter_map(|channel| channels.dense_index(channel.id))
+            .collect();
+        let count = channels.ids.len();
+        ProgressMonitor {
+            netlist: netlist.clone(),
+            channels,
+            sink_channels,
+            progress_window,
+            idle_run: 0,
+            transfers: vec![0; count],
+        }
+    }
+}
+
+impl CycleMonitor for ProgressMonitor {
+    fn name(&self) -> &'static str {
+        "progress"
+    }
+
+    fn observe(&mut self, cycle: u64, channels: &[ChannelState]) -> Result<(), MonitorViolation> {
+        for (slot, state) in self.transfers.iter_mut().zip(channels.iter()) {
+            if state.forward_transfer() {
+                *slot += 1;
+            }
+        }
+        let progress = self.sink_channels.iter().any(|&index| channels[index].forward_transfer());
+        if progress {
+            self.idle_run = 0;
+            return Ok(());
+        }
+        self.idle_run += 1;
+        if self.idle_run <= self.progress_window {
+            return Ok(());
+        }
+        // Stalled: run the root-cause analysis on this cycle's snapshot.
+        let states: BTreeMap<ChannelId, ChannelState> =
+            self.channels.ids.iter().copied().zip(channels.iter().copied()).collect();
+        let transfers: BTreeMap<ChannelId, u64> =
+            self.channels.ids.iter().copied().zip(self.transfers.iter().copied()).collect();
+        let diagnosis = diagnose_deadlock(&self.netlist, &states, &transfers, cycle);
+        Err(MonitorViolation {
+            monitor: "progress",
+            invariant: "Progress",
+            channel: diagnosis.blocking_channels().first().copied(),
+            cycle,
+            details: format!(
+                "no sink transferred for {} consecutive cycles; {diagnosis}",
+                self.idle_run
+            ),
+        })
+    }
+
+    fn reset(&mut self) {
+        self.idle_run = 0;
+        self.transfers.iter_mut().for_each(|count| *count = 0);
+    }
+}
+
+/// Streaming leads-to checker (Section 4.1.1): every valid token at a shared
+/// module input must transfer or be cancelled within a bounded horizon.
+#[derive(Debug)]
+pub struct LeadsToMonitor {
+    entries: Vec<LeadsToEntry>,
+    horizon: u64,
+}
+
+#[derive(Debug)]
+struct LeadsToEntry {
+    dense: usize,
+    channel: ChannelId,
+    label: String,
+    waiting_since: Option<u64>,
+}
+
+impl LeadsToMonitor {
+    /// Builds the monitor over every user input channel of every shared
+    /// module in `netlist`.
+    pub fn new(netlist: &Netlist, horizon: u64) -> Self {
+        let channels = ChannelTable::new(netlist);
+        let mut entries = Vec::new();
+        for node in netlist.live_nodes() {
+            let NodeKind::Shared(spec) = &node.kind else { continue };
+            for user in 0..spec.users {
+                for operand in 0..spec.inputs_per_user {
+                    let port = Port::input(node.id, user * spec.inputs_per_user + operand);
+                    let Some(channel) = netlist.channel_into(port) else { continue };
+                    let Some(dense) = channels.dense_index(channel.id) else { continue };
+                    entries.push(LeadsToEntry {
+                        dense,
+                        channel: channel.id,
+                        label: format!(
+                            "shared module {} user {user} ({})",
+                            node.name, channel.name
+                        ),
+                        waiting_since: None,
+                    });
+                }
+            }
+        }
+        LeadsToMonitor { entries, horizon }
+    }
+
+    /// `true` when the netlist has no shared module (the monitor is inert).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl CycleMonitor for LeadsToMonitor {
+    fn name(&self) -> &'static str {
+        "leads-to"
+    }
+
+    fn observe(&mut self, cycle: u64, channels: &[ChannelState]) -> Result<(), MonitorViolation> {
+        for entry in &mut self.entries {
+            let state = channels[entry.dense];
+            let resolved =
+                state.forward_transfer() || state.backward_transfer() || state.annihilation();
+            if resolved || !state.forward_valid {
+                entry.waiting_since = None;
+                continue;
+            }
+            let since = *entry.waiting_since.get_or_insert(cycle);
+            if cycle - since > self.horizon {
+                return Err(MonitorViolation {
+                    monitor: "leads-to",
+                    invariant: "LeadsTo",
+                    channel: Some(entry.channel),
+                    cycle,
+                    details: format!(
+                        "{}: a token has waited unserved since cycle {since}",
+                        entry.label
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        for entry in &mut self.entries {
+            entry.waiting_since = None;
+        }
+    }
+}
+
+/// Output-stream scoreboard: checks every sink's transferred values against
+/// the stream a clean reference run produced.
+///
+/// The protocol invariants cannot see silent payload corruption — a flipped
+/// data bit or a replayed token is handshake-legal. The scoreboard is the
+/// detector of last resort: it trips at the **first transfer** that deviates
+/// from the reference prefix, and (when `require_complete` is set) fails the
+/// run at [`CycleMonitor::finish`] if any sink delivered fewer tokens than
+/// the reference — together, the exact notion of "provably masked": a
+/// faulted run is masked iff the scoreboard stays silent, i.e. every sink
+/// reproduced the full clean stream bit-identically (extra tokens beyond the
+/// reference horizon are not judged; faulted runs get extra drain cycles).
+#[derive(Debug)]
+pub struct ScoreboardMonitor {
+    lanes: Vec<ScoreboardLane>,
+    require_complete: bool,
+}
+
+#[derive(Debug)]
+struct ScoreboardLane {
+    sink: NodeId,
+    dense: usize,
+    channel: ChannelId,
+    expected: Vec<u64>,
+    position: usize,
+}
+
+impl ScoreboardMonitor {
+    /// Builds the scoreboard from the sink streams of a clean reference
+    /// report of the same netlist.
+    pub fn from_reference(
+        netlist: &Netlist,
+        reference: &SimulationReport,
+        require_complete: bool,
+    ) -> Self {
+        let channels = ChannelTable::new(netlist);
+        let lanes = netlist
+            .live_nodes()
+            .filter(|node| matches!(node.kind, NodeKind::Sink(_)))
+            .filter_map(|node| {
+                let channel = netlist.channel_into(Port::input(node.id, 0))?;
+                let dense = channels.dense_index(channel.id)?;
+                Some(ScoreboardLane {
+                    sink: node.id,
+                    dense,
+                    channel: channel.id,
+                    expected: reference.sink_values(node.id),
+                    position: 0,
+                })
+            })
+            .collect();
+        ScoreboardMonitor { lanes, require_complete }
+    }
+}
+
+impl CycleMonitor for ScoreboardMonitor {
+    fn name(&self) -> &'static str {
+        "scoreboard"
+    }
+
+    fn observe(&mut self, cycle: u64, channels: &[ChannelState]) -> Result<(), MonitorViolation> {
+        for lane in &mut self.lanes {
+            let state = channels[lane.dense];
+            if !state.forward_transfer() {
+                continue;
+            }
+            if lane.position < lane.expected.len() {
+                let expected = lane.expected[lane.position];
+                if state.data != expected {
+                    return Err(MonitorViolation {
+                        monitor: "scoreboard",
+                        invariant: "ReferenceStream",
+                        channel: Some(lane.channel),
+                        cycle,
+                        details: format!(
+                            "sink {} transfer #{} carried {:#x}, reference expects {expected:#x}",
+                            lane.sink, lane.position, state.data
+                        ),
+                    });
+                }
+            }
+            lane.position += 1;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self, cycles: u64) -> Result<(), MonitorViolation> {
+        if !self.require_complete {
+            return Ok(());
+        }
+        for lane in &self.lanes {
+            if lane.position < lane.expected.len() {
+                return Err(MonitorViolation {
+                    monitor: "scoreboard",
+                    invariant: "ReferenceStream",
+                    channel: Some(lane.channel),
+                    cycle: cycles.saturating_sub(1),
+                    details: format!(
+                        "sink {} delivered only {} of {} reference tokens by end of run",
+                        lane.sink,
+                        lane.position,
+                        lane.expected.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        for lane in &mut self.lanes {
+            lane.position = 0;
+        }
+    }
+}
+
+/// Options for [`standard_monitors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorOptions {
+    /// Options of the [`ProtocolMonitor`].
+    pub protocol: ProtocolOptions,
+    /// Progress window of the [`ProgressMonitor`].
+    pub progress_window: usize,
+    /// Horizon of the [`LeadsToMonitor`].
+    pub leads_to_horizon: u64,
+}
+
+impl Default for MonitorOptions {
+    fn default() -> Self {
+        MonitorOptions {
+            protocol: ProtocolOptions::default(),
+            progress_window: 96,
+            leads_to_horizon: 96,
+        }
+    }
+}
+
+/// The standard always-on monitor set for a netlist: protocol, progress and
+/// — when the design has shared modules — leads-to. The scoreboard is not
+/// included because it needs a clean reference run; build it separately with
+/// [`ScoreboardMonitor::from_reference`].
+pub fn standard_monitors(
+    netlist: &Netlist,
+    options: &MonitorOptions,
+) -> Vec<Box<dyn CycleMonitor>> {
+    let mut monitors: Vec<Box<dyn CycleMonitor>> = vec![
+        Box::new(ProtocolMonitor::new(netlist, &options.protocol)),
+        Box::new(ProgressMonitor::new(netlist, options.progress_window)),
+    ];
+    let leads_to = LeadsToMonitor::new(netlist, options.leads_to_horizon);
+    if !leads_to.is_empty() {
+        monitors.push(Box::new(leads_to));
+    }
+    monitors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::kind::{BufferSpec, SinkSpec, SourceSpec};
+    use elastic_core::Op;
+    use elastic_sim::{SimConfig, Simulation};
+
+    /// src -> inc -> EB -> sink
+    fn pipeline() -> (Netlist, NodeId) {
+        let mut n = Netlist::new("pipeline");
+        let src = n.add_source("src", SourceSpec::always());
+        let inc = n.add_op("inc", Op::Inc);
+        let eb = n.add_buffer("eb", BufferSpec::standard(0));
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(src, 0), Port::input(inc, 0), 8).unwrap();
+        n.connect(Port::output(inc, 0), Port::input(eb, 0), 8).unwrap();
+        n.connect(Port::output(eb, 0), Port::input(sink, 0), 8).unwrap();
+        (n, sink)
+    }
+
+    #[test]
+    fn the_standard_monitors_stay_silent_on_a_clean_pipeline() {
+        let (netlist, sink) = pipeline();
+        let mut sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        let reference = sim.run(60).unwrap();
+
+        sim.reset();
+        let mut monitors = standard_monitors(&netlist, &MonitorOptions::default());
+        monitors.push(Box::new(ScoreboardMonitor::from_reference(&netlist, &reference, true)));
+        let report = sim.run_monitored(60, None, &mut monitors).unwrap();
+        assert_eq!(report.sink_transfers(sink), reference.sink_transfers(sink));
+    }
+
+    #[test]
+    fn the_protocol_monitor_matches_the_streaming_trace_checker_rules() {
+        let (netlist, _sink) = pipeline();
+        let mut monitor = ProtocolMonitor::new(&netlist, &ProtocolOptions::default());
+        let idle = vec![ChannelState::default(); 3];
+        // A stopped token on channel 0 …
+        let mut stopped = idle.clone();
+        stopped[0] =
+            ChannelState { forward_valid: true, forward_stop: true, ..ChannelState::default() };
+        monitor.observe(0, &stopped).unwrap();
+        // … retracted the next cycle: Retry+ at the *offending* cycle 0.
+        let violation = monitor.observe(1, &idle).unwrap_err();
+        assert_eq!(violation.invariant, "Retry+");
+        assert_eq!(violation.cycle, 0);
+        assert!(violation.channel.is_some());
+
+        monitor.reset();
+        monitor.observe(0, &stopped).unwrap();
+        let mut held = stopped.clone();
+        held[0].forward_stop = false;
+        monitor.observe(1, &held).unwrap();
+    }
+
+    #[test]
+    fn the_scoreboard_trips_on_the_first_deviating_transfer() {
+        let (netlist, sink) = pipeline();
+        let mut sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        let reference = sim.run(40).unwrap();
+        assert!(reference.sink_transfers(sink) > 10);
+
+        // Corrupt the data on the sink's input channel mid-run.
+        let sink_channel = netlist.channel_into(Port::input(sink, 0)).unwrap().id;
+        sim.reset();
+        sim.arm_faults(&elastic_sim::FaultPlan::single(elastic_sim::FaultSpec {
+            channel: sink_channel,
+            kind: elastic_sim::FaultKind::BitFlip { mask: 0b100 },
+            from_cycle: 9,
+            duration: 1,
+        }))
+        .unwrap();
+        let mut monitors: Vec<Box<dyn CycleMonitor>> =
+            vec![Box::new(ScoreboardMonitor::from_reference(&netlist, &reference, true))];
+        let error = sim.run_monitored(40, None, &mut monitors).unwrap_err();
+        match error {
+            elastic_sim::SimError::MonitorTripped(violation) => {
+                assert_eq!(violation.invariant, "ReferenceStream");
+                assert_eq!(violation.cycle, 9, "detected at the corrupted transfer");
+            }
+            other => panic!("expected a scoreboard trip, got {other}"),
+        }
+    }
+
+    #[test]
+    fn the_progress_monitor_diagnoses_a_stalled_run() {
+        let (netlist, sink) = pipeline();
+        let sink_channel = netlist.channel_into(Port::input(sink, 0)).unwrap().id;
+        let mut sim = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        // A permanent stall storm on the sink channel wedges the pipeline.
+        sim.arm_faults(&elastic_sim::FaultPlan::single(elastic_sim::FaultSpec {
+            channel: sink_channel,
+            kind: elastic_sim::FaultKind::StallStorm,
+            from_cycle: 0,
+            duration: u64::MAX,
+        }))
+        .unwrap();
+        let mut monitors: Vec<Box<dyn CycleMonitor>> =
+            vec![Box::new(ProgressMonitor::new(&netlist, 16))];
+        let error = sim.run_monitored(200, None, &mut monitors).unwrap_err();
+        match error {
+            elastic_sim::SimError::MonitorTripped(violation) => {
+                assert_eq!(violation.invariant, "Progress");
+                assert!(violation.cycle <= 32, "trips right after the window, not at run end");
+                assert!(
+                    violation.details.contains("wait-for analysis"),
+                    "the violation embeds the root-cause diagnosis: {}",
+                    violation.details
+                );
+            }
+            other => panic!("expected a progress trip, got {other}"),
+        }
+    }
+}

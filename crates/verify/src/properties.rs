@@ -149,7 +149,7 @@ pub fn check_channel(
 /// region (found by the elastic-gen fuzzer: retiming the isolating buffer
 /// away from a shared module flagged spurious Retry+ violations one
 /// function block downstream).
-fn retraction_exempt_producers(netlist: &Netlist) -> std::collections::BTreeSet<NodeId> {
+pub(crate) fn retraction_exempt_producers(netlist: &Netlist) -> std::collections::BTreeSet<NodeId> {
     use elastic_core::NodeKind;
     let mut exempt: std::collections::BTreeSet<NodeId> = netlist
         .live_nodes()

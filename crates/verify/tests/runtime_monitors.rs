@@ -1,0 +1,207 @@
+//! Runtime-monitor soundness on the paper designs: every monitor has a
+//! *positive* test (it fires on a seeded fault, with a bounded locus) and a
+//! *negative* test (it stays silent across a clean run) on both Figure 1(d)
+//! and the Figure 7(b) speculative accumulator.
+
+use elastic_core::library::{fig1d, resilient_speculative, Fig1Config, ResilientConfig};
+use elastic_core::{ChannelId, Netlist, NodeId, Port};
+use elastic_sim::{
+    CycleMonitor, FaultKind, FaultPlan, FaultSpec, MonitorViolation, SimConfig, SimError,
+    Simulation, SimulationReport,
+};
+use elastic_verify::properties::ProtocolOptions;
+use elastic_verify::{
+    standard_monitors, LeadsToMonitor, MonitorOptions, ProgressMonitor, ProtocolMonitor,
+    ScoreboardMonitor,
+};
+
+const CYCLES: u64 = 160;
+
+fn reference(netlist: &Netlist) -> (Simulation, SimulationReport) {
+    let mut sim = Simulation::new(netlist, &SimConfig::default()).expect("paper design builds");
+    let report = sim.run(CYCLES).expect("clean run succeeds");
+    sim.reset();
+    (sim, report)
+}
+
+fn sink_channel(netlist: &Netlist, sink: NodeId) -> ChannelId {
+    netlist.channel_into(Port::input(sink, 0)).expect("sink is connected").id
+}
+
+fn expect_trip(result: Result<SimulationReport, SimError>) -> MonitorViolation {
+    match result {
+        Err(SimError::MonitorTripped(violation)) => violation,
+        Err(other) => panic!("expected a monitor trip, got error: {other}"),
+        Ok(_) => panic!("expected a monitor trip, run stayed clean"),
+    }
+}
+
+/// Negative control: the full monitor set (protocol, progress, leads-to,
+/// scoreboard) is silent on a clean run of the design.
+fn assert_clean(netlist: &Netlist) {
+    let (mut sim, report) = reference(netlist);
+    let mut monitors = standard_monitors(netlist, &MonitorOptions::default());
+    monitors.push(Box::new(ScoreboardMonitor::from_reference(netlist, &report, true)));
+    let monitored = sim
+        .run_monitored(CYCLES, None, &mut monitors)
+        .unwrap_or_else(|error| panic!("clean design tripped a monitor: {error}"));
+    assert!(!monitored.deadline_exceeded);
+}
+
+#[test]
+fn all_monitors_stay_silent_on_clean_fig1d() {
+    assert_clean(&fig1d(&Fig1Config::default()).netlist);
+}
+
+#[test]
+fn all_monitors_stay_silent_on_clean_fig7b() {
+    assert_clean(&resilient_speculative(&ResilientConfig::default()).netlist);
+}
+
+/// Positive scoreboard: a single flipped data bit on the sink's input is
+/// caught at the corrupted transfer with a channel locus.
+fn assert_scoreboard_catches_bit_flip(netlist: &Netlist, sink: NodeId) {
+    let (mut sim, report) = reference(netlist);
+    let channel = sink_channel(netlist, sink);
+    sim.arm_faults(&FaultPlan::single(FaultSpec {
+        channel,
+        kind: FaultKind::BitFlip { mask: 1 },
+        from_cycle: 31,
+        duration: 8,
+    }))
+    .unwrap();
+    let mut monitors: Vec<Box<dyn CycleMonitor>> =
+        vec![Box::new(ScoreboardMonitor::from_reference(netlist, &report, true))];
+    let violation = expect_trip(sim.run_monitored(CYCLES, None, &mut monitors));
+    assert_eq!(violation.monitor, "scoreboard");
+    assert_eq!(violation.invariant, "ReferenceStream");
+    assert_eq!(violation.channel, Some(channel));
+    assert!((31..CYCLES).contains(&violation.cycle), "locus {} inside the run", violation.cycle);
+}
+
+#[test]
+fn the_scoreboard_catches_a_flipped_output_bit_on_fig1d() {
+    let handles = fig1d(&Fig1Config::default());
+    assert_scoreboard_catches_bit_flip(&handles.netlist, handles.sink);
+}
+
+#[test]
+fn the_scoreboard_catches_a_flipped_output_bit_on_fig7b() {
+    let handles = resilient_speculative(&ResilientConfig::default());
+    assert_scoreboard_catches_bit_flip(&handles.netlist, handles.sink);
+}
+
+/// Positive progress: permanently stalling the sink's input wedges the
+/// design; the monitor trips right after its window with the wait-for
+/// root-cause diagnosis embedded in the violation.
+fn assert_progress_diagnoses_wedge(netlist: &Netlist, sink: NodeId) {
+    let mut sim = Simulation::new(netlist, &SimConfig::default()).unwrap();
+    sim.arm_faults(&FaultPlan::single(FaultSpec {
+        channel: sink_channel(netlist, sink),
+        kind: FaultKind::StallStorm,
+        from_cycle: 0,
+        duration: u64::MAX,
+    }))
+    .unwrap();
+    let mut monitors: Vec<Box<dyn CycleMonitor>> =
+        vec![Box::new(ProgressMonitor::new(netlist, 24))];
+    let violation = expect_trip(sim.run_monitored(400, None, &mut monitors));
+    assert_eq!(violation.monitor, "progress");
+    assert_eq!(violation.invariant, "Progress");
+    assert!(violation.cycle <= 48, "trips right after the window, at cycle {}", violation.cycle);
+    assert!(
+        violation.details.contains("wait-for analysis"),
+        "the violation embeds the root-cause diagnosis: {}",
+        violation.details
+    );
+}
+
+#[test]
+fn the_progress_monitor_diagnoses_a_wedged_fig1d() {
+    let handles = fig1d(&Fig1Config::default());
+    assert_progress_diagnoses_wedge(&handles.netlist, handles.sink);
+}
+
+#[test]
+fn the_progress_monitor_diagnoses_a_wedged_fig7b() {
+    let handles = resilient_speculative(&ResilientConfig::default());
+    assert_progress_diagnoses_wedge(&handles.netlist, handles.sink);
+}
+
+/// Positive leads-to: a stuck-at-Stop fault on a shared module input keeps
+/// an offered token from ever being served; past the horizon the monitor
+/// names the starved channel.
+fn assert_leads_to_fires_when_shared_cannot_serve(netlist: &Netlist, shared: NodeId) {
+    let user0 = netlist
+        .channel_into(Port::input(shared, 0))
+        .expect("the shared module has a user input channel")
+        .id;
+    let mut sim = Simulation::new(netlist, &SimConfig::default()).unwrap();
+    sim.arm_faults(&FaultPlan::single(FaultSpec {
+        channel: user0,
+        kind: FaultKind::StuckStop { level: true },
+        from_cycle: 0,
+        duration: u64::MAX,
+    }))
+    .unwrap();
+    let mut monitors: Vec<Box<dyn CycleMonitor>> = vec![Box::new(LeadsToMonitor::new(netlist, 24))];
+    let violation = expect_trip(sim.run_monitored(400, None, &mut monitors));
+    assert_eq!(violation.monitor, "leads-to");
+    assert_eq!(violation.invariant, "LeadsTo");
+    assert!(violation.channel.is_some(), "the violation names the starved input channel");
+}
+
+#[test]
+fn the_leads_to_monitor_fires_when_fig1d_shared_module_cannot_serve() {
+    let handles = fig1d(&Fig1Config::default());
+    let shared = handles.shared.expect("fig1d is speculative");
+    assert_leads_to_fires_when_shared_cannot_serve(&handles.netlist, shared);
+}
+
+#[test]
+fn the_leads_to_monitor_fires_when_fig7b_shared_module_cannot_serve() {
+    let handles = resilient_speculative(&ResilientConfig::default());
+    let shared = handles.shared.expect("fig7b is speculative");
+    assert_leads_to_fires_when_shared_cannot_serve(&handles.netlist, shared);
+}
+
+/// Positive protocol: a handshake glitch injected after the settle — a
+/// forced Stop or a retracted Valid on a channel whose producer committed
+/// the transfer combinationally — breaks a SELF channel property, and the
+/// protocol monitor reports it with a locus inside the fault window.
+fn assert_protocol_catches_a_glitch(netlist: &Netlist) {
+    let mut sim = Simulation::new(netlist, &SimConfig::default()).unwrap();
+    let channels: Vec<ChannelId> = netlist.live_channels().map(|c| c.id).collect();
+    for kind in [FaultKind::StallStorm, FaultKind::DropToken] {
+        for &channel in &channels {
+            sim.reset();
+            let fault = FaultSpec { channel, kind, from_cycle: 24, duration: 8 };
+            sim.arm_faults(&FaultPlan::single(fault)).unwrap();
+            let mut monitors: Vec<Box<dyn CycleMonitor>> =
+                vec![Box::new(ProtocolMonitor::new(netlist, &ProtocolOptions::default()))];
+            if let Err(SimError::MonitorTripped(violation)) =
+                sim.run_monitored(CYCLES, None, &mut monitors)
+            {
+                assert_eq!(violation.monitor, "protocol");
+                assert!(
+                    violation.cycle + 1 >= 24 && violation.cycle <= 24 + 8 + 64 + 8,
+                    "locus {} bounded by the fault window",
+                    violation.cycle
+                );
+                assert!(violation.channel.is_some());
+                return;
+            }
+        }
+    }
+    panic!("no injected handshake glitch tripped the protocol monitor");
+}
+
+#[test]
+fn the_protocol_monitor_catches_an_injected_glitch_on_fig1d() {
+    assert_protocol_catches_a_glitch(&fig1d(&Fig1Config::default()).netlist);
+}
+
+#[test]
+fn the_protocol_monitor_catches_an_injected_glitch_on_fig7b() {
+    assert_protocol_catches_a_glitch(&resilient_speculative(&ResilientConfig::default()).netlist);
+}
