@@ -94,6 +94,10 @@ pub fn shannon_decompose(netlist: &mut Netlist, mux: NodeId) -> Result<ShannonRe
         .map(|c| c.id)
         .ok_or(CoreError::UnconnectedPort { node: block, index: 0, is_input: false })?;
     let block_out_width = netlist.require_channel(block_out_channel)?.width;
+    // Width of the mux→F wire: the truncation point every selected token
+    // passes through before reaching F. The decomposition must preserve it
+    // (see step 2) — a *narrowing* mux masks each operand to this width.
+    let mux_out_width = netlist.require_channel(mux_out_channel.0)?.width;
 
     // Data-input channels of the multiplexor (ports 1..=k).
     let mut data_channels = Vec::with_capacity(mux_spec.data_inputs);
@@ -129,9 +133,18 @@ pub fn shannon_decompose(netlist: &mut Netlist, mux: NodeId) -> Result<ShannonRe
     }
 
     // 2. Re-target each data-input channel onto its copy and wire the copy to
-    //    the multiplexor.
+    //    the multiplexor. Before the transformation every selected token was
+    //    masked by the mux→F wire; moving F onto the data inputs would lose
+    //    that truncation for a *narrowing* mux (data input wider than the
+    //    output wire), so the re-targeted channel is re-declared at the old
+    //    mux-output width whenever it was wider — the producer then masks the
+    //    operand exactly as the removed wire did. Widening inputs keep their
+    //    width (masking to a wider wire was already the identity).
     for (data_index, (&channel, &copy)) in data_channels.iter().zip(&copies).enumerate() {
         netlist.set_channel_target(channel, Port::input(copy, block_operand_index))?;
+        if let Some(data_channel) = netlist.channel_mut(channel) {
+            data_channel.width = data_channel.width.min(mux_out_width);
+        }
         netlist.connect_named(
             format!("{block_name}_sh{data_index}_out"),
             Port::output(copy, 0),
@@ -257,6 +270,60 @@ mod tests {
         n.connect(Port::output(src1, 0), Port::input(mux, 2), 8).unwrap();
         n.connect(Port::output(mux, 0), Port::input(sink, 0), 8).unwrap();
         assert!(matches!(shannon_decompose(&mut n, mux), Err(CoreError::Precondition { .. })));
+    }
+
+    #[test]
+    fn narrowing_mux_operand_channels_are_remasked_to_the_old_wire_width() {
+        // 12-bit data inputs through an 8-bit mux→F wire: the wire is the
+        // masking point every selected token passes through. After the
+        // decomposition the re-targeted data channels must carry that 8-bit
+        // truncation, or the moved copies would compute on unmasked operands.
+        let mut n = Netlist::new("shannon_narrow");
+        let sel = n.add_source("sel", SourceSpec::always());
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let f = n.add_op("f", opaque("F", 6, 100));
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
+        n.connect(Port::output(src0, 0), Port::input(mux, 1), 12).unwrap();
+        n.connect(Port::output(src1, 0), Port::input(mux, 2), 12).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(f, 0), 8).unwrap();
+        n.connect(Port::output(f, 0), Port::input(sink, 0), 8).unwrap();
+
+        let report = shannon_decompose(&mut n, mux).unwrap();
+        n.validate().unwrap();
+        for &copy in &report.copies {
+            let operand = n.channel_into(Port::input(copy, 0)).unwrap();
+            assert_eq!(
+                operand.width, 8,
+                "the re-targeted operand channel must narrow to the old mux-output width"
+            );
+        }
+    }
+
+    #[test]
+    fn widening_mux_operand_channels_keep_their_width() {
+        // 4-bit data inputs through an 8-bit wire: masking to a wider wire is
+        // the identity, so the operand channels must stay 4 bits.
+        let mut n = Netlist::new("shannon_widen");
+        let sel = n.add_source("sel", SourceSpec::always());
+        let src0 = n.add_source("src0", SourceSpec::always());
+        let src1 = n.add_source("src1", SourceSpec::always());
+        let mux = n.add_mux("mux", MuxSpec::lazy(2));
+        let f = n.add_op("f", opaque("F", 6, 100));
+        let sink = n.add_sink("sink", SinkSpec::always_ready());
+        n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
+        n.connect(Port::output(src0, 0), Port::input(mux, 1), 4).unwrap();
+        n.connect(Port::output(src1, 0), Port::input(mux, 2), 4).unwrap();
+        n.connect(Port::output(mux, 0), Port::input(f, 0), 8).unwrap();
+        n.connect(Port::output(f, 0), Port::input(sink, 0), 8).unwrap();
+
+        let report = shannon_decompose(&mut n, mux).unwrap();
+        n.validate().unwrap();
+        for &copy in &report.copies {
+            assert_eq!(n.channel_into(Port::input(copy, 0)).unwrap().width, 4);
+        }
     }
 
     #[test]

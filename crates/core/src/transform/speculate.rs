@@ -326,32 +326,12 @@ fn check_preconditions(
 
     // A *narrowing* multiplexor — output channel narrower than one of its
     // data inputs — is a masking point: the selected token is truncated to
-    // the output wire. Shannon decomposition moves the downstream block to
-    // the *input* side of that truncation, so the block would now compute on
-    // the unmasked operand and speculation would not be behaviour-preserving
-    // (the width-mutation generation knob builds exactly such muxes).
-    // Widening is harmless — masking to a wider wire is the identity.
-    if let Some(node) = netlist.node(mux) {
-        if let Some(spec) = node.as_mux() {
-            let out_width =
-                netlist.channel_from(Port::output(mux, 0)).map(|c| c.width).unwrap_or(64);
-            for data in 0..spec.data_inputs {
-                let in_width =
-                    netlist.channel_into(Port::input(mux, 1 + data)).map(|c| c.width).unwrap_or(0);
-                if in_width > out_width {
-                    return Err(CoreError::Precondition {
-                        transform: "speculate",
-                        reason: format!(
-                            "{mux} is a width-converting multiplexor (data input {data} is \
-                             {in_width} bits wide but the output wire only {out_width}): moving \
-                             the downstream block onto the data inputs would bypass the \
-                             truncation the output channel performs"
-                        ),
-                    });
-                }
-            }
-        }
-    }
+    // the output wire. Historically this was a refusal, because Shannon
+    // decomposition moves the downstream block to the *input* side of that
+    // truncation. Since the decomposition re-declares each re-targeted data
+    // channel at the old mux-output width (see `shannon_decompose` step 2),
+    // the producer masks the moved block's operand exactly as the removed
+    // wire did, and narrowing muxes are legal speculation sites.
 
     // The shared module this transform is about to create stalls every
     // non-granted user, and its leads-to machinery (starvation counters,

@@ -83,6 +83,16 @@ pub struct GenConfig {
     /// producers (retiming, speculation's shared module) must preserve the
     /// conversion points (the PR-3/PR-4 fuzz-scaling leftover).
     pub width_mutation_chance: f64,
+    /// Probability that a mux gadget (select-loop or feed-forward) declares
+    /// its **output wire narrower than its data inputs** — a width-converting
+    /// (narrowing) multiplexor. The wire is then a masking point every
+    /// selected token passes through, and the speculation pass must preserve
+    /// it when Shannon decomposition moves the downstream block onto the data
+    /// inputs (it re-masks the moved block's operands to the old output
+    /// width). The roll is drawn from the builder's *auxiliary* rng stream,
+    /// so seeds whose gadgets do not narrow regenerate byte-identically to
+    /// the pre-knob space.
+    pub narrowing_mux_chance: f64,
     /// Allow zero-backward-latency (`Lb = 0`) buffers outside loops.
     pub allow_zero_backward: bool,
     /// Allow stochastic environment patterns (seeded, still deterministic).
@@ -106,6 +116,7 @@ impl Default for GenConfig {
             lazy_fork_chance: 0.25,
             stallable_loop_fork_chance: 0.4,
             width_mutation_chance: 0.25,
+            narrowing_mux_chance: 0.25,
             allow_zero_backward: true,
             randomized_environments: true,
             max_width: 32,
@@ -181,6 +192,10 @@ pub struct GenProfile {
     /// forks, a join operand's pre-mutation width is not reconstructible
     /// from the finished netlist.)
     pub narrowing_joins: Vec<NodeId>,
+    /// Gadget muxes whose output wire was declared narrower than their data
+    /// inputs (see [`GenConfig::narrowing_mux_chance`]) — width-converting
+    /// speculation sites the `speculate` pass must handle by re-masking.
+    pub narrowing_muxes: Vec<NodeId>,
 }
 
 /// A generated netlist plus its generation profile.
@@ -202,6 +217,11 @@ struct OpenPort {
 struct Builder<'a> {
     n: Netlist,
     rng: GenRng,
+    /// Auxiliary stream for knobs added after the corpus was seeded: drawing
+    /// from a separate stream keeps the *main* stream's consumption order —
+    /// and with it every pre-knob structural decision — byte-identical for
+    /// existing seeds. Only netlists whose aux rolls fire change at all.
+    aux: GenRng,
     config: &'a GenConfig,
     open: Vec<OpenPort>,
     profile: GenProfile,
@@ -322,6 +342,19 @@ impl<'a> Builder<'a> {
         }
         let width = self.data_width();
         (OpenPort { width, ..port }, width != port.width, width < port.width)
+    }
+
+    /// Rolls the narrowing-mux knob for a gadget mux whose data inputs are
+    /// `width` bits wide: with [`GenConfig::narrowing_mux_chance`], the mux's
+    /// output wire is declared strictly narrower — the mux becomes a
+    /// width-converting masking point (and thus a speculation site that
+    /// exercises the re-masking path of Shannon decomposition). Drawn from
+    /// the auxiliary stream so the main generation stream is undisturbed.
+    fn maybe_narrow_mux_wire(&mut self, width: u8) -> (u8, bool) {
+        if width < 3 || !self.aux.chance(self.config.narrowing_mux_chance) {
+            return (width, false);
+        }
+        (self.aux.range(2, u64::from(width) - 1) as u8, true)
     }
 
     fn connect(&mut self, from: OpenPort, to: Port) {
@@ -544,7 +577,14 @@ impl<'a> Builder<'a> {
 
         self.n.connect(Port::output(src0, 0), Port::input(mux, 1), width).unwrap();
         self.n.connect(Port::output(src1, 0), Port::input(mux, 2), width).unwrap();
-        self.n.connect(Port::output(mux, 0), Port::input(f, 0), width).unwrap();
+        // The mux→F wire may narrow (a width-converting mux): the loop body
+        // then computes on tokens masked to the wire, and speculating the mux
+        // must preserve exactly that truncation.
+        let (wire_width, narrowed) = self.maybe_narrow_mux_wire(width);
+        if narrowed {
+            self.profile.narrowing_muxes.push(mux);
+        }
+        self.n.connect(Port::output(mux, 0), Port::input(f, 0), wire_width).unwrap();
 
         // Loop body order: either F → EB → bubbles → fork (the fork sits
         // behind the registered boundary, outside the mux's cone) or
@@ -612,7 +652,13 @@ impl<'a> Builder<'a> {
         self.n.connect(Port::output(sel, 0), Port::input(mux, 0), 1).unwrap();
         self.n.connect(Port::output(src0, 0), Port::input(mux, 1), width).unwrap();
         self.n.connect(Port::output(src1, 0), Port::input(mux, 2), width).unwrap();
-        self.n.connect(Port::output(mux, 0), Port::input(block, 0), width).unwrap();
+        // As in the loop gadget, the mux output wire may narrow — the
+        // `allow_acyclic` speculation then hits a width-converting mux.
+        let (wire_width, narrowed) = self.maybe_narrow_mux_wire(width);
+        if narrowed {
+            self.profile.narrowing_muxes.push(mux);
+        }
+        self.n.connect(Port::output(mux, 0), Port::input(block, 0), wire_width).unwrap();
 
         self.profile.feedforward_muxes.push(mux);
         self.push_open(Port::output(block, 0), out_width);
@@ -662,6 +708,7 @@ pub fn generate(seed: u64, config: &GenConfig) -> GeneratedNetlist {
     let mut builder = Builder {
         n: Netlist::new(format!("gen_{seed:016x}")),
         rng: GenRng::new(seed),
+        aux: GenRng::new(seed ^ 0x6E61_7272_6F77_6D78),
         config,
         open: Vec::new(),
         profile: GenProfile { seed, ..GenProfile::default() },

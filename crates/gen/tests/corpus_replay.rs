@@ -146,6 +146,37 @@ fn corpus_0009_0010_acyclic_speculation_is_sound_and_exercised() {
 }
 
 #[test]
+fn corpus_0015_narrowing_muxes_are_legal_speculation_sites() {
+    // The carried-over `speculate` narrowing-mux refusal is gone: Shannon
+    // decomposition re-masks the moved block's operands to the old
+    // mux-output width, so width-converting muxes speculate and stay
+    // behaviourally equivalent. Seed 0xd pins the cyclic (select-loop) site,
+    // seed 0xa the feed-forward one; both must *apply* the transform — a
+    // regression back to a precondition refusal would leave only skip notes.
+    use elastic_gen::generate;
+    for seed in [0xd_u64, 0xa] {
+        let generated = generate(seed, &GenConfig::default());
+        assert!(
+            !generated.profile.narrowing_muxes.is_empty(),
+            "seed {seed:#x} must generate a narrowing gadget mux"
+        );
+        let narrowing_names: Vec<String> = generated
+            .profile
+            .narrowing_muxes
+            .iter()
+            .map(|&mux| generated.netlist.node(mux).unwrap().name.clone())
+            .collect();
+        let report = run_case(seed, &GenConfig::default(), &HarnessOptions::default())
+            .unwrap_or_else(|failure| panic!("{failure}"));
+        assert!(
+            report.transforms.iter().any(|name| name.starts_with("speculate")
+                && narrowing_names.iter().any(|mux| name.contains(&format!("({mux}")))),
+            "seed {seed:#x} must speculate its narrowing mux {narrowing_names:?}: {report:?}"
+        );
+    }
+}
+
+#[test]
 fn roadmap_era_acyclic_reproducers_stay_green() {
     // The two seeds PR 3's ROADMAP entry named as the original acyclic
     // reproducers (pipelines base + 0x1b, small base + 0xd). The generator's

@@ -22,6 +22,7 @@ struct SpaceHistogram {
     width_mutated_joins: usize,
     narrowing_forks: usize,
     narrowing_joins: usize,
+    narrowing_muxes: usize,
     kinds: BTreeMap<&'static str, usize>,
 }
 
@@ -38,6 +39,31 @@ fn sample(config: &GenConfig, seeds: std::ops::Range<u64>) -> SpaceHistogram {
         histogram.width_mutated_forks += generated.profile.width_mutated_forks.len();
         histogram.width_mutated_joins += generated.profile.width_mutated_joins.len();
         histogram.narrowing_joins += generated.profile.narrowing_joins.len();
+        histogram.narrowing_muxes += generated.profile.narrowing_muxes.len();
+        // Every profiled narrowing mux must really be width-converting: the
+        // output wire strictly narrower than at least one data input. These
+        // are the speculation sites the re-masking Shannon path exists for.
+        for &mux in &generated.profile.narrowing_muxes {
+            let out_width = generated
+                .netlist
+                .output_channels(mux)
+                .first()
+                .map(|c| c.width)
+                .expect("gadget muxes drive a wire");
+            let widest_data = generated
+                .netlist
+                .input_channels(mux)
+                .iter()
+                .skip(1) // port 0 is the select
+                .map(|c| c.width)
+                .max()
+                .expect("gadget muxes have data inputs");
+            assert!(
+                out_width < widest_data,
+                "seed {seed:#x}: profiled narrowing mux converts nothing \
+                 ({widest_data} bits in, {out_width} out)"
+            );
+        }
         // A join's pre-mutation operand width is not reconstructible from the
         // finished netlist, so the narrowing direction is recorded at
         // generation time; it must at least be consistent with the mutation
@@ -146,6 +172,12 @@ fn the_widened_default_space_emits_every_new_shape() {
         histogram.narrowing_joins >= 5,
         "the narrowing (truncating) direction of join width mutation is barely \
          emitted — the join-side masking paths would go untested: {histogram:?}"
+    );
+    assert!(
+        histogram.narrowing_muxes >= 10,
+        "narrowing (width-converting) gadget muxes are barely emitted — the \
+         re-masking speculation sites recovered from the old refusal would go \
+         untested: {histogram:?}"
     );
     for kind in ["source", "sink", "function", "buffer", "fork", "mux", "shared", "varlatency"] {
         assert!(histogram.kinds.contains_key(kind), "kind `{kind}` vanished: {histogram:?}");

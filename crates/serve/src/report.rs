@@ -1,0 +1,153 @@
+//! The aggregate result a pipeline produces for one job, and its cache
+//! serialization.
+//!
+//! Reports are deliberately *structural-only* aggregates — counts, verdict
+//! qualifiers and fixed-point rates, never node ids or names. The cache
+//! serves one stored report to every isomorphic resubmission of the same
+//! design, so anything identity-bearing (a node id from the first
+//! submission's numbering) would be silently wrong for the next submitter.
+//!
+//! The wire form is a single `serve-report v1` line of `key=value` tokens.
+//! [`decode`] is strict: unknown versions, missing keys or malformed values
+//! return `None`, and the service treats an undecodable payload exactly
+//! like a cache miss — recompute, never guess. (Integrity against *bit rot*
+//! is the cache checksum's job; strict decoding guards against version
+//! skew across restarts.)
+
+use std::fmt;
+
+/// Aggregate outcome of running one pipeline over one design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReport {
+    /// Pipeline that produced the report (`gauntlet` or `verify`).
+    pub pipeline: String,
+    /// Transformations applied and verified (gauntlet pipeline).
+    pub transforms: u64,
+    /// Coverage notes accumulated across the pipeline's checks.
+    pub notes: u64,
+    /// Whether every check ran to exhaustion. Degraded-mode processing and
+    /// truncated exploration both clear this — a cached `exhaustive=false`
+    /// report honestly advertises its reduced coverage forever.
+    pub exhaustive: bool,
+    /// Whether the job was processed in degraded (load-shedding) mode.
+    pub degraded: bool,
+    /// Simulated cycles the report's dynamic figures cover.
+    pub cycles: u64,
+    /// Tokens observed at the design's sinks over `cycles`.
+    pub sink_tokens: u64,
+    /// Sink throughput in tokens per thousand cycles (fixed-point, so the
+    /// serialized form stays integral and platform-independent).
+    pub throughput_milli: u64,
+}
+
+impl JobReport {
+    /// Computes the fixed-point throughput field from raw counts.
+    pub fn throughput_milli(sink_tokens: u64, cycles: u64) -> u64 {
+        sink_tokens.saturating_mul(1000).checked_div(cycles).unwrap_or(0)
+    }
+
+    /// Serializes the report for cache storage.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_string().into_bytes()
+    }
+}
+
+impl fmt::Display for JobReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "serve-report v1 pipeline={} transforms={} notes={} exhaustive={} degraded={} \
+             cycles={} sink_tokens={} throughput_milli={}",
+            self.pipeline,
+            self.transforms,
+            self.notes,
+            u8::from(self.exhaustive),
+            u8::from(self.degraded),
+            self.cycles,
+            self.sink_tokens,
+            self.throughput_milli,
+        )
+    }
+}
+
+/// Deserializes a cached payload. `None` means "treat as a miss".
+pub fn decode(payload: &[u8]) -> Option<JobReport> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let mut words = text.split_ascii_whitespace();
+    if words.next()? != "serve-report" || words.next()? != "v1" {
+        return None;
+    }
+    let mut report = JobReport {
+        pipeline: String::new(),
+        transforms: 0,
+        notes: 0,
+        exhaustive: false,
+        degraded: false,
+        cycles: 0,
+        sink_tokens: 0,
+        throughput_milli: 0,
+    };
+    let mut seen = 0u32;
+    for word in words {
+        let (key, value) = word.split_once('=')?;
+        let flag = |value: &str| match value {
+            "0" => Some(false),
+            "1" => Some(true),
+            _ => None,
+        };
+        match key {
+            "pipeline" => report.pipeline = value.to_string(),
+            "transforms" => report.transforms = value.parse().ok()?,
+            "notes" => report.notes = value.parse().ok()?,
+            "exhaustive" => report.exhaustive = flag(value)?,
+            "degraded" => report.degraded = flag(value)?,
+            "cycles" => report.cycles = value.parse().ok()?,
+            "sink_tokens" => report.sink_tokens = value.parse().ok()?,
+            "throughput_milli" => report.throughput_milli = value.parse().ok()?,
+            _ => return None,
+        }
+        seen += 1;
+    }
+    (seen == 8 && !report.pipeline.is_empty()).then_some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobReport {
+        JobReport {
+            pipeline: "verify".into(),
+            transforms: 0,
+            notes: 3,
+            exhaustive: false,
+            degraded: true,
+            cycles: 192,
+            sink_tokens: 85,
+            throughput_milli: JobReport::throughput_milli(85, 192),
+        }
+    }
+
+    #[test]
+    fn reports_round_trip() {
+        let report = sample();
+        assert_eq!(decode(&report.encode()), Some(report));
+    }
+
+    #[test]
+    fn version_skew_and_truncation_decode_to_none() {
+        let good = sample().encode();
+        assert!(decode(b"serve-report v2 pipeline=verify").is_none());
+        assert!(decode(&good[..good.len() - 20]).is_none(), "missing keys must not default");
+        assert!(decode(b"not a report at all").is_none());
+        assert!(decode(&[0xff, 0xfe, 0x00]).is_none(), "non-utf8 must not panic");
+    }
+
+    #[test]
+    fn throughput_is_fixed_point_and_division_safe() {
+        assert_eq!(JobReport::throughput_milli(96, 192), 500);
+        assert_eq!(JobReport::throughput_milli(0, 0), 0, "zero cycles must not divide by zero");
+        // The multiply saturates instead of overflowing on absurd counts.
+        assert_eq!(JobReport::throughput_milli(u64::MAX, 1000), u64::MAX / 1000);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the canonical structural hash and the cache's
+//! integrity guarantee, sampled over the whole generation space.
+//!
+//! Three properties carry the service's caching correctness:
+//!
+//! 1. **Permutation invariance** — rebuilding any generated netlist with
+//!    shuffled node ids, shuffled channel insertion order, and scrambled
+//!    names hashes identically (isomorphic submissions share a cache
+//!    entry);
+//! 2. **Mutation sensitivity** — every invalidity mutation from the PR 3
+//!    catalogue that applies to a design changes its hash (semantically
+//!    different designs do not collide on the slices we can construct);
+//! 3. **Bit-flip detection** — flipping any single bit of a stored cache
+//!    payload makes the cache evict and miss, never serve the corrupted
+//!    bytes.
+
+use std::collections::HashMap;
+
+use elastic_core::{Netlist, Port};
+use elastic_gen::proptest_bridge::any_netlist;
+use elastic_gen::{apply_mutation, GenRng, Mutation};
+use elastic_serve::{structural_hash, CacheKey, ResultCache};
+use proptest::prelude::*;
+
+/// Rebuilds `netlist` from scratch with shuffled node ids, shuffled channel
+/// insertion order, and fresh names — a maximally renumbered isomorphic
+/// copy.
+fn permuted_copy(netlist: &Netlist, seed: u64) -> Netlist {
+    let mut rng = GenRng::new(seed);
+    let mut shuffle = |len: usize| {
+        let mut order: Vec<usize> = (0..len).collect();
+        for i in (1..len).rev() {
+            order.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        order
+    };
+    let mut out = Netlist::new("permuted copy");
+    let nodes: Vec<_> = netlist.live_nodes().collect();
+    let node_order = shuffle(nodes.len());
+    let mut map = HashMap::new();
+    for (position, &index) in node_order.iter().enumerate() {
+        let node = nodes[index];
+        map.insert(node.id, out.add_node(format!("perm{position}"), node.kind.clone()));
+    }
+    let channels: Vec<_> = netlist.live_channels().collect();
+    for index in shuffle(channels.len()) {
+        let channel = channels[index];
+        out.connect(
+            Port::output(map[&channel.from.node], channel.from.index),
+            Port::input(map[&channel.to.node], channel.to.index),
+            channel.width,
+        )
+        .expect("copying a valid netlist cannot fail");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn the_hash_is_invariant_under_node_id_permutation(generated in any_netlist()) {
+        let original = structural_hash(&generated.netlist);
+        for round in 0..3u64 {
+            let copy = permuted_copy(&generated.netlist, generated.profile.seed ^ (round + 1));
+            prop_assert_eq!(
+                structural_hash(&copy),
+                original,
+                "seed {:#x}, permutation round {}: isomorphic rebuild must share the cache key",
+                generated.profile.seed,
+                round
+            );
+        }
+    }
+
+    #[test]
+    fn every_applied_invalidity_mutation_changes_the_hash(generated in any_netlist()) {
+        let original = structural_hash(&generated.netlist);
+        let mut rng = GenRng::new(generated.profile.seed ^ 0x4a5);
+        for mutation in Mutation::all() {
+            let mut mutant = generated.netlist.clone();
+            if !apply_mutation(&mut mutant, mutation, &mut rng) {
+                continue; // mutation found no applicable site in this design
+            }
+            prop_assert_ne!(
+                structural_hash(&mutant),
+                original,
+                "seed {:#x}: {:?} altered the design but not its cache key",
+                generated.profile.seed,
+                mutation
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_a_cache_payload_is_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        flip in any::<u16>(),
+    ) {
+        let cache = ResultCache::new(2, 8);
+        let key = CacheKey { structural: 0xfeed, pipeline: 1 };
+        cache.insert(key, payload.clone());
+
+        // Corrupt exactly one bit (position drawn from the proptest input).
+        let bit = flip as usize % (payload.len() * 8);
+        // Reach the payload through the public fault hook only if it flips
+        // the chosen bit; otherwise rewrite via insert+manual corruption is
+        // impossible — so emulate arbitrary-bit rot by re-inserting a
+        // corrupted payload under the entry's *original* checksum. The
+        // public API has no such backdoor, which is the point: use a second
+        // cache whose entry we corrupt via `corrupt_entry`, plus a direct
+        // check that the checksum function itself separates the payloads.
+        let mut rotted = payload.clone();
+        rotted[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_ne!(
+            elastic_serve::fnv(&payload),
+            elastic_serve::fnv(&rotted),
+            "FNV must separate single-bit rot"
+        );
+
+        // And the end-to-end behaviour through the fault hook: corrupt,
+        // observe the miss + eviction, recompute, observe recovery.
+        prop_assert!(cache.corrupt_entry(key));
+        prop_assert_eq!(cache.get(key), None, "corrupted entries must never be served");
+        prop_assert_eq!(cache.stats().integrity_evictions, 1);
+        cache.insert(key, payload.clone());
+        prop_assert_eq!(cache.get(key), Some(payload), "recompute must restore service");
+    }
+}

@@ -17,6 +17,7 @@ pub use elastic_core as core;
 pub use elastic_datapath as datapath;
 pub use elastic_hdl as hdl;
 pub use elastic_predict as predict;
+pub use elastic_serve as serve;
 pub use elastic_sim as sim;
 pub use elastic_verify as verify;
 

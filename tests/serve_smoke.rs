@@ -1,0 +1,182 @@
+//! Service smoke test: a duplicate-heavy job mix through a small worker
+//! pool, with one worker killed mid-run and a cache entry corrupted on
+//! purpose. Asserts the headline guarantees cheaply (the heavyweight storm
+//! of faults lives in `serve_chaos.rs`):
+//!
+//! * every submitted job reaches an outcome — journal replay confirms zero
+//!   lost and zero left pending;
+//! * duplicates are served from the content-addressed cache;
+//! * the killed worker's job is recovered (requeued, retried, completed);
+//! * a corrupted cache entry is detected, evicted and recomputed — never
+//!   served;
+//! * the final cache audit is clean.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use elastic_serve::{JobOutcome, JobSpec, PipelineKind, Service, ServiceConfig};
+use elastic_verify::exploration::ExplorationOptions;
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("elastic-serve-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}-{}.journal", std::process::id()))
+}
+
+fn smoke_config(journal: PathBuf) -> ServiceConfig {
+    ServiceConfig {
+        workers: 3,
+        queue_capacity: 128,
+        degrade_depth: 128,
+        case_deadline: Duration::from_secs(30),
+        verify: ExplorationOptions {
+            max_runs: 16,
+            random_scheduler_runs: 2,
+            cycles_per_run: 32,
+            ..ExplorationOptions::default()
+        },
+        sweep_scenarios: 2,
+        sweep_cycles: 48,
+        journal_path: Some(journal),
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn duplicate_heavy_mix_with_a_worker_kill_loses_nothing() {
+    let journal = temp_journal("smoke");
+    let _ = std::fs::remove_file(&journal);
+    let service = Service::start(smoke_config(journal.clone())).unwrap();
+
+    // 8 distinct designs, submitted 5 times each, interleaved so duplicates
+    // land while their originals are queued, running, or already cached.
+    let seeds: Vec<u64> = (0..8).map(|i| 0x5e12e + i * 3).collect();
+    let mut jobs = Vec::new();
+    for _round in 0..5 {
+        for &seed in &seeds {
+            jobs.push(service.submit(JobSpec::seeded(seed, "small", PipelineKind::Verify)));
+        }
+    }
+    // Kill a worker while the backlog is deep (the kill hook fires when the
+    // worker registers its *next* job); the supervisor must requeue the
+    // orphaned job and respawn the thread. A trailing batch of fresh designs
+    // guarantees the doomed worker has something to pick up.
+    assert!(service.kill_worker(0));
+    for i in 0..8u64 {
+        jobs.push(service.submit(JobSpec::seeded(0x7a11 + i * 5, "small", PipelineKind::Verify)));
+    }
+
+    assert!(service.drain(Duration::from_secs(300)), "service must drain the whole mix");
+
+    // Every job has an outcome, and every outcome is a completion (this mix
+    // has no invalid designs, no shedding pressure, and generous deadlines).
+    for &job in &jobs {
+        let outcome = service.outcome(job).expect("drained service has all outcomes");
+        assert!(outcome.is_completed(), "job {job} should have completed, got {outcome:?}");
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.submitted, jobs.len() as u64);
+    assert_eq!(stats.completed, jobs.len() as u64);
+    assert_eq!(stats.shed, 0);
+    // 8 distinct designs, 40 submissions: the bulk of the 32 duplicates
+    // must be cache hits (a duplicate popped while its original is still
+    // in flight may legitimately recompute, so the bound leaves slack).
+    assert!(
+        stats.cache_hits >= 20,
+        "duplicate-heavy mix should be served mostly from cache: {stats:?}"
+    );
+    assert_eq!(stats.worker_deaths, 1, "the killed worker must be detected: {stats:?}");
+
+    // Integrity: corrupt a known entry, resubmit its design, and require a
+    // recompute — the corruption must never be served.
+    let spec = JobSpec::seeded(seeds[0], "small", PipelineKind::Verify);
+    let key = service.cache_key(&spec, false).unwrap();
+    assert!(service.cache().corrupt_entry(key), "seed {0:#x} must be cached", seeds[0]);
+    let recompute = service.submit(spec);
+    let outcome = service.wait(recompute, Duration::from_secs(120)).unwrap();
+    match outcome {
+        JobOutcome::Completed { cache_hit, .. } => {
+            assert!(!cache_hit, "a corrupted entry must be recomputed, not served")
+        }
+        other => panic!("recompute after corruption failed: {other:?}"),
+    }
+    assert_eq!(service.cache().stats().integrity_evictions, 1);
+    let audit = service.cache().audit();
+    assert_eq!(audit.corrupted, 0, "the recompute must have replaced the corrupt entry");
+    assert!(audit.clean >= seeds.len(), "all distinct designs should be resident");
+
+    let final_stats = service.shutdown();
+
+    // Journal accounting: replay must show zero pending (nothing lost, the
+    // killed worker's job included) and one completed record per
+    // non-cache-skipped completion.
+    let recovery = elastic_serve::replay(&journal).unwrap();
+    assert_eq!(recovery.rejected_lines, 0);
+    assert!(recovery.pending.is_empty(), "zero jobs lost: {:?}", recovery.pending);
+    assert_eq!(recovery.lost_inline, 0);
+    assert_eq!(recovery.completed.len() as u64, final_stats.completed);
+    std::fs::remove_file(&journal).unwrap();
+}
+
+#[test]
+fn overload_sheds_honestly_and_degrades_before_that() {
+    // A one-worker service with a tiny queue: the burst must produce all
+    // three admission classes — full-fidelity, degraded (soft watermark),
+    // and shed (hard bound) — and every accepted job must still complete.
+    let config = ServiceConfig {
+        workers: 1,
+        queue_capacity: 6,
+        degrade_depth: 2,
+        sweep_scenarios: 2,
+        sweep_cycles: 48,
+        verify: ExplorationOptions {
+            max_runs: 16,
+            random_scheduler_runs: 2,
+            cycles_per_run: 32,
+            ..ExplorationOptions::default()
+        },
+        degraded_verify: ExplorationOptions {
+            max_runs: 4,
+            random_scheduler_runs: 1,
+            cycles_per_run: 32,
+            ..ExplorationOptions::default()
+        },
+        case_deadline: Duration::from_secs(30),
+        journal_path: None,
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(config).unwrap();
+    let jobs: Vec<u64> = (0..24)
+        .map(|i| service.submit(JobSpec::seeded(0xbeef + i * 7, "small", PipelineKind::Verify)))
+        .collect();
+    assert!(service.drain(Duration::from_secs(300)));
+
+    let mut full = 0;
+    let mut degraded = 0;
+    let mut shed = 0;
+    for &job in &jobs {
+        match service.outcome(job).unwrap() {
+            JobOutcome::Completed { report, .. } => {
+                if report.degraded {
+                    degraded += 1;
+                    assert!(
+                        !report.exhaustive,
+                        "degraded completions must be flagged non-exhaustive"
+                    );
+                    assert!(report.notes > 0, "degraded completions must carry a coverage note");
+                } else {
+                    full += 1;
+                }
+            }
+            JobOutcome::Shed => shed += 1,
+            other => panic!("unexpected outcome under overload: {other:?}"),
+        }
+    }
+    assert!(full > 0, "the first admissions run at full fidelity");
+    assert!(degraded > 0, "the soft watermark must degrade someone");
+    assert!(shed > 0, "the hard bound must shed someone");
+    assert_eq!(full + degraded + shed, jobs.len());
+    let stats = service.shutdown();
+    assert_eq!(stats.shed, shed as u64);
+}
