@@ -8,7 +8,10 @@
 //!    `validate()` is a generator bug, reported as its own stage;
 //! 2. **engine differential** — the event-driven worklist engine against the
 //!    [`SettleStrategy::FullSweep`] oracle, cycle for cycle: bit-identical
-//!    traces, identical sink streams, kills and node statistics;
+//!    traces, identical sink streams, kills and node statistics; with
+//!    [`HarnessOptions::lane_differential`] set (the `ELASTIC_FUZZ_LANES`
+//!    smoke leg), the 64-lane bit-parallel engine joins the differential —
+//!    all broadcast lanes must match the scalar run bit-for-bit;
 //! 3. **base-design properties** — deadlock freedom, the shared-module
 //!    leads-to property, token conservation and the per-channel SELF
 //!    protocol checks on the untransformed design;
@@ -37,7 +40,7 @@ use elastic_core::transform::{
     retime_backward, retime_forward, speculate, split_empty_buffer, SpeculateOptions,
 };
 use elastic_core::{BufferSpec, CoreError, Netlist, NodeId, SchedulerKind};
-use elastic_sim::{SettleStrategy, SimConfig, Simulation};
+use elastic_sim::{LaneConfig, LaneSimulation, SettleStrategy, SimConfig, Simulation};
 use elastic_verify::battery::{
     check_equivalence_across_schedulers, check_equivalence_under_environments,
     check_transform_battery, BatteryOptions, EnvironmentOverride,
@@ -83,6 +86,12 @@ pub struct HarnessOptions {
     /// signals; a single stage that hangs *inside* the simulator is caught
     /// by the engine's own oscillation/settle guards.
     pub case_deadline: Duration,
+    /// Also run the 64-lane bit-parallel engine against the scalar engine
+    /// on every case ([`lanes_agree`]): all 64 broadcast lanes must
+    /// reproduce the scalar trace and report bit-for-bit. Off by default
+    /// (the scalar differential already runs twice per case); the fuzz
+    /// smoke test switches it on via `ELASTIC_FUZZ_LANES`.
+    pub lane_differential: bool,
     /// Also exercise `speculate` with `allow_acyclic` on feed-forward muxes.
     ///
     /// On by default since the feed-forward soundness work landed: the
@@ -116,6 +125,7 @@ impl Default for HarnessOptions {
             ],
             max_commit_depth: 4,
             case_deadline: Duration::from_secs(30),
+            lane_differential: false,
             include_acyclic_speculation: true,
         }
     }
@@ -231,6 +241,63 @@ pub fn engines_agree(netlist: &Netlist, cycles: u64) -> Result<(), String> {
     }
     if event_report.commit_stats != sweep_report.commit_stats {
         return Err("commit-stage lane statistics differ between engines".into());
+    }
+    Ok(())
+}
+
+/// Runs the scalar event-driven engine against the 64-lane bit-parallel
+/// engine in broadcast mode: every lane sees the same environment, so all
+/// 64 lanes must reproduce the scalar trace and report bit-for-bit — the
+/// lane-0 identity contract of [`elastic_sim::lanes`], checked here on
+/// arbitrary generated structures instead of the hand-built paper designs.
+///
+/// # Errors
+///
+/// Returns a description of the first observed divergence (or simulation
+/// error).
+pub fn lanes_agree(netlist: &Netlist, cycles: u64) -> Result<(), String> {
+    let mut scalar = Simulation::new(netlist, &SimConfig::default())
+        .map_err(|error| format!("scalar build failed: {error}"))?;
+    let scalar_report =
+        scalar.run(cycles).map_err(|error| format!("scalar run failed: {error}"))?;
+
+    let lane_config = LaneConfig { track_divergence: true, ..LaneConfig::default() };
+    let mut lanes = LaneSimulation::new(netlist, &lane_config)
+        .map_err(|error| format!("lane build failed: {error}"))?;
+    lanes.run(cycles).map_err(|error| format!("lane run failed: {error}"))?;
+
+    let divergent = lanes.divergent_lanes();
+    if divergent != 0 {
+        return Err(format!("broadcast lanes diverged from lane 0 (lane mask {divergent:#018x})"));
+    }
+    if lanes.trace(0) != scalar.trace() {
+        let divergence = (0..scalar.trace().len())
+            .find(|&cycle| {
+                let lane: Option<Vec<_>> = lanes.trace(0).states_at(cycle).map(|s| s.collect());
+                let reference: Option<Vec<_>> =
+                    scalar.trace().states_at(cycle).map(|s| s.collect());
+                lane != reference
+            })
+            .unwrap_or(0);
+        return Err(format!(
+            "lane-0 trace diverges from the scalar engine at cycle {divergence} of {cycles}"
+        ));
+    }
+    let lane_report = lanes.report(0);
+    if lane_report.sink_streams != scalar_report.sink_streams {
+        return Err("lane-0 sink transfer streams differ from the scalar engine".into());
+    }
+    if lane_report.source_kills != scalar_report.source_kills {
+        return Err("lane-0 source kill counts differ from the scalar engine".into());
+    }
+    if lane_report.node_stats != scalar_report.node_stats {
+        return Err("lane-0 per-node statistics differ from the scalar engine".into());
+    }
+    if lane_report.shared_stats != scalar_report.shared_stats {
+        return Err("lane-0 shared-module statistics differ from the scalar engine".into());
+    }
+    if lane_report.commit_stats != scalar_report.commit_stats {
+        return Err("lane-0 commit-stage statistics differ from the scalar engine".into());
     }
     Ok(())
 }
@@ -501,6 +568,12 @@ pub fn run_netlist(
         .map_err(|details| fail("engine-differential", None, details))?;
     watchdog("engine-differential")?;
 
+    if options.lane_differential {
+        lanes_agree(netlist, options.cycles)
+            .map_err(|details| fail("lane-differential", None, details))?;
+        watchdog("lane-differential")?;
+    }
+
     let mut report = CaseReport { seed, ..CaseReport::default() };
 
     // Base-design properties.
@@ -731,6 +804,20 @@ mod tests {
         // A direct call on a generated netlist, for the error-path shape.
         let generated = generate(3, &GenConfig::default());
         engines_agree(&generated.netlist, 100).unwrap();
+    }
+
+    #[test]
+    fn the_lane_differential_holds_on_generated_netlists() {
+        // Direct lane-vs-scalar checks on a spread of generated structures,
+        // plus a gauntlet run with the lane differential armed — the same
+        // path the ELASTIC_FUZZ_LANES smoke leg takes.
+        for seed in 0..4 {
+            let generated = generate(seed, &GenConfig::default());
+            lanes_agree(&generated.netlist, 100)
+                .unwrap_or_else(|details| panic!("seed {seed}: {details}"));
+        }
+        let options = HarnessOptions { lane_differential: true, ..HarnessOptions::default() };
+        run_case(1, &GenConfig::loops(), &options).unwrap_or_else(|failure| panic!("{failure}"));
     }
 
     #[test]

@@ -95,6 +95,20 @@ fn every_corpus_seed_passes_the_full_gauntlet() {
     }
 }
 
+#[test]
+fn every_corpus_seed_is_lane_broadcast_identical() {
+    // The 64-lane engine's lane-0 identity contract, replayed over the whole
+    // regression corpus: each historical finding's netlist must simulate
+    // bit-identically in all broadcast lanes.
+    use elastic_gen::{generate, lanes_agree};
+    for entry in load_corpus() {
+        let generated = generate(entry.seed, &entry.config);
+        lanes_agree(&generated.netlist, 192).unwrap_or_else(|details| {
+            panic!("corpus entry {} broke lane identity: {details}", entry.file)
+        });
+    }
+}
+
 // Named replays of the individual findings, so a regression points straight
 // at the original diagnosis instead of a corpus index.
 

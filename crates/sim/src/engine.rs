@@ -233,15 +233,15 @@ impl From<CoreError> for SimError {
 /// observing controllers) simply moves the cursor back to the affected
 /// bucket and settles by re-wake waves.
 #[derive(Debug)]
-struct Worklist {
-    buckets: Vec<Vec<u32>>,
-    queued: Vec<bool>,
-    cursor: usize,
-    len: usize,
+pub(crate) struct Worklist {
+    pub(crate) buckets: Vec<Vec<u32>>,
+    pub(crate) queued: Vec<bool>,
+    pub(crate) cursor: usize,
+    pub(crate) len: usize,
 }
 
 impl Worklist {
-    fn new(rank_count: usize, node_count: usize) -> Self {
+    pub(crate) fn new(rank_count: usize, node_count: usize) -> Self {
         Worklist {
             buckets: vec![Vec::new(); rank_count.max(1)],
             queued: vec![false; node_count],
@@ -250,7 +250,7 @@ impl Worklist {
         }
     }
 
-    fn push(&mut self, node: usize, rank: usize) {
+    pub(crate) fn push(&mut self, node: usize, rank: usize) {
         if !self.queued[node] {
             self.queued[node] = true;
             self.buckets[rank].push(node as u32);
@@ -259,7 +259,7 @@ impl Worklist {
         }
     }
 
-    fn pop(&mut self) -> Option<usize> {
+    pub(crate) fn pop(&mut self) -> Option<usize> {
         if self.len == 0 {
             return None;
         }
@@ -988,7 +988,7 @@ impl Simulation {
 /// loop that crosses a registered boundary. Controllers caught in genuinely
 /// combinational cycles are assigned one shared trailing rank — the worklist
 /// still settles them by iteration (or hits the budget and reports the loop).
-fn evaluation_ranks(
+pub(crate) fn evaluation_ranks(
     node_count: usize,
     node_ports: &[(Vec<usize>, Vec<usize>)],
     channel_producer: &[u32],

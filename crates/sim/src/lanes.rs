@@ -1,0 +1,1840 @@
+//! 64-lane bit-parallel settle engine.
+//!
+//! The SELF protocol is two-rail control: one bit per rail per channel
+//! (`V+`/`S+` forward, `V−`/`S−` backward). The scalar engine settles one
+//! scenario at a time even though every handshake equation is pure boolean
+//! logic. This module lifts the whole settle loop to `u64` **lane words**:
+//! bit `ℓ` of every rail word belongs to scenario (lane) `ℓ`, so one
+//! AND/OR/NOT word op advances 64 independent environments at once.
+//!
+//! Layout:
+//!
+//! * [`LaneSimulation`] mirrors [`crate::Simulation`] — same dense channel
+//!   indexing, same topological ranks, same rank-bucketed worklist, same
+//!   compare-and-set dirty tracking (a channel re-enters the worklist when
+//!   *any* lane changed), same optimistic two-pass for lazy forks, and the
+//!   same settle budget / oscillation witness when a combinational loop
+//!   fails to settle.
+//! * Rails are stored structure-of-arrays: `Vec<u64>` per rail, one word
+//!   per channel. Data is a lane-major column per channel
+//!   (`data[channel * LANES + lane]`) touched only by the ops that consume
+//!   data (function evaluation, mux steering, buffered values).
+//! * The hot SELF controllers (both EB variants, function/join, eager and
+//!   lazy fork, lazy/early mux) have native branchless word
+//!   implementations. Everything with heavyweight per-scenario state
+//!   (source, sink, shared module, commit stage, variable-latency unit)
+//!   runs through the `ScalarLanes` fallback: 64 scalar controllers evaluated
+//!   per-lane behind the word-level compare-and-set boundary — which is
+//!   also what gives every lane its own environment override and transfer
+//!   stream for free.
+//!
+//! The correctness contract is **lane-0 bit-identity**: a lane simulation
+//! whose lanes all see the same environment must produce, in every lane,
+//! exactly the trace and report of the scalar `EventDriven` engine. The
+//! `engine_equivalence` suite and the `ELASTIC_FUZZ_LANES` differential
+//! fuzz leg pin this the same way the FullSweep oracle pinned the PR-1
+//! engine swap.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use elastic_core::kind::{BackpressurePattern, SourcePattern};
+use elastic_core::{BufferSpec, ForkSpec, FunctionSpec, MuxSpec, Netlist, Node, NodeId, NodeKind};
+
+use crate::controller::{Controller, NodeIo, NodeStats};
+use crate::controllers::build_controller;
+use crate::engine::{evaluation_ranks, OscillationWitness, SimError, Worklist};
+use crate::metrics::{SharedModuleStats, SimulationReport};
+use crate::signal::ChannelState;
+use crate::trace::Trace;
+
+/// Number of scenarios advanced per word operation: the bit width of a lane
+/// word.
+pub const LANES: usize = 64;
+
+const IN: usize = 0;
+const OUT: usize = 0;
+const SELECT: usize = 0;
+
+/// Process-wide count of [`LaneSimulation`] constructions (see
+/// [`LaneSimulation::constructions`]).
+static LANE_CONSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Configuration of a [`LaneSimulation`].
+#[derive(Debug, Clone)]
+pub struct LaneConfig {
+    /// Record one full signal trace **per lane** (64 traces). Costs a
+    /// per-cycle transpose from lane words to [`ChannelState`] rows; switch
+    /// it off for throughput sweeps.
+    pub record_trace: bool,
+    /// Settle budget override in full-sweep equivalents; `0` derives the
+    /// same `2·channels + 8` bound as the scalar engine.
+    pub max_settle_iterations: usize,
+    /// Accumulate a per-channel lane-divergence map: bit `ℓ` of word `c`
+    /// is set once lane `ℓ` ever differed from lane 0 on channel `c` (any
+    /// rail or the data column). Costs a per-cycle scan; off by default.
+    pub track_divergence: bool,
+}
+
+impl Default for LaneConfig {
+    fn default() -> Self {
+        LaneConfig { record_trace: true, max_settle_iterations: 0, track_divergence: false }
+    }
+}
+
+/// Mask selecting the live bits of a channel of the given width.
+#[inline]
+fn width_mask(width: u8) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width).wrapping_sub(1)
+    }
+}
+
+/// Broadcasts bit 0 of `word` into every lane (all-ones when lane 0 is set).
+#[inline]
+fn spread_lane0(word: u64) -> u64 {
+    (word & 1).wrapping_neg()
+}
+
+/// Calls `f` once per set bit of `word`, lowest lane first.
+#[inline]
+fn for_each_lane(mut word: u64, mut f: impl FnMut(usize)) {
+    while word != 0 {
+        let lane = word.trailing_zeros() as usize;
+        f(lane);
+        word &= word - 1;
+    }
+}
+
+/// Structure-of-arrays signal store: one `u64` word per channel per rail
+/// (bit `ℓ` = lane `ℓ`) plus a lane-major data column per channel.
+#[derive(Debug)]
+struct LaneChannels {
+    forward_valid: Vec<u64>,
+    forward_stop: Vec<u64>,
+    backward_valid: Vec<u64>,
+    backward_stop: Vec<u64>,
+    /// `data[channel * LANES + lane]`.
+    data: Vec<u64>,
+}
+
+impl LaneChannels {
+    fn new(channel_count: usize) -> Self {
+        LaneChannels {
+            forward_valid: vec![0; channel_count],
+            forward_stop: vec![0; channel_count],
+            backward_valid: vec![0; channel_count],
+            backward_stop: vec![0; channel_count],
+            data: vec![0; channel_count * LANES],
+        }
+    }
+
+    fn channel_count(&self) -> usize {
+        self.forward_valid.len()
+    }
+
+    fn clear(&mut self) {
+        self.forward_valid.fill(0);
+        self.forward_stop.fill(0);
+        self.backward_valid.fill(0);
+        self.backward_stop.fill(0);
+        self.data.fill(0);
+    }
+
+    /// One lane's [`ChannelState`] row for `channel` (trace transpose and
+    /// the scalar-lane fallback read through this).
+    fn lane_state(&self, channel: usize, lane: usize) -> ChannelState {
+        let bit = 1u64 << lane;
+        ChannelState {
+            forward_valid: self.forward_valid[channel] & bit != 0,
+            forward_stop: self.forward_stop[channel] & bit != 0,
+            backward_valid: self.backward_valid[channel] & bit != 0,
+            backward_stop: self.backward_stop[channel] & bit != 0,
+            data: self.data[channel * LANES + lane],
+        }
+    }
+}
+
+/// Word-level controller I/O view: the lane analogue of
+/// [`crate::controller::NodeIo`].
+///
+/// Reads return whole lane words (or data columns); writes are
+/// compare-and-set — a write that changes **any** lane marks the channel
+/// dirty, which is what re-enters its observers into the worklist. Data
+/// writes mask every lane to the channel width, mirroring the scalar
+/// engine's producer-side masking.
+pub struct LaneIo<'a> {
+    channels: &'a mut LaneChannels,
+    input_channels: &'a [usize],
+    output_channels: &'a [usize],
+    channel_widths: &'a [u8],
+    dirty: Option<&'a mut Vec<usize>>,
+}
+
+impl fmt::Debug for LaneIo<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LaneIo")
+            .field("inputs", &self.input_channels)
+            .field("outputs", &self.output_channels)
+            .finish()
+    }
+}
+
+impl<'a> LaneIo<'a> {
+    fn untracked(
+        channels: &'a mut LaneChannels,
+        input_channels: &'a [usize],
+        output_channels: &'a [usize],
+        channel_widths: &'a [u8],
+    ) -> Self {
+        LaneIo { channels, input_channels, output_channels, channel_widths, dirty: None }
+    }
+
+    fn tracked(
+        channels: &'a mut LaneChannels,
+        input_channels: &'a [usize],
+        output_channels: &'a [usize],
+        channel_widths: &'a [u8],
+        dirty: &'a mut Vec<usize>,
+    ) -> Self {
+        LaneIo { channels, input_channels, output_channels, channel_widths, dirty: Some(dirty) }
+    }
+
+    /// Number of input ports.
+    pub fn input_count(&self) -> usize {
+        self.input_channels.len()
+    }
+
+    /// Number of output ports.
+    pub fn output_count(&self) -> usize {
+        self.output_channels.len()
+    }
+
+    fn input_channel(&self, input: usize) -> usize {
+        self.input_channels[input]
+    }
+
+    fn output_channel(&self, output: usize) -> usize {
+        self.output_channels[output]
+    }
+
+    /// Forward-valid word (`V+`) of input port `input`.
+    pub fn input_forward_valid(&self, input: usize) -> u64 {
+        self.channels.forward_valid[self.input_channel(input)]
+    }
+
+    /// Forward-stop word (`S+`) of input port `input`.
+    pub fn input_forward_stop(&self, input: usize) -> u64 {
+        self.channels.forward_stop[self.input_channel(input)]
+    }
+
+    /// Backward-valid word (`V−`) of input port `input`.
+    pub fn input_backward_valid(&self, input: usize) -> u64 {
+        self.channels.backward_valid[self.input_channel(input)]
+    }
+
+    /// Backward-stop word (`S−`) of input port `input`.
+    pub fn input_backward_stop(&self, input: usize) -> u64 {
+        self.channels.backward_stop[self.input_channel(input)]
+    }
+
+    /// Forward-valid word (`V+`) of output port `output`.
+    pub fn output_forward_valid(&self, output: usize) -> u64 {
+        self.channels.forward_valid[self.output_channel(output)]
+    }
+
+    /// Forward-stop word (`S+`) of output port `output`.
+    pub fn output_forward_stop(&self, output: usize) -> u64 {
+        self.channels.forward_stop[self.output_channel(output)]
+    }
+
+    /// Backward-valid word (`V−`) of output port `output`.
+    pub fn output_backward_valid(&self, output: usize) -> u64 {
+        self.channels.backward_valid[self.output_channel(output)]
+    }
+
+    /// Backward-stop word (`S−`) of output port `output`.
+    pub fn output_backward_stop(&self, output: usize) -> u64 {
+        self.channels.backward_stop[self.output_channel(output)]
+    }
+
+    /// Data column of input port `input`: one value per lane.
+    pub fn input_data(&self, input: usize) -> &[u64] {
+        let channel = self.input_channel(input);
+        &self.channels.data[channel * LANES..][..LANES]
+    }
+
+    /// Sets the forward-stop word of input port `input`.
+    pub fn set_input_stop(&mut self, input: usize, word: u64) {
+        let channel = self.input_channel(input);
+        if self.channels.forward_stop[channel] != word {
+            self.channels.forward_stop[channel] = word;
+            if let Some(dirty) = self.dirty.as_deref_mut() {
+                dirty.push(channel);
+            }
+        }
+    }
+
+    /// Sets the backward-valid (kill) word of input port `input`.
+    pub fn set_input_kill(&mut self, input: usize, word: u64) {
+        let channel = self.input_channel(input);
+        if self.channels.backward_valid[channel] != word {
+            self.channels.backward_valid[channel] = word;
+            if let Some(dirty) = self.dirty.as_deref_mut() {
+                dirty.push(channel);
+            }
+        }
+    }
+
+    /// Sets the forward-valid word of output port `output`.
+    pub fn set_output_valid(&mut self, output: usize, word: u64) {
+        let channel = self.output_channel(output);
+        if self.channels.forward_valid[channel] != word {
+            self.channels.forward_valid[channel] = word;
+            if let Some(dirty) = self.dirty.as_deref_mut() {
+                dirty.push(channel);
+            }
+        }
+    }
+
+    /// Sets the backward-stop word of output port `output`.
+    pub fn set_output_anti_stop(&mut self, output: usize, word: u64) {
+        let channel = self.output_channel(output);
+        if self.channels.backward_stop[channel] != word {
+            self.channels.backward_stop[channel] = word;
+            if let Some(dirty) = self.dirty.as_deref_mut() {
+                dirty.push(channel);
+            }
+        }
+    }
+
+    /// Sets the data column of output port `output` from one value per
+    /// lane, masked to the channel width.
+    pub fn set_output_data(&mut self, output: usize, lanes: &[u64]) {
+        debug_assert_eq!(lanes.len(), LANES);
+        let channel = self.output_channel(output);
+        let mask = width_mask(self.channel_widths.get(channel).copied().unwrap_or(64));
+        let column = &mut self.channels.data[channel * LANES..][..LANES];
+        let mut changed = false;
+        for (slot, &value) in column.iter_mut().zip(lanes) {
+            let value = value & mask;
+            if *slot != value {
+                *slot = value;
+                changed = true;
+            }
+        }
+        if changed {
+            if let Some(dirty) = self.dirty.as_deref_mut() {
+                dirty.push(channel);
+            }
+        }
+    }
+
+    /// Copies the data column of input `input` to output `output`
+    /// (width-preserving controllers: forks, buffers passing data through),
+    /// masked to the output channel width.
+    pub fn copy_data(&mut self, input: usize, output: usize) {
+        let src = self.input_channel(input);
+        let dst = self.output_channel(output);
+        if src == dst {
+            return;
+        }
+        let mask = width_mask(self.channel_widths.get(dst).copied().unwrap_or(64));
+        let mut changed = false;
+        for lane in 0..LANES {
+            let value = self.channels.data[src * LANES + lane] & mask;
+            let slot = &mut self.channels.data[dst * LANES + lane];
+            if *slot != value {
+                *slot = value;
+                changed = true;
+            }
+        }
+        if changed {
+            if let Some(dirty) = self.dirty.as_deref_mut() {
+                dirty.push(dst);
+            }
+        }
+    }
+
+    /// One lane's scalar view of a (global) channel index.
+    fn lane_state(&self, channel: usize, lane: usize) -> ChannelState {
+        self.channels.lane_state(channel, lane)
+    }
+
+    /// Scatters the consumer-driven rails (`S+`, `V−`) of one lane of a
+    /// channel back from a scalar evaluation, with compare-and-set.
+    fn scatter_consumer_lane(&mut self, channel: usize, lane: usize, state: ChannelState) {
+        let bit = 1u64 << lane;
+        let word = self.channels.forward_stop[channel];
+        let next = if state.forward_stop { word | bit } else { word & !bit };
+        if next != word {
+            self.channels.forward_stop[channel] = next;
+            if let Some(dirty) = self.dirty.as_deref_mut() {
+                dirty.push(channel);
+            }
+        }
+        let word = self.channels.backward_valid[channel];
+        let next = if state.backward_valid { word | bit } else { word & !bit };
+        if next != word {
+            self.channels.backward_valid[channel] = next;
+            if let Some(dirty) = self.dirty.as_deref_mut() {
+                dirty.push(channel);
+            }
+        }
+    }
+
+    /// Scatters the producer-driven rails (`V+`, `S−`) and the data value
+    /// of one lane of a channel back from a scalar evaluation, with
+    /// compare-and-set. The scalar evaluation already masked the data.
+    fn scatter_producer_lane(&mut self, channel: usize, lane: usize, state: ChannelState) {
+        let bit = 1u64 << lane;
+        let word = self.channels.forward_valid[channel];
+        let next = if state.forward_valid { word | bit } else { word & !bit };
+        if next != word {
+            self.channels.forward_valid[channel] = next;
+            if let Some(dirty) = self.dirty.as_deref_mut() {
+                dirty.push(channel);
+            }
+        }
+        let word = self.channels.backward_stop[channel];
+        let next = if state.backward_stop { word | bit } else { word & !bit };
+        if next != word {
+            self.channels.backward_stop[channel] = next;
+            if let Some(dirty) = self.dirty.as_deref_mut() {
+                dirty.push(channel);
+            }
+        }
+        let slot = &mut self.channels.data[channel * LANES + lane];
+        if *slot != state.data {
+            *slot = state.data;
+            if let Some(dirty) = self.dirty.as_deref_mut() {
+                dirty.push(channel);
+            }
+        }
+    }
+}
+
+/// One netlist node evaluated across all [`LANES`] scenarios at once.
+///
+/// Semantics mirror [`Controller`] lane-wise: `eval` must be a pure
+/// function of the channel words and the sequential state (it takes
+/// `&mut self` only to reuse scratch buffers and memo caches — re-running
+/// it with unchanged inputs must not change its writes), `commit` advances
+/// the sequential state of every lane on the settled signals.
+pub trait LaneController: fmt::Debug {
+    /// Drives this node's output words from the current channel words.
+    fn eval(&mut self, io: &mut LaneIo<'_>);
+
+    /// Optimistic variant for multi-fixpoint controllers (lazy forks);
+    /// defaults to [`LaneController::eval`].
+    fn eval_optimistic(&mut self, io: &mut LaneIo<'_>) {
+        self.eval(io);
+    }
+
+    /// Whether this controller needs the optimistic seeding pass.
+    fn is_optimistic(&self) -> bool {
+        false
+    }
+
+    /// Whether `eval` observes channel signals (`false` cuts control loops
+    /// at registered boundaries, exactly like the scalar engine).
+    fn eval_reads_channels(&self) -> bool {
+        true
+    }
+
+    /// Advances every lane's sequential state on the settled signals.
+    fn commit(&mut self, io: &LaneIo<'_>);
+
+    /// Rewinds every lane to its post-construction state.
+    fn reset(&mut self);
+
+    /// Accumulated statistics of one lane.
+    fn stats(&self, lane: usize) -> NodeStats;
+
+    /// One lane's `(cycle, value)` sink transfer stream, when this node is
+    /// a sink.
+    fn transfer_stream(&self, lane: usize) -> Option<&[(u64, u64)]> {
+        let _ = lane;
+        None
+    }
+
+    /// One lane's per-user `(transfers, kills)` split, when this node is a
+    /// shared module.
+    fn per_user_stats(&self, lane: usize) -> Option<(Vec<u64>, Vec<u64>)> {
+        let _ = lane;
+        None
+    }
+
+    /// One lane's commit-stage statistics, when this node is a commit
+    /// stage.
+    fn commit_stats(&self, lane: usize) -> Option<crate::metrics::CommitStageStats> {
+        let _ = lane;
+        None
+    }
+
+    /// Replaces one lane's sink back-pressure pattern; `true` when this
+    /// node is a sink.
+    fn override_backpressure(&mut self, lane: usize, pattern: &BackpressurePattern) -> bool {
+        let _ = (lane, pattern);
+        false
+    }
+
+    /// Replaces one lane's source offer pattern; `true` when this node is
+    /// a source.
+    fn override_source_pattern(&mut self, lane: usize, pattern: &SourcePattern) -> bool {
+        let _ = (lane, pattern);
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Native word controllers
+// ---------------------------------------------------------------------------
+
+/// The standard `Lf = 1`, `Lb = 1` elastic buffer across 64 lanes: per-lane
+/// FIFO state, word-level handshake. All driven signals are functions of
+/// the sequential state only, so `eval` runs exactly once per cycle.
+#[derive(Debug)]
+struct LaneStandardBuffer {
+    spec: BufferSpec,
+    tokens: Vec<VecDeque<u64>>,
+    anti_tokens: Vec<u32>,
+    stats: Vec<NodeStats>,
+    data_scratch: Vec<u64>,
+}
+
+impl LaneStandardBuffer {
+    fn new(spec: BufferSpec) -> Self {
+        let mut buffer = LaneStandardBuffer {
+            spec,
+            tokens: (0..LANES).map(|_| VecDeque::new()).collect(),
+            anti_tokens: vec![0; LANES],
+            stats: vec![NodeStats::default(); LANES],
+            data_scratch: vec![0; LANES],
+        };
+        buffer.reset();
+        buffer
+    }
+}
+
+impl LaneController for LaneStandardBuffer {
+    fn eval(&mut self, io: &mut LaneIo<'_>) {
+        let capacity = self.spec.capacity as usize;
+        let anti_capacity = self.spec.anti_capacity;
+        let mut valid = 0u64;
+        let mut stop = 0u64;
+        let mut kill = 0u64;
+        let mut anti_stop = 0u64;
+        for lane in 0..LANES {
+            let bit = 1u64 << lane;
+            let tokens = &self.tokens[lane];
+            if !tokens.is_empty() {
+                valid |= bit;
+            }
+            self.data_scratch[lane] = tokens.front().copied().unwrap_or(0);
+            if tokens.len() >= capacity {
+                stop |= bit;
+            }
+            if self.anti_tokens[lane] > 0 {
+                kill |= bit;
+            }
+            let can_absorb_anti = !tokens.is_empty() || self.anti_tokens[lane] < anti_capacity;
+            if !can_absorb_anti {
+                anti_stop |= bit;
+            }
+        }
+        io.set_output_valid(OUT, valid);
+        let data = &self.data_scratch;
+        io.set_output_data(OUT, data);
+        io.set_input_stop(IN, stop);
+        io.set_input_kill(IN, kill);
+        io.set_output_anti_stop(OUT, anti_stop);
+    }
+
+    fn eval_reads_channels(&self) -> bool {
+        false
+    }
+
+    fn commit(&mut self, io: &LaneIo<'_>) {
+        let out_fv = io.output_forward_valid(OUT);
+        let out_fs = io.output_forward_stop(OUT);
+        let out_bv = io.output_backward_valid(OUT);
+        let out_bs = io.output_backward_stop(OUT);
+        let in_fv = io.input_forward_valid(IN);
+        let in_fs = io.input_forward_stop(IN);
+        let in_bv = io.input_backward_valid(IN);
+        let in_bs = io.input_backward_stop(IN);
+        let in_data = io.input_data(IN);
+
+        let out_kill = out_bv & !out_bs;
+        let out_transfer = out_fv & !out_fs & !out_kill;
+        let out_stall = out_fv & out_fs & !out_kill & !out_transfer;
+        let token_arrived = in_fv & !in_fs;
+        let anti_left = in_bv & !in_bs;
+
+        for (lane, &data) in in_data.iter().enumerate() {
+            let bit = 1u64 << lane;
+            let tokens = &mut self.tokens[lane];
+            let anti = &mut self.anti_tokens[lane];
+            let stats = &mut self.stats[lane];
+            // Output boundary, exactly the scalar match order: kill wins,
+            // then transfer, then stall accounting.
+            if out_kill & bit != 0 {
+                match tokens.pop_front() {
+                    Some(_) => stats.killed_tokens += 1,
+                    None => *anti = (*anti + 1).min(self.spec.anti_capacity),
+                }
+            } else if out_transfer & bit != 0 {
+                tokens.pop_front();
+                stats.output_transfers += 1;
+            } else if out_stall & bit != 0 {
+                stats.stall_cycles += 1;
+            }
+            // Input boundary.
+            match (token_arrived & bit != 0, anti_left & bit != 0) {
+                (true, true) => {
+                    *anti = anti.saturating_sub(1);
+                    stats.killed_tokens += 1;
+                }
+                (true, false) => {
+                    if *anti > 0 {
+                        *anti -= 1;
+                        stats.killed_tokens += 1;
+                    } else {
+                        tokens.push_back(data);
+                    }
+                }
+                (false, true) => *anti = anti.saturating_sub(1),
+                (false, false) => {}
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for lane in 0..LANES {
+            let tokens = &mut self.tokens[lane];
+            tokens.clear();
+            for _ in 0..self.spec.init_tokens.max(0) {
+                tokens.push_back(self.spec.init_value);
+            }
+            self.anti_tokens[lane] = (-self.spec.init_tokens).max(0) as u32;
+            self.stats[lane] = NodeStats::default();
+        }
+    }
+
+    fn stats(&self, lane: usize) -> NodeStats {
+        self.stats[lane]
+    }
+}
+
+/// The `Lb = 0` (Figure-5) elastic buffer across 64 lanes: fully word-ops —
+/// occupancy is one bit per lane, values are a lane column kept `0` when
+/// empty so the column doubles as the driven data.
+#[derive(Debug)]
+struct LaneZeroBackwardBuffer {
+    initial: Option<u64>,
+    full: u64,
+    values: Vec<u64>,
+    stats: Vec<NodeStats>,
+}
+
+impl LaneZeroBackwardBuffer {
+    fn new(spec: BufferSpec) -> Self {
+        let initial = (spec.init_tokens > 0).then_some(spec.init_value);
+        let mut buffer = LaneZeroBackwardBuffer {
+            initial,
+            full: 0,
+            values: vec![0; LANES],
+            stats: vec![NodeStats::default(); LANES],
+        };
+        buffer.reset();
+        buffer
+    }
+}
+
+impl LaneController for LaneZeroBackwardBuffer {
+    fn eval(&mut self, io: &mut LaneIo<'_>) {
+        let full = self.full;
+        let out_fs = io.output_forward_stop(OUT);
+        let out_bv = io.output_backward_valid(OUT);
+        let in_bs = io.input_backward_stop(IN);
+        io.set_output_valid(OUT, full);
+        let values = &self.values;
+        io.set_output_data(OUT, values);
+        // Combinational stop: full and stopped downstream — unless the
+        // stored token is about to be annihilated by an incoming anti-token.
+        io.set_input_stop(IN, full & out_fs & !out_bv);
+        // Combinational kill pass-through when empty.
+        io.set_input_kill(IN, !full & out_bv);
+        // An empty buffer exposes the upstream anti-token capacity.
+        io.set_output_anti_stop(OUT, !full & in_bs);
+    }
+
+    fn commit(&mut self, io: &LaneIo<'_>) {
+        let out_fv = io.output_forward_valid(OUT);
+        let out_fs = io.output_forward_stop(OUT);
+        let out_bv = io.output_backward_valid(OUT);
+        let out_bs = io.output_backward_stop(OUT);
+        let in_fv = io.input_forward_valid(IN);
+        let in_fs = io.input_forward_stop(IN);
+        let in_bv = io.input_backward_valid(IN);
+        let in_bs = io.input_backward_stop(IN);
+        let in_data = io.input_data(IN);
+
+        let was_full = self.full;
+        let killed = was_full & out_bv & !out_bs;
+        let left = was_full & !killed & out_fv & !out_fs;
+        let stalled = was_full & !killed & !left & out_fs;
+        let full_after_out = was_full & !killed & !left;
+        let token_arrived = in_fv & !in_fs;
+        let anti_passed = in_bv & !in_bs;
+        let killed_in_flight = token_arrived & anti_passed;
+        let stored = token_arrived & !anti_passed & !full_after_out;
+        self.full = full_after_out | stored;
+
+        for_each_lane(killed | left, |lane| self.values[lane] = 0);
+        for_each_lane(stored, |lane| self.values[lane] = in_data[lane]);
+        for_each_lane(killed, |lane| self.stats[lane].killed_tokens += 1);
+        for_each_lane(left, |lane| self.stats[lane].output_transfers += 1);
+        for_each_lane(stalled, |lane| self.stats[lane].stall_cycles += 1);
+        for_each_lane(killed_in_flight, |lane| self.stats[lane].killed_tokens += 1);
+    }
+
+    fn reset(&mut self) {
+        self.full = if self.initial.is_some() { u64::MAX } else { 0 };
+        self.values.fill(self.initial.unwrap_or(0));
+        self.stats.fill(NodeStats::default());
+    }
+
+    fn stats(&self, lane: usize) -> NodeStats {
+        self.stats[lane]
+    }
+}
+
+/// Combinational function block (lazy join + datapath) across 64 lanes.
+/// Handshake is pure word ops; the datapath evaluates per lane behind a
+/// memo cache keyed on the input data columns (settle loops re-evaluate
+/// the join several times per cycle while the data rarely changes).
+#[derive(Debug)]
+struct LaneFunction {
+    spec: FunctionSpec,
+    output_width: u8,
+    stats: Vec<NodeStats>,
+    operands: Vec<u64>,
+    out_data: Vec<u64>,
+    cached_inputs: Vec<u64>,
+    cache_valid: bool,
+}
+
+impl LaneFunction {
+    fn new(spec: FunctionSpec, output_width: u8) -> Self {
+        let inputs = spec.inputs;
+        LaneFunction {
+            spec,
+            output_width,
+            stats: vec![NodeStats::default(); LANES],
+            operands: vec![0; inputs],
+            out_data: vec![0; LANES],
+            cached_inputs: vec![0; inputs * LANES],
+            cache_valid: false,
+        }
+    }
+
+    fn refresh_data(&mut self, io: &LaneIo<'_>) {
+        let inputs = self.spec.inputs;
+        let mut fresh = self.cache_valid;
+        if fresh {
+            for port in 0..inputs {
+                if io.input_data(port) != &self.cached_inputs[port * LANES..][..LANES] {
+                    fresh = false;
+                    break;
+                }
+            }
+        }
+        if fresh {
+            return;
+        }
+        for port in 0..inputs {
+            self.cached_inputs[port * LANES..][..LANES].copy_from_slice(io.input_data(port));
+        }
+        for lane in 0..LANES {
+            for port in 0..inputs {
+                self.operands[port] = self.cached_inputs[port * LANES + lane];
+            }
+            self.out_data[lane] = elastic_datapath::adder::mask(
+                elastic_datapath::evaluate(&self.spec.op, &self.operands).unwrap_or(0),
+                self.output_width,
+            );
+        }
+        self.cache_valid = true;
+    }
+}
+
+impl LaneController for LaneFunction {
+    fn eval(&mut self, io: &mut LaneIo<'_>) {
+        let inputs = self.spec.inputs;
+        let mut all_valid = u64::MAX;
+        for port in 0..inputs {
+            all_valid &= io.input_forward_valid(port);
+        }
+        let kill = io.output_backward_valid(OUT);
+        io.set_output_valid(OUT, all_valid);
+        self.refresh_data(io);
+        let data = &self.out_data;
+        io.set_output_data(OUT, data);
+        let mut all_producers_accept_kill = u64::MAX;
+        for port in 0..inputs {
+            all_producers_accept_kill &= !io.input_backward_stop(port);
+        }
+        io.set_output_anti_stop(OUT, !(all_valid | all_producers_accept_kill));
+        let out_fs = io.output_forward_stop(OUT);
+        let output_transfer = all_valid & !out_fs & !kill;
+        let annihilate = all_valid & kill;
+        let forward_kill = kill & !all_valid & all_producers_accept_kill;
+        let fire = output_transfer | annihilate;
+        for port in 0..inputs {
+            io.set_input_stop(port, !fire);
+            io.set_input_kill(port, forward_kill);
+        }
+    }
+
+    fn commit(&mut self, io: &LaneIo<'_>) {
+        let out_fv = io.output_forward_valid(OUT);
+        let out_fs = io.output_forward_stop(OUT);
+        let out_bv = io.output_backward_valid(OUT);
+        let out_bs = io.output_backward_stop(OUT);
+        let backward_transfer = out_bv & !out_bs;
+        let forward_transfer = out_fv & !out_fs & !backward_transfer;
+        let annihilation = out_fv & backward_transfer;
+        let forward_retry = out_fv & out_fs & !backward_transfer;
+        for_each_lane(forward_transfer, |lane| self.stats[lane].output_transfers += 1);
+        for_each_lane(annihilation, |lane| self.stats[lane].killed_tokens += 1);
+        for_each_lane(forward_retry, |lane| self.stats[lane].stall_cycles += 1);
+    }
+
+    fn reset(&mut self) {
+        self.stats.fill(NodeStats::default());
+        self.cache_valid = false;
+    }
+
+    fn stats(&self, lane: usize) -> NodeStats {
+        self.stats[lane]
+    }
+}
+
+/// Eager/lazy fork across 64 lanes: per-branch pending words, prefix/suffix
+/// AND for the lazy all-but-me readiness, and the same single-write-per-
+/// signal discipline the scalar fork needs for full-sweep convergence.
+#[derive(Debug)]
+struct LaneEagerFork {
+    spec: ForkSpec,
+    pending: Vec<u64>,
+    serving: u64,
+    stats: Vec<NodeStats>,
+    ready: Vec<u64>,
+    prefix: Vec<u64>,
+    suffix: Vec<u64>,
+    deliver: Vec<u64>,
+}
+
+impl LaneEagerFork {
+    fn new(spec: ForkSpec) -> Self {
+        let outputs = spec.outputs;
+        LaneEagerFork {
+            spec,
+            pending: vec![u64::MAX; outputs],
+            serving: 0,
+            stats: vec![NodeStats::default(); LANES],
+            ready: vec![0; outputs],
+            prefix: vec![0; outputs + 1],
+            suffix: vec![0; outputs + 1],
+            deliver: vec![0; outputs],
+        }
+    }
+
+    fn eval_inner(&mut self, io: &mut LaneIo<'_>, optimistic: bool) {
+        let outputs = self.spec.outputs;
+        let eager = self.spec.eager;
+        let in_fv = io.input_forward_valid(IN);
+        let mut all_ready = u64::MAX;
+        if !eager && !optimistic {
+            // Lazy readiness per branch, then all-but-me via prefix/suffix
+            // AND (the word form of "all ready, or I am the only laggard").
+            for branch in 0..outputs {
+                let effective_pending = !self.serving | self.pending[branch];
+                let out_fs = io.output_forward_stop(branch);
+                let out_bv = io.output_backward_valid(branch);
+                let ready = !effective_pending | !out_fs | (out_bv & in_fv);
+                self.ready[branch] = ready;
+                all_ready &= ready;
+            }
+            self.prefix[0] = u64::MAX;
+            for branch in 0..outputs {
+                self.prefix[branch + 1] = self.prefix[branch] & self.ready[branch];
+            }
+            self.suffix[outputs] = u64::MAX;
+            for branch in (0..outputs).rev() {
+                self.suffix[branch] = self.suffix[branch + 1] & self.ready[branch];
+            }
+        }
+        for branch in 0..outputs {
+            let effective_pending = !self.serving | self.pending[branch];
+            let needs = in_fv & effective_pending;
+            let others_ready = if eager || optimistic {
+                u64::MAX
+            } else {
+                self.prefix[branch] & self.suffix[branch + 1]
+            };
+            io.set_output_valid(branch, needs & others_ready);
+            io.copy_data(IN, branch);
+            io.set_output_anti_stop(branch, !needs);
+        }
+        // Delivery check reads the signals just driven (plus the consumer
+        // side), exactly like the scalar fork's post-write `deliveries`.
+        let mut done = u64::MAX;
+        for branch in 0..outputs {
+            let effective_pending = !self.serving | self.pending[branch];
+            let out_fv = io.output_forward_valid(branch);
+            let out_fs = io.output_forward_stop(branch);
+            let out_bv = io.output_backward_valid(branch);
+            let out_bs = io.output_backward_stop(branch);
+            let delivered = in_fv & effective_pending & ((out_bv & !out_bs) | (out_fv & !out_fs));
+            done &= !effective_pending | delivered;
+        }
+        let gate = if eager || optimistic { u64::MAX } else { all_ready };
+        let input_fires = in_fv & done & gate;
+        io.set_input_stop(IN, !input_fires);
+        io.set_input_kill(IN, 0);
+    }
+}
+
+impl LaneController for LaneEagerFork {
+    fn eval(&mut self, io: &mut LaneIo<'_>) {
+        self.eval_inner(io, false);
+    }
+
+    fn eval_optimistic(&mut self, io: &mut LaneIo<'_>) {
+        self.eval_inner(io, true);
+    }
+
+    fn is_optimistic(&self) -> bool {
+        !self.spec.eager
+    }
+
+    fn commit(&mut self, io: &LaneIo<'_>) {
+        let outputs = self.spec.outputs;
+        let in_fv = io.input_forward_valid(IN);
+        let in_fs = io.input_forward_stop(IN);
+
+        // Deliveries against the *old* pending state, as in the scalar
+        // commit.
+        let mut done = u64::MAX;
+        for branch in 0..outputs {
+            let effective_pending = !self.serving | self.pending[branch];
+            let out_fv = io.output_forward_valid(branch);
+            let out_fs = io.output_forward_stop(branch);
+            let out_bv = io.output_backward_valid(branch);
+            let out_bs = io.output_backward_stop(branch);
+            self.deliver[branch] =
+                in_fv & effective_pending & ((out_bv & !out_bs) | (out_fv & !out_fs));
+            done &= !effective_pending | self.deliver[branch];
+        }
+        let complete = in_fv & done & !in_fs;
+        let holding = in_fv & !complete;
+        for branch in 0..outputs {
+            let effective_pending = !self.serving | self.pending[branch];
+            self.pending[branch] = !holding | (effective_pending & !self.deliver[branch]);
+        }
+        self.serving = holding;
+        for_each_lane(complete, |lane| self.stats[lane].output_transfers += 1);
+        for_each_lane(holding, |lane| self.stats[lane].stall_cycles += 1);
+        // The scalar fork counts branch annihilations only on cycles where
+        // a token is present (its idle path returns early).
+        for branch in 0..outputs {
+            let out_bv = io.output_backward_valid(branch);
+            let out_bs = io.output_backward_stop(branch);
+            for_each_lane(in_fv & out_bv & !out_bs, |lane| {
+                self.stats[lane].killed_tokens += 1;
+            });
+        }
+    }
+
+    fn reset(&mut self) {
+        self.pending.fill(u64::MAX);
+        self.serving = 0;
+        self.stats.fill(NodeStats::default());
+    }
+
+    fn stats(&self, lane: usize) -> NodeStats {
+        self.stats[lane]
+    }
+}
+
+/// Lazy or early-evaluation multiplexor across 64 lanes. The per-lane
+/// select value steers via gather masks (`sel_mask[j]` = lanes selecting
+/// data input `j`); owed-anti-token counters stay per lane with a cached
+/// "clean" word per data input.
+#[derive(Debug)]
+struct LaneMux {
+    spec: MuxSpec,
+    owed_anti_tokens: Vec<u32>,
+    owed_zero: Vec<u64>,
+    stats: Vec<NodeStats>,
+    sel_mask: Vec<u64>,
+    out_data: Vec<u64>,
+}
+
+impl LaneMux {
+    fn new(spec: MuxSpec) -> Self {
+        let data_inputs = spec.data_inputs;
+        LaneMux {
+            spec,
+            owed_anti_tokens: vec![0; data_inputs * LANES],
+            owed_zero: vec![u64::MAX; data_inputs],
+            stats: vec![NodeStats::default(); LANES],
+            sel_mask: vec![0; data_inputs],
+            out_data: vec![0; LANES],
+        }
+    }
+
+    /// Rebuilds `sel_mask` and the steered output column from the current
+    /// select data column.
+    fn gather_select(&mut self, io: &LaneIo<'_>) {
+        let data_inputs = self.spec.data_inputs;
+        self.sel_mask.fill(0);
+        if data_inputs == 0 {
+            return;
+        }
+        let select = io.input_data(SELECT);
+        for (lane, &sel) in select.iter().enumerate() {
+            let chosen = (sel as usize) % data_inputs;
+            self.sel_mask[chosen] |= 1u64 << lane;
+        }
+    }
+
+    fn gather_out_data(&mut self, io: &LaneIo<'_>) {
+        for (chosen, &mask) in self.sel_mask.iter().enumerate() {
+            let column = io.input_data(1 + chosen);
+            for_each_lane(mask, |lane| self.out_data[lane] = column[lane]);
+        }
+    }
+}
+
+impl LaneController for LaneMux {
+    fn eval(&mut self, io: &mut LaneIo<'_>) {
+        let data_inputs = self.spec.data_inputs;
+        self.gather_select(io);
+        self.gather_out_data(io);
+        let select_valid = io.input_forward_valid(SELECT);
+        if !self.spec.early_eval {
+            // Lazy: conventional join on select plus *all* data inputs.
+            let mut all_data_valid = u64::MAX;
+            for port in 0..data_inputs {
+                all_data_valid &= io.input_forward_valid(1 + port);
+            }
+            let valid = select_valid & all_data_valid;
+            io.set_output_valid(OUT, valid);
+            let data = &self.out_data;
+            io.set_output_data(OUT, data);
+            io.set_output_anti_stop(OUT, u64::MAX);
+            let fire = valid & !io.output_forward_stop(OUT);
+            io.set_input_stop(SELECT, !fire);
+            for port in 0..data_inputs {
+                io.set_input_stop(1 + port, !fire);
+                io.set_input_kill(1 + port, 0);
+            }
+            return;
+        }
+        // Early evaluation: only the selected input must be valid (and not
+        // still owed an anti-token); non-selected inputs that fire are owed
+        // an anti-token, which is injected combinationally when possible.
+        let mut selected_valid = 0u64;
+        let mut selected_clean = 0u64;
+        for port in 0..data_inputs {
+            selected_valid |= self.sel_mask[port] & io.input_forward_valid(1 + port);
+            selected_clean |= self.sel_mask[port] & self.owed_zero[port];
+        }
+        let valid = select_valid & selected_valid & selected_clean;
+        io.set_output_valid(OUT, valid);
+        let data = &self.out_data;
+        io.set_output_data(OUT, data);
+        io.set_output_anti_stop(OUT, u64::MAX);
+        let fire = valid & !io.output_forward_stop(OUT);
+        io.set_input_stop(SELECT, !fire);
+        for port in 0..data_inputs {
+            let is_selected = self.sel_mask[port] & select_valid;
+            let owed_now = !self.owed_zero[port] | (fire & !is_selected);
+            let consuming = is_selected & fire & selected_clean;
+            let kill = owed_now & !consuming;
+            io.set_input_kill(1 + port, kill);
+            io.set_input_stop(1 + port, !kill & (!is_selected | !fire));
+        }
+    }
+
+    fn commit(&mut self, io: &LaneIo<'_>) {
+        let out_fv = io.output_forward_valid(OUT);
+        let out_fs = io.output_forward_stop(OUT);
+        let fire = out_fv & !out_fs;
+        for_each_lane(fire, |lane| self.stats[lane].output_transfers += 1);
+        for_each_lane(out_fv & out_fs, |lane| self.stats[lane].stall_cycles += 1);
+        if !self.spec.early_eval {
+            return;
+        }
+        self.gather_select(io);
+        let select_valid = io.input_forward_valid(SELECT);
+        for port in 0..self.spec.data_inputs {
+            let delivered = io.input_backward_valid(1 + port) & !io.input_backward_stop(1 + port);
+            let incurred = fire & select_valid & !self.sel_mask[port];
+            let mut zero_word = self.owed_zero[port];
+            for_each_lane(incurred | delivered, |lane| {
+                let owed = &mut self.owed_anti_tokens[port * LANES + lane];
+                if incurred & (1u64 << lane) != 0 {
+                    *owed += 1;
+                }
+                if delivered & (1u64 << lane) != 0 {
+                    *owed = owed.saturating_sub(1);
+                    self.stats[lane].killed_tokens += 1;
+                }
+                if *owed == 0 {
+                    zero_word |= 1u64 << lane;
+                } else {
+                    zero_word &= !(1u64 << lane);
+                }
+            });
+            self.owed_zero[port] = zero_word;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.owed_anti_tokens.fill(0);
+        self.owed_zero.fill(u64::MAX);
+        self.stats.fill(NodeStats::default());
+    }
+
+    fn stats(&self, lane: usize) -> NodeStats {
+        self.stats[lane]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar fallback
+// ---------------------------------------------------------------------------
+
+/// 64 scalar [`Controller`]s driven per lane behind the word-level
+/// compare-and-set boundary.
+///
+/// Used for node kinds with heavyweight per-scenario state (sources, sinks,
+/// shared modules, commit stages, variable-latency units): each lane owns a
+/// full scalar controller, so per-lane environment overrides, transfer
+/// streams and per-user statistics come from the scalar implementation
+/// unchanged. The gather/scatter transpose only touches this node's own
+/// channels, and the scatter is compare-and-set, so worklist semantics are
+/// identical to a native word controller.
+struct ScalarLanes {
+    lanes: Vec<Box<dyn Controller>>,
+    scratch: Vec<ChannelState>,
+    dirty_scratch: Vec<usize>,
+}
+
+impl fmt::Debug for ScalarLanes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScalarLanes").field("lanes", &self.lanes.len()).finish()
+    }
+}
+
+impl ScalarLanes {
+    fn build(netlist: &Netlist, node: &Node, channel_count: usize) -> Result<Self, SimError> {
+        let mut lanes = Vec::with_capacity(LANES);
+        for _ in 0..LANES {
+            lanes.push(build_controller(netlist, node, None)?);
+        }
+        Ok(ScalarLanes {
+            lanes,
+            scratch: vec![ChannelState::default(); channel_count],
+            dirty_scratch: Vec::new(),
+        })
+    }
+
+    fn eval_mode(&mut self, io: &mut LaneIo<'_>, optimistic: bool) {
+        let inputs = io.input_channels;
+        let outputs = io.output_channels;
+        let widths = io.channel_widths;
+        for lane in 0..LANES {
+            for &channel in inputs.iter().chain(outputs.iter()) {
+                self.scratch[channel] = io.lane_state(channel, lane);
+            }
+            self.dirty_scratch.clear();
+            let mut node_io = NodeIo::tracked(
+                &mut self.scratch,
+                inputs,
+                outputs,
+                widths,
+                &mut self.dirty_scratch,
+            );
+            if optimistic {
+                self.lanes[lane].eval_optimistic(&mut node_io);
+            } else {
+                self.lanes[lane].eval(&mut node_io);
+            }
+            for &channel in inputs {
+                io.scatter_consumer_lane(channel, lane, self.scratch[channel]);
+            }
+            for &channel in outputs {
+                io.scatter_producer_lane(channel, lane, self.scratch[channel]);
+            }
+        }
+    }
+}
+
+impl LaneController for ScalarLanes {
+    fn eval(&mut self, io: &mut LaneIo<'_>) {
+        self.eval_mode(io, false);
+    }
+
+    fn eval_optimistic(&mut self, io: &mut LaneIo<'_>) {
+        self.eval_mode(io, true);
+    }
+
+    fn is_optimistic(&self) -> bool {
+        self.lanes[0].is_optimistic()
+    }
+
+    fn eval_reads_channels(&self) -> bool {
+        self.lanes[0].eval_reads_channels()
+    }
+
+    fn commit(&mut self, io: &LaneIo<'_>) {
+        let inputs = io.input_channels;
+        let outputs = io.output_channels;
+        for lane in 0..LANES {
+            for &channel in inputs.iter().chain(outputs.iter()) {
+                self.scratch[channel] = io.lane_state(channel, lane);
+            }
+            let node_io = NodeIo::new(&mut self.scratch, inputs, outputs);
+            self.lanes[lane].commit(&node_io);
+        }
+    }
+
+    fn reset(&mut self) {
+        for lane in &mut self.lanes {
+            lane.reset();
+        }
+    }
+
+    fn stats(&self, lane: usize) -> NodeStats {
+        self.lanes[lane].stats()
+    }
+
+    fn transfer_stream(&self, lane: usize) -> Option<&[(u64, u64)]> {
+        self.lanes[lane].transfer_stream()
+    }
+
+    fn per_user_stats(&self, lane: usize) -> Option<(Vec<u64>, Vec<u64>)> {
+        self.lanes[lane].per_user_stats()
+    }
+
+    fn commit_stats(&self, lane: usize) -> Option<crate::metrics::CommitStageStats> {
+        self.lanes[lane].commit_stats()
+    }
+
+    fn override_backpressure(&mut self, lane: usize, pattern: &BackpressurePattern) -> bool {
+        self.lanes[lane].override_backpressure(pattern)
+    }
+
+    fn override_source_pattern(&mut self, lane: usize, pattern: &SourcePattern) -> bool {
+        self.lanes[lane].override_source_pattern(pattern)
+    }
+}
+
+/// Builds the lane controller for one netlist node: a native word
+/// implementation for the hot SELF controllers, [`ScalarLanes`] otherwise.
+fn build_lane_controller(
+    netlist: &Netlist,
+    node: &Node,
+    channel_count: usize,
+) -> Result<Box<dyn LaneController>, SimError> {
+    let output_widths: Vec<u8> = netlist.output_channels(node.id).iter().map(|c| c.width).collect();
+    let controller: Box<dyn LaneController> = match &node.kind {
+        NodeKind::Buffer(spec) => {
+            if spec.forward_latency != 1 {
+                return Err(SimError::UnsupportedNode {
+                    node: node.id,
+                    reason: format!(
+                        "buffers with forward latency {} are not supported by the simulator \
+                         (chain unit-latency buffers instead)",
+                        spec.forward_latency
+                    ),
+                });
+            }
+            // Same producer-side init-value masking as the scalar build.
+            let mut spec = *spec;
+            spec.init_value = elastic_datapath::adder::mask(
+                spec.init_value,
+                output_widths.first().copied().unwrap_or(64),
+            );
+            if spec.backward_latency == 0 {
+                Box::new(LaneZeroBackwardBuffer::new(spec))
+            } else {
+                Box::new(LaneStandardBuffer::new(spec))
+            }
+        }
+        NodeKind::Function(spec) => {
+            Box::new(LaneFunction::new(spec.clone(), output_widths.first().copied().unwrap_or(64)))
+        }
+        NodeKind::Mux(spec) => Box::new(LaneMux::new(*spec)),
+        NodeKind::Fork(spec) => Box::new(LaneEagerFork::new(*spec)),
+        _ => Box::new(ScalarLanes::build(netlist, node, channel_count)?),
+    };
+    Ok(controller)
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// A cycle-accurate SELF simulation advancing [`LANES`] independent
+/// scenarios per word operation.
+///
+/// The settle algorithm, evaluation ranks, worklist, budgets and
+/// oscillation reporting are the scalar [`crate::Simulation`]'s,
+/// generalised word-wise. Not supported in the lane engine (use the scalar
+/// engine): fault injection, streaming cycle monitors, and per-lane
+/// scheduler overrides.
+pub struct LaneSimulation {
+    config: LaneConfig,
+    controllers: Vec<Box<dyn LaneController>>,
+    node_ids: Vec<NodeId>,
+    node_kinds: Vec<&'static str>,
+    node_ports: Vec<(Vec<usize>, Vec<usize>)>,
+    channels: LaneChannels,
+    channel_widths: Vec<u8>,
+    channel_ids: Vec<elastic_core::ChannelId>,
+    channel_producer: Vec<u32>,
+    channel_consumer: Vec<u32>,
+    reads_channels: Vec<bool>,
+    optimistic_nodes: Vec<u32>,
+    rank: Vec<u32>,
+    seed_buckets: Vec<Vec<u32>>,
+    dirty: Vec<usize>,
+    oscillating: Vec<u32>,
+    worklist: Worklist,
+    traces: Vec<Trace>,
+    state_scratch: Vec<ChannelState>,
+    divergence: Vec<u64>,
+    cycle: u64,
+    settle_iterations: u64,
+    controller_evals: u64,
+}
+
+impl fmt::Debug for LaneSimulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LaneSimulation")
+            .field("nodes", &self.controllers.len())
+            .field("channels", &self.channels.channel_count())
+            .field("lanes", &LANES)
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl LaneSimulation {
+    /// Builds a 64-lane simulation of `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the netlist does not validate or contains a node the
+    /// simulator cannot model — the same conditions as
+    /// [`crate::Simulation::new`].
+    pub fn new(netlist: &Netlist, config: &LaneConfig) -> Result<Self, SimError> {
+        netlist.validate()?;
+
+        // Dense channel indexing shared with the scalar engine and trace.
+        let mut channel_index = BTreeMap::new();
+        let mut channel_widths = Vec::new();
+        let mut channel_ids = Vec::new();
+        for (index, channel) in netlist.live_channels().enumerate() {
+            channel_index.insert(channel.id, index);
+            channel_widths.push(channel.width);
+            channel_ids.push(channel.id);
+        }
+        let channel_count = channel_index.len();
+
+        let mut controllers: Vec<Box<dyn LaneController>> = Vec::new();
+        let mut node_ids = Vec::new();
+        let mut node_kinds = Vec::new();
+        let mut node_ports = Vec::new();
+        let mut channel_producer = vec![0u32; channel_count];
+        let mut channel_consumer = vec![0u32; channel_count];
+        for node in netlist.live_nodes() {
+            let controller = build_lane_controller(netlist, node, channel_count)?;
+            let node_index = controllers.len() as u32;
+
+            let inputs: Vec<usize> = (0..node.input_count())
+                .map(|port| {
+                    netlist
+                        .channel_into(elastic_core::Port::input(node.id, port))
+                        .map(|c| channel_index[&c.id])
+                        .expect("validated netlists have fully connected ports")
+                })
+                .collect();
+            let outputs: Vec<usize> = (0..node.output_count())
+                .map(|port| {
+                    netlist
+                        .channel_from(elastic_core::Port::output(node.id, port))
+                        .map(|c| channel_index[&c.id])
+                        .expect("validated netlists have fully connected ports")
+                })
+                .collect();
+            for &channel in &inputs {
+                channel_consumer[channel] = node_index;
+            }
+            for &channel in &outputs {
+                channel_producer[channel] = node_index;
+            }
+
+            controllers.push(controller);
+            node_ids.push(node.id);
+            node_kinds.push(node.kind.kind_name());
+            node_ports.push((inputs, outputs));
+        }
+
+        let reads_channels: Vec<bool> =
+            controllers.iter().map(|c| c.eval_reads_channels()).collect();
+        let optimistic_nodes: Vec<u32> = controllers
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_optimistic())
+            .map(|(index, _)| index as u32)
+            .collect();
+        let rank = evaluation_ranks(
+            controllers.len(),
+            &node_ports,
+            &channel_producer,
+            &channel_consumer,
+            &reads_channels,
+        );
+        let rank_count = rank.iter().map(|&r| r as usize + 1).max().unwrap_or(1);
+        let mut seed_buckets = vec![Vec::new(); rank_count];
+        for (node, &node_rank) in rank.iter().enumerate() {
+            seed_buckets[node_rank as usize].push(node as u32);
+        }
+
+        let traces: Vec<Trace> = (0..LANES).map(|_| Trace::new(netlist)).collect();
+
+        LANE_CONSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
+        Ok(LaneSimulation {
+            config: config.clone(),
+            worklist: Worklist::new(rank_count, controllers.len()),
+            controllers,
+            node_ids,
+            node_kinds,
+            node_ports,
+            channels: LaneChannels::new(channel_count),
+            channel_widths,
+            channel_ids,
+            channel_producer,
+            channel_consumer,
+            reads_channels,
+            optimistic_nodes,
+            rank,
+            seed_buckets,
+            dirty: Vec::new(),
+            oscillating: Vec::new(),
+            traces,
+            state_scratch: vec![ChannelState::default(); channel_count],
+            divergence: vec![0; channel_count],
+            cycle: 0,
+            settle_iterations: 0,
+            controller_evals: 0,
+        })
+    }
+
+    /// Number of cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Process-wide count of lane-simulation constructions
+    /// ([`LaneSimulation::new`]) — the lane-engine twin of
+    /// [`crate::Simulation::constructions`], used by sweep tests to prove
+    /// that exploration loops build one lane simulation per worker thread
+    /// and replay blocks via the reset family. Resets do **not** count.
+    pub fn constructions() -> u64 {
+        LANE_CONSTRUCTIONS.load(Ordering::Relaxed)
+    }
+
+    /// One lane's recorded trace (empty unless [`LaneConfig::record_trace`]
+    /// is set).
+    ///
+    /// # Panics
+    ///
+    /// When `lane >= LANES`.
+    pub fn trace(&self, lane: usize) -> &Trace {
+        &self.traces[lane]
+    }
+
+    /// The per-cycle settle budget in full-sweep equivalents — the same
+    /// bound as [`crate::Simulation::settle_budget`].
+    pub fn settle_budget(&self) -> usize {
+        if self.config.max_settle_iterations > 0 {
+            self.config.max_settle_iterations
+        } else {
+            2 * self.channels.channel_count() + 8
+        }
+    }
+
+    /// The accumulated per-channel lane-divergence map (dense channel
+    /// order): bit `ℓ` of word `c` is set once lane `ℓ` differed from
+    /// lane 0 on channel `c`. All zeros unless
+    /// [`LaneConfig::track_divergence`] is set.
+    pub fn divergence_map(&self) -> &[u64] {
+        &self.divergence
+    }
+
+    /// Lanes that ever diverged from lane 0 on any channel, as a bit mask.
+    pub fn divergent_lanes(&self) -> u64 {
+        self.divergence.iter().fold(0, |acc, &word| acc | word)
+    }
+
+    /// Rewinds every lane to cycle 0 without rebuilding (the lane analogue
+    /// of [`crate::Simulation::reset`]).
+    pub fn reset(&mut self) {
+        for controller in &mut self.controllers {
+            controller.reset();
+        }
+        self.channels.clear();
+        for trace in &mut self.traces {
+            trace.clear();
+        }
+        self.divergence.fill(0);
+        self.cycle = 0;
+        self.settle_iterations = 0;
+        self.controller_evals = 0;
+    }
+
+    /// [`LaneSimulation::reset`], additionally replacing the back-pressure
+    /// pattern of the named sinks **in every lane** (broadcast — all 64
+    /// lanes see the same environment).
+    pub fn reset_with_sink_patterns(&mut self, overrides: &[(NodeId, BackpressurePattern)]) {
+        self.reset();
+        for (node, pattern) in overrides {
+            let applied = self
+                .node_index(*node)
+                .map(|index| {
+                    let controller = &mut self.controllers[index];
+                    (0..LANES).all(|lane| controller.override_backpressure(lane, pattern))
+                })
+                .unwrap_or(false);
+            debug_assert!(applied, "node {node} is not a sink; cannot override back-pressure");
+        }
+    }
+
+    /// [`LaneSimulation::reset`], additionally replacing each lane's sink
+    /// back-pressure pattern individually: lane `ℓ` of a named sink gets
+    /// `patterns[min(ℓ, patterns.len() - 1)]` — 64 environments per
+    /// simulation instance. Empty pattern lists leave the sink untouched.
+    pub fn reset_with_lane_sink_patterns(
+        &mut self,
+        overrides: &[(NodeId, Vec<BackpressurePattern>)],
+    ) {
+        self.reset();
+        for (node, patterns) in overrides {
+            if patterns.is_empty() {
+                continue;
+            }
+            let applied = self
+                .node_index(*node)
+                .map(|index| {
+                    let controller = &mut self.controllers[index];
+                    (0..LANES).all(|lane| {
+                        let pattern = &patterns[lane.min(patterns.len() - 1)];
+                        controller.override_backpressure(lane, pattern)
+                    })
+                })
+                .unwrap_or(false);
+            debug_assert!(applied, "node {node} is not a sink; cannot override back-pressure");
+        }
+    }
+
+    /// [`LaneSimulation::reset`], additionally replacing the token-offer
+    /// pattern of the named sources **in every lane** (broadcast).
+    pub fn reset_with_source_patterns(&mut self, overrides: &[(NodeId, SourcePattern)]) {
+        self.reset();
+        for (node, pattern) in overrides {
+            let applied = self
+                .node_index(*node)
+                .map(|index| {
+                    let controller = &mut self.controllers[index];
+                    (0..LANES).all(|lane| controller.override_source_pattern(lane, pattern))
+                })
+                .unwrap_or(false);
+            debug_assert!(
+                applied,
+                "node {node} is not a source; cannot override its offer pattern"
+            );
+        }
+    }
+
+    fn node_index(&self, node: NodeId) -> Option<usize> {
+        self.node_ids.iter().position(|&id| id == node)
+    }
+
+    fn eval_and_wake(&mut self, node: usize, optimistic: bool) {
+        self.dirty.clear();
+        let (inputs, outputs) = &self.node_ports[node];
+        let mut io = LaneIo::tracked(
+            &mut self.channels,
+            inputs,
+            outputs,
+            &self.channel_widths,
+            &mut self.dirty,
+        );
+        if optimistic {
+            self.controllers[node].eval_optimistic(&mut io);
+        } else {
+            self.controllers[node].eval(&mut io);
+        }
+        self.controller_evals += 1;
+        for &channel in &self.dirty {
+            let producer = self.channel_producer[channel] as usize;
+            let consumer = self.channel_consumer[channel] as usize;
+            if producer == node && consumer == node {
+                // Self-loop channel: re-enqueue the writer (see the scalar
+                // engine for the full rationale) — a stable eval stops
+                // producing changes, an oscillating one exhausts the budget.
+                if self.reads_channels[node] {
+                    self.worklist.push(node, self.rank[node] as usize);
+                }
+                continue;
+            }
+            for endpoint in [producer, consumer] {
+                if endpoint != node && self.reads_channels[endpoint] {
+                    self.worklist.push(endpoint, self.rank[endpoint] as usize);
+                }
+            }
+        }
+    }
+
+    fn seed_worklist(&mut self) {
+        for rank in 0..self.seed_buckets.len() {
+            let bucket = &self.seed_buckets[rank];
+            self.worklist.buckets[rank].extend_from_slice(bucket);
+            for &node in bucket {
+                self.worklist.queued[node as usize] = true;
+            }
+            self.worklist.len += bucket.len();
+        }
+        self.worklist.cursor = 0;
+    }
+
+    fn drain_worklist(&mut self, optimistic: bool, evals: &mut u64, eval_cap: u64) -> bool {
+        while let Some(node) = self.worklist.pop() {
+            *evals += 1;
+            self.settle_iterations += 1;
+            if *evals > eval_cap {
+                self.oscillating.clear();
+                self.oscillating.push(node as u32);
+                while let Some(pending) = self.worklist.pop() {
+                    self.oscillating.push(pending as u32);
+                }
+                return false;
+            }
+            self.eval_and_wake(node, optimistic);
+        }
+        true
+    }
+
+    fn settle_event_driven(&mut self) -> bool {
+        debug_assert_eq!(self.worklist.len, 0, "worklist drained at end of previous cycle");
+        let eval_cap =
+            (self.settle_budget() as u64).saturating_mul(self.controllers.len().max(1) as u64);
+        let mut evals_this_cycle = 0u64;
+
+        self.seed_worklist();
+        if !self.optimistic_nodes.is_empty() {
+            if !self.drain_worklist(true, &mut evals_this_cycle, eval_cap) {
+                return false;
+            }
+            for index in 0..self.optimistic_nodes.len() {
+                let node = self.optimistic_nodes[index] as usize;
+                self.worklist.push(node, self.rank[node] as usize);
+            }
+        }
+        self.drain_worklist(false, &mut evals_this_cycle, eval_cap)
+    }
+
+    fn oscillation_witness(&self) -> OscillationWitness {
+        let mut nodes: Vec<(NodeId, &'static str)> = self
+            .oscillating
+            .iter()
+            .map(|&node| (self.node_ids[node as usize], self.node_kinds[node as usize]))
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut channels: Vec<elastic_core::ChannelId> =
+            self.dirty.iter().map(|&channel| self.channel_ids[channel]).collect();
+        channels.sort_unstable();
+        channels.dedup();
+        OscillationWitness { nodes, channels }
+    }
+
+    fn record_traces(&mut self) {
+        for lane in 0..LANES {
+            for channel in 0..self.channels.channel_count() {
+                self.state_scratch[channel] = self.channels.lane_state(channel, lane);
+            }
+            self.traces[lane].record(&self.state_scratch);
+        }
+    }
+
+    fn accumulate_divergence(&mut self) {
+        for channel in 0..self.channels.channel_count() {
+            let fv = self.channels.forward_valid[channel];
+            let fs = self.channels.forward_stop[channel];
+            let bv = self.channels.backward_valid[channel];
+            let bs = self.channels.backward_stop[channel];
+            let mut diff = (fv ^ spread_lane0(fv))
+                | (fs ^ spread_lane0(fs))
+                | (bv ^ spread_lane0(bv))
+                | (bs ^ spread_lane0(bs));
+            let column = &self.channels.data[channel * LANES..][..LANES];
+            let lane0 = column[0];
+            for (lane, &value) in column.iter().enumerate().skip(1) {
+                if value != lane0 {
+                    diff |= 1u64 << lane;
+                }
+            }
+            self.divergence[channel] |= diff;
+        }
+    }
+
+    /// Simulates one clock cycle across all lanes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CombinationalLoop`] when the control words fail
+    /// to settle.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.channels.clear();
+        if !self.settle_event_driven() {
+            return Err(SimError::CombinationalLoop {
+                cycle: self.cycle,
+                witness: self.oscillation_witness(),
+            });
+        }
+        if self.config.record_trace {
+            self.record_traces();
+        }
+        if self.config.track_divergence {
+            self.accumulate_divergence();
+        }
+        for (index, controller) in self.controllers.iter_mut().enumerate() {
+            let (inputs, outputs) = &self.node_ports[index];
+            let io = LaneIo::untracked(&mut self.channels, inputs, outputs, &self.channel_widths);
+            controller.commit(&io);
+        }
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Simulates `cycles` clock cycles across all lanes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LaneSimulation::step`].
+    pub fn run(&mut self, cycles: u64) -> Result<(), SimError> {
+        for _ in 0..cycles {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// One lane's accumulated report — field-for-field what the scalar
+    /// engine's [`crate::Simulation::report`] returns for that lane's
+    /// scenario, except that `settle_iterations` / `controller_evals`
+    /// count **word** evaluations (shared across lanes) and
+    /// [`SimulationReport::lane_divergence`] carries the whole divergence
+    /// map.
+    ///
+    /// # Panics
+    ///
+    /// When `lane >= LANES`.
+    pub fn report(&self, lane: usize) -> SimulationReport {
+        assert!(lane < LANES, "lane {lane} out of range");
+        let mut report = SimulationReport {
+            cycles: self.cycle,
+            settle_iterations: self.settle_iterations,
+            controller_evals: self.controller_evals,
+            trace_bytes: self.traces[lane].heap_bytes() as u64,
+            lane_divergence: self.divergence.clone(),
+            ..SimulationReport::default()
+        };
+        for (index, controller) in self.controllers.iter().enumerate() {
+            let node = self.node_ids[index];
+            let stats = controller.stats(lane);
+            report.node_stats.insert(node, stats);
+            match self.node_kinds[index] {
+                "sink" => {
+                    if let Some(stream) = controller.transfer_stream(lane) {
+                        report.sink_streams.insert(node, stream.to_vec());
+                    }
+                }
+                "source" => {
+                    report.source_kills.insert(node, stats.killed_tokens);
+                }
+                "shared" => {
+                    let (transfers_per_user, kills_per_user) =
+                        controller.per_user_stats(lane).unwrap_or_default();
+                    report.shared_stats.insert(
+                        node,
+                        SharedModuleStats {
+                            mispredictions: stats.mispredictions,
+                            transfers_per_user,
+                            kills_per_user,
+                        },
+                    );
+                }
+                "commit" => {
+                    if let Some(lane_stats) = controller.commit_stats(lane) {
+                        report.commit_stats.insert(node, lane_stats);
+                    }
+                }
+                _ => {}
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_mask_covers_the_edge_widths() {
+        assert_eq!(width_mask(0), 0);
+        assert_eq!(width_mask(1), 1);
+        assert_eq!(width_mask(8), 0xFF);
+        assert_eq!(width_mask(63), u64::MAX >> 1);
+        assert_eq!(width_mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn spread_lane0_broadcasts_bit_zero() {
+        assert_eq!(spread_lane0(0), 0);
+        assert_eq!(spread_lane0(1), u64::MAX);
+        assert_eq!(spread_lane0(0b10), 0);
+        assert_eq!(spread_lane0(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn for_each_lane_visits_set_bits_in_order() {
+        let mut seen = Vec::new();
+        for_each_lane(0b1010_0001, |lane| seen.push(lane));
+        assert_eq!(seen, vec![0, 5, 7]);
+        for_each_lane(0, |_| panic!("no bits set"));
+    }
+}

@@ -64,6 +64,7 @@ pub mod controller;
 pub mod controllers;
 pub mod engine;
 pub mod faults;
+pub mod lanes;
 pub mod metrics;
 pub mod monitor;
 pub mod scenarios;
@@ -73,6 +74,7 @@ pub mod trace;
 
 pub use engine::{OscillationWitness, SettleStrategy, SimConfig, SimError, Simulation};
 pub use faults::{ByzantineScheduler, FaultKind, FaultPlan, FaultSpec, FaultStats};
+pub use lanes::{LaneConfig, LaneSimulation, LANES};
 pub use metrics::{SharedModuleStats, SimulationReport};
 pub use monitor::{CycleMonitor, MonitorViolation};
 pub use signal::{ChannelPhase, ChannelState, TraceSymbol};

@@ -113,6 +113,12 @@ pub struct SimulationReport {
     /// [`crate::Simulation::run_with_deadline`]; the report then covers only
     /// the cycles that completed.
     pub deadline_exceeded: bool,
+    /// Per-channel lane-divergence map from the 64-lane engine
+    /// ([`crate::LaneSimulation::report`]), in dense channel order: bit `ℓ`
+    /// of word `c` is set when lane `ℓ` ever differed from lane 0 on
+    /// channel `c` (any control rail or the data column). Empty for the
+    /// scalar engines and when divergence tracking is off.
+    pub lane_divergence: Vec<u64>,
 }
 
 impl SimulationReport {

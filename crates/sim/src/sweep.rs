@@ -259,6 +259,51 @@ where
     })
 }
 
+/// Fans `items` across the worker pool in blocks of up to
+/// [`crate::LANES`] scenarios, for workloads that advance one block per
+/// 64-lane simulation instance ([`crate::LaneSimulation`]).
+///
+/// `items` is chunked in input order; each worker thread keeps one scratch
+/// state `S` (by convention a [`crate::LaneSimulation`], built once per
+/// worker and reset per block) and `run` maps one whole block — it receives
+/// the input index of the block's first item plus the block's items, and
+/// must return exactly one result per item. Results come back flattened in
+/// input order, so a lane sweep is observationally identical to the
+/// per-item sweep it replaces: same results, same order.
+///
+/// This is the word-parallel counterpart of [`parallel_map_with`]: the
+/// thread pool provides the coarse parallelism, the 64 lanes inside each
+/// scratch simulation provide the fine-grained scenario parallelism —
+/// `threads × 64` concurrent scenarios.
+///
+/// # Panics
+///
+/// When `run` returns a block of the wrong length, and (after the sweep
+/// completes) when `run` panicked — the same deferred re-raise as
+/// [`parallel_map_with`].
+pub fn lane_map<T, S, R, I, F>(items: &[T], init: I, run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &[T]) -> Vec<R> + Sync,
+{
+    let blocks: Vec<&[T]> = items.chunks(crate::LANES).collect();
+    let nested = parallel_map_with(&blocks, init, |scratch, block_index, block| {
+        let results = run(scratch, block_index * crate::LANES, block);
+        assert_eq!(
+            results.len(),
+            block.len(),
+            "lane_map block starting at item {} returned {} results for {} items",
+            block_index * crate::LANES,
+            results.len(),
+            block.len()
+        );
+        results
+    });
+    nested.into_iter().flatten().collect()
+}
+
 /// The work-stealing scaffold under every sweep variant: hands out indices
 /// via an atomic cursor, keeps one lazily-initialised scratch slot per
 /// worker, and collects results in input order. `run_one` must not unwind
@@ -476,6 +521,36 @@ mod tests {
             }
             other => panic!("expected a panic failure, got {other}"),
         }
+    }
+
+    #[test]
+    fn lane_map_flattens_blocks_in_input_order() {
+        // 150 items → blocks of 64 / 64 / 22; every result must land in its
+        // item's input-order slot, and each block must see its own start
+        // index and contiguous items.
+        let items: Vec<u64> = (0..150).collect();
+        let results = lane_map(
+            &items,
+            || 0u64,
+            |calls, start, block| {
+                *calls += 1;
+                assert!(block.len() <= crate::LANES);
+                assert_eq!(block[0], start as u64, "block items start at the block index");
+                block.iter().map(|&item| item * 3).collect()
+            },
+        );
+        assert_eq!(results, (0..150).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(lane_map(&Vec::<u64>::new(), || (), |(), _, b| vec![0u64; b.len()]).is_empty());
+    }
+
+    #[test]
+    fn lane_map_rejects_blocks_of_the_wrong_length() {
+        let items: Vec<u64> = (0..10).collect();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            lane_map(&items, || (), |(), _, _| vec![0u64; 3])
+        }));
+        let message = *outcome.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("lane_map block"), "{message}");
     }
 
     #[test]

@@ -4,9 +4,11 @@
 //! controller evaluations.
 
 use elastic_core::library;
-use elastic_core::Netlist;
+use elastic_core::{Netlist, NodeId};
 use elastic_sim::scenarios::{build_fig1, Fig1Scenario, Fig1Variant};
-use elastic_sim::{SettleStrategy, SimConfig, Simulation, SimulationReport};
+use elastic_sim::{
+    LaneConfig, LaneSimulation, SettleStrategy, SimConfig, Simulation, SimulationReport, LANES,
+};
 
 fn run_with(
     netlist: &Netlist,
@@ -48,6 +50,56 @@ fn assert_engines_equivalent(name: &str, netlist: &Netlist, cycles: u64) {
         event_report.controller_evals,
         sweep_report.controller_evals
     );
+}
+
+/// The lane-0 contract, broadcast form: a 64-lane simulation whose lanes
+/// all see the default environment must reproduce the scalar EventDriven
+/// engine bit-identically **in every lane** — trace and report — and its
+/// divergence map must stay empty.
+fn assert_lane_broadcast_identity(name: &str, netlist: &Netlist, cycles: u64) {
+    let (scalar_sim, scalar_report) = run_with(netlist, SettleStrategy::EventDriven, cycles);
+    let lane_config = LaneConfig { track_divergence: true, ..LaneConfig::default() };
+    let mut lane_sim = LaneSimulation::new(netlist, &lane_config).expect("paper netlists simulate");
+    lane_sim.run(cycles).expect("paper netlists settle");
+
+    assert_eq!(
+        lane_sim.divergent_lanes(),
+        0,
+        "{name}: broadcast lanes must never diverge from lane 0"
+    );
+    for lane in 0..LANES {
+        assert_eq!(
+            lane_sim.trace(lane),
+            scalar_sim.trace(),
+            "{name}: lane {lane} trace must be bit-identical to the scalar engine"
+        );
+        let lane_report = lane_sim.report(lane);
+        assert_eq!(lane_report.cycles, scalar_report.cycles, "{name}: lane {lane} cycles");
+        assert_eq!(
+            lane_report.sink_streams, scalar_report.sink_streams,
+            "{name}: lane {lane} sink streams"
+        );
+        assert_eq!(
+            lane_report.source_kills, scalar_report.source_kills,
+            "{name}: lane {lane} source kills"
+        );
+        assert_eq!(
+            lane_report.node_stats, scalar_report.node_stats,
+            "{name}: lane {lane} node stats"
+        );
+        assert_eq!(
+            lane_report.shared_stats, scalar_report.shared_stats,
+            "{name}: lane {lane} shared stats"
+        );
+        assert_eq!(
+            lane_report.commit_stats, scalar_report.commit_stats,
+            "{name}: lane {lane} commit stats"
+        );
+    }
+}
+
+fn sink_ids(netlist: &Netlist) -> Vec<NodeId> {
+    netlist.live_nodes().filter(|n| n.kind.kind_name() == "sink").map(|n| n.id).collect()
 }
 
 #[test]
@@ -112,17 +164,12 @@ fn a_deep_zero_backward_chain_is_engine_equivalent() {
     assert_engines_equivalent("zb-chain64", &n, 300);
 }
 
-#[test]
-fn a_lazy_fork_behind_a_join_settles_under_both_engines() {
-    // Regression (found by the elastic-gen differential fuzzer): the lazy
-    // fork's eval used to write its branch valids twice per call — once
-    // optimistically, once gated by all-branches-ready. The full-sweep
-    // engine's convergence test counts every write, so a lazy fork whose
-    // consumer stops it oscillated forever and was misreported as a
-    // combinational loop, while the worklist engine (which terminates on
-    // worklist drain) settled fine.
+/// The lazy-fork-behind-a-join regression netlist (found by the
+/// elastic-gen differential fuzzer — see the test below), also reused by
+/// the lane-broadcast oracle because it exercises the optimistic two-pass.
+fn lazy_fork_regression_netlist() -> Netlist {
     use elastic_core::kind::{ForkSpec, FunctionSpec, SinkSpec, SourceSpec};
-    use elastic_core::{Netlist, Op, Port};
+    use elastic_core::{Op, Port};
 
     let mut n = Netlist::new("lazy_fork_regression");
     let src = n.add_source("src", SourceSpec::always());
@@ -136,8 +183,19 @@ fn a_lazy_fork_behind_a_join_settles_under_both_engines() {
     n.connect(Port::output(f, 0), Port::input(s0, 0), 8).unwrap();
     n.connect(Port::output(fork, 1), Port::input(s1, 0), 8).unwrap();
     n.connect(Port::output(fork, 2), Port::input(s2, 0), 8).unwrap();
+    n
+}
 
-    assert_engines_equivalent("lazy-fork-join", &n, 100);
+#[test]
+fn a_lazy_fork_behind_a_join_settles_under_both_engines() {
+    // Regression (found by the elastic-gen differential fuzzer): the lazy
+    // fork's eval used to write its branch valids twice per call — once
+    // optimistically, once gated by all-branches-ready. The full-sweep
+    // engine's convergence test counts every write, so a lazy fork whose
+    // consumer stops it oscillated forever and was misreported as a
+    // combinational loop, while the worklist engine (which terminates on
+    // worklist drain) settled fine.
+    assert_engines_equivalent("lazy-fork-join", &lazy_fork_regression_netlist(), 100);
 }
 
 #[test]
@@ -153,4 +211,195 @@ fn the_variable_latency_designs_are_engine_equivalent() {
     assert_engines_equivalent("fig6a", &stalling.netlist, 150);
     let speculative = library::variable_latency_speculative(&config);
     assert_engines_equivalent("fig6b", &speculative.netlist, 150);
+}
+
+// ---------------------------------------------------------------------------
+// 64-lane engine: the lane-0 / broadcast bit-identity contract
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_fig1_variants_are_lane_broadcast_identical() {
+    for variant in Fig1Variant::all() {
+        let scenario = Fig1Scenario { variant, cycles: 400, ..Fig1Scenario::default() };
+        let handles = build_fig1(&scenario);
+        assert_lane_broadcast_identity(variant.label(), &handles.netlist, scenario.cycles);
+    }
+}
+
+#[test]
+fn fig1d_speculation_is_lane_broadcast_identical_across_select_biases() {
+    for (taken_rate, seed) in [(0.05, 3u64), (0.5, 9), (0.95, 17)] {
+        let scenario = Fig1Scenario {
+            variant: Fig1Variant::Speculation,
+            taken_rate,
+            cycles: 300,
+            seed,
+            ..Fig1Scenario::default()
+        };
+        let handles = build_fig1(&scenario);
+        assert_lane_broadcast_identity(
+            &format!("fig1d taken_rate={taken_rate}"),
+            &handles.netlist,
+            scenario.cycles,
+        );
+    }
+}
+
+#[test]
+fn the_remaining_paper_designs_are_lane_broadcast_identical() {
+    let handles = library::table1();
+    assert_lane_broadcast_identity("table1", &handles.netlist, 64);
+
+    let config = library::ResilientConfig {
+        data_width: 32,
+        operands: (1..200).collect(),
+        error_masks: vec![0, 0x10, 0, 0, 0x10, 0],
+    };
+    let handles = library::resilient_speculative(&config);
+    assert_lane_broadcast_identity("fig7b", &handles.netlist, 200);
+
+    let config = library::VarLatencyConfig {
+        width: 8,
+        spec_bits: 4,
+        operands_a: (0..160).map(|i| i * 7 % 251).collect(),
+        operands_b: (0..160).map(|i| i * 13 % 241).collect(),
+        ..library::VarLatencyConfig::default()
+    };
+    let stalling = library::variable_latency_stalling(&config);
+    assert_lane_broadcast_identity("fig6a", &stalling.netlist, 150);
+    let speculative = library::variable_latency_speculative(&config);
+    assert_lane_broadcast_identity("fig6b", &speculative.netlist, 150);
+}
+
+#[test]
+fn structural_stress_designs_are_lane_broadcast_identical() {
+    use elastic_core::kind::{BackpressurePattern, BufferSpec};
+
+    let n = library::deep_pipeline(
+        64,
+        BufferSpec::zero_backward(0),
+        BackpressurePattern::List(vec![true, false, false, true]),
+    );
+    assert_lane_broadcast_identity("zb-chain64", &n, 300);
+
+    assert_lane_broadcast_identity("lazy-fork-join", &lazy_fork_regression_netlist(), 100);
+}
+
+/// Deterministic per-lane sink pattern: six stop/go bits derived from the
+/// lane index (lane 0 keeps the default always-ready environment so the
+/// divergence map's reference lane is the unperturbed run).
+fn lane_pattern(lane: usize) -> elastic_core::kind::BackpressurePattern {
+    let bits = (lane as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58;
+    elastic_core::kind::BackpressurePattern::List(
+        (0..6).map(|i| lane != 0 && bits & (1 << i) != 0).collect(),
+    )
+}
+
+#[test]
+fn per_lane_sink_environments_match_per_lane_scalar_runs() {
+    // The production posture: 64 *different* environments in one
+    // simulation instance. Every lane must still be bit-identical to a
+    // scalar run given that lane's environment — the strong form of the
+    // lane-0 contract — and the divergence map must light up.
+    let cycles = 200;
+    let scenario = Fig1Scenario { cycles, ..Fig1Scenario::default() };
+    let handles = build_fig1(&scenario);
+    let sinks = sink_ids(&handles.netlist);
+    assert!(!sinks.is_empty(), "fig1 designs have sinks");
+    let patterns: Vec<_> = (0..LANES).map(lane_pattern).collect();
+
+    let lane_config = LaneConfig { track_divergence: true, ..LaneConfig::default() };
+    let mut lane_sim = LaneSimulation::new(&handles.netlist, &lane_config).unwrap();
+    let overrides: Vec<_> = sinks.iter().map(|&sink| (sink, patterns.clone())).collect();
+    lane_sim.reset_with_lane_sink_patterns(&overrides);
+    lane_sim.run(cycles).unwrap();
+
+    let mut scalar = Simulation::new(&handles.netlist, &SimConfig::default()).unwrap();
+    for lane in 0..LANES {
+        let scalar_overrides: Vec<_> =
+            sinks.iter().map(|&sink| (sink, lane_pattern(lane))).collect();
+        scalar.reset_with_sink_patterns(&scalar_overrides);
+        let scalar_report = scalar.run(cycles).unwrap();
+        assert_eq!(
+            lane_sim.trace(lane),
+            scalar.trace(),
+            "lane {lane} trace must match its scalar environment run"
+        );
+        let lane_report = lane_sim.report(lane);
+        assert_eq!(lane_report.sink_streams, scalar_report.sink_streams, "lane {lane} streams");
+        assert_eq!(lane_report.node_stats, scalar_report.node_stats, "lane {lane} node stats");
+    }
+    assert_ne!(
+        lane_sim.divergent_lanes(),
+        0,
+        "distinct environments must show up in the divergence map"
+    );
+    assert_eq!(
+        lane_sim.divergent_lanes() & 1,
+        0,
+        "lane 0 is the divergence reference and never marks itself"
+    );
+    assert_eq!(lane_sim.report(0).lane_divergence, lane_sim.divergence_map().to_vec());
+}
+
+#[test]
+fn a_wedged_lane_block_deadlines_without_poisoning_sibling_workers() {
+    use elastic_sim::sweep::{parallel_map_with_deadline, ScenarioFailure};
+    use std::time::{Duration, Instant};
+
+    // Four lane blocks of 64 sink environments each, swept with a per-case
+    // wall-clock budget. Block 1 wedges (cooperatively spins past its
+    // deadline, the way a pathological lane batch would); the sibling
+    // blocks must come back intact and bit-equal to an undisturbed sweep.
+    let cycles = 60;
+    let scenario = Fig1Scenario { cycles, ..Fig1Scenario::default() };
+    let handles = build_fig1(&scenario);
+    let sinks = sink_ids(&handles.netlist);
+    let blocks: Vec<usize> = (0..4).collect();
+
+    let sweep_block = |sim: &mut LaneSimulation, block: usize| -> Vec<u64> {
+        let patterns: Vec<_> =
+            (0..LANES).map(|lane| lane_pattern((block * LANES + lane) % 61)).collect();
+        let overrides: Vec<_> = sinks.iter().map(|&sink| (sink, patterns.clone())).collect();
+        sim.reset_with_lane_sink_patterns(&overrides);
+        sim.run(cycles).unwrap();
+        (0..LANES).map(|lane| sim.report(lane).sink_transfers(sinks[0])).collect()
+    };
+
+    let lane_config = LaneConfig { record_trace: false, ..LaneConfig::default() };
+    let expected: Vec<Vec<u64>> = {
+        let mut sim = LaneSimulation::new(&handles.netlist, &lane_config).unwrap();
+        blocks.iter().map(|&block| sweep_block(&mut sim, block)).collect()
+    };
+
+    let budget = Duration::from_millis(150);
+    let results = parallel_map_with_deadline(
+        &blocks,
+        || LaneSimulation::new(&handles.netlist, &lane_config).unwrap(),
+        budget,
+        |sim, _, &block, deadline| {
+            if block == 1 {
+                while Instant::now() < deadline + Duration::from_millis(5) {
+                    std::thread::yield_now();
+                }
+            }
+            sweep_block(sim, block)
+        },
+    );
+
+    assert_eq!(results.len(), 4);
+    for (block, result) in results.iter().enumerate() {
+        if block == 1 {
+            match result.as_ref().unwrap_err() {
+                ScenarioFailure::DeadlineExceeded { index, .. } => assert_eq!(*index, 1),
+                other => panic!("expected a deadline failure, got {other}"),
+            }
+        } else {
+            assert_eq!(
+                result.as_ref().unwrap(),
+                &expected[block],
+                "sibling block {block} must be unaffected by the wedged block"
+            );
+        }
+    }
 }

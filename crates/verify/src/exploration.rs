@@ -6,7 +6,8 @@
 //!
 //! * **bounded exhaustive exploration** — for a small depth `d`, every
 //!   combination of per-cycle sink back-pressure patterns is enumerated
-//!   (2^(d·sinks) runs) and the SELF protocol plus deadlock-freedom are
+//!   (2^(d·sinks) combinations, simulated 64 at a time by the bit-parallel
+//!   lane engine) and the SELF protocol plus deadlock-freedom are
 //!   checked on each run. For the small controller compositions the paper
 //!   verifies, this covers the same environment nondeterminism the model
 //!   checker explores, up to the bound;
@@ -18,8 +19,8 @@
 use elastic_core::kind::BackpressurePattern;
 use elastic_core::{Netlist, NodeKind, Scheduler};
 use elastic_predict::RandomScheduler;
-use elastic_sim::sweep::parallel_map_with;
-use elastic_sim::{SimConfig, SimError, Simulation};
+use elastic_sim::sweep::{lane_map, parallel_map_with};
+use elastic_sim::{LaneConfig, LaneSimulation, SimConfig, SimError, Simulation, LANES};
 
 use crate::liveness::{check_leads_to_on_trace, LivenessOptions};
 use crate::properties::{check_trace, ProtocolOptions};
@@ -33,8 +34,10 @@ pub struct ExplorationOptions {
     /// Number of cycles to simulate per enumerated pattern (the pattern
     /// repeats cyclically).
     pub cycles_per_run: u64,
-    /// Cap on the number of enumerated environment combinations (safety
-    /// valve for netlists with many sinks).
+    /// Cap on the number of simulation runs. Each run is one 64-lane block
+    /// covering [`LANES`] environment combinations, so up to
+    /// `max_runs × 64` combinations are enumerated (safety valve for
+    /// netlists with many sinks).
     pub max_runs: usize,
     /// Number of randomized adversarial-scheduler runs.
     pub random_scheduler_runs: usize,
@@ -54,6 +57,26 @@ impl Default for ExplorationOptions {
     }
 }
 
+/// Largest pattern space the enumeration will attempt exhaustively:
+/// `2^26` combinations, i.e. `2^20` lane blocks of [`LANES`] environments
+/// each. One named constant feeds **both** the cap applied to the
+/// combination count and the truncation note below — they used to be two
+/// separate `20` literals, and the note's exhaustiveness reasoning silently
+/// compared against the already-capped count.
+pub const MAX_EXHAUSTIVE_PATTERN_BITS: usize = 26;
+
+/// Coverage of an enumeration of `pattern_bits` environment bits under
+/// `max_runs` lane blocks: `(explored, combinations)`. The combination
+/// space is capped at [`MAX_EXHAUSTIVE_PATTERN_BITS`]; each run covers
+/// [`LANES`] combinations, which is what makes `pattern_bits ≤ 26`
+/// reachable exhaustively (the scalar enumeration topped out at `2^20`
+/// *and* spent one full simulation run per combination).
+fn enumeration_coverage(pattern_bits: usize, max_runs: usize) -> (usize, usize) {
+    let combinations = 1usize << pattern_bits.min(MAX_EXHAUSTIVE_PATTERN_BITS);
+    let explored = combinations.min(max_runs.saturating_mul(LANES));
+    (explored, combinations)
+}
+
 fn sinks_of(netlist: &Netlist) -> Vec<elastic_core::NodeId> {
     netlist.live_nodes().filter(|n| matches!(n.kind, NodeKind::Sink(_))).map(|n| n.id).collect()
 }
@@ -71,83 +94,112 @@ fn shared_modules_of(netlist: &Netlist) -> Vec<(elastic_core::NodeId, usize)> {
 /// Exhaustively enumerates sink back-pressure patterns up to the configured
 /// depth and checks protocol compliance and progress on every run.
 ///
-/// The enumerated combinations are independent, so they are fanned across OS
-/// threads — **one simulation build per worker thread**: each worker
-/// constructs the simulation once (the only `netlist` validation, controller
-/// construction and rank computation it ever pays) and replays every
-/// combination assigned to it via
-/// [`Simulation::reset_with_sink_patterns`]. Results are collected in
-/// combination order, making the merged verdict (and the first
-/// counterexample reported for a failing design) identical to the sequential
-/// rebuild-per-run enumeration this replaces.
+/// The enumerated combinations are independent, so they are packed into
+/// [`LANES`]-wide blocks and fanned across OS threads via
+/// [`lane_map`] — **one [`LaneSimulation`] build per worker thread**: each
+/// worker constructs the lane simulation once (the only `netlist`
+/// validation, controller construction and rank computation it ever pays)
+/// and replays every block assigned to it via
+/// [`LaneSimulation::reset_with_lane_sink_patterns`], simulating 64
+/// environment combinations per run. Results are collected in combination
+/// order, making the merged verdict (and the first counterexample reported
+/// for a failing design) identical to the sequential rebuild-per-run
+/// enumeration this replaces.
 ///
-/// When the enumeration is truncated — more than 2^20 theoretical
-/// combinations, or more combinations than [`ExplorationOptions::max_runs`]
-/// — the verdict carries an explicit coverage [`note`](Verdict::note), so a
+/// When the enumeration is truncated — more than
+/// 2^[`MAX_EXHAUSTIVE_PATTERN_BITS`] theoretical combinations, or more
+/// combinations than [`ExplorationOptions::max_runs`] lane blocks cover —
+/// the verdict carries an explicit coverage [`note`](Verdict::note), so a
 /// "passed" result cannot masquerade as exhaustive
 /// (see [`Verdict::is_exhaustive`]).
 ///
 /// # Errors
 ///
 /// Propagates simulation failures (which themselves count as verification
-/// failures of the design under test). When several combinations fail to
-/// simulate, the error of the lowest-numbered combination is returned, as a
-/// sequential enumeration would.
+/// failures of the design under test). A run failure wedges its whole lane
+/// block; the error of the lowest-numbered failing block is returned,
+/// attributed to that block's first combination.
 pub fn explore_environments(
     netlist: &Netlist,
     options: &ExplorationOptions,
 ) -> Result<Verdict, SimError> {
     let sinks = sinks_of(netlist);
     let pattern_bits = options.pattern_depth * sinks.len();
-    let combinations = 1usize << pattern_bits.min(20);
-    let explored = combinations.min(options.max_runs);
+    let (explored, combinations) = enumeration_coverage(pattern_bits, options.max_runs);
     let runs: Vec<usize> = (0..explored).collect();
 
-    let config = SimConfig::default();
+    let config = LaneConfig { track_divergence: false, ..LaneConfig::default() };
     let protocol = ProtocolOptions { check_liveness: false, ..ProtocolOptions::default() };
-    let failures = parallel_map_with(
+    let failures = lane_map(
         &runs,
-        || Simulation::new(netlist, &config),
-        |worker_sim, _, &combination| -> Result<Option<String>, SimError> {
+        || LaneSimulation::new(netlist, &config),
+        |worker_sim, _, block| -> Vec<Result<Option<String>, SimError>> {
+            // A block-level failure lands in the block's first result slot
+            // (the merge loop below short-circuits on the first `Err` in
+            // combination order, so the padding `Ok(None)` slots are never
+            // reported).
+            let block_failed = |error: SimError| {
+                let mut results: Vec<Result<Option<String>, SimError>> =
+                    Vec::with_capacity(block.len());
+                results.push(Err(error));
+                results.resize_with(block.len(), || Ok(None));
+                results
+            };
             let sim = match worker_sim {
                 Ok(sim) => sim,
                 // Construction failures depend only on the netlist, never on
                 // the combination: rebuilding reproduces the same error for
-                // this combination's report (cold path, never hit by valid
+                // this block's report (cold path, never hit by valid
                 // designs).
                 Err(_) => {
-                    return Err(Simulation::new(netlist, &config)
-                        .expect_err("simulation build failures are deterministic"))
+                    return block_failed(
+                        LaneSimulation::new(netlist, &config)
+                            .expect_err("simulation build failures are deterministic"),
+                    )
                 }
             };
-            let overrides: Vec<(elastic_core::NodeId, BackpressurePattern)> = sinks
+            let overrides: Vec<(elastic_core::NodeId, Vec<BackpressurePattern>)> = sinks
                 .iter()
                 .enumerate()
                 .map(|(sink_index, &sink)| {
-                    let mut pattern = Vec::with_capacity(options.pattern_depth);
-                    for cycle in 0..options.pattern_depth {
-                        let bit = sink_index * options.pattern_depth + cycle;
-                        pattern.push((combination >> bit) & 1 == 1);
-                    }
-                    (sink, BackpressurePattern::List(pattern))
+                    let patterns = block
+                        .iter()
+                        .map(|&combination| {
+                            let mut pattern = Vec::with_capacity(options.pattern_depth);
+                            for cycle in 0..options.pattern_depth {
+                                let bit = sink_index * options.pattern_depth + cycle;
+                                pattern.push((combination >> bit) & 1 == 1);
+                            }
+                            BackpressurePattern::List(pattern)
+                        })
+                        .collect();
+                    (sink, patterns)
                 })
                 .collect();
-            sim.reset_with_sink_patterns(&overrides);
-            sim.run(options.cycles_per_run)?;
-            let run_verdict = check_trace(netlist, sim.trace(), &protocol);
-            if run_verdict.passed() {
-                Ok(None)
-            } else {
-                Ok(Some(format!("environment combination {combination}: {run_verdict}")))
+            sim.reset_with_lane_sink_patterns(&overrides);
+            if let Err(error) = sim.run(options.cycles_per_run) {
+                return block_failed(error);
             }
+            block
+                .iter()
+                .enumerate()
+                .map(|(lane, &combination)| {
+                    let run_verdict = check_trace(netlist, sim.trace(lane), &protocol);
+                    if run_verdict.passed() {
+                        Ok(None)
+                    } else {
+                        Ok(Some(format!("environment combination {combination}: {run_verdict}")))
+                    }
+                })
+                .collect()
         },
     );
 
     let mut verdict = Verdict::default();
-    if pattern_bits > 20 || explored < combinations {
+    if pattern_bits > MAX_EXHAUSTIVE_PATTERN_BITS || explored < combinations {
         verdict.note(format!(
             "coverage truncated: explored {explored} of 2^{pattern_bits} environment \
-             combinations (pattern_depth {} over {} sink(s), max_runs {})",
+             combinations (pattern_depth {} over {} sink(s), max_runs {} × {LANES} lanes)",
             options.pattern_depth,
             sinks.len(),
             options.max_runs
@@ -272,10 +324,11 @@ mod tests {
     #[test]
     fn truncated_enumerations_carry_an_explicit_coverage_note() {
         let handles = table1();
-        // max_runs below the combination count: the verdict may pass but must
-        // say it is not exhaustive.
+        // max_runs × 64 lanes below the combination count (4 blocks cover
+        // 256 of the 2^10 combinations): the verdict may pass but must say
+        // it is not exhaustive.
         let truncated = ExplorationOptions {
-            pattern_depth: 4,
+            pattern_depth: 10,
             cycles_per_run: 16,
             max_runs: 4,
             random_scheduler_runs: 0,
@@ -302,8 +355,9 @@ mod tests {
 
     #[test]
     fn oversized_pattern_spaces_are_capped_and_noted() {
-        // pattern_bits > 20 caps the enumeration at 2^20 and must be noted
-        // even when max_runs would allow more.
+        // The pre-lane cap boundary: 21 pattern bits is within today's
+        // exhaustive range (≤ 2^26) but max_runs only buys 2 × 64 lanes, so
+        // the note must still name the full 2^21 space.
         let handles = table1();
         let options = ExplorationOptions {
             pattern_depth: 21, // one sink → 21 pattern bits
@@ -315,6 +369,54 @@ mod tests {
         let verdict = explore_environments(&handles.netlist, &options).unwrap();
         assert!(!verdict.is_exhaustive());
         assert!(verdict.notes[0].contains("2^21"), "{verdict}");
+
+        // Beyond the cap: 27 pattern bits exceeds MAX_EXHAUSTIVE_PATTERN_BITS,
+        // so the note fires even though only one lane block actually runs.
+        let options = ExplorationOptions {
+            pattern_depth: 27, // one sink → 27 pattern bits, capped at 2^26
+            cycles_per_run: 4,
+            max_runs: 1,
+            random_scheduler_runs: 0,
+            seed: 1,
+        };
+        let verdict = explore_environments(&handles.netlist, &options).unwrap();
+        assert!(!verdict.is_exhaustive());
+        assert!(verdict.notes[0].contains("2^27"), "{verdict}");
+        assert!(verdict.notes[0].contains("explored 64 of"), "{verdict}");
+    }
+
+    #[test]
+    fn lane_blocks_raise_the_exhaustive_coverage_boundary() {
+        // Pure coverage arithmetic at the old and new boundaries.
+        // Old scalar cap: 2^20 combinations max, one per run. With lanes the
+        // same 2^20 space is exhausted by 2^14 runs...
+        assert_eq!(enumeration_coverage(20, 1 << 14), (1 << 20, 1 << 20));
+        // ...and the old hard boundary 2^21 is now exhaustible too.
+        assert_eq!(enumeration_coverage(21, 1 << 15), (1 << 21, 1 << 21));
+        // New cap boundary: 26 bits exhaustive with 2^20 runs, 27 bits capped.
+        assert_eq!(enumeration_coverage(26, 1 << 20), (1 << 26, 1 << 26));
+        assert_eq!(enumeration_coverage(27, usize::MAX), (1 << 26, 1 << 26));
+        // max_runs still truncates, in lane-block units.
+        assert_eq!(enumeration_coverage(20, 16), (16 * LANES, 1 << 20));
+        // Degenerate sink-less designs enumerate the single empty pattern.
+        assert_eq!(enumeration_coverage(0, 1), (1, 1));
+    }
+
+    #[test]
+    fn lane_enumeration_is_exhaustive_beyond_the_scalar_run_budget() {
+        // 8 pattern bits → 256 combinations, covered exhaustively by just 4
+        // lane blocks; the scalar enumeration would have needed 256 runs.
+        let handles = table1();
+        let options = ExplorationOptions {
+            pattern_depth: 8,
+            cycles_per_run: 24,
+            max_runs: 4,
+            random_scheduler_runs: 0,
+            seed: 1,
+        };
+        let verdict = explore_environments(&handles.netlist, &options).unwrap();
+        assert!(verdict.passed(), "{verdict}");
+        assert!(verdict.is_exhaustive(), "{verdict}");
     }
 
     #[test]

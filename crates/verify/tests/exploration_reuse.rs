@@ -1,54 +1,57 @@
-//! Zero-rebuild sweep guarantee: `explore_environments` builds **one
-//! simulation per worker thread** and replays every enumerated environment
-//! through `Simulation::reset_with_sink_patterns`, instead of cloning the
-//! netlist and rebuilding the simulation per combination.
+//! Zero-rebuild sweep guarantee: `explore_environments` builds **one lane
+//! simulation per worker thread** and replays every enumerated 64-wide
+//! environment block through
+//! `LaneSimulation::reset_with_lane_sink_patterns`, instead of cloning the
+//! netlist and rebuilding the simulation per combination (or per block).
 //!
-//! This must be the only test in this file: `Simulation::constructions()` is
-//! a process-global counter, and any concurrently running test that builds a
-//! simulation would skew the delta.
+//! This must be the only test in this file: `LaneSimulation::constructions()`
+//! is a process-global counter, and any concurrently running test that
+//! builds a lane simulation would skew the delta.
 
 use elastic_core::library::table1;
 use elastic_sim::sweep::sweep_threads;
-use elastic_sim::Simulation;
+use elastic_sim::{LaneSimulation, LANES};
 use elastic_verify::exploration::{explore_environments, ExplorationOptions};
 
 #[test]
 fn explore_environments_builds_exactly_one_simulation_per_worker_thread() {
     let handles = table1();
     let options = ExplorationOptions {
-        pattern_depth: 5, // one sink → 32 combinations
+        pattern_depth: 9, // one sink → 512 combinations → 8 lane blocks
         cycles_per_run: 24,
-        max_runs: 32,
+        max_runs: 8,
         random_scheduler_runs: 0,
         seed: 3,
     };
-    let runs = 32u64;
-    let workers = sweep_threads(runs as usize) as u64;
+    let combinations = 512u64;
+    let blocks = combinations.div_ceil(LANES as u64);
+    let workers = sweep_threads(blocks as usize) as u64;
 
-    let before = Simulation::constructions();
+    let before = LaneSimulation::constructions();
     let verdict = explore_environments(&handles.netlist, &options).unwrap();
-    let builds = Simulation::constructions() - before;
+    let builds = LaneSimulation::constructions() - before;
 
     assert!(verdict.passed(), "{verdict}");
+    assert!(verdict.is_exhaustive(), "8 lane blocks cover all 512 combinations: {verdict}");
     assert!(builds >= 1, "at least one worker must have built a simulation");
     assert!(
         builds <= workers,
         "{builds} simulation builds for {workers} worker threads — \
-         the sweep must build at most one per worker, not one per run"
+         the sweep must build at most one per worker, not one per block"
     );
-    if workers < runs {
-        // With fewer workers than runs, reuse is directly observable.
+    if workers < blocks {
+        // With fewer workers than blocks, reuse is directly observable.
         assert!(
-            builds < runs,
-            "{builds} builds for {runs} runs — the reset path is not being used"
+            builds < blocks,
+            "{builds} builds for {blocks} lane blocks — the reset path is not being used"
         );
     }
 
     // A second sweep behaves the same way: the per-worker builds are not a
     // warm-up artefact.
-    let before = Simulation::constructions();
+    let before = LaneSimulation::constructions();
     let second = explore_environments(&handles.netlist, &options).unwrap();
-    let builds_again = Simulation::constructions() - before;
+    let builds_again = LaneSimulation::constructions() - before;
     assert_eq!(second, verdict, "reset-based sweeps stay deterministic");
     assert!(builds_again <= workers);
 }

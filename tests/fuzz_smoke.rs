@@ -5,10 +5,13 @@
 //! oracle, transform equivalence, liveness, token conservation, scheduler
 //! and environment injection — split across the generation-space presets.
 //! The batch size defaults to 500 cases and scales with the
-//! `ELASTIC_FUZZ_CASES` environment variable for long runs:
+//! `ELASTIC_FUZZ_CASES` environment variable for long runs; setting
+//! `ELASTIC_FUZZ_LANES` to a non-zero value arms the 64-lane bit-parallel
+//! engine differential on every case (all broadcast lanes must match the
+//! scalar trace bit-for-bit):
 //!
 //! ```text
-//! ELASTIC_FUZZ_CASES=20000 cargo test --release --test fuzz_smoke
+//! ELASTIC_FUZZ_CASES=20000 ELASTIC_FUZZ_LANES=64 cargo test --release --test fuzz_smoke
 //! ```
 //!
 //! On failure the offending case is shrunk to a minimal reproducer and the
@@ -37,10 +40,20 @@ fn fuzz_cases() -> usize {
         .max(4)
 }
 
+/// `ELASTIC_FUZZ_LANES` set to a non-zero lane count arms the lane-engine
+/// differential leg (the value is a switch, not a width — the engine is
+/// always 64 lanes wide).
+fn fuzz_lanes() -> bool {
+    std::env::var("ELASTIC_FUZZ_LANES")
+        .ok()
+        .and_then(|value| value.parse::<usize>().ok())
+        .is_some_and(|lanes| lanes > 0)
+}
+
 #[test]
 fn fuzz_smoke_differential_suite() {
     let total = fuzz_cases();
-    let options = HarnessOptions::default();
+    let options = HarnessOptions { lane_differential: fuzz_lanes(), ..HarnessOptions::default() };
     // Split the budget across the generation-space presets; every preset
     // keeps a fixed seed base so a given ELASTIC_FUZZ_CASES value always
     // replays the same batch.
