@@ -1,0 +1,14 @@
+//! Regenerates `crates/bench/src/generated_settle.rs` from the emitter.
+//!
+//! Run after changing `elastic_sim::codegen` or the source designs:
+//!
+//! ```text
+//! cargo run -p elastic-bench --example regen_generated_settle
+//! ```
+
+fn main() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/generated_settle.rs");
+    let text = elastic_bench::codegen_support::module_text();
+    std::fs::write(&path, &text).expect("write generated module");
+    println!("wrote {} ({} bytes)", path.display(), text.len());
+}

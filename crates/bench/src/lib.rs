@@ -10,6 +10,9 @@
 
 use criterion::Criterion;
 
+pub mod codegen_support;
+pub mod generated_settle;
+
 /// A Criterion configuration tuned for these benches: the interesting output
 /// is the printed experiment table; the timing measurement itself only needs
 /// to be stable enough to catch large simulator regressions.

@@ -11,7 +11,10 @@
 //!    traces, identical sink streams, kills and node statistics; with
 //!    [`HarnessOptions::lane_differential`] set (the `ELASTIC_FUZZ_LANES`
 //!    smoke leg), the 64-lane bit-parallel engine joins the differential —
-//!    all broadcast lanes must match the scalar run bit-for-bit;
+//!    all broadcast lanes must match the scalar run bit-for-bit; with
+//!    [`HarnessOptions::compiled_differential`] set (the
+//!    `ELASTIC_FUZZ_COMPILED` smoke leg), the compiled settle backend
+//!    ([`SettleStrategy::Compiled`]) joins too;
 //! 3. **base-design properties** — deadlock freedom, the shared-module
 //!    leads-to property, token conservation and the per-channel SELF
 //!    protocol checks on the untransformed design;
@@ -92,6 +95,12 @@ pub struct HarnessOptions {
     /// (the scalar differential already runs twice per case); the fuzz
     /// smoke test switches it on via `ELASTIC_FUZZ_LANES`.
     pub lane_differential: bool,
+    /// Also run the compiled settle backend against the event-driven engine
+    /// on every case ([`compiled_agrees`]): the fused micro-op plan must
+    /// reproduce the worklist engine bit-for-bit. Off by default for the
+    /// same reason as the lane leg; the fuzz smoke test switches it on via
+    /// `ELASTIC_FUZZ_COMPILED`.
+    pub compiled_differential: bool,
     /// Also exercise `speculate` with `allow_acyclic` on feed-forward muxes.
     ///
     /// On by default since the feed-forward soundness work landed: the
@@ -126,6 +135,7 @@ impl Default for HarnessOptions {
             max_commit_depth: 4,
             case_deadline: Duration::from_secs(30),
             lane_differential: false,
+            compiled_differential: false,
             include_acyclic_speculation: true,
         }
     }
@@ -204,6 +214,30 @@ pub struct Reproducer {
 /// Returns a description of the first observed divergence (or simulation
 /// error).
 pub fn engines_agree(netlist: &Netlist, cycles: u64) -> Result<(), String> {
+    strategies_agree(netlist, cycles, SettleStrategy::FullSweep, "worklist", "full-sweep")
+}
+
+/// Runs the event-driven engine against the compiled settle backend
+/// ([`SettleStrategy::Compiled`]): the fused micro-op plan must reproduce
+/// the worklist engine's trace and report bit-for-bit — including on
+/// netlists with lazy forks, where the compiled strategy transparently
+/// falls back to the event-driven settle.
+///
+/// # Errors
+///
+/// Returns a description of the first observed divergence (or simulation
+/// error).
+pub fn compiled_agrees(netlist: &Netlist, cycles: u64) -> Result<(), String> {
+    strategies_agree(netlist, cycles, SettleStrategy::Compiled, "worklist", "compiled")
+}
+
+fn strategies_agree(
+    netlist: &Netlist,
+    cycles: u64,
+    candidate: SettleStrategy,
+    reference_name: &str,
+    candidate_name: &str,
+) -> Result<(), String> {
     let run = |strategy: SettleStrategy| {
         let config = SimConfig { settle: strategy, ..SimConfig::default() };
         let mut sim = Simulation::new(netlist, &config)
@@ -213,7 +247,7 @@ pub fn engines_agree(netlist: &Netlist, cycles: u64) -> Result<(), String> {
         Ok::<_, String>((sim, report))
     };
     let (event_sim, event_report) = run(SettleStrategy::EventDriven)?;
-    let (sweep_sim, sweep_report) = run(SettleStrategy::FullSweep)?;
+    let (sweep_sim, sweep_report) = run(candidate)?;
 
     if event_sim.trace() != sweep_sim.trace() {
         let divergence = (0..event_sim.trace().len())
@@ -224,23 +258,37 @@ pub fn engines_agree(netlist: &Netlist, cycles: u64) -> Result<(), String> {
             })
             .unwrap_or(0);
         return Err(format!(
-            "worklist and full-sweep traces diverge at cycle {divergence} of {cycles}"
+            "{reference_name} and {candidate_name} traces diverge at cycle {divergence} of \
+             {cycles}"
         ));
     }
     if event_report.sink_streams != sweep_report.sink_streams {
-        return Err("sink transfer streams differ between engines".into());
+        return Err(format!(
+            "sink transfer streams differ between the {reference_name} and {candidate_name} \
+             engines"
+        ));
     }
     if event_report.source_kills != sweep_report.source_kills {
-        return Err("source kill counts differ between engines".into());
+        return Err(format!(
+            "source kill counts differ between the {reference_name} and {candidate_name} engines"
+        ));
     }
     if event_report.node_stats != sweep_report.node_stats {
-        return Err("per-node statistics differ between engines".into());
+        return Err(format!(
+            "per-node statistics differ between the {reference_name} and {candidate_name} engines"
+        ));
     }
     if event_report.shared_stats != sweep_report.shared_stats {
-        return Err("shared-module statistics differ between engines".into());
+        return Err(format!(
+            "shared-module statistics differ between the {reference_name} and {candidate_name} \
+             engines"
+        ));
     }
     if event_report.commit_stats != sweep_report.commit_stats {
-        return Err("commit-stage lane statistics differ between engines".into());
+        return Err(format!(
+            "commit-stage lane statistics differ between the {reference_name} and \
+             {candidate_name} engines"
+        ));
     }
     Ok(())
 }
@@ -574,6 +622,12 @@ pub fn run_netlist(
         watchdog("lane-differential")?;
     }
 
+    if options.compiled_differential {
+        compiled_agrees(netlist, options.cycles)
+            .map_err(|details| fail("compiled-differential", None, details))?;
+        watchdog("compiled-differential")?;
+    }
+
     let mut report = CaseReport { seed, ..CaseReport::default() };
 
     // Base-design properties.
@@ -817,6 +871,20 @@ mod tests {
                 .unwrap_or_else(|details| panic!("seed {seed}: {details}"));
         }
         let options = HarnessOptions { lane_differential: true, ..HarnessOptions::default() };
+        run_case(1, &GenConfig::loops(), &options).unwrap_or_else(|failure| panic!("{failure}"));
+    }
+
+    #[test]
+    fn the_compiled_differential_holds_on_generated_netlists() {
+        // Direct compiled-vs-worklist checks on a spread of generated
+        // structures, plus a gauntlet run with the compiled differential
+        // armed — the same path the ELASTIC_FUZZ_COMPILED smoke leg takes.
+        for seed in 0..4 {
+            let generated = generate(seed, &GenConfig::default());
+            compiled_agrees(&generated.netlist, 100)
+                .unwrap_or_else(|details| panic!("seed {seed}: {details}"));
+        }
+        let options = HarnessOptions { compiled_differential: true, ..HarnessOptions::default() };
         run_case(1, &GenConfig::loops(), &options).unwrap_or_else(|failure| panic!("{failure}"));
     }
 

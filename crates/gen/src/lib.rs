@@ -55,8 +55,8 @@ pub use campaign::{
 };
 pub use generate::{generate, GenConfig, GenProfile, GeneratedNetlist};
 pub use harness::{
-    engines_agree, lanes_agree, run_case, run_netlist, shrink_failure, CaseFailure, CaseReport,
-    HarnessOptions, Reproducer,
+    compiled_agrees, engines_agree, lanes_agree, run_case, run_netlist, shrink_failure,
+    CaseFailure, CaseReport, HarnessOptions, Reproducer,
 };
 pub use mutate::{apply_mutation, Mutation};
 pub use rng::GenRng;

@@ -109,6 +109,21 @@ fn every_corpus_seed_is_lane_broadcast_identical() {
     }
 }
 
+#[test]
+fn every_corpus_seed_is_compiled_identical() {
+    // The compiled settle backend's bit-identity contract, replayed over the
+    // whole regression corpus: each historical finding's netlist must
+    // simulate identically under the fused micro-op plan (or its
+    // event-driven fallback for lazy-fork designs).
+    use elastic_gen::{compiled_agrees, generate};
+    for entry in load_corpus() {
+        let generated = generate(entry.seed, &entry.config);
+        compiled_agrees(&generated.netlist, 192).unwrap_or_else(|details| {
+            panic!("corpus entry {} broke compiled identity: {details}", entry.file)
+        });
+    }
+}
+
 // Named replays of the individual findings, so a regression points straight
 // at the original diagnosis instead of a corpus index.
 

@@ -1,0 +1,951 @@
+//! Rust source emission for compiled settle plans.
+//!
+//! [`emit_settle_fn`] lowers a netlist through the same planner as
+//! [`SettleStrategy::Compiled`] and
+//! then prints the scheduled micro-ops as the source text of one Rust
+//! function: channel clearing, sequential-state snapshots and every fused
+//! rail-group equation appear as plain statements over `channels[i]`, with
+//! datapath operations inlined as closed-form expressions (or hoisted
+//! constructions — SECDED codecs, lookup tables) mirroring
+//! [`elastic_datapath::evaluate`] bit for bit. Controllers the planner does
+//! not specialize keep their dynamic `Controller::eval` call, so the
+//! generated function is exactly the compiled interpreter with the `match`
+//! dispatch and operand indirection constant-folded away:
+//!
+//! * the plan's **straight-line prefix** becomes plain single-assignment
+//!   statements (each rail group is written exactly once, after all its
+//!   operand rails are final — no compare-and-set needed);
+//! * the **trailing segment** (ops on or downstream of combinational rail
+//!   cycles, e.g. the speculative select loops of Figures 1(d) and 7(b))
+//!   becomes a bounded relaxation loop: compare-and-set writes under a
+//!   `changed` flag, swept in deterministic order until a sweep changes
+//!   nothing, capped at the engine's settle budget.
+//!
+//! The emitted text is self-contained — every path is fully qualified
+//! against `elastic_sim` / `elastic_datapath` — so a downstream crate checks
+//! it in as a module and calls it through [`run_generated`], which drives
+//! the ordinary engine cycle (settle → fault injection → trace → commit)
+//! with the generated function in place of the settle phase. The benchmark
+//! crate uses this for the paper designs: a golden test pins the checked-in
+//! module to what `emit_settle_fn` produces today, and a differential test
+//! pins its behaviour to the interpreted engines.
+//!
+//! # Restrictions
+//!
+//! Emission fails (with [`CodegenError`]) when
+//!
+//! * the netlist contains **optimistic controllers** (lazy forks): they need
+//!   the event-driven two-pass seeding — the compiled strategy itself falls
+//!   back to the event-driven engine for those;
+//! * a function block uses a **datapath operation** `evaluate` would reject
+//!   (an out-of-range SECDED width) or that this emitter has no closed form
+//!   for.
+//!
+//! A netlist whose trailing segment fails to converge within the budget
+//! raises [`SimError::CombinationalLoop`] on the interpreted engines; the
+//! generated function has no error channel, so [`run_generated`] is only
+//! meaningful for netlists the interpreted engines settle — which the
+//! differential tests enforce.
+
+use std::fmt::Write as _;
+
+use elastic_core::{Netlist, Node, NodeKind, Op};
+
+use crate::compiled::MicroOp;
+use crate::controller::Controller;
+use crate::engine::{SettleStrategy, SimConfig, SimError, Simulation};
+use crate::signal::ChannelState;
+
+/// Why a netlist could not be emitted as a settle function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodegenError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codegen: {}", self.reason)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+fn err(reason: impl Into<String>) -> CodegenError {
+    CodegenError { reason: reason.into() }
+}
+
+/// Emits the settle pass of `netlist` as the source text of one Rust
+/// function named `fn_name`:
+///
+/// ```text
+/// pub fn NAME(
+///     channels: &mut [elastic_sim::signal::ChannelState],
+///     controllers: &[Box<dyn elastic_sim::controller::Controller>],
+/// )
+/// ```
+///
+/// The function clears the channels and drives them to the cycle's fixed
+/// point; [`run_generated`] supplies the surrounding engine loop. Dense
+/// channel and controller indices follow the builder's `live_channels()` /
+/// `live_nodes()` order, so the function must be called with a
+/// [`Simulation`] built from the **same** netlist.
+///
+/// # Errors
+///
+/// [`CodegenError`] when the netlist does not validate, needs optimistic
+/// (two-pass) settling, or uses a datapath operation without a closed
+/// emission form.
+pub fn emit_settle_fn(netlist: &Netlist, fn_name: &str) -> Result<String, CodegenError> {
+    let valid_name = !fn_name.is_empty()
+        && fn_name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !fn_name.starts_with(|c: char| c.is_ascii_digit());
+    if !valid_name {
+        return Err(err(format!("`{fn_name}` is not a valid function identifier")));
+    }
+
+    let config = SimConfig { settle: SettleStrategy::Compiled, ..SimConfig::default() };
+    let sim = Simulation::new(netlist, &config)
+        .map_err(|error| err(format!("netlist does not build: {error}")))?;
+    let Some(plan) = sim.compiled_plan() else {
+        return Err(err("netlist contains optimistic controllers (lazy forks); they need the \
+             event-driven two-pass settle and cannot be emitted as a fixed op sequence"));
+    };
+
+    let nodes: Vec<&Node> = netlist.live_nodes().collect();
+    let mut emitter = Emitter {
+        nodes: &nodes,
+        node_ports: sim.node_ports_table(),
+        widths: sim.channel_widths_table(),
+        pool: &plan.pool,
+        hoists: String::new(),
+        snapshots: String::new(),
+    };
+
+    let mut prefix = String::new();
+    for op in &plan.ops[..plan.prefix_len] {
+        emitter.emit_op(&mut prefix, op, "    ", false)?;
+    }
+    let mut trailing = String::new();
+    for op in &plan.ops[plan.prefix_len..] {
+        emitter.emit_op(&mut trailing, op, "        ", true)?;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/// Settle pass for `{}` ({} channels, {} micro-ops, {} trailing),",
+        netlist.name(),
+        emitter.widths.len(),
+        plan.ops.len(),
+        plan.ops.len() - plan.prefix_len,
+    );
+    let _ = writeln!(out, "/// emitted by `elastic_sim::codegen::emit_settle_fn`. Drive it with");
+    let _ = writeln!(out, "/// `elastic_sim::codegen::run_generated` on the same netlist.");
+    let _ = writeln!(out, "#[allow(clippy::all, unused)]");
+    let _ = writeln!(out, "#[rustfmt::skip]");
+    let _ = writeln!(out, "pub fn {fn_name}(");
+    let _ = writeln!(out, "    channels: &mut [elastic_sim::signal::ChannelState],");
+    let _ = writeln!(out, "    controllers: &[Box<dyn elastic_sim::controller::Controller>],");
+    let _ = writeln!(out, ") {{");
+    if !trailing.is_empty() {
+        let _ =
+            writeln!(out, "    fn set_bool(slot: &mut bool, value: bool, changed: &mut bool) {{");
+        let _ = writeln!(out, "        if *slot != value {{ *slot = value; *changed = true; }}");
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "    fn set_data(slot: &mut u64, value: u64, changed: &mut bool) {{");
+        let _ = writeln!(out, "        if *slot != value {{ *slot = value; *changed = true; }}");
+        let _ = writeln!(out, "    }}");
+    }
+    let _ = writeln!(out, "    for state in channels.iter_mut() {{");
+    let _ = writeln!(out, "        *state = elastic_sim::signal::ChannelState::default();");
+    let _ = writeln!(out, "    }}");
+    out.push_str(&emitter.hoists);
+    out.push_str(&emitter.snapshots);
+    out.push_str(&prefix);
+    if !trailing.is_empty() {
+        let _ =
+            writeln!(out, "    // Trailing segment: ops on or downstream of combinational rail");
+        let _ =
+            writeln!(out, "    // cycles, relaxed in deterministic order until a sweep changes");
+        let _ = writeln!(out, "    // nothing (settle budget {}).", sim.settle_budget());
+        let _ = writeln!(out, "    for _ in 0..{} {{", sim.settle_budget());
+        let _ = writeln!(out, "        let mut changed = false;");
+        out.push_str(&trailing);
+        let _ = writeln!(out, "        if !changed {{ break; }}");
+        let _ = writeln!(out, "    }}");
+    }
+    let _ = writeln!(out, "}}");
+    Ok(out)
+}
+
+/// Runs `cycles` engine cycles with `settle_fn` (a function emitted by
+/// [`emit_settle_fn`] from the **same** netlist) in place of the built-in
+/// settle phase. Everything else is the ordinary cycle: fault injection,
+/// trace recording and the commit clock edge all behave exactly as in
+/// [`Simulation::run`]. Returns the simulation for trace and report
+/// inspection.
+///
+/// # Errors
+///
+/// [`SimError`] when the netlist does not build. (Stepping itself is
+/// infallible: a generated function relaxes rail cycles with the same
+/// budget the engines use but has no error channel, so only drive netlists
+/// the interpreted engines settle.)
+pub fn run_generated<F>(
+    netlist: &Netlist,
+    cycles: u64,
+    mut settle_fn: F,
+) -> Result<Simulation, SimError>
+where
+    F: FnMut(&mut [ChannelState], &[Box<dyn Controller>]),
+{
+    let mut sim = Simulation::new(netlist, &SimConfig::default())?;
+    for _ in 0..cycles {
+        sim.step_with_external_settle(&mut settle_fn);
+    }
+    Ok(sim)
+}
+
+/// `0x...u64` mask literal for a channel width, `None` for full-width
+/// channels (masking with `u64::MAX` is the identity).
+fn mask_literal(width: u8) -> Option<String> {
+    if width >= 64 {
+        None
+    } else {
+        Some(format!("{:#x}u64", (1u64 << width).wrapping_sub(1)))
+    }
+}
+
+struct Emitter<'a> {
+    nodes: &'a [&'a Node],
+    node_ports: &'a [(Vec<usize>, Vec<usize>)],
+    widths: &'a [u8],
+    pool: &'a [u32],
+    hoists: String,
+    snapshots: String,
+}
+
+impl Emitter<'_> {
+    /// One boolean rail write: plain assignment in the prefix,
+    /// compare-and-set under the `changed` flag in the trailing loop.
+    fn w_bool(&self, cas: bool, target: &str, value: &str) -> String {
+        if cas {
+            format!("set_bool(&mut {target}, {value}, &mut changed);")
+        } else {
+            format!("{target} = {value};")
+        }
+    }
+
+    fn w_data(&self, cas: bool, target: &str, value: &str) -> String {
+        if cas {
+            format!("set_data(&mut {target}, {value}, &mut changed);")
+        } else {
+            format!("{target} = {value};")
+        }
+    }
+
+    fn emit_op(
+        &mut self,
+        body: &mut String,
+        op: &MicroOp,
+        pad: &str,
+        cas: bool,
+    ) -> Result<(), CodegenError> {
+        let node = op.node() as usize;
+        let name = &self.nodes[node].name;
+        let kind = self.nodes[node].kind.kind_name();
+        match op {
+            MicroOp::Eval { .. } => {
+                let (inputs, outputs) = &self.node_ports[node];
+                let _ = writeln!(body, "{pad}{{ // n{node} `{name}` ({kind}): dynamic eval");
+                if cas {
+                    // Change detection across the rails this eval owns:
+                    // snapshot the attached channels and compare afterwards
+                    // (an eval only writes its own rail groups, so a state
+                    // difference is exactly a rail change).
+                    let watched: Vec<String> = outputs
+                        .iter()
+                        .chain(inputs.iter())
+                        .map(|&c| format!("channels[{c}]"))
+                        .collect();
+                    let _ = writeln!(body, "{pad}    let before = [{}];", watched.join(", "));
+                    self.emit_eval_call(body, pad, node, inputs, outputs);
+                    let _ =
+                        writeln!(body, "{pad}    changed |= before != [{}];", watched.join(", "));
+                } else {
+                    self.emit_eval_call(body, pad, node, inputs, outputs);
+                }
+                let _ = writeln!(body, "{pad}}}");
+            }
+            MicroOp::FnFwd { inputs, output, .. } => {
+                let NodeKind::Function(spec) = &self.nodes[node].kind else {
+                    return Err(err(format!("n{node} `{name}` planned as a function block")));
+                };
+                let inputs = inputs.slice(self.pool);
+                let out = *output as usize;
+                let operands: Vec<String> =
+                    inputs.iter().map(|&c| format!("channels[{c}].data")).collect();
+                let value = emit_data_expr(&spec.op, &operands, node, &mut self.hoists)?;
+                let value = match mask_literal(self.widths[out]) {
+                    Some(mask) => format!("({value}) & {mask}"),
+                    None => value,
+                };
+                let _ = writeln!(body, "{pad}{{ // n{node} `{name}` ({kind}): forward");
+                let _ = writeln!(body, "{pad}    let all_valid = {};", all_valid_expr(inputs));
+                let _ = writeln!(body, "{pad}    let accept_kill = {};", accept_kill_expr(inputs));
+                let _ = writeln!(body, "{pad}    let value = {value};");
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_bool(cas, &format!("channels[{out}].forward_valid"), "all_valid")
+                );
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_data(cas, &format!("channels[{out}].data"), "value")
+                );
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_bool(
+                        cas,
+                        &format!("channels[{out}].backward_stop"),
+                        "!(all_valid || accept_kill)"
+                    )
+                );
+                let _ = writeln!(body, "{pad}}}");
+            }
+            MicroOp::FnBwd { inputs, output, .. } => {
+                let inputs = inputs.slice(self.pool);
+                let out = *output as usize;
+                let _ = writeln!(body, "{pad}{{ // n{node} `{name}` ({kind}): backward");
+                let _ = writeln!(body, "{pad}    let out = channels[{out}];");
+                let _ = writeln!(body, "{pad}    let all_valid = {};", all_valid_expr(inputs));
+                let _ = writeln!(body, "{pad}    let accept_kill = {};", accept_kill_expr(inputs));
+                let _ = writeln!(
+                    body,
+                    "{pad}    let output_transfer = all_valid && !out.forward_stop && \
+                     !out.backward_valid;"
+                );
+                let _ =
+                    writeln!(body, "{pad}    let annihilate = all_valid && out.backward_valid;");
+                let _ = writeln!(body, "{pad}    let fire = output_transfer || annihilate;");
+                let _ = writeln!(
+                    body,
+                    "{pad}    let forward_kill = out.backward_valid && !all_valid && accept_kill;"
+                );
+                for &c in inputs {
+                    let _ = writeln!(
+                        body,
+                        "{pad}    {}",
+                        self.w_bool(cas, &format!("channels[{c}].forward_stop"), "!fire")
+                    );
+                    let _ = writeln!(
+                        body,
+                        "{pad}    {}",
+                        self.w_bool(cas, &format!("channels[{c}].backward_valid"), "forward_kill")
+                    );
+                }
+                let _ = writeln!(body, "{pad}}}");
+            }
+            MicroOp::ZbFwd { input, output, .. } => {
+                self.emit_zb_snapshot(node);
+                let inp = *input as usize;
+                let out = *output as usize;
+                let stored = match mask_literal(self.widths[out]) {
+                    Some(mask) => format!("zb_{node}.1 & {mask}"),
+                    None => format!("zb_{node}.1"),
+                };
+                let _ = writeln!(body, "{pad}{{ // n{node} `{name}` ({kind}): forward");
+                let _ = writeln!(
+                    body,
+                    "{pad}    let anti_stop = !zb_{node}.0 && channels[{inp}].backward_stop;"
+                );
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_bool(
+                        cas,
+                        &format!("channels[{out}].forward_valid"),
+                        &format!("zb_{node}.0")
+                    )
+                );
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_data(cas, &format!("channels[{out}].data"), &stored)
+                );
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_bool(cas, &format!("channels[{out}].backward_stop"), "anti_stop")
+                );
+                let _ = writeln!(body, "{pad}}}");
+            }
+            MicroOp::ZbBwd { input, output, .. } => {
+                self.emit_zb_snapshot(node);
+                let inp = *input as usize;
+                let out = *output as usize;
+                let _ = writeln!(body, "{pad}{{ // n{node} `{name}` ({kind}): backward");
+                let _ = writeln!(
+                    body,
+                    "{pad}    let stop = zb_{node}.0 && channels[{out}].forward_stop && \
+                     !channels[{out}].backward_valid;"
+                );
+                let _ = writeln!(
+                    body,
+                    "{pad}    let pass_through = !zb_{node}.0 && channels[{out}].backward_valid;"
+                );
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_bool(cas, &format!("channels[{inp}].forward_stop"), "stop")
+                );
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_bool(cas, &format!("channels[{inp}].backward_valid"), "pass_through")
+                );
+                let _ = writeln!(body, "{pad}}}");
+            }
+            MicroOp::ForkFwd { input, outputs, .. } => {
+                self.emit_fork_snapshot(node);
+                let inp = *input as usize;
+                let _ = writeln!(body, "{pad}{{ // n{node} `{name}` ({kind}): forward");
+                let _ = writeln!(body, "{pad}    let input_valid = channels[{inp}].forward_valid;");
+                let _ = writeln!(body, "{pad}    let data = channels[{inp}].data;");
+                for (branch, &c) in outputs.slice(self.pool).iter().enumerate() {
+                    let out = c as usize;
+                    let data = match mask_literal(self.widths[out]) {
+                        Some(mask) => format!("data & {mask}"),
+                        None => "data".to_string(),
+                    };
+                    let _ = writeln!(
+                        body,
+                        "{pad}    let needs = input_valid && (fork_{node} >> {branch}) & 1 == 1;"
+                    );
+                    let _ = writeln!(
+                        body,
+                        "{pad}    {}",
+                        self.w_bool(cas, &format!("channels[{out}].forward_valid"), "needs")
+                    );
+                    let _ = writeln!(
+                        body,
+                        "{pad}    {}",
+                        self.w_data(cas, &format!("channels[{out}].data"), &data)
+                    );
+                    let _ = writeln!(
+                        body,
+                        "{pad}    {}",
+                        self.w_bool(cas, &format!("channels[{out}].backward_stop"), "!needs")
+                    );
+                }
+                let _ = writeln!(body, "{pad}}}");
+            }
+            MicroOp::ForkBwd { input, outputs, .. } => {
+                self.emit_fork_snapshot(node);
+                let inp = *input as usize;
+                let _ = writeln!(body, "{pad}{{ // n{node} `{name}` ({kind}): backward");
+                let _ = writeln!(body, "{pad}    let input_valid = channels[{inp}].forward_valid;");
+                let _ = writeln!(body, "{pad}    let mut done = true;");
+                for (branch, &c) in outputs.slice(self.pool).iter().enumerate() {
+                    let out = c as usize;
+                    let _ = writeln!(body, "{pad}    if (fork_{node} >> {branch}) & 1 == 1 {{");
+                    let _ = writeln!(body, "{pad}        let out = channels[{out}];");
+                    let _ = writeln!(
+                        body,
+                        "{pad}        let served = (out.backward_valid && !out.backward_stop) || \
+                         (out.forward_valid && !out.forward_stop);"
+                    );
+                    let _ = writeln!(body, "{pad}        done &= input_valid && served;");
+                    let _ = writeln!(body, "{pad}    }}");
+                }
+                let _ = writeln!(body, "{pad}    let fires = input_valid && done;");
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_bool(cas, &format!("channels[{inp}].forward_stop"), "!fires")
+                );
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_bool(cas, &format!("channels[{inp}].backward_valid"), "false")
+                );
+                let _ = writeln!(body, "{pad}}}");
+            }
+            MicroOp::MuxFwd { select, data, output, early, .. } => {
+                if *early {
+                    self.emit_mux_snapshot(node);
+                }
+                let sel = *select as usize;
+                let out = *output as usize;
+                let data_channels = data.slice(self.pool);
+                let count = data_channels.len();
+                let _ = writeln!(body, "{pad}{{ // n{node} `{name}` ({kind}): forward");
+                let _ = writeln!(body, "{pad}    let sel = channels[{sel}];");
+                let _ = writeln!(
+                    body,
+                    "{pad}    let data_channels: [usize; {count}] = {data_channels:?};"
+                );
+                let _ = writeln!(body, "{pad}    let selected = (sel.data as usize) % {count};");
+                emit_mux_valid(body, pad, node, *early, data_channels);
+                let value = match mask_literal(self.widths[out]) {
+                    Some(mask) => format!("channels[data_channels[selected]].data & {mask}"),
+                    None => "channels[data_channels[selected]].data".to_string(),
+                };
+                let _ = writeln!(body, "{pad}    let value = {value};");
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_bool(cas, &format!("channels[{out}].forward_valid"), "valid")
+                );
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_data(cas, &format!("channels[{out}].data"), "value")
+                );
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_bool(cas, &format!("channels[{out}].backward_stop"), "true")
+                );
+                let _ = writeln!(body, "{pad}}}");
+            }
+            MicroOp::MuxBwd { select, data, output, early, .. } => {
+                if *early {
+                    self.emit_mux_snapshot(node);
+                }
+                let sel = *select as usize;
+                let out = *output as usize;
+                let data_channels = data.slice(self.pool);
+                let count = data_channels.len();
+                let _ = writeln!(body, "{pad}{{ // n{node} `{name}` ({kind}): backward");
+                let _ = writeln!(body, "{pad}    let sel = channels[{sel}];");
+                let _ = writeln!(
+                    body,
+                    "{pad}    let data_channels: [usize; {count}] = {data_channels:?};"
+                );
+                let _ = writeln!(body, "{pad}    let selected = (sel.data as usize) % {count};");
+                emit_mux_valid(body, pad, node, *early, data_channels);
+                let _ =
+                    writeln!(body, "{pad}    let fire = valid && !channels[{out}].forward_stop;");
+                let _ = writeln!(
+                    body,
+                    "{pad}    {}",
+                    self.w_bool(cas, &format!("channels[{sel}].forward_stop"), "!fire")
+                );
+                if *early {
+                    let _ =
+                        writeln!(body, "{pad}    let clean = (mux_{node} >> selected) & 1 == 0;");
+                    let _ = writeln!(
+                        body,
+                        "{pad}    for (j, &ch) in data_channels.iter().enumerate() {{"
+                    );
+                    let _ = writeln!(
+                        body,
+                        "{pad}        let is_selected = j == selected && sel.forward_valid;"
+                    );
+                    let _ = writeln!(
+                        body,
+                        "{pad}        let owed = (mux_{node} >> j) & 1 == 1 || (fire && \
+                         !is_selected);"
+                    );
+                    let _ = writeln!(
+                        body,
+                        "{pad}        let consuming = is_selected && fire && clean;"
+                    );
+                    let _ = writeln!(body, "{pad}        let kill = owed && !consuming;");
+                    let _ = writeln!(
+                        body,
+                        "{pad}        let stop = if kill {{ false }} else if is_selected {{ \
+                         !fire }} else {{ true }};"
+                    );
+                    let _ = writeln!(
+                        body,
+                        "{pad}        {}",
+                        self.w_bool(cas, "channels[ch].forward_stop", "stop")
+                    );
+                    let _ = writeln!(
+                        body,
+                        "{pad}        {}",
+                        self.w_bool(cas, "channels[ch].backward_valid", "kill")
+                    );
+                    let _ = writeln!(body, "{pad}    }}");
+                } else {
+                    let _ = writeln!(body, "{pad}    for &ch in data_channels.iter() {{");
+                    let _ = writeln!(
+                        body,
+                        "{pad}        {}",
+                        self.w_bool(cas, "channels[ch].forward_stop", "!fire")
+                    );
+                    let _ = writeln!(
+                        body,
+                        "{pad}        {}",
+                        self.w_bool(cas, "channels[ch].backward_valid", "false")
+                    );
+                    let _ = writeln!(body, "{pad}    }}");
+                }
+                let _ = writeln!(body, "{pad}}}");
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_eval_call(
+        &self,
+        body: &mut String,
+        pad: &str,
+        node: usize,
+        inputs: &[usize],
+        outputs: &[usize],
+    ) {
+        let _ = writeln!(
+            body,
+            "{pad}    let mut io = elastic_sim::controller::NodeIo::new(channels, &{inputs:?}, \
+             &{outputs:?});"
+        );
+        let _ = writeln!(body, "{pad}    controllers[{node}].eval(&mut io);");
+        // `NodeIo::new` is the unmasked view (the engine's tracked view
+        // masks at write time); restore the wire-width invariant before any
+        // downstream op reads the data.
+        for &out in outputs {
+            if let Some(mask) = mask_literal(self.widths[out]) {
+                let _ = writeln!(body, "{pad}    channels[{out}].data &= {mask};");
+            }
+        }
+    }
+
+    fn emit_zb_snapshot(&mut self, node: usize) {
+        let marker = format!("let zb_{node}:");
+        if self.snapshots.contains(&marker) {
+            return;
+        }
+        let s = &mut self.snapshots;
+        let _ = writeln!(s, "    let zb_{node}: (bool, u64) = {{");
+        let _ = writeln!(
+            s,
+            "        let b = controllers[{node}].as_any().and_then(|a| \
+             a.downcast_ref::<elastic_sim::controllers::buffer::ZeroBackwardBuffer>())"
+        );
+        let _ = writeln!(s, "            .expect(\"node {node} is a zero-backward buffer\");");
+        let _ = writeln!(s, "        (b.is_full(), b.stored().unwrap_or(0))");
+        let _ = writeln!(s, "    }};");
+    }
+
+    fn emit_fork_snapshot(&mut self, node: usize) {
+        let marker = format!("let fork_{node}:");
+        if self.snapshots.contains(&marker) {
+            return;
+        }
+        let s = &mut self.snapshots;
+        let _ = writeln!(s, "    let fork_{node}: u64 = controllers[{node}].as_any()");
+        let _ = writeln!(
+            s,
+            "        .and_then(|a| a.downcast_ref::<elastic_sim::controllers::fork::EagerFork>())"
+        );
+        let _ = writeln!(s, "        .expect(\"node {node} is an eager fork\").pending_mask();");
+    }
+
+    fn emit_mux_snapshot(&mut self, node: usize) {
+        let marker = format!("let mux_{node}:");
+        if self.snapshots.contains(&marker) {
+            return;
+        }
+        let s = &mut self.snapshots;
+        let _ = writeln!(s, "    let mux_{node}: u64 = {{");
+        let _ = writeln!(
+            s,
+            "        let m = controllers[{node}].as_any().and_then(|a| \
+             a.downcast_ref::<elastic_sim::controllers::mux::MuxController>())"
+        );
+        let _ = writeln!(s, "            .expect(\"node {node} is a mux\");");
+        let _ = writeln!(s, "        let mut mask = 0u64;");
+        let _ = writeln!(
+            s,
+            "        for (j, &owed) in m.owed_anti_tokens().iter().take(64).enumerate() {{"
+        );
+        let _ = writeln!(s, "            if owed > 0 {{ mask |= 1 << j; }}");
+        let _ = writeln!(s, "        }}");
+        let _ = writeln!(s, "        mask");
+        let _ = writeln!(s, "    }};");
+    }
+}
+
+fn all_valid_expr(inputs: &[u32]) -> String {
+    if inputs.is_empty() {
+        return "true".to_string();
+    }
+    inputs.iter().map(|&c| format!("channels[{c}].forward_valid")).collect::<Vec<_>>().join(" && ")
+}
+
+fn accept_kill_expr(inputs: &[u32]) -> String {
+    if inputs.is_empty() {
+        return "true".to_string();
+    }
+    inputs.iter().map(|&c| format!("!channels[{c}].backward_stop")).collect::<Vec<_>>().join(" && ")
+}
+
+fn emit_mux_valid(body: &mut String, pad: &str, node: usize, early: bool, data_channels: &[u32]) {
+    if early {
+        let _ = writeln!(
+            body,
+            "{pad}    let valid = sel.forward_valid && \
+             channels[data_channels[selected]].forward_valid && (mux_{node} >> selected) & 1 == \
+             0;"
+        );
+    } else {
+        let all = data_channels
+            .iter()
+            .map(|&c| format!("channels[{c}].forward_valid"))
+            .collect::<Vec<_>>()
+            .join(" && ");
+        let _ = writeln!(body, "{pad}    let valid = sel.forward_valid && {all};");
+    }
+}
+
+/// Inlines one datapath operation over `operands` (expressions yielding
+/// `u64`), mirroring `evaluate(op, inputs).unwrap_or(0)` — the exact value
+/// the function controller drives. Operations whose evaluation would error
+/// on too few operands emit a literal `0u64`; variadic folds consume every
+/// operand, like `evaluate` does.
+fn emit_data_expr(
+    op: &Op,
+    operands: &[String],
+    node: usize,
+    hoists: &mut String,
+) -> Result<String, CodegenError> {
+    let need = |n: usize| -> Option<String> { (operands.len() < n).then(|| "0u64".to_string()) };
+    let fold = |sep: &dyn Fn(&str, &str) -> String, empty: &str| -> String {
+        match operands {
+            [] => empty.to_string(),
+            [first, rest @ ..] => {
+                let mut acc = first.clone();
+                for item in rest {
+                    acc = sep(&acc, item);
+                }
+                acc
+            }
+        }
+    };
+    let expr = match op {
+        Op::Identity | Op::Opaque { .. } => need(1).unwrap_or_else(|| operands[0].clone()),
+        Op::Const(value) => format!("{value:#x}u64"),
+        Op::Not => need(1).unwrap_or_else(|| format!("!{}", operands[0])),
+        Op::Neg => need(1).unwrap_or_else(|| format!("{}.wrapping_neg()", operands[0])),
+        Op::Add => fold(&|a, b| format!("{a}.wrapping_add({b})"), "0u64"),
+        Op::Sub => {
+            need(2).unwrap_or_else(|| format!("{}.wrapping_sub({})", operands[0], operands[1]))
+        }
+        Op::And => fold(&|a, b| format!("({a} & {b})"), "0u64"),
+        Op::Or => fold(&|a, b| format!("({a} | {b})"), "0u64"),
+        Op::Xor => fold(&|a, b| format!("({a} ^ {b})"), "0u64"),
+        Op::Shl => need(2).unwrap_or_else(|| {
+            format!("{}.wrapping_shl(({} & 63) as u32)", operands[0], operands[1])
+        }),
+        Op::Shr => need(2).unwrap_or_else(|| {
+            format!("{}.wrapping_shr(({} & 63) as u32)", operands[0], operands[1])
+        }),
+        Op::Inc => need(1).unwrap_or_else(|| format!("{}.wrapping_add(1)", operands[0])),
+        Op::Dec => need(1).unwrap_or_else(|| format!("{}.wrapping_sub(1)", operands[0])),
+        Op::Eq => {
+            need(2).unwrap_or_else(|| format!("u64::from({} == {})", operands[0], operands[1]))
+        }
+        Op::Ne => {
+            need(2).unwrap_or_else(|| format!("u64::from({} != {})", operands[0], operands[1]))
+        }
+        Op::Lt => {
+            need(2).unwrap_or_else(|| format!("u64::from({} < {})", operands[0], operands[1]))
+        }
+        Op::Alu8 => need(3).unwrap_or_else(|| {
+            format!(
+                "elastic_datapath::alu::alu8_word({}, {}, {})",
+                operands[0], operands[1], operands[2]
+            )
+        }),
+        Op::RippleAdd { width } => need(2).unwrap_or_else(|| {
+            format!(
+                "elastic_datapath::adder::ripple_add({}, {}, {width}u8)",
+                operands[0], operands[1]
+            )
+        }),
+        Op::KoggeStoneAdd { width } => need(2).unwrap_or_else(|| {
+            format!(
+                "elastic_datapath::adder::kogge_stone_add({}, {}, {width}u8)",
+                operands[0], operands[1]
+            )
+        }),
+        Op::ApproxAdd { width, spec_bits } => need(2).unwrap_or_else(|| {
+            format!(
+                "elastic_datapath::adder::approx_add({}, {}, {width}u8, {spec_bits}u8)",
+                operands[0], operands[1]
+            )
+        }),
+        Op::ApproxAddErr { width, spec_bits } => need(2).unwrap_or_else(|| {
+            format!(
+                "elastic_datapath::adder::approx_add_error({}, {}, {width}u8, {spec_bits}u8)",
+                operands[0], operands[1]
+            )
+        }),
+        Op::SecdedEncode { data_width }
+        | Op::SecdedCorrect { data_width }
+        | Op::SecdedSyndrome { data_width } => {
+            if !(1..=57).contains(data_width) {
+                return Err(err(format!(
+                    "n{node}: SECDED width {data_width} is outside 1..=57 (the interpreted \
+                     engines panic at first evaluation; there is no emission equivalent)"
+                )));
+            }
+            match need(1) {
+                Some(zero) => zero,
+                None => {
+                    let marker = format!("let secded_{node} =");
+                    if !hoists.contains(&marker) {
+                        let _ = writeln!(
+                            hoists,
+                            "    let secded_{node} = \
+                             elastic_datapath::secded::Secded::new({data_width}u8);"
+                        );
+                    }
+                    match op {
+                        Op::SecdedEncode { .. } => format!("secded_{node}.encode({})", operands[0]),
+                        Op::SecdedCorrect { .. } => {
+                            format!("secded_{node}.correct({})", operands[0])
+                        }
+                        _ => format!("secded_{node}.classify({}).to_word()", operands[0]),
+                    }
+                }
+            }
+        }
+        Op::BitSelect { bit } => {
+            need(1).unwrap_or_else(|| format!("({} >> {}) & 1", operands[0], bit & 63))
+        }
+        Op::Mask { width } => need(1).unwrap_or_else(|| {
+            format!("elastic_datapath::adder::mask({}, {width}u8)", operands[0])
+        }),
+        Op::Lut(table) => match need(1) {
+            Some(zero) => zero,
+            None if table.is_empty() => "0u64".to_string(),
+            None => {
+                let marker = format!("let lut_{node}:");
+                if !hoists.contains(&marker) {
+                    let _ = writeln!(hoists, "    let lut_{node}: &[u64] = &{table:?};");
+                }
+                format!("lut_{node}[({} as usize) % {}]", operands[0], table.len())
+            }
+        },
+        other => {
+            return Err(err(format!("n{node}: no closed emission form for datapath op {other:?}")))
+        }
+    };
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elastic_core::kind::SourcePattern;
+    use elastic_core::library::{
+        deep_pipeline, fig1a, fig1b, fig1c, fig1d, resilient_speculative, Fig1Config,
+        ResilientConfig,
+    };
+    use elastic_core::{BufferSpec, ForkSpec, SinkSpec, SourceSpec};
+
+    #[test]
+    fn paper_designs_emit_settle_functions() {
+        let fig1 = Fig1Config::default();
+        let designs: Vec<(&str, Netlist)> = vec![
+            ("fig1a", fig1a(&fig1).netlist),
+            ("fig1b", fig1b(&fig1).netlist),
+            ("fig1c", fig1c(&fig1).netlist),
+            ("fig1d", fig1d(&fig1).netlist),
+            ("fig7b", resilient_speculative(&ResilientConfig::default()).netlist),
+            (
+                "pipeline",
+                deep_pipeline(
+                    16,
+                    BufferSpec::standard(1),
+                    elastic_core::kind::BackpressurePattern::Never,
+                ),
+            ),
+        ];
+        for (name, netlist) in designs {
+            let source = emit_settle_fn(&netlist, "settle")
+                .unwrap_or_else(|error| panic!("{name}: {error}"));
+            assert!(source.contains("pub fn settle("), "{name}: missing function header");
+            assert!(source.contains("ChannelState::default()"), "{name}: missing the clear phase");
+        }
+    }
+
+    #[test]
+    fn acyclic_designs_have_no_relaxation_loop() {
+        let netlist = deep_pipeline(
+            8,
+            BufferSpec::standard(1),
+            elastic_core::kind::BackpressurePattern::Never,
+        );
+        let source = emit_settle_fn(&netlist, "settle").unwrap();
+        assert!(!source.contains("Trailing segment"), "a pipeline is fully straight-line");
+        assert!(!source.contains("set_bool"), "no compare-and-set helpers without trailing ops");
+    }
+
+    #[test]
+    fn rail_cycles_emit_a_bounded_relaxation_loop() {
+        // Figure 1(d) speculates across the select loop: part of its rail
+        // graph is genuinely cyclic and settles by iteration.
+        let netlist = fig1d(&Fig1Config::default()).netlist;
+        let source = emit_settle_fn(&netlist, "settle").unwrap();
+        assert!(source.contains("Trailing segment"), "fig1d has trailing ops");
+        assert!(source.contains("let mut changed = false;"), "relaxation tracks changes");
+        assert!(source.contains("if !changed { break; }"), "relaxation stops at the fixpoint");
+    }
+
+    #[test]
+    fn generated_functions_cannot_be_emitted_for_lazy_forks() {
+        let mut n = Netlist::new("lazy");
+        let src = n.add_source(
+            "src",
+            SourceSpec { pattern: SourcePattern::Always, ..SourceSpec::default() },
+        );
+        let fork = n.add_fork("fork", ForkSpec::lazy(2));
+        let sink_a = n.add_sink("sink_a", SinkSpec::always_ready());
+        let sink_b = n.add_sink("sink_b", SinkSpec::always_ready());
+        n.connect_named(
+            "in",
+            elastic_core::Port::output(src, 0),
+            elastic_core::Port::input(fork, 0),
+            8,
+        )
+        .unwrap();
+        n.connect_named(
+            "a",
+            elastic_core::Port::output(fork, 0),
+            elastic_core::Port::input(sink_a, 0),
+            8,
+        )
+        .unwrap();
+        n.connect_named(
+            "b",
+            elastic_core::Port::output(fork, 1),
+            elastic_core::Port::input(sink_b, 0),
+            8,
+        )
+        .unwrap();
+        n.validate().unwrap();
+
+        let error = emit_settle_fn(&n, "settle").expect_err("lazy forks need two-pass settling");
+        assert!(error.reason.contains("optimistic"), "{error}");
+    }
+
+    #[test]
+    fn invalid_function_names_are_rejected() {
+        let netlist = deep_pipeline(
+            4,
+            BufferSpec::standard(1),
+            elastic_core::kind::BackpressurePattern::Never,
+        );
+        assert!(emit_settle_fn(&netlist, "1bad").is_err());
+        assert!(emit_settle_fn(&netlist, "").is_err());
+        assert!(emit_settle_fn(&netlist, "has space").is_err());
+    }
+}

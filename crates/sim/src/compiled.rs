@@ -1,0 +1,896 @@
+//! Compiled settle backend: a netlist lowered to fused, monomorphic micro-ops.
+//!
+//! [`SettleStrategy::Compiled`](crate::engine::SettleStrategy::Compiled)
+//! replaces the event-driven worklist fixpoint with a **plan** built once per
+//! simulation: every controller whose `eval` equations are statically known
+//! is decomposed into one or two [`MicroOp`]s — a *forward* op driving the
+//! producer-owned rail group `{V+, data, S-}` and a *backward* op driving the
+//! consumer-owned group `{S+, V-}` — dispatched through a plain `match`
+//! instead of a vtable. The ops are scheduled once by Kahn's algorithm over
+//! the rail-dependency graph (one writer per rail group, edges
+//! writer → reader), splitting the plan into
+//!
+//! * a **straight-line prefix** executed exactly once per cycle (the
+//!   combinational wavefront needs no worklist: every operand rail is final
+//!   when an op runs), and
+//! * a **trailing segment** of ops on or downstream of rail cycles, settled
+//!   by Jacobi sweeps in deterministic order until a sweep changes nothing,
+//!   capped at the engine's settle budget (the same full-sweep-equivalent
+//!   unit the other strategies use).
+//!
+//! Controllers the planner does not specialize (shared modules, commit
+//! stages, variable-latency units, future kinds) become [`MicroOp::Eval`]
+//! ops: a change-tracked dynamic `Controller::eval`, bit-identical to the
+//! other engines by construction. Fully registered controllers (sources,
+//! sinks, standard buffers — `eval_reads_channels() == false`) are also
+//! `Eval` ops; they have no rail reads, so they always land at the head of
+//! the prefix and run once.
+//!
+//! The few specialized controllers whose equations read *sequential* state
+//! (zero-backward buffers, eager forks, early-evaluation muxes) are handled
+//! by **snapshots**: their state is read once per cycle through
+//! [`Controller::as_any`] before any op runs — legal because `eval` is a
+//! pure function of `&self` and the settle phase never commits state.
+//!
+//! The plan holds no cross-cycle state (snapshots are refreshed every
+//! cycle), so `reset_*`, fault arming, monitors and deadlines work
+//! unchanged. Netlists containing optimistic controllers (lazy forks) are
+//! **not** planned; the engine transparently falls back to the event-driven
+//! strategy, which implements the optimistic two-pass seeding those
+//! controllers require.
+
+use elastic_core::{Netlist, NodeKind, Op};
+use elastic_datapath::evaluate;
+use elastic_datapath::secded::Secded;
+
+use crate::controller::{Controller, NodeIo};
+use crate::controllers::buffer::ZeroBackwardBuffer;
+use crate::controllers::fork::EagerFork;
+use crate::controllers::mux::MuxController;
+use crate::signal::ChannelState;
+
+/// A contiguous slice of the shared channel-index pool.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PoolRange {
+    start: u32,
+    len: u32,
+}
+
+impl PoolRange {
+    pub(crate) fn slice<'p>(&self, pool: &'p [u32]) -> &'p [u32] {
+        &pool[self.start as usize..(self.start + self.len) as usize]
+    }
+}
+
+/// Datapath operation of a function block, specialized at plan-build time.
+///
+/// Closed-form operations are inlined (mirroring
+/// [`elastic_datapath::evaluate`] bit for bit, including its
+/// missing-operand → 0 behaviour after the `unwrap_or(0)` the function
+/// controller applies); SECDED codes are prebuilt once instead of per
+/// evaluation; everything else falls back to `evaluate` itself.
+#[derive(Debug, Clone)]
+pub(crate) enum DataOp {
+    Identity,
+    Const(u64),
+    Not,
+    Neg,
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Inc,
+    Dec,
+    Eq,
+    Ne,
+    Lt,
+    SecdedEncode(Secded),
+    SecdedCorrect(Secded),
+    SecdedSyndrome(Secded),
+    General(Op),
+}
+
+impl DataOp {
+    fn from_op(op: &Op) -> DataOp {
+        match op {
+            Op::Identity => DataOp::Identity,
+            Op::Const(value) => DataOp::Const(*value),
+            Op::Not => DataOp::Not,
+            Op::Neg => DataOp::Neg,
+            Op::Add => DataOp::Add,
+            Op::Sub => DataOp::Sub,
+            Op::And => DataOp::And,
+            Op::Or => DataOp::Or,
+            Op::Xor => DataOp::Xor,
+            Op::Shl => DataOp::Shl,
+            Op::Shr => DataOp::Shr,
+            Op::Inc => DataOp::Inc,
+            Op::Dec => DataOp::Dec,
+            Op::Eq => DataOp::Eq,
+            Op::Ne => DataOp::Ne,
+            Op::Lt => DataOp::Lt,
+            // Invalid widths keep the general path so they panic at first
+            // evaluation, exactly when the interpreted engines would.
+            Op::SecdedEncode { data_width } if (1..=57).contains(data_width) => {
+                DataOp::SecdedEncode(Secded::new(*data_width))
+            }
+            Op::SecdedCorrect { data_width } if (1..=57).contains(data_width) => {
+                DataOp::SecdedCorrect(Secded::new(*data_width))
+            }
+            Op::SecdedSyndrome { data_width } if (1..=57).contains(data_width) => {
+                DataOp::SecdedSyndrome(Secded::new(*data_width))
+            }
+            other => DataOp::General(other.clone()),
+        }
+    }
+
+    /// Mirrors `evaluate(op, inputs).unwrap_or(0)` — the exact expression the
+    /// function controller computes.
+    #[inline]
+    fn eval(&self, inputs: &[u64]) -> u64 {
+        match self {
+            DataOp::Identity => inputs.first().copied().unwrap_or(0),
+            DataOp::Const(value) => *value,
+            DataOp::Not => inputs.first().map(|&a| !a).unwrap_or(0),
+            DataOp::Neg => inputs.first().map(|&a| a.wrapping_neg()).unwrap_or(0),
+            DataOp::Add => {
+                if inputs.is_empty() {
+                    0
+                } else {
+                    inputs.iter().fold(0u64, |acc, &x| acc.wrapping_add(x))
+                }
+            }
+            DataOp::Sub => match inputs {
+                [a, b, ..] => a.wrapping_sub(*b),
+                _ => 0,
+            },
+            DataOp::And => {
+                if inputs.is_empty() {
+                    0
+                } else {
+                    inputs.iter().fold(u64::MAX, |acc, &x| acc & x)
+                }
+            }
+            DataOp::Or => inputs.iter().fold(0u64, |acc, &x| acc | x),
+            DataOp::Xor => inputs.iter().fold(0u64, |acc, &x| acc ^ x),
+            DataOp::Shl => match inputs {
+                [a, b, ..] => a.wrapping_shl((*b & 63) as u32),
+                _ => 0,
+            },
+            DataOp::Shr => match inputs {
+                [a, b, ..] => a.wrapping_shr((*b & 63) as u32),
+                _ => 0,
+            },
+            DataOp::Inc => inputs.first().map(|&a| a.wrapping_add(1)).unwrap_or(0),
+            DataOp::Dec => inputs.first().map(|&a| a.wrapping_sub(1)).unwrap_or(0),
+            DataOp::Eq => match inputs {
+                [a, b, ..] => u64::from(a == b),
+                _ => 0,
+            },
+            DataOp::Ne => match inputs {
+                [a, b, ..] => u64::from(a != b),
+                _ => 0,
+            },
+            DataOp::Lt => match inputs {
+                [a, b, ..] => u64::from(a < b),
+                _ => 0,
+            },
+            DataOp::SecdedEncode(code) => inputs.first().map(|&a| code.encode(a)).unwrap_or(0),
+            DataOp::SecdedCorrect(code) => inputs.first().map(|&a| code.correct(a)).unwrap_or(0),
+            DataOp::SecdedSyndrome(code) => {
+                inputs.first().map(|&a| code.classify(a).to_word()).unwrap_or(0)
+            }
+            DataOp::General(op) => evaluate(op, inputs).unwrap_or(0),
+        }
+    }
+}
+
+/// One fused settle operation. Channel operands are dense channel indices;
+/// multi-channel operand lists live in the plan's shared pool.
+#[derive(Debug, Clone)]
+pub(crate) enum MicroOp {
+    /// Change-tracked dynamic `Controller::eval` — registered controllers
+    /// (no rail reads) and every kind the planner does not specialize.
+    Eval { node: u32 },
+    /// Function block, forward group: join validity, datapath value, `S-`.
+    FnFwd { node: u32, inputs: PoolRange, output: u32, op: DataOp },
+    /// Function block, backward group: `S+`/`V-` toward every input.
+    FnBwd { node: u32, inputs: PoolRange, output: u32 },
+    /// Zero-backward buffer, forward group (reads the stored-word snapshot).
+    ZbFwd { node: u32, input: u32, output: u32, slot: u32 },
+    /// Zero-backward buffer, backward group.
+    ZbBwd { node: u32, input: u32, output: u32, slot: u32 },
+    /// Eager fork, forward group (reads the pending-branch snapshot).
+    ForkFwd { node: u32, input: u32, outputs: PoolRange, slot: u32 },
+    /// Eager fork, backward group.
+    ForkBwd { node: u32, input: u32, outputs: PoolRange, slot: u32 },
+    /// Multiplexor, forward group. `slot` indexes the owed-anti-token
+    /// snapshot for early-evaluation muxes (`u32::MAX` for lazy ones).
+    MuxFwd { node: u32, select: u32, data: PoolRange, output: u32, early: bool, slot: u32 },
+    /// Multiplexor, backward group.
+    MuxBwd { node: u32, select: u32, data: PoolRange, output: u32, early: bool, slot: u32 },
+}
+
+impl MicroOp {
+    pub(crate) fn node(&self) -> u32 {
+        match self {
+            MicroOp::Eval { node }
+            | MicroOp::FnFwd { node, .. }
+            | MicroOp::FnBwd { node, .. }
+            | MicroOp::ZbFwd { node, .. }
+            | MicroOp::ZbBwd { node, .. }
+            | MicroOp::ForkFwd { node, .. }
+            | MicroOp::ForkBwd { node, .. }
+            | MicroOp::MuxFwd { node, .. }
+            | MicroOp::MuxBwd { node, .. } => *node,
+        }
+    }
+}
+
+/// Where one snapshot slot is refreshed from at the start of every settle.
+#[derive(Debug, Clone, Copy)]
+enum SnapshotSource {
+    /// `(is_full, stored_word)` of a zero-backward buffer.
+    ZeroBackward { node: u32, slot: u32 },
+    /// Effective-pending bitmask of an eager fork.
+    Fork { node: u32, slot: u32 },
+    /// Owed-anti-token bitmask (owed > 0 per data input) of an early mux.
+    Mux { node: u32, slot: u32 },
+}
+
+/// The engine state one settle pass operates on — disjoint borrows of the
+/// `Simulation` fields, constructed in `engine.rs` (the plan itself is taken
+/// out of the simulation for the duration of the call).
+pub(crate) struct SettleCtx<'a> {
+    pub(crate) channels: &'a mut [ChannelState],
+    pub(crate) controllers: &'a [Box<dyn Controller>],
+    pub(crate) node_ports: &'a [(Vec<usize>, Vec<usize>)],
+    pub(crate) channel_widths: &'a [u8],
+    pub(crate) dirty: &'a mut Vec<usize>,
+    pub(crate) oscillating: &'a mut Vec<u32>,
+    /// Settle budget in full-sweep equivalents (caps trailing sweeps).
+    pub(crate) budget: usize,
+    pub(crate) settle_iterations: &'a mut u64,
+    pub(crate) controller_evals: &'a mut u64,
+}
+
+/// A netlist lowered to a scheduled sequence of [`MicroOp`]s.
+#[derive(Debug)]
+pub(crate) struct CompiledPlan {
+    /// All ops: `ops[..prefix_len]` is the straight-line prefix,
+    /// `ops[prefix_len..]` the trailing (iterated) segment.
+    pub(crate) ops: Vec<MicroOp>,
+    pub(crate) prefix_len: usize,
+    /// Shared channel-index pool backing every [`PoolRange`].
+    pub(crate) pool: Vec<u32>,
+    /// Per-channel data mask derived from the declared width.
+    channel_masks: Vec<u64>,
+    snapshots: Vec<SnapshotSource>,
+    /// Snapshot storage, refreshed once per settle.
+    zb: Vec<(bool, u64)>,
+    fork_pending: Vec<u64>,
+    mux_owed: Vec<u64>,
+    /// Reusable operand scratch for datapath evaluation.
+    operands: Vec<u64>,
+}
+
+/// Rail-group index: the producer-owned group `{V+, data, S-}` of channel
+/// `c` is `2c`, the consumer-owned group `{S+, V-}` is `2c + 1`.
+const FWD: usize = 0;
+const BWD: usize = 1;
+
+fn rail(channel: u32, group: usize) -> usize {
+    channel as usize * 2 + group
+}
+
+fn intern(pool: &mut Vec<u32>, channels: &[usize]) -> PoolRange {
+    let start = pool.len() as u32;
+    pool.extend(channels.iter().map(|&c| c as u32));
+    PoolRange { start, len: channels.len() as u32 }
+}
+
+fn mask_for(width: u8) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width).wrapping_sub(1)
+    }
+}
+
+fn snapshot_ref<T: 'static>(controllers: &[Box<dyn Controller>], node: u32) -> &T {
+    controllers[node as usize]
+        .as_any()
+        .and_then(|any| any.downcast_ref::<T>())
+        .expect("compiled snapshot source matches the controller's concrete type")
+}
+
+impl CompiledPlan {
+    /// Lowers a validated netlist into a scheduled plan. `node_ports`,
+    /// `reads_channels` and `channel_widths` are the engine's dense tables;
+    /// dense node order is the `live_nodes()` order they were built in.
+    ///
+    /// Must not be called for netlists with optimistic controllers (the
+    /// engine falls back to the event-driven strategy for those).
+    pub(crate) fn build(
+        netlist: &Netlist,
+        node_ports: &[(Vec<usize>, Vec<usize>)],
+        reads_channels: &[bool],
+        channel_widths: &[u8],
+    ) -> CompiledPlan {
+        let mut ops = Vec::new();
+        let mut pool = Vec::new();
+        let mut snapshots = Vec::new();
+        let mut zb_slots = 0u32;
+        let mut fork_slots = 0u32;
+        let mut mux_slots = 0u32;
+
+        for (index, node) in netlist.live_nodes().enumerate() {
+            let node_u32 = index as u32;
+            let (inputs, outputs) = &node_ports[index];
+            if !reads_channels[index] {
+                // Fully registered: one dynamic eval, no rail reads.
+                ops.push(MicroOp::Eval { node: node_u32 });
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Function(spec) => {
+                    let input_range = intern(&mut pool, inputs);
+                    let output = outputs[0] as u32;
+                    ops.push(MicroOp::FnFwd {
+                        node: node_u32,
+                        inputs: input_range,
+                        output,
+                        op: DataOp::from_op(&spec.op),
+                    });
+                    ops.push(MicroOp::FnBwd { node: node_u32, inputs: input_range, output });
+                }
+                NodeKind::Buffer(spec) if spec.backward_latency == 0 => {
+                    let slot = zb_slots;
+                    zb_slots += 1;
+                    snapshots.push(SnapshotSource::ZeroBackward { node: node_u32, slot });
+                    let input = inputs[0] as u32;
+                    let output = outputs[0] as u32;
+                    ops.push(MicroOp::ZbFwd { node: node_u32, input, output, slot });
+                    ops.push(MicroOp::ZbBwd { node: node_u32, input, output, slot });
+                }
+                NodeKind::Fork(spec) if spec.eager && spec.outputs <= 64 => {
+                    let slot = fork_slots;
+                    fork_slots += 1;
+                    snapshots.push(SnapshotSource::Fork { node: node_u32, slot });
+                    let input = inputs[0] as u32;
+                    let output_range = intern(&mut pool, outputs);
+                    ops.push(MicroOp::ForkFwd {
+                        node: node_u32,
+                        input,
+                        outputs: output_range,
+                        slot,
+                    });
+                    ops.push(MicroOp::ForkBwd {
+                        node: node_u32,
+                        input,
+                        outputs: output_range,
+                        slot,
+                    });
+                }
+                NodeKind::Mux(spec)
+                    if spec.data_inputs >= 1 && (!spec.early_eval || spec.data_inputs <= 64) =>
+                {
+                    let slot = if spec.early_eval {
+                        let slot = mux_slots;
+                        mux_slots += 1;
+                        snapshots.push(SnapshotSource::Mux { node: node_u32, slot });
+                        slot
+                    } else {
+                        u32::MAX
+                    };
+                    let select = inputs[0] as u32;
+                    let data_range = intern(&mut pool, &inputs[1..]);
+                    let output = outputs[0] as u32;
+                    ops.push(MicroOp::MuxFwd {
+                        node: node_u32,
+                        select,
+                        data: data_range,
+                        output,
+                        early: spec.early_eval,
+                        slot,
+                    });
+                    ops.push(MicroOp::MuxBwd {
+                        node: node_u32,
+                        select,
+                        data: data_range,
+                        output,
+                        early: spec.early_eval,
+                        slot,
+                    });
+                }
+                _ => ops.push(MicroOp::Eval { node: node_u32 }),
+            }
+        }
+
+        let (ops, prefix_len) = schedule(ops, &pool, node_ports, reads_channels, channel_widths);
+
+        CompiledPlan {
+            ops,
+            prefix_len,
+            pool,
+            channel_masks: channel_widths.iter().map(|&w| mask_for(w)).collect(),
+            snapshots,
+            zb: vec![(false, 0); zb_slots as usize],
+            fork_pending: vec![0; fork_slots as usize],
+            mux_owed: vec![0; mux_slots as usize],
+            operands: Vec::new(),
+        }
+    }
+
+    /// Drives the channels to their fixed point for one cycle. Returns
+    /// `false` when the trailing segment fails to stabilise within the
+    /// budget; the caller then finds the oscillating nodes in
+    /// `ctx.oscillating` and the last wave's channels in `ctx.dirty`,
+    /// exactly like the other strategies.
+    pub(crate) fn settle(&mut self, ctx: &mut SettleCtx<'_>) -> bool {
+        let CompiledPlan {
+            ops,
+            prefix_len,
+            pool,
+            channel_masks,
+            snapshots,
+            zb,
+            fork_pending,
+            mux_owed,
+            operands,
+        } = self;
+
+        // Snapshot the sequential state the specialized equations read;
+        // `eval` never mutates it, so once per settle is exact.
+        for source in snapshots.iter() {
+            match *source {
+                SnapshotSource::ZeroBackward { node, slot } => {
+                    let buffer: &ZeroBackwardBuffer = snapshot_ref(ctx.controllers, node);
+                    zb[slot as usize] = (buffer.is_full(), buffer.stored().unwrap_or(0));
+                }
+                SnapshotSource::Fork { node, slot } => {
+                    let fork: &EagerFork = snapshot_ref(ctx.controllers, node);
+                    fork_pending[slot as usize] = fork.pending_mask();
+                }
+                SnapshotSource::Mux { node, slot } => {
+                    let mux: &MuxController = snapshot_ref(ctx.controllers, node);
+                    let mut mask = 0u64;
+                    for (j, &owed) in mux.owed_anti_tokens().iter().take(64).enumerate() {
+                        if owed > 0 {
+                            mask |= 1u64 << j;
+                        }
+                    }
+                    mux_owed[slot as usize] = mask;
+                }
+            }
+        }
+
+        ctx.dirty.clear();
+        for op in &ops[..*prefix_len] {
+            exec(op, pool, channel_masks, zb, fork_pending, mux_owed, operands, ctx, false);
+        }
+        *ctx.settle_iterations += *prefix_len as u64;
+
+        let trailing = &ops[*prefix_len..];
+        if trailing.is_empty() {
+            return true;
+        }
+        for _ in 0..ctx.budget {
+            *ctx.settle_iterations += trailing.len() as u64;
+            ctx.dirty.clear();
+            ctx.oscillating.clear();
+            let mut changed = false;
+            for op in trailing {
+                if exec(op, pool, channel_masks, zb, fork_pending, mux_owed, operands, ctx, true) {
+                    changed = true;
+                    ctx.oscillating.push(op.node());
+                }
+            }
+            if !changed {
+                ctx.oscillating.clear();
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Computes the per-op schedule: writer table over rail groups, dependency
+/// edges writer → reader, Kahn topological order. Ops left unscheduled (on a
+/// rail cycle, reading their own writes, or downstream of either) form the
+/// trailing segment in original op order.
+fn schedule(
+    ops: Vec<MicroOp>,
+    pool: &[u32],
+    node_ports: &[(Vec<usize>, Vec<usize>)],
+    reads_channels: &[bool],
+    channel_widths: &[u8],
+) -> (Vec<MicroOp>, usize) {
+    let rail_count = channel_widths.len() * 2;
+    let mut writer = vec![usize::MAX; rail_count];
+    for (index, op) in ops.iter().enumerate() {
+        for r in write_rails(op, pool, node_ports) {
+            debug_assert_eq!(writer[r], usize::MAX, "every rail group has a single writer");
+            writer[r] = index;
+        }
+    }
+
+    let mut in_degree = vec![0u32; ops.len()];
+    let mut successors: Vec<Vec<u32>> = vec![Vec::new(); ops.len()];
+    for (index, op) in ops.iter().enumerate() {
+        for r in read_rails(op, pool, node_ports, reads_channels) {
+            let w = writer[r];
+            if w == usize::MAX {
+                continue;
+            }
+            in_degree[index] += 1;
+            if w == index {
+                // Reading a rail the op itself writes (a self-loop channel):
+                // the in-degree contribution is never released, forcing the
+                // op — and everything downstream — into the trailing
+                // segment, where iteration either reaches the fixpoint or
+                // reports the combinational loop, like the other engines.
+                continue;
+            }
+            successors[w].push(index as u32);
+        }
+    }
+
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..ops.len()).filter(|&i| in_degree[i] == 0).collect();
+    let mut order = Vec::with_capacity(ops.len());
+    while let Some(index) = queue.pop_front() {
+        order.push(index);
+        for &next in &successors[index] {
+            in_degree[next as usize] -= 1;
+            if in_degree[next as usize] == 0 {
+                queue.push_back(next as usize);
+            }
+        }
+    }
+    let prefix_len = order.len();
+    let mut scheduled = vec![false; ops.len()];
+    for &index in &order {
+        scheduled[index] = true;
+    }
+    for (index, done) in scheduled.iter().enumerate() {
+        if !done {
+            order.push(index);
+        }
+    }
+
+    let mut slots: Vec<Option<MicroOp>> = ops.into_iter().map(Some).collect();
+    let ordered = order.iter().map(|&i| slots[i].take().expect("each op scheduled once")).collect();
+    (ordered, prefix_len)
+}
+
+/// Rail groups written by an op (the rails its node owns, split by group).
+fn write_rails(op: &MicroOp, pool: &[u32], node_ports: &[(Vec<usize>, Vec<usize>)]) -> Vec<usize> {
+    match op {
+        MicroOp::Eval { node } => {
+            let (inputs, outputs) = &node_ports[*node as usize];
+            outputs
+                .iter()
+                .map(|&c| rail(c as u32, FWD))
+                .chain(inputs.iter().map(|&c| rail(c as u32, BWD)))
+                .collect()
+        }
+        MicroOp::FnFwd { output, .. } => vec![rail(*output, FWD)],
+        MicroOp::FnBwd { inputs, .. } => inputs.slice(pool).iter().map(|&c| rail(c, BWD)).collect(),
+        MicroOp::ZbFwd { output, .. } => vec![rail(*output, FWD)],
+        MicroOp::ZbBwd { input, .. } => vec![rail(*input, BWD)],
+        MicroOp::ForkFwd { outputs, .. } => {
+            outputs.slice(pool).iter().map(|&c| rail(c, FWD)).collect()
+        }
+        MicroOp::ForkBwd { input, .. } => vec![rail(*input, BWD)],
+        MicroOp::MuxFwd { output, .. } => vec![rail(*output, FWD)],
+        MicroOp::MuxBwd { select, data, .. } => std::iter::once(rail(*select, BWD))
+            .chain(data.slice(pool).iter().map(|&c| rail(c, BWD)))
+            .collect(),
+    }
+}
+
+/// Rail groups an op's equations read.
+fn read_rails(
+    op: &MicroOp,
+    pool: &[u32],
+    node_ports: &[(Vec<usize>, Vec<usize>)],
+    reads_channels: &[bool],
+) -> Vec<usize> {
+    match op {
+        MicroOp::Eval { node } => {
+            if !reads_channels[*node as usize] {
+                return Vec::new();
+            }
+            // Unspecialized kinds: assume the eval may read every attached
+            // rail it does not own.
+            let (inputs, outputs) = &node_ports[*node as usize];
+            inputs
+                .iter()
+                .map(|&c| rail(c as u32, FWD))
+                .chain(outputs.iter().map(|&c| rail(c as u32, BWD)))
+                .collect()
+        }
+        MicroOp::FnFwd { inputs, .. } => inputs.slice(pool).iter().map(|&c| rail(c, FWD)).collect(),
+        MicroOp::FnBwd { inputs, output, .. } => inputs
+            .slice(pool)
+            .iter()
+            .map(|&c| rail(c, FWD))
+            .chain(std::iter::once(rail(*output, BWD)))
+            .collect(),
+        MicroOp::ZbFwd { input, .. } => vec![rail(*input, FWD)],
+        MicroOp::ZbBwd { output, .. } => vec![rail(*output, BWD)],
+        MicroOp::ForkFwd { input, .. } => vec![rail(*input, FWD)],
+        MicroOp::ForkBwd { input, outputs, .. } => std::iter::once(rail(*input, FWD))
+            .chain(outputs.slice(pool).iter().flat_map(|&c| [rail(c, FWD), rail(c, BWD)]))
+            .collect(),
+        MicroOp::MuxFwd { select, data, .. } => std::iter::once(rail(*select, FWD))
+            .chain(data.slice(pool).iter().map(|&c| rail(c, FWD)))
+            .collect(),
+        MicroOp::MuxBwd { select, data, output, .. } => std::iter::once(rail(*select, FWD))
+            .chain(data.slice(pool).iter().map(|&c| rail(c, FWD)))
+            .chain(std::iter::once(rail(*output, BWD)))
+            .collect(),
+    }
+}
+
+#[inline]
+fn set_bool(slot: &mut bool, value: bool) -> bool {
+    if *slot != value {
+        *slot = value;
+        true
+    } else {
+        false
+    }
+}
+
+#[inline]
+fn set_data(slot: &mut u64, value: u64) -> bool {
+    if *slot != value {
+        *slot = value;
+        true
+    } else {
+        false
+    }
+}
+
+/// Executes one micro-op against the current channel state. Every write is
+/// compare-and-set; returns `true` when any signal changed. With `track`
+/// set, changed channels are pushed onto `ctx.dirty` (the trailing sweeps'
+/// convergence witness).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn exec(
+    op: &MicroOp,
+    pool: &[u32],
+    masks: &[u64],
+    zb: &[(bool, u64)],
+    fork_pending: &[u64],
+    mux_owed: &[u64],
+    operands: &mut Vec<u64>,
+    ctx: &mut SettleCtx<'_>,
+    track: bool,
+) -> bool {
+    match op {
+        MicroOp::Eval { node } => {
+            let index = *node as usize;
+            let before = ctx.dirty.len();
+            let (inputs, outputs) = &ctx.node_ports[index];
+            let mut io =
+                NodeIo::tracked(ctx.channels, inputs, outputs, ctx.channel_widths, ctx.dirty);
+            ctx.controllers[index].eval(&mut io);
+            *ctx.controller_evals += 1;
+            let changed = ctx.dirty.len() > before;
+            if !track {
+                ctx.dirty.truncate(before);
+            }
+            changed
+        }
+        MicroOp::FnFwd { inputs, output, op: data_op, .. } => {
+            let out = *output as usize;
+            let mut all_valid = true;
+            let mut all_accept_kill = true;
+            operands.clear();
+            for &ch in inputs.slice(pool) {
+                let c = &ctx.channels[ch as usize];
+                all_valid &= c.forward_valid;
+                all_accept_kill &= !c.backward_stop;
+                operands.push(c.data);
+            }
+            let value = data_op.eval(operands) & masks[out];
+            let anti_stop = !(all_valid || all_accept_kill);
+            let c = &mut ctx.channels[out];
+            let changed = set_bool(&mut c.forward_valid, all_valid)
+                | set_data(&mut c.data, value)
+                | set_bool(&mut c.backward_stop, anti_stop);
+            if changed && track {
+                ctx.dirty.push(out);
+            }
+            changed
+        }
+        MicroOp::FnBwd { inputs, output, .. } => {
+            let out = &ctx.channels[*output as usize];
+            let kill = out.backward_valid;
+            let output_stop = out.forward_stop;
+            let mut all_valid = true;
+            let mut all_accept_kill = true;
+            for &ch in inputs.slice(pool) {
+                let c = &ctx.channels[ch as usize];
+                all_valid &= c.forward_valid;
+                all_accept_kill &= !c.backward_stop;
+            }
+            let output_transfer = all_valid && !output_stop && !kill;
+            let annihilate = all_valid && kill;
+            let forward_kill = kill && !all_valid && all_accept_kill;
+            let fire = output_transfer || annihilate;
+            let mut changed = false;
+            for &ch in inputs.slice(pool) {
+                let c = &mut ctx.channels[ch as usize];
+                let ch_changed = set_bool(&mut c.forward_stop, !fire)
+                    | set_bool(&mut c.backward_valid, forward_kill);
+                if ch_changed {
+                    changed = true;
+                    if track {
+                        ctx.dirty.push(ch as usize);
+                    }
+                }
+            }
+            changed
+        }
+        MicroOp::ZbFwd { input, output, slot, .. } => {
+            let (full, stored) = zb[*slot as usize];
+            let out = *output as usize;
+            let anti_stop = !full && ctx.channels[*input as usize].backward_stop;
+            let c = &mut ctx.channels[out];
+            let changed = set_bool(&mut c.forward_valid, full)
+                | set_data(&mut c.data, stored & masks[out])
+                | set_bool(&mut c.backward_stop, anti_stop);
+            if changed && track {
+                ctx.dirty.push(out);
+            }
+            changed
+        }
+        MicroOp::ZbBwd { input, output, slot, .. } => {
+            let (full, _) = zb[*slot as usize];
+            let out = &ctx.channels[*output as usize];
+            let stop = full && out.forward_stop && !out.backward_valid;
+            let pass_through = !full && out.backward_valid;
+            let input_index = *input as usize;
+            let c = &mut ctx.channels[input_index];
+            let changed =
+                set_bool(&mut c.forward_stop, stop) | set_bool(&mut c.backward_valid, pass_through);
+            if changed && track {
+                ctx.dirty.push(input_index);
+            }
+            changed
+        }
+        MicroOp::ForkFwd { input, outputs, slot, .. } => {
+            let inp = ctx.channels[*input as usize];
+            let pending = fork_pending[*slot as usize];
+            let mut changed = false;
+            for (branch, &ch) in outputs.slice(pool).iter().enumerate() {
+                let needs = inp.forward_valid && (pending >> branch) & 1 == 1;
+                let out = ch as usize;
+                let c = &mut ctx.channels[out];
+                let ch_changed = set_bool(&mut c.forward_valid, needs)
+                    | set_data(&mut c.data, inp.data & masks[out])
+                    | set_bool(&mut c.backward_stop, !needs);
+                if ch_changed {
+                    changed = true;
+                    if track {
+                        ctx.dirty.push(out);
+                    }
+                }
+            }
+            changed
+        }
+        MicroOp::ForkBwd { input, outputs, slot, .. } => {
+            let input_valid = ctx.channels[*input as usize].forward_valid;
+            let pending = fork_pending[*slot as usize];
+            let mut done = true;
+            for (branch, &ch) in outputs.slice(pool).iter().enumerate() {
+                if (pending >> branch) & 1 == 0 {
+                    continue;
+                }
+                let out = &ctx.channels[ch as usize];
+                let killed = out.backward_valid && !out.backward_stop;
+                let transferred = out.forward_valid && !out.forward_stop;
+                if !(input_valid && (killed || transferred)) {
+                    done = false;
+                }
+            }
+            let input_fires = input_valid && done;
+            let input_index = *input as usize;
+            let c = &mut ctx.channels[input_index];
+            let changed = set_bool(&mut c.forward_stop, !input_fires)
+                | set_bool(&mut c.backward_valid, false);
+            if changed && track {
+                ctx.dirty.push(input_index);
+            }
+            changed
+        }
+        MicroOp::MuxFwd { select, data, output, early, slot, .. } => {
+            let sel = ctx.channels[*select as usize];
+            let data_channels = data.slice(pool);
+            let selected = (sel.data as usize) % data_channels.len();
+            let selected_channel = data_channels[selected] as usize;
+            let valid = if *early {
+                let clean = (mux_owed[*slot as usize] >> selected) & 1 == 0;
+                sel.forward_valid && ctx.channels[selected_channel].forward_valid && clean
+            } else {
+                let all_data_valid =
+                    data_channels.iter().all(|&ch| ctx.channels[ch as usize].forward_valid);
+                sel.forward_valid && all_data_valid
+            };
+            let value = ctx.channels[selected_channel].data;
+            let out = *output as usize;
+            let c = &mut ctx.channels[out];
+            let changed = set_bool(&mut c.forward_valid, valid)
+                | set_data(&mut c.data, value & masks[out])
+                | set_bool(&mut c.backward_stop, true);
+            if changed && track {
+                ctx.dirty.push(out);
+            }
+            changed
+        }
+        MicroOp::MuxBwd { select, data, output, early, slot, .. } => {
+            let sel = ctx.channels[*select as usize];
+            let data_channels = data.slice(pool);
+            let selected = (sel.data as usize) % data_channels.len();
+            let selected_channel = data_channels[selected] as usize;
+            let owed_mask = if *early { mux_owed[*slot as usize] } else { 0 };
+            let clean = (owed_mask >> selected) & 1 == 0;
+            let valid = if *early {
+                sel.forward_valid && ctx.channels[selected_channel].forward_valid && clean
+            } else {
+                let all_data_valid =
+                    data_channels.iter().all(|&ch| ctx.channels[ch as usize].forward_valid);
+                sel.forward_valid && all_data_valid
+            };
+            let fire = valid && !ctx.channels[*output as usize].forward_stop;
+            let mut changed = false;
+            {
+                let select_index = *select as usize;
+                let c = &mut ctx.channels[select_index];
+                if set_bool(&mut c.forward_stop, !fire) {
+                    changed = true;
+                    if track {
+                        ctx.dirty.push(select_index);
+                    }
+                }
+            }
+            for (j, &ch) in data_channels.iter().enumerate() {
+                let (kill, stop) = if *early {
+                    let is_selected = j == selected && sel.forward_valid;
+                    let owed = (owed_mask >> j) & 1 == 1 || (fire && !is_selected);
+                    let consuming = is_selected && fire && clean;
+                    let kill = owed && !consuming;
+                    let stop = if kill {
+                        false
+                    } else if is_selected {
+                        !fire
+                    } else {
+                        true
+                    };
+                    (kill, stop)
+                } else {
+                    (false, !fire)
+                };
+                let index = ch as usize;
+                let c = &mut ctx.channels[index];
+                let ch_changed =
+                    set_bool(&mut c.forward_stop, stop) | set_bool(&mut c.backward_valid, kill);
+                if ch_changed {
+                    changed = true;
+                    if track {
+                        ctx.dirty.push(index);
+                    }
+                }
+            }
+            changed
+        }
+    }
+}

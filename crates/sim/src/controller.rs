@@ -257,6 +257,18 @@ pub trait Controller: std::fmt::Debug {
         true
     }
 
+    /// Concrete-type escape hatch for the compiled settle backend.
+    ///
+    /// The compiled planner ([`crate::engine::SettleStrategy::Compiled`])
+    /// snapshots the sequential state of a few controller kinds once per cycle
+    /// (zero-backward buffers, eager forks, early-evaluation muxes) so it can
+    /// replay their `eval` equations without dynamic dispatch. Controllers
+    /// that participate override this to return `Some(self)`; everything else
+    /// keeps the `None` default and is evaluated through the trait as usual.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// Statistics collected so far.
     fn stats(&self) -> NodeStats {
         NodeStats::default()

@@ -157,6 +157,13 @@ impl ZeroBackwardBuffer {
     pub fn is_full(&self) -> bool {
         self.stored.is_some()
     }
+
+    /// The stored word, if any — the only sequential state `eval` reads.
+    /// Exposed so the compiled settle backend (and codegen output) can
+    /// snapshot it once per cycle instead of dispatching through the trait.
+    pub fn stored(&self) -> Option<u64> {
+        self.stored
+    }
 }
 
 impl Controller for ZeroBackwardBuffer {
@@ -218,6 +225,10 @@ impl Controller for ZeroBackwardBuffer {
     fn reset(&mut self) {
         self.stored = self.initial;
         self.stats = NodeStats::default();
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -49,6 +49,21 @@ impl EagerFork {
         }
     }
 
+    /// Bitmask of the per-branch effective pending state for the first 64
+    /// branches:
+    /// bit `b` is set when branch `b` still needs its copy this cycle. The
+    /// compiled settle backend snapshots this once per cycle (it is pure
+    /// sequential state) and replays the eager-fork equations against it.
+    pub fn pending_mask(&self) -> u64 {
+        let mut mask = 0u64;
+        for branch in 0..self.spec.outputs.min(64) {
+            if self.effective_pending(branch) {
+                mask |= 1u64 << branch;
+            }
+        }
+        mask
+    }
+
     /// Which branches complete their delivery this cycle, given the settled
     /// signals. A branch delivers when its (actually asserted) copy
     /// transfers, or when the copy is cancelled by a branch anti-token —
@@ -195,6 +210,10 @@ impl Controller for EagerFork {
         self.pending.iter_mut().for_each(|p| *p = true);
         self.serving = false;
         self.stats = NodeStats::default();
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -150,6 +150,10 @@ impl Controller for MuxController {
         self.owed_anti_tokens.iter_mut().for_each(|owed| *owed = 0);
         self.stats = NodeStats::default();
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

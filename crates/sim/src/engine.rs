@@ -73,6 +73,7 @@ use std::time::Instant;
 use elastic_core::kind::{BackpressurePattern, SourcePattern};
 use elastic_core::{ChannelId, CoreError, Netlist, NodeId, Scheduler};
 
+use crate::compiled::{CompiledPlan, SettleCtx};
 use crate::controller::{Controller, NodeIo};
 use crate::controllers::build_controller;
 use crate::faults::{FaultInjector, FaultPlan, ResolvedFault};
@@ -92,7 +93,29 @@ pub enum SettleStrategy {
     /// a full sweep changes nothing. Kept as the reference oracle for
     /// engine-equivalence tests and for debugging suspected worklist bugs.
     FullSweep,
+    /// Compiled plan: the netlist is lowered once into a topologically
+    /// ordered sequence of fused, monomorphic micro-ops (see the
+    /// `compiled` module); the acyclic part of the control network settles
+    /// in one straight-line pass with no dynamic dispatch and no worklist.
+    /// Netlists with optimistic controllers (lazy forks) transparently fall
+    /// back to [`SettleStrategy::EventDriven`], which implements the
+    /// two-pass seeding they need.
+    ///
+    /// Effort counters under this strategy:
+    /// [`SimulationReport::settle_iterations`] counts **micro-op
+    /// executions** (each scheduled op once per cycle, plus once per
+    /// trailing sweep), and [`SimulationReport::controller_evals`] counts
+    /// only the remaining *dynamic* `Controller::eval` calls (registered
+    /// controllers and unspecialized kinds) — fused ops evaluate no
+    /// controller at all.
+    Compiled,
 }
+
+/// A settle-phase replacement for
+/// [`Simulation::step_with_external_settle`]: clears and settles the dense
+/// channel vector in place, reading controller state only for the per-cycle
+/// sequential-state snapshots (see [`crate::codegen`]).
+pub(crate) type ExternalSettleFn<'a> = dyn FnMut(&mut [ChannelState], &[Box<dyn Controller>]) + 'a;
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -311,6 +334,10 @@ pub struct Simulation {
     /// sweep) when a settle budget ran out — the raw material of the
     /// [`OscillationWitness`]. Empty outside the error path.
     oscillating: Vec<u32>,
+    /// The lowered settle plan when [`SettleStrategy::Compiled`] is active
+    /// and the netlist has no optimistic controllers; `None` otherwise (the
+    /// strategy then falls back to the event-driven settle).
+    compiled: Option<Box<CompiledPlan>>,
     worklist: Worklist,
     trace: Trace,
     cycle: u64,
@@ -319,8 +346,9 @@ pub struct Simulation {
     /// Set when a [`Simulation::run_with_deadline`] run was cut short by its
     /// wall-clock deadline (surfaced in the report).
     deadline_exceeded: bool,
-    /// Total settle iterations: worklist pops (event-driven) or full sweeps
-    /// (reference), accumulated over all cycles.
+    /// Total settle iterations: worklist pops (event-driven), full sweeps
+    /// (reference) or micro-op executions (compiled), accumulated over all
+    /// cycles.
     settle_iterations: u64,
     /// Total `Controller::eval` invocations over all cycles.
     controller_evals: u64,
@@ -436,6 +464,21 @@ impl Simulation {
             seed_buckets[node_rank as usize].push(node as u32);
         }
 
+        // Lower the netlist to the fused micro-op plan only when the compiled
+        // strategy will actually use it: optimistic controllers (lazy forks)
+        // need the event-driven engine's two-pass seeding, so such netlists
+        // run uncompiled.
+        let compiled = if config.settle == SettleStrategy::Compiled && optimistic_nodes.is_empty() {
+            Some(Box::new(CompiledPlan::build(
+                netlist,
+                &node_ports,
+                &reads_channels,
+                &channel_widths,
+            )))
+        } else {
+            None
+        };
+
         Ok(Simulation {
             config: config.clone(),
             worklist: Worklist::new(rank_count, controllers.len()),
@@ -454,6 +497,7 @@ impl Simulation {
             seed_buckets,
             dirty: Vec::new(),
             oscillating: Vec::new(),
+            compiled,
             trace: Trace::new(netlist),
             cycle: 0,
             injector: None,
@@ -776,6 +820,33 @@ impl Simulation {
         false
     }
 
+    /// Compiled settle: run the lowered micro-op plan (see
+    /// [`crate::compiled`]) — straight-line prefix once, trailing segment by
+    /// budget-capped sweeps. Netlists that could not be planned (optimistic
+    /// controllers present) settle event-driven instead; the strategy is
+    /// then an alias with identical results. Returns `false` when the
+    /// trailing segment fails to stabilise (combinational loop).
+    fn settle_compiled(&mut self) -> bool {
+        let Some(mut plan) = self.compiled.take() else {
+            return self.settle_event_driven();
+        };
+        let budget = self.settle_budget();
+        let mut ctx = SettleCtx {
+            channels: &mut self.channels,
+            controllers: &self.controllers,
+            node_ports: &self.node_ports,
+            channel_widths: &self.channel_widths,
+            dirty: &mut self.dirty,
+            oscillating: &mut self.oscillating,
+            budget,
+            settle_iterations: &mut self.settle_iterations,
+            controller_evals: &mut self.controller_evals,
+        };
+        let settled = plan.settle(&mut ctx);
+        self.compiled = Some(plan);
+        settled
+    }
+
     /// Reference settle: Jacobi iteration in node order (the pre-worklist
     /// engine behaviour), with the same optimistic seeding pass as the
     /// event-driven engine when lazy forks are present — node-order sweeps
@@ -807,6 +878,7 @@ impl Simulation {
         let settled = match self.config.settle {
             SettleStrategy::EventDriven => self.settle_event_driven(),
             SettleStrategy::FullSweep => self.settle_full_sweep(),
+            SettleStrategy::Compiled => self.settle_compiled(),
         };
         if !settled {
             return Err(SimError::CombinationalLoop {
@@ -835,6 +907,46 @@ impl Simulation {
         }
         self.cycle += 1;
         Ok(())
+    }
+
+    /// One cycle driven by an **external settle function**
+    /// ([`ExternalSettleFn`]) — the
+    /// straight-line pass emitted by [`crate::codegen::emit_settle_fn`]. The
+    /// function replaces the clear + settle phase (it clears the channels
+    /// itself); the rest of the cycle — fault injection, trace recording,
+    /// the commit clock edge — is exactly [`Simulation::step`]. Emitted
+    /// functions are straight-line by construction, so there is no
+    /// combinational-loop error path.
+    pub(crate) fn step_with_external_settle(&mut self, settle: &mut ExternalSettleFn<'_>) {
+        settle(&mut self.channels, &self.controllers);
+        if let Some(injector) = &mut self.injector {
+            injector.apply(self.cycle, &mut self.channels);
+        }
+        if self.config.record_trace {
+            self.trace.record(&self.channels);
+        }
+        for (index, controller) in self.controllers.iter_mut().enumerate() {
+            let (inputs, outputs) = &self.node_ports[index];
+            let io = NodeIo::new(&mut self.channels, inputs, outputs);
+            controller.commit(&io);
+        }
+        self.cycle += 1;
+    }
+
+    /// The lowered settle plan, when the compiled strategy is active and the
+    /// netlist could be planned (codegen introspection).
+    pub(crate) fn compiled_plan(&self) -> Option<&CompiledPlan> {
+        self.compiled.as_deref()
+    }
+
+    /// Dense `(input, output)` channel indices per controller (codegen).
+    pub(crate) fn node_ports_table(&self) -> &[(Vec<usize>, Vec<usize>)] {
+        &self.node_ports
+    }
+
+    /// Declared width per dense channel index (codegen).
+    pub(crate) fn channel_widths_table(&self) -> &[u8] {
+        &self.channel_widths
     }
 
     /// Builds the [`OscillationWitness`] from the controllers collected by
@@ -1117,7 +1229,9 @@ mod tests {
         let mut n = Netlist::new("self-loop");
         let f = n.add_op("f", Op::Inc);
         n.connect(Port::output(f, 0), Port::input(f, 0), 8).unwrap();
-        for settle in [SettleStrategy::EventDriven, SettleStrategy::FullSweep] {
+        for settle in
+            [SettleStrategy::EventDriven, SettleStrategy::FullSweep, SettleStrategy::Compiled]
+        {
             let config = SimConfig { settle, ..SimConfig::default() };
             let mut sim = Simulation::new(&n, &config).unwrap();
             match sim.run(3) {
@@ -1207,6 +1321,57 @@ mod tests {
 
     fn report_transfers(report: &SimulationReport, sink: NodeId) -> u64 {
         report.sink_transfers(sink)
+    }
+
+    #[test]
+    fn compiled_strategy_matches_the_event_driven_engine() {
+        let (netlist, _src, sink) = pipeline();
+        let mut event_driven = Simulation::new(&netlist, &SimConfig::default()).unwrap();
+        let mut compiled = Simulation::new(
+            &netlist,
+            &SimConfig { settle: SettleStrategy::Compiled, ..SimConfig::default() },
+        )
+        .unwrap();
+        let event_report = event_driven.run(25).unwrap();
+        let compiled_report = compiled.run(25).unwrap();
+        assert_eq!(event_driven.trace(), compiled.trace());
+        assert_eq!(event_report.sink_streams, compiled_report.sink_streams);
+        assert_eq!(event_report.node_stats, compiled_report.node_stats);
+        assert_eq!(report_transfers(&event_report, sink), report_transfers(&compiled_report, sink));
+    }
+
+    #[test]
+    fn compiled_effort_counters_count_micro_ops_and_dynamic_evals() {
+        // The documented compiled-counter semantics, pinned: the 4-node
+        // pipeline (source, inc, standard buffer, sink) lowers to 5 micro-ops
+        // — three dynamic evals for the registered controllers plus the
+        // fused FnFwd/FnBwd pair — all in the straight-line prefix.
+        let (netlist, _src, _sink) = pipeline();
+        let mut sim = Simulation::new(
+            &netlist,
+            &SimConfig { settle: SettleStrategy::Compiled, ..SimConfig::default() },
+        )
+        .unwrap();
+        let report = sim.run(10).unwrap();
+        assert_eq!(report.settle_iterations, 10 * 5, "micro-op executions");
+        assert_eq!(report.controller_evals, 10 * 3, "remaining dynamic evals");
+    }
+
+    #[test]
+    fn compiled_reset_replays_bit_identically() {
+        let (netlist, _src, _sink) = pipeline();
+        let mut sim = Simulation::new(
+            &netlist,
+            &SimConfig { settle: SettleStrategy::Compiled, ..SimConfig::default() },
+        )
+        .unwrap();
+        let first = sim.run(30).unwrap();
+        let first_trace = sim.trace().clone();
+        sim.reset();
+        let second = sim.run(30).unwrap();
+        assert_eq!(sim.trace(), &first_trace, "replay must be bit-identical");
+        assert_eq!(second.sink_streams, first.sink_streams);
+        assert_eq!(second.settle_iterations, first.settle_iterations);
     }
 
     #[test]

@@ -35,7 +35,7 @@
 //! fuzz leg pin this the same way the FullSweep oracle pinned the PR-1
 //! engine swap.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -52,6 +52,12 @@ use crate::trace::Trace;
 /// Number of scenarios advanced per word operation: the bit width of a lane
 /// word.
 pub const LANES: usize = 64;
+
+/// A per-lane scheduler factory for
+/// [`LaneSimulation::reset_with_schedulers`]: invoked once per lane to
+/// build that lane's prediction policy (schedulers are stateful boxes, not
+/// clonable, so lanes get fresh instances rather than copies).
+pub type SchedulerFactory<'a> = dyn Fn(usize) -> Box<dyn elastic_core::Scheduler> + 'a;
 
 const IN: usize = 0;
 const OUT: usize = 0;
@@ -488,6 +494,17 @@ pub trait LaneController: fmt::Debug {
         let _ = (lane, pattern);
         false
     }
+
+    /// Replaces one lane's prediction policy; `true` when this node is a
+    /// shared module. The box is dropped (and `false` returned) otherwise.
+    fn override_scheduler(
+        &mut self,
+        lane: usize,
+        scheduler: Box<dyn elastic_core::Scheduler>,
+    ) -> bool {
+        let _ = (lane, scheduler);
+        false
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -497,10 +514,28 @@ pub trait LaneController: fmt::Debug {
 /// The standard `Lf = 1`, `Lb = 1` elastic buffer across 64 lanes: per-lane
 /// FIFO state, word-level handshake. All driven signals are functions of
 /// the sequential state only, so `eval` runs exactly once per cycle.
+///
+/// Token storage is one lane-major fixed-capacity ring: the FIFO depth is
+/// statically known from the buffer spec, so lane `ℓ` owns the contiguous
+/// slots `data[ℓ·ring .. (ℓ+1)·ring]` with a per-lane `(head, len)` cursor
+/// pair. The former per-lane `VecDeque<u64>` layout scattered every lane's
+/// front element across 64 separately-allocated deques, and the pointer
+/// chasing in the eval/commit hot loops capped the registered-pipeline lane
+/// win at ~4×; the ring keeps the whole node's token state in one
+/// allocation with index arithmetic only.
 #[derive(Debug)]
 struct LaneStandardBuffer {
     spec: BufferSpec,
-    tokens: Vec<VecDeque<u64>>,
+    /// Ring slots per lane: the static FIFO bound `max(capacity,
+    /// init_tokens, 1)` (`1` keeps the cursor arithmetic total for
+    /// zero-capacity pass-through specs, which never push).
+    ring: usize,
+    /// Lane-major token slots: `data[lane * ring + slot]`.
+    data: Vec<u64>,
+    /// Ring slot of each lane's oldest token.
+    head: Vec<u32>,
+    /// Tokens currently held per lane (`<= ring`).
+    len: Vec<u32>,
     anti_tokens: Vec<u32>,
     stats: Vec<NodeStats>,
     data_scratch: Vec<u64>,
@@ -508,9 +543,13 @@ struct LaneStandardBuffer {
 
 impl LaneStandardBuffer {
     fn new(spec: BufferSpec) -> Self {
+        let ring = (spec.capacity as usize).max(spec.init_tokens.max(0) as usize).max(1);
         let mut buffer = LaneStandardBuffer {
             spec,
-            tokens: (0..LANES).map(|_| VecDeque::new()).collect(),
+            ring,
+            data: vec![0; ring * LANES],
+            head: vec![0; LANES],
+            len: vec![0; LANES],
             anti_tokens: vec![0; LANES],
             stats: vec![NodeStats::default(); LANES],
             data_scratch: vec![0; LANES],
@@ -518,30 +557,52 @@ impl LaneStandardBuffer {
         buffer.reset();
         buffer
     }
+
+    #[inline]
+    fn pop_front(&mut self, lane: usize) -> Option<u64> {
+        if self.len[lane] == 0 {
+            return None;
+        }
+        let value = self.data[lane * self.ring + self.head[lane] as usize];
+        self.head[lane] = (self.head[lane] + 1) % self.ring as u32;
+        self.len[lane] -= 1;
+        Some(value)
+    }
+
+    #[inline]
+    fn push_back(&mut self, lane: usize, value: u64) {
+        debug_assert!((self.len[lane] as usize) < self.ring, "ring bound is the FIFO bound");
+        let slot = (self.head[lane] + self.len[lane]) % self.ring as u32;
+        self.data[lane * self.ring + slot as usize] = value;
+        self.len[lane] += 1;
+    }
 }
 
 impl LaneController for LaneStandardBuffer {
     fn eval(&mut self, io: &mut LaneIo<'_>) {
         let capacity = self.spec.capacity as usize;
         let anti_capacity = self.spec.anti_capacity;
+        let ring = self.ring;
         let mut valid = 0u64;
         let mut stop = 0u64;
         let mut kill = 0u64;
         let mut anti_stop = 0u64;
         for lane in 0..LANES {
             let bit = 1u64 << lane;
-            let tokens = &self.tokens[lane];
-            if !tokens.is_empty() {
+            let len = self.len[lane] as usize;
+            if len > 0 {
                 valid |= bit;
+                self.data_scratch[lane] = self.data[lane * ring + self.head[lane] as usize];
+            } else {
+                self.data_scratch[lane] = 0;
             }
-            self.data_scratch[lane] = tokens.front().copied().unwrap_or(0);
-            if tokens.len() >= capacity {
+            if len >= capacity {
                 stop |= bit;
             }
             if self.anti_tokens[lane] > 0 {
                 kill |= bit;
             }
-            let can_absorb_anti = !tokens.is_empty() || self.anti_tokens[lane] < anti_capacity;
+            let can_absorb_anti = len > 0 || self.anti_tokens[lane] < anti_capacity;
             if !can_absorb_anti {
                 anti_stop |= bit;
             }
@@ -575,36 +636,37 @@ impl LaneController for LaneStandardBuffer {
         let token_arrived = in_fv & !in_fs;
         let anti_left = in_bv & !in_bs;
 
-        for (lane, &data) in in_data.iter().enumerate() {
+        for (lane, &data) in in_data.iter().enumerate().take(LANES) {
             let bit = 1u64 << lane;
-            let tokens = &mut self.tokens[lane];
-            let anti = &mut self.anti_tokens[lane];
-            let stats = &mut self.stats[lane];
             // Output boundary, exactly the scalar match order: kill wins,
             // then transfer, then stall accounting.
             if out_kill & bit != 0 {
-                match tokens.pop_front() {
-                    Some(_) => stats.killed_tokens += 1,
-                    None => *anti = (*anti + 1).min(self.spec.anti_capacity),
+                match self.pop_front(lane) {
+                    Some(_) => self.stats[lane].killed_tokens += 1,
+                    None => {
+                        self.anti_tokens[lane] =
+                            (self.anti_tokens[lane] + 1).min(self.spec.anti_capacity);
+                    }
                 }
             } else if out_transfer & bit != 0 {
-                tokens.pop_front();
-                stats.output_transfers += 1;
+                self.pop_front(lane);
+                self.stats[lane].output_transfers += 1;
             } else if out_stall & bit != 0 {
-                stats.stall_cycles += 1;
+                self.stats[lane].stall_cycles += 1;
             }
             // Input boundary.
+            let anti = &mut self.anti_tokens[lane];
             match (token_arrived & bit != 0, anti_left & bit != 0) {
                 (true, true) => {
                     *anti = anti.saturating_sub(1);
-                    stats.killed_tokens += 1;
+                    self.stats[lane].killed_tokens += 1;
                 }
                 (true, false) => {
                     if *anti > 0 {
                         *anti -= 1;
-                        stats.killed_tokens += 1;
+                        self.stats[lane].killed_tokens += 1;
                     } else {
-                        tokens.push_back(data);
+                        self.push_back(lane, data);
                     }
                 }
                 (false, true) => *anti = anti.saturating_sub(1),
@@ -614,11 +676,12 @@ impl LaneController for LaneStandardBuffer {
     }
 
     fn reset(&mut self) {
+        let init_tokens = self.spec.init_tokens.max(0) as usize;
         for lane in 0..LANES {
-            let tokens = &mut self.tokens[lane];
-            tokens.clear();
-            for _ in 0..self.spec.init_tokens.max(0) {
-                tokens.push_back(self.spec.init_value);
+            self.head[lane] = 0;
+            self.len[lane] = init_tokens as u32;
+            for slot in 0..init_tokens {
+                self.data[lane * self.ring + slot] = self.spec.init_value;
             }
             self.anti_tokens[lane] = (-self.spec.init_tokens).max(0) as u32;
             self.stats[lane] = NodeStats::default();
@@ -1247,6 +1310,14 @@ impl LaneController for ScalarLanes {
     fn override_source_pattern(&mut self, lane: usize, pattern: &SourcePattern) -> bool {
         self.lanes[lane].override_source_pattern(pattern)
     }
+
+    fn override_scheduler(
+        &mut self,
+        lane: usize,
+        scheduler: Box<dyn elastic_core::Scheduler>,
+    ) -> bool {
+        self.lanes[lane].override_scheduler(scheduler)
+    }
 }
 
 /// Builds the lane controller for one netlist node: a native word
@@ -1300,9 +1371,12 @@ fn build_lane_controller(
 ///
 /// The settle algorithm, evaluation ranks, worklist, budgets and
 /// oscillation reporting are the scalar [`crate::Simulation`]'s,
-/// generalised word-wise. Not supported in the lane engine (use the scalar
-/// engine): fault injection, streaming cycle monitors, and per-lane
-/// scheduler overrides.
+/// generalised word-wise. Environment injection covers the scalar reset
+/// surface: sink back-pressure and source offer patterns vary per lane,
+/// and shared-module schedulers inject lane-blocked (one freshly built
+/// scheduler per lane, see [`LaneSimulation::reset_with_schedulers`]).
+/// Not supported in the lane engine (use the scalar engine): fault
+/// injection and streaming cycle monitors.
 pub struct LaneSimulation {
     config: LaneConfig,
     controllers: Vec<Box<dyn LaneController>>,
@@ -1575,6 +1649,59 @@ impl LaneSimulation {
                 applied,
                 "node {node} is not a source; cannot override its offer pattern"
             );
+        }
+    }
+
+    /// [`LaneSimulation::reset`], additionally replacing each lane's
+    /// token-offer pattern of the named sources individually: lane `ℓ` of a
+    /// named source gets `patterns[min(ℓ, patterns.len() - 1)]` — 64 offer
+    /// environments per simulation instance, the source-side mirror of
+    /// [`LaneSimulation::reset_with_lane_sink_patterns`]. Empty pattern
+    /// lists leave the source untouched. Data streams are kept: only *when*
+    /// tokens are offered varies per lane, never their values.
+    pub fn reset_with_lane_source_patterns(&mut self, overrides: &[(NodeId, Vec<SourcePattern>)]) {
+        self.reset();
+        for (node, patterns) in overrides {
+            if patterns.is_empty() {
+                continue;
+            }
+            let applied = self
+                .node_index(*node)
+                .map(|index| {
+                    let controller = &mut self.controllers[index];
+                    (0..LANES).all(|lane| {
+                        let pattern = &patterns[lane.min(patterns.len() - 1)];
+                        controller.override_source_pattern(lane, pattern)
+                    })
+                })
+                .unwrap_or(false);
+            debug_assert!(
+                applied,
+                "node {node} is not a source; cannot override its offer pattern"
+            );
+        }
+    }
+
+    /// [`LaneSimulation::reset`], additionally replacing the prediction
+    /// policy of the named shared modules. Schedulers are stateful boxes
+    /// (not clonable), so the injection is *lane-blocked*: `make(lane)` is
+    /// invoked once per lane to build that lane's scheduler — pass a
+    /// closure that ignores `lane` to broadcast one policy across the
+    /// block, or derive the seed from `lane` to pack [`LANES`] adversarial
+    /// runs into one instance. Overrides persist across later plain resets
+    /// (which rewind them via `Scheduler::reset`), exactly like the scalar
+    /// engine's [`crate::Simulation::reset_with_schedulers`].
+    pub fn reset_with_schedulers(&mut self, overrides: &[(NodeId, &SchedulerFactory<'_>)]) {
+        self.reset();
+        for (node, make) in overrides {
+            let applied = self
+                .node_index(*node)
+                .map(|index| {
+                    let controller = &mut self.controllers[index];
+                    (0..LANES).all(|lane| controller.override_scheduler(lane, make(lane)))
+                })
+                .unwrap_or(false);
+            debug_assert!(applied, "node {node} is not a shared module; cannot override scheduler");
         }
     }
 

@@ -60,6 +60,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codegen;
+mod compiled;
 pub mod controller;
 pub mod controllers;
 pub mod engine;
@@ -74,7 +76,7 @@ pub mod trace;
 
 pub use engine::{OscillationWitness, SettleStrategy, SimConfig, SimError, Simulation};
 pub use faults::{ByzantineScheduler, FaultKind, FaultPlan, FaultSpec, FaultStats};
-pub use lanes::{LaneConfig, LaneSimulation, LANES};
+pub use lanes::{LaneConfig, LaneSimulation, SchedulerFactory, LANES};
 pub use metrics::{SharedModuleStats, SimulationReport};
 pub use monitor::{CycleMonitor, MonitorViolation};
 pub use signal::{ChannelPhase, ChannelState, TraceSymbol};

@@ -1,7 +1,10 @@
 //! Engine equivalence: the event-driven worklist settle phase must be
 //! observationally identical to the naive full-sweep reference on every
 //! paper scenario — bit-identical traces and reports, with strictly fewer
-//! controller evaluations.
+//! controller evaluations. The compiled settle backend
+//! ([`SettleStrategy::Compiled`]) joins the same matrix: same traces, same
+//! reports, and never more dynamic controller evaluations than the
+//! event-driven engine.
 
 use elastic_core::library;
 use elastic_core::{Netlist, NodeId};
@@ -21,15 +24,21 @@ fn run_with(
     (sim, report)
 }
 
-/// Runs `netlist` under both settle strategies and asserts equivalence of
-/// everything observable: the full per-cycle per-channel trace and every
+/// Runs `netlist` under all three settle strategies and asserts equivalence
+/// of everything observable: the full per-cycle per-channel trace and every
 /// report field except the engine-effort counters.
 fn assert_engines_equivalent(name: &str, netlist: &Netlist, cycles: u64) {
     let (event_sim, event_report) = run_with(netlist, SettleStrategy::EventDriven, cycles);
     let (sweep_sim, sweep_report) = run_with(netlist, SettleStrategy::FullSweep, cycles);
+    let (compiled_sim, compiled_report) = run_with(netlist, SettleStrategy::Compiled, cycles);
 
     // The packed stores must be identical as a whole …
     assert_eq!(event_sim.trace(), sweep_sim.trace(), "{name}: traces must be bit-identical");
+    assert_eq!(
+        event_sim.trace(),
+        compiled_sim.trace(),
+        "{name}: compiled trace must be bit-identical"
+    );
     // … and decode to the same signals cycle for cycle against the FullSweep
     // oracle, which exercises the bit-plane/data-column decoding paths.
     assert_eq!(event_sim.trace().len(), cycles as usize, "{name}: every cycle recorded");
@@ -38,17 +47,35 @@ fn assert_engines_equivalent(name: &str, netlist: &Netlist, cycles: u64) {
         let oracle: Vec<_> = sweep_sim.trace().states_at(cycle).expect("recorded").collect();
         assert_eq!(packed, oracle, "{name}: cycle {cycle} decodes identically");
     }
-    assert_eq!(event_report.cycles, sweep_report.cycles, "{name}: cycles");
-    assert_eq!(event_report.sink_streams, sweep_report.sink_streams, "{name}: sink streams");
-    assert_eq!(event_report.source_kills, sweep_report.source_kills, "{name}: source kills");
-    assert_eq!(event_report.node_stats, sweep_report.node_stats, "{name}: node stats");
-    assert_eq!(event_report.shared_stats, sweep_report.shared_stats, "{name}: shared stats");
+    for (strategy, report) in [("full-sweep", &sweep_report), ("compiled", &compiled_report)] {
+        assert_eq!(event_report.cycles, report.cycles, "{name}/{strategy}: cycles");
+        assert_eq!(
+            event_report.sink_streams, report.sink_streams,
+            "{name}/{strategy}: sink streams"
+        );
+        assert_eq!(
+            event_report.source_kills, report.source_kills,
+            "{name}/{strategy}: source kills"
+        );
+        assert_eq!(event_report.node_stats, report.node_stats, "{name}/{strategy}: node stats");
+        assert_eq!(
+            event_report.shared_stats, report.shared_stats,
+            "{name}/{strategy}: shared stats"
+        );
+    }
     assert!(
         event_report.controller_evals < sweep_report.controller_evals,
         "{name}: the worklist engine must do strictly less work \
          (event-driven {} evals vs full-sweep {})",
         event_report.controller_evals,
         sweep_report.controller_evals
+    );
+    assert!(
+        compiled_report.controller_evals <= event_report.controller_evals,
+        "{name}: fusing controllers must never add dynamic evals \
+         (compiled {} evals vs event-driven {})",
+        compiled_report.controller_evals,
+        event_report.controller_evals
     );
 }
 
@@ -340,6 +367,116 @@ fn per_lane_sink_environments_match_per_lane_scalar_runs() {
         "lane 0 is the divergence reference and never marks itself"
     );
     assert_eq!(lane_sim.report(0).lane_divergence, lane_sim.divergence_map().to_vec());
+}
+
+/// Deterministic per-lane source offer pattern: six offer/withhold bits
+/// derived from the lane index (lane 0 keeps offering every cycle so the
+/// unperturbed environment stays in the block).
+fn lane_offer_pattern(lane: usize) -> elastic_core::kind::SourcePattern {
+    let bits = (lane as u64).wrapping_mul(0xD134_2543_DE82_EF95) >> 58;
+    elastic_core::kind::SourcePattern::List(
+        (0..6).map(|i| lane == 0 || bits & (1 << i) != 0).collect(),
+    )
+}
+
+fn source_ids(netlist: &Netlist) -> Vec<NodeId> {
+    netlist.live_nodes().filter(|n| n.kind.kind_name() == "source").map(|n| n.id).collect()
+}
+
+#[test]
+fn per_lane_source_environments_match_per_lane_scalar_runs() {
+    // The source-side mirror of the per-lane sink test: 64 different
+    // token-offer environments in one instance, each lane bit-identical to
+    // a scalar run given that lane's offer pattern.
+    let cycles = 200;
+    let scenario = Fig1Scenario { cycles, ..Fig1Scenario::default() };
+    let handles = build_fig1(&scenario);
+    let sources = source_ids(&handles.netlist);
+    assert!(!sources.is_empty(), "fig1 designs have sources");
+    let patterns: Vec<_> = (0..LANES).map(lane_offer_pattern).collect();
+
+    let mut lane_sim = LaneSimulation::new(&handles.netlist, &LaneConfig::default()).unwrap();
+    let overrides: Vec<_> = sources.iter().map(|&source| (source, patterns.clone())).collect();
+    lane_sim.reset_with_lane_source_patterns(&overrides);
+    lane_sim.run(cycles).unwrap();
+
+    let mut scalar = Simulation::new(&handles.netlist, &SimConfig::default()).unwrap();
+    for lane in 0..LANES {
+        let scalar_overrides: Vec<_> =
+            sources.iter().map(|&source| (source, lane_offer_pattern(lane))).collect();
+        scalar.reset_with_source_patterns(&scalar_overrides);
+        let scalar_report = scalar.run(cycles).unwrap();
+        assert_eq!(
+            lane_sim.trace(lane),
+            scalar.trace(),
+            "lane {lane} trace must match its scalar offer-pattern run"
+        );
+        let lane_report = lane_sim.report(lane);
+        assert_eq!(lane_report.sink_streams, scalar_report.sink_streams, "lane {lane} streams");
+        assert_eq!(lane_report.node_stats, scalar_report.node_stats, "lane {lane} node stats");
+    }
+}
+
+#[test]
+fn lane_blocked_scheduler_injection_matches_per_lane_scalar_runs() {
+    // Lane-blocked scheduler injection: every lane gets a freshly built
+    // scheduler from the per-lane factory, and must be bit-identical to a
+    // scalar run overridden with the same policy. Table 1's shared module
+    // has two user channels, so the static policies genuinely differ.
+    use elastic_core::scheduler::StaticScheduler;
+    use elastic_core::Scheduler;
+
+    let cycles = 200;
+    let handles = library::table1();
+    let shared: Vec<(NodeId, usize)> = handles
+        .netlist
+        .live_nodes()
+        .filter_map(|n| match &n.kind {
+            elastic_core::NodeKind::Shared(spec) => Some((n.id, spec.users)),
+            _ => None,
+        })
+        .collect();
+    assert!(!shared.is_empty(), "table1 has a shared module");
+
+    let mut lane_sim = LaneSimulation::new(&handles.netlist, &LaneConfig::default()).unwrap();
+    let factories: Vec<(NodeId, Box<elastic_sim::SchedulerFactory<'_>>)> = shared
+        .iter()
+        .map(|&(node, users)| {
+            let make: Box<elastic_sim::SchedulerFactory<'_>> =
+                Box::new(move |lane| Box::new(StaticScheduler::new(lane % users)) as _);
+            (node, make)
+        })
+        .collect();
+    let overrides: Vec<(NodeId, &elastic_sim::SchedulerFactory<'_>)> =
+        factories.iter().map(|(node, make)| (*node, make.as_ref())).collect();
+    lane_sim.reset_with_schedulers(&overrides);
+    lane_sim.run(cycles).unwrap();
+
+    let mut scalar = Simulation::new(&handles.netlist, &SimConfig::default()).unwrap();
+    let mut distinct_streams = std::collections::BTreeSet::new();
+    for lane in 0..LANES {
+        let scalar_overrides: Vec<(NodeId, Box<dyn Scheduler>)> = shared
+            .iter()
+            .map(|&(node, users)| {
+                (node, Box::new(StaticScheduler::new(lane % users)) as Box<dyn Scheduler>)
+            })
+            .collect();
+        scalar.reset_with_schedulers(scalar_overrides);
+        let scalar_report = scalar.run(cycles).unwrap();
+        assert_eq!(
+            lane_sim.trace(lane),
+            scalar.trace(),
+            "lane {lane} trace must match its scalar scheduler run"
+        );
+        let lane_report = lane_sim.report(lane);
+        assert_eq!(lane_report.sink_streams, scalar_report.sink_streams, "lane {lane} streams");
+        assert_eq!(lane_report.shared_stats, scalar_report.shared_stats, "lane {lane} shared");
+        distinct_streams.insert(format!("{:?}", lane_report.sink_streams));
+    }
+    assert!(
+        distinct_streams.len() > 1,
+        "the injected policies must actually change behaviour across lanes"
+    );
 }
 
 #[test]

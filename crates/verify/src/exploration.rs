@@ -5,22 +5,25 @@
 //! (documented in `DESIGN.md`):
 //!
 //! * **bounded exhaustive exploration** — for a small depth `d`, every
-//!   combination of per-cycle sink back-pressure patterns is enumerated
-//!   (2^(d·sinks) combinations, simulated 64 at a time by the bit-parallel
-//!   lane engine) and the SELF protocol plus deadlock-freedom are
-//!   checked on each run. For the small controller compositions the paper
-//!   verifies, this covers the same environment nondeterminism the model
-//!   checker explores, up to the bound;
+//!   combination of per-cycle sink back-pressure *and* source token-offer
+//!   patterns is enumerated (2^(d·(sinks+sources)) combinations, simulated
+//!   64 at a time by the bit-parallel lane engine) and the SELF protocol
+//!   plus deadlock-freedom are checked on each run. For the small
+//!   controller compositions the paper verifies, this covers the same
+//!   environment nondeterminism the model checker explores, up to the
+//!   bound;
 //! * **randomized adversarial scheduling** — shared modules are driven by
 //!   seeded random schedulers (which on their own do not satisfy leads-to) to
 //!   confirm that the controller's starvation override keeps the system live
-//!   regardless of the prediction policy, as claimed in Section 4.2.
+//!   regardless of the prediction policy, as claimed in Section 4.2. The
+//!   runs are packed into lane blocks via the engine's lane-blocked
+//!   scheduler injection, one seeded scheduler per lane.
 
-use elastic_core::kind::BackpressurePattern;
+use elastic_core::kind::{BackpressurePattern, SourcePattern};
 use elastic_core::{Netlist, NodeKind, Scheduler};
 use elastic_predict::RandomScheduler;
-use elastic_sim::sweep::{lane_map, parallel_map_with};
-use elastic_sim::{LaneConfig, LaneSimulation, SimConfig, SimError, Simulation, LANES};
+use elastic_sim::sweep::lane_map;
+use elastic_sim::{LaneConfig, LaneSimulation, SchedulerFactory, SimError, LANES};
 
 use crate::liveness::{check_leads_to_on_trace, LivenessOptions};
 use crate::properties::{check_trace, ProtocolOptions};
@@ -29,7 +32,8 @@ use crate::Verdict;
 /// Options for the bounded exploration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExplorationOptions {
-    /// Depth (in cycles) of the enumerated back-pressure patterns.
+    /// Depth (in cycles) of the enumerated sink back-pressure and source
+    /// token-offer patterns.
     pub pattern_depth: usize,
     /// Number of cycles to simulate per enumerated pattern (the pattern
     /// repeats cyclically).
@@ -81,6 +85,10 @@ fn sinks_of(netlist: &Netlist) -> Vec<elastic_core::NodeId> {
     netlist.live_nodes().filter(|n| matches!(n.kind, NodeKind::Sink(_))).map(|n| n.id).collect()
 }
 
+fn sources_of(netlist: &Netlist) -> Vec<elastic_core::NodeId> {
+    netlist.live_nodes().filter(|n| matches!(n.kind, NodeKind::Source(_))).map(|n| n.id).collect()
+}
+
 fn shared_modules_of(netlist: &Netlist) -> Vec<(elastic_core::NodeId, usize)> {
     netlist
         .live_nodes()
@@ -91,8 +99,19 @@ fn shared_modules_of(netlist: &Netlist) -> Vec<(elastic_core::NodeId, usize)> {
         .collect()
 }
 
-/// Exhaustively enumerates sink back-pressure patterns up to the configured
-/// depth and checks protocol compliance and progress on every run.
+/// Exhaustively enumerates sink back-pressure and source token-offer
+/// patterns up to the configured depth and checks protocol compliance and
+/// progress on every run.
+///
+/// The combination index packs one bit per enumerated cycle per
+/// environment endpoint: sink `s` owns bits `s·d .. s·d+d` (a set bit
+/// asserts stop that cycle) and source `j` owns bits
+/// `(sinks+j)·d .. (sinks+j)·d+d` (a set bit *withholds* the token offer
+/// that cycle), so combination 0 is the nominal stop-free, always-offering
+/// environment. Overriding a source's offer pattern keeps its data stream:
+/// the sweep varies *when* tokens arrive, never their values — the same
+/// space the scalar engine's `reset_with_sink_patterns` /
+/// `reset_with_source_patterns` pair spans, one environment at a time.
 ///
 /// The enumerated combinations are independent, so they are packed into
 /// [`LANES`]-wide blocks and fanned across OS threads via
@@ -100,7 +119,8 @@ fn shared_modules_of(netlist: &Netlist) -> Vec<(elastic_core::NodeId, usize)> {
 /// worker constructs the lane simulation once (the only `netlist`
 /// validation, controller construction and rank computation it ever pays)
 /// and replays every block assigned to it via
-/// [`LaneSimulation::reset_with_lane_sink_patterns`], simulating 64
+/// [`LaneSimulation::reset_with_lane_sink_patterns`] and
+/// [`LaneSimulation::reset_with_lane_source_patterns`], simulating 64
 /// environment combinations per run. Results are collected in combination
 /// order, making the merged verdict (and the first counterexample reported
 /// for a failing design) identical to the sequential rebuild-per-run
@@ -124,7 +144,8 @@ pub fn explore_environments(
     options: &ExplorationOptions,
 ) -> Result<Verdict, SimError> {
     let sinks = sinks_of(netlist);
-    let pattern_bits = options.pattern_depth * sinks.len();
+    let sources = sources_of(netlist);
+    let pattern_bits = options.pattern_depth * (sinks.len() + sources.len());
     let (explored, combinations) = enumeration_coverage(pattern_bits, options.max_runs);
     let runs: Vec<usize> = (0..explored).collect();
 
@@ -158,7 +179,7 @@ pub fn explore_environments(
                     )
                 }
             };
-            let overrides: Vec<(elastic_core::NodeId, Vec<BackpressurePattern>)> = sinks
+            let sink_overrides: Vec<(elastic_core::NodeId, Vec<BackpressurePattern>)> = sinks
                 .iter()
                 .enumerate()
                 .map(|(sink_index, &sink)| {
@@ -176,7 +197,38 @@ pub fn explore_environments(
                     (sink, patterns)
                 })
                 .collect();
-            sim.reset_with_lane_sink_patterns(&overrides);
+            let source_overrides: Vec<(elastic_core::NodeId, Vec<SourcePattern>)> = sources
+                .iter()
+                .enumerate()
+                .map(|(source_index, &source)| {
+                    let patterns = block
+                        .iter()
+                        .map(|&combination| {
+                            let mut pattern = Vec::with_capacity(options.pattern_depth);
+                            for cycle in 0..options.pattern_depth {
+                                let bit =
+                                    (sinks.len() + source_index) * options.pattern_depth + cycle;
+                                // A set source bit withholds the offer, so
+                                // combination 0 keeps the nominal
+                                // always-offering environment.
+                                pattern.push((combination >> bit) & 1 == 0);
+                            }
+                            SourcePattern::List(pattern)
+                        })
+                        .collect();
+                    (source, patterns)
+                })
+                .collect();
+            // Both overrides persist across the reset the second call
+            // performs, so the block ends up with this combination set's
+            // sink *and* source environments (depth 0 enumerates the single
+            // empty pattern — leave the specs' own patterns in force).
+            if options.pattern_depth > 0 {
+                sim.reset_with_lane_sink_patterns(&sink_overrides);
+                sim.reset_with_lane_source_patterns(&source_overrides);
+            } else {
+                sim.reset();
+            }
             if let Err(error) = sim.run(options.cycles_per_run) {
                 return block_failed(error);
             }
@@ -199,9 +251,11 @@ pub fn explore_environments(
     if pattern_bits > MAX_EXHAUSTIVE_PATTERN_BITS || explored < combinations {
         verdict.note(format!(
             "coverage truncated: explored {explored} of 2^{pattern_bits} environment \
-             combinations (pattern_depth {} over {} sink(s), max_runs {} × {LANES} lanes)",
+             combinations (pattern_depth {} over {} sink(s) + {} source(s), max_runs {} × \
+             {LANES} lanes)",
             options.pattern_depth,
             sinks.len(),
+            sources.len(),
             options.max_runs
         ));
     }
@@ -216,12 +270,16 @@ pub fn explore_environments(
 /// Drives every shared module with seeded adversarial random schedulers and
 /// checks that the design stays protocol-compliant and starvation-free.
 ///
-/// The randomized runs derive their scheduler seeds from the run index alone
-/// and are fanned across OS threads — like [`explore_environments`], each
-/// worker thread builds one simulation and replays every run assigned to it
-/// via [`Simulation::reset_with_schedulers`]. Results are merged in run
-/// order, so the verdict is identical to the sequential rebuild-per-run loop
-/// this replaces.
+/// The randomized runs derive their scheduler seeds from the run index
+/// alone and are packed into [`LANES`]-wide blocks via the lane engine's
+/// lane-blocked scheduler injection
+/// ([`LaneSimulation::reset_with_schedulers`] builds one freshly seeded
+/// [`RandomScheduler`] per lane), so a whole block of adversarial runs
+/// costs one word-level simulation — like [`explore_environments`], each
+/// worker thread builds one simulation and replays every block assigned to
+/// it. Results are merged in run order, so the verdict (and the run index
+/// named in each violation) is identical to the sequential scalar
+/// rebuild-per-run loop this replaces.
 ///
 /// # Errors
 ///
@@ -235,38 +293,64 @@ pub fn explore_adversarial_schedulers(
     if shared.is_empty() {
         return Ok(verdict);
     }
-    let config = SimConfig::default();
+    let config = LaneConfig { track_divergence: false, ..LaneConfig::default() };
     let protocol = ProtocolOptions::default();
     let liveness =
         LivenessOptions { cycles: options.cycles_per_run.max(200), ..LivenessOptions::default() };
+    let scheduler_seed = |run: usize| -> u64 { options.seed ^ ((run as u64 + 1) * 0x9E37_79B9) };
     let runs: Vec<usize> = (0..options.random_scheduler_runs).collect();
-    let failures = parallel_map_with(
+    let failures = lane_map(
         &runs,
-        || Simulation::new(netlist, &config),
-        |worker_sim, _, &run| -> Result<Option<String>, SimError> {
+        || LaneSimulation::new(netlist, &config),
+        |worker_sim, _, block| -> Vec<Result<Option<String>, SimError>> {
+            let block_failed = |error: SimError| {
+                let mut results: Vec<Result<Option<String>, SimError>> =
+                    Vec::with_capacity(block.len());
+                results.push(Err(error));
+                results.resize_with(block.len(), || Ok(None));
+                results
+            };
             let sim = match worker_sim {
                 Ok(sim) => sim,
                 Err(_) => {
-                    return Err(Simulation::new(netlist, &config)
-                        .expect_err("simulation build failures are deterministic"))
+                    return block_failed(
+                        LaneSimulation::new(netlist, &config)
+                            .expect_err("simulation build failures are deterministic"),
+                    )
                 }
             };
-            let overrides: Vec<(elastic_core::NodeId, Box<dyn Scheduler>)> = shared
+            // Lane ℓ replays run `block[ℓ]`; lanes past a short final block
+            // repeat the last run's seed and are never inspected.
+            let factories: Vec<(elastic_core::NodeId, Box<SchedulerFactory<'_>>)> = shared
                 .iter()
                 .map(|&(node, users)| {
-                    let seed = options.seed ^ ((run as u64 + 1) * 0x9E37_79B9);
-                    (node, Box::new(RandomScheduler::new(users, seed)) as Box<dyn Scheduler>)
+                    let make: Box<SchedulerFactory<'_>> = Box::new(move |lane| {
+                        let run = block[lane.min(block.len() - 1)];
+                        Box::new(RandomScheduler::new(users, scheduler_seed(run)))
+                            as Box<dyn Scheduler>
+                    });
+                    (node, make)
                 })
                 .collect();
-            sim.reset_with_schedulers(overrides);
-            sim.run(liveness.cycles)?;
-            let mut run_verdict = check_trace(netlist, sim.trace(), &protocol);
-            run_verdict.merge(check_leads_to_on_trace(netlist, sim.trace(), &liveness));
-            if run_verdict.passed() {
-                Ok(None)
-            } else {
-                Ok(Some(format!("adversarial scheduler run {run}: {run_verdict}")))
+            let overrides: Vec<(elastic_core::NodeId, &SchedulerFactory<'_>)> =
+                factories.iter().map(|(node, make)| (*node, make.as_ref())).collect();
+            sim.reset_with_schedulers(&overrides);
+            if let Err(error) = sim.run(liveness.cycles) {
+                return block_failed(error);
             }
+            block
+                .iter()
+                .enumerate()
+                .map(|(lane, &run)| {
+                    let mut run_verdict = check_trace(netlist, sim.trace(lane), &protocol);
+                    run_verdict.merge(check_leads_to_on_trace(netlist, sim.trace(lane), &liveness));
+                    if run_verdict.passed() {
+                        Ok(None)
+                    } else {
+                        Ok(Some(format!("adversarial scheduler run {run}: {run_verdict}")))
+                    }
+                })
+                .collect()
         },
     );
     for failure in failures {
@@ -292,6 +376,7 @@ pub fn explore(netlist: &Netlist, options: &ExplorationOptions) -> Result<Verdic
 mod tests {
     use super::*;
     use elastic_core::library::{fig1d, table1, Fig1Config};
+    use elastic_sim::{SimConfig, Simulation};
 
     #[test]
     fn the_speculative_fig1_design_survives_bounded_exploration() {
@@ -324,9 +409,10 @@ mod tests {
     #[test]
     fn truncated_enumerations_carry_an_explicit_coverage_note() {
         let handles = table1();
-        // max_runs × 64 lanes below the combination count (4 blocks cover
-        // 256 of the 2^10 combinations): the verdict may pass but must say
-        // it is not exhaustive.
+        // max_runs × 64 lanes far below the combination count (table1 has
+        // one sink and three sources, so depth 10 spans 40 pattern bits —
+        // capped at 2^26 — and 4 blocks cover only 256 combinations): the
+        // verdict may pass but must say it is not exhaustive.
         let truncated = ExplorationOptions {
             pattern_depth: 10,
             cycles_per_run: 16,
@@ -355,12 +441,12 @@ mod tests {
 
     #[test]
     fn oversized_pattern_spaces_are_capped_and_noted() {
-        // The pre-lane cap boundary: 21 pattern bits is within today's
-        // exhaustive range (≤ 2^26) but max_runs only buys 2 × 64 lanes, so
-        // the note must still name the full 2^21 space.
+        // Within the exhaustive range (≤ 2^26) but max_runs only buys
+        // 2 × 64 lanes, so the note must still name the full space: table1
+        // has one sink + three sources, so depth 6 spans 24 pattern bits.
         let handles = table1();
         let options = ExplorationOptions {
-            pattern_depth: 21, // one sink → 21 pattern bits
+            pattern_depth: 6, // 1 sink + 3 sources → 24 pattern bits
             cycles_per_run: 4,
             max_runs: 2,
             random_scheduler_runs: 0,
@@ -368,12 +454,13 @@ mod tests {
         };
         let verdict = explore_environments(&handles.netlist, &options).unwrap();
         assert!(!verdict.is_exhaustive());
-        assert!(verdict.notes[0].contains("2^21"), "{verdict}");
+        assert!(verdict.notes[0].contains("2^24"), "{verdict}");
+        assert!(verdict.notes[0].contains("1 sink(s) + 3 source(s)"), "{verdict}");
 
-        // Beyond the cap: 27 pattern bits exceeds MAX_EXHAUSTIVE_PATTERN_BITS,
+        // Beyond the cap: 28 pattern bits exceeds MAX_EXHAUSTIVE_PATTERN_BITS,
         // so the note fires even though only one lane block actually runs.
         let options = ExplorationOptions {
-            pattern_depth: 27, // one sink → 27 pattern bits, capped at 2^26
+            pattern_depth: 7, // 4 endpoints → 28 pattern bits, capped at 2^26
             cycles_per_run: 4,
             max_runs: 1,
             random_scheduler_runs: 0,
@@ -381,7 +468,7 @@ mod tests {
         };
         let verdict = explore_environments(&handles.netlist, &options).unwrap();
         assert!(!verdict.is_exhaustive());
-        assert!(verdict.notes[0].contains("2^27"), "{verdict}");
+        assert!(verdict.notes[0].contains("2^28"), "{verdict}");
         assert!(verdict.notes[0].contains("explored 64 of"), "{verdict}");
     }
 
@@ -404,13 +491,14 @@ mod tests {
 
     #[test]
     fn lane_enumeration_is_exhaustive_beyond_the_scalar_run_budget() {
-        // 8 pattern bits → 256 combinations, covered exhaustively by just 4
-        // lane blocks; the scalar enumeration would have needed 256 runs.
+        // Depth 3 over table1's 4 environment endpoints → 12 pattern bits →
+        // 4096 combinations, covered exhaustively by 64 lane blocks; the
+        // scalar enumeration would have needed 4096 runs.
         let handles = table1();
         let options = ExplorationOptions {
-            pattern_depth: 8,
+            pattern_depth: 3,
             cycles_per_run: 24,
-            max_runs: 4,
+            max_runs: 64,
             random_scheduler_runs: 0,
             seed: 1,
         };
@@ -470,6 +558,125 @@ mod tests {
         let mut sorted = runs.clone();
         sorted.sort_unstable();
         assert_eq!(runs, sorted, "violations must come back in run order: {runs:?}");
+    }
+
+    #[test]
+    fn the_lane_environment_sweep_matches_a_scalar_reference_enumeration() {
+        // The regression pin for the lane-API gap this release closed: the
+        // lane path of `explore_environments` (per-lane sink back-pressure
+        // *and* source offers) must return exactly the verdict a sequential
+        // scalar enumeration of the same combination space returns, bit
+        // layout and all.
+        let handles = table1();
+        let netlist = &handles.netlist;
+        let options = ExplorationOptions {
+            pattern_depth: 1,
+            cycles_per_run: 24,
+            max_runs: 1 << 10,
+            random_scheduler_runs: 0,
+            seed: 3,
+        };
+        let lane_verdict = explore_environments(netlist, &options).unwrap();
+        assert!(lane_verdict.is_exhaustive(), "{lane_verdict}");
+
+        let sinks = sinks_of(netlist);
+        let sources = sources_of(netlist);
+        assert!(!sinks.is_empty() && !sources.is_empty(), "table1 has both endpoint kinds");
+        let depth = options.pattern_depth;
+        let combinations = 1usize << (depth * (sinks.len() + sources.len()));
+        let protocol = ProtocolOptions { check_liveness: false, ..ProtocolOptions::default() };
+        let mut scalar_verdict = Verdict::default();
+        let mut streams = std::collections::BTreeSet::new();
+        let mut sim = Simulation::new(netlist, &SimConfig::default()).unwrap();
+        for combination in 0..combinations {
+            let sink_overrides: Vec<_> = sinks
+                .iter()
+                .enumerate()
+                .map(|(s, &sink)| {
+                    let pattern = (0..depth)
+                        .map(|cycle| (combination >> (s * depth + cycle)) & 1 == 1)
+                        .collect();
+                    (sink, BackpressurePattern::List(pattern))
+                })
+                .collect();
+            let source_overrides: Vec<_> = sources
+                .iter()
+                .enumerate()
+                .map(|(j, &source)| {
+                    let pattern = (0..depth)
+                        .map(|cycle| (combination >> ((sinks.len() + j) * depth + cycle)) & 1 == 0)
+                        .collect();
+                    (source, SourcePattern::List(pattern))
+                })
+                .collect();
+            sim.reset_with_sink_patterns(&sink_overrides);
+            sim.reset_with_source_patterns(&source_overrides);
+            sim.run(options.cycles_per_run).unwrap();
+            let run_verdict = check_trace(netlist, sim.trace(), &protocol);
+            if !run_verdict.passed() {
+                scalar_verdict
+                    .reject(format!("environment combination {combination}: {run_verdict}"));
+            }
+            streams.insert(format!("{:?}", sim.report().sink_streams));
+        }
+        assert_eq!(
+            lane_verdict, scalar_verdict,
+            "lane and scalar environment sweeps must return identical verdicts"
+        );
+        assert!(streams.len() > 1, "the source-offer bits must actually vary observable behaviour");
+    }
+
+    #[test]
+    fn the_lane_blocked_scheduler_sweep_matches_a_scalar_reference() {
+        // Same broken design as the determinism test above: every
+        // adversarial run violates leads-to, so the lane-blocked sweep must
+        // reproduce the scalar per-run loop's verdict violation for
+        // violation — identical run indices, identical diagnoses.
+        let handles = fig1d(&Fig1Config::default());
+        let mut broken = handles.netlist.clone();
+        if let Some(node) = broken.node_mut(handles.sink) {
+            node.kind = elastic_core::NodeKind::Sink(elastic_core::SinkSpec {
+                backpressure: BackpressurePattern::List(vec![true]),
+            });
+        }
+        let options = ExplorationOptions {
+            pattern_depth: 0,
+            cycles_per_run: 120,
+            max_runs: 1,
+            random_scheduler_runs: 4,
+            seed: 0xBAD,
+        };
+        let lane_verdict = explore_adversarial_schedulers(&broken, &options).unwrap();
+        assert!(!lane_verdict.passed(), "a permanently stalled sink must violate liveness");
+
+        let shared = shared_modules_of(&broken);
+        let protocol = ProtocolOptions::default();
+        let liveness = LivenessOptions {
+            cycles: options.cycles_per_run.max(200),
+            ..LivenessOptions::default()
+        };
+        let mut scalar_verdict = Verdict::default();
+        let mut sim = Simulation::new(&broken, &SimConfig::default()).unwrap();
+        for run in 0..options.random_scheduler_runs {
+            let overrides: Vec<(elastic_core::NodeId, Box<dyn Scheduler>)> = shared
+                .iter()
+                .map(|&(node, users)| {
+                    let seed = options.seed ^ ((run as u64 + 1) * 0x9E37_79B9);
+                    (node, Box::new(RandomScheduler::new(users, seed)) as Box<dyn Scheduler>)
+                })
+                .collect();
+            sim.reset_with_schedulers(overrides);
+            sim.run(liveness.cycles).unwrap();
+            let mut run_verdict = check_trace(&broken, sim.trace(), &protocol);
+            run_verdict.merge(check_leads_to_on_trace(&broken, sim.trace(), &liveness));
+            if !run_verdict.passed() {
+                scalar_verdict.reject(format!("adversarial scheduler run {run}: {run_verdict}"));
+            }
+        }
+        assert_eq!(
+            lane_verdict, scalar_verdict,
+            "lane-blocked and scalar scheduler sweeps must return identical verdicts"
+        );
     }
 
     #[test]

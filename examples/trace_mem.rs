@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use elastic_core::kind::{BackpressurePattern, BufferSpec, SinkSpec};
+use elastic_core::kind::{BackpressurePattern, BufferSpec, SinkSpec, SourcePattern};
 use elastic_core::library::{
     deep_pipeline, fig1d, resilient_speculative, Fig1Config, ResilientConfig,
 };
@@ -38,17 +38,24 @@ fn trace_memory_case(name: &str, netlist: &Netlist, cycles: u64) {
 }
 
 /// The rebuild-per-run environment enumeration that `explore_environments`
-/// replaced: clone the netlist, patch the sink specs, build a fresh
-/// simulation — once per combination. Returns the number of failing
-/// combinations (some designs legitimately fail under adversarial
-/// environments; what matters here is that both paths agree).
+/// replaced: clone the netlist, patch the sink and source specs, build a
+/// fresh simulation — once per combination (same bit layout as the lane
+/// sweep: sink stop bits first, then source withhold bits). Returns the
+/// number of failing combinations (some designs legitimately fail under
+/// adversarial environments; what matters here is that both paths agree).
 fn explore_rebuild_baseline(netlist: &Netlist, options: &ExplorationOptions) -> usize {
     let sinks: Vec<_> = netlist
         .live_nodes()
         .filter(|n| matches!(n.kind, NodeKind::Sink(_)))
         .map(|n| n.id)
         .collect();
-    let combinations = 1usize << (options.pattern_depth * sinks.len()).min(20);
+    let sources: Vec<_> = netlist
+        .live_nodes()
+        .filter(|n| matches!(n.kind, NodeKind::Source(_)))
+        .map(|n| n.id)
+        .collect();
+    let endpoints = sinks.len() + sources.len();
+    let combinations = 1usize << (options.pattern_depth * endpoints).min(20);
     let runs: Vec<usize> = (0..combinations.min(options.max_runs)).collect();
     let protocol = ProtocolOptions { check_liveness: false, ..ProtocolOptions::default() };
     let failures = parallel_map(&runs, |_, &combination| {
@@ -64,6 +71,18 @@ fn explore_rebuild_baseline(netlist: &Netlist, options: &ExplorationOptions) -> 
                     NodeKind::Sink(SinkSpec { backpressure: BackpressurePattern::List(pattern) });
             }
         }
+        for (source_index, source) in sources.iter().enumerate() {
+            let mut pattern = Vec::with_capacity(options.pattern_depth);
+            for cycle in 0..options.pattern_depth {
+                let bit = (sinks.len() + source_index) * options.pattern_depth + cycle;
+                pattern.push((combination >> bit) & 1 == 0);
+            }
+            if let Some(node) = variant.node_mut(*source) {
+                if let NodeKind::Source(spec) = &mut node.kind {
+                    spec.pattern = SourcePattern::List(pattern);
+                }
+            }
+        }
         let mut sim = Simulation::new(&variant, &SimConfig::default()).unwrap();
         sim.run(options.cycles_per_run).unwrap();
         check_trace(&variant, sim.trace(), &protocol).passed()
@@ -73,8 +92,11 @@ fn explore_rebuild_baseline(netlist: &Netlist, options: &ExplorationOptions) -> 
 
 fn sweep_case(name: &str, netlist: &Netlist, options: &ExplorationOptions, repeats: u32) {
     let runs = {
-        let sinks = netlist.live_nodes().filter(|n| matches!(n.kind, NodeKind::Sink(_))).count();
-        (1usize << (options.pattern_depth * sinks).min(20)).min(options.max_runs)
+        let endpoints = netlist
+            .live_nodes()
+            .filter(|n| matches!(n.kind, NodeKind::Sink(_) | NodeKind::Source(_)))
+            .count();
+        (1usize << (options.pattern_depth * endpoints).min(20)).min(options.max_runs)
     };
     let time = |work: &dyn Fn()| {
         work(); // warm-up
@@ -121,21 +143,29 @@ fn main() {
     trace_memory_case("pipeline256_standard", &pipeline, 512);
 
     println!("\n== environment-exploration sweep throughput ==");
-    // The BENCH_trace_mem.json workload: 256 combinations (the default
-    // max_runs budget) of 16-cycle bounded runs, plus the 64-combination
-    // sweep over the 256-stage pipeline where the per-run build cost the
-    // reset path eliminates is largest.
-    let options = ExplorationOptions {
-        pattern_depth: 8, // one sink -> 256 combinations
+    // The BENCH_trace_mem.json workload: a few hundred combinations of
+    // 16-cycle bounded runs over each design's full sink + source space,
+    // plus the 64-combination sweep over the 256-stage pipeline where the
+    // per-run build cost the reset path eliminates is largest. Depths are
+    // picked per design so both paths cover the identical full space.
+    let fig1_options = ExplorationOptions {
+        pattern_depth: 2, // 1 sink + 2 sources -> 64 combinations
         cycles_per_run: 16,
         max_runs: 256,
         random_scheduler_runs: 0,
         seed: 7,
     };
-    sweep_case("fig1d", &fig1.netlist, &options, 5);
-    sweep_case("fig7b", &fig7.netlist, &options, 3);
+    sweep_case("fig1d", &fig1.netlist, &fig1_options, 5);
+    let fig7_options = ExplorationOptions {
+        pattern_depth: 4, // 1 sink + 1 source -> 256 combinations
+        cycles_per_run: 16,
+        max_runs: 256,
+        random_scheduler_runs: 0,
+        seed: 7,
+    };
+    sweep_case("fig7b", &fig7.netlist, &fig7_options, 3);
     let pipeline_options = ExplorationOptions {
-        pattern_depth: 6, // one sink -> 64 combinations
+        pattern_depth: 3, // 1 sink + 1 source -> 64 combinations
         cycles_per_run: 32,
         max_runs: 64,
         random_scheduler_runs: 0,

@@ -8,10 +8,13 @@
 //! `ELASTIC_FUZZ_CASES` environment variable for long runs; setting
 //! `ELASTIC_FUZZ_LANES` to a non-zero value arms the 64-lane bit-parallel
 //! engine differential on every case (all broadcast lanes must match the
-//! scalar trace bit-for-bit):
+//! scalar trace bit-for-bit), and setting `ELASTIC_FUZZ_COMPILED=1` arms
+//! the compiled settle backend differential (the fused micro-op plan must
+//! match the worklist engine bit-for-bit):
 //!
 //! ```text
-//! ELASTIC_FUZZ_CASES=20000 ELASTIC_FUZZ_LANES=64 cargo test --release --test fuzz_smoke
+//! ELASTIC_FUZZ_CASES=20000 ELASTIC_FUZZ_LANES=64 ELASTIC_FUZZ_COMPILED=1 \
+//!     cargo test --release --test fuzz_smoke
 //! ```
 //!
 //! On failure the offending case is shrunk to a minimal reproducer and the
@@ -50,10 +53,23 @@ fn fuzz_lanes() -> bool {
         .is_some_and(|lanes| lanes > 0)
 }
 
+/// `ELASTIC_FUZZ_COMPILED` set to a non-zero value arms the compiled
+/// settle backend differential leg on every case.
+fn fuzz_compiled() -> bool {
+    std::env::var("ELASTIC_FUZZ_COMPILED")
+        .ok()
+        .and_then(|value| value.parse::<usize>().ok())
+        .is_some_and(|flag| flag > 0)
+}
+
 #[test]
 fn fuzz_smoke_differential_suite() {
     let total = fuzz_cases();
-    let options = HarnessOptions { lane_differential: fuzz_lanes(), ..HarnessOptions::default() };
+    let options = HarnessOptions {
+        lane_differential: fuzz_lanes(),
+        compiled_differential: fuzz_compiled(),
+        ..HarnessOptions::default()
+    };
     // Split the budget across the generation-space presets; every preset
     // keeps a fixed seed base so a given ELASTIC_FUZZ_CASES value always
     // replays the same batch.
