@@ -194,6 +194,19 @@ pub enum SchedulerKind {
     /// other channel for one cycle (the error-driven policy of Sections 5.1
     /// and 5.2).
     ErrorReplay,
+    /// Confidence-throttled run-ahead: keep a preferred channel (from
+    /// observed select evidence) but *hedge* the next channel once every
+    /// `2 + confidence` cycles, where the confidence counter rises on
+    /// confirming evidence (saturating at `max_confidence`) and resets — with
+    /// an immediate hedge — on contrary evidence. Deep commit lanes stop
+    /// paying a recovery penalty on periodic mispredicts because the demanded
+    /// result is already parked in the hedged lane (the ROADMAP
+    /// "confidence-adaptive commit scheduling" carry-over).
+    Confidence {
+        /// Ceiling of the confidence counter; the run-ahead window between
+        /// hedges is at most `2 + max_confidence` cycles.
+        max_confidence: u8,
+    },
 }
 
 impl Default for SchedulerKind {

@@ -91,7 +91,7 @@ impl ExplorationShell {
     /// | `undo` / `redo` | history navigation |
     ///
     /// Scheduler names: `static0`, `static1`, `round-robin`, `last-taken`,
-    /// `two-bit`, `error-replay`.
+    /// `two-bit`, `error-replay`, `confidence`.
     ///
     /// # Errors
     ///
@@ -277,6 +277,7 @@ fn parse_scheduler(command: &str, name: Option<&str>) -> Result<SchedulerKind> {
         Some("last-taken") => Ok(SchedulerKind::LastTaken),
         Some("two-bit") => Ok(SchedulerKind::TwoBit),
         Some("error-replay") => Ok(SchedulerKind::ErrorReplay),
+        Some("confidence") => Ok(SchedulerKind::Confidence { max_confidence: 2 }),
         Some(other) => Err(CoreError::Shell {
             command: command.to_string(),
             reason: format!("unknown scheduler `{other}`"),

@@ -1,0 +1,164 @@
+//! Pareto ranking over the three explorer objectives: throughput (maximise),
+//! area (minimise), and cycle time (minimise).
+//!
+//! The front computation is a plain O(n²) dominance scan — candidate grids
+//! are hundreds of points, not millions — with a canonical final sort so the
+//! partition is a pure function of the candidate *set*, independent of
+//! enumeration order, worker count, or floating-point tie layout.
+
+use crate::grid::SpecConfig;
+use crate::score::CommitSummary;
+
+/// One fully scored point of the design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// The configuration that produced this point.
+    pub config: SpecConfig,
+    /// Mean sink throughput over the environment grid (tokens per cycle).
+    pub throughput: f64,
+    /// Total area under the cost model (gate equivalents).
+    pub area: f64,
+    /// Cycle time under the cost model (logic levels).
+    pub latency: f64,
+    /// Commit-stage activity under the declared environment.
+    pub commit_stats: Option<CommitSummary>,
+}
+
+impl ParetoPoint {
+    /// Throughput per unit area — the scalar figure of merit the benchmark
+    /// tables report alongside the front.
+    pub fn throughput_per_area(&self) -> f64 {
+        if self.area > 0.0 {
+            self.throughput / self.area
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Effective cycle time (cycle time divided by tokens per cycle) — the
+    /// figure of merit the paper optimises. Speculation typically *lowers*
+    /// raw token throughput slightly while shortening the cycle time a lot;
+    /// this is the number that shows the win.
+    pub fn effective_cycle_time(&self) -> f64 {
+        if self.throughput > 0.0 {
+            self.latency / self.throughput
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// `true` when `a` dominates `b`: at least as good on every objective and
+/// strictly better on at least one.
+pub fn dominates(a: &ParetoPoint, b: &ParetoPoint) -> bool {
+    let as_good = a.throughput >= b.throughput && a.area <= b.area && a.latency <= b.latency;
+    let strictly_better = a.throughput > b.throughput || a.area < b.area || a.latency < b.latency;
+    as_good && strictly_better
+}
+
+/// Splits scored points into `(front, dominated)`.
+///
+/// A point joins the front iff no other point dominates it; objective-equal
+/// points do not dominate each other, so exact ties all stay on the front.
+/// Both halves come back sorted by [`SpecConfig::rank_key`], making the
+/// partition canonical.
+pub fn partition_front(points: Vec<ParetoPoint>) -> (Vec<ParetoPoint>, Vec<ParetoPoint>) {
+    let tagged: Vec<(ParetoPoint, ())> = points.into_iter().map(|p| (p, ())).collect();
+    let (front, dominated) = partition_front_owned(tagged);
+    (front.into_iter().map(|(p, ())| p).collect(), dominated.into_iter().map(|(p, ())| p).collect())
+}
+
+/// A `(front, dominated)` partition of payload-carrying points.
+pub(crate) type Partition<P> = (Vec<(ParetoPoint, P)>, Vec<(ParetoPoint, P)>);
+
+/// [`partition_front`] over points carrying a payload (the explorer keeps
+/// each point's transformed netlist alongside it for the verify pass). Both
+/// halves come back sorted by [`SpecConfig::rank_key`].
+pub(crate) fn partition_front_owned<P>(points: Vec<(ParetoPoint, P)>) -> Partition<P> {
+    let beaten: Vec<bool> = points
+        .iter()
+        .enumerate()
+        .map(|(i, (point, _))| {
+            points.iter().enumerate().any(|(j, (other, _))| j != i && dominates(other, point))
+        })
+        .collect();
+    let mut front = Vec::new();
+    let mut dominated = Vec::new();
+    for (entry, beaten) in points.into_iter().zip(beaten) {
+        if beaten {
+            dominated.push(entry);
+        } else {
+            front.push(entry);
+        }
+    }
+    front.sort_by_key(|(p, _)| p.config.rank_key());
+    dominated.sort_by_key(|(p, _)| p.config.rank_key());
+    (front, dominated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::SiteKind;
+    use elastic_core::kind::SchedulerKind;
+    use elastic_core::NodeId;
+
+    fn point(name: &str, throughput: f64, area: f64, latency: f64) -> ParetoPoint {
+        ParetoPoint {
+            config: SpecConfig {
+                mux: NodeId::new(1),
+                mux_name: name.to_string(),
+                site: SiteKind::FeedForward,
+                scheduler: SchedulerKind::Static(0),
+                commit_depth: 1,
+                recovery_buffer: None,
+                starvation_limit: None,
+            },
+            throughput,
+            area,
+            latency,
+            commit_stats: None,
+        }
+    }
+
+    #[test]
+    fn dominance_needs_a_strict_edge() {
+        let a = point("a", 0.5, 100.0, 10.0);
+        let b = point("b", 0.5, 100.0, 10.0);
+        assert!(!dominates(&a, &b), "objective-equal points do not dominate");
+        let c = point("c", 0.6, 100.0, 10.0);
+        assert!(dominates(&c, &a));
+        assert!(!dominates(&a, &c));
+    }
+
+    #[test]
+    fn the_front_is_mutually_non_dominated_and_complete() {
+        let points = vec![
+            point("a", 0.6, 100.0, 10.0), // front: fastest
+            point("b", 0.4, 50.0, 10.0),  // front: smallest
+            point("c", 0.4, 100.0, 10.0), // dominated by both a and b
+            point("d", 0.5, 80.0, 8.0),   // front: best latency trade
+        ];
+        let (front, dominated) = partition_front(points);
+        assert_eq!(front.len(), 3);
+        assert_eq!(dominated.len(), 1);
+        assert_eq!(dominated[0].config.mux_name, "c");
+        for p in &front {
+            assert!(!front.iter().any(|q| dominates(q, p)));
+            assert!(!dominated.iter().any(|q| dominates(q, p)));
+        }
+    }
+
+    #[test]
+    fn the_partition_is_order_invariant() {
+        let mut points = vec![
+            point("a", 0.6, 100.0, 10.0),
+            point("b", 0.4, 50.0, 10.0),
+            point("c", 0.4, 100.0, 10.0),
+        ];
+        let forward = partition_front(points.clone());
+        points.reverse();
+        let backward = partition_front(points);
+        assert_eq!(forward, backward);
+    }
+}

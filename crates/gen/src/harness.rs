@@ -43,6 +43,7 @@ use elastic_core::transform::{
     retime_backward, retime_forward, speculate, split_empty_buffer, SpeculateOptions,
 };
 use elastic_core::{BufferSpec, CoreError, Netlist, NodeId, SchedulerKind};
+use elastic_explore::{dominates, explore, ExploreOptions};
 use elastic_sim::{LaneConfig, LaneSimulation, SettleStrategy, SimConfig, Simulation};
 use elastic_verify::battery::{
     check_equivalence_across_schedulers, check_equivalence_under_environments,
@@ -112,6 +113,15 @@ pub struct HarnessOptions {
     /// results and livelocking under adversarial static schedulers aligned
     /// with sink back-pressure — see `crates/gen/corpus/0009…0011`.)
     pub include_acyclic_speculation: bool,
+    /// Also run the auto-speculation design-space explorer
+    /// ([`elastic_explore::explore`]) on every case and hold it to its three
+    /// contracts: every front config re-applies cleanly on a fresh clone and
+    /// passes the transform battery; the front is non-dominated and
+    /// invariant under worker count and candidate enumeration order; and
+    /// scores reproduce bit-for-bit from the seed. Off by default (the stage
+    /// runs the search four times per case); the fuzz smoke test switches it
+    /// on via `ELASTIC_FUZZ_EXPLORE`.
+    pub explorer_soundness: bool,
 }
 
 impl Default for HarnessOptions {
@@ -137,6 +147,7 @@ impl Default for HarnessOptions {
             lane_differential: false,
             compiled_differential: false,
             include_acyclic_speculation: true,
+            explorer_soundness: false,
         }
     }
 }
@@ -156,6 +167,31 @@ impl HarnessOptions {
 
     fn liveness(&self) -> LivenessOptions {
         self.battery().liveness
+    }
+
+    /// The (deliberately small) explorer configuration of the
+    /// `explorer_soundness` stage. `verify` stays off inside the search
+    /// because the stage re-applies every front config itself and runs the
+    /// battery on the fresh clone — that checks the *returned configuration*
+    /// is self-contained, not just the netlist the search happened to hold —
+    /// and because the three determinism re-runs would otherwise pay for the
+    /// battery four times over.
+    fn explorer(&self, seed: u64) -> ExploreOptions {
+        ExploreOptions {
+            depths: vec![1, 2],
+            schedulers: vec![
+                SchedulerKind::Static(0),
+                SchedulerKind::LastTaken,
+                SchedulerKind::Confidence { max_confidence: 2 },
+            ],
+            cycles: self.cycles,
+            short_cycles: (self.cycles / 3).max(16),
+            environments: 2,
+            seed,
+            verify: false,
+            include_acyclic: self.include_acyclic_speculation,
+            ..ExploreOptions::default()
+        }
     }
 }
 
@@ -766,6 +802,147 @@ pub fn run_netlist(
             }
         }
         report.transforms.push(case.name);
+    }
+
+    // Explorer soundness (the `ELASTIC_FUZZ_EXPLORE` leg): run the
+    // design-space explorer on the generated netlist and hold it to its
+    // contracts on arbitrary structures, not just the hand-built scenarios.
+    if options.explorer_soundness {
+        watchdog("transforms")?;
+        let explorer = options.explorer(seed);
+        let search = match explore(netlist, &explorer) {
+            Ok(search) => search,
+            Err(error) => return Err(fail("explorer-search", None, error.to_string())),
+        };
+        watchdog("explorer-search")?;
+
+        // No silent truncation: the report must account for the whole grid.
+        if search.accounted() != search.candidates_enumerated {
+            return Err(fail(
+                "explorer-accounting",
+                None,
+                format!(
+                    "{} candidates enumerated but {} accounted for (front {}, dominated {}, \
+                     skipped {}, pruned {})",
+                    search.candidates_enumerated,
+                    search.accounted(),
+                    search.front.len(),
+                    search.dominated.len(),
+                    search.skipped.len(),
+                    search.pruned.total()
+                ),
+            ));
+        }
+
+        // (b) the front is actually non-dominated: no scored point — front
+        // or dominated — beats a front member.
+        for point in &search.front {
+            if let Some(beater) = search
+                .front
+                .iter()
+                .chain(search.dominated.iter())
+                .find(|other| dominates(other, point))
+            {
+                return Err(fail(
+                    "explorer-front-dominated",
+                    Some(point.config.label()),
+                    format!("front member is dominated by {}", beater.config.label()),
+                ));
+            }
+        }
+
+        // (a) every returned config re-applies cleanly on a fresh clone and
+        // the re-applied design passes the full transform battery.
+        for point in &search.front {
+            let mut transformed = netlist.clone();
+            if let Err(error) = point.config.apply(&mut transformed) {
+                return Err(fail(
+                    "explorer-reapply",
+                    Some(point.config.label()),
+                    format!("front config did not re-apply: {error}"),
+                ));
+            }
+            if let Err(error) = transformed.validate() {
+                return Err(fail(
+                    "explorer-reapply",
+                    Some(point.config.label()),
+                    format!("re-applied netlist no longer validates: {error}"),
+                ));
+            }
+            match check_transform_battery(netlist, &transformed, &battery) {
+                Ok(verdict) if verdict.passed() => report.notes.extend(verdict.notes),
+                Ok(verdict) => {
+                    return Err(fail(
+                        "explorer-front-battery",
+                        Some(point.config.label()),
+                        verdict.to_string(),
+                    ))
+                }
+                Err(error) => {
+                    return Err(fail(
+                        "explorer-front-battery",
+                        Some(point.config.label()),
+                        error.to_string(),
+                    ))
+                }
+            }
+            watchdog("explorer-front-battery")?;
+        }
+
+        // (b) continued: the report is invariant under worker count and
+        // candidate enumeration order.
+        let single_threaded =
+            match explore(netlist, &ExploreOptions { sequential: true, ..explorer.clone() }) {
+                Ok(search) => search,
+                Err(error) => return Err(fail("explorer-search", None, error.to_string())),
+            };
+        if single_threaded != search {
+            return Err(fail(
+                "explorer-determinism",
+                None,
+                "the single-threaded search disagrees with the parallel one".to_string(),
+            ));
+        }
+        watchdog("explorer-determinism")?;
+        let shuffled = match explore(
+            netlist,
+            &ExploreOptions { shuffle_seed: Some(seed ^ 0x0EDE_5EED), ..explorer.clone() },
+        ) {
+            Ok(search) => search,
+            Err(error) => return Err(fail("explorer-search", None, error.to_string())),
+        };
+        if shuffled != search {
+            return Err(fail(
+                "explorer-determinism",
+                None,
+                "shuffling the candidate enumeration order changed the report".to_string(),
+            ));
+        }
+        watchdog("explorer-determinism")?;
+
+        // (c) scores are reproducible bit-for-bit from the seed (PartialEq
+        // on the report compares every f64 exactly).
+        let replay = match explore(netlist, &explorer) {
+            Ok(search) => search,
+            Err(error) => return Err(fail("explorer-search", None, error.to_string())),
+        };
+        if replay != search {
+            return Err(fail(
+                "explorer-reproducibility",
+                None,
+                "two identical searches disagree: scores are not a pure function of the seed"
+                    .to_string(),
+            ));
+        }
+        watchdog("explorer-reproducibility")?;
+
+        // Rejected candidates surface as skips, like any other transform
+        // the harness could not run; the search summary rides the notes.
+        for skip in &search.skipped {
+            report.notes.push(format!("explorer skipped {}: {}", skip.config.label(), skip.reason));
+        }
+        report.notes.extend(search.notes.iter().map(|note| format!("explorer: {note}")));
+        report.transforms.push(format!("explore ({} on the front)", search.front.len()));
     }
 
     Ok(report)

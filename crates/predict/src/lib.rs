@@ -17,6 +17,7 @@
 //! | global-history indexed | [`CorrelatingScheduler`] | gshare-style predictor |
 //! | fixed sequence | [`SequenceScheduler`] | the `Sched` row of Table 1 |
 //! | error-driven replay | [`ErrorReplayScheduler`] | Sections 5.1 / 5.2 ("listen to the outcome of the SECDED unit") |
+//! | confidence-throttled run-ahead | [`ConfidenceScheduler`] | adaptive run-ahead throttling with hedged mispredict recovery |
 //! | adversarial random | [`RandomScheduler`] | verification fuzzing (leads-to is enforced by the controller) |
 //!
 //! All schedulers implement [`elastic_core::Scheduler`]; [`from_kind`] builds
@@ -30,7 +31,7 @@ mod policies;
 mod stats;
 
 pub use policies::{
-    from_kind, CorrelatingScheduler, ErrorReplayScheduler, LastTakenScheduler, RandomScheduler,
-    RoundRobinScheduler, SequenceScheduler, TwoBitScheduler,
+    from_kind, ConfidenceScheduler, CorrelatingScheduler, ErrorReplayScheduler, LastTakenScheduler,
+    RandomScheduler, RoundRobinScheduler, SequenceScheduler, TwoBitScheduler,
 };
 pub use stats::{Instrumented, PredictionStats};

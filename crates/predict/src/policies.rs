@@ -281,6 +281,133 @@ impl Scheduler for ErrorReplayScheduler {
     }
 }
 
+/// Confidence-throttled run-ahead with periodic hedging (the
+/// [`SchedulerKind::Confidence`] policy).
+///
+/// The policy keeps a *preferred* channel and lets the shared module run
+/// ahead on it, but once every `2 + confidence` cycles it *hedges*: it
+/// grants the next channel for one cycle, parking a speculative result in
+/// that channel's commit lane. Because commit-lane offers are persistent,
+/// the hedge sits there until the consumer either squashes it (select stayed
+/// on the preferred channel — cheap, the module had slack) or commits it
+/// (select switched — the demanded result is already parked, so a periodic
+/// mispredict costs *zero* recovery cycles instead of a full round trip
+/// through the starvation override).
+///
+/// Evidence is read from anti-token pass-throughs, the only select
+/// observations a shared module gets behind a deep commit stage: a kill
+/// passing through an *empty non-preferred* lane means the consumer
+/// committed a preferred-channel token (confirming — confidence rises,
+/// saturating at `max_confidence`, stretching the hedge period), while a
+/// kill passing through the *preferred* lane means the consumer demanded
+/// another channel (contrary — confidence resets and the next hedge fires
+/// immediately). Two contrary observations in a row flip the preferred
+/// channel, so a genuinely inverted bias is re-learned rather than hedged
+/// against forever.
+///
+/// This is the ROADMAP "confidence-adaptive commit scheduling" carry-over:
+/// with this policy a depth-4 commit stage matches or beats the depth-2
+/// sweet spot on the biased bursty-consumer workload of
+/// `BENCH_commit_depth.json` (pinned by the explorer regression tests),
+/// because deeper lanes keep their burst-absorbing head-room without paying
+/// the deep-run-ahead recovery penalty on the periodic mispredict.
+#[derive(Debug, Clone)]
+pub struct ConfidenceScheduler {
+    users: usize,
+    max_confidence: u32,
+    confidence: u32,
+    preferred: usize,
+    since_hedge: u32,
+    wrong_streak: u32,
+}
+
+impl ConfidenceScheduler {
+    /// Creates a confidence-throttled scheduler over `users` channels.
+    pub fn new(users: usize, max_confidence: u8) -> Self {
+        ConfidenceScheduler {
+            users: users.max(1),
+            max_confidence: u32::from(max_confidence),
+            confidence: 0,
+            preferred: 0,
+            since_hedge: 0,
+            wrong_streak: 0,
+        }
+    }
+
+    fn other(&self) -> usize {
+        (self.preferred + 1) % self.users
+    }
+
+    /// Current hedge period: run ahead on the preferred channel for this
+    /// many cycles between hedges.
+    fn period(&self) -> u32 {
+        2 + self.confidence
+    }
+}
+
+impl Scheduler for ConfidenceScheduler {
+    fn prediction(&self) -> usize {
+        if self.users > 1 && self.since_hedge >= self.period() {
+            self.other()
+        } else {
+            self.preferred
+        }
+    }
+
+    fn tick(&mut self, feedback: &SharedFeedback) {
+        if self.users < 2 {
+            return;
+        }
+        let hedging = self.prediction() != self.preferred;
+        let other = self.other();
+        // A kill passing through an empty non-preferred lane: the consumer
+        // committed a preferred-channel token. Confirming evidence.
+        let correct = feedback
+            .output_killed
+            .iter()
+            .enumerate()
+            .any(|(user, &killed)| killed && user != self.preferred);
+        // A kill passing through the preferred lane while it sat empty: the
+        // consumer demanded another channel. Contrary evidence.
+        let wrong = feedback.output_killed.get(self.preferred).copied().unwrap_or(false);
+        if correct {
+            self.confidence = (self.confidence + 1).min(self.max_confidence);
+            self.wrong_streak = 0;
+        }
+        if wrong {
+            self.confidence = 0;
+            // Hedge immediately: the demand we just missed is the best
+            // predictor of the next one.
+            self.since_hedge = self.period();
+            self.wrong_streak += 1;
+            if self.wrong_streak >= 2 {
+                self.preferred = other;
+                self.wrong_streak = 0;
+                self.since_hedge = 0;
+            }
+            return;
+        }
+        if hedging && feedback.output_transfer.get(other).copied().unwrap_or(false) {
+            // The hedge parked a result: restart the cadence.
+            self.since_hedge = 0;
+        } else {
+            // Clamp so a stalled stretch cannot bank more than one hedge.
+            self.since_hedge = self.since_hedge.saturating_add(1).min(self.period() + 1);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.confidence = 0;
+        self.preferred = 0;
+        self.since_hedge = 0;
+        self.wrong_streak = 0;
+    }
+
+    fn name(&self) -> &str {
+        "confidence"
+    }
+}
+
 /// An adversarial scheduler that predicts a pseudo-random channel each cycle.
 ///
 /// On its own this policy does not satisfy the leads-to (no-starvation)
@@ -346,6 +473,9 @@ pub fn from_kind(kind: &SchedulerKind, users: usize) -> Box<dyn Scheduler> {
         }
         SchedulerKind::Sequence(sequence) => Box::new(SequenceScheduler::new(sequence.clone())),
         SchedulerKind::ErrorReplay => Box::new(ErrorReplayScheduler::new()),
+        SchedulerKind::Confidence { max_confidence } => {
+            Box::new(ConfidenceScheduler::new(users, *max_confidence))
+        }
         // `SchedulerKind` is non-exhaustive: unknown kinds degrade to the
         // simplest safe policy.
         _ => Box::new(StaticScheduler::new(0)),
@@ -523,11 +653,66 @@ mod tests {
             SchedulerKind::Correlating { history_bits: 4 },
             SchedulerKind::Sequence(vec![0, 1]),
             SchedulerKind::ErrorReplay,
+            SchedulerKind::Confidence { max_confidence: 2 },
         ];
         for kind in kinds {
             let scheduler = from_kind(&kind, 2);
             assert!(scheduler.prediction() < 2, "{kind:?}");
             assert!(!scheduler.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn confidence_hedges_on_a_cadence() {
+        let mut s = ConfidenceScheduler::new(2, 2);
+        let quiet = SharedFeedback::new(2);
+        // No evidence: confidence stays 0, so the period is 2 — the policy
+        // predicts the preferred channel twice, then hedges channel 1.
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            seen.push(s.prediction());
+            s.tick(&quiet);
+        }
+        assert_eq!(seen, vec![0, 0, 1], "hedge fires after the period elapses");
+        // The hedge parks a result: the cadence restarts.
+        let mut parked = SharedFeedback::new(2);
+        parked.predicted = 1;
+        parked.output_transfer[1] = true;
+        parked.resolved = Some(1);
+        s.tick(&parked);
+        assert_eq!(s.prediction(), 0, "after a parked hedge the policy returns to preferred");
+    }
+
+    #[test]
+    fn confidence_stretches_the_period_and_resets_on_contrary_evidence() {
+        let mut s = ConfidenceScheduler::new(2, 4);
+        // Confirming evidence: a kill passing through the non-preferred lane.
+        let mut confirm = SharedFeedback::new(2);
+        confirm.output_killed[1] = true;
+        for _ in 0..4 {
+            s.tick(&confirm);
+        }
+        assert_eq!(s.period(), 6, "confidence stretches the hedge period");
+        // Contrary evidence: a kill passing through the preferred lane resets
+        // the counter and schedules an immediate hedge.
+        let mut contrary = SharedFeedback::new(2);
+        contrary.output_killed[0] = true;
+        s.tick(&contrary);
+        assert_eq!(s.period(), 2);
+        assert_eq!(s.prediction(), 1, "a contrary kill triggers an immediate hedge");
+        // A second consecutive contrary kill flips the preferred channel.
+        s.tick(&contrary);
+        assert_eq!(s.prediction(), 1, "two contrary kills flip the preferred channel");
+        assert_eq!(s.period(), 2, "a flip starts over with zero confidence");
+    }
+
+    #[test]
+    fn confidence_is_safe_for_one_user() {
+        let mut s = ConfidenceScheduler::new(1, 2);
+        let fb = SharedFeedback::new(1);
+        for _ in 0..10 {
+            assert_eq!(s.prediction(), 0);
+            s.tick(&fb);
         }
     }
 }

@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use elastic_core::kind::{BackpressurePattern, NodeKind};
 use elastic_core::Netlist;
+use elastic_explore::{explore, ExploreOptions};
 use elastic_gen::{generate, run_netlist, GenConfig, GenRng, HarnessOptions};
 use elastic_sim::{FaultKind, FaultPlan, FaultSpec, SimConfig, Simulation};
 use elastic_verify::exploration::{explore_environments, ExplorationOptions};
@@ -62,6 +63,10 @@ pub enum PipelineKind {
     /// Deadlock freedom + bounded environment exploration + a back-pressure
     /// sweep through the one-build-per-job reset path.
     Verify,
+    /// The auto-speculation design-space explorer: enumerate, score and
+    /// Pareto-rank speculation candidates, every front member verified
+    /// against the submitted design.
+    Explore,
 }
 
 impl PipelineKind {
@@ -70,6 +75,7 @@ impl PipelineKind {
         match self {
             PipelineKind::Gauntlet => "gauntlet",
             PipelineKind::Verify => "verify",
+            PipelineKind::Explore => "explore",
         }
     }
 
@@ -79,6 +85,7 @@ impl PipelineKind {
         match name {
             "gauntlet" => Some(PipelineKind::Gauntlet),
             "verify" => Some(PipelineKind::Verify),
+            "explore" => Some(PipelineKind::Explore),
             _ => None,
         }
     }
@@ -205,6 +212,10 @@ pub struct ServiceConfig {
     pub verify: ExplorationOptions,
     /// Truncated exploration options used in degraded mode.
     pub degraded_verify: ExplorationOptions,
+    /// Design-space search options for the explore pipeline (the seed is
+    /// overridden per job from the structural hash; degraded mode drops to
+    /// the declared environment and half the horizon).
+    pub explore: ExploreOptions,
     /// Back-pressure scenarios replayed per verify job through the reset
     /// path of a single simulation build.
     pub sweep_scenarios: u32,
@@ -240,6 +251,13 @@ impl Default for ServiceConfig {
             },
             sweep_scenarios: 4,
             sweep_cycles: 96,
+            explore: ExploreOptions {
+                cycles: 512,
+                short_cycles: 128,
+                environments: 2,
+                verify_cycles: 128,
+                ..ExploreOptions::default()
+            },
             journal_path: None,
             seed: 0x5e12_7e57,
             self_test: SelfTest::default(),
@@ -358,6 +376,23 @@ fn pipeline_hash(config: &ServiceConfig, pipeline: PipelineKind, degraded: bool)
                 .write_u64(v.seed)
                 .write_u64(u64::from(config.sweep_scenarios))
                 .write_u64(config.sweep_cycles);
+        }
+        PipelineKind::Explore => {
+            let e = &config.explore;
+            for &depth in &e.depths {
+                f.write_u64(u64::from(depth));
+            }
+            // Scheduler/recovery grids are enum-valued; their debug form is
+            // stable and canonical enough for a cache key.
+            f.write(format!("{:?}{:?}", e.schedulers, e.recovery).as_bytes())
+                .write_u64(e.cycles)
+                .write_u64(e.short_cycles)
+                .write_u64(e.environments as u64)
+                .write_u64(e.max_area_ratio.to_bits())
+                .write_u64(e.short_margin.to_bits())
+                .write_u64(u64::from(e.verify))
+                .write_u64(e.verify_cycles)
+                .write_u64(u64::from(e.include_acyclic));
         }
     }
     f.finish()
@@ -596,6 +631,52 @@ fn verify_attempt(inner: &Inner, job: &QueuedJob) -> Result<JobReport, AttemptEr
     })
 }
 
+fn explore_attempt(inner: &Inner, job: &QueuedJob) -> Result<JobReport, AttemptError> {
+    let deadline = Instant::now() + inner.config.case_deadline;
+    let mut options = inner.config.explore.clone();
+    // Like the gauntlet's harness seed: duplicate submissions of one design
+    // must score identical environment grids, or the cached report would
+    // describe a different search than a recompute.
+    options.seed = job.structural ^ inner.config.seed;
+    if job.degraded {
+        // Degraded search: the declared environment only, half the horizon.
+        // Honestly flagged below — never cached as exhaustive.
+        options.environments = 1;
+        options.cycles = (options.cycles / 2).max(options.short_cycles);
+    }
+    let search = explore(&job.netlist, &options).map_err(|error| AttemptError::Permanent {
+        reason: format!("exploration rejected the design: {error}"),
+        diagnosis: None,
+    })?;
+    if Instant::now() > deadline {
+        // The search has no internal cancellation points; over-budget runs
+        // are discarded and retried like any other deadline overrun.
+        return Err(AttemptError::Transient("case deadline exceeded during exploration".into()));
+    }
+    // The strict v1 wire format carries the front through the existing
+    // fields: `transforms` counts verified front members, `notes` counts
+    // everything the search cut or could not score (skips + both prune
+    // rungs + coverage notes), and the throughput fields report the best
+    // front member under the job's environment grid.
+    let best = search.best_throughput();
+    let mut notes = (search.skipped.len() + search.pruned.total() + search.notes.len()) as u64;
+    if job.degraded {
+        notes += 1;
+    }
+    Ok(JobReport {
+        pipeline: job.pipeline.name().into(),
+        transforms: search.front.len() as u64,
+        notes,
+        exhaustive: !job.degraded,
+        degraded: job.degraded,
+        cycles: options.cycles,
+        sink_tokens: best
+            .map(|p| (p.throughput * options.cycles as f64).round() as u64)
+            .unwrap_or(0),
+        throughput_milli: best.map(|p| (p.throughput * 1000.0).round() as u64).unwrap_or(0),
+    })
+}
+
 /// Arms a genuine stall-storm against the design, runs it, and reports the
 /// perturbation as a transient failure — the self-test path proving that
 /// fault-flagged runs travel the retry lane, not the result lane.
@@ -639,6 +720,7 @@ fn attempt(inner: &Inner, job: &QueuedJob) -> Result<JobReport, AttemptError> {
     match job.pipeline {
         PipelineKind::Gauntlet => gauntlet_attempt(inner, job),
         PipelineKind::Verify => verify_attempt(inner, job),
+        PipelineKind::Explore => explore_attempt(inner, job),
     }
 }
 

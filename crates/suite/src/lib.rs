@@ -15,6 +15,7 @@
 pub use elastic_analysis as analysis;
 pub use elastic_core as core;
 pub use elastic_datapath as datapath;
+pub use elastic_explore as explore;
 pub use elastic_hdl as hdl;
 pub use elastic_predict as predict;
 pub use elastic_serve as serve;

@@ -8,13 +8,16 @@
 //! `ELASTIC_FUZZ_CASES` environment variable for long runs; setting
 //! `ELASTIC_FUZZ_LANES` to a non-zero value arms the 64-lane bit-parallel
 //! engine differential on every case (all broadcast lanes must match the
-//! scalar trace bit-for-bit), and setting `ELASTIC_FUZZ_COMPILED=1` arms
+//! scalar trace bit-for-bit), setting `ELASTIC_FUZZ_COMPILED=1` arms
 //! the compiled settle backend differential (the fused micro-op plan must
-//! match the worklist engine bit-for-bit):
+//! match the worklist engine bit-for-bit), and setting
+//! `ELASTIC_FUZZ_EXPLORE=1` arms the explorer-soundness stage (the
+//! design-space search runs on every case; every front config must re-apply
+//! and pass the battery, and the report must be deterministic):
 //!
 //! ```text
 //! ELASTIC_FUZZ_CASES=20000 ELASTIC_FUZZ_LANES=64 ELASTIC_FUZZ_COMPILED=1 \
-//!     cargo test --release --test fuzz_smoke
+//!     ELASTIC_FUZZ_EXPLORE=1 cargo test --release --test fuzz_smoke
 //! ```
 //!
 //! On failure the offending case is shrunk to a minimal reproducer and the
@@ -62,12 +65,32 @@ fn fuzz_compiled() -> bool {
         .is_some_and(|flag| flag > 0)
 }
 
+/// `ELASTIC_FUZZ_EXPLORE` set to a non-zero value arms the explorer
+/// soundness stage on every case (four design-space searches per netlist —
+/// the run itself plus the determinism and reproducibility replays — so the
+/// leg also stretches the per-case watchdog).
+fn fuzz_explore() -> bool {
+    std::env::var("ELASTIC_FUZZ_EXPLORE")
+        .ok()
+        .and_then(|value| value.parse::<usize>().ok())
+        .is_some_and(|flag| flag > 0)
+}
+
 #[test]
 fn fuzz_smoke_differential_suite() {
     let total = fuzz_cases();
+    let explore = fuzz_explore();
     let options = HarnessOptions {
         lane_differential: fuzz_lanes(),
         compiled_differential: fuzz_compiled(),
+        explorer_soundness: explore,
+        // The explorer leg runs the search four times per case on top of the
+        // regular gauntlet; give such cases a proportionally longer leash.
+        case_deadline: if explore {
+            std::time::Duration::from_secs(120)
+        } else {
+            HarnessOptions::default().case_deadline
+        },
         ..HarnessOptions::default()
     };
     // Split the budget across the generation-space presets; every preset

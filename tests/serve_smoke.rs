@@ -120,6 +120,64 @@ fn duplicate_heavy_mix_with_a_worker_kill_loses_nothing() {
 }
 
 #[test]
+fn explore_jobs_complete_cache_and_report_the_front() {
+    // The explore pipeline rides the same service machinery: jobs complete,
+    // duplicates hit the content-addressed cache, and the report carries the
+    // front through the strict v1 wire fields (transforms = front members,
+    // throughput = best front member).
+    let config = ServiceConfig {
+        workers: 2,
+        case_deadline: Duration::from_secs(60),
+        explore: elastic_explore::ExploreOptions {
+            cycles: 192,
+            short_cycles: 64,
+            environments: 2,
+            verify_cycles: 96,
+            ..elastic_explore::ExploreOptions::default()
+        },
+        journal_path: None,
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(config).unwrap();
+    // A seed whose small-preset netlist carries speculation sites (the
+    // corpus 0010 anchor), submitted twice to exercise the cache.
+    let seed = 0x5eed_0003_0012u64;
+    let first = service.submit(JobSpec::seeded(seed, "small", PipelineKind::Explore));
+    let report = match service.wait(first, Duration::from_secs(300)).unwrap() {
+        JobOutcome::Completed { report, cache_hit, .. } => {
+            assert!(!cache_hit, "first submission must compute");
+            report
+        }
+        other => panic!("explore job failed: {other:?}"),
+    };
+    assert_eq!(report.pipeline, "explore");
+    assert!(report.exhaustive && !report.degraded);
+    assert!(report.transforms > 0, "the search must return a non-empty front: {report:?}");
+    assert!(report.throughput_milli > 0, "the best front member has a score: {report:?}");
+    // The report survives the strict 8-field wire format.
+    assert_eq!(elastic_serve::decode(&report.encode()), Some(report.clone()));
+
+    let duplicate = service.submit(JobSpec::seeded(seed, "small", PipelineKind::Explore));
+    match service.wait(duplicate, Duration::from_secs(300)).unwrap() {
+        JobOutcome::Completed { report: cached, cache_hit, .. } => {
+            assert!(cache_hit, "the duplicate must be served from the cache");
+            assert_eq!(cached, report, "the cached search must be the computed one");
+        }
+        other => panic!("duplicate explore job failed: {other:?}"),
+    }
+    // The same design under a different pipeline must not collide.
+    let verify = service.submit(JobSpec::seeded(seed, "small", PipelineKind::Verify));
+    match service.wait(verify, Duration::from_secs(300)).unwrap() {
+        JobOutcome::Completed { report: other, cache_hit, .. } => {
+            assert!(!cache_hit, "pipelines must not share cache entries");
+            assert_eq!(other.pipeline, "verify");
+        }
+        other => panic!("verify job failed: {other:?}"),
+    }
+    service.shutdown();
+}
+
+#[test]
 fn overload_sheds_honestly_and_degrades_before_that() {
     // A one-worker service with a tiny queue: the burst must produce all
     // three admission classes — full-fidelity, degraded (soft watermark),
